@@ -1,0 +1,32 @@
+//! Criterion bench: Louvain community detection across generator families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imc_community::louvain::louvain;
+use imc_graph::generators::{barabasi_albert, planted_partition, watts_strogatz};
+use imc_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn graphs() -> Vec<(&'static str, Graph)> {
+    let mut rng = StdRng::seed_from_u64(1);
+    vec![
+        ("planted_2k", planted_partition(2_000, 100, 0.2, 0.001, &mut rng).graph),
+        ("ba_2k", barabasi_albert(2_000, 4, &mut rng)),
+        ("ws_2k", watts_strogatz(2_000, 5, 0.1, &mut rng)),
+    ]
+}
+
+fn bench_louvain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("louvain");
+    group.sample_size(10);
+    for (name, graph) in graphs() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
+            b.iter(|| black_box(louvain(g, 42)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_louvain);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: forward diffusion and benefit estimation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imc_community::{CommunitySet, ThresholdPolicy};
+use imc_datasets::DatasetId;
+use imc_diffusion::benefit::realized_benefit;
+use imc_diffusion::{DiffusionModel, IndependentCascade, LinearThreshold};
+use imc_graph::{NodeId, WeightModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let graph = imc_datasets::generate(DatasetId::WikiVote, 0.3, 1)
+        .reweighted(WeightModel::WeightedCascade);
+    let seeds: Vec<NodeId> = (0..10).map(NodeId::new).collect();
+    let mut group = c.benchmark_group("diffusion_simulate");
+    group.sample_size(20);
+    for (name, model) in [
+        ("ic", &IndependentCascade as &dyn DiffusionModel),
+        ("lt", &LinearThreshold as &dyn DiffusionModel),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, graph.node_count()), &(), |b, ()| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| black_box(model.simulate(&graph, &seeds, &mut rng).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_benefit_evaluation(c: &mut Criterion) {
+    let graph = imc_datasets::generate(DatasetId::WikiVote, 0.3, 1)
+        .reweighted(WeightModel::WeightedCascade);
+    let communities = CommunitySet::builder(&graph)
+        .louvain(3)
+        .split_larger_than(8)
+        .threshold(ThresholdPolicy::Constant(2))
+        .build()
+        .unwrap();
+    let seeds: Vec<NodeId> = (0..10).map(NodeId::new).collect();
+    let mut group = c.benchmark_group("benefit");
+    group.sample_size(20);
+    group.bench_function("realized_benefit", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let active = IndependentCascade.simulate(&graph, &seeds, &mut rng).unwrap();
+        b.iter(|| black_box(realized_benefit(&communities, &active)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models, bench_benefit_evaluation);
+criterion_main!(benches);

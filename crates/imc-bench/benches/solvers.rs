@@ -1,0 +1,66 @@
+//! Criterion bench: MAXR solver cost on a fixed RIC collection —
+//! the microscopic version of the paper's Fig. 7 runtime comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imc_community::{CommunitySet, ThresholdPolicy};
+use imc_core::maxr::bt::{bt, BtConfig};
+use imc_core::maxr::greedy::{greedy_c, greedy_nu};
+use imc_core::maxr::maf::maf;
+use imc_core::maxr::ubg::ubg;
+use imc_core::{RicCollection, RicSampler};
+use imc_datasets::DatasetId;
+use imc_graph::WeightModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn fixture() -> (CommunitySet, RicCollection) {
+    let graph = imc_datasets::generate(DatasetId::Facebook, 0.5, 1)
+        .reweighted(WeightModel::WeightedCascade);
+    let communities = CommunitySet::builder(&graph)
+        .louvain(7)
+        .split_larger_than(8)
+        .threshold(ThresholdPolicy::Constant(2))
+        .build()
+        .unwrap();
+    let sampler = RicSampler::new(&graph, &communities);
+    let mut col = RicCollection::for_sampler(&sampler);
+    let mut rng = StdRng::seed_from_u64(5);
+    col.extend_with(&sampler, 3_000, &mut rng);
+    (communities, col)
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let (communities, col) = fixture();
+    let mut group = c.benchmark_group("maxr_solvers");
+    group.sample_size(10);
+    for k in [5usize, 20] {
+        group.bench_with_input(BenchmarkId::new("greedy_c", k), &k, |b, &k| {
+            b.iter(|| black_box(greedy_c(&col, k)));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_nu_celf", k), &k, |b, &k| {
+            b.iter(|| black_box(greedy_nu(&col, k)));
+        });
+        group.bench_with_input(BenchmarkId::new("ubg", k), &k, |b, &k| {
+            b.iter(|| black_box(ubg(&col, k)));
+        });
+        group.bench_with_input(BenchmarkId::new("maf", k), &k, |b, &k| {
+            b.iter(|| black_box(maf(&communities, &col, k, 1)));
+        });
+    }
+    group.finish();
+
+    // BT is far slower (O(|V|) subproblems); bench it separately with a
+    // pivot cap so the bench suite stays fast.
+    let mut group = c.benchmark_group("bt");
+    group.sample_size(10);
+    group.bench_function("bt_capped_100_pivots_k5", |b| {
+        b.iter(|| {
+            black_box(bt(&col, 5, &BtConfig { depth: 2, candidate_limit: Some(100) }))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

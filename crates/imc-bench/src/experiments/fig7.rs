@@ -1,0 +1,119 @@
+//! Fig. 7 — CPU runtime of the proposed algorithms vs `k`.
+//!
+//! Expected shape (paper): MAF ≪ UBG, MAF nearly flat in `k` (one pass
+//! plus a sort) while UBG grows with `k` (k greedy rounds); MB slower than
+//! both by a wide margin (it solves `O(|V|)` subproblems), timing out on
+//! the largest network.
+//!
+//! 7(a): bounded thresholds (UBG / MAF / MB); 7(b): regular thresholds
+//! (UBG / MAF).
+
+use crate::experiments::ExpOptions;
+use crate::harness::{build_instance, dataset_graph, run_method, Formation, Method};
+use crate::report::{fmt_secs, Table};
+use imc_community::ThresholdPolicy;
+use imc_core::MaxrAlgorithm;
+use imc_datasets::DatasetId;
+use std::time::Duration;
+
+/// Runs the experiment and prints/writes the table.
+pub fn run(options: &ExpOptions) -> std::io::Result<()> {
+    let ks: &[usize] = if options.quick { &[5, 20] } else { &[5, 10, 20, 50] };
+    let datasets: &[(DatasetId, f64)] = if options.quick {
+        &[(DatasetId::WikiVote, 0.15)]
+    } else {
+        &[(DatasetId::WikiVote, 0.3), (DatasetId::Epinions, 0.2)]
+    };
+    let mb_limit = Duration::from_secs(if options.quick { 30 } else { 300 });
+
+    // Panel (a): bounded thresholds — UBG, MAF, MB.
+    let mut table_a = Table::new(
+        "Fig 7a - runtime seconds vs k (bounded h=2)",
+        &["dataset", "k", "method", "seconds"],
+    );
+    for &(dataset, ds_scale) in datasets {
+        let graph = dataset_graph(dataset, ds_scale * options.scale, options.seed);
+        let instance = build_instance(
+            &graph,
+            Formation::Louvain,
+            8,
+            ThresholdPolicy::Constant(2),
+            options.seed,
+        );
+        for &k in ks {
+            for method in [
+                Method::Imc(MaxrAlgorithm::Ubg),
+                Method::Imc(MaxrAlgorithm::Maf),
+                Method::Imc(MaxrAlgorithm::Mb),
+            ] {
+                let limit = if matches!(method, Method::Imc(MaxrAlgorithm::Mb)) {
+                    mb_limit
+                } else {
+                    Duration::from_secs(900)
+                };
+                let run =
+                    run_method(&instance, method, k, options.seed, options.max_samples, limit);
+                let cell = if run.timed_out && run.seeds.is_empty() {
+                    "timeout".to_string()
+                } else {
+                    fmt_secs(run.elapsed)
+                };
+                table_a.push_row(vec![
+                    imc_datasets::spec(dataset).name.to_string(),
+                    k.to_string(),
+                    method.name().to_string(),
+                    cell,
+                ]);
+            }
+        }
+    }
+    table_a.emit(options.out_dir.as_deref())?;
+
+    // Panel (b): regular thresholds — UBG, MAF.
+    let mut table_b = Table::new(
+        "Fig 7b - runtime seconds vs k (regular thresholds)",
+        &["dataset", "k", "method", "seconds"],
+    );
+    for &(dataset, ds_scale) in datasets {
+        let graph = dataset_graph(dataset, ds_scale * options.scale, options.seed);
+        let instance = build_instance(
+            &graph,
+            Formation::Louvain,
+            8,
+            ThresholdPolicy::Fraction(0.5),
+            options.seed,
+        );
+        for &k in ks {
+            for method in
+                [Method::Imc(MaxrAlgorithm::Ubg), Method::Imc(MaxrAlgorithm::Maf)]
+            {
+                let run = run_method(
+                    &instance,
+                    method,
+                    k,
+                    options.seed,
+                    options.max_samples,
+                    Duration::from_secs(900),
+                );
+                table_b.push_row(vec![
+                    imc_datasets::spec(dataset).name.to_string(),
+                    k.to_string(),
+                    method.name().to_string(),
+                    fmt_secs(run.elapsed),
+                ]);
+            }
+        }
+    }
+    table_b.emit(options.out_dir.as_deref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_completes() {
+        let options = ExpOptions::smoke();
+        run(&options).unwrap();
+    }
+}

@@ -1,0 +1,178 @@
+//! Plain-text table and CSV reporting for the experiment harness.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A rectangular result table with a title, column headers, and rows of
+/// strings. Renders aligned text for stdout and CSV for files.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table/experiment title (also the CSV file stem).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut line = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(line, "{:>w$}  ", h, w = widths[i]);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(line, "{:>w$}  ", cell, w = widths[i]);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (cells containing commas/quotes are
+    /// quoted).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Prints the text rendering to stdout and, when `out_dir` is set,
+    /// writes `<out_dir>/<slug(title)>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from writing the CSV file.
+    pub fn emit(&self, out_dir: Option<&Path>) -> io::Result<()> {
+        println!("{}", self.to_text());
+        if let Some(dir) = out_dir {
+            std::fs::create_dir_all(dir)?;
+            let slug: String = self
+                .title
+                .to_lowercase()
+                .chars()
+                .map(|c| if c.is_alphanumeric() { c } else { '-' })
+                .collect();
+            let slug = slug.trim_matches('-').replace("--", "-");
+            std::fs::write(dir.join(format!("{slug}.csv")), self.to_csv())?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with sensible experiment precision.
+pub fn fmt_f(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a duration as fractional seconds.
+pub fn fmt_secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_aligns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push_row(vec!["a".into(), "1".into()]);
+        t.push_row(vec!["long-name".into(), "22".into()]);
+        let text = t.to_text();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("long-name"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn csv_escapes_specials() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["with,comma".into(), "with\"quote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"with,comma\""));
+        assert!(csv.contains("\"with\"\"quote\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn emit_writes_csv() {
+        let dir = std::env::temp_dir().join(format!("imc-bench-{}", std::process::id()));
+        let mut t = Table::new("Fig 9 (demo)", &["a"]);
+        t.push_row(vec!["1".into()]);
+        t.emit(Some(&dir)).unwrap();
+        let written = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(written, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(12345.6), "12346");
+        assert_eq!(fmt_f(42.25), "42.2");
+        assert_eq!(fmt_f(1.23456), "1.235");
+    }
+}

@@ -1,0 +1,151 @@
+//! Flag parsing for the `imc` binary — a small, dependency-free
+//! `--key value` parser with typed accessors.
+
+use crate::{CliError, Result};
+use std::collections::HashMap;
+
+/// Parsed command line: the subcommand name plus `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Flags that take no value.
+const SWITCHES: &[&str] = &["undirected", "quiet"];
+
+impl Args {
+    /// Parses `argv` (without the program name and subcommand).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] on stray values, unknown switch style, or a
+    /// flag missing its value.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args> {
+        let mut args = Args::default();
+        let mut iter = argv.into_iter().peekable();
+        while let Some(token) = iter.next() {
+            let Some(name) = token.strip_prefix("--") else {
+                return Err(CliError::Usage(format!("unexpected argument `{token}`")));
+            };
+            if SWITCHES.contains(&name) {
+                args.switches.push(name.to_string());
+                continue;
+            }
+            let Some(value) = iter.next() else {
+                return Err(CliError::Usage(format!("flag --{name} expects a value")));
+            };
+            if args.flags.insert(name.to_string(), value).is_some() {
+                return Err(CliError::Usage(format!("flag --{name} given twice")));
+            }
+        }
+        Ok(args)
+    }
+
+    /// Raw string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    /// Required string flag.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] when absent.
+    pub fn required(&self, name: &str) -> Result<&str> {
+        self.get(name)
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{name}")))
+    }
+
+    /// Typed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] when present but unparsable.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::Usage(format!("flag --{name} has invalid value `{raw}`"))),
+        }
+    }
+
+    /// Typed required flag.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] when absent or unparsable.
+    pub fn required_as<T: std::str::FromStr>(&self, name: &str) -> Result<T> {
+        let raw = self.required(name)?;
+        raw.parse()
+            .map_err(|_| CliError::Usage(format!("flag --{name} has invalid value `{raw}`")))
+    }
+
+    /// Presence of a boolean switch (`--undirected`, `--quiet`).
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Comma-separated `u32` list flag (`--seeds 1,2,3`).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] when absent or malformed.
+    pub fn required_u32_list(&self, name: &str) -> Result<Vec<u32>> {
+        let raw = self.required(name)?;
+        raw.split(',')
+            .map(|tok| {
+                tok.trim().parse::<u32>().map_err(|_| {
+                    CliError::Usage(format!("flag --{name}: `{tok}` is not a node id"))
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_flags_and_switches() {
+        let a = parse(&["--nodes", "100", "--undirected", "--seed", "7"]).unwrap();
+        assert_eq!(a.get("nodes"), Some("100"));
+        assert!(a.switch("undirected"));
+        assert!(!a.switch("quiet"));
+        assert_eq!(a.get_or("seed", 0u64).unwrap(), 7);
+        assert_eq!(a.get_or("missing", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn rejects_stray_values_and_missing_values() {
+        assert!(matches!(parse(&["oops"]), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&["--nodes"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&["--nodes", "1", "--nodes", "2"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn required_and_typed_accessors() {
+        let a = parse(&["--k", "10"]).unwrap();
+        assert_eq!(a.required_as::<usize>("k").unwrap(), 10);
+        assert!(a.required("graph").is_err());
+        let a = parse(&["--k", "ten"]).unwrap();
+        assert!(a.required_as::<usize>("k").is_err());
+    }
+
+    #[test]
+    fn u32_list_parsing() {
+        let a = parse(&["--seeds", "1, 2,3"]).unwrap();
+        assert_eq!(a.required_u32_list("seeds").unwrap(), vec![1, 2, 3]);
+        let a = parse(&["--seeds", "1,x"]).unwrap();
+        assert!(a.required_u32_list("seeds").is_err());
+    }
+}

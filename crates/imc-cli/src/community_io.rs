@@ -1,0 +1,113 @@
+//! The `node community` assignment file format.
+//!
+//! One whitespace-separated pair per line, `#` comments. Community ids
+//! may be arbitrary integers; they are compacted in first-appearance
+//! order. Thresholds and benefits are *not* stored — they are policies
+//! applied at solve time, so the same partition file serves every
+//! experiment regime.
+
+use crate::{CliError, Result};
+use imc_graph::NodeId;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Parses an assignment file into member lists (compacted community ids).
+///
+/// # Errors
+///
+/// [`CliError::Usage`] on malformed lines; I/O errors pass through.
+pub fn read_assignments<R: Read>(reader: R) -> Result<Vec<Vec<NodeId>>> {
+    let reader = BufReader::new(reader);
+    let mut order: Vec<i64> = Vec::new();
+    let mut index: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let err = |msg: &str| CliError::Usage(format!("line {}: {msg}", lineno + 1));
+        let node: u32 = parts
+            .next()
+            .ok_or_else(|| err("missing node id"))?
+            .parse()
+            .map_err(|_| err("bad node id"))?;
+        let community: i64 = parts
+            .next()
+            .ok_or_else(|| err("missing community id"))?
+            .parse()
+            .map_err(|_| err("bad community id"))?;
+        if parts.next().is_some() {
+            return Err(err("trailing tokens"));
+        }
+        let slot = *index.entry(community).or_insert_with(|| {
+            order.push(community);
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[slot].push(NodeId::new(node));
+    }
+    for g in &mut groups {
+        g.sort();
+        g.dedup();
+    }
+    Ok(groups)
+}
+
+/// Writes an assignment file from member lists.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_assignments<W: Write>(
+    mut writer: W,
+    communities: &[Vec<NodeId>],
+) -> Result<()> {
+    writeln!(writer, "# node community")?;
+    for (cid, members) in communities.iter().enumerate() {
+        for v in members {
+            writeln!(writer, "{} {}", v.raw(), cid)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let communities = vec![
+            vec![NodeId::new(0), NodeId::new(2)],
+            vec![NodeId::new(1), NodeId::new(5)],
+        ];
+        let mut buf = Vec::new();
+        write_assignments(&mut buf, &communities).unwrap();
+        let parsed = read_assignments(buf.as_slice()).unwrap();
+        assert_eq!(parsed, communities);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\n0 10\n1 10\n2 -3\n";
+        let parsed = read_assignments(text.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], vec![NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(parsed[1], vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn duplicate_members_deduped() {
+        let parsed = read_assignments("0 1\n0 1\n".as_bytes()).unwrap();
+        assert_eq!(parsed[0].len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(read_assignments("x 1\n".as_bytes()).is_err());
+        assert!(read_assignments("1\n".as_bytes()).is_err());
+        assert!(read_assignments("1 2 3\n".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Library backing the `imc` command-line tool.
+//!
+//! Every subcommand is a pure function over parsed arguments plus an
+//! output writer, so the test suite drives the exact code paths the
+//! binary runs. File formats:
+//!
+//! * **graphs** — SNAP-style edge lists (`u v [w]`, `#` comments), read
+//!   and written by [`imc_graph::edgelist`].
+//! * **communities** — one `node community` pair per line, `#` comments;
+//!   thresholds and benefits are derived from policy flags at solve time.
+//!
+//! ```text
+//! imc generate --model ba --nodes 2000 --attach 3 --seed 7 --out g.txt
+//! imc communities --graph g.txt --method louvain --split 8 --out c.txt
+//! imc solve --graph g.txt --communities c.txt --k 10 --algo ubg
+//! imc estimate --graph g.txt --communities c.txt --seeds 5,9,42
+//! imc stats --graph g.txt
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod community_io;
+
+use std::fmt;
+
+/// Errors surfaced by CLI commands.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing/validation failure (maps to exit code 2).
+    Usage(String),
+    /// Underlying graph error.
+    Graph(imc_graph::GraphError),
+    /// Underlying community error.
+    Community(imc_community::CommunityError),
+    /// Underlying solver error.
+    Imc(imc_core::ImcError),
+    /// I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Graph(e) => write!(f, "graph error: {e}"),
+            CliError::Community(e) => write!(f, "community error: {e}"),
+            CliError::Imc(e) => write!(f, "solver error: {e}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::Graph(e) => Some(e),
+            CliError::Community(e) => Some(e),
+            CliError::Imc(e) => Some(e),
+            CliError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<imc_graph::GraphError> for CliError {
+    fn from(e: imc_graph::GraphError) -> Self {
+        CliError::Graph(e)
+    }
+}
+impl From<imc_community::CommunityError> for CliError {
+    fn from(e: imc_community::CommunityError) -> Self {
+        CliError::Community(e)
+    }
+}
+impl From<imc_core::ImcError> for CliError {
+    fn from(e: imc_core::ImcError) -> Self {
+        CliError::Imc(e)
+    }
+}
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Convenience result alias for CLI code.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CliError::Usage("bad".into()).to_string().contains("bad"));
+        let e: CliError = std::io::Error::new(std::io::ErrorKind::NotFound, "x").into();
+        assert!(e.to_string().contains("i/o"));
+    }
+
+    #[test]
+    fn sources_preserved() {
+        use std::error::Error;
+        let e: CliError = imc_core::ImcError::NoCommunities.into();
+        assert!(e.source().is_some());
+        assert!(CliError::Usage("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,50 @@
+//! The `imc` command-line tool.
+//!
+//! ```text
+//! imc <command> [flags]
+//!
+//! commands:
+//!   generate     synthesize a graph (--model ba|er|ws|pp|rmat) to an edge list
+//!   communities  detect communities (--method louvain|lpa|random) to a file
+//!   solve        run IMCAF (--algo ubg|maf|mb|bt|greedy) on graph + communities
+//!   estimate     grade a seed set (--seeds 1,2,3) with the Dagum estimator
+//!   stats        structural statistics of a graph
+//!   dot          render graph (+communities, +seeds) as Graphviz DOT
+//!
+//! common flags:
+//!   --graph FILE  --communities FILE  --undirected  --weights cascade|keep|trivalency|<p>
+//!   --threshold H | --threshold-frac F   --benefit population|<constant>
+//!   --seed N  --out FILE  --quiet
+//! ```
+
+use imc_cli::args::Args;
+use imc_cli::{commands, CliError};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprintln!("usage: imc <generate | communities | solve | estimate | stats | dot> [flags]");
+        eprintln!("run with a command and no flags to see its errors spelled out");
+        return ExitCode::from(2);
+    };
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    match commands::run(&command, &args, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e @ CliError::Usage(_)) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

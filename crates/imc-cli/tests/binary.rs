@@ -1,0 +1,125 @@
+//! Black-box tests of the compiled `imc-tool` binary — argument handling,
+//! exit codes, and a full file-based pipeline, exactly as a user runs it.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_imc-tool"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("imc-bin-{}-{name}", std::process::id()))
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("binary runs")
+}
+
+#[test]
+fn no_arguments_prints_usage_with_exit_2() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "stderr: {err}");
+}
+
+#[test]
+fn unknown_command_exits_2() {
+    let out = run(&["fly"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn missing_required_flag_exits_2() {
+    // The parser is permissive about unknown flags (forward compatibility);
+    // the command layer then reports the missing required one.
+    let out = run(&["stats", "--bogus", "1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("graph"));
+}
+
+#[test]
+fn dangling_flag_value_exits_2() {
+    let out = run(&["stats", "--graph"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("expects a value"));
+}
+
+#[test]
+fn missing_graph_file_is_runtime_error_not_usage() {
+    let out = run(&["stats", "--graph", "/nonexistent/g.txt"]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn full_pipeline_through_the_binary() {
+    let g = tmp("g.txt");
+    let c = tmp("c.txt");
+    let gs = g.to_str().unwrap();
+    let cs = c.to_str().unwrap();
+
+    let out = run(&[
+        "generate", "--model", "pp", "--nodes", "60", "--blocks", "6", "--p-in",
+        "0.4", "--p-out", "0.02", "--seed", "5", "--out", gs,
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = run(&[
+        "communities", "--graph", gs, "--method", "louvain", "--split", "8",
+        "--out", cs,
+    ]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("communities"));
+
+    let out = run(&[
+        "solve", "--graph", gs, "--communities", cs, "--k", "3", "--algo", "maf",
+        "--max-samples", "1500", "--quiet",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let seeds = stdout
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("seeds: "))
+        .expect("seeds line")
+        .to_string();
+    assert_eq!(seeds.split(',').count(), 3);
+    // --quiet suppresses the estimate line.
+    assert_eq!(stdout.lines().count(), 1, "stdout: {stdout}");
+
+    let out = run(&[
+        "estimate", "--graph", gs, "--communities", cs, "--seeds", &seeds,
+        "--budget", "20000",
+    ]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("benefit:"));
+
+    let out = run(&["dot", "--graph", gs, "--communities", cs, "--seeds", &seeds]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("digraph"));
+
+    std::fs::remove_file(&g).ok();
+    std::fs::remove_file(&c).ok();
+}
+
+#[test]
+fn generate_to_stdout_is_parseable() {
+    let out = run(&["generate", "--model", "er", "--nodes", "30", "--p", "0.1"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.lines().any(|l| l.starts_with('#')));
+    // Every non-comment line is "u v w".
+    for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        assert_eq!(line.split_whitespace().count(), 3, "line: {line}");
+    }
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let a = run(&["generate", "--model", "ba", "--nodes", "50", "--attach", "2", "--seed", "9"]);
+    let b = run(&["generate", "--model", "ba", "--nodes", "50", "--attach", "2", "--seed", "9"]);
+    assert_eq!(a.stdout, b.stdout);
+    let c = run(&["generate", "--model", "ba", "--nodes", "50", "--attach", "2", "--seed", "10"]);
+    assert_ne!(a.stdout, c.stdout);
+}

@@ -1,0 +1,79 @@
+use crate::{CommunityError, Result};
+
+/// Policy assigning the benefit `b_i` to each community.
+///
+/// The paper's evaluation sets `b_i = |C_i|` ([`Population`]); the
+/// theoretical sections implicitly use unit benefits ([`Uniform`] with 1.0).
+///
+/// [`Population`]: BenefitPolicy::Population
+/// [`Uniform`]: BenefitPolicy::Uniform
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BenefitPolicy {
+    /// `b_i = |C_i|` — the paper's experimental setting.
+    Population,
+    /// Every community is worth the same constant.
+    Uniform(f64),
+    /// `b_i = scale · |C_i|` — population benefit with a global scale.
+    ScaledPopulation(f64),
+}
+
+impl BenefitPolicy {
+    /// Benefit for a community with `population` members.
+    ///
+    /// # Errors
+    ///
+    /// [`CommunityError::InvalidBenefit`] when the resulting benefit would
+    /// be non-positive or non-finite.
+    pub fn benefit_for(&self, population: usize) -> Result<f64> {
+        let b = match *self {
+            BenefitPolicy::Population => population as f64,
+            BenefitPolicy::Uniform(b) => b,
+            BenefitPolicy::ScaledPopulation(s) => s * population as f64,
+        };
+        if b > 0.0 && b.is_finite() {
+            Ok(b)
+        } else {
+            Err(CommunityError::InvalidBenefit { index: 0, benefit: b })
+        }
+    }
+}
+
+impl Default for BenefitPolicy {
+    /// The paper's experimental setting, `b_i = |C_i|`.
+    fn default() -> Self {
+        BenefitPolicy::Population
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_benefit() {
+        assert_eq!(BenefitPolicy::Population.benefit_for(8).unwrap(), 8.0);
+    }
+
+    #[test]
+    fn uniform_benefit() {
+        assert_eq!(BenefitPolicy::Uniform(3.5).benefit_for(100).unwrap(), 3.5);
+    }
+
+    #[test]
+    fn scaled_population() {
+        assert_eq!(BenefitPolicy::ScaledPopulation(0.5).benefit_for(8).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn invalid_benefits_rejected() {
+        assert!(BenefitPolicy::Uniform(0.0).benefit_for(5).is_err());
+        assert!(BenefitPolicy::Uniform(-1.0).benefit_for(5).is_err());
+        assert!(BenefitPolicy::Uniform(f64::INFINITY).benefit_for(5).is_err());
+        assert!(BenefitPolicy::ScaledPopulation(1.0).benefit_for(0).is_err());
+    }
+
+    #[test]
+    fn default_is_population() {
+        assert_eq!(BenefitPolicy::default(), BenefitPolicy::Population);
+    }
+}

@@ -1,0 +1,225 @@
+use crate::louvain::louvain;
+use crate::random_partition::random_partition;
+use crate::split::split_larger_than;
+use crate::{BenefitPolicy, CommunityError, CommunitySet, Result, ThresholdPolicy};
+use imc_graph::{Graph, NodeId};
+
+/// Where the node partition comes from.
+#[derive(Debug, Clone)]
+enum PartitionSource {
+    Louvain { seed: u64 },
+    LabelPropagation { seed: u64 },
+    Random { count: u32, seed: u64 },
+    Explicit(Vec<Vec<NodeId>>),
+}
+
+/// Fluent constructor for [`CommunitySet`], mirroring the paper's §VI.A
+/// pipeline: *form communities* (Louvain or Random) → *cap size by `s`* →
+/// *assign thresholds and benefits*.
+///
+/// ```
+/// use imc_community::{BenefitPolicy, CommunitySet, ThresholdPolicy};
+/// use imc_graph::generators::watts_strogatz;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let g = watts_strogatz(60, 3, 0.1, &mut rng);
+/// let cs = CommunitySet::builder(&g)
+///     .random(6, 9)
+///     .split_larger_than(8)
+///     .threshold(ThresholdPolicy::Constant(2))
+///     .benefit(BenefitPolicy::Population)
+///     .build()?;
+/// assert!(cs.iter().all(|c| c.population() <= 8));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CommunitySetBuilder<'g> {
+    graph: &'g Graph,
+    source: Option<PartitionSource>,
+    size_cap: Option<usize>,
+    threshold: ThresholdPolicy,
+    benefit: BenefitPolicy,
+}
+
+impl<'g> CommunitySetBuilder<'g> {
+    pub(crate) fn new(graph: &'g Graph) -> Self {
+        CommunitySetBuilder {
+            graph,
+            source: None,
+            size_cap: None,
+            threshold: ThresholdPolicy::default(),
+            benefit: BenefitPolicy::default(),
+        }
+    }
+
+    /// Detect communities with Louvain modularity optimization.
+    pub fn louvain(mut self, seed: u64) -> Self {
+        self.source = Some(PartitionSource::Louvain { seed });
+        self
+    }
+
+    /// Detect communities with asynchronous label propagation (faster,
+    /// lower quality than Louvain).
+    pub fn label_propagation(mut self, seed: u64) -> Self {
+        self.source = Some(PartitionSource::LabelPropagation { seed });
+        self
+    }
+
+    /// Assign nodes uniformly at random into `count` communities (the
+    /// paper's Random baseline).
+    pub fn random(mut self, count: u32, seed: u64) -> Self {
+        self.source = Some(PartitionSource::Random { count, seed });
+        self
+    }
+
+    /// Use an explicit partition (e.g. ground-truth blocks from a
+    /// generator).
+    pub fn explicit(mut self, communities: Vec<Vec<NodeId>>) -> Self {
+        self.source = Some(PartitionSource::Explicit(communities));
+        self
+    }
+
+    /// Cap community sizes at `s`, splitting larger ones into `⌈|C|/s⌉`
+    /// chunks (paper parameter `s`, default: no cap).
+    pub fn split_larger_than(mut self, s: usize) -> Self {
+        self.size_cap = Some(s);
+        self
+    }
+
+    /// Threshold policy (default: the paper's bounded case `h_i = 2`).
+    pub fn threshold(mut self, policy: ThresholdPolicy) -> Self {
+        self.threshold = policy;
+        self
+    }
+
+    /// Benefit policy (default: the paper's `b_i = |C_i|`).
+    pub fn benefit(mut self, policy: BenefitPolicy) -> Self {
+        self.benefit = policy;
+        self
+    }
+
+    /// Materializes the [`CommunitySet`].
+    ///
+    /// # Errors
+    ///
+    /// [`CommunityError::NoPartitionSource`] when neither
+    /// [`louvain`](Self::louvain), [`random`](Self::random) nor
+    /// [`explicit`](Self::explicit) was called; otherwise any validation
+    /// error from [`CommunitySet::from_parts`] or the policies.
+    pub fn build(self) -> Result<CommunitySet> {
+        let partition = match self.source {
+            None => return Err(CommunityError::NoPartitionSource),
+            Some(PartitionSource::Louvain { seed }) => louvain(self.graph, seed),
+            Some(PartitionSource::LabelPropagation { seed }) => {
+                crate::label_propagation::label_propagation(self.graph, seed, 20)
+            }
+            Some(PartitionSource::Random { count, seed }) => {
+                random_partition(self.graph.node_count() as u32, count, seed)
+            }
+            Some(PartitionSource::Explicit(parts)) => parts,
+        };
+        let partition = match self.size_cap {
+            Some(cap) => split_larger_than(partition, cap),
+            None => partition,
+        };
+        let mut parts = Vec::with_capacity(partition.len());
+        for members in partition {
+            let population = members.len();
+            let h = self.threshold.threshold_for(population)?;
+            let b = self.benefit.benefit_for(population)?;
+            parts.push((members, h, b));
+        }
+        CommunitySet::from_parts(self.graph.node_count() as u32, parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_graph::generators::planted_partition;
+    use imc_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_graph() -> Graph {
+        let mut rng = StdRng::seed_from_u64(1);
+        planted_partition(40, 4, 0.5, 0.02, &mut rng).graph
+    }
+
+    #[test]
+    fn requires_a_source() {
+        let g = toy_graph();
+        assert!(matches!(
+            CommunitySet::builder(&g).build(),
+            Err(CommunityError::NoPartitionSource)
+        ));
+    }
+
+    #[test]
+    fn louvain_pipeline_covers_all_nodes() {
+        let g = toy_graph();
+        let cs = CommunitySet::builder(&g).louvain(7).build().unwrap();
+        assert_eq!(cs.covered_nodes(), g.node_count());
+    }
+
+    #[test]
+    fn random_pipeline_with_cap_and_policies() {
+        let g = toy_graph();
+        let cs = CommunitySet::builder(&g)
+            .random(5, 11)
+            .split_larger_than(4)
+            .threshold(ThresholdPolicy::Fraction(0.5))
+            .benefit(BenefitPolicy::Population)
+            .build()
+            .unwrap();
+        for c in cs.iter() {
+            assert!(c.population() <= 4);
+            assert_eq!(c.threshold, ((c.population() as f64) / 2.0).ceil() as u32);
+            assert_eq!(c.benefit, c.population() as f64);
+        }
+    }
+
+    #[test]
+    fn explicit_partition_used_verbatim() {
+        let g = GraphBuilder::new(4).build().unwrap();
+        let cs = CommunitySet::builder(&g)
+            .explicit(vec![vec![0.into(), 1.into()], vec![2.into()]])
+            .threshold(ThresholdPolicy::Constant(1))
+            .benefit(BenefitPolicy::Uniform(1.0))
+            .build()
+            .unwrap();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs.community_of(3.into()), None);
+    }
+
+    #[test]
+    fn builder_propagates_policy_errors() {
+        let g = GraphBuilder::new(4).build().unwrap();
+        let res = CommunitySet::builder(&g)
+            .explicit(vec![vec![0.into()]])
+            .threshold(ThresholdPolicy::Fraction(2.0))
+            .build();
+        assert!(matches!(res, Err(CommunityError::InvalidFraction { .. })));
+    }
+
+    #[test]
+    fn label_propagation_pipeline_covers_all_nodes() {
+        let g = toy_graph();
+        let cs = CommunitySet::builder(&g).label_propagation(3).build().unwrap();
+        assert_eq!(cs.covered_nodes(), g.node_count());
+        assert!(cs.len() >= 2);
+    }
+
+    #[test]
+    fn default_policies_are_paper_defaults() {
+        let g = toy_graph();
+        let cs = CommunitySet::builder(&g).random(8, 2).build().unwrap();
+        for c in cs.iter() {
+            assert_eq!(c.threshold, 2);
+            assert_eq!(c.benefit, c.population() as f64);
+        }
+    }
+}

@@ -1,0 +1,372 @@
+use crate::{CommunityError, CommunitySetBuilder, Result};
+use imc_graph::{Graph, NodeId};
+use std::fmt;
+
+/// Compact identifier of a community within a [`CommunitySet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CommunityId(u32);
+
+impl CommunityId {
+    /// Creates a community id from a raw index.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        CommunityId(raw)
+    }
+
+    /// Returns the id as a `usize` suitable for indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for CommunityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl From<u32> for CommunityId {
+    fn from(raw: u32) -> Self {
+        CommunityId(raw)
+    }
+}
+
+/// One community: its members, activation threshold `h_i`, and benefit
+/// `b_i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Community {
+    /// Identifier within the owning [`CommunitySet`].
+    pub id: CommunityId,
+    /// Sorted, deduplicated member nodes.
+    pub members: Vec<NodeId>,
+    /// Activation threshold `h_i ≥ 1`: the community is *influenced* when at
+    /// least this many members are activated. May exceed `|members|`, in
+    /// which case the community can never be influenced (the paper permits
+    /// this; [`MAF`](https://doc.rust-lang.org) style solvers simply skip it).
+    pub threshold: u32,
+    /// Benefit `b_i > 0` gained when the community is influenced.
+    pub benefit: f64,
+}
+
+impl Community {
+    /// Number of members `|C_i|`.
+    pub fn population(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when at least `threshold` members could ever be activated,
+    /// i.e. `threshold ≤ |C_i|`.
+    pub fn is_satisfiable(&self) -> bool {
+        (self.threshold as usize) <= self.members.len()
+    }
+
+    /// Membership test (binary search; members are sorted).
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.members.binary_search(&v).is_ok()
+    }
+}
+
+/// A validated collection of disjoint communities over a graph's nodes.
+///
+/// Construct through [`CommunitySet::builder`] or
+/// [`CommunitySet::from_parts`]. Invariants enforced at construction:
+///
+/// * communities are pairwise disjoint;
+/// * all members are valid node ids;
+/// * no community is empty;
+/// * thresholds are `≥ 1` and benefits are positive and finite.
+///
+/// Not every node must belong to a community ([`community_of`] returns
+/// `None` for uncovered nodes); the paper's setup covers all nodes, but the
+/// algorithms never require it.
+///
+/// [`community_of`]: CommunitySet::community_of
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommunitySet {
+    communities: Vec<Community>,
+    /// `node_to_community[v] == u32::MAX` when `v` is uncovered.
+    node_to_community: Vec<u32>,
+    total_benefit: f64,
+    max_threshold: u32,
+    min_benefit: f64,
+}
+
+impl CommunitySet {
+    /// Starts a [`CommunitySetBuilder`] for the given graph.
+    pub fn builder(graph: &Graph) -> CommunitySetBuilder<'_> {
+        CommunitySetBuilder::new(graph)
+    }
+
+    /// Builds a `CommunitySet` from explicit `(members, threshold, benefit)`
+    /// triples, validating all invariants.
+    ///
+    /// # Errors
+    ///
+    /// * [`CommunityError::EmptyCommunity`] for an empty member list.
+    /// * [`CommunityError::NodeOutOfRange`] when a member id `≥ node_count`.
+    /// * [`CommunityError::OverlappingNode`] when communities intersect.
+    /// * [`CommunityError::ZeroThreshold`] for `threshold == 0`.
+    /// * [`CommunityError::InvalidBenefit`] for non-positive/non-finite
+    ///   benefits.
+    pub fn from_parts(
+        node_count: u32,
+        parts: Vec<(Vec<NodeId>, u32, f64)>,
+    ) -> Result<Self> {
+        let mut node_to_community = vec![u32::MAX; node_count as usize];
+        let mut communities = Vec::with_capacity(parts.len());
+        for (index, (mut members, threshold, benefit)) in parts.into_iter().enumerate() {
+            if members.is_empty() {
+                return Err(CommunityError::EmptyCommunity { index });
+            }
+            if threshold == 0 {
+                return Err(CommunityError::ZeroThreshold { index });
+            }
+            if !(benefit > 0.0 && benefit.is_finite()) {
+                return Err(CommunityError::InvalidBenefit { index, benefit });
+            }
+            members.sort();
+            members.dedup();
+            for &v in &members {
+                if v.raw() >= node_count {
+                    return Err(CommunityError::NodeOutOfRange { node: v.raw(), node_count });
+                }
+                if node_to_community[v.index()] != u32::MAX {
+                    return Err(CommunityError::OverlappingNode { node: v.raw() });
+                }
+                node_to_community[v.index()] = index as u32;
+            }
+            communities.push(Community {
+                id: CommunityId::new(index as u32),
+                members,
+                threshold,
+                benefit,
+            });
+        }
+        let total_benefit = communities.iter().map(|c| c.benefit).sum();
+        let max_threshold = communities.iter().map(|c| c.threshold).max().unwrap_or(0);
+        let min_benefit =
+            communities.iter().map(|c| c.benefit).fold(f64::INFINITY, f64::min);
+        Ok(CommunitySet {
+            communities,
+            node_to_community,
+            total_benefit,
+            max_threshold,
+            min_benefit,
+        })
+    }
+
+    /// Number of communities `r`.
+    pub fn len(&self) -> usize {
+        self.communities.len()
+    }
+
+    /// `true` when there are no communities.
+    pub fn is_empty(&self) -> bool {
+        self.communities.is_empty()
+    }
+
+    /// Iterator over the communities in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Community> {
+        self.communities.iter()
+    }
+
+    /// The community with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: CommunityId) -> &Community {
+        &self.communities[id.index()]
+    }
+
+    /// The community containing `v`, or `None` when `v` is uncovered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the graph the set was built for.
+    pub fn community_of(&self, v: NodeId) -> Option<CommunityId> {
+        let c = self.node_to_community[v.index()];
+        (c != u32::MAX).then(|| CommunityId::new(c))
+    }
+
+    /// Total benefit `b = Σ b_i`.
+    pub fn total_benefit(&self) -> f64 {
+        self.total_benefit
+    }
+
+    /// Largest activation threshold `h = max_i h_i`.
+    pub fn max_threshold(&self) -> u32 {
+        self.max_threshold
+    }
+
+    /// Smallest benefit `β = min_i b_i` (`∞` for an empty set).
+    pub fn min_benefit(&self) -> f64 {
+        self.min_benefit
+    }
+
+    /// Number of nodes covered by some community.
+    pub fn covered_nodes(&self) -> usize {
+        self.node_to_community.iter().filter(|&&c| c != u32::MAX).count()
+    }
+
+    /// Number of nodes of the underlying graph.
+    pub fn node_count(&self) -> usize {
+        self.node_to_community.len()
+    }
+
+    /// `true` when every threshold is at most `bound` (the premise of the
+    /// paper's BT / BT^(d) algorithms).
+    pub fn thresholds_bounded_by(&self, bound: u32) -> bool {
+        self.communities.iter().all(|c| c.threshold <= bound)
+    }
+
+    /// Sampling distribution ρ over communities: `ρ(C_i) = b_i / b`
+    /// (Section III of the paper). Returns the cumulative distribution for
+    /// O(log r) inverse-CDF sampling.
+    pub fn benefit_cdf(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        let mut cdf = Vec::with_capacity(self.communities.len());
+        for c in &self.communities {
+            acc += c.benefit / self.total_benefit;
+            cdf.push(acc);
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0; // guard against floating-point shortfall
+        }
+        cdf
+    }
+}
+
+impl<'a> IntoIterator for &'a CommunitySet {
+    type Item = &'a Community;
+    type IntoIter = std::slice::Iter<'a, Community>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().map(|&x| NodeId::new(x)).collect()
+    }
+
+    fn sample_set() -> CommunitySet {
+        CommunitySet::from_parts(
+            10,
+            vec![
+                (ids(&[0, 1, 2]), 2, 3.0),
+                (ids(&[3, 4]), 1, 2.0),
+                (ids(&[5, 6, 7, 8]), 3, 4.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let cs = sample_set();
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs.total_benefit(), 9.0);
+        assert_eq!(cs.max_threshold(), 3);
+        assert_eq!(cs.min_benefit(), 2.0);
+        assert_eq!(cs.covered_nodes(), 9);
+        assert_eq!(cs.node_count(), 10);
+    }
+
+    #[test]
+    fn membership_lookup() {
+        let cs = sample_set();
+        assert_eq!(cs.community_of(NodeId::new(4)), Some(CommunityId::new(1)));
+        assert_eq!(cs.community_of(NodeId::new(9)), None);
+        assert!(cs.get(CommunityId::new(0)).contains(NodeId::new(2)));
+        assert!(!cs.get(CommunityId::new(0)).contains(NodeId::new(3)));
+    }
+
+    #[test]
+    fn rejects_overlap() {
+        let err = CommunitySet::from_parts(
+            5,
+            vec![(ids(&[0, 1]), 1, 1.0), (ids(&[1, 2]), 1, 1.0)],
+        )
+        .unwrap_err();
+        assert_eq!(err, CommunityError::OverlappingNode { node: 1 });
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err =
+            CommunitySet::from_parts(3, vec![(ids(&[0, 5]), 1, 1.0)]).unwrap_err();
+        assert!(matches!(err, CommunityError::NodeOutOfRange { node: 5, .. }));
+    }
+
+    #[test]
+    fn rejects_empty_and_zero_threshold_and_bad_benefit() {
+        assert!(matches!(
+            CommunitySet::from_parts(3, vec![(vec![], 1, 1.0)]),
+            Err(CommunityError::EmptyCommunity { index: 0 })
+        ));
+        assert!(matches!(
+            CommunitySet::from_parts(3, vec![(ids(&[0]), 0, 1.0)]),
+            Err(CommunityError::ZeroThreshold { index: 0 })
+        ));
+        assert!(matches!(
+            CommunitySet::from_parts(3, vec![(ids(&[0]), 1, 0.0)]),
+            Err(CommunityError::InvalidBenefit { .. })
+        ));
+        assert!(matches!(
+            CommunitySet::from_parts(3, vec![(ids(&[0]), 1, f64::NAN)]),
+            Err(CommunityError::InvalidBenefit { .. })
+        ));
+    }
+
+    #[test]
+    fn members_are_sorted_and_deduped() {
+        let cs =
+            CommunitySet::from_parts(5, vec![(ids(&[3, 1, 3, 2]), 1, 1.0)]).unwrap();
+        assert_eq!(cs.get(CommunityId::new(0)).members, ids(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn satisfiability() {
+        let cs = CommunitySet::from_parts(5, vec![(ids(&[0, 1]), 3, 1.0)]).unwrap();
+        assert!(!cs.get(CommunityId::new(0)).is_satisfiable());
+        assert!(cs.thresholds_bounded_by(3));
+        assert!(!cs.thresholds_bounded_by(2));
+    }
+
+    #[test]
+    fn benefit_cdf_is_monotone_and_ends_at_one() {
+        let cs = sample_set();
+        let cdf = cs.benefit_cdf();
+        assert_eq!(cdf.len(), 3);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*cdf.last().unwrap(), 1.0);
+        assert!((cdf[0] - 3.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn into_iterator_works() {
+        let cs = sample_set();
+        let total: usize = (&cs).into_iter().map(|c| c.population()).sum();
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn empty_set_is_valid() {
+        let cs = CommunitySet::from_parts(4, vec![]).unwrap();
+        assert!(cs.is_empty());
+        assert_eq!(cs.total_benefit(), 0.0);
+        assert_eq!(cs.max_threshold(), 0);
+    }
+}

@@ -1,0 +1,91 @@
+use std::fmt;
+
+/// Errors from community construction and validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommunityError {
+    /// A node appears in two communities (communities must be disjoint).
+    OverlappingNode {
+        /// The raw node id found twice.
+        node: u32,
+    },
+    /// A community member is outside the graph's node range.
+    NodeOutOfRange {
+        /// The raw offending node id.
+        node: u32,
+        /// Graph node count.
+        node_count: u32,
+    },
+    /// A community with no members was supplied.
+    EmptyCommunity {
+        /// Index of the empty community in the input order.
+        index: usize,
+    },
+    /// A threshold of zero (a community trivially influenced by any seed
+    /// set, including the empty one) was produced or supplied.
+    ZeroThreshold {
+        /// Index of the offending community.
+        index: usize,
+    },
+    /// A non-positive or non-finite benefit was produced or supplied.
+    InvalidBenefit {
+        /// Index of the offending community.
+        index: usize,
+        /// The offending benefit.
+        benefit: f64,
+    },
+    /// A fractional threshold policy outside `(0, 1]`.
+    InvalidFraction {
+        /// The offending fraction.
+        fraction: f64,
+    },
+    /// The builder was asked to build without any partition source.
+    NoPartitionSource,
+}
+
+impl fmt::Display for CommunityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommunityError::OverlappingNode { node } => {
+                write!(f, "node {node} belongs to more than one community")
+            }
+            CommunityError::NodeOutOfRange { node, node_count } => {
+                write!(f, "community member {node} out of range for graph with {node_count} nodes")
+            }
+            CommunityError::EmptyCommunity { index } => {
+                write!(f, "community #{index} has no members")
+            }
+            CommunityError::ZeroThreshold { index } => {
+                write!(f, "community #{index} has a zero activation threshold")
+            }
+            CommunityError::InvalidBenefit { index, benefit } => {
+                write!(f, "community #{index} has invalid benefit {benefit}")
+            }
+            CommunityError::InvalidFraction { fraction } => {
+                write!(f, "threshold fraction {fraction} must be in (0, 1]")
+            }
+            CommunityError::NoPartitionSource => {
+                write!(f, "no partition source configured on the builder")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommunityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        assert!(CommunityError::OverlappingNode { node: 3 }.to_string().contains('3'));
+        assert!(CommunityError::EmptyCommunity { index: 2 }.to_string().contains('2'));
+        assert!(CommunityError::InvalidFraction { fraction: 1.5 }.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CommunityError>();
+    }
+}

@@ -1,0 +1,148 @@
+//! Asynchronous label propagation (Raghavan, Albert, Kumara 2007).
+//!
+//! A fast, parameter-free alternative to Louvain: every node repeatedly
+//! adopts the label carried by the (weighted) majority of its neighbors,
+//! in a seeded random order, until labels stabilize. Near-linear per
+//! sweep; typically converges in a handful of sweeps. Quality is below
+//! Louvain's but it is an order of magnitude faster on large graphs — a
+//! useful trade-off for the harness's biggest analogs.
+
+use imc_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Runs label propagation on the symmetrized weighted graph; returns
+/// communities as sorted member lists, ordered by smallest member.
+/// `max_sweeps` bounds the sweep count (propagation can oscillate on
+/// bipartite-ish structures; 20 is far beyond typical convergence).
+pub fn label_propagation(graph: &Graph, seed: u64, max_sweeps: usize) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Symmetrized adjacency.
+    let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    for e in graph.edges() {
+        adj[e.source.index()].push((e.target.raw(), e.weight));
+        adj[e.target.index()].push((e.source.raw(), e.weight));
+    }
+
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut weight_of: std::collections::HashMap<u32, f64> =
+        std::collections::HashMap::new();
+
+    for _ in 0..max_sweeps {
+        order.shuffle(&mut rng);
+        let mut changed = false;
+        for &u in &order {
+            if adj[u].is_empty() {
+                continue;
+            }
+            weight_of.clear();
+            for &(v, w) in &adj[u] {
+                *weight_of.entry(label[v as usize]).or_insert(0.0) += w;
+            }
+            // Majority label; ties broken by smaller label id for
+            // determinism (the original algorithm breaks ties randomly).
+            let current = label[u];
+            let (&best, &best_w) = weight_of
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(a.0)))
+                .expect("non-empty adjacency");
+            let current_w = weight_of.get(&current).copied().unwrap_or(0.0);
+            if best != current && best_w > current_w {
+                label[u] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Gather label classes.
+    let mut map: std::collections::HashMap<u32, Vec<NodeId>> =
+        std::collections::HashMap::new();
+    for (v, &l) in label.iter().enumerate() {
+        map.entry(l).or_default().push(NodeId::new(v as u32));
+    }
+    let mut out: Vec<Vec<NodeId>> = map.into_values().collect();
+    for c in &mut out {
+        c.sort();
+    }
+    out.sort_by_key(|c| c[0]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_graph::generators::planted_partition;
+    use imc_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_cliques_found() {
+        let mut b = GraphBuilder::new(6);
+        for &(u, v) in &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)] {
+            b.add_undirected(u, v, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let comms = label_propagation(&g, 3, 20);
+        assert_eq!(comms.len(), 2);
+        assert_eq!(comms[0], vec![0.into(), 1.into(), 2.into()]);
+    }
+
+    #[test]
+    fn partitions_all_nodes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pp = planted_partition(150, 5, 0.4, 0.01, &mut rng);
+        let comms = label_propagation(&pp.graph, 1, 20);
+        let total: usize = comms.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 150);
+        let mut seen = std::collections::HashSet::new();
+        for c in &comms {
+            for v in c {
+                assert!(seen.insert(*v));
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_strong_planted_structure() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pp = planted_partition(120, 4, 0.6, 0.002, &mut rng);
+        let comms = label_propagation(&pp.graph, 2, 30);
+        // With this separation LP finds close to the planted count.
+        assert!((2..=8).contains(&comms.len()), "found {}", comms.len());
+        let q = crate::modularity::modularity(&pp.graph, &comms);
+        assert!(q > 0.4, "modularity {q}");
+    }
+
+    #[test]
+    fn isolated_nodes_keep_own_label() {
+        let g = GraphBuilder::new(3).build().unwrap();
+        let comms = label_propagation(&g, 0, 10);
+        assert_eq!(comms.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let pp = planted_partition(80, 4, 0.4, 0.01, &mut rng);
+        assert_eq!(
+            label_propagation(&pp.graph, 11, 20),
+            label_propagation(&pp.graph, 11, 20)
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert!(label_propagation(&g, 0, 5).is_empty());
+    }
+}

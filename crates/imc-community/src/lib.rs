@@ -1,0 +1,61 @@
+//! Community model and detection for the `imc` workspace.
+//!
+//! The IMC problem takes a collection of **disjoint communities**, each with
+//! an activation threshold `h_i` and a benefit `b_i`. This crate provides:
+//!
+//! * [`CommunitySet`] — the validated collection (disjointness, in-range
+//!   membership, positive thresholds) plus the derived quantities the IMC
+//!   algorithms need (`b = Σ b_i`, `h = max h_i`, `β = min b_i`).
+//! * [`CommunitySetBuilder`] — fluent construction: detect with
+//!   [`louvain`](louvain::louvain), assign randomly
+//!   ([`random_partition`](random_partition::random_partition)), or supply
+//!   explicit groups; then split oversized communities (the paper's `s`
+//!   cap), and apply [`ThresholdPolicy`] / [`BenefitPolicy`].
+//! * [`louvain`] — a full multi-level Louvain modularity optimizer.
+//! * [`modularity`] — partition quality measure.
+//!
+//! ```
+//! use imc_community::{BenefitPolicy, CommunitySet, ThresholdPolicy};
+//! use imc_graph::{generators::planted_partition, WeightModel};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = StdRng::seed_from_u64(3);
+//! let pp = planted_partition(60, 4, 0.4, 0.01, &mut rng);
+//! let g = pp.graph.reweighted(WeightModel::WeightedCascade);
+//! let cs = CommunitySet::builder(&g)
+//!     .louvain(42)
+//!     .split_larger_than(8)
+//!     .threshold(ThresholdPolicy::Fraction(0.5))
+//!     .benefit(BenefitPolicy::Population)
+//!     .build()?;
+//! assert!(cs.len() >= 4);
+//! assert!(cs.max_threshold() >= 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benefit;
+mod builder;
+mod community;
+mod error;
+mod threshold;
+
+pub mod label_propagation;
+pub mod louvain;
+pub mod metrics;
+pub mod modularity;
+pub mod random_partition;
+pub mod split;
+
+pub use benefit::BenefitPolicy;
+pub use builder::CommunitySetBuilder;
+pub use community::{Community, CommunityId, CommunitySet};
+pub use error::CommunityError;
+pub use threshold::ThresholdPolicy;
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, CommunityError>;

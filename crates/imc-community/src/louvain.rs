@@ -1,0 +1,382 @@
+//! Multi-level Louvain modularity optimization.
+//!
+//! The IMC paper extracts communities with the Louvain method (Blondel et
+//! al. 2008). This is a full implementation: repeated local-moving passes
+//! followed by graph aggregation until modularity stops improving. Directed
+//! input is symmetrized (`w_uv + w_vu`), the standard reduction also used by
+//! reference implementations; the directed variant the paper cites (reference \[22\])
+//! differs only in the null-model term and produces equivalent partitions
+//! for the purpose of the IMC experiments (see DESIGN.md substitutions).
+//!
+//! Determinism: the node visiting order of each local-moving sweep is a
+//! seeded shuffle, so a fixed `seed` always yields the same partition.
+
+use imc_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A weighted undirected multigraph level in the Louvain hierarchy.
+#[derive(Debug, Clone)]
+struct Level {
+    /// adj[u] = (neighbor, weight); symmetric, no self entries.
+    adj: Vec<Vec<(u32, f64)>>,
+    /// Self-loop weight per node (appears once; contributes twice to degree).
+    self_loop: Vec<f64>,
+    /// Total weight `2m` = Σ_i k_i.
+    two_m: f64,
+}
+
+impl Level {
+    fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Weighted degree `k_i` including the self-loop (counted twice).
+    fn degree(&self, u: usize) -> f64 {
+        self.adj[u].iter().map(|&(_, w)| w).sum::<f64>() + 2.0 * self.self_loop[u]
+    }
+
+    fn from_graph(graph: &Graph) -> Level {
+        let n = graph.node_count();
+        let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        // Symmetrize: undirected weight = w(u,v) + w(v,u).
+        for e in graph.edges() {
+            let (u, v) = (e.source.index(), e.target.index());
+            adj[u].push((v as u32, e.weight));
+            adj[v].push((u as u32, e.weight));
+        }
+        // Merge parallel entries.
+        for row in &mut adj {
+            row.sort_by_key(|&(v, _)| v);
+            let mut merged: Vec<(u32, f64)> = Vec::with_capacity(row.len());
+            for &(v, w) in row.iter() {
+                match merged.last_mut() {
+                    Some(last) if last.0 == v => last.1 += w,
+                    _ => merged.push((v, w)),
+                }
+            }
+            *row = merged;
+        }
+        let self_loop = vec![0.0; n];
+        let two_m: f64 =
+            adj.iter().flat_map(|r| r.iter().map(|&(_, w)| w)).sum::<f64>();
+        Level { adj, self_loop, two_m }
+    }
+}
+
+/// One local-moving phase. Returns the community assignment and whether any
+/// node moved.
+fn local_moving(level: &Level, rng: &mut StdRng) -> (Vec<u32>, bool) {
+    let n = level.node_count();
+    let mut community: Vec<u32> = (0..n as u32).collect();
+    let mut sigma_tot: Vec<f64> = (0..n).map(|u| level.degree(u)).collect();
+    let degrees: Vec<f64> = sigma_tot.clone();
+    let two_m = level.two_m.max(f64::MIN_POSITIVE);
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut moved_any = false;
+    // neighbor-community weight scratch (sparse clearing).
+    let mut weight_to: Vec<f64> = vec![0.0; n];
+    let mut touched: Vec<u32> = Vec::new();
+
+    loop {
+        let mut moved_this_pass = false;
+        order.shuffle(rng);
+        for &u in &order {
+            let cu = community[u];
+            // Sum link weights from u to each neighbor community.
+            touched.clear();
+            for &(v, w) in &level.adj[u] {
+                let cv = community[v as usize];
+                if weight_to[cv as usize] == 0.0 {
+                    touched.push(cv);
+                }
+                weight_to[cv as usize] += w;
+            }
+            // Remove u from its community.
+            sigma_tot[cu as usize] -= degrees[u];
+            let base = weight_to[cu as usize];
+            // Best target: maximize k_i_in(c) − Σ_tot(c)·k_i / 2m.
+            let mut best_c = cu;
+            let mut best_gain = base - sigma_tot[cu as usize] * degrees[u] / two_m;
+            for &c in &touched {
+                if c == cu {
+                    continue;
+                }
+                let gain =
+                    weight_to[c as usize] - sigma_tot[c as usize] * degrees[u] / two_m;
+                if gain > best_gain + 1e-12 {
+                    best_gain = gain;
+                    best_c = c;
+                }
+            }
+            sigma_tot[best_c as usize] += degrees[u];
+            if best_c != cu {
+                community[u] = best_c;
+                moved_this_pass = true;
+                moved_any = true;
+            }
+            for &c in &touched {
+                weight_to[c as usize] = 0.0;
+            }
+        }
+        if !moved_this_pass {
+            break;
+        }
+    }
+    (community, moved_any)
+}
+
+/// Renumber an assignment to dense ids `0..k`; returns (dense, k).
+fn renumber(assignment: &[u32]) -> (Vec<u32>, usize) {
+    let mut map = vec![u32::MAX; assignment.len()];
+    let mut next = 0u32;
+    let mut dense = Vec::with_capacity(assignment.len());
+    for &c in assignment {
+        if map[c as usize] == u32::MAX {
+            map[c as usize] = next;
+            next += 1;
+        }
+        dense.push(map[c as usize]);
+    }
+    (dense, next as usize)
+}
+
+/// Collapse communities into super-nodes.
+fn aggregate(level: &Level, dense: &[u32], k: usize) -> Level {
+    let mut self_loop = vec![0.0; k];
+    let mut pair_weights: std::collections::HashMap<(u32, u32), f64> =
+        std::collections::HashMap::new();
+    for u in 0..level.node_count() {
+        let cu = dense[u];
+        self_loop[cu as usize] += level.self_loop[u];
+        for &(v, w) in &level.adj[u] {
+            let cv = dense[v as usize];
+            if cu == cv {
+                // Each undirected edge appears twice in adj; halve.
+                self_loop[cu as usize] += w / 2.0;
+            } else {
+                *pair_weights.entry((cu, cv)).or_insert(0.0) += w;
+            }
+        }
+    }
+    let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); k];
+    for (&(cu, cv), &w) in &pair_weights {
+        adj[cu as usize].push((cv, w));
+    }
+    for row in &mut adj {
+        row.sort_by_key(|&(v, _)| v);
+    }
+    Level { adj, self_loop, two_m: level.two_m }
+}
+
+/// Runs multi-level Louvain and returns the detected communities, each a
+/// sorted list of original node ids. Isolated nodes come back as singleton
+/// communities. Communities are ordered by their smallest member.
+///
+/// ```
+/// use imc_community::louvain::louvain;
+/// use imc_graph::generators::planted_partition;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let pp = planted_partition(90, 3, 0.5, 0.005, &mut rng);
+/// let comms = louvain(&pp.graph, 42);
+/// assert!(comms.len() >= 3); // recovers (at least) the planted blocks
+/// ```
+pub fn louvain(graph: &Graph, seed: u64) -> Vec<Vec<NodeId>> {
+    louvain_levels(graph, seed)
+        .into_iter()
+        .last()
+        .unwrap_or_default()
+}
+
+/// Runs multi-level Louvain and returns the **whole hierarchy**: one
+/// partition of the original nodes per aggregation level, coarsening from
+/// the first local-moving pass to the final communities (`last()` equals
+/// [`louvain`]'s output). Useful when a size-constrained level is wanted
+/// instead of the modularity optimum — e.g. picking the finest level whose
+/// communities fit the paper's `s` cap.
+///
+/// ```
+/// use imc_community::louvain::louvain_levels;
+/// use imc_graph::generators::planted_partition;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let pp = planted_partition(90, 3, 0.5, 0.005, &mut rng);
+/// let levels = louvain_levels(&pp.graph, 42);
+/// assert!(!levels.is_empty());
+/// // Levels only coarsen: community counts are non-increasing.
+/// for w in levels.windows(2) {
+///     assert!(w[1].len() <= w[0].len());
+/// }
+/// ```
+pub fn louvain_levels(graph: &Graph, seed: u64) -> Vec<Vec<Vec<NodeId>>> {
+    let n = graph.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut level = Level::from_graph(graph);
+    // membership[v] = current community of original node v.
+    let mut membership: Vec<u32> = (0..n as u32).collect();
+    let mut levels: Vec<Vec<Vec<NodeId>>> = Vec::new();
+
+    loop {
+        let (assignment, moved) = local_moving(&level, &mut rng);
+        let (dense, k) = renumber(&assignment);
+        // Project onto original nodes.
+        for m in membership.iter_mut() {
+            *m = dense[*m as usize];
+        }
+        levels.push(snapshot(&membership));
+        if !moved || k == level.node_count() {
+            break;
+        }
+        level = aggregate(&level, &dense, k);
+    }
+    levels
+}
+
+/// Materializes the current membership as sorted community lists.
+fn snapshot(membership: &[u32]) -> Vec<Vec<NodeId>> {
+    let (dense, k) = renumber(membership);
+    let mut communities: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+    for (v, &c) in dense.iter().enumerate() {
+        communities[c as usize].push(NodeId::new(v as u32));
+    }
+    for c in &mut communities {
+        c.sort();
+    }
+    communities.sort_by_key(|c| c[0]);
+    communities
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_graph::generators::planted_partition;
+    use imc_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_cliques_with_a_bridge() {
+        // Clique {0,1,2}, clique {3,4,5}, weak bridge 2-3.
+        let mut b = GraphBuilder::new(6);
+        for &(u, v) in &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)] {
+            b.add_undirected(u, v, 1.0).unwrap();
+        }
+        b.add_undirected(2, 3, 0.1).unwrap();
+        let g = b.build().unwrap();
+        let comms = louvain(&g, 7);
+        assert_eq!(comms.len(), 2);
+        assert_eq!(comms[0], vec![0.into(), 1.into(), 2.into()]);
+        assert_eq!(comms[1], vec![3.into(), 4.into(), 5.into()]);
+    }
+
+    #[test]
+    fn output_partitions_all_nodes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pp = planted_partition(120, 4, 0.3, 0.02, &mut rng);
+        let comms = louvain(&pp.graph, 3);
+        let total: usize = comms.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 120);
+        let mut seen = std::collections::HashSet::new();
+        for c in &comms {
+            for v in c {
+                assert!(seen.insert(*v), "node {v} in two communities");
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_planted_blocks() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pp = planted_partition(150, 5, 0.5, 0.002, &mut rng);
+        let comms = louvain(&pp.graph, 11);
+        // With this separation Louvain should find close to 5 communities.
+        assert!(comms.len() >= 4 && comms.len() <= 8, "found {}", comms.len());
+        // Modularity should be clearly positive.
+        let q = crate::modularity::modularity(&pp.graph, &comms);
+        assert!(q > 0.5, "modularity {q} too low");
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let g = GraphBuilder::new(3).build().unwrap();
+        let comms = louvain(&g, 1);
+        assert_eq!(comms.len(), 3);
+        for c in comms {
+            assert_eq!(c.len(), 1);
+        }
+    }
+
+    #[test]
+    fn empty_graph_gives_no_communities() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert!(louvain(&g, 0).is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let pp = planted_partition(80, 4, 0.4, 0.01, &mut rng);
+        assert_eq!(louvain(&pp.graph, 99), louvain(&pp.graph, 99));
+    }
+
+    #[test]
+    fn levels_coarsen_and_each_is_a_partition() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let pp = planted_partition(100, 5, 0.4, 0.02, &mut rng);
+        let levels = louvain_levels(&pp.graph, 3);
+        assert!(!levels.is_empty());
+        for (i, level) in levels.iter().enumerate() {
+            let total: usize = level.iter().map(|c| c.len()).sum();
+            assert_eq!(total, 100, "level {i} is not a partition");
+        }
+        for w in levels.windows(2) {
+            assert!(w[1].len() <= w[0].len(), "levels must coarsen");
+        }
+        // Final level equals louvain().
+        assert_eq!(levels.last().unwrap(), &louvain(&pp.graph, 3));
+    }
+
+    #[test]
+    fn levels_refine_consistently() {
+        // Every community at level i+1 is a union of level-i communities.
+        let mut rng = StdRng::seed_from_u64(17);
+        let pp = planted_partition(80, 4, 0.4, 0.02, &mut rng);
+        let levels = louvain_levels(&pp.graph, 5);
+        for w in levels.windows(2) {
+            let mut fine_of = vec![usize::MAX; 80];
+            for (ci, c) in w[0].iter().enumerate() {
+                for v in c {
+                    fine_of[v.index()] = ci;
+                }
+            }
+            for coarse in &w[1] {
+                // Collect the fine communities intersecting this coarse one.
+                let fines: std::collections::HashSet<usize> =
+                    coarse.iter().map(|v| fine_of[v.index()]).collect();
+                let union_size: usize =
+                    fines.iter().map(|&fi| w[0][fi].len()).sum();
+                assert_eq!(union_size, coarse.len(), "coarse splits a fine community");
+            }
+        }
+    }
+
+    #[test]
+    fn louvain_beats_random_partition_modularity() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let pp = planted_partition(100, 4, 0.4, 0.02, &mut rng);
+        let louvain_comms = louvain(&pp.graph, 4);
+        let random_comms =
+            crate::random_partition::random_partition(pp.graph.node_count() as u32, 4, 33);
+        let ql = crate::modularity::modularity(&pp.graph, &louvain_comms);
+        let qr = crate::modularity::modularity(&pp.graph, &random_comms);
+        assert!(ql > qr, "louvain q={ql} should beat random q={qr}");
+    }
+}

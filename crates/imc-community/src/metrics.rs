@@ -1,0 +1,178 @@
+//! Partition-comparison metrics: Normalized Mutual Information and purity.
+//!
+//! Used by the test suite (does Louvain recover planted blocks?) and by
+//! downstream analyses comparing detectors.
+
+use imc_graph::NodeId;
+
+/// Assigns each of `n` nodes its community index under `partition`
+/// (`usize::MAX` for uncovered nodes).
+fn labels(n: usize, partition: &[Vec<NodeId>]) -> Vec<usize> {
+    let mut label = vec![usize::MAX; n];
+    for (c, members) in partition.iter().enumerate() {
+        for &v in members {
+            label[v.index()] = c;
+        }
+    }
+    label
+}
+
+/// Normalized Mutual Information between two partitions of the same `n`
+/// nodes, `NMI = 2·I(X;Y) / (H(X) + H(Y))`, in `[0, 1]`; 1 iff the
+/// partitions are identical up to relabeling. Uncovered nodes are treated
+/// as singleton classes. Returns 1.0 when both partitions carry no
+/// information (both single-class).
+///
+/// # Panics
+///
+/// Panics if a member id is `≥ n`.
+pub fn nmi(n: usize, a: &[Vec<NodeId>], b: &[Vec<NodeId>]) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let mut la = labels(n, a);
+    let mut lb = labels(n, b);
+    // Turn uncovered into fresh singleton classes.
+    let mut next_a = a.len();
+    for l in la.iter_mut() {
+        if *l == usize::MAX {
+            *l = next_a;
+            next_a += 1;
+        }
+    }
+    let mut next_b = b.len();
+    for l in lb.iter_mut() {
+        if *l == usize::MAX {
+            *l = next_b;
+            next_b += 1;
+        }
+    }
+
+    // Joint counts.
+    let mut joint: std::collections::HashMap<(usize, usize), f64> =
+        std::collections::HashMap::new();
+    let mut ca = vec![0.0f64; next_a];
+    let mut cb = vec![0.0f64; next_b];
+    for v in 0..n {
+        *joint.entry((la[v], lb[v])).or_insert(0.0) += 1.0;
+        ca[la[v]] += 1.0;
+        cb[lb[v]] += 1.0;
+    }
+    let nf = n as f64;
+    let h = |counts: &[f64]| -> f64 {
+        counts
+            .iter()
+            .filter(|&&c| c > 0.0)
+            .map(|&c| {
+                let p = c / nf;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ha = h(&ca);
+    let hb = h(&cb);
+    let mut mi = 0.0f64;
+    for (&(x, y), &c) in &joint {
+        let pxy = c / nf;
+        let px = ca[x] / nf;
+        let py = cb[y] / nf;
+        mi += pxy * (pxy / (px * py)).ln();
+    }
+    if ha + hb == 0.0 {
+        1.0 // both partitions are a single class: identical, trivially
+    } else {
+        (2.0 * mi / (ha + hb)).clamp(0.0, 1.0)
+    }
+}
+
+/// Purity of partition `a` against ground truth `b`: the fraction of nodes
+/// whose `a`-community's majority ground-truth class matches their own.
+///
+/// # Panics
+///
+/// Panics if a member id is `≥ n`.
+pub fn purity(n: usize, a: &[Vec<NodeId>], truth: &[Vec<NodeId>]) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let lt = labels(n, truth);
+    let mut correct = 0usize;
+    for members in a {
+        let mut counts: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for &v in members {
+            *counts.entry(lt[v.index()]).or_insert(0) += 1;
+        }
+        correct += counts.values().copied().max().unwrap_or(0);
+    }
+    correct as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(r: std::ops::Range<u32>) -> Vec<NodeId> {
+        r.map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn identical_partitions_have_nmi_one() {
+        let p = vec![ids(0..3), ids(3..6)];
+        assert!((nmi(6, &p, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabeled_partitions_have_nmi_one() {
+        let a = vec![ids(0..3), ids(3..6)];
+        let b = vec![ids(3..6), ids(0..3)];
+        assert!((nmi(6, &a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_have_low_nmi() {
+        // a splits {0..4}/{4..8}; b interleaves evens/odds: zero MI.
+        let a = vec![ids(0..4), ids(4..8)];
+        let b = vec![
+            vec![0, 2, 4, 6].into_iter().map(NodeId::new).collect(),
+            vec![1, 3, 5, 7].into_iter().map(NodeId::new).collect(),
+        ];
+        assert!(nmi(8, &a, &b) < 1e-9);
+    }
+
+    #[test]
+    fn refinement_has_intermediate_nmi() {
+        let coarse = vec![ids(0..4)];
+        let fine = vec![ids(0..2), ids(2..4)];
+        let v = nmi(4, &coarse, &fine);
+        // Single-class coarse has zero entropy → NMI formula gives 0 here.
+        assert!(v < 1.0);
+    }
+
+    #[test]
+    fn trivial_partitions() {
+        let single = vec![ids(0..4)];
+        assert!((nmi(4, &single, &single) - 1.0).abs() < 1e-12);
+        assert_eq!(nmi(0, &[], &[]), 1.0);
+    }
+
+    #[test]
+    fn purity_of_exact_match_is_one() {
+        let p = vec![ids(0..3), ids(3..6)];
+        assert_eq!(purity(6, &p, &p), 1.0);
+    }
+
+    #[test]
+    fn purity_of_merged_partition() {
+        let truth = vec![ids(0..3), ids(3..6)];
+        let merged = vec![ids(0..6)];
+        assert!((purity(6, &merged, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncovered_nodes_are_singletons_for_nmi() {
+        let a = vec![ids(0..2)]; // node 2 uncovered
+        let b = vec![ids(0..2), ids(2..3)];
+        assert!((nmi(3, &a, &b) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Newman modularity of a partition, on the symmetrized weighted graph.
+
+use imc_graph::{Graph, NodeId};
+
+/// Computes the modularity `Q` of `partition` over `graph`.
+///
+/// The directed graph is symmetrized (`w_uv + w_vu`), matching the
+/// [`louvain`](crate::louvain::louvain) optimizer:
+///
+/// `Q = Σ_c [ Σ_in(c) / 2m − (Σ_tot(c) / 2m)² ]`
+///
+/// Nodes missing from the partition are treated as singleton communities
+/// (they only contribute through the degree term). Returns 0 for an
+/// edgeless graph.
+///
+/// ```
+/// use imc_community::modularity::modularity;
+/// use imc_graph::GraphBuilder;
+/// # fn main() -> Result<(), imc_graph::GraphError> {
+/// let mut b = GraphBuilder::new(4);
+/// b.add_undirected(0, 1, 1.0)?;
+/// b.add_undirected(2, 3, 1.0)?;
+/// let g = b.build()?;
+/// let good = modularity(&g, &[vec![0.into(), 1.into()], vec![2.into(), 3.into()]]);
+/// let bad = modularity(&g, &[vec![0.into(), 2.into()], vec![1.into(), 3.into()]]);
+/// assert!(good > bad);
+/// # Ok(())
+/// # }
+/// ```
+pub fn modularity(graph: &Graph, partition: &[Vec<NodeId>]) -> f64 {
+    let n = graph.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    // community_of[v]: assigned community or a fresh singleton id.
+    let mut community_of = vec![u32::MAX; n];
+    for (c, members) in partition.iter().enumerate() {
+        for &v in members {
+            community_of[v.index()] = c as u32;
+        }
+    }
+    let mut next = partition.len() as u32;
+    for slot in community_of.iter_mut() {
+        if *slot == u32::MAX {
+            *slot = next;
+            next += 1;
+        }
+    }
+    let k = next as usize;
+
+    // Symmetrized degrees and intra-community weights.
+    let mut sigma_tot = vec![0.0f64; k];
+    let mut sigma_in = vec![0.0f64; k];
+    let mut two_m = 0.0f64;
+    for e in graph.edges() {
+        let (u, v) = (e.source.index(), e.target.index());
+        let (cu, cv) = (community_of[u], community_of[v]);
+        // Each directed edge contributes w to both endpoints' symmetrized
+        // degree and 2w to 2m.
+        sigma_tot[cu as usize] += e.weight;
+        sigma_tot[cv as usize] += e.weight;
+        two_m += 2.0 * e.weight;
+        if cu == cv {
+            sigma_in[cu as usize] += 2.0 * e.weight;
+        }
+    }
+    if two_m == 0.0 {
+        return 0.0;
+    }
+    (0..k)
+        .map(|c| sigma_in[c] / two_m - (sigma_tot[c] / two_m).powi(2))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_graph::GraphBuilder;
+
+    fn two_cliques() -> Graph {
+        let mut b = GraphBuilder::new(6);
+        for &(u, v) in &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)] {
+            b.add_undirected(u, v, 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn perfect_split_has_high_modularity() {
+        let g = two_cliques();
+        let q = modularity(
+            &g,
+            &[vec![0.into(), 1.into(), 2.into()], vec![3.into(), 4.into(), 5.into()]],
+        );
+        assert!((q - 0.5).abs() < 1e-12, "q={q}");
+    }
+
+    #[test]
+    fn single_community_has_zero_modularity() {
+        let g = two_cliques();
+        let all: Vec<NodeId> = g.nodes().collect();
+        let q = modularity(&g, &[all]);
+        assert!(q.abs() < 1e-12);
+    }
+
+    #[test]
+    fn singletons_have_negative_modularity() {
+        let g = two_cliques();
+        let singles: Vec<Vec<NodeId>> = g.nodes().map(|v| vec![v]).collect();
+        assert!(modularity(&g, &singles) < 0.0);
+    }
+
+    #[test]
+    fn missing_nodes_treated_as_singletons() {
+        let g = two_cliques();
+        let partial = vec![vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]];
+        let explicit = vec![
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+            vec![NodeId::new(3)],
+            vec![NodeId::new(4)],
+            vec![NodeId::new(5)],
+        ];
+        assert!((modularity(&g, &partial) - modularity(&g, &explicit)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edgeless_graph_is_zero() {
+        let g = GraphBuilder::new(5).build().unwrap();
+        assert_eq!(modularity(&g, &[]), 0.0);
+    }
+
+    #[test]
+    fn modularity_bounded_above_by_one() {
+        let g = two_cliques();
+        let q = modularity(
+            &g,
+            &[vec![0.into(), 1.into(), 2.into()], vec![3.into(), 4.into(), 5.into()]],
+        );
+        assert!(q <= 1.0);
+    }
+}

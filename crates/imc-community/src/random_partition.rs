@@ -1,0 +1,110 @@
+//! Random community assignment — the paper's baseline community formation.
+//!
+//! "In the Random algorithm, we fix the number of communities and randomly
+//! put nodes into communities" (§VI.A). Implemented as a seeded shuffle
+//! followed by near-equal slicing, so every community is non-empty whenever
+//! `n ≥ r`.
+
+use imc_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Randomly partitions nodes `0..n` into `r` communities of near-equal
+/// size. Each community is sorted; communities are ordered by smallest
+/// member. When `n < r` only `n` singleton communities are returned.
+///
+/// # Panics
+///
+/// Panics if `r == 0` while `n > 0`.
+///
+/// ```
+/// use imc_community::random_partition::random_partition;
+/// let parts = random_partition(10, 3, 42);
+/// assert_eq!(parts.len(), 3);
+/// let total: usize = parts.iter().map(|p| p.len()).sum();
+/// assert_eq!(total, 10);
+/// ```
+pub fn random_partition(n: u32, r: u32, seed: u64) -> Vec<Vec<NodeId>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(r > 0, "need at least one community");
+    let r = r.min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes: Vec<u32> = (0..n).collect();
+    nodes.shuffle(&mut rng);
+    // Distribute sizes as evenly as possible: first (n % r) parts get one
+    // extra member.
+    let base = (n / r) as usize;
+    let extra = (n % r) as usize;
+    let mut parts: Vec<Vec<NodeId>> = Vec::with_capacity(r as usize);
+    let mut pos = 0usize;
+    for i in 0..r as usize {
+        let size = base + usize::from(i < extra);
+        let mut members: Vec<NodeId> =
+            nodes[pos..pos + size].iter().map(|&v| NodeId::new(v)).collect();
+        members.sort();
+        parts.push(members);
+        pos += size;
+    }
+    parts.sort_by_key(|p| p[0]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_all_nodes_disjointly() {
+        let parts = random_partition(100, 7, 1);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 100);
+        let mut seen = std::collections::HashSet::new();
+        for p in &parts {
+            for v in p {
+                assert!(seen.insert(*v));
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_are_balanced() {
+        let parts = random_partition(10, 3, 5);
+        let mut sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        sizes.sort();
+        assert_eq!(sizes, vec![3, 3, 4]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(random_partition(50, 5, 9), random_partition(50, 5, 9));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        // Overwhelmingly likely for n=50.
+        assert_ne!(random_partition(50, 5, 1), random_partition(50, 5, 2));
+    }
+
+    #[test]
+    fn more_communities_than_nodes_clamps() {
+        let parts = random_partition(3, 10, 0);
+        assert_eq!(parts.len(), 3);
+        for p in parts {
+            assert_eq!(p.len(), 1);
+        }
+    }
+
+    #[test]
+    fn zero_nodes_empty() {
+        assert!(random_partition(0, 5, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one community")]
+    fn zero_communities_panics() {
+        let _ = random_partition(5, 0, 0);
+    }
+}

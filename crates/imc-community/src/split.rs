@@ -1,0 +1,110 @@
+//! Community size capping, the paper's `s` parameter.
+//!
+//! "To prevent cases in which some communities are significantly larger
+//! than the others, we limited the community size by a certain value `s`.
+//! If a community `C` was larger than `s`, we split it into `⌈|C|/s⌉`
+//! communities" (§VI.A). Splitting is deterministic: members are taken in
+//! sorted order and cut into near-equal chunks, so the resulting sizes are
+//! as balanced as possible while every chunk stays `≤ s`.
+
+use imc_graph::NodeId;
+
+/// Splits any community larger than `cap` into `⌈|C|/cap⌉` near-equal
+/// chunks. Order of the output follows the input, with chunks of a split
+/// community adjacent.
+///
+/// # Panics
+///
+/// Panics if `cap == 0`.
+///
+/// ```
+/// use imc_community::split::split_larger_than;
+/// use imc_graph::NodeId;
+/// let big: Vec<NodeId> = (0..10u32).map(NodeId::new).collect();
+/// let parts = split_larger_than(vec![big], 4);
+/// assert_eq!(parts.len(), 3); // ceil(10/4)
+/// assert!(parts.iter().all(|p| p.len() <= 4));
+/// ```
+pub fn split_larger_than(
+    communities: Vec<Vec<NodeId>>,
+    cap: usize,
+) -> Vec<Vec<NodeId>> {
+    assert!(cap > 0, "size cap must be positive");
+    let mut out = Vec::with_capacity(communities.len());
+    for mut members in communities {
+        if members.len() <= cap {
+            out.push(members);
+            continue;
+        }
+        members.sort();
+        let chunks = members.len().div_ceil(cap);
+        let base = members.len() / chunks;
+        let extra = members.len() % chunks;
+        let mut pos = 0usize;
+        for i in 0..chunks {
+            let size = base + usize::from(i < extra);
+            out.push(members[pos..pos + size].to_vec());
+            pos += size;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(range: std::ops::Range<u32>) -> Vec<NodeId> {
+        range.map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn small_communities_untouched() {
+        let input = vec![ids(0..3), ids(3..8)];
+        let out = split_larger_than(input.clone(), 8);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn exact_cap_untouched() {
+        let out = split_larger_than(vec![ids(0..8)], 8);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn split_count_matches_paper_formula() {
+        for size in [9usize, 16, 17, 31, 100] {
+            let cap = 8usize;
+            let out = split_larger_than(vec![ids(0..size as u32)], cap);
+            assert_eq!(out.len(), size.div_ceil(cap), "size {size}");
+            assert!(out.iter().all(|p| p.len() <= cap));
+        }
+    }
+
+    #[test]
+    fn chunks_are_balanced() {
+        let out = split_larger_than(vec![ids(0..10)], 4);
+        let sizes: Vec<usize> = out.iter().map(|p| p.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn members_preserved() {
+        let out = split_larger_than(vec![ids(0..23)], 5);
+        let mut all: Vec<NodeId> = out.into_iter().flatten().collect();
+        all.sort();
+        assert_eq!(all, ids(0..23));
+    }
+
+    #[test]
+    fn cap_one_gives_singletons() {
+        let out = split_larger_than(vec![ids(0..5)], 1);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cap_panics() {
+        let _ = split_larger_than(vec![ids(0..3)], 0);
+    }
+}

@@ -1,0 +1,95 @@
+use crate::{CommunityError, Result};
+
+/// Policy assigning the activation threshold `h_i` to each community.
+///
+/// The paper uses two settings: `Constant(2)` for the bounded-threshold
+/// experiments (the regime where BT/MB apply) and `Fraction(0.5)` — half the
+/// population — for the regular experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdPolicy {
+    /// Every community gets the same threshold `h`.
+    Constant(u32),
+    /// `h_i = max(1, ⌈fraction · |C_i|⌉)`.
+    Fraction(f64),
+}
+
+impl ThresholdPolicy {
+    /// Threshold for a community with `population` members.
+    ///
+    /// # Errors
+    ///
+    /// [`CommunityError::InvalidFraction`] when a [`Fraction`] policy is
+    /// outside `(0, 1]`, [`CommunityError::ZeroThreshold`] for
+    /// `Constant(0)`.
+    ///
+    /// [`Fraction`]: ThresholdPolicy::Fraction
+    pub fn threshold_for(&self, population: usize) -> Result<u32> {
+        match *self {
+            ThresholdPolicy::Constant(h) => {
+                if h == 0 {
+                    Err(CommunityError::ZeroThreshold { index: 0 })
+                } else {
+                    Ok(h)
+                }
+            }
+            ThresholdPolicy::Fraction(f) => {
+                if !(f > 0.0 && f <= 1.0) {
+                    return Err(CommunityError::InvalidFraction { fraction: f });
+                }
+                Ok(((f * population as f64).ceil() as u32).max(1))
+            }
+        }
+    }
+}
+
+impl Default for ThresholdPolicy {
+    /// The paper's bounded-threshold default, `h_i = 2`.
+    fn default() -> Self {
+        ThresholdPolicy::Constant(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_ignores_population() {
+        let p = ThresholdPolicy::Constant(2);
+        assert_eq!(p.threshold_for(1).unwrap(), 2);
+        assert_eq!(p.threshold_for(100).unwrap(), 2);
+    }
+
+    #[test]
+    fn fraction_rounds_up() {
+        let p = ThresholdPolicy::Fraction(0.5);
+        assert_eq!(p.threshold_for(8).unwrap(), 4);
+        assert_eq!(p.threshold_for(5).unwrap(), 3);
+        assert_eq!(p.threshold_for(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn fraction_never_below_one() {
+        let p = ThresholdPolicy::Fraction(0.01);
+        assert_eq!(p.threshold_for(3).unwrap(), 1);
+    }
+
+    #[test]
+    fn full_fraction_needs_everyone() {
+        let p = ThresholdPolicy::Fraction(1.0);
+        assert_eq!(p.threshold_for(7).unwrap(), 7);
+    }
+
+    #[test]
+    fn invalid_inputs_error() {
+        assert!(ThresholdPolicy::Constant(0).threshold_for(5).is_err());
+        assert!(ThresholdPolicy::Fraction(0.0).threshold_for(5).is_err());
+        assert!(ThresholdPolicy::Fraction(1.5).threshold_for(5).is_err());
+        assert!(ThresholdPolicy::Fraction(-0.5).threshold_for(5).is_err());
+    }
+
+    #[test]
+    fn default_is_paper_bounded_case() {
+        assert_eq!(ThresholdPolicy::default(), ThresholdPolicy::Constant(2));
+    }
+}

@@ -1,0 +1,47 @@
+//! Out-degree heuristic — the oldest IM baseline (Kempe et al. 2003 call
+//! it "high-degree"). Included as an extension for ablations.
+
+use imc_graph::{Graph, NodeId};
+
+/// Top-`k` nodes by out-degree (ties by smaller id).
+pub fn degree_seeds(graph: &Graph, k: usize) -> Vec<NodeId> {
+    let k = k.min(graph.node_count());
+    let mut nodes: Vec<NodeId> = graph.nodes().collect();
+    nodes.sort_by(|a, b| {
+        graph.out_degree(*b).cmp(&graph.out_degree(*a)).then(a.cmp(b))
+    });
+    nodes.truncate(k);
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_graph::GraphBuilder;
+
+    #[test]
+    fn ranks_by_out_degree() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(2, 0, 1.0).unwrap();
+        b.add_edge(2, 1, 1.0).unwrap();
+        b.add_edge(2, 3, 1.0).unwrap();
+        b.add_edge(1, 0, 1.0).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(degree_seeds(&g, 2), vec![NodeId::new(2), NodeId::new(1)]);
+    }
+
+    #[test]
+    fn tie_break_by_id() {
+        let g = GraphBuilder::new(3).build().unwrap();
+        assert_eq!(
+            degree_seeds(&g, 3),
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+        );
+    }
+
+    #[test]
+    fn k_clamped() {
+        let g = GraphBuilder::new(2).build().unwrap();
+        assert_eq!(degree_seeds(&g, 10).len(), 2);
+    }
+}

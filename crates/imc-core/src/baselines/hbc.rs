@@ -1,0 +1,110 @@
+//! HBC — High Beneficial Connection (§VI.A).
+//!
+//! Scores each node by its direct, benefit-weighted pull on community
+//! members:
+//!
+//! `B(u) = Σ_{v ∈ N⁺(u)} w(u, v) · b_{C(v)} / h_{C(v)}`
+//!
+//! where `C(v)` is `v`'s community (out-neighbors without a community
+//! contribute nothing). The top-`k` nodes by `B` are the seeds. A
+//! one-hop heuristic: cheap, but blind to multi-hop propagation, which is
+//! why the RIC-based algorithms beat it in the paper's Fig. 5/6.
+
+use imc_community::CommunitySet;
+use imc_graph::{Graph, NodeId};
+
+/// The HBC score `B(u)` for one node.
+pub fn hbc_score(graph: &Graph, communities: &CommunitySet, u: NodeId) -> f64 {
+    graph
+        .out_edges(u)
+        .filter_map(|e| {
+            communities.community_of(e.target).map(|cid| {
+                let c = communities.get(cid);
+                e.weight * c.benefit / c.threshold as f64
+            })
+        })
+        .sum()
+}
+
+/// Top-`k` nodes by HBC score (ties broken by smaller id).
+pub fn hbc_seeds(graph: &Graph, communities: &CommunitySet, k: usize) -> Vec<NodeId> {
+    let k = k.min(graph.node_count());
+    let mut scored: Vec<(f64, u32)> = graph
+        .nodes()
+        .map(|v| (hbc_score(graph, communities, v), v.raw()))
+        .collect();
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    scored.into_iter().take(k).map(|(_, v)| NodeId::new(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_community::CommunitySet;
+    use imc_graph::GraphBuilder;
+
+    fn setup() -> (Graph, CommunitySet) {
+        // Node 0 -> {2, 3} (high-benefit community members), node 1 -> {4}
+        // (low-benefit member).
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 2, 0.5).unwrap();
+        b.add_edge(0, 3, 0.5).unwrap();
+        b.add_edge(1, 4, 0.9).unwrap();
+        let g = b.build().unwrap();
+        let cs = CommunitySet::from_parts(
+            5,
+            vec![
+                (vec![NodeId::new(2), NodeId::new(3)], 2, 10.0),
+                (vec![NodeId::new(4)], 1, 1.0),
+            ],
+        )
+        .unwrap();
+        (g, cs)
+    }
+
+    #[test]
+    fn score_formula() {
+        let (g, cs) = setup();
+        // B(0) = 0.5·(10/2) + 0.5·(10/2) = 5; B(1) = 0.9·(1/1) = 0.9.
+        assert!((hbc_score(&g, &cs, NodeId::new(0)) - 5.0).abs() < 1e-12);
+        assert!((hbc_score(&g, &cs, NodeId::new(1)) - 0.9).abs() < 1e-12);
+        assert_eq!(hbc_score(&g, &cs, NodeId::new(4)), 0.0);
+    }
+
+    #[test]
+    fn seeds_ranked_by_score() {
+        let (g, cs) = setup();
+        let seeds = hbc_seeds(&g, &cs, 2);
+        assert_eq!(seeds, vec![NodeId::new(0), NodeId::new(1)]);
+    }
+
+    #[test]
+    fn neighbors_without_community_ignored() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 2, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let cs =
+            CommunitySet::from_parts(3, vec![(vec![NodeId::new(1)], 1, 5.0)]).unwrap();
+        assert_eq!(hbc_score(&g, &cs, NodeId::new(0)), 0.0);
+    }
+
+    #[test]
+    fn k_clamped_and_deterministic() {
+        let (g, cs) = setup();
+        let seeds = hbc_seeds(&g, &cs, 50);
+        assert_eq!(seeds.len(), 5);
+        assert_eq!(seeds, hbc_seeds(&g, &cs, 50));
+    }
+
+    #[test]
+    fn tie_break_prefers_smaller_id() {
+        let g = GraphBuilder::new(3).build().unwrap();
+        let cs =
+            CommunitySet::from_parts(3, vec![(vec![NodeId::new(0)], 1, 1.0)]).unwrap();
+        // All scores 0: order must be 0, 1, 2.
+        assert_eq!(
+            hbc_seeds(&g, &cs, 3),
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+        );
+    }
+}

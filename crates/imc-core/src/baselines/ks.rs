@@ -1,0 +1,184 @@
+//! KS — the Knapsack-like baseline (§VI.A).
+//!
+//! Treats each community's threshold `h_i` as the *cost* of influencing it
+//! and its benefit `b_i` as the value, then solves the 0/1 knapsack with
+//! capacity `k` exactly (dynamic programming, `O(r·k)` — the "optimal
+//! solution in polynomial runtime" the paper mentions). For every selected
+//! community, `h_i` of its members join the seed set.
+//!
+//! Member choice within a community is by descending out-degree (the paper
+//! leaves it unspecified; out-degree is the natural deterministic pick).
+//! KS ignores topology and diffusion entirely — the paper's Fig. 5 shows it
+//! is the weakest baseline, which our benches reproduce.
+
+use imc_community::CommunitySet;
+use imc_graph::{Graph, NodeId};
+
+/// Communities selected by the knapsack, as indices into the set.
+pub fn knapsack_communities(communities: &CommunitySet, k: usize) -> Vec<usize> {
+    // Only satisfiable communities whose cost fits the budget participate.
+    let items: Vec<(usize, usize, f64)> = communities
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.is_satisfiable() && (c.threshold as usize) <= k)
+        .map(|(i, c)| (i, c.threshold as usize, c.benefit))
+        .collect();
+    // DP over capacity.
+    let mut value = vec![0.0f64; k + 1];
+    let mut taken: Vec<Vec<bool>> = vec![vec![false; k + 1]; items.len()];
+    for (it, &(_, cost, benefit)) in items.iter().enumerate() {
+        for cap in (cost..=k).rev() {
+            let candidate = value[cap - cost] + benefit;
+            if candidate > value[cap] {
+                value[cap] = candidate;
+                taken[it][cap] = true;
+            }
+        }
+    }
+    // Reconstruct.
+    let mut chosen = Vec::new();
+    let mut cap = k;
+    for it in (0..items.len()).rev() {
+        if taken[it][cap] {
+            chosen.push(items[it].0);
+            cap -= items[it].1;
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Runs KS: knapsack over communities, then `h_i` highest-out-degree
+/// members from each selected community. If budget remains (knapsack
+/// seldom uses it all), it is spent on the globally highest-out-degree
+/// unused nodes.
+pub fn ks_seeds(graph: &Graph, communities: &CommunitySet, k: usize) -> Vec<NodeId> {
+    let k = k.min(graph.node_count());
+    let chosen = knapsack_communities(communities, k);
+    let mut seeds: Vec<NodeId> = Vec::with_capacity(k);
+    let mut used = vec![false; graph.node_count()];
+    for ci in chosen {
+        let c = communities.get(imc_community::CommunityId::new(ci as u32));
+        let mut members = c.members.clone();
+        members.sort_by(|a, b| {
+            graph
+                .out_degree(*b)
+                .cmp(&graph.out_degree(*a))
+                .then(a.cmp(b))
+        });
+        for m in members.into_iter().take(c.threshold as usize) {
+            if seeds.len() < k && !used[m.index()] {
+                used[m.index()] = true;
+                seeds.push(m);
+            }
+        }
+    }
+    // Spend leftover budget on high-out-degree nodes.
+    if seeds.len() < k {
+        let mut rest: Vec<NodeId> = graph.nodes().filter(|v| !used[v.index()]).collect();
+        rest.sort_by(|a, b| {
+            graph
+                .out_degree(*b)
+                .cmp(&graph.out_degree(*a))
+                .then(a.cmp(b))
+        });
+        for v in rest {
+            if seeds.len() >= k {
+                break;
+            }
+            seeds.push(v);
+        }
+    }
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_graph::GraphBuilder;
+
+    fn communities() -> CommunitySet {
+        CommunitySet::from_parts(
+            10,
+            vec![
+                (vec![NodeId::new(0), NodeId::new(1)], 2, 6.0),  // cost 2, value 6
+                (vec![NodeId::new(2), NodeId::new(3)], 2, 5.0),  // cost 2, value 5
+                (vec![NodeId::new(4), NodeId::new(5), NodeId::new(6)], 3, 8.0), // cost 3, value 8
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn knapsack_is_optimal() {
+        let cs = communities();
+        // Capacity 4: best is {0, 1} (value 11) vs {2} (8) vs {0} ∪ part —
+        // costs 2+2=4 → value 11.
+        let chosen = knapsack_communities(&cs, 4);
+        assert_eq!(chosen, vec![0, 1]);
+        // Capacity 5: {0, 2} = cost 5, value 14.
+        let chosen = knapsack_communities(&cs, 5);
+        assert_eq!(chosen, vec![0, 2]);
+        // Capacity 3: {2} value 8 beats {0} value 6.
+        let chosen = knapsack_communities(&cs, 3);
+        assert_eq!(chosen, vec![2]);
+    }
+
+    #[test]
+    fn unsatisfiable_communities_excluded() {
+        let cs = CommunitySet::from_parts(
+            5,
+            vec![
+                (vec![NodeId::new(0)], 3, 100.0), // h > |C|: impossible
+                (vec![NodeId::new(1)], 1, 1.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(knapsack_communities(&cs, 3), vec![1]);
+    }
+
+    #[test]
+    fn seeds_come_from_selected_communities() {
+        let g = GraphBuilder::new(10).build().unwrap();
+        let cs = communities();
+        let seeds = ks_seeds(&g, &cs, 4);
+        let mut s = seeds.clone();
+        s.sort();
+        assert_eq!(
+            s,
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+        );
+    }
+
+    #[test]
+    fn member_pick_prefers_high_out_degree() {
+        let mut b = GraphBuilder::new(10);
+        // Node 6 has the highest out-degree in community 2.
+        b.add_edge(6, 7, 1.0).unwrap();
+        b.add_edge(6, 8, 1.0).unwrap();
+        b.add_edge(4, 7, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let cs = communities();
+        let seeds = ks_seeds(&g, &cs, 3); // knapsack picks community 2
+        assert!(seeds.contains(&NodeId::new(6)));
+        assert!(seeds.contains(&NodeId::new(4)));
+    }
+
+    #[test]
+    fn leftover_budget_spent() {
+        let g = GraphBuilder::new(10).build().unwrap();
+        let cs = communities();
+        let seeds = ks_seeds(&g, &cs, 8); // communities use 2+2+3 = 7
+        assert_eq!(seeds.len(), 8);
+        let uniq: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(uniq.len(), 8);
+    }
+
+    #[test]
+    fn zero_budget_friendly() {
+        let g = GraphBuilder::new(10).build().unwrap();
+        let cs = communities();
+        let seeds = ks_seeds(&g, &cs, 1);
+        assert_eq!(seeds.len(), 1);
+    }
+}

@@ -1,0 +1,25 @@
+//! Baseline seed-selection heuristics from the paper's evaluation (§VI.A)
+//! plus two standard extras.
+//!
+//! * [`hbc`] — High Beneficial Connection: rank nodes by the
+//!   benefit-weighted influence they exert on community members directly.
+//! * [`ks`] — Knapsack-like: pick communities by a knapsack over
+//!   (cost = threshold, value = benefit), then seed inside them.
+//! * [`im`] — classic Influence Maximization (RIS greedy), ignoring
+//!   community structure entirely.
+//! * [`degree`] / [`pagerank`] — classic centrality heuristics (extensions
+//!   beyond the paper, used in ablations).
+
+pub mod degree;
+pub mod kcore;
+pub mod hbc;
+pub mod im;
+pub mod ks;
+pub mod pagerank;
+
+pub use degree::degree_seeds;
+pub use kcore::kcore_seeds;
+pub use hbc::hbc_seeds;
+pub use im::im_seeds;
+pub use ks::ks_seeds;
+pub use pagerank::pagerank_seeds;

@@ -1,0 +1,284 @@
+/// Compact bitset over the members of one community.
+///
+/// A RIC sample stores, for every node it contains, *which community
+/// members* that node can reach (`R_g(·)` inverted). Community sizes are
+/// small after the paper's `s`-cap (default 8), so the common case is a
+/// single inline `u64`; larger communities fall back to a boxed limb array.
+/// All set operations used on the hot greedy path (union popcounts) are
+/// branch-light word ops.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CoverSet {
+    /// Communities with at most 64 members.
+    Small(u64),
+    /// Arbitrary width; limbs in little-endian bit order.
+    Large(Box<[u64]>),
+}
+
+impl CoverSet {
+    /// An empty set able to hold `width` bits.
+    pub fn new(width: usize) -> Self {
+        if width <= 64 {
+            CoverSet::Small(0)
+        } else {
+            CoverSet::Large(vec![0u64; width.div_ceil(64)].into_boxed_slice())
+        }
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the width the set was created with.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        match self {
+            CoverSet::Small(w) => {
+                assert!(i < 64, "bit {i} out of range for small cover set");
+                *w |= 1u64 << i;
+            }
+            CoverSet::Large(limbs) => limbs[i / 64] |= 1u64 << (i % 64),
+        }
+    }
+
+    /// Tests bit `i` (out-of-range bits read as 0 for `Small`).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        match self {
+            CoverSet::Small(w) => i < 64 && (*w >> i) & 1 == 1,
+            CoverSet::Large(limbs) => {
+                limbs.get(i / 64).is_some_and(|l| (*l >> (i % 64)) & 1 == 1)
+            }
+        }
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different representations/widths.
+    #[inline]
+    pub fn or_assign(&mut self, other: &CoverSet) {
+        match (self, other) {
+            (CoverSet::Small(a), CoverSet::Small(b)) => *a |= b,
+            (CoverSet::Large(a), CoverSet::Large(b)) => {
+                assert_eq!(a.len(), b.len(), "cover set width mismatch");
+                for (x, y) in a.iter_mut().zip(b.iter()) {
+                    *x |= y;
+                }
+            }
+            _ => panic!("cover set representation mismatch"),
+        }
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> u32 {
+        match self {
+            CoverSet::Small(w) => w.count_ones(),
+            CoverSet::Large(limbs) => limbs.iter().map(|l| l.count_ones()).sum(),
+        }
+    }
+
+    /// `|self ∪ other|` without materializing the union — the greedy inner
+    /// loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics on representation/width mismatch.
+    #[inline]
+    pub fn union_count(&self, other: &CoverSet) -> u32 {
+        match (self, other) {
+            (CoverSet::Small(a), CoverSet::Small(b)) => (a | b).count_ones(),
+            (CoverSet::Large(a), CoverSet::Large(b)) => {
+                assert_eq!(a.len(), b.len(), "cover set width mismatch");
+                a.iter().zip(b.iter()).map(|(x, y)| (x | y).count_ones()).sum()
+            }
+            _ => panic!("cover set representation mismatch"),
+        }
+    }
+
+    /// `|self \ other|` — used by BT to count members *not* already covered
+    /// by the pivot node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on representation/width mismatch.
+    #[inline]
+    pub fn and_not_count(&self, other: &CoverSet) -> u32 {
+        match (self, other) {
+            (CoverSet::Small(a), CoverSet::Small(b)) => (a & !b).count_ones(),
+            (CoverSet::Large(a), CoverSet::Large(b)) => {
+                assert_eq!(a.len(), b.len(), "cover set width mismatch");
+                a.iter().zip(b.iter()).map(|(x, y)| (x & !y).count_ones()).sum()
+            }
+            _ => panic!("cover set representation mismatch"),
+        }
+    }
+
+    /// The set difference `self \ other` as a new set.
+    pub fn difference(&self, other: &CoverSet) -> CoverSet {
+        match (self, other) {
+            (CoverSet::Small(a), CoverSet::Small(b)) => CoverSet::Small(a & !b),
+            (CoverSet::Large(a), CoverSet::Large(b)) => {
+                assert_eq!(a.len(), b.len(), "cover set width mismatch");
+                CoverSet::Large(
+                    a.iter().zip(b.iter()).map(|(x, y)| x & !y).collect(),
+                )
+            }
+            _ => panic!("cover set representation mismatch"),
+        }
+    }
+
+    /// `true` when no bit is set.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        match self {
+            CoverSet::Small(w) => *w == 0,
+            CoverSet::Large(limbs) => limbs.iter().all(|&l| l == 0),
+        }
+    }
+
+    /// `true` when the sets share a bit.
+    #[inline]
+    pub fn intersects(&self, other: &CoverSet) -> bool {
+        match (self, other) {
+            (CoverSet::Small(a), CoverSet::Small(b)) => a & b != 0,
+            (CoverSet::Large(a), CoverSet::Large(b)) => {
+                a.iter().zip(b.iter()).any(|(x, y)| x & y != 0)
+            }
+            _ => panic!("cover set representation mismatch"),
+        }
+    }
+
+    /// Iterator over set bit positions, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        let limbs: Box<dyn Iterator<Item = (usize, u64)> + '_> = match self {
+            CoverSet::Small(w) => Box::new(std::iter::once((0usize, *w))),
+            CoverSet::Large(ls) => Box::new(ls.iter().copied().enumerate()),
+        };
+        limbs.flat_map(|(li, mut word)| {
+            let mut out = Vec::new();
+            while word != 0 {
+                let b = word.trailing_zeros() as usize;
+                out.push(li * 64 + b);
+                word &= word - 1;
+            }
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_set_get() {
+        let mut s = CoverSet::new(8);
+        assert!(matches!(s, CoverSet::Small(_)));
+        s.set(0);
+        s.set(7);
+        assert!(s.get(0) && s.get(7) && !s.get(3));
+        assert_eq!(s.count_ones(), 2);
+    }
+
+    #[test]
+    fn large_set_get() {
+        let mut s = CoverSet::new(130);
+        assert!(matches!(s, CoverSet::Large(_)));
+        s.set(0);
+        s.set(64);
+        s.set(129);
+        assert!(s.get(0) && s.get(64) && s.get(129) && !s.get(128));
+        assert_eq!(s.count_ones(), 3);
+    }
+
+    #[test]
+    fn union_operations() {
+        let mut a = CoverSet::new(10);
+        a.set(1);
+        a.set(2);
+        let mut b = CoverSet::new(10);
+        b.set(2);
+        b.set(3);
+        assert_eq!(a.union_count(&b), 3);
+        a.or_assign(&b);
+        assert_eq!(a.count_ones(), 3);
+        assert!(a.get(3));
+    }
+
+    #[test]
+    fn difference_operations() {
+        let mut a = CoverSet::new(10);
+        a.set(1);
+        a.set(2);
+        let mut b = CoverSet::new(10);
+        b.set(2);
+        assert_eq!(a.and_not_count(&b), 1);
+        let d = a.difference(&b);
+        assert!(d.get(1) && !d.get(2));
+    }
+
+    #[test]
+    fn intersects_and_zero() {
+        let mut a = CoverSet::new(5);
+        let b = CoverSet::new(5);
+        assert!(a.is_zero());
+        assert!(!a.intersects(&b));
+        a.set(4);
+        assert!(!a.is_zero());
+        let mut c = CoverSet::new(5);
+        c.set(4);
+        assert!(a.intersects(&c));
+    }
+
+    #[test]
+    fn large_union_count_across_limbs() {
+        let mut a = CoverSet::new(200);
+        let mut b = CoverSet::new(200);
+        a.set(10);
+        a.set(100);
+        b.set(100);
+        b.set(199);
+        assert_eq!(a.union_count(&b), 3);
+        assert_eq!(a.and_not_count(&b), 1);
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut s = CoverSet::new(70);
+        for i in [3usize, 64, 69] {
+            s.set(i);
+        }
+        let ones: Vec<usize> = s.iter_ones().collect();
+        assert_eq!(ones, vec![3, 64, 69]);
+
+        let mut small = CoverSet::new(8);
+        small.set(0);
+        small.set(5);
+        assert_eq!(small.iter_ones().collect::<Vec<_>>(), vec![0, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mixed_representation_panics() {
+        let a = CoverSet::new(8);
+        let b = CoverSet::new(200);
+        let _ = a.union_count(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn small_set_bit_out_of_range_panics() {
+        let mut s = CoverSet::new(8);
+        s.set(64);
+    }
+
+    #[test]
+    fn boundary_width_64_is_small() {
+        let s = CoverSet::new(64);
+        assert!(matches!(s, CoverSet::Small(_)));
+        let s = CoverSet::new(65);
+        assert!(matches!(s, CoverSet::Large(_)));
+    }
+}

@@ -1,0 +1,194 @@
+//! Sample-complexity bounds of Section V.
+//!
+//! * [`psi`] — eq. 22: the maximum number of RIC samples `Ψ` that
+//!   guarantees, for an `α`-approximate MAXR solver, an `α(1 − ε)`
+//!   approximation with probability `1 − δ` (Theorem 6 with the
+//!   `c(S*) ≥ β·k/h` lower bound substituted).
+//! * [`lambda`] — the stop-stage check-point threshold `Λ` (Alg. 5 line 4).
+//! * [`ln_binomial`] — `ln C(n, k)` without overflow, needed by both.
+
+/// `ln C(n, k)`, exact summation (`O(min(k, n−k))` terms). Returns `-∞`
+/// when `k > n` (the binomial is 0).
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    let mut acc = 0.0f64;
+    for i in 1..=k {
+        acc += ((n - k + i) as f64).ln() - (i as f64).ln();
+    }
+    acc
+}
+
+/// Parameters shared by the bound computations, extracted from an instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundParams {
+    /// Total benefit `b = Σ b_i`.
+    pub total_benefit: f64,
+    /// Smallest benefit `β = min b_i`.
+    pub min_benefit: f64,
+    /// Largest threshold `h = max h_i`.
+    pub max_threshold: u32,
+    /// Node count `n`.
+    pub node_count: usize,
+    /// Seed budget `k`.
+    pub k: usize,
+}
+
+/// The sample bound `Ψ` (eq. 22):
+///
+/// `Ψ = (b·h)/(β·k) · max( 2·ln(1/δ₁)/ε₁² , 3·ln(C(n,k)/δ₂)/(α²·ε₂²) )`
+///
+/// ```
+/// use imc_core::bounds::{psi, BoundParams};
+/// let params = BoundParams {
+///     total_benefit: 100.0,
+///     min_benefit: 1.0,
+///     max_threshold: 2,
+///     node_count: 1000,
+///     k: 10,
+/// };
+/// // A weaker solver (smaller α) needs quadratically more samples.
+/// let strong = psi(&params, 0.1, 0.1, 0.1, 0.1, 0.63);
+/// let weak = psi(&params, 0.1, 0.1, 0.1, 0.1, 0.063);
+/// assert!(weak > 90.0 * strong);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any of `ε₁, ε₂, δ₁, δ₂` is outside `(0, 1)` or `α ∉ (0, 1]`.
+pub fn psi(
+    params: &BoundParams,
+    epsilon1: f64,
+    epsilon2: f64,
+    delta1: f64,
+    delta2: f64,
+    alpha: f64,
+) -> f64 {
+    for (name, v) in [
+        ("epsilon1", epsilon1),
+        ("epsilon2", epsilon2),
+        ("delta1", delta1),
+        ("delta2", delta2),
+    ] {
+        assert!(v > 0.0 && v < 1.0, "{name}={v} must be in (0,1)");
+    }
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha={alpha} must be in (0,1]");
+    let lead = params.total_benefit * params.max_threshold as f64
+        / (params.min_benefit * params.k as f64);
+    let first = 2.0 * (1.0 / delta1).ln() / (epsilon1 * epsilon1);
+    let ln_nk = ln_binomial(params.node_count as u64, params.k as u64);
+    let second = 3.0 * (ln_nk - delta2.ln()) / (alpha * alpha * epsilon2 * epsilon2);
+    lead * first.max(second)
+}
+
+/// The check-point threshold `Λ` (Alg. 5 line 4):
+///
+/// `Λ = (1 + ε₁)(1 + ε₂) · 3·ln(3/(2δ)) / ε₃²`
+///
+/// The SSA stop condition fires once at least `Λ` samples are influenced by
+/// the candidate seed set.
+///
+/// # Panics
+///
+/// Panics if the epsilons or `δ` are outside `(0, 1)`.
+pub fn lambda(epsilon1: f64, epsilon2: f64, epsilon3: f64, delta: f64) -> f64 {
+    for (name, v) in [
+        ("epsilon1", epsilon1),
+        ("epsilon2", epsilon2),
+        ("epsilon3", epsilon3),
+        ("delta", delta),
+    ] {
+        assert!(v > 0.0 && v < 1.0, "{name}={v} must be in (0,1)");
+    }
+    (1.0 + epsilon1) * (1.0 + epsilon2) * 3.0 * (3.0 / (2.0 * delta)).ln()
+        / (epsilon3 * epsilon3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_binomial_small_values_exact() {
+        assert!((ln_binomial(5, 2) - 10.0f64.ln()).abs() < 1e-12);
+        assert!((ln_binomial(10, 0) - 0.0).abs() < 1e-12);
+        assert!((ln_binomial(10, 10) - 0.0).abs() < 1e-12);
+        assert!((ln_binomial(6, 3) - 20.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_binomial_symmetry() {
+        assert!((ln_binomial(100, 7) - ln_binomial(100, 93)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_binomial_large_no_overflow() {
+        let v = ln_binomial(1_000_000, 50);
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn ln_binomial_k_greater_than_n() {
+        assert_eq!(ln_binomial(3, 5), f64::NEG_INFINITY);
+    }
+
+    fn params() -> BoundParams {
+        BoundParams {
+            total_benefit: 100.0,
+            min_benefit: 2.0,
+            max_threshold: 4,
+            node_count: 1000,
+            k: 10,
+        }
+    }
+
+    #[test]
+    fn psi_positive_and_scales_with_alpha() {
+        let p = params();
+        let tight = psi(&p, 0.1, 0.1, 0.1, 0.1, 1.0);
+        let loose = psi(&p, 0.1, 0.1, 0.1, 0.1, 0.01);
+        assert!(tight > 0.0);
+        // Smaller α ⇒ quadratically more samples.
+        assert!(loose > tight * 100.0);
+    }
+
+    #[test]
+    fn psi_decreases_with_budget() {
+        let p = params();
+        let mut p2 = p;
+        p2.k = 20;
+        // Larger k lowers the leading b·h/(β·k) factor; the ln C(n,k) term
+        // grows only logarithmically, so Ψ should drop here.
+        assert!(psi(&p2, 0.1, 0.1, 0.1, 0.1, 0.5) < psi(&p, 0.1, 0.1, 0.1, 0.1, 0.5));
+    }
+
+    #[test]
+    fn psi_takes_the_max_branch() {
+        let p = params();
+        // With a huge δ2-driven term forced small and δ1 tiny, branch 1 wins.
+        let v1 = psi(&p, 0.01, 0.9, 0.001, 0.9, 1.0);
+        let lead = p.total_benefit * 4.0 / (2.0 * 10.0);
+        let first = 2.0 * (1.0f64 / 0.001).ln() / (0.01 * 0.01);
+        assert!(v1 >= lead * first - 1e-6);
+    }
+
+    #[test]
+    fn lambda_matches_formula() {
+        let expected = 1.25 * 1.25 * 3.0 * (3.0 / 0.4f64).ln() / (0.25 * 0.25);
+        assert!((lambda(0.25, 0.25, 0.25, 0.2) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0,1)")]
+    fn psi_rejects_bad_epsilon() {
+        let _ = psi(&params(), 0.0, 0.1, 0.1, 0.1, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn psi_rejects_bad_alpha() {
+        let _ = psi(&params(), 0.1, 0.1, 0.1, 0.1, 0.0);
+    }
+}

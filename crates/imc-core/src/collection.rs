@@ -1,0 +1,381 @@
+use crate::{RicSample, RicSampler};
+use imc_graph::NodeId;
+use rand::Rng;
+
+/// Location of one node appearance inside a [`RicCollection`]: which sample
+/// and at which position (so the node's [`CoverSet`](crate::CoverSet) is
+/// `samples[sample].covers[pos]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleRef {
+    /// Index of the sample within the collection.
+    pub sample: u32,
+    /// Position of the node inside that sample's `nodes` array.
+    pub pos: u32,
+}
+
+/// A growable collection `R` of RIC samples with an inverted node index.
+///
+/// The index maps every node to the samples it touches, which is what all
+/// MAXR solvers iterate: a greedy gain evaluation for node `v` touches only
+/// `index(v)`, not the whole collection.
+///
+/// The estimators (Section III):
+///
+/// * `ĉ_R(S) = (b / |R|) · Σ_g X_g(S)` — [`estimate`](Self::estimate);
+/// * `ν_R(S) = (b / |R|) · Σ_g min(|I_g(S)|/h_g, 1)` —
+///   [`nu_estimate`](Self::nu_estimate).
+///
+/// ```
+/// use imc_community::CommunitySet;
+/// use imc_core::{RicCollection, RicSampler};
+/// use imc_graph::{GraphBuilder, NodeId};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 1.0)?;
+/// let graph = b.build()?;
+/// let communities =
+///     CommunitySet::from_parts(3, vec![(vec![NodeId::new(1)], 1, 2.0)])?;
+/// let sampler = RicSampler::new(&graph, &communities);
+/// let mut collection = RicCollection::for_sampler(&sampler);
+/// collection.extend_with(&sampler, 1000, &mut StdRng::seed_from_u64(7));
+/// // Node 0 reaches the single member through a certain edge: ĉ = b = 2.
+/// assert_eq!(collection.estimate(&[NodeId::new(0)]), 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RicCollection {
+    samples: Vec<RicSample>,
+    node_count: usize,
+    community_count: usize,
+    total_benefit: f64,
+    index: Vec<Vec<SampleRef>>,
+}
+
+impl RicCollection {
+    /// Creates an empty collection for a graph with `node_count` nodes,
+    /// `community_count` communities and total benefit `total_benefit`.
+    pub fn new(node_count: usize, community_count: usize, total_benefit: f64) -> Self {
+        RicCollection {
+            samples: Vec::new(),
+            node_count,
+            community_count,
+            total_benefit,
+            index: vec![Vec::new(); node_count],
+        }
+    }
+
+    /// Creates an empty collection matching a sampler's instance.
+    pub fn for_sampler(sampler: &RicSampler<'_>) -> Self {
+        RicCollection::new(
+            sampler.graph().node_count(),
+            sampler.communities().len(),
+            sampler.communities().total_benefit(),
+        )
+    }
+
+    /// Appends one sample, updating the inverted index.
+    pub fn push(&mut self, sample: RicSample) {
+        let si = self.samples.len() as u32;
+        for (pos, &v) in sample.nodes.iter().enumerate() {
+            self.index[v.index()].push(SampleRef { sample: si, pos: pos as u32 });
+        }
+        self.samples.push(sample);
+    }
+
+    /// Generates and appends `count` samples from `sampler`.
+    pub fn extend_with<R: Rng + ?Sized>(
+        &mut self,
+        sampler: &RicSampler<'_>,
+        count: usize,
+        rng: &mut R,
+    ) {
+        self.samples.reserve(count);
+        for _ in 0..count {
+            self.push(sampler.sample(rng));
+        }
+    }
+
+    /// Number of samples `|R|`.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the collection holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Node count of the underlying graph.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of communities of the underlying instance.
+    pub fn community_count(&self) -> usize {
+        self.community_count
+    }
+
+    /// Total benefit `b` of the underlying instance.
+    pub fn total_benefit(&self) -> f64 {
+        self.total_benefit
+    }
+
+    /// The samples, in insertion order.
+    pub fn samples(&self) -> &[RicSample] {
+        &self.samples
+    }
+
+    /// Samples touched by `v` (the paper's `G_R(u)`), as index references.
+    pub fn touched_by(&self, v: NodeId) -> &[SampleRef] {
+        &self.index[v.index()]
+    }
+
+    /// Number of samples `v` appears in — MAF's node-appearance count.
+    pub fn appearance_count(&self, v: NodeId) -> usize {
+        self.index[v.index()].len()
+    }
+
+    /// Number of samples influenced by `S`: `Σ_g X_g(S)`.
+    pub fn influenced_count(&self, seeds: &[NodeId]) -> usize {
+        self.samples.iter().filter(|g| g.influenced_by(seeds)).count()
+    }
+
+    /// The estimator `ĉ_R(S)` (eq. 3). Returns 0 for an empty collection.
+    pub fn estimate(&self, seeds: &[NodeId]) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.total_benefit * self.influenced_count(seeds) as f64 / self.samples.len() as f64
+    }
+
+    /// The submodular upper-bound estimator `ν_R(S)` (eq. 7). Returns 0 for
+    /// an empty collection.
+    pub fn nu_estimate(&self, seeds: &[NodeId]) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let frac: f64 = self.samples.iter().map(|g| g.fractional_coverage(seeds)).sum();
+        self.total_benefit * frac / self.samples.len() as f64
+    }
+
+    /// How many samples each community roots — MAF's community-frequency
+    /// table. `counts[i]` is the number of samples with source community
+    /// `i`.
+    pub fn community_frequencies(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.community_count];
+        for s in &self.samples {
+            counts[s.community.index()] += 1;
+        }
+        counts
+    }
+
+    /// Appearance count for every node (`counts[v]` = samples touched by
+    /// `v`).
+    pub fn node_appearance_counts(&self) -> Vec<usize> {
+        self.index.iter().map(|l| l.len()).collect()
+    }
+
+    /// Size and cost statistics of the collection — the quantities that
+    /// govern solver runtimes (greedy cost scales with the total index
+    /// size; BT's per-pivot cost with the squared sample sizes).
+    pub fn stats(&self) -> CollectionStats {
+        let sizes: Vec<usize> = self.samples.iter().map(|s| s.len()).collect();
+        let total: usize = sizes.iter().sum();
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        let sum_sq: u64 = sizes.iter().map(|&s| (s * s) as u64).sum();
+        let touched_nodes = self.index.iter().filter(|l| !l.is_empty()).count();
+        CollectionStats {
+            samples: self.samples.len(),
+            total_index_entries: total,
+            mean_sample_size: if self.samples.is_empty() {
+                0.0
+            } else {
+                total as f64 / self.samples.len() as f64
+            },
+            max_sample_size: max,
+            sum_squared_sizes: sum_sq,
+            touched_nodes,
+        }
+    }
+}
+
+/// Summary statistics of a [`RicCollection`], from
+/// [`RicCollection::stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectionStats {
+    /// `|R|`.
+    pub samples: usize,
+    /// Σ_g |g| — the inverted-index size, i.e. one greedy sweep's cost.
+    pub total_index_entries: usize,
+    /// Mean nodes per sample.
+    pub mean_sample_size: f64,
+    /// Largest sample.
+    pub max_sample_size: usize,
+    /// Σ_g |g|² — proxy for BT's total pivot-reduction cost.
+    pub sum_squared_sizes: u64,
+    /// Distinct nodes appearing in at least one sample.
+    pub touched_nodes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoverSet;
+    use imc_community::{CommunityId, CommunitySet};
+    use imc_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn manual_sample(community: u32, threshold: u32, node_covers: &[(u32, &[usize])]) -> RicSample {
+        let width = 4usize;
+        let mut nodes = Vec::new();
+        let mut covers = Vec::new();
+        for &(v, bits) in node_covers {
+            nodes.push(NodeId::new(v));
+            let mut c = CoverSet::new(width);
+            for &b in bits {
+                c.set(b);
+            }
+            covers.push(c);
+        }
+        RicSample {
+            community: CommunityId::new(community),
+            threshold,
+            community_size: width as u32,
+            nodes,
+            covers,
+        }
+    }
+
+    fn sample_collection() -> RicCollection {
+        let mut col = RicCollection::new(10, 3, 6.0);
+        // Sample 0 (community 0, h=2): node 1 covers {0}, node 2 covers {1}.
+        col.push(manual_sample(0, 2, &[(1, &[0]), (2, &[1])]));
+        // Sample 1 (community 1, h=1): node 2 covers {0}.
+        col.push(manual_sample(1, 1, &[(2, &[0])]));
+        // Sample 2 (community 0, h=2): node 3 covers {0, 1}.
+        col.push(manual_sample(0, 2, &[(3, &[0, 1])]));
+        col
+    }
+
+    #[test]
+    fn index_tracks_appearances() {
+        let col = sample_collection();
+        assert_eq!(col.appearance_count(NodeId::new(2)), 2);
+        assert_eq!(col.appearance_count(NodeId::new(1)), 1);
+        assert_eq!(col.appearance_count(NodeId::new(9)), 0);
+        let refs = col.touched_by(NodeId::new(2));
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[0].sample, 0);
+        assert_eq!(refs[1].sample, 1);
+    }
+
+    #[test]
+    fn influenced_count_and_estimate() {
+        let col = sample_collection();
+        // {3} influences sample 2 only; {2} influences sample 1 only;
+        // {1,2} influences samples 0 and 1.
+        assert_eq!(col.influenced_count(&[NodeId::new(3)]), 1);
+        assert_eq!(col.influenced_count(&[NodeId::new(2)]), 1);
+        assert_eq!(col.influenced_count(&[NodeId::new(1), NodeId::new(2)]), 2);
+        // ĉ = b * count / |R| = 6 * 2 / 3 = 4.
+        assert_eq!(col.estimate(&[NodeId::new(1), NodeId::new(2)]), 4.0);
+    }
+
+    #[test]
+    fn nu_dominates_c_hat() {
+        let col = sample_collection();
+        for seeds in [
+            vec![NodeId::new(1)],
+            vec![NodeId::new(2)],
+            vec![NodeId::new(3)],
+            vec![NodeId::new(1), NodeId::new(3)],
+        ] {
+            assert!(
+                col.nu_estimate(&seeds) >= col.estimate(&seeds) - 1e-12,
+                "Lemma 3 violated for {seeds:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nu_estimate_fractional_value() {
+        let col = sample_collection();
+        // {1}: sample 0 fraction 1/2, others 0 → ν = 6 * 0.5 / 3 = 1.
+        assert!((col.nu_estimate(&[NodeId::new(1)]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn community_frequencies_counted() {
+        let col = sample_collection();
+        assert_eq!(col.community_frequencies(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn node_appearance_counts_match_index() {
+        let col = sample_collection();
+        let counts = col.node_appearance_counts();
+        assert_eq!(counts[2], 2);
+        assert_eq!(counts[3], 1);
+        assert_eq!(counts.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn empty_collection_estimates_zero() {
+        let col = RicCollection::new(5, 2, 10.0);
+        assert!(col.is_empty());
+        assert_eq!(col.estimate(&[NodeId::new(0)]), 0.0);
+        assert_eq!(col.nu_estimate(&[NodeId::new(0)]), 0.0);
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let col = sample_collection();
+        let st = col.stats();
+        assert_eq!(st.samples, 3);
+        assert_eq!(st.total_index_entries, 4); // 2 + 1 + 1 nodes
+        assert_eq!(st.max_sample_size, 2);
+        assert!((st.mean_sample_size - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(st.sum_squared_sizes, 4 + 1 + 1);
+        assert_eq!(st.touched_nodes, 3); // nodes 1, 2, 3
+    }
+
+    #[test]
+    fn empty_collection_stats() {
+        let col = RicCollection::new(5, 2, 10.0);
+        let st = col.stats();
+        assert_eq!(st.samples, 0);
+        assert_eq!(st.mean_sample_size, 0.0);
+        assert_eq!(st.max_sample_size, 0);
+    }
+
+    #[test]
+    fn extend_with_generates_from_sampler() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let cs = CommunitySet::from_parts(
+            3,
+            vec![(vec![NodeId::new(1)], 1, 2.0), (vec![NodeId::new(2)], 1, 2.0)],
+        )
+        .unwrap();
+        let sampler = RicSampler::new(&g, &cs);
+        let mut col = RicCollection::for_sampler(&sampler);
+        let mut rng = StdRng::seed_from_u64(1);
+        col.extend_with(&sampler, 500, &mut rng);
+        assert_eq!(col.len(), 500);
+        assert_eq!(col.total_benefit(), 4.0);
+        // Node 0 reaches member 1 always when community 0 is drawn (~half
+        // the samples).
+        let freq = col.community_frequencies();
+        assert_eq!(freq.iter().sum::<usize>(), 500);
+        assert!(freq[0] > 180 && freq[0] < 320, "freq={freq:?}");
+        // ĉ({0}) ≈ b · Pr[C_0 drawn] = 4 · 0.5 = 2 (node 0 reaches C_0
+        // through the certain edge, never C_1).
+        let est = col.estimate(&[NodeId::new(0)]);
+        assert!((est - 2.0).abs() < 0.4, "est={est}");
+    }
+}

@@ -1,0 +1,126 @@
+use std::fmt;
+
+/// Errors from the IMC solvers and framework.
+#[derive(Debug)]
+pub enum ImcError {
+    /// Community validation failed.
+    Community(imc_community::CommunityError),
+    /// Diffusion/estimation failure.
+    Diffusion(imc_diffusion::DiffusionError),
+    /// Graph construction failure.
+    Graph(imc_graph::GraphError),
+    /// The seed budget `k` is zero or exceeds the node count.
+    InvalidBudget {
+        /// The offending budget.
+        k: usize,
+        /// Graph node count.
+        node_count: usize,
+    },
+    /// The instance has no communities, so the objective is identically 0.
+    NoCommunities,
+    /// The community set was built for a different graph (node counts
+    /// disagree).
+    Mismatched {
+        /// Node count of the graph.
+        graph_nodes: usize,
+        /// Node count the community set was validated against.
+        community_nodes: usize,
+    },
+    /// A framework parameter is out of range.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+    },
+    /// An algorithm requiring bounded thresholds was run on an instance
+    /// whose max threshold exceeds the bound.
+    ThresholdTooLarge {
+        /// The algorithm's bound.
+        bound: u32,
+        /// The instance's max threshold.
+        max_threshold: u32,
+    },
+}
+
+impl fmt::Display for ImcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImcError::Community(e) => write!(f, "community error: {e}"),
+            ImcError::Diffusion(e) => write!(f, "diffusion error: {e}"),
+            ImcError::Graph(e) => write!(f, "graph error: {e}"),
+            ImcError::InvalidBudget { k, node_count } => {
+                write!(f, "seed budget {k} invalid for graph with {node_count} nodes")
+            }
+            ImcError::NoCommunities => write!(f, "instance has no communities"),
+            ImcError::Mismatched { graph_nodes, community_nodes } => write!(
+                f,
+                "community set built for {community_nodes} nodes but graph has {graph_nodes}"
+            ),
+            ImcError::InvalidParameter { name } => {
+                write!(f, "parameter {name} out of range")
+            }
+            ImcError::ThresholdTooLarge { bound, max_threshold } => write!(
+                f,
+                "algorithm requires thresholds at most {bound} but instance has {max_threshold}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ImcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImcError::Community(e) => Some(e),
+            ImcError::Diffusion(e) => Some(e),
+            ImcError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<imc_community::CommunityError> for ImcError {
+    fn from(e: imc_community::CommunityError) -> Self {
+        ImcError::Community(e)
+    }
+}
+
+impl From<imc_diffusion::DiffusionError> for ImcError {
+    fn from(e: imc_diffusion::DiffusionError) -> Self {
+        ImcError::Diffusion(e)
+    }
+}
+
+impl From<imc_graph::GraphError> for ImcError {
+    fn from(e: imc_graph::GraphError) -> Self {
+        ImcError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ImcError::NoCommunities.to_string().contains("no communities"));
+        assert!(ImcError::InvalidBudget { k: 0, node_count: 5 }.to_string().contains('0'));
+        assert!(ImcError::ThresholdTooLarge { bound: 2, max_threshold: 4 }
+            .to_string()
+            .contains('4'));
+    }
+
+    #[test]
+    fn from_conversions_preserve_source() {
+        use std::error::Error;
+        let e: ImcError = imc_community::CommunityError::NoPartitionSource.into();
+        assert!(e.source().is_some());
+        let e: ImcError =
+            imc_diffusion::DiffusionError::InvalidParameter { name: "epsilon" }.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ImcError>();
+    }
+}

@@ -1,0 +1,463 @@
+use crate::{CoverSet, RicSample};
+use imc_community::{CommunityId, CommunitySet};
+use imc_graph::{Graph, NodeId};
+use rand::Rng;
+use std::collections::{HashMap, VecDeque};
+
+/// Which live-edge distribution the sampler draws from.
+///
+/// The paper presents RIC under Independent Cascade and notes (§II.A) the
+/// standard live-edge equivalence extends everything to Linear Threshold:
+/// under LT, each node keeps **at most one** incoming live edge, chosen
+/// with probability proportional to its weight (none with probability
+/// `1 − Σ_u w(u, v)`), and reverse reachability over that forest-like
+/// realization is distributed exactly as LT activation (Kempe et al.
+/// 2003, Thm. 4.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LiveEdgeModel {
+    /// Every edge live independently with probability `w(u, v)` (IC).
+    #[default]
+    IndependentCascade,
+    /// Each node keeps at most one live in-edge, categorically by weight
+    /// (LT). Requires `Σ_u w(u, v) ≤ 1` for every `v` (weighted cascade
+    /// satisfies this by construction).
+    LinearThreshold,
+}
+
+/// Generator of RIC samples — Algorithm 1 of the paper.
+///
+/// For each sample it: (1) draws the source community `C_g` from the
+/// benefit distribution `ρ(C_i) = b_i / b`; (2) performs a *multi-source
+/// backward BFS* from all members, lazily flipping each edge's liveness
+/// coin the first time the edge is examined (the paper's `⊥ / y / n`
+/// states — an edge is examined at most once because each node is dequeued
+/// at most once, so the memoization is implicit); (3) computes, for every
+/// visited node, the set of members it reaches over live edges — the
+/// inverted form of the reachable sets `R_g(u)` that Alg. 1 extracts with
+/// per-member DFS.
+///
+/// The sampler is cheap to clone (borrows nothing mutable) and `Sync`, so
+/// parallel harnesses can share one across threads, each with its own RNG.
+#[derive(Debug, Clone)]
+pub struct RicSampler<'a> {
+    graph: &'a Graph,
+    communities: &'a CommunitySet,
+    benefit_cdf: Vec<f64>,
+    model: LiveEdgeModel,
+}
+
+impl<'a> RicSampler<'a> {
+    /// Creates a sampler over `graph` and `communities` under the IC
+    /// live-edge model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `communities` is empty or sized for a different graph —
+    /// construct via [`ImcInstance`](crate::ImcInstance) for the fallible
+    /// path.
+    pub fn new(graph: &'a Graph, communities: &'a CommunitySet) -> Self {
+        Self::with_model(graph, communities, LiveEdgeModel::IndependentCascade)
+    }
+
+    /// Creates a sampler with an explicit live-edge model.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`new`](Self::new).
+    pub fn with_model(
+        graph: &'a Graph,
+        communities: &'a CommunitySet,
+        model: LiveEdgeModel,
+    ) -> Self {
+        assert!(!communities.is_empty(), "cannot sample from zero communities");
+        assert_eq!(
+            communities.node_count(),
+            graph.node_count(),
+            "community set built for a different graph"
+        );
+        RicSampler { graph, communities, benefit_cdf: communities.benefit_cdf(), model }
+    }
+
+    /// The live-edge model this sampler draws from.
+    pub fn model(&self) -> LiveEdgeModel {
+        self.model
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The underlying community set.
+    pub fn communities(&self) -> &CommunitySet {
+        self.communities
+    }
+
+    /// Draws the source community id from `ρ(C_i) = b_i / b`.
+    pub fn sample_community<R: Rng + ?Sized>(&self, rng: &mut R) -> CommunityId {
+        let x: f64 = rng.random();
+        let idx = self.benefit_cdf.partition_point(|&c| c < x);
+        CommunityId::new(idx.min(self.benefit_cdf.len() - 1) as u32)
+    }
+
+    /// Generates one RIC sample (Alg. 1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> RicSample {
+        let cid = self.sample_community(rng);
+        self.sample_rooted(cid, rng)
+    }
+
+    /// Generates a RIC sample with a *fixed* source community — used by
+    /// tests and stratified diagnostics.
+    pub fn sample_rooted<R: Rng + ?Sized>(
+        &self,
+        cid: CommunityId,
+        rng: &mut R,
+    ) -> RicSample {
+        let community = self.communities.get(cid);
+        let members = &community.members;
+        let width = members.len();
+
+        // --- Phase 1: multi-source backward live-edge BFS. ---
+        // local id assignment: node -> dense index within this sample.
+        let mut local: HashMap<NodeId, u32> = HashMap::with_capacity(width * 4);
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(width * 4);
+        // live_in[l(u)] = local ids v with a live edge (v -> u).
+        let mut live_in: Vec<Vec<u32>> = Vec::with_capacity(width * 4);
+        let mut queue: VecDeque<NodeId> = VecDeque::with_capacity(width);
+
+        fn intern(
+            v: NodeId,
+            local: &mut HashMap<NodeId, u32>,
+            nodes: &mut Vec<NodeId>,
+            live_in: &mut Vec<Vec<u32>>,
+        ) -> (u32, bool) {
+            if let Some(&l) = local.get(&v) {
+                (l, false)
+            } else {
+                let l = nodes.len() as u32;
+                local.insert(v, l);
+                nodes.push(v);
+                live_in.push(Vec::new());
+                (l, true)
+            }
+        }
+
+        for &m in members {
+            intern(m, &mut local, &mut nodes, &mut live_in);
+            queue.push_back(m);
+        }
+
+        while let Some(u) = queue.pop_front() {
+            let lu = local[&u];
+            match self.model {
+                // IC: each in-edge of u is examined exactly once (u is
+                // dequeued once), so this coin is the edge's single
+                // liveness draw.
+                LiveEdgeModel::IndependentCascade => {
+                    for e in self.graph.in_edges(u) {
+                        let live = if e.weight >= 1.0 {
+                            true
+                        } else if e.weight <= 0.0 {
+                            false
+                        } else {
+                            rng.random::<f64>() < e.weight
+                        };
+                        if live {
+                            let (lv, fresh) =
+                                intern(e.source, &mut local, &mut nodes, &mut live_in);
+                            live_in[lu as usize].push(lv);
+                            if fresh {
+                                queue.push_back(e.source);
+                            }
+                        }
+                    }
+                }
+                // LT: u keeps at most one live in-edge, categorically by
+                // weight (live-edge form of the Linear Threshold model).
+                LiveEdgeModel::LinearThreshold => {
+                    let x: f64 = rng.random();
+                    let mut acc = 0.0f64;
+                    for e in self.graph.in_edges(u) {
+                        acc += e.weight;
+                        if x < acc {
+                            let (lv, fresh) =
+                                intern(e.source, &mut local, &mut nodes, &mut live_in);
+                            live_in[lu as usize].push(lv);
+                            if fresh {
+                                queue.push_back(e.source);
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Phase 2: per-member reverse reachability -> cover bitsets. ---
+        // BFS from each member over live_in adjacency; every reached local
+        // node gets the member's bit.
+        let mut covers: Vec<CoverSet> =
+            (0..nodes.len()).map(|_| CoverSet::new(width)).collect();
+        let mut seen = vec![u32::MAX; nodes.len()]; // stamp = member index
+        let mut stack: Vec<u32> = Vec::new();
+        for (mi, &m) in members.iter().enumerate() {
+            let lm = local[&m];
+            stack.push(lm);
+            seen[lm as usize] = mi as u32;
+            while let Some(l) = stack.pop() {
+                covers[l as usize].set(mi);
+                for &p in &live_in[l as usize] {
+                    if seen[p as usize] != mi as u32 {
+                        seen[p as usize] = mi as u32;
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+
+        // Sort nodes (and covers in parallel) for binary-searchable lookup.
+        let mut order: Vec<usize> = (0..nodes.len()).collect();
+        order.sort_by_key(|&i| nodes[i]);
+        let sorted_nodes: Vec<NodeId> = order.iter().map(|&i| nodes[i]).collect();
+        let sorted_covers: Vec<CoverSet> =
+            order.iter().map(|&i| covers[i].clone()).collect();
+
+        RicSample {
+            community: cid,
+            threshold: community.threshold,
+            community_size: width as u32,
+            nodes: sorted_nodes,
+            covers: sorted_covers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn single_community(node_count: u32, members: &[u32], h: u32) -> CommunitySet {
+        CommunitySet::from_parts(
+            node_count,
+            vec![(members.iter().map(|&v| NodeId::new(v)).collect(), h, 1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn members_always_in_sample_covering_themselves() {
+        let g = GraphBuilder::new(5).build().unwrap();
+        let cs = single_community(5, &[1, 3], 2);
+        let sampler = RicSampler::new(&g, &cs);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sampler.sample(&mut rng);
+        assert_eq!(s.nodes, vec![NodeId::new(1), NodeId::new(3)]);
+        assert_eq!(s.cover_of(NodeId::new(1)).unwrap().count_ones(), 1);
+        assert!(s.cover_of(NodeId::new(1)).unwrap().get(0)); // member index 0
+        assert!(s.cover_of(NodeId::new(3)).unwrap().get(1));
+    }
+
+    #[test]
+    fn deterministic_edges_included_with_transitive_covers() {
+        // 4 -> 0 -> 1(member), 0 -> 2(member), certainty edges.
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(4, 0, 1.0).unwrap();
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(0, 2, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let cs = single_community(5, &[1, 2], 2);
+        let sampler = RicSampler::new(&g, &cs);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = sampler.sample(&mut rng);
+        // Sample contains 0, 1, 2, 4 (3 touches nothing).
+        assert_eq!(
+            s.nodes,
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(4)]
+        );
+        // Node 0 and node 4 reach both members.
+        assert_eq!(s.cover_of(NodeId::new(0)).unwrap().count_ones(), 2);
+        assert_eq!(s.cover_of(NodeId::new(4)).unwrap().count_ones(), 2);
+        assert!(s.influenced_by(&[NodeId::new(4)]));
+        assert!(!s.influenced_by(&[NodeId::new(1)]));
+    }
+
+    #[test]
+    fn zero_weight_edges_never_live() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.0).unwrap();
+        let g = b.build().unwrap();
+        let cs = single_community(3, &[1], 1);
+        let sampler = RicSampler::new(&g, &cs);
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = sampler.sample(&mut rng);
+            assert_eq!(s.nodes, vec![NodeId::new(1)]);
+        }
+    }
+
+    #[test]
+    fn edge_liveness_rate_matches_weight() {
+        // 0 -> 1 (member) with p = 0.4: node 0 appears in ≈40% of samples.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0.4).unwrap();
+        let g = b.build().unwrap();
+        let cs = single_community(2, &[1], 1);
+        let sampler = RicSampler::new(&g, &cs);
+        let mut rng = StdRng::seed_from_u64(5);
+        let runs = 20_000;
+        let mut hits = 0;
+        for _ in 0..runs {
+            hits += usize::from(sampler.sample(&mut rng).touched_by(NodeId::new(0)));
+        }
+        let rate = hits as f64 / runs as f64;
+        assert!((rate - 0.4).abs() < 0.02, "rate={rate}");
+    }
+
+    #[test]
+    fn community_selection_follows_benefit_distribution() {
+        let g = GraphBuilder::new(4).build().unwrap();
+        let cs = CommunitySet::from_parts(
+            4,
+            vec![
+                (vec![NodeId::new(0)], 1, 3.0), // ρ = 0.75
+                (vec![NodeId::new(1)], 1, 1.0), // ρ = 0.25
+            ],
+        )
+        .unwrap();
+        let sampler = RicSampler::new(&g, &cs);
+        let mut rng = StdRng::seed_from_u64(9);
+        let runs = 20_000;
+        let mut first = 0;
+        for _ in 0..runs {
+            if sampler.sample_community(&mut rng) == CommunityId::new(0) {
+                first += 1;
+            }
+        }
+        let rate = first as f64 / runs as f64;
+        assert!((rate - 0.75).abs() < 0.02, "rate={rate}");
+    }
+
+    #[test]
+    fn diamond_covers_are_not_double_counted() {
+        // 0 -> 1 -> 3(member), 0 -> 2 -> 3: one member reached through two
+        // paths still sets exactly one bit.
+        let mut b = GraphBuilder::new(4);
+        for (u, v) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+            b.add_edge(u, v, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let cs = single_community(4, &[3], 1);
+        let sampler = RicSampler::new(&g, &cs);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = sampler.sample(&mut rng);
+        assert_eq!(s.cover_of(NodeId::new(0)).unwrap().count_ones(), 1);
+    }
+
+    #[test]
+    fn cycle_in_live_graph_terminates() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 0, 1.0).unwrap();
+        b.add_edge(1, 2, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let cs = single_community(3, &[2], 1);
+        let sampler = RicSampler::new(&g, &cs);
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = sampler.sample(&mut rng);
+        assert_eq!(s.len(), 3);
+        for v in 0..3u32 {
+            assert!(s.influenced_by(&[NodeId::new(v)]));
+        }
+    }
+
+    #[test]
+    fn sample_probability_equals_ic_activation_probability() {
+        // Unbiasedness (Lemma 1, single community, h = 1): the probability
+        // that seed u touches the sample equals the probability that IC
+        // from {u} activates the member.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.6).unwrap();
+        let g = b.build().unwrap();
+        let cs = single_community(3, &[2], 1);
+        let sampler = RicSampler::new(&g, &cs);
+        let mut rng = StdRng::seed_from_u64(6);
+        let runs = 40_000;
+        let mut hits = 0;
+        for _ in 0..runs {
+            hits += usize::from(sampler.sample(&mut rng).touched_by(NodeId::new(0)));
+        }
+        let rate = hits as f64 / runs as f64;
+        assert!((rate - 0.3).abs() < 0.015, "rate={rate} expected 0.3");
+    }
+
+    #[test]
+    fn lt_sampler_keeps_at_most_one_live_in_edge() {
+        // Member 2 has two in-edges of weight 0.4 each; under LT at most
+        // one of {0, 1} can ever appear in a sample.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 2, 0.4).unwrap();
+        b.add_edge(1, 2, 0.4).unwrap();
+        let g = b.build().unwrap();
+        let cs = single_community(3, &[2], 1);
+        let sampler = RicSampler::with_model(&g, &cs, LiveEdgeModel::LinearThreshold);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut saw_zero = 0usize;
+        let mut saw_one = 0usize;
+        let runs = 10_000;
+        for _ in 0..runs {
+            let s = sampler.sample(&mut rng);
+            let has0 = s.touched_by(NodeId::new(0));
+            let has1 = s.touched_by(NodeId::new(1));
+            assert!(!(has0 && has1), "LT sample kept two live in-edges");
+            saw_zero += usize::from(has0);
+            saw_one += usize::from(has1);
+        }
+        // Each selected with probability 0.4.
+        let r0 = saw_zero as f64 / runs as f64;
+        let r1 = saw_one as f64 / runs as f64;
+        assert!((r0 - 0.4).abs() < 0.03, "r0={r0}");
+        assert!((r1 - 0.4).abs() < 0.03, "r1={r1}");
+    }
+
+    #[test]
+    fn lt_ric_estimate_matches_forward_lt_simulation() {
+        // Unbiasedness under LT: Pr[u touches sample] must equal the
+        // probability LT activation from {u} influences the community.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.6).unwrap();
+        let g = b.build().unwrap();
+        let cs = single_community(3, &[2], 1);
+        let sampler = RicSampler::with_model(&g, &cs, LiveEdgeModel::LinearThreshold);
+        let mut rng = StdRng::seed_from_u64(10);
+        let runs = 30_000;
+        let mut hits = 0;
+        for _ in 0..runs {
+            hits += usize::from(sampler.sample(&mut rng).touched_by(NodeId::new(0)));
+        }
+        let ric_rate = hits as f64 / runs as f64;
+        // Forward LT: node 1 activates iff θ₁ ≤ 0.5, then 2 iff θ₂ ≤ 0.6.
+        let expected = 0.5 * 0.6;
+        assert!((ric_rate - expected).abs() < 0.02, "ric={ric_rate} lt={expected}");
+    }
+
+    #[test]
+    fn default_model_is_ic() {
+        let g = GraphBuilder::new(2).build().unwrap();
+        let cs = single_community(2, &[1], 1);
+        let sampler = RicSampler::new(&g, &cs);
+        assert_eq!(sampler.model(), LiveEdgeModel::IndependentCascade);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero communities")]
+    fn empty_communities_panics() {
+        let g = GraphBuilder::new(2).build().unwrap();
+        let cs = CommunitySet::from_parts(2, vec![]).unwrap();
+        let _ = RicSampler::new(&g, &cs);
+    }
+}

@@ -1,0 +1,376 @@
+//! The IMC Algorithmic Framework — Algorithm 5.
+//!
+//! IMCAF wraps any `α`-approximate MAXR solver in a stop-and-stare loop:
+//!
+//! 1. compute the worst-case sample bound `Ψ` (eq. 22) and the check-point
+//!    threshold `Λ`;
+//! 2. generate `Λ` RIC samples, solve MAXR, and — once the candidate
+//!    influences at least `Λ` samples — grade it with the Dagum
+//!    [`estimate_c`](crate::estimate::estimate_c) procedure;
+//! 3. accept when the collection estimate `ĉ_R(S)` is within `(1 + ε₁)` of
+//!    the independent estimate `c*`, otherwise double the collection, up to
+//!    `Ψ`.
+//!
+//! Theorem 7: the returned set is `α(1 − ε)`-approximate with probability
+//! at least `1 − δ`.
+//!
+//! Normalization note: the paper sometimes writes `r` where the
+//! general-benefit quantity is `b` (its experiments use `b_i = |C_i|`, its
+//! formulas unit benefits). We implement the general version: the stop
+//! condition `(|R|/b)·ĉ_R(S) ≥ Λ` is exactly "at least `Λ` influenced
+//! samples", and `Estimate` returns `b·Λ′/T`; with `b_i = 1` both reduce to
+//! the paper's text verbatim.
+
+use crate::bounds::{lambda, psi, BoundParams};
+use crate::estimate::estimate_c;
+use crate::{ImcError, ImcInstance, MaxrAlgorithm, Result, RicCollection};
+use imc_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters of the IMCAF framework.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImcafConfig {
+    /// Seed budget `k`.
+    pub k: usize,
+    /// Accuracy target `ε ∈ (0, 1)`.
+    pub epsilon: f64,
+    /// Failure probability `δ ∈ (0, 1)`.
+    pub delta: f64,
+    /// Hard cap on `|R|` (memory guard; `Ψ` can be astronomically large
+    /// for small `α`). The theoretical guarantee holds only when the run
+    /// ends by convergence or by reaching `Ψ` itself.
+    pub max_samples: usize,
+}
+
+impl ImcafConfig {
+    /// The paper's experimental setting: `ε = δ = 0.2`.
+    pub fn paper_defaults(k: usize) -> Self {
+        ImcafConfig { k, epsilon: 0.2, delta: 0.2, max_samples: 1 << 20 }
+    }
+}
+
+/// Why IMCAF stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The stop-stage statistical check accepted the candidate.
+    Converged,
+    /// The collection reached the theoretical bound `Ψ` (guarantee holds).
+    SampleBoundReached,
+    /// The configured `max_samples` cap was hit before `Ψ` (best-effort
+    /// result; guarantee not certified).
+    CapReached,
+}
+
+/// Output of [`imcaf`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImcafResult {
+    /// The chosen seed set (exactly `k` nodes).
+    pub seeds: Vec<NodeId>,
+    /// Final collection estimate `ĉ_R(seeds)`.
+    pub estimate: f64,
+    /// The independent Dagum estimate `c*` from the last accepted check
+    /// (`None` when the run ended without one).
+    pub independent_estimate: Option<f64>,
+    /// RIC samples in the final collection.
+    pub samples_used: usize,
+    /// Stop-stage iterations executed.
+    pub rounds: usize,
+    /// Why the loop ended.
+    pub stop_reason: StopReason,
+}
+
+/// One stop-stage iteration's bookkeeping, recorded by
+/// [`imcaf_with_trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// 1-based round number.
+    pub round: usize,
+    /// `|R|` when the solver ran.
+    pub samples: usize,
+    /// Samples influenced by the candidate.
+    pub influenced: usize,
+    /// `ĉ_R` of the candidate.
+    pub estimate: f64,
+    /// Whether the Λ check-point fired (an Estimate call was made).
+    pub checked: bool,
+    /// The independent estimate `c*`, when an Estimate call succeeded.
+    pub independent_estimate: Option<f64>,
+}
+
+/// Runs IMCAF (Alg. 5) with the given MAXR solver.
+///
+/// # Errors
+///
+/// * [`ImcError::InvalidParameter`] for `ε, δ ∉ (0, 1)`.
+/// * [`ImcError::InvalidBudget`] for an invalid `k`.
+/// * [`ImcError::ThresholdTooLarge`] when the solver's threshold bound is
+///   violated (BT/MB).
+pub fn imcaf(
+    instance: &ImcInstance,
+    algorithm: MaxrAlgorithm,
+    config: &ImcafConfig,
+    seed: u64,
+) -> Result<ImcafResult> {
+    imcaf_with_trace(instance, algorithm, config, seed).map(|(result, _)| result)
+}
+
+/// Like [`imcaf`] but also returns the per-round trace — used by the
+/// sample-size ablation and by tests asserting the doubling schedule.
+///
+/// # Errors
+///
+/// Same conditions as [`imcaf`].
+pub fn imcaf_with_trace(
+    instance: &ImcInstance,
+    algorithm: MaxrAlgorithm,
+    config: &ImcafConfig,
+    seed: u64,
+) -> Result<(ImcafResult, Vec<RoundRecord>)> {
+    if !(config.epsilon > 0.0 && config.epsilon < 1.0) {
+        return Err(ImcError::InvalidParameter { name: "epsilon" });
+    }
+    if !(config.delta > 0.0 && config.delta < 1.0) {
+        return Err(ImcError::InvalidParameter { name: "delta" });
+    }
+    instance.validate_budget(config.k)?;
+
+    let k = config.k;
+    let alpha = algorithm.approximation_ratio(
+        instance.community_count(),
+        instance.max_threshold(),
+        k,
+    );
+
+    // Ψ splits (paper §VI.A): ε₁ = ε₂ = ε/2, δ₁ = δ₂ = δ/2.
+    let params = BoundParams {
+        total_benefit: instance.total_benefit(),
+        min_benefit: instance.min_benefit(),
+        max_threshold: instance.max_threshold(),
+        node_count: instance.node_count(),
+        k,
+    };
+    let e2 = config.epsilon / 2.0;
+    let d2 = config.delta / 2.0;
+    let psi_bound = psi(&params, e2, e2, d2, d2, alpha);
+    let psi_capped = psi_bound.min(config.max_samples as f64).max(1.0) as usize;
+
+    // Stop-stage splits (paper §VI.A): ε₁ = ε₂ = ε₃ = ε/4.
+    let es = config.epsilon / 4.0;
+    let check_lambda = lambda(es, es, es, config.delta);
+
+    let sampler = instance.sampler();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut collection = RicCollection::for_sampler(&sampler);
+    let initial = (check_lambda.ceil() as usize).min(psi_capped).max(1);
+    collection.extend_with(&sampler, initial, &mut rng);
+
+    let mut rounds = 0usize;
+    let mut trace: Vec<RoundRecord> = Vec::new();
+    loop {
+        rounds += 1;
+        let solution = algorithm.solve(instance, &collection, k, seed ^ rounds as u64)?;
+        let mut record = RoundRecord {
+            round: rounds,
+            samples: collection.len(),
+            influenced: solution.influenced_samples,
+            estimate: solution.estimate,
+            checked: false,
+            independent_estimate: None,
+        };
+
+        // Stop condition (line 8): at least Λ influenced samples.
+        if solution.influenced_samples as f64 >= check_lambda {
+            record.checked = true;
+            // δ for each Estimate call: δ / (3·log₂(Ψ/Λ)) (line 9).
+            let log_rounds = (psi_capped as f64 / check_lambda).log2().max(1.0);
+            let delta_est = (config.delta / (3.0 * log_rounds)).clamp(1e-9, 0.999);
+            let t_max = (collection.len() as f64 * (1.0 + es) / (1.0 - es)).ceil() as u64;
+            if let Some(out) =
+                estimate_c(&sampler, &solution.seeds, es, delta_est, t_max, &mut rng)
+            {
+                record.independent_estimate = Some(out.estimate);
+                if solution.estimate <= (1.0 + es) * out.estimate {
+                    trace.push(record);
+                    return Ok((
+                        ImcafResult {
+                            seeds: solution.seeds,
+                            estimate: solution.estimate,
+                            independent_estimate: Some(out.estimate),
+                            samples_used: collection.len(),
+                            rounds,
+                            stop_reason: StopReason::Converged,
+                        },
+                        trace,
+                    ));
+                }
+            }
+        }
+        trace.push(record);
+
+        if collection.len() >= psi_capped {
+            let reason = if (psi_capped as f64) < psi_bound {
+                StopReason::CapReached
+            } else {
+                StopReason::SampleBoundReached
+            };
+            return Ok((
+                ImcafResult {
+                    seeds: solution.seeds,
+                    estimate: solution.estimate,
+                    independent_estimate: None,
+                    samples_used: collection.len(),
+                    rounds,
+                    stop_reason: reason,
+                },
+                trace,
+            ));
+        }
+
+        // Double the collection (line 11), capped at Ψ.
+        let grow = collection.len().min(psi_capped - collection.len()).max(1);
+        collection.extend_with(&sampler, grow, &mut rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_community::{BenefitPolicy, CommunitySet, ThresholdPolicy};
+    use imc_graph::generators::planted_partition;
+    use imc_graph::{GraphBuilder, WeightModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_instance() -> ImcInstance {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pp = planted_partition(60, 4, 0.4, 0.02, &mut rng);
+        let graph = pp.graph.reweighted(WeightModel::WeightedCascade);
+        let cs = CommunitySet::builder(&graph)
+            .explicit(pp.blocks)
+            .split_larger_than(8)
+            .threshold(ThresholdPolicy::Constant(2))
+            .benefit(BenefitPolicy::Population)
+            .build()
+            .unwrap();
+        ImcInstance::new(graph, cs).unwrap()
+    }
+
+    #[test]
+    fn returns_k_distinct_seeds() {
+        let inst = small_instance();
+        let cfg = ImcafConfig { max_samples: 20_000, ..ImcafConfig::paper_defaults(4) };
+        let res = imcaf(&inst, MaxrAlgorithm::Ubg, &cfg, 1).unwrap();
+        assert_eq!(res.seeds.len(), 4);
+        let uniq: std::collections::HashSet<_> = res.seeds.iter().collect();
+        assert_eq!(uniq.len(), 4);
+        assert!(res.samples_used > 0);
+        assert!(res.rounds >= 1);
+    }
+
+    #[test]
+    fn all_algorithms_run_on_bounded_instance() {
+        let inst = small_instance();
+        let cfg = ImcafConfig { max_samples: 5_000, ..ImcafConfig::paper_defaults(4) };
+        for algo in [
+            MaxrAlgorithm::Greedy,
+            MaxrAlgorithm::Ubg,
+            MaxrAlgorithm::Maf,
+            MaxrAlgorithm::Bt,
+            MaxrAlgorithm::Mb,
+        ] {
+            let res = imcaf(&inst, algo, &cfg, 2).unwrap();
+            assert_eq!(res.seeds.len(), 4, "{algo:?}");
+            assert!(res.estimate >= 0.0);
+        }
+    }
+
+    #[test]
+    fn estimate_close_to_monte_carlo_ground_truth() {
+        let inst = small_instance();
+        let cfg = ImcafConfig { max_samples: 40_000, ..ImcafConfig::paper_defaults(4) };
+        let res = imcaf(&inst, MaxrAlgorithm::Ubg, &cfg, 7).unwrap();
+        let mc = imc_diffusion::benefit::monte_carlo_benefit(
+            inst.graph(),
+            inst.communities(),
+            &imc_diffusion::IndependentCascade,
+            &res.seeds,
+            20_000,
+            99,
+        );
+        // ĉ_R and the forward MC must agree within the ε = 0.2 regime.
+        let rel = (res.estimate - mc).abs() / mc.max(1e-9);
+        assert!(rel < 0.3, "ĉ_R={} mc={mc} rel={rel}", res.estimate);
+    }
+
+    #[test]
+    fn bt_on_unbounded_thresholds_errors() {
+        let mut b = GraphBuilder::new(8);
+        b.add_edge(0, 1, 0.5).unwrap();
+        let graph = b.build().unwrap();
+        let cs = CommunitySet::from_parts(
+            8,
+            vec![(
+                (1..6).map(imc_graph::NodeId::new).collect(),
+                4,
+                5.0,
+            )],
+        )
+        .unwrap();
+        let inst = ImcInstance::new(graph, cs).unwrap();
+        let cfg = ImcafConfig::paper_defaults(2);
+        assert!(matches!(
+            imcaf(&inst, MaxrAlgorithm::Bt, &cfg, 0),
+            Err(ImcError::ThresholdTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let inst = small_instance();
+        let mut cfg = ImcafConfig::paper_defaults(2);
+        cfg.epsilon = 0.0;
+        assert!(imcaf(&inst, MaxrAlgorithm::Maf, &cfg, 0).is_err());
+        let mut cfg = ImcafConfig::paper_defaults(2);
+        cfg.delta = 1.0;
+        assert!(imcaf(&inst, MaxrAlgorithm::Maf, &cfg, 0).is_err());
+        let cfg = ImcafConfig::paper_defaults(0);
+        assert!(imcaf(&inst, MaxrAlgorithm::Maf, &cfg, 0).is_err());
+    }
+
+    #[test]
+    fn tiny_cap_reports_cap_reached() {
+        let inst = small_instance();
+        let cfg = ImcafConfig { max_samples: 8, ..ImcafConfig::paper_defaults(2) };
+        let res = imcaf(&inst, MaxrAlgorithm::Maf, &cfg, 3).unwrap();
+        assert!(res.samples_used <= 8);
+        // With 8 samples the Λ check can never pass (Λ ≈ 194 for ε=0.2).
+        assert_eq!(res.stop_reason, StopReason::CapReached);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let inst = small_instance();
+        let cfg = ImcafConfig { max_samples: 4_000, ..ImcafConfig::paper_defaults(3) };
+        let a = imcaf(&inst, MaxrAlgorithm::Ubg, &cfg, 5).unwrap();
+        let b = imcaf(&inst, MaxrAlgorithm::Ubg, &cfg, 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_records_doubling_schedule() {
+        let inst = small_instance();
+        let cfg = ImcafConfig { max_samples: 8_000, ..ImcafConfig::paper_defaults(3) };
+        let (result, trace) =
+            super::imcaf_with_trace(&inst, MaxrAlgorithm::Maf, &cfg, 9).unwrap();
+        assert_eq!(trace.len(), result.rounds);
+        // Sample counts are non-decreasing and (until the cap) doubling.
+        for w in trace.windows(2) {
+            assert!(w[1].samples >= w[0].samples);
+            assert!(w[1].samples <= w[0].samples * 2);
+        }
+        assert_eq!(trace.last().unwrap().round, result.rounds);
+        // Final trace entry matches the result.
+        assert_eq!(trace.last().unwrap().samples, result.samples_used);
+    }
+}

@@ -1,0 +1,83 @@
+//! # Influence Maximization at Community level (IMC)
+//!
+//! Implementation of *"Influence Maximization at Community Level: A New
+//! Challenge with Non-submodularity"* (Nguyen, Zhou, Thai — ICDCS 2019).
+//!
+//! Given a social graph `G = (V, E, w)` under the Independent Cascade model
+//! and a set of disjoint communities, each with an activation threshold
+//! `h_i` and a benefit `b_i`, IMC asks for `k` seed nodes maximizing the
+//! expected benefit `c(S)` of *influenced* communities — communities where
+//! at least `h_i` members get activated. `c(·)` is neither submodular nor
+//! supermodular, which breaks the classic greedy machinery of influence
+//! maximization.
+//!
+//! The pipeline mirrors the paper:
+//!
+//! 1. **RIC sampling** ([`RicSampler`], Alg. 1) — benefit-weighted reverse
+//!    samples rooted at communities, giving the unbiased estimator
+//!    `ĉ_R(S)` (Lemma 1) materialized by [`RicCollection`].
+//! 2. **MAXR solvers** ([`maxr`]) — [`maxr::ubg`] (sandwich with the
+//!    submodular upper bound `ν_R`), [`maxr::maf`] (most-appearance-first),
+//!    [`maxr::bt`] (bounded thresholds, with the `BT^(d)` recursion) and
+//!    [`maxr::mb`] (MAF ∨ BT, tight to the inapproximability bound).
+//! 3. **IMCAF** ([`imcaf`], Alg. 5) — a stop-and-stare outer loop with the
+//!    sample bound `Ψ` (eq. 22) and the Dagum [`estimate`] procedure
+//!    (Alg. 6), turning any `α`-approximate MAXR solver into an
+//!    `α(1 − ε)`-approximation for IMC with probability `1 − δ`
+//!    (Theorem 7).
+//! 4. **Baselines** ([`baselines`]) — HBC, the knapsack heuristic KS,
+//!    classic IM, plus degree/PageRank heuristics.
+//!
+//! ```
+//! use imc_core::{imcaf, ImcInstance, ImcafConfig, MaxrAlgorithm};
+//! use imc_community::{BenefitPolicy, CommunitySet, ThresholdPolicy};
+//! use imc_graph::{generators::planted_partition, WeightModel};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let pp = planted_partition(100, 5, 0.3, 0.02, &mut rng);
+//! let graph = pp.graph.reweighted(WeightModel::WeightedCascade);
+//! let communities = CommunitySet::builder(&graph)
+//!     .explicit(pp.blocks)
+//!     .split_larger_than(8)
+//!     .threshold(ThresholdPolicy::Constant(2))
+//!     .benefit(BenefitPolicy::Population)
+//!     .build()?;
+//! let instance = ImcInstance::new(graph, communities)?;
+//! let result = imcaf(&instance, MaxrAlgorithm::Ubg, &ImcafConfig::paper_defaults(5), 42)?;
+//! assert_eq!(result.seeds.len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+mod collection;
+mod error;
+mod generator;
+mod imcaf;
+mod objective;
+mod problem;
+mod sample;
+
+pub mod baselines;
+pub mod bounds;
+pub mod diagnostics;
+pub mod estimate;
+pub mod maxr;
+
+pub use bitset::CoverSet;
+pub use collection::{CollectionStats, RicCollection, SampleRef};
+pub use error::ImcError;
+pub use generator::{LiveEdgeModel, RicSampler};
+pub use imcaf::{imcaf, imcaf_with_trace, ImcafConfig, ImcafResult, RoundRecord, StopReason};
+pub use maxr::{MaxrAlgorithm, MaxrSolution};
+pub use objective::CoverageState;
+pub use problem::ImcInstance;
+pub use sample::RicSample;
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, ImcError>;

@@ -1,0 +1,322 @@
+//! Bounded-Threshold algorithm (Algorithm 4) and its recursive `BT^(d)`
+//! extension.
+//!
+//! For every pivot node `u`, BT restricts attention to the samples `u`
+//! touches (`G_R(u)`), *removes* from each the members `u` already reaches
+//! and lowers the threshold accordingly (lines 3–7 of Alg. 4). With
+//! thresholds originally `≤ 2` the residual thresholds are `≤ 1`, so a
+//! plain greedy max-coverage finds `k − 1` helpers `T` with a `1 − 1/e`
+//! guarantee; `K(u) = {u} ∪ T`. The answer is the `K(u)` maximizing
+//! `|D_R(K(u), u)|` — the influenced samples among those `u` touches
+//! (Theorem 4: `(1 − 1/e)/k`-approximate).
+//!
+//! `BT^(d)` (thresholds `≤ d`) replaces the inner greedy with a recursive
+//! `BT^(d−1)` call on the reduced collection, giving `(1 − 1/e)/k^{d−1}`.
+//!
+//! BT solves `O(|V|)` subproblems, which the paper's Fig. 7 shows (and our
+//! benches confirm) is orders of magnitude slower than UBG/MAF —
+//! [`BtConfig::candidate_limit`] optionally restricts pivots to the
+//! most-appearing nodes for an ablation-grade speedup.
+
+use crate::maxr::greedy::greedy_c;
+use crate::maxr::pad_to_k;
+use crate::{RicCollection, RicSample};
+use imc_graph::NodeId;
+
+/// Configuration for [`bt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtConfig {
+    /// Threshold bound `d ≥ 2`; samples must have `h_g ≤ d`.
+    pub depth: u32,
+    /// When set, only the `limit` most-appearing nodes are tried as pivots
+    /// (paper-faithful behaviour is `None`: all nodes).
+    pub candidate_limit: Option<usize>,
+}
+
+impl Default for BtConfig {
+    fn default() -> Self {
+        BtConfig { depth: 2, candidate_limit: None }
+    }
+}
+
+/// Output of [`bt`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BtOutcome {
+    /// The winning seed set `K(u*)`, padded to `k`.
+    pub seeds: Vec<NodeId>,
+    /// The winning pivot `u*` (`None` when no node touches any sample).
+    pub pivot: Option<NodeId>,
+    /// `|D_R(K(u*), u*)|` — influenced samples among those the pivot
+    /// touches.
+    pub pivot_score: usize,
+}
+
+/// Runs BT (or `BT^(d)` for `config.depth > 2`) on a collection.
+///
+/// # Panics
+///
+/// Panics if `config.depth < 2` or any sample's threshold exceeds
+/// `config.depth` (the enum wrapper
+/// [`MaxrAlgorithm`](crate::MaxrAlgorithm) checks this fallibly).
+pub fn bt(collection: &RicCollection, k: usize, config: &BtConfig) -> BtOutcome {
+    assert!(config.depth >= 2, "BT depth must be at least 2");
+    assert!(
+        collection.samples().iter().all(|s| s.threshold <= config.depth),
+        "BT^{}: a sample exceeds the threshold bound",
+        config.depth
+    );
+    let k = k.min(collection.node_count()).max(1);
+    let candidates = pivot_candidates(collection, config.candidate_limit);
+
+    let mut best: Option<(usize, NodeId, Vec<NodeId>)> = None;
+    for &u in &candidates {
+        let kset = seeds_for_pivot(collection, u, k, config.depth);
+        let score = pivot_score(collection, u, &kset);
+        let better = match &best {
+            None => true,
+            Some((bs, bu, _)) => score > *bs || (score == *bs && u < *bu),
+        };
+        if better {
+            best = Some((score, u, kset));
+        }
+    }
+    match best {
+        Some((score, u, mut seeds)) => {
+            pad_to_k(collection, &mut seeds, k);
+            BtOutcome { seeds, pivot: Some(u), pivot_score: score }
+        }
+        None => {
+            // Nothing touches any sample; fall back to padding.
+            let mut seeds = Vec::new();
+            pad_to_k(collection, &mut seeds, k);
+            BtOutcome { seeds, pivot: None, pivot_score: 0 }
+        }
+    }
+}
+
+/// Nodes worth trying as pivots, most-appearing first.
+fn pivot_candidates(collection: &RicCollection, limit: Option<usize>) -> Vec<NodeId> {
+    let mut nodes: Vec<(usize, u32)> = (0..collection.node_count() as u32)
+        .filter_map(|v| {
+            let c = collection.appearance_count(NodeId::new(v));
+            (c > 0).then_some((c, v))
+        })
+        .collect();
+    nodes.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let take = limit.unwrap_or(nodes.len());
+    nodes.into_iter().take(take).map(|(_, v)| NodeId::new(v)).collect()
+}
+
+/// Builds `K(u)`: `{u}` plus `k − 1` helpers chosen on the reduced
+/// collection (greedy for residual thresholds ≤ 1, recursive BT otherwise).
+fn seeds_for_pivot(
+    collection: &RicCollection,
+    u: NodeId,
+    k: usize,
+    depth: u32,
+) -> Vec<NodeId> {
+    let mut kset = vec![u];
+    if k == 1 {
+        return kset;
+    }
+    let reduced = reduce_for_pivot(collection, u);
+    let helpers = if depth <= 2 || reduced.samples().iter().all(|s| s.threshold <= 1) {
+        greedy_c(&reduced, k - 1)
+    } else {
+        bt(&reduced, k - 1, &BtConfig { depth: depth - 1, candidate_limit: None }).seeds
+    };
+    for h in helpers {
+        if h != u && kset.len() < k {
+            kset.push(h);
+        }
+    }
+    kset
+}
+
+/// Lines 2–7 of Alg. 4: copy the samples `u` touches, remove the members
+/// `u` reaches, lower thresholds. Samples `u` alone already influences
+/// (residual threshold 0) are dropped — they are won regardless of `T` and
+/// are counted by [`pivot_score`] directly.
+fn reduce_for_pivot(collection: &RicCollection, u: NodeId) -> RicCollection {
+    let mut reduced = RicCollection::new(
+        collection.node_count(),
+        collection.community_count(),
+        collection.total_benefit(),
+    );
+    for r in collection.touched_by(u) {
+        let sample = &collection.samples()[r.sample as usize];
+        let cu = &sample.covers[r.pos as usize];
+        let covered = cu.count_ones();
+        if covered >= sample.threshold {
+            continue; // already influenced by u alone
+        }
+        let residual_threshold = sample.threshold - covered;
+        let mut nodes = Vec::new();
+        let mut covers = Vec::new();
+        for (i, v) in sample.nodes.iter().enumerate() {
+            let resid = sample.covers[i].difference(cu);
+            if !resid.is_zero() {
+                nodes.push(*v);
+                covers.push(resid);
+            }
+        }
+        reduced.push(RicSample {
+            community: sample.community,
+            threshold: residual_threshold,
+            community_size: sample.community_size,
+            nodes,
+            covers,
+        });
+    }
+    reduced
+}
+
+/// `|D_R(K, u)|`: samples touched by `u` and influenced by `K`.
+fn pivot_score(collection: &RicCollection, u: NodeId, kset: &[NodeId]) -> usize {
+    collection
+        .touched_by(u)
+        .iter()
+        .filter(|r| collection.samples()[r.sample as usize].influenced_by(kset))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoverSet;
+    use imc_community::CommunityId;
+
+    fn mk_cover(width: usize, bits: &[usize]) -> CoverSet {
+        let mut c = CoverSet::new(width);
+        for &b in bits {
+            c.set(b);
+        }
+        c
+    }
+
+    fn sample(
+        community: u32,
+        threshold: u32,
+        width: usize,
+        entries: &[(u32, &[usize])],
+    ) -> RicSample {
+        RicSample {
+            community: CommunityId::new(community),
+            threshold,
+            community_size: width as u32,
+            nodes: entries.iter().map(|&(v, _)| NodeId::new(v)).collect(),
+            covers: entries.iter().map(|&(_, bits)| mk_cover(width, bits)).collect(),
+        }
+    }
+
+    /// Node 0 touches all three h=2 samples covering member 0; nodes 1, 2,
+    /// 3 each complete one sample.
+    fn hub_collection() -> RicCollection {
+        let mut col = RicCollection::new(5, 3, 3.0);
+        col.push(sample(0, 2, 2, &[(0, &[0]), (1, &[1])]));
+        col.push(sample(1, 2, 2, &[(0, &[0]), (2, &[1])]));
+        col.push(sample(2, 2, 2, &[(0, &[0]), (3, &[1])]));
+        col
+    }
+
+    #[test]
+    fn bt_picks_hub_pivot_and_completers() {
+        let col = hub_collection();
+        let out = bt(&col, 3, &BtConfig::default());
+        assert_eq!(out.pivot, Some(NodeId::new(0)));
+        // {0} + 2 completers influence 2 samples.
+        assert_eq!(out.pivot_score, 2);
+        assert_eq!(col.influenced_count(&out.seeds), 2);
+        assert!(out.seeds.contains(&NodeId::new(0)));
+    }
+
+    #[test]
+    fn bt_k4_wins_everything() {
+        let col = hub_collection();
+        let out = bt(&col, 4, &BtConfig::default());
+        assert_eq!(col.influenced_count(&out.seeds), 3);
+        assert_eq!(out.pivot_score, 3);
+    }
+
+    #[test]
+    fn k1_pivot_score_counts_solo_wins() {
+        // Node 4 covers both members of one sample alone.
+        let mut col = hub_collection();
+        col.push(sample(0, 2, 2, &[(4, &[0, 1])]));
+        let out = bt(&col, 1, &BtConfig::default());
+        assert_eq!(out.pivot, Some(NodeId::new(4)));
+        assert_eq!(out.pivot_score, 1);
+        assert_eq!(out.seeds, vec![NodeId::new(4)]);
+    }
+
+    #[test]
+    fn reduction_removes_covered_members() {
+        let col = hub_collection();
+        let reduced = reduce_for_pivot(&col, NodeId::new(0));
+        assert_eq!(reduced.len(), 3);
+        for s in reduced.samples() {
+            assert_eq!(s.threshold, 1); // 2 - 1 covered by pivot
+            assert_eq!(s.nodes.len(), 1); // pivot's own entry dropped
+        }
+    }
+
+    #[test]
+    fn reduction_drops_solo_influenced_samples() {
+        let mut col = hub_collection();
+        col.push(sample(0, 2, 2, &[(0, &[0, 1])]));
+        let reduced = reduce_for_pivot(&col, NodeId::new(0));
+        assert_eq!(reduced.len(), 3); // the new sample is already won
+    }
+
+    #[test]
+    fn candidate_limit_restricts_pivots() {
+        let col = hub_collection();
+        let limited = bt(&col, 3, &BtConfig { depth: 2, candidate_limit: Some(1) });
+        // Node 0 is the most-appearing node, so the limit of 1 still finds
+        // the right pivot.
+        assert_eq!(limited.pivot, Some(NodeId::new(0)));
+    }
+
+    #[test]
+    fn btd_depth3_handles_threshold3() {
+        // One sample with h=3: members covered by nodes 1, 2, 3; pivot 1
+        // reduces to h=2, recursion finds the rest.
+        let mut col = RicCollection::new(5, 1, 1.0);
+        col.push(sample(0, 3, 3, &[(1, &[0]), (2, &[1]), (3, &[2])]));
+        let out = bt(&col, 3, &BtConfig { depth: 3, candidate_limit: None });
+        assert_eq!(col.influenced_count(&out.seeds), 1);
+        assert_eq!(out.pivot_score, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold bound")]
+    fn depth2_rejects_threshold3_samples() {
+        let mut col = RicCollection::new(5, 1, 1.0);
+        col.push(sample(0, 3, 3, &[(1, &[0]), (2, &[1]), (3, &[2])]));
+        let _ = bt(&col, 2, &BtConfig::default());
+    }
+
+    #[test]
+    fn empty_collection_falls_back_to_padding() {
+        let col = RicCollection::new(4, 1, 1.0);
+        let out = bt(&col, 2, &BtConfig::default());
+        assert_eq!(out.pivot, None);
+        assert_eq!(out.seeds.len(), 2);
+    }
+
+    #[test]
+    fn theorem4_bound_sanity() {
+        // ĉ(S_BT) ≥ (1−1/e)/k · ĉ(S_OPT) must hold on the hub instance:
+        // OPT(k=3) = 2 (e.g. {0,1,2}), bound = (1−1/e)/3 · 2 ≈ 0.42.
+        let col = hub_collection();
+        let out = bt(&col, 3, &BtConfig::default());
+        let bound = (1.0 - 1.0 / std::f64::consts::E) / 3.0 * 2.0;
+        assert!(col.influenced_count(&out.seeds) as f64 >= bound);
+    }
+
+    #[test]
+    fn deterministic() {
+        let col = hub_collection();
+        assert_eq!(bt(&col, 3, &BtConfig::default()), bt(&col, 3, &BtConfig::default()));
+    }
+}

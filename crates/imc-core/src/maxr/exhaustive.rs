@@ -1,0 +1,217 @@
+//! Exact MAXR by exhaustive enumeration — for tiny instances only.
+//!
+//! MAXR is NP-hard, so this solver exists for *measurement*: tests and
+//! ablations compare the approximate solvers against the true optimum on
+//! brute-forceable collections, turning the paper's worst-case ratios
+//! (Theorems 3–5) into checkable assertions.
+
+use crate::{CoverageState, RicCollection};
+use imc_graph::NodeId;
+
+/// Result of an exhaustive solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactSolution {
+    /// An optimal seed set (lexicographically smallest among optima).
+    pub seeds: Vec<NodeId>,
+    /// Number of samples it influences.
+    pub influenced_samples: usize,
+    /// How many candidate subsets were evaluated.
+    pub subsets_evaluated: u64,
+}
+
+/// Enumerates all `k`-subsets of the nodes that appear in at least one
+/// sample (other nodes can never help) and returns an optimum.
+///
+/// # Panics
+///
+/// Panics if the search space `C(candidates, k)` exceeds `2^32` subsets —
+/// use the approximate solvers for anything bigger.
+pub fn exhaustive(collection: &RicCollection, k: usize) -> ExactSolution {
+    let candidates: Vec<NodeId> = (0..collection.node_count() as u32)
+        .map(NodeId::new)
+        .filter(|&v| collection.appearance_count(v) > 0)
+        .collect();
+    let k = k.min(candidates.len().max(1));
+    if candidates.is_empty() {
+        return ExactSolution { seeds: Vec::new(), influenced_samples: 0, subsets_evaluated: 1 };
+    }
+    let space = binomial_capped(candidates.len() as u64, k as u64, 1 << 32);
+    assert!(space < 1 << 32, "search space too large for exhaustive MAXR");
+
+    let mut best_seeds: Vec<NodeId> = Vec::new();
+    let mut best_score = 0usize;
+    let mut evaluated = 0u64;
+
+    // DFS over combinations with incremental CoverageState would need
+    // removal support; evaluate each combination from scratch instead
+    // (fine at this scale), but prune: a prefix already influencing every
+    // sample cannot be beaten.
+    let total = collection.len();
+    let mut indices: Vec<usize> = (0..k).collect();
+    loop {
+        evaluated += 1;
+        let subset: Vec<NodeId> = indices.iter().map(|&i| candidates[i]).collect();
+        let score = collection.influenced_count(&subset);
+        if score > best_score || (score == best_score && best_seeds.is_empty()) {
+            best_score = score;
+            best_seeds = subset;
+            if best_score == total {
+                break; // cannot improve
+            }
+        }
+        // Next combination in lexicographic order.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return ExactSolution {
+                    seeds: best_seeds,
+                    influenced_samples: best_score,
+                    subsets_evaluated: evaluated,
+                };
+            }
+            i -= 1;
+            if indices[i] != i + candidates.len() - k {
+                indices[i] += 1;
+                for j in (i + 1)..k {
+                    indices[j] = indices[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+    ExactSolution { seeds: best_seeds, influenced_samples: best_score, subsets_evaluated: evaluated }
+}
+
+/// `C(n, k)` capped at `cap` to avoid overflow.
+fn binomial_capped(n: u64, k: u64, cap: u64) -> u64 {
+    let k = k.min(n - k.min(n));
+    let mut acc: u64 = 1;
+    for i in 1..=k {
+        acc = acc.saturating_mul(n - k + i) / i;
+        if acc >= cap {
+            return cap;
+        }
+    }
+    acc
+}
+
+/// Empirical approximation ratio of a solver's seed set against the exact
+/// optimum (1.0 when the optimum influences nothing).
+pub fn empirical_ratio(collection: &RicCollection, seeds: &[NodeId], k: usize) -> f64 {
+    let opt = exhaustive(collection, k);
+    if opt.influenced_samples == 0 {
+        return 1.0;
+    }
+    collection.influenced_count(seeds) as f64 / opt.influenced_samples as f64
+}
+
+/// Convenience used by diagnostics: evaluates a seed set via a fresh
+/// [`CoverageState`] (exercising the incremental path).
+pub fn incremental_score(collection: &RicCollection, seeds: &[NodeId]) -> usize {
+    let mut st = CoverageState::new(collection);
+    for &s in seeds {
+        st.add_seed(s);
+    }
+    st.influenced_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoverSet, RicSample};
+    use imc_community::CommunityId;
+
+    fn mk(width: usize, bits: &[usize]) -> CoverSet {
+        let mut c = CoverSet::new(width);
+        for &b in bits {
+            c.set(b);
+        }
+        c
+    }
+
+    fn trap_collection() -> RicCollection {
+        // Sample 0 (h=2) needs {0,1}; sample 1 (h=1) taken by 2; sample 2
+        // (h=1) taken by 2.
+        let mut col = RicCollection::new(4, 2, 3.0);
+        col.push(RicSample {
+            community: CommunityId::new(0),
+            threshold: 2,
+            community_size: 2,
+            nodes: vec![NodeId::new(0), NodeId::new(1)],
+            covers: vec![mk(2, &[0]), mk(2, &[1])],
+        });
+        for _ in 0..2 {
+            col.push(RicSample {
+                community: CommunityId::new(1),
+                threshold: 1,
+                community_size: 1,
+                nodes: vec![NodeId::new(2)],
+                covers: vec![mk(1, &[0])],
+            });
+        }
+        col
+    }
+
+    #[test]
+    fn finds_true_optimum() {
+        let col = trap_collection();
+        // k=2: {2, anything} gets 2; {0,1} gets 1 → optimum is 2.
+        let sol = exhaustive(&col, 2);
+        assert_eq!(sol.influenced_samples, 2);
+        assert!(sol.seeds.contains(&NodeId::new(2)));
+        // k=3: {0,1,2} gets all 3.
+        let sol = exhaustive(&col, 3);
+        assert_eq!(sol.influenced_samples, 3);
+    }
+
+    #[test]
+    fn early_exit_when_everything_influenced() {
+        let col = trap_collection();
+        let sol = exhaustive(&col, 3);
+        // Only one 3-subset exists; evaluated counter small.
+        assert_eq!(sol.subsets_evaluated, 1);
+    }
+
+    #[test]
+    fn empirical_ratio_of_optimal_is_one() {
+        let col = trap_collection();
+        let sol = exhaustive(&col, 2);
+        assert_eq!(empirical_ratio(&col, &sol.seeds, 2), 1.0);
+    }
+
+    #[test]
+    fn greedy_ratio_measurable() {
+        let col = trap_collection();
+        let greedy = crate::maxr::greedy::greedy_c(&col, 2);
+        let ratio = empirical_ratio(&col, &greedy, 2);
+        assert!(ratio > 0.0 && ratio <= 1.0);
+    }
+
+    #[test]
+    fn incremental_score_matches_batch() {
+        let col = trap_collection();
+        let seeds = [NodeId::new(0), NodeId::new(1), NodeId::new(2)];
+        assert_eq!(incremental_score(&col, &seeds), col.influenced_count(&seeds));
+    }
+
+    #[test]
+    fn empty_collection() {
+        let col = RicCollection::new(3, 1, 1.0);
+        let sol = exhaustive(&col, 2);
+        assert_eq!(sol.influenced_samples, 0);
+        assert!(sol.seeds.is_empty());
+    }
+
+    #[test]
+    fn k_exceeding_candidates_clamps() {
+        let col = trap_collection();
+        let sol = exhaustive(&col, 50);
+        assert_eq!(sol.influenced_samples, 3);
+    }
+
+    #[test]
+    fn binomial_capped_values() {
+        assert_eq!(binomial_capped(5, 2, 1000), 10);
+        assert_eq!(binomial_capped(60, 30, 1 << 20), 1 << 20); // capped
+    }
+}

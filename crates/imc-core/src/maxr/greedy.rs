@@ -1,0 +1,243 @@
+//! Greedy seed selection over RIC collections.
+//!
+//! Two variants, matching the two objectives UBG sandwiches:
+//!
+//! * [`greedy_c`] — plain greedy on `ĉ_R`. Because `ĉ_R` is
+//!   **non-submodular** (Lemma 2), lazy (CELF) pruning is unsound here:
+//!   marginal gains can *increase* as seeds are added, so every round
+//!   re-evaluates all candidates.
+//! * [`greedy_nu`] — CELF lazy greedy on the submodular upper bound `ν_R`
+//!   (Lemma 3 makes laziness sound), giving the usual `1 − 1/e` guarantee
+//!   for `S_ν`.
+
+use crate::maxr::pad_to_k;
+use crate::{CoverageState, RicCollection};
+use imc_graph::NodeId;
+use std::cmp::Ordering;
+
+/// Plain (re-evaluating) greedy on the number of influenced samples.
+///
+/// Returns exactly `min(k, n)` seeds: once no candidate has positive gain
+/// the remainder is padded with the most-appearing unused nodes.
+pub fn greedy_c(collection: &RicCollection, k: usize) -> Vec<NodeId> {
+    let k = k.min(collection.node_count());
+    let mut state = CoverageState::new(collection);
+    let candidates: Vec<NodeId> = (0..collection.node_count() as u32)
+        .map(NodeId::new)
+        .filter(|&v| collection.appearance_count(v) > 0)
+        .collect();
+    let mut used = vec![false; collection.node_count()];
+    let mut seeds = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut best: Option<(usize, NodeId)> = None;
+        for &v in &candidates {
+            if used[v.index()] {
+                continue;
+            }
+            let gain = state.marginal_influenced(v);
+            let better = match best {
+                None => gain > 0,
+                Some((bg, bv)) => gain > bg || (gain == bg && gain > 0 && v < bv),
+            };
+            if better {
+                best = Some((gain, v));
+            }
+        }
+        match best {
+            Some((_, v)) => {
+                state.add_seed(v);
+                used[v.index()] = true;
+                seeds.push(v);
+            }
+            None => break,
+        }
+    }
+    pad_to_k(collection, &mut seeds, k);
+    seeds
+}
+
+/// Heap entry for CELF: gain with a staleness stamp.
+#[derive(Debug, PartialEq)]
+struct Entry {
+    gain: f64,
+    node: u32,
+    stamp: u32,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.node.cmp(&self.node)) // prefer smaller id on tie
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// CELF lazy greedy on the fractional objective `ν_R`.
+///
+/// Returns exactly `min(k, n)` seeds (padded like [`greedy_c`]).
+pub fn greedy_nu(collection: &RicCollection, k: usize) -> Vec<NodeId> {
+    let k = k.min(collection.node_count());
+    let mut state = CoverageState::new(collection);
+    let mut heap: std::collections::BinaryHeap<Entry> = (0..collection.node_count() as u32)
+        .filter(|&v| collection.appearance_count(NodeId::new(v)) > 0)
+        .map(|v| Entry {
+            gain: state.marginal_fraction(NodeId::new(v)),
+            node: v,
+            stamp: 0,
+        })
+        .collect();
+    let mut seeds = Vec::with_capacity(k);
+    let mut round = 0u32;
+    while seeds.len() < k {
+        match heap.pop() {
+            None => break,
+            Some(e) => {
+                if e.gain <= 1e-15 {
+                    break;
+                }
+                if e.stamp == round {
+                    let v = NodeId::new(e.node);
+                    state.add_seed(v);
+                    seeds.push(v);
+                    round += 1;
+                } else {
+                    heap.push(Entry {
+                        gain: state.marginal_fraction(NodeId::new(e.node)),
+                        node: e.node,
+                        stamp: round,
+                    });
+                }
+            }
+        }
+    }
+    pad_to_k(collection, &mut seeds, k);
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoverSet, RicSample};
+    use imc_community::CommunityId;
+
+    fn mk_cover(width: usize, bits: &[usize]) -> CoverSet {
+        let mut c = CoverSet::new(width);
+        for &b in bits {
+            c.set(b);
+        }
+        c
+    }
+
+    /// Collection where the non-submodular trap is visible: sample needs
+    /// BOTH nodes 0 and 1 (h=2); node 2 alone influences a different
+    /// sample.
+    fn trap_collection() -> RicCollection {
+        let mut col = RicCollection::new(4, 2, 2.0);
+        col.push(RicSample {
+            community: CommunityId::new(0),
+            threshold: 2,
+            community_size: 2,
+            nodes: vec![NodeId::new(0), NodeId::new(1)],
+            covers: vec![mk_cover(2, &[0]), mk_cover(2, &[1])],
+        });
+        col.push(RicSample {
+            community: CommunityId::new(1),
+            threshold: 1,
+            community_size: 1,
+            nodes: vec![NodeId::new(2)],
+            covers: vec![mk_cover(1, &[0])],
+        });
+        col
+    }
+
+    #[test]
+    fn greedy_c_returns_k_seeds() {
+        let col = trap_collection();
+        let s = greedy_c(&col, 3);
+        assert_eq!(s.len(), 3);
+        // All seeds distinct.
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn greedy_c_first_pick_is_the_zero_marginal_trap() {
+        // With k=1 no single node influences sample 0; node 2 influences
+        // sample 1 → greedy must pick node 2 first.
+        let col = trap_collection();
+        let s = greedy_c(&col, 1);
+        assert_eq!(s, vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn greedy_c_k3_covers_both_samples() {
+        let col = trap_collection();
+        let s = greedy_c(&col, 3);
+        assert_eq!(col.influenced_count(&s), 2);
+    }
+
+    #[test]
+    fn greedy_nu_sees_through_the_trap() {
+        // ν gain of node 0 or 1 is 1/2 > 0, so greedy_nu picks them even
+        // though their ĉ gain is 0 — the whole point of the sandwich.
+        let col = trap_collection();
+        let s = greedy_nu(&col, 3);
+        assert_eq!(col.influenced_count(&s), 2);
+        assert!(s.contains(&NodeId::new(0)) && s.contains(&NodeId::new(1)));
+    }
+
+    #[test]
+    fn greedy_nu_matches_brute_force_on_small_instance() {
+        // ν_R is submodular; CELF must equal plain greedy on ν.
+        let col = trap_collection();
+        let celf = greedy_nu(&col, 2);
+        // Plain greedy on ν:
+        let mut state = CoverageState::new(&col);
+        let mut plain = Vec::new();
+        for _ in 0..2 {
+            let best = (0..4u32)
+                .map(NodeId::new)
+                .max_by(|&a, &b| {
+                    state
+                        .marginal_fraction(a)
+                        .total_cmp(&state.marginal_fraction(b))
+                        .then(b.cmp(&a))
+                })
+                .unwrap();
+            state.add_seed(best);
+            plain.push(best);
+        }
+        assert_eq!(col.nu_estimate(&celf), col.nu_estimate(&plain));
+    }
+
+    #[test]
+    fn empty_collection_pads_with_arbitrary_nodes() {
+        let col = RicCollection::new(5, 1, 1.0);
+        let s = greedy_c(&col, 2);
+        assert_eq!(s.len(), 2);
+        let s = greedy_nu(&col, 2);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn k_larger_than_n_clamps() {
+        let col = trap_collection();
+        let s = greedy_c(&col, 100);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn deterministic() {
+        let col = trap_collection();
+        assert_eq!(greedy_c(&col, 3), greedy_c(&col, 3));
+        assert_eq!(greedy_nu(&col, 3), greedy_nu(&col, 3));
+    }
+}

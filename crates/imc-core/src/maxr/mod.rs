@@ -1,0 +1,236 @@
+//! Solvers for the MAXR problem (Definition 3): given a collection `R` of
+//! RIC samples, pick `k` seeds maximizing the number of influenced samples.
+//!
+//! | Solver | Ratio (paper) | Requires |
+//! |---|---|---|
+//! | [`greedy`] (plain, on `ĉ_R`) | none (non-submodular) | — |
+//! | [`ubg`] (sandwich on `ν_R`)  | `(ĉ(S_ν)/ν(S_ν))·(1−1/e)` (Thm. 2) | — |
+//! | [`maf`] (most-appearance)    | `⌊k/h⌋ / r` (Thm. 3) | — |
+//! | [`bt`]  (bounded threshold)  | `(1−1/e)/k` (Thm. 4), `(1−1/e)/k^{d−1}` for BT^(d) | `h_i ≤ d` |
+//! | [`mb`]  (MAF ∨ BT)           | `Θ(√((1−1/e)/r))` (Thm. 5) | `h_i ≤ 2` |
+
+pub mod bt;
+pub mod exhaustive;
+pub mod greedy;
+pub mod maf;
+pub mod mb;
+pub mod ubg;
+
+use crate::{ImcError, ImcInstance, Result, RicCollection};
+use imc_graph::NodeId;
+
+/// Which MAXR solver the framework should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaxrAlgorithm {
+    /// Plain greedy on `ĉ_R` — no guarantee (non-submodular), strong in
+    /// practice.
+    Greedy,
+    /// Upper Bound Greedy (Alg. 2): sandwich with the submodular `ν_R`.
+    Ubg,
+    /// Most Appearance First (Alg. 3).
+    Maf,
+    /// Bounded-threshold algorithm (Alg. 4), thresholds ≤ 2.
+    Bt,
+    /// Recursive extension `BT^(d)`, thresholds ≤ `d` (`d ≥ 2`).
+    Btd(u32),
+    /// MB = best of MAF and BT (Theorem 5), thresholds ≤ 2.
+    Mb,
+}
+
+/// Result of a MAXR solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxrSolution {
+    /// Chosen seeds, in pick order, exactly `min(k, n)` of them.
+    pub seeds: Vec<NodeId>,
+    /// Number of samples in the collection influenced by `seeds`.
+    pub influenced_samples: usize,
+    /// The estimator `ĉ_R(seeds)`.
+    pub estimate: f64,
+}
+
+impl MaxrAlgorithm {
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MaxrAlgorithm::Greedy => "GREEDY",
+            MaxrAlgorithm::Ubg => "UBG",
+            MaxrAlgorithm::Maf => "MAF",
+            MaxrAlgorithm::Bt => "BT",
+            MaxrAlgorithm::Btd(_) => "BT^d",
+            MaxrAlgorithm::Mb => "MB",
+        }
+    }
+
+    /// The approximation ratio `α` the paper proves for this solver, used
+    /// to size the sample bound `Ψ` (eq. 22).
+    ///
+    /// For solvers without a universal guarantee (plain greedy) and for UBG
+    /// (whose SSA integration optimizes the submodular `ν`, §V-B) this is
+    /// `1 − 1/e`. MAF's ratio is clamped below by `1/(r·h)` so `Ψ` stays
+    /// finite when `k < h`.
+    pub fn approximation_ratio(&self, r: usize, h: u32, k: usize) -> f64 {
+        let r = r.max(1) as f64;
+        let one_minus_inv_e = 1.0 - 1.0 / std::f64::consts::E;
+        match self {
+            MaxrAlgorithm::Greedy | MaxrAlgorithm::Ubg => one_minus_inv_e,
+            MaxrAlgorithm::Maf => {
+                let ratio = (k as f64 / h.max(1) as f64).floor().max(1.0) / r;
+                ratio.min(1.0)
+            }
+            MaxrAlgorithm::Bt => one_minus_inv_e / k.max(1) as f64,
+            MaxrAlgorithm::Btd(d) => {
+                one_minus_inv_e / (k.max(1) as f64).powi(d.saturating_sub(1).max(1) as i32)
+            }
+            MaxrAlgorithm::Mb => {
+                let half = ((k / 2).max(1)) as f64 / k.max(1) as f64;
+                (one_minus_inv_e / r * half).sqrt().min(1.0)
+            }
+        }
+    }
+
+    /// Runs the solver on a sample collection.
+    ///
+    /// `seed` drives MAF's random member picks (the only randomized
+    /// solver); other solvers are deterministic and ignore it.
+    ///
+    /// # Errors
+    ///
+    /// * [`ImcError::InvalidBudget`] for `k == 0` or `k > n`.
+    /// * [`ImcError::ThresholdTooLarge`] when BT/BT^(d)/MB run on an
+    ///   instance whose thresholds exceed their bound.
+    pub fn solve(
+        &self,
+        instance: &ImcInstance,
+        collection: &RicCollection,
+        k: usize,
+        seed: u64,
+    ) -> Result<MaxrSolution> {
+        instance.validate_budget(k)?;
+        let max_h = instance.max_threshold();
+        let seeds = match self {
+            MaxrAlgorithm::Greedy => greedy::greedy_c(collection, k),
+            MaxrAlgorithm::Ubg => ubg::ubg(collection, k).seeds,
+            MaxrAlgorithm::Maf => maf::maf(instance.communities(), collection, k, seed).seeds,
+            MaxrAlgorithm::Bt => {
+                require_bounded(max_h, 2)?;
+                bt::bt(collection, k, &bt::BtConfig::default()).seeds
+            }
+            MaxrAlgorithm::Btd(d) => {
+                if *d < 2 {
+                    return Err(ImcError::InvalidParameter { name: "bt depth" });
+                }
+                require_bounded(max_h, *d)?;
+                bt::bt(collection, k, &bt::BtConfig { depth: *d, ..Default::default() })
+                    .seeds
+            }
+            MaxrAlgorithm::Mb => {
+                require_bounded(max_h, 2)?;
+                mb::mb(instance.communities(), collection, k, seed).seeds
+            }
+        };
+        let influenced = collection.influenced_count(&seeds);
+        let estimate = collection.estimate(&seeds);
+        Ok(MaxrSolution { seeds, influenced_samples: influenced, estimate })
+    }
+}
+
+fn require_bounded(max_threshold: u32, bound: u32) -> Result<()> {
+    if max_threshold > bound {
+        Err(ImcError::ThresholdTooLarge { bound, max_threshold })
+    } else {
+        Ok(())
+    }
+}
+
+/// Pads `seeds` up to `k` with the unused nodes that appear in the most
+/// samples (extra seeds never hurt the objective). Shared by all solvers so
+/// every algorithm returns exactly `min(k, n)` seeds, matching how the
+/// paper compares fixed-budget solutions.
+pub(crate) fn pad_to_k(collection: &RicCollection, seeds: &mut Vec<NodeId>, k: usize) {
+    let k = k.min(collection.node_count());
+    if seeds.len() >= k {
+        seeds.truncate(k);
+        return;
+    }
+    let mut used = vec![false; collection.node_count()];
+    for s in seeds.iter() {
+        used[s.index()] = true;
+    }
+    let mut rest: Vec<(usize, u32)> = (0..collection.node_count() as u32)
+        .filter(|&v| !used[v as usize])
+        .map(|v| (collection.appearance_count(NodeId::new(v)), v))
+        .collect();
+    // Highest appearance first; ties by smallest id for determinism.
+    rest.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for (_, v) in rest {
+        if seeds.len() >= k {
+            break;
+        }
+        seeds.push(NodeId::new(v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let algos = [
+            MaxrAlgorithm::Greedy,
+            MaxrAlgorithm::Ubg,
+            MaxrAlgorithm::Maf,
+            MaxrAlgorithm::Bt,
+            MaxrAlgorithm::Mb,
+        ];
+        let names: std::collections::HashSet<&str> =
+            algos.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), algos.len());
+    }
+
+    #[test]
+    fn ratios_are_probabilities() {
+        for algo in [
+            MaxrAlgorithm::Greedy,
+            MaxrAlgorithm::Ubg,
+            MaxrAlgorithm::Maf,
+            MaxrAlgorithm::Bt,
+            MaxrAlgorithm::Btd(3),
+            MaxrAlgorithm::Mb,
+        ] {
+            for (r, h, k) in [(1usize, 1u32, 1usize), (10, 2, 5), (100, 4, 50)] {
+                let a = algo.approximation_ratio(r, h, k);
+                assert!(a > 0.0 && a <= 1.0, "{algo:?} ratio {a} for r={r} h={h} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn maf_ratio_matches_theorem3() {
+        // ⌊k/h⌋ / r with k=10, h=2, r=5 → 5/5 = 1 (clamped to 1).
+        assert_eq!(MaxrAlgorithm::Maf.approximation_ratio(5, 2, 10), 1.0);
+        // k=4, h=2, r=10 → 2/10.
+        assert!((MaxrAlgorithm::Maf.approximation_ratio(10, 2, 4) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bt_ratio_matches_theorem4() {
+        let e = std::f64::consts::E;
+        let expect = (1.0 - 1.0 / e) / 7.0;
+        assert!((MaxrAlgorithm::Bt.approximation_ratio(3, 2, 7) - expect).abs() < 1e-12);
+        // BT^(3) divides by k².
+        let expect3 = (1.0 - 1.0 / e) / 49.0;
+        assert!(
+            (MaxrAlgorithm::Btd(3).approximation_ratio(3, 3, 7) - expect3).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn mb_ratio_matches_theorem5_shape() {
+        // Θ(√((1−1/e)/r)) up to the ⌊k/2⌋/k factor.
+        let a = MaxrAlgorithm::Mb.approximation_ratio(100, 2, 10);
+        let e = std::f64::consts::E;
+        let expect = ((1.0 - 1.0 / e) / 100.0 * 0.5).sqrt();
+        assert!((a - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,251 @@
+use crate::{CoverSet, RicCollection};
+use imc_graph::NodeId;
+
+/// Incremental evaluator of the MAXR objectives over a [`RicCollection`].
+///
+/// Maintains, per sample, the union of cover sets of the seeds added so
+/// far. Both greedy solvers drive it:
+///
+/// * `marginal_influenced(v)` — how many *additional* samples become
+///   influenced if `v` is added (the ĉ_R greedy gain; **not** submodular,
+///   so the plain greedy re-evaluates candidates every round);
+/// * `marginal_fraction(v)` — the increase of
+///   `Σ_g min(|I_g|/h_g, 1)` (the ν_R greedy gain; submodular by Lemma 3,
+///   so CELF lazy evaluation is sound).
+#[derive(Debug, Clone)]
+pub struct CoverageState<'a> {
+    collection: &'a RicCollection,
+    unions: Vec<CoverSet>,
+    counts: Vec<u32>,
+    influenced: Vec<bool>,
+    influenced_count: usize,
+    fraction_sum: f64,
+    seeds: Vec<NodeId>,
+}
+
+impl<'a> CoverageState<'a> {
+    /// Fresh state with no seeds.
+    pub fn new(collection: &'a RicCollection) -> Self {
+        let unions = collection
+            .samples()
+            .iter()
+            .map(|s| CoverSet::new(s.community_size as usize))
+            .collect();
+        CoverageState {
+            collection,
+            unions,
+            counts: vec![0; collection.len()],
+            influenced: vec![false; collection.len()],
+            influenced_count: 0,
+            fraction_sum: 0.0,
+            seeds: Vec::new(),
+        }
+    }
+
+    /// The collection being evaluated.
+    pub fn collection(&self) -> &RicCollection {
+        self.collection
+    }
+
+    /// Seeds added so far, in insertion order.
+    pub fn seeds(&self) -> &[NodeId] {
+        &self.seeds
+    }
+
+    /// Number of samples currently influenced.
+    pub fn influenced_count(&self) -> usize {
+        self.influenced_count
+    }
+
+    /// Current `ĉ_R(seeds)`.
+    pub fn estimate(&self) -> f64 {
+        if self.collection.is_empty() {
+            return 0.0;
+        }
+        self.collection.total_benefit() * self.influenced_count as f64
+            / self.collection.len() as f64
+    }
+
+    /// Current `ν_R(seeds)`.
+    pub fn nu_estimate(&self) -> f64 {
+        if self.collection.is_empty() {
+            return 0.0;
+        }
+        self.collection.total_benefit() * self.fraction_sum / self.collection.len() as f64
+    }
+
+    /// Number of additional samples influenced if `v` were added.
+    pub fn marginal_influenced(&self, v: NodeId) -> usize {
+        let mut gain = 0usize;
+        for r in self.collection.touched_by(v) {
+            let si = r.sample as usize;
+            if self.influenced[si] {
+                continue;
+            }
+            let sample = &self.collection.samples()[si];
+            let cover = &sample.covers[r.pos as usize];
+            if self.unions[si].union_count(cover) >= sample.threshold {
+                gain += 1;
+            }
+        }
+        gain
+    }
+
+    /// Increase of `Σ_g min(|I_g|/h_g, 1)` if `v` were added.
+    pub fn marginal_fraction(&self, v: NodeId) -> f64 {
+        let mut gain = 0.0f64;
+        for r in self.collection.touched_by(v) {
+            let si = r.sample as usize;
+            let sample = &self.collection.samples()[si];
+            let h = sample.threshold as f64;
+            let cur = (self.counts[si] as f64 / h).min(1.0);
+            if cur >= 1.0 {
+                continue;
+            }
+            let cover = &sample.covers[r.pos as usize];
+            let new = (self.unions[si].union_count(cover) as f64 / h).min(1.0);
+            gain += new - cur;
+        }
+        gain
+    }
+
+    /// Adds `v` as a seed, updating all per-sample state. Adding a
+    /// duplicate seed is a no-op for the objective (unions are idempotent)
+    /// but still records the seed.
+    pub fn add_seed(&mut self, v: NodeId) {
+        for r in self.collection.touched_by(v) {
+            let si = r.sample as usize;
+            let sample = &self.collection.samples()[si];
+            let cover = &sample.covers[r.pos as usize];
+            let h = sample.threshold as f64;
+            let before = (self.counts[si] as f64 / h).min(1.0);
+            self.unions[si].or_assign(cover);
+            let count = self.unions[si].count_ones();
+            self.counts[si] = count;
+            let after = (count as f64 / h).min(1.0);
+            self.fraction_sum += after - before;
+            if !self.influenced[si] && count >= sample.threshold {
+                self.influenced[si] = true;
+                self.influenced_count += 1;
+            }
+        }
+        self.seeds.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RicSample;
+    use imc_community::CommunityId;
+
+    fn build_collection() -> RicCollection {
+        let mut col = RicCollection::new(6, 2, 4.0);
+        // Sample 0: community 0, h = 2, members {a, b} (width 2).
+        // node 1 covers a, node 2 covers b, node 3 covers both.
+        let mk = |bits: &[usize]| {
+            let mut c = CoverSet::new(2);
+            for &b in bits {
+                c.set(b);
+            }
+            c
+        };
+        col.push(RicSample {
+            community: CommunityId::new(0),
+            threshold: 2,
+            community_size: 2,
+            nodes: vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)],
+            covers: vec![mk(&[0]), mk(&[1]), mk(&[0, 1])],
+        });
+        // Sample 1: community 1, h = 1; node 2 covers member 0.
+        col.push(RicSample {
+            community: CommunityId::new(1),
+            threshold: 1,
+            community_size: 2,
+            nodes: vec![NodeId::new(2)],
+            covers: vec![mk(&[0])],
+        });
+        col
+    }
+
+    #[test]
+    fn marginals_match_brute_force() {
+        let col = build_collection();
+        let mut st = CoverageState::new(&col);
+        for v in [1u32, 2, 3, 4] {
+            let v = NodeId::new(v);
+            let brute = col.influenced_count(&[v]);
+            assert_eq!(st.marginal_influenced(v), brute, "node {v}");
+        }
+        st.add_seed(NodeId::new(1));
+        // After seeding 1 (covers a in sample 0): adding 2 completes
+        // sample 0 AND influences sample 1 → gain 2.
+        assert_eq!(st.marginal_influenced(NodeId::new(2)), 2);
+        assert_eq!(st.marginal_influenced(NodeId::new(3)), 1);
+    }
+
+    #[test]
+    fn state_estimate_matches_collection_estimate() {
+        let col = build_collection();
+        let mut st = CoverageState::new(&col);
+        st.add_seed(NodeId::new(2));
+        st.add_seed(NodeId::new(1));
+        let seeds = [NodeId::new(2), NodeId::new(1)];
+        assert_eq!(st.estimate(), col.estimate(&seeds));
+        assert!((st.nu_estimate() - col.nu_estimate(&seeds)).abs() < 1e-12);
+        assert_eq!(st.influenced_count(), 2);
+    }
+
+    #[test]
+    fn fraction_marginals_are_consistent() {
+        let col = build_collection();
+        let mut st = CoverageState::new(&col);
+        let g3 = st.marginal_fraction(NodeId::new(3));
+        // Node 3 covers both members of sample 0: fraction gain = 1.0.
+        assert!((g3 - 1.0).abs() < 1e-12);
+        let g1 = st.marginal_fraction(NodeId::new(1));
+        assert!((g1 - 0.5).abs() < 1e-12);
+        st.add_seed(NodeId::new(1));
+        // Remaining gain for 3 is only the missing half of sample 0.
+        assert!((st.marginal_fraction(NodeId::new(3)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_sum_never_exceeds_sample_count() {
+        let col = build_collection();
+        let mut st = CoverageState::new(&col);
+        for v in [1u32, 2, 3] {
+            st.add_seed(NodeId::new(v));
+        }
+        assert!(st.nu_estimate() <= col.total_benefit() + 1e-12);
+        assert_eq!(st.influenced_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_seed_is_idempotent_for_objective() {
+        let col = build_collection();
+        let mut st = CoverageState::new(&col);
+        st.add_seed(NodeId::new(3));
+        let before = st.estimate();
+        st.add_seed(NodeId::new(3));
+        assert_eq!(st.estimate(), before);
+    }
+
+    #[test]
+    fn submodularity_of_fraction_gain() {
+        // marginal_fraction must be non-increasing as seeds are added
+        // (Lemma 3's submodularity), for every candidate.
+        let col = build_collection();
+        let mut st = CoverageState::new(&col);
+        let candidates: Vec<NodeId> = (0..6).map(NodeId::new).collect();
+        let before: Vec<f64> =
+            candidates.iter().map(|&v| st.marginal_fraction(v)).collect();
+        st.add_seed(NodeId::new(2));
+        for (i, &v) in candidates.iter().enumerate() {
+            assert!(
+                st.marginal_fraction(v) <= before[i] + 1e-12,
+                "gain increased for {v}"
+            );
+        }
+    }
+}

@@ -1,0 +1,147 @@
+use crate::{ImcError, Result, RicSampler};
+use imc_community::CommunitySet;
+use imc_graph::Graph;
+
+/// A validated IMC problem instance: the influence graph plus its community
+/// structure.
+///
+/// Owns both parts so solver code can borrow them coherently; construction
+/// checks they describe the same node universe and that at least one
+/// community exists (otherwise the objective is identically zero).
+#[derive(Debug, Clone)]
+pub struct ImcInstance {
+    graph: Graph,
+    communities: CommunitySet,
+}
+
+impl ImcInstance {
+    /// Bundles a graph with its community set.
+    ///
+    /// # Errors
+    ///
+    /// * [`ImcError::Mismatched`] when the community set was validated
+    ///   against a different node count.
+    /// * [`ImcError::NoCommunities`] when the set is empty.
+    pub fn new(graph: Graph, communities: CommunitySet) -> Result<Self> {
+        if graph.node_count() != communities.node_count() {
+            return Err(ImcError::Mismatched {
+                graph_nodes: graph.node_count(),
+                community_nodes: communities.node_count(),
+            });
+        }
+        if communities.is_empty() {
+            return Err(ImcError::NoCommunities);
+        }
+        Ok(ImcInstance { graph, communities })
+    }
+
+    /// The influence graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The community structure.
+    pub fn communities(&self) -> &CommunitySet {
+        &self.communities
+    }
+
+    /// Number of nodes `n`.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of communities `r`.
+    pub fn community_count(&self) -> usize {
+        self.communities.len()
+    }
+
+    /// Total benefit `b`.
+    pub fn total_benefit(&self) -> f64 {
+        self.communities.total_benefit()
+    }
+
+    /// Largest threshold `h`.
+    pub fn max_threshold(&self) -> u32 {
+        self.communities.max_threshold()
+    }
+
+    /// Smallest benefit `β`.
+    pub fn min_benefit(&self) -> f64 {
+        self.communities.min_benefit()
+    }
+
+    /// A RIC sampler borrowing this instance.
+    pub fn sampler(&self) -> RicSampler<'_> {
+        RicSampler::new(&self.graph, &self.communities)
+    }
+
+    /// Validates a seed budget against the instance.
+    ///
+    /// # Errors
+    ///
+    /// [`ImcError::InvalidBudget`] when `k == 0` or `k > n`.
+    pub fn validate_budget(&self, k: usize) -> Result<()> {
+        if k == 0 || k > self.node_count() {
+            Err(ImcError::InvalidBudget { k, node_count: self.node_count() })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_graph::{GraphBuilder, NodeId};
+
+    fn graph3() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.build().unwrap()
+    }
+
+    fn communities3() -> CommunitySet {
+        CommunitySet::from_parts(3, vec![(vec![NodeId::new(1)], 1, 2.0)]).unwrap()
+    }
+
+    #[test]
+    fn valid_instance() {
+        let inst = ImcInstance::new(graph3(), communities3()).unwrap();
+        assert_eq!(inst.node_count(), 3);
+        assert_eq!(inst.community_count(), 1);
+        assert_eq!(inst.total_benefit(), 2.0);
+        assert_eq!(inst.max_threshold(), 1);
+        assert_eq!(inst.min_benefit(), 2.0);
+    }
+
+    #[test]
+    fn mismatched_node_counts_rejected() {
+        let cs = CommunitySet::from_parts(5, vec![(vec![NodeId::new(1)], 1, 1.0)]).unwrap();
+        assert!(matches!(
+            ImcInstance::new(graph3(), cs),
+            Err(ImcError::Mismatched { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_communities_rejected() {
+        let cs = CommunitySet::from_parts(3, vec![]).unwrap();
+        assert!(matches!(ImcInstance::new(graph3(), cs), Err(ImcError::NoCommunities)));
+    }
+
+    #[test]
+    fn budget_validation() {
+        let inst = ImcInstance::new(graph3(), communities3()).unwrap();
+        assert!(inst.validate_budget(1).is_ok());
+        assert!(inst.validate_budget(3).is_ok());
+        assert!(inst.validate_budget(0).is_err());
+        assert!(inst.validate_budget(4).is_err());
+    }
+
+    #[test]
+    fn sampler_borrows_instance() {
+        let inst = ImcInstance::new(graph3(), communities3()).unwrap();
+        let sampler = inst.sampler();
+        assert_eq!(sampler.communities().len(), 1);
+    }
+}

@@ -1,0 +1,63 @@
+use std::fmt;
+
+/// Errors from diffusion simulation and estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffusionError {
+    /// A seed node id is outside the graph.
+    SeedOutOfRange {
+        /// The raw offending node id.
+        node: u32,
+        /// Graph node count.
+        node_count: u32,
+    },
+    /// An estimation parameter (`ε` or `δ`) is outside `(0, 1)`.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+    },
+    /// A stopping-rule estimator exhausted its sample budget before
+    /// reaching the required confidence.
+    BudgetExhausted {
+        /// How many samples were drawn.
+        samples: u64,
+    },
+}
+
+impl fmt::Display for DiffusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffusionError::SeedOutOfRange { node, node_count } => {
+                write!(f, "seed node {node} out of range for graph with {node_count} nodes")
+            }
+            DiffusionError::InvalidParameter { name } => {
+                write!(f, "estimation parameter {name} must lie in (0, 1)")
+            }
+            DiffusionError::BudgetExhausted { samples } => {
+                write!(f, "sample budget exhausted after {samples} samples without convergence")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiffusionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_detail() {
+        let e = DiffusionError::SeedOutOfRange { node: 4, node_count: 2 };
+        assert!(e.to_string().contains('4'));
+        let e = DiffusionError::InvalidParameter { name: "epsilon" };
+        assert!(e.to_string().contains("epsilon"));
+        let e = DiffusionError::BudgetExhausted { samples: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<DiffusionError>();
+    }
+}

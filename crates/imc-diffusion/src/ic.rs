@@ -1,0 +1,265 @@
+use crate::model::{coin, validate_seeds};
+use crate::{DiffusionModel, Result};
+use imc_graph::{Graph, NodeId};
+
+/// The Independent Cascade model (Kempe et al. 2003) — the diffusion model
+/// of the IMC paper.
+///
+/// At round 0 the seeds are active. When a node becomes active it gets a
+/// *single* chance to activate each currently inactive out-neighbor `v`,
+/// succeeding independently with probability `w(u, v)`. The process runs
+/// until no new activation occurs.
+///
+/// The implementation is a BFS over "fresh" activations, so each edge is
+/// examined (and its coin flipped) at most once per simulation — equivalent
+/// to the live-edge interpretation used by the RIC/RIS samplers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndependentCascade;
+
+/// Round at which a node activated; [`NEVER`] when it stayed inactive.
+pub const NEVER: u32 = u32::MAX;
+
+impl IndependentCascade {
+    /// Like [`DiffusionModel::simulate`] but returns each node's
+    /// *activation round* (`0` for seeds, [`NEVER`] for inactive nodes)
+    /// and stops after `max_rounds` propagation rounds — the
+    /// deadline-constrained variant studied in time-critical viral
+    /// marketing (Chen et al. 2012).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DiffusionModel::simulate`].
+    pub fn simulate_rounds(
+        &self,
+        graph: &Graph,
+        seeds: &[NodeId],
+        max_rounds: u32,
+        rng: &mut dyn rand::RngCore,
+    ) -> crate::Result<Vec<u32>> {
+        crate::model::validate_seeds(graph, seeds)?;
+        let mut round_of = vec![NEVER; graph.node_count()];
+        let mut frontier: Vec<NodeId> = Vec::with_capacity(seeds.len());
+        for &s in seeds {
+            if round_of[s.index()] == NEVER {
+                round_of[s.index()] = 0;
+                frontier.push(s);
+            }
+        }
+        let mut next: Vec<NodeId> = Vec::new();
+        let mut round = 0u32;
+        while !frontier.is_empty() && round < max_rounds {
+            round += 1;
+            next.clear();
+            for &u in &frontier {
+                for e in graph.out_edges(u) {
+                    if round_of[e.target.index()] == NEVER && coin(rng, e.weight) {
+                        round_of[e.target.index()] = round;
+                        next.push(e.target);
+                    }
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        Ok(round_of)
+    }
+}
+
+impl DiffusionModel for IndependentCascade {
+    fn simulate(
+        &self,
+        graph: &Graph,
+        seeds: &[NodeId],
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<bool>> {
+        validate_seeds(graph, seeds)?;
+        let mut active = vec![false; graph.node_count()];
+        let mut frontier: Vec<NodeId> = Vec::with_capacity(seeds.len());
+        for &s in seeds {
+            if !active[s.index()] {
+                active[s.index()] = true;
+                frontier.push(s);
+            }
+        }
+        let mut next: Vec<NodeId> = Vec::new();
+        while !frontier.is_empty() {
+            next.clear();
+            for &u in &frontier {
+                for e in graph.out_edges(u) {
+                    if !active[e.target.index()] && coin(rng, e.weight) {
+                        active[e.target.index()] = true;
+                        next.push(e.target);
+                    }
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        Ok(active)
+    }
+
+    fn name(&self) -> &'static str {
+        "IC"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn seeds_always_active() {
+        let g = GraphBuilder::new(3).build().unwrap();
+        let act = IndependentCascade
+            .simulate(&g, &[NodeId::new(0), NodeId::new(2)], &mut rng())
+            .unwrap();
+        assert_eq!(act, vec![true, false, true]);
+    }
+
+    #[test]
+    fn weight_one_chain_fully_activates() {
+        let mut b = GraphBuilder::new(4);
+        for i in 0..3 {
+            b.add_edge(i, i + 1, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let act = IndependentCascade.simulate(&g, &[NodeId::new(0)], &mut rng()).unwrap();
+        assert!(act.iter().all(|&a| a));
+    }
+
+    #[test]
+    fn weight_zero_never_propagates() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0.0).unwrap();
+        let g = b.build().unwrap();
+        for seed in 0..20 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let act = IndependentCascade.simulate(&g, &[NodeId::new(0)], &mut r).unwrap();
+            assert!(!act[1]);
+        }
+    }
+
+    #[test]
+    fn propagation_respects_direction() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let act = IndependentCascade.simulate(&g, &[NodeId::new(1)], &mut rng()).unwrap();
+        assert_eq!(act, vec![false, true]);
+    }
+
+    #[test]
+    fn empty_seed_set_activates_nothing() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let act = IndependentCascade.simulate(&g, &[], &mut rng()).unwrap();
+        assert!(act.iter().all(|&a| !a));
+    }
+
+    #[test]
+    fn out_of_range_seed_errors() {
+        let g = GraphBuilder::new(2).build().unwrap();
+        assert!(IndependentCascade.simulate(&g, &[NodeId::new(5)], &mut rng()).is_err());
+    }
+
+    #[test]
+    fn duplicate_seeds_are_harmless() {
+        let g = GraphBuilder::new(2).build().unwrap();
+        let act = IndependentCascade
+            .simulate(&g, &[NodeId::new(0), NodeId::new(0)], &mut rng())
+            .unwrap();
+        assert_eq!(act, vec![true, false]);
+    }
+
+    #[test]
+    fn single_chance_per_edge() {
+        // 0 -> 1 with p=0.5: over many runs activation rate ≈ 0.5, which
+        // would be ≈1 if the edge were retried every round.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let mut r = StdRng::seed_from_u64(99);
+        let runs = 4000;
+        let mut hits = 0;
+        for _ in 0..runs {
+            let act = IndependentCascade.simulate(&g, &[NodeId::new(0)], &mut r).unwrap();
+            hits += usize::from(act[1]);
+        }
+        let rate = hits as f64 / runs as f64;
+        assert!((rate - 0.5).abs() < 0.05, "rate={rate}");
+    }
+
+    #[test]
+    fn rounds_variant_reports_activation_times() {
+        let mut b = GraphBuilder::new(4);
+        for i in 0..3 {
+            b.add_edge(i, i + 1, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let rounds = IndependentCascade
+            .simulate_rounds(&g, &[NodeId::new(0)], 100, &mut rng())
+            .unwrap();
+        assert_eq!(rounds, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rounds_variant_respects_deadline() {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4 {
+            b.add_edge(i, i + 1, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let rounds = IndependentCascade
+            .simulate_rounds(&g, &[NodeId::new(0)], 2, &mut rng())
+            .unwrap();
+        assert_eq!(rounds[0], 0);
+        assert_eq!(rounds[1], 1);
+        assert_eq!(rounds[2], 2);
+        assert_eq!(rounds[3], NEVER);
+        assert_eq!(rounds[4], NEVER);
+    }
+
+    #[test]
+    fn zero_deadline_activates_only_seeds() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let rounds = IndependentCascade
+            .simulate_rounds(&g, &[NodeId::new(0)], 0, &mut rng())
+            .unwrap();
+        assert_eq!(rounds, vec![0, NEVER]);
+    }
+
+    #[test]
+    fn unbounded_rounds_agree_with_simulate_on_deterministic_graph() {
+        let mut b = GraphBuilder::new(4);
+        for (u, v) in [(0, 1), (1, 2), (0, 3)] {
+            b.add_edge(u, v, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let active = IndependentCascade.simulate(&g, &[NodeId::new(0)], &mut rng()).unwrap();
+        let rounds = IndependentCascade
+            .simulate_rounds(&g, &[NodeId::new(0)], u32::MAX, &mut rng())
+            .unwrap();
+        for v in 0..4usize {
+            assert_eq!(active[v], rounds[v] != NEVER);
+        }
+    }
+
+    #[test]
+    fn cycle_terminates() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 1.0).unwrap();
+        b.add_edge(2, 0, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let act = IndependentCascade.simulate(&g, &[NodeId::new(0)], &mut rng()).unwrap();
+        assert!(act.iter().all(|&a| a));
+    }
+}

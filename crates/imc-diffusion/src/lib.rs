@@ -1,0 +1,56 @@
+//! Diffusion engine for the `imc` workspace.
+//!
+//! Everything that *runs* influence propagation lives here:
+//!
+//! * [`IndependentCascade`] and [`LinearThreshold`] — the two classic
+//!   diffusion models (the paper evaluates under IC; LT is the extension it
+//!   mentions), both implementing [`DiffusionModel`].
+//! * [`spread`] — Monte-Carlo estimation of the expected influence spread
+//!   `σ(S)` with deterministic multi-threaded sharding.
+//! * [`benefit`] — Monte-Carlo estimation of the IMC objective `c(S)` (the
+//!   expected benefit of *influenced communities*) and of the fractional
+//!   upper bound `ν(S)` used by the UBG sandwich analysis.
+//! * [`dagum`] — the Dagum–Karp–Luby–Ross stopping-rule estimator the paper
+//!   uses to grade final solutions (Alg. 6 is an instance of it).
+//! * [`rr`] and [`ris_im`] — classic Reverse Influence Sampling and a
+//!   RIS-greedy solver for plain influence maximization, the paper's `IM`
+//!   baseline.
+//!
+//! ```
+//! use imc_diffusion::{spread::monte_carlo_spread, IndependentCascade};
+//! use imc_graph::{GraphBuilder, NodeId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = GraphBuilder::new(3);
+//! b.add_edge(0, 1, 1.0)?;
+//! b.add_edge(1, 2, 0.5)?;
+//! let g = b.build()?;
+//! let s = monte_carlo_spread(&g, &IndependentCascade, &[NodeId::new(0)], 2000, 42);
+//! assert!((s - 2.5).abs() < 0.1); // 1 (seed) + 1 (sure) + 0.5 (coin)
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod ic;
+mod lt;
+mod model;
+
+pub mod benefit;
+pub mod celf;
+pub mod dagum;
+pub mod parallel;
+pub mod ris_im;
+pub mod rr;
+pub mod spread;
+
+pub use error::DiffusionError;
+pub use ic::IndependentCascade;
+pub use lt::LinearThreshold;
+pub use model::DiffusionModel;
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, DiffusionError>;

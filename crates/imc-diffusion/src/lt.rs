@@ -1,0 +1,142 @@
+use crate::model::validate_seeds;
+use crate::{DiffusionModel, Result};
+use imc_graph::{Graph, NodeId};
+use rand::Rng;
+
+/// The Linear Threshold model (Kempe et al. 2003).
+///
+/// Every node `v` draws a threshold `θ_v ~ U[0, 1]` per simulation; `v`
+/// activates once the summed weight of its *active* in-neighbors reaches
+/// `θ_v`. Requires `Σ_u w(u, v) ≤ 1` for the classic interpretation; larger
+/// sums are allowed (they just make activation easier) because real weight
+/// assignments (e.g. weighted cascade) already satisfy the constraint.
+///
+/// The paper proves its results under IC and notes the standard
+/// live-edge-equivalence argument extends them to LT; this implementation
+/// lets the harness rerun every experiment under LT.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinearThreshold;
+
+impl DiffusionModel for LinearThreshold {
+    fn simulate(
+        &self,
+        graph: &Graph,
+        seeds: &[NodeId],
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<bool>> {
+        validate_seeds(graph, seeds)?;
+        let n = graph.node_count();
+        let mut active = vec![false; n];
+        let mut pressure = vec![0.0f64; n]; // summed weight from active in-neighbors
+        let mut threshold = vec![0.0f64; n];
+        for t in threshold.iter_mut() {
+            *t = rng.random::<f64>();
+        }
+        let mut frontier: Vec<NodeId> = Vec::with_capacity(seeds.len());
+        for &s in seeds {
+            if !active[s.index()] {
+                active[s.index()] = true;
+                frontier.push(s);
+            }
+        }
+        let mut next: Vec<NodeId> = Vec::new();
+        while !frontier.is_empty() {
+            next.clear();
+            for &u in &frontier {
+                for e in graph.out_edges(u) {
+                    let v = e.target.index();
+                    if !active[v] {
+                        pressure[v] += e.weight;
+                        if pressure[v] >= threshold[v] {
+                            active[v] = true;
+                            next.push(e.target);
+                        }
+                    }
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        Ok(active)
+    }
+
+    fn name(&self) -> &'static str {
+        "LT"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_weight_edge_always_activates() {
+        // θ_v ~ U[0,1] < 1.0 almost surely; weight 1.0 meets any threshold.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let act = LinearThreshold.simulate(&g, &[NodeId::new(0)], &mut rng).unwrap();
+            assert!(act[1]);
+        }
+    }
+
+    #[test]
+    fn activation_rate_matches_incoming_weight() {
+        // One active in-neighbor with weight 0.3 activates v iff θ_v ≤ 0.3.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0.3).unwrap();
+        let g = b.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let runs = 6000;
+        let mut hits = 0;
+        for _ in 0..runs {
+            let act = LinearThreshold.simulate(&g, &[NodeId::new(0)], &mut rng).unwrap();
+            hits += usize::from(act[1]);
+        }
+        let rate = hits as f64 / runs as f64;
+        assert!((rate - 0.3).abs() < 0.03, "rate={rate}");
+    }
+
+    #[test]
+    fn joint_pressure_accumulates() {
+        // Two in-neighbors with weight 0.5 each: both active ⇒ pressure 1.0
+        // meets any threshold.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 2, 0.5).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let act = LinearThreshold
+                .simulate(&g, &[NodeId::new(0), NodeId::new(1)], &mut rng)
+                .unwrap();
+            assert!(act[2]);
+        }
+    }
+
+    #[test]
+    fn no_seeds_no_activation() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let act = LinearThreshold.simulate(&g, &[], &mut rng).unwrap();
+        assert!(act.iter().all(|&a| !a));
+    }
+
+    #[test]
+    fn out_of_range_seed_errors() {
+        let g = GraphBuilder::new(1).build().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(LinearThreshold.simulate(&g, &[NodeId::new(9)], &mut rng).is_err());
+    }
+
+    #[test]
+    fn name_is_lt() {
+        assert_eq!(LinearThreshold.name(), "LT");
+    }
+}

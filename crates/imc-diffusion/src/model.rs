@@ -1,0 +1,84 @@
+use crate::Result;
+use imc_graph::{Graph, NodeId};
+use rand::Rng;
+
+/// A progressive diffusion model: given a seed set, produce the (random)
+/// final activation state of every node.
+///
+/// Implementations must be *progressive* (activated nodes stay active) and
+/// must treat out-of-range seeds as an error, never a panic.
+///
+/// The trait is object-safe so harness code can switch models at runtime;
+/// the RNG is passed as `&mut dyn RngCore` for that reason.
+pub trait DiffusionModel: Send + Sync {
+    /// Runs one simulation and returns `activated[v]` for every node.
+    ///
+    /// # Errors
+    ///
+    /// [`DiffusionError::SeedOutOfRange`](crate::DiffusionError::SeedOutOfRange)
+    /// when a seed id is not a node of `graph`.
+    fn simulate(
+        &self,
+        graph: &Graph,
+        seeds: &[NodeId],
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<bool>>;
+
+    /// Short human-readable name used in reports ("IC", "LT").
+    fn name(&self) -> &'static str;
+}
+
+/// Validates a seed set against a graph (shared by implementations).
+pub(crate) fn validate_seeds(graph: &Graph, seeds: &[NodeId]) -> Result<()> {
+    for &s in seeds {
+        if !graph.contains(s) {
+            return Err(crate::DiffusionError::SeedOutOfRange {
+                node: s.raw(),
+                node_count: graph.node_count() as u32,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Bernoulli draw helper usable with `&mut dyn RngCore`.
+#[inline]
+pub(crate) fn coin(rng: &mut dyn rand::RngCore, p: f64) -> bool {
+    if p >= 1.0 {
+        true
+    } else if p <= 0.0 {
+        false
+    } else {
+        rng.random::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_graph::GraphBuilder;
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let g = GraphBuilder::new(2).build().unwrap();
+        assert!(validate_seeds(&g, &[NodeId::new(1)]).is_ok());
+        assert!(validate_seeds(&g, &[NodeId::new(2)]).is_err());
+    }
+
+    #[test]
+    fn coin_extremes_are_deterministic() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(coin(&mut rng, 1.0));
+        assert!(!coin(&mut rng, 0.0));
+        assert!(coin(&mut rng, 1.5));
+        assert!(!coin(&mut rng, -0.5));
+    }
+
+    #[test]
+    fn models_are_object_safe() {
+        fn takes_dyn(_m: &dyn DiffusionModel) {}
+        takes_dyn(&crate::IndependentCascade);
+        takes_dyn(&crate::LinearThreshold);
+    }
+}

@@ -1,0 +1,103 @@
+//! Deterministic multi-threaded Monte-Carlo sharding.
+//!
+//! Estimators split `runs` simulations across worker threads. Each shard
+//! gets an RNG seeded with `base_seed + shard_index`, so results are
+//! bit-identical regardless of thread count or scheduling — a property the
+//! test suite relies on.
+
+/// Number of worker threads used by parallel estimators: the available
+/// parallelism, capped at 8 (diminishing returns for memory-bound BFS).
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// Splits `runs` Monte-Carlo iterations into shards, runs
+/// `shard_fn(shard_seed, shard_runs)` on each (in parallel when beneficial),
+/// and sums the partial results.
+///
+/// `shard_fn` must be deterministic given its arguments. Shard seeds are
+/// `base_seed..base_seed + shards`, and the shard split depends only on
+/// `runs`, so the total is reproducible.
+pub fn sharded_sum<F>(runs: u64, base_seed: u64, shard_fn: F) -> f64
+where
+    F: Fn(u64, u64) -> f64 + Sync,
+{
+    if runs == 0 {
+        return 0.0;
+    }
+    // Fixed shard count (independent of machine) keeps results reproducible
+    // across hosts; worker threads just consume the shard list.
+    let shards: u64 = if runs < 64 { 1 } else { 16 };
+    let per = runs / shards;
+    let extra = runs % shards;
+    let shard_runs: Vec<(u64, u64)> = (0..shards)
+        .map(|i| (base_seed.wrapping_add(i), per + u64::from(i < extra)))
+        .collect();
+
+    let workers = worker_count().min(shard_runs.len());
+    if workers <= 1 {
+        return shard_runs.iter().map(|&(seed, r)| shard_fn(seed, r)).sum();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let partials = std::sync::Mutex::new(vec![0.0f64; shard_runs.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= shard_runs.len() {
+                    break;
+                }
+                let (seed, r) = shard_runs[i];
+                let value = shard_fn(seed, r);
+                partials.lock().expect("no poisoned shards")[i] = value;
+            });
+        }
+    });
+    // Sum in shard order for floating-point determinism.
+    partials.into_inner().expect("threads joined").iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_all_runs() {
+        // shard_fn returning the run count sums to the total.
+        let total = sharded_sum(1000, 42, |_seed, r| r as f64);
+        assert_eq!(total, 1000.0);
+    }
+
+    #[test]
+    fn zero_runs_is_zero() {
+        assert_eq!(sharded_sum(0, 1, |_, _| panic!("must not be called")), 0.0);
+    }
+
+    #[test]
+    fn small_run_counts_use_one_shard() {
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let total = sharded_sum(10, 5, |seed, r| {
+            calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            assert_eq!(seed, 5);
+            r as f64
+        });
+        assert_eq!(total, 10.0);
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn deterministic_across_invocations() {
+        let f = |seed: u64, r: u64| (seed as f64).sin() * r as f64;
+        assert_eq!(sharded_sum(500, 9, f), sharded_sum(500, 9, f));
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct() {
+        let seen = std::sync::Mutex::new(std::collections::HashSet::new());
+        sharded_sum(640, 100, |seed, _r| {
+            assert!(seen.lock().unwrap().insert(seed), "duplicate shard seed {seed}");
+            0.0
+        });
+        assert_eq!(seen.into_inner().unwrap().len(), 16);
+    }
+}

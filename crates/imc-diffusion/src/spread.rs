@@ -1,0 +1,114 @@
+//! Monte-Carlo estimation of the expected influence spread `σ(S)`.
+
+use crate::parallel::sharded_sum;
+use crate::DiffusionModel;
+use imc_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Estimates the expected number of activated nodes `σ(S)` by averaging
+/// `runs` simulations of `model`. Deterministic for a fixed `seed`
+/// (sharding is machine-independent, see [`parallel`](crate::parallel)).
+///
+/// # Panics
+///
+/// Panics if a seed node is out of range (programmer error at this level;
+/// the fallible path is [`DiffusionModel::simulate`]).
+pub fn monte_carlo_spread(
+    graph: &Graph,
+    model: &dyn DiffusionModel,
+    seeds: &[NodeId],
+    runs: u64,
+    seed: u64,
+) -> f64 {
+    if runs == 0 {
+        return 0.0;
+    }
+    let total = sharded_sum(runs, seed, |shard_seed, shard_runs| {
+        let mut rng = StdRng::seed_from_u64(shard_seed);
+        let mut acc = 0.0f64;
+        for _ in 0..shard_runs {
+            let active = model
+                .simulate(graph, seeds, &mut rng)
+                .expect("seed set validated by caller");
+            acc += active.iter().filter(|&&a| a).count() as f64;
+        }
+        acc
+    });
+    total / runs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IndependentCascade;
+    use imc_graph::GraphBuilder;
+
+    #[test]
+    fn no_edges_spread_is_seed_count() {
+        let g = GraphBuilder::new(5).build().unwrap();
+        let s = monte_carlo_spread(
+            &g,
+            &IndependentCascade,
+            &[NodeId::new(0), NodeId::new(3)],
+            100,
+            1,
+        );
+        assert_eq!(s, 2.0);
+    }
+
+    #[test]
+    fn deterministic_chain_spread_exact() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let s = monte_carlo_spread(&g, &IndependentCascade, &[NodeId::new(0)], 50, 2);
+        assert_eq!(s, 3.0);
+    }
+
+    #[test]
+    fn probabilistic_edge_matches_expectation() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0.3).unwrap();
+        let g = b.build().unwrap();
+        let s = monte_carlo_spread(&g, &IndependentCascade, &[NodeId::new(0)], 20_000, 3);
+        assert!((s - 1.3).abs() < 0.02, "spread={s}");
+    }
+
+    #[test]
+    fn reproducible_for_same_seed() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        b.add_edge(2, 3, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let a = monte_carlo_spread(&g, &IndependentCascade, &[NodeId::new(0)], 1000, 7);
+        let b2 = monte_carlo_spread(&g, &IndependentCascade, &[NodeId::new(0)], 1000, 7);
+        assert_eq!(a, b2);
+    }
+
+    #[test]
+    fn zero_runs_returns_zero() {
+        let g = GraphBuilder::new(2).build().unwrap();
+        assert_eq!(monte_carlo_spread(&g, &IndependentCascade, &[NodeId::new(0)], 0, 1), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_seed_set() {
+        let mut b = GraphBuilder::new(6);
+        for i in 0..5 {
+            b.add_edge(i, i + 1, 0.4).unwrap();
+        }
+        let g = b.build().unwrap();
+        let s1 = monte_carlo_spread(&g, &IndependentCascade, &[NodeId::new(0)], 5000, 9);
+        let s2 = monte_carlo_spread(
+            &g,
+            &IndependentCascade,
+            &[NodeId::new(0), NodeId::new(3)],
+            5000,
+            9,
+        );
+        assert!(s2 > s1);
+    }
+}

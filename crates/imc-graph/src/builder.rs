@@ -1,0 +1,231 @@
+use crate::{Graph, GraphError, Result};
+
+/// How [`GraphBuilder::build`] treats duplicate directed edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DedupPolicy {
+    /// Keep the first occurrence, drop the rest (SNAP files often contain
+    /// duplicates). This is the default.
+    #[default]
+    KeepFirst,
+    /// Keep the maximum weight among duplicates.
+    KeepMax,
+    /// Combine duplicates as independent influence chances:
+    /// `w = 1 − ∏(1 − w_i)` (noisy-or).
+    NoisyOr,
+    /// Reject duplicates with [`GraphError::DuplicateEdge`].
+    Error,
+}
+
+/// Mutable accumulator of directed weighted edges, frozen into a [`Graph`].
+///
+/// All validation happens here: endpoints must be in range, weights must be
+/// probabilities, self-loops are rejected (a node never influences itself in
+/// the IC model — it is already active).
+///
+/// ```
+/// use imc_graph::GraphBuilder;
+/// # fn main() -> Result<(), imc_graph::GraphError> {
+/// let mut b = GraphBuilder::new(2);
+/// b.add_edge(0, 1, 0.9)?;
+/// assert!(b.add_edge(0, 0, 0.5).is_err()); // self loop
+/// assert!(b.add_edge(0, 7, 0.5).is_err()); // out of range
+/// let g = b.build()?;
+/// assert_eq!(g.edge_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: u32,
+    edges: Vec<(u32, u32, f64)>,
+    dedup: DedupPolicy,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes (ids `0..n`).
+    pub fn new(n: u32) -> Self {
+        GraphBuilder { n, edges: Vec::new(), dedup: DedupPolicy::default() }
+    }
+
+    /// Creates a builder with pre-allocated capacity for `m` edges.
+    pub fn with_capacity(n: u32, m: usize) -> Self {
+        GraphBuilder { n, edges: Vec::with_capacity(m), dedup: DedupPolicy::default() }
+    }
+
+    /// Sets the duplicate-edge policy applied at [`build`](Self::build) time.
+    pub fn dedup_policy(&mut self, policy: DedupPolicy) -> &mut Self {
+        self.dedup = policy;
+        self
+    }
+
+    /// Number of nodes this builder was created with.
+    pub fn node_count(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of edges added so far (before deduplication).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the directed edge `(source, target)` with influence probability
+    /// `weight`.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfRange`] if either endpoint is `>= n`.
+    /// * [`GraphError::SelfLoop`] if `source == target`.
+    /// * [`GraphError::InvalidWeight`] if `weight` is NaN or outside `[0, 1]`.
+    pub fn add_edge(&mut self, source: u32, target: u32, weight: f64) -> Result<&mut Self> {
+        if source >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: source, node_count: self.n });
+        }
+        if target >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: target, node_count: self.n });
+        }
+        if source == target {
+            return Err(GraphError::SelfLoop { node: source });
+        }
+        if !(0.0..=1.0).contains(&weight) {
+            return Err(GraphError::InvalidWeight { source, target, weight });
+        }
+        self.edges.push((source, target, weight));
+        Ok(self)
+    }
+
+    /// Adds a directed edge with placeholder weight `1.0`; use
+    /// [`Graph::reweighted`](crate::Graph::reweighted) afterwards to assign a
+    /// [`WeightModel`](crate::WeightModel).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`add_edge`](Self::add_edge).
+    pub fn add_arc(&mut self, source: u32, target: u32) -> Result<&mut Self> {
+        self.add_edge(source, target, 1.0)
+    }
+
+    /// Adds both `(a, b)` and `(b, a)` with the same weight, treating the
+    /// pair as an undirected edge (the paper's convention for undirected
+    /// datasets).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`add_edge`](Self::add_edge).
+    pub fn add_undirected(&mut self, a: u32, b: u32, weight: f64) -> Result<&mut Self> {
+        self.add_edge(a, b, weight)?;
+        self.add_edge(b, a, weight)?;
+        Ok(self)
+    }
+
+    /// Freezes the builder into an immutable CSR [`Graph`], applying the
+    /// configured [`DedupPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::DuplicateEdge`] when duplicates exist under
+    /// [`DedupPolicy::Error`].
+    pub fn build(&self) -> Result<Graph> {
+        let mut edges = self.edges.clone();
+        edges.sort_by_key(|&(u, v, _)| (u, v));
+        let mut deduped: Vec<(u32, u32, f64)> = Vec::with_capacity(edges.len());
+        for (u, v, w) in edges {
+            match deduped.last_mut() {
+                Some(last) if last.0 == u && last.1 == v => match self.dedup {
+                    DedupPolicy::KeepFirst => {}
+                    DedupPolicy::KeepMax => last.2 = last.2.max(w),
+                    DedupPolicy::NoisyOr => last.2 = 1.0 - (1.0 - last.2) * (1.0 - w),
+                    DedupPolicy::Error => {
+                        return Err(GraphError::DuplicateEdge { source: u, target: v })
+                    }
+                },
+                _ => deduped.push((u, v, w)),
+            }
+        }
+        Ok(Graph::from_validated_edges(self.n, &deduped))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut b = GraphBuilder::new(3);
+        assert!(matches!(b.add_edge(3, 0, 0.5), Err(GraphError::NodeOutOfRange { .. })));
+        assert!(matches!(b.add_edge(0, 3, 0.5), Err(GraphError::NodeOutOfRange { .. })));
+        assert!(matches!(b.add_edge(1, 1, 0.5), Err(GraphError::SelfLoop { .. })));
+        assert!(matches!(b.add_edge(0, 1, 1.5), Err(GraphError::InvalidWeight { .. })));
+        assert!(matches!(b.add_edge(0, 1, -0.1), Err(GraphError::InvalidWeight { .. })));
+        assert!(matches!(b.add_edge(0, 1, f64::NAN), Err(GraphError::InvalidWeight { .. })));
+    }
+
+    #[test]
+    fn keep_first_dedup() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0.2).unwrap();
+        b.add_edge(0, 1, 0.9).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.weight(0.into(), 1.into()), Some(0.2));
+    }
+
+    #[test]
+    fn keep_max_dedup() {
+        let mut b = GraphBuilder::new(2);
+        b.dedup_policy(DedupPolicy::KeepMax);
+        b.add_edge(0, 1, 0.2).unwrap();
+        b.add_edge(0, 1, 0.9).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.weight(0.into(), 1.into()), Some(0.9));
+    }
+
+    #[test]
+    fn noisy_or_dedup() {
+        let mut b = GraphBuilder::new(2);
+        b.dedup_policy(DedupPolicy::NoisyOr);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(0, 1, 0.5).unwrap();
+        let g = b.build().unwrap();
+        assert!((g.weight(0.into(), 1.into()).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_dedup() {
+        let mut b = GraphBuilder::new(2);
+        b.dedup_policy(DedupPolicy::Error);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(0, 1, 0.5).unwrap();
+        assert!(matches!(b.build(), Err(GraphError::DuplicateEdge { .. })));
+    }
+
+    #[test]
+    fn undirected_adds_both_directions() {
+        let mut b = GraphBuilder::new(2);
+        b.add_undirected(0, 1, 0.3).unwrap();
+        let g = b.build().unwrap();
+        assert!(g.has_edge(0.into(), 1.into()));
+        assert!(g.has_edge(1.into(), 0.into()));
+    }
+
+    #[test]
+    fn builder_is_reusable_after_build() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.5).unwrap();
+        let g1 = b.build().unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        let g2 = b.build().unwrap();
+        assert_eq!(g1.edge_count(), 1);
+        assert_eq!(g2.edge_count(), 2);
+    }
+
+    #[test]
+    fn boundary_weights_allowed() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0.0).unwrap();
+        let mut b2 = GraphBuilder::new(2);
+        b2.add_edge(0, 1, 1.0).unwrap();
+        assert_eq!(b.build().unwrap().weight(0.into(), 1.into()), Some(0.0));
+        assert_eq!(b2.build().unwrap().weight(0.into(), 1.into()), Some(1.0));
+    }
+}

@@ -1,0 +1,205 @@
+//! Strongly and weakly connected components.
+//!
+//! Tarjan's algorithm is implemented iteratively (explicit stack) so deep
+//! graphs cannot overflow the call stack — social graphs routinely contain
+//! paths of length 10⁵⁺.
+
+use crate::{Graph, NodeId};
+
+/// Strongly connected components of `graph`, each a sorted vector of nodes.
+/// Components are returned in reverse topological order of the condensation
+/// (a property of Tarjan's algorithm).
+pub fn tarjan_scc(graph: &Graph) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut components = Vec::new();
+
+    // Iterative Tarjan: frames hold (node, next-neighbor position).
+    let mut call: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        call.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            let out: Vec<u32> =
+                graph.out_edges(NodeId::new(v)).map(|e| e.target.raw()).collect();
+            if *pos < out.len() {
+                let w = out[*pos];
+                *pos += 1;
+                if index[w as usize] == UNSET {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp.push(NodeId::new(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    components.push(comp);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Weakly connected components (edge direction ignored), each sorted.
+/// Components are ordered by their smallest node id.
+pub fn weakly_connected_components(graph: &Graph) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count();
+    let mut comp_of = vec![usize::MAX; n];
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+    for start in 0..n as u32 {
+        if comp_of[start as usize] != usize::MAX {
+            continue;
+        }
+        let cid = components.len();
+        let mut members = Vec::new();
+        let mut queue = vec![start];
+        comp_of[start as usize] = cid;
+        while let Some(u) = queue.pop() {
+            members.push(NodeId::new(u));
+            let un = NodeId::new(u);
+            for w in graph
+                .out_edges(un)
+                .map(|e| e.target)
+                .chain(graph.in_edges(un).map(|e| e.source))
+            {
+                if comp_of[w.index()] == usize::MAX {
+                    comp_of[w.index()] = cid;
+                    queue.push(w.raw());
+                }
+            }
+        }
+        members.sort();
+        components.push(members);
+    }
+    components
+}
+
+/// `true` when every node can reach every other node (single SCC covering
+/// the whole graph). The paper's DkS reduction requires the gadget sets
+/// `U_a` to be strongly connected; tests use this predicate.
+pub fn is_strongly_connected(graph: &Graph) -> bool {
+    graph.node_count() <= 1 || tarjan_scc(graph).len() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn two_cycles_and_a_bridge() {
+        // cycle {0,1}, cycle {2,3}, bridge 1 -> 2
+        let mut b = GraphBuilder::new(4);
+        b.add_arc(0, 1).unwrap();
+        b.add_arc(1, 0).unwrap();
+        b.add_arc(2, 3).unwrap();
+        b.add_arc(3, 2).unwrap();
+        b.add_arc(1, 2).unwrap();
+        let g = b.build().unwrap();
+        let mut sccs = tarjan_scc(&g);
+        sccs.sort();
+        assert_eq!(sccs, vec![vec![0.into(), 1.into()], vec![2.into(), 3.into()]]);
+        assert!(!is_strongly_connected(&g));
+        assert_eq!(weakly_connected_components(&g).len(), 1);
+    }
+
+    #[test]
+    fn dag_gives_singletons() {
+        let mut b = GraphBuilder::new(3);
+        b.add_arc(0, 1).unwrap();
+        b.add_arc(1, 2).unwrap();
+        let g = b.build().unwrap();
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 3);
+        // Reverse topological: sink {2} first.
+        assert_eq!(sccs[0], vec![2.into()]);
+    }
+
+    #[test]
+    fn full_cycle_is_strongly_connected() {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..5 {
+            b.add_arc(i, (i + 1) % 5).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert!(is_strongly_connected(&g));
+        assert_eq!(tarjan_scc(&g).len(), 1);
+    }
+
+    #[test]
+    fn isolated_nodes_each_their_own_component() {
+        let g = GraphBuilder::new(3).build().unwrap();
+        assert_eq!(tarjan_scc(&g).len(), 3);
+        assert_eq!(weakly_connected_components(&g).len(), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert!(tarjan_scc(&g).is_empty());
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn long_path_no_stack_overflow() {
+        let n = 200_000u32;
+        let mut b = GraphBuilder::with_capacity(n, n as usize);
+        for i in 0..n - 1 {
+            b.add_arc(i, i + 1).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert_eq!(tarjan_scc(&g).len(), n as usize);
+    }
+
+    #[test]
+    fn scc_partitions_nodes() {
+        let mut b = GraphBuilder::new(6);
+        b.add_arc(0, 1).unwrap();
+        b.add_arc(1, 0).unwrap();
+        b.add_arc(1, 2).unwrap();
+        b.add_arc(3, 4).unwrap();
+        let g = b.build().unwrap();
+        let sccs = tarjan_scc(&g);
+        let total: usize = sccs.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 6);
+        let mut seen = std::collections::HashSet::new();
+        for c in &sccs {
+            for v in c {
+                assert!(seen.insert(*v), "node {v} in two SCCs");
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Hop distances, eccentricity and diameter estimation.
+//!
+//! Influence rarely travels far under weighted-cascade probabilities, so
+//! hop statistics explain where IMC's benefit comes from; the harness uses
+//! them in dataset reports.
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Unreachable marker in distance vectors.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Forward hop distances from `source` (`UNREACHABLE` where no path).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<u32> {
+    assert!(graph.contains(source), "source {source} out of range");
+    let mut dist = vec![UNREACHABLE; graph.node_count()];
+    dist[source.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for e in graph.out_edges(u) {
+            let v = e.target.index();
+            if dist[v] == UNREACHABLE {
+                dist[v] = du + 1;
+                queue.push_back(e.target);
+            }
+        }
+    }
+    dist
+}
+
+/// Forward eccentricity of `source`: the longest finite hop distance from
+/// it (0 when it reaches nothing).
+pub fn eccentricity(graph: &Graph, source: NodeId) -> u32 {
+    bfs_distances(graph, source)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Lower-bounds the diameter by taking the max eccentricity over a
+/// deterministic sample of `probes` evenly spaced start nodes (exact when
+/// `probes >= n`).
+pub fn estimate_diameter(graph: &Graph, probes: usize) -> u32 {
+    let n = graph.node_count();
+    if n == 0 {
+        return 0;
+    }
+    let probes = probes.max(1).min(n);
+    let stride = (n / probes).max(1);
+    (0..probes)
+        .map(|i| eccentricity(graph, NodeId::new(((i * stride) % n) as u32)))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Average finite hop distance over the same probe set, `None` when no
+/// probe reaches anything.
+pub fn estimate_average_distance(graph: &Graph, probes: usize) -> Option<f64> {
+    let n = graph.node_count();
+    if n == 0 {
+        return None;
+    }
+    let probes = probes.max(1).min(n);
+    let stride = (n / probes).max(1);
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for i in 0..probes {
+        let source = NodeId::new(((i * stride) % n) as u32);
+        for d in bfs_distances(graph, source) {
+            if d != UNREACHABLE && d > 0 {
+                total += d as u64;
+                count += 1;
+            }
+        }
+    }
+    (count > 0).then(|| total as f64 / count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path4() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        for i in 0..3 {
+            b.add_arc(i, i + 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn distances_on_a_path() {
+        let g = path4();
+        assert_eq!(bfs_distances(&g, 0.into()), vec![0, 1, 2, 3]);
+        let d = bfs_distances(&g, 3.into());
+        assert_eq!(d[3], 0);
+        assert_eq!(d[0], UNREACHABLE);
+    }
+
+    #[test]
+    fn eccentricity_on_a_path() {
+        let g = path4();
+        assert_eq!(eccentricity(&g, 0.into()), 3);
+        assert_eq!(eccentricity(&g, 3.into()), 0);
+    }
+
+    #[test]
+    fn diameter_exact_with_full_probes() {
+        let g = path4();
+        assert_eq!(estimate_diameter(&g, 100), 3);
+    }
+
+    #[test]
+    fn diameter_lower_bound_with_few_probes() {
+        let g = path4();
+        assert!(estimate_diameter(&g, 1) <= 3);
+    }
+
+    #[test]
+    fn average_distance_path() {
+        let g = path4();
+        // From 0: 1+2+3; from 1: 1+2; from 2: 1; from 3: none → 10/6.
+        let avg = estimate_average_distance(&g, 4).unwrap();
+        assert!((avg - 10.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert_eq!(estimate_diameter(&g, 4), 0);
+        assert!(estimate_average_distance(&g, 4).is_none());
+        let g = GraphBuilder::new(3).build().unwrap();
+        assert_eq!(estimate_diameter(&g, 3), 0);
+        assert!(estimate_average_distance(&g, 3).is_none());
+    }
+
+    #[test]
+    fn cycle_distances() {
+        let mut b = GraphBuilder::new(4);
+        for i in 0..4 {
+            b.add_arc(i, (i + 1) % 4).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert_eq!(bfs_distances(&g, 0.into()), vec![0, 1, 2, 3]);
+        assert_eq!(estimate_diameter(&g, 4), 3);
+    }
+}

@@ -1,0 +1,171 @@
+//! Graphviz DOT export for visual inspection of instances and solutions.
+//!
+//! Produces `digraph` text renderable with `dot -Tsvg`. Node fill colors
+//! encode an optional grouping (communities) and bold red outlines mark an
+//! optional highlight set (seeds), so a full IMC instance + solution can
+//! be eyeballed in one picture.
+
+use crate::{Graph, NodeId};
+use std::fmt::Write as _;
+
+/// Options controlling [`to_dot`] output.
+#[derive(Debug, Clone, Default)]
+pub struct DotOptions {
+    /// Optional node grouping (e.g. communities); each group gets a color
+    /// from a rotating palette and nodes are clustered per group.
+    pub groups: Vec<Vec<NodeId>>,
+    /// Nodes drawn with a bold red border (e.g. chosen seeds).
+    pub highlight: Vec<NodeId>,
+    /// Print edge weights as labels (readable only for small graphs).
+    pub edge_labels: bool,
+    /// Omit edges below this weight (declutters dense graphs); `None`
+    /// keeps everything.
+    pub min_weight: Option<f64>,
+}
+
+const PALETTE: [&str; 10] = [
+    "#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462", "#b3de69",
+    "#fccde5", "#d9d9d9", "#bc80bd",
+];
+
+/// Renders `graph` as Graphviz DOT text.
+pub fn to_dot(graph: &Graph, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph imc {{");
+    let _ = writeln!(out, "  node [shape=circle, style=filled, fillcolor=white];");
+
+    let mut group_of = vec![usize::MAX; graph.node_count()];
+    for (g, members) in options.groups.iter().enumerate() {
+        for &v in members {
+            if v.raw() < graph.node_count() as u32 {
+                group_of[v.index()] = g;
+            }
+        }
+    }
+    let highlighted: std::collections::HashSet<NodeId> =
+        options.highlight.iter().copied().collect();
+
+    // Clustered nodes first.
+    for (g, members) in options.groups.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_{g} {{");
+        let _ = writeln!(out, "    label=\"C{g}\";");
+        for &v in members {
+            if v.raw() >= graph.node_count() as u32 {
+                continue;
+            }
+            let _ = writeln!(out, "    {};", node_line(v, g, &highlighted));
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    // Ungrouped nodes.
+    for v in graph.nodes() {
+        if group_of[v.index()] == usize::MAX {
+            let _ = writeln!(out, "  {};", node_line(v, usize::MAX, &highlighted));
+        }
+    }
+    // Edges.
+    for e in graph.edges() {
+        if let Some(min) = options.min_weight {
+            if e.weight < min {
+                continue;
+            }
+        }
+        if options.edge_labels {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{:.2}\"];",
+                e.source.raw(),
+                e.target.raw(),
+                e.weight
+            );
+        } else {
+            let _ = writeln!(out, "  {} -> {};", e.source.raw(), e.target.raw());
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn node_line(
+    v: NodeId,
+    group: usize,
+    highlighted: &std::collections::HashSet<NodeId>,
+) -> String {
+    let mut attrs = Vec::new();
+    if group != usize::MAX {
+        attrs.push(format!("fillcolor=\"{}\"", PALETTE[group % PALETTE.len()]));
+    }
+    if highlighted.contains(&v) {
+        attrs.push("color=red".to_string());
+        attrs.push("penwidth=3".to_string());
+    }
+    if attrs.is_empty() {
+        format!("{}", v.raw())
+    } else {
+        format!("{} [{}]", v.raw(), attrs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn toy() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.25).unwrap();
+        b.add_edge(2, 3, 0.05).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn renders_valid_skeleton() {
+        let dot = to_dot(&toy(), &DotOptions::default());
+        assert!(dot.starts_with("digraph imc {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.contains("2 -> 3;"));
+    }
+
+    #[test]
+    fn groups_become_clusters_with_colors() {
+        let options = DotOptions {
+            groups: vec![vec![NodeId::new(0), NodeId::new(1)], vec![NodeId::new(2)]],
+            ..DotOptions::default()
+        };
+        let dot = to_dot(&toy(), &options);
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("fillcolor=\"#8dd3c7\""));
+        // Node 3 is ungrouped but still present.
+        assert!(dot.contains("\n  3;"));
+    }
+
+    #[test]
+    fn highlights_get_red_borders() {
+        let options =
+            DotOptions { highlight: vec![NodeId::new(1)], ..DotOptions::default() };
+        let dot = to_dot(&toy(), &options);
+        assert!(dot.contains("1 [color=red, penwidth=3]"));
+    }
+
+    #[test]
+    fn edge_labels_and_min_weight() {
+        let options = DotOptions {
+            edge_labels: true,
+            min_weight: Some(0.1),
+            ..DotOptions::default()
+        };
+        let dot = to_dot(&toy(), &options);
+        assert!(dot.contains("label=\"0.50\""));
+        assert!(!dot.contains("2 -> 3"), "below-threshold edge kept");
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.contains("digraph"));
+    }
+}

@@ -1,0 +1,219 @@
+//! SNAP-compatible edge-list parsing and writing.
+//!
+//! The format is one edge per line, `source target [weight]`, whitespace
+//! separated, with `#`-prefixed comment lines — exactly what the Stanford
+//! Network Analysis Project distributes, so real datasets drop in when
+//! available. Node ids may be arbitrary (sparse) integers; they are
+//! compacted to `0..n` and the mapping is returned.
+
+use crate::{GraphBuilder, GraphError, NodeId, Result};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Result of parsing an edge list: the graph builder (call
+/// [`GraphBuilder::build`] to freeze) plus the original node labels.
+#[derive(Debug)]
+pub struct ParsedEdgeList {
+    /// Builder holding the parsed edges; ids are compacted to `0..n`.
+    pub builder: GraphBuilder,
+    /// `labels[i]` is the original integer label of compact node `i`.
+    pub labels: Vec<u64>,
+}
+
+/// Options controlling edge-list interpretation.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseOptions {
+    /// Treat each line as an undirected edge (add both directions).
+    pub undirected: bool,
+    /// Weight assigned when a line lacks a third column.
+    pub default_weight: f64,
+    /// Silently skip self-loops instead of erroring (SNAP files have them).
+    pub skip_self_loops: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions { undirected: false, default_weight: 1.0, skip_self_loops: true }
+    }
+}
+
+/// Parses an edge list from any reader.
+///
+/// # Errors
+///
+/// [`GraphError::Parse`] on malformed lines, [`GraphError::Io`] on read
+/// failure, and the usual builder errors for invalid weights.
+pub fn parse<R: Read>(reader: R, options: ParseOptions) -> Result<ParsedEdgeList> {
+    let reader = BufReader::new(reader);
+    let mut label_to_id: HashMap<u64, u32> = HashMap::new();
+    let mut labels: Vec<u64> = Vec::new();
+    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+
+    let mut intern = |label: u64, labels: &mut Vec<u64>| -> u32 {
+        *label_to_id.entry(label).or_insert_with(|| {
+            labels.push(label);
+            (labels.len() - 1) as u32
+        })
+    };
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let err = |message: String| GraphError::Parse { line: lineno + 1, message };
+        let u: u64 = parts
+            .next()
+            .ok_or_else(|| err("missing source".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad source: {e}")))?;
+        let v: u64 = parts
+            .next()
+            .ok_or_else(|| err("missing target".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad target: {e}")))?;
+        let w: f64 = match parts.next() {
+            Some(tok) => tok.parse().map_err(|e| err(format!("bad weight: {e}")))?,
+            None => options.default_weight,
+        };
+        if u == v && options.skip_self_loops {
+            continue;
+        }
+        let ui = intern(u, &mut labels);
+        let vi = intern(v, &mut labels);
+        edges.push((ui, vi, w));
+    }
+
+    let mut builder = GraphBuilder::with_capacity(
+        labels.len() as u32,
+        if options.undirected { edges.len() * 2 } else { edges.len() },
+    );
+    for (u, v, w) in edges {
+        if options.undirected {
+            builder.add_undirected(u, v, w)?;
+        } else {
+            builder.add_edge(u, v, w)?;
+        }
+    }
+    Ok(ParsedEdgeList { builder, labels })
+}
+
+/// Parses an edge list from a string slice.
+///
+/// # Errors
+///
+/// Same as [`parse`].
+///
+/// ```
+/// use imc_graph::edgelist::{parse_str, ParseOptions};
+/// # fn main() -> Result<(), imc_graph::GraphError> {
+/// let parsed = parse_str("# comment\n10 20\n20 30 0.5\n", ParseOptions::default())?;
+/// let g = parsed.builder.build()?;
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(parsed.labels, vec![10, 20, 30]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_str(text: &str, options: ParseOptions) -> Result<ParsedEdgeList> {
+    parse(text.as_bytes(), options)
+}
+
+/// Reads and parses an edge list from a file path.
+///
+/// # Errors
+///
+/// Same as [`parse`], plus I/O errors opening the file.
+pub fn read_path<P: AsRef<Path>>(path: P, options: ParseOptions) -> Result<ParsedEdgeList> {
+    let file = std::fs::File::open(path)?;
+    parse(file, options)
+}
+
+/// Writes `graph` as a weighted edge list (`u v w` per line).
+///
+/// # Errors
+///
+/// Propagates writer failures as [`GraphError::Io`].
+pub fn write<W: Write>(graph: &crate::Graph, mut writer: W) -> Result<()> {
+    writeln!(writer, "# nodes: {} edges: {}", graph.node_count(), graph.edge_count())?;
+    for e in graph.edges() {
+        writeln!(writer, "{} {} {}", e.source.raw(), e.target.raw(), e.weight)?;
+    }
+    Ok(())
+}
+
+/// Convenience: original label of compact node `id` from a parse result.
+pub fn label_of(parsed: &ParsedEdgeList, id: NodeId) -> u64 {
+    parsed.labels[id.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_defaults() {
+        let p = parse_str("# header\n\n1 2\n2 3 0.25\n", ParseOptions::default()).unwrap();
+        let g = p.builder.build().unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.weight(0.into(), 1.into()), Some(1.0));
+        assert_eq!(g.weight(1.into(), 2.into()), Some(0.25));
+    }
+
+    #[test]
+    fn sparse_labels_are_compacted() {
+        let p = parse_str("1000000 5\n5 99\n", ParseOptions::default()).unwrap();
+        assert_eq!(p.labels, vec![1_000_000, 5, 99]);
+        assert_eq!(label_of(&p, 0.into()), 1_000_000);
+        let g = p.builder.build().unwrap();
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn undirected_doubles_edges() {
+        let opts = ParseOptions { undirected: true, ..ParseOptions::default() };
+        let p = parse_str("1 2\n", opts).unwrap();
+        let g = p.builder.build().unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn self_loops_skipped_by_default() {
+        let p = parse_str("1 1\n1 2\n", ParseOptions::default()).unwrap();
+        let g = p.builder.build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_line_number() {
+        let e = parse_str("1 2\nxyz 3\n", ParseOptions::default()).unwrap_err();
+        match e {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+        assert!(parse_str("1\n", ParseOptions::default()).is_err());
+    }
+
+    #[test]
+    fn write_then_parse_roundtrip() {
+        let p = parse_str("0 1 0.5\n1 2 0.25\n", ParseOptions::default()).unwrap();
+        let g = p.builder.build().unwrap();
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let p2 = parse_str(&text, ParseOptions::default()).unwrap();
+        let g2 = p2.builder.build().unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(g2.weight(0.into(), 1.into()), Some(0.5));
+    }
+
+    #[test]
+    fn percent_comments_supported() {
+        let p = parse_str("% konect style\n1 2\n", ParseOptions::default()).unwrap();
+        assert_eq!(p.builder.build().unwrap().edge_count(), 1);
+    }
+}

@@ -1,0 +1,114 @@
+use std::fmt;
+use std::io;
+
+/// Errors produced while constructing, parsing, or validating graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge endpoint is outside `0..node_count`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: u32,
+        /// The number of nodes in the graph under construction.
+        node_count: u32,
+    },
+    /// An edge weight is not a probability (outside `[0, 1]` or NaN).
+    InvalidWeight {
+        /// Source endpoint.
+        source: u32,
+        /// Target endpoint.
+        target: u32,
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A self-loop `(v, v)` was rejected.
+    SelfLoop {
+        /// The node with the rejected self-loop.
+        node: u32,
+    },
+    /// The same directed edge appeared twice under [`DedupPolicy::Error`].
+    ///
+    /// [`DedupPolicy::Error`]: crate::DedupPolicy::Error
+    DuplicateEdge {
+        /// Source endpoint.
+        source: u32,
+        /// Target endpoint.
+        target: u32,
+    },
+    /// An edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure while reading or writing an edge list.
+    Io(io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::InvalidWeight { source, target, weight } => write!(
+                f,
+                "edge ({source}, {target}) has weight {weight} outside the probability range [0, 1]"
+            ),
+            GraphError::SelfLoop { node } => write!(f, "self-loop on node {node} is not allowed"),
+            GraphError::DuplicateEdge { source, target } => {
+                write!(f, "duplicate directed edge ({source}, {target})")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "edge list parse error at line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offenders() {
+        let e = GraphError::NodeOutOfRange { node: 9, node_count: 5 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('5'));
+
+        let e = GraphError::InvalidWeight { source: 1, target: 2, weight: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+
+        let e = GraphError::Parse { line: 3, message: "bad token".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let e = GraphError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

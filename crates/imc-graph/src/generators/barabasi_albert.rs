@@ -1,0 +1,122 @@
+use crate::{Graph, GraphBuilder};
+use rand::Rng;
+
+/// Barabási–Albert preferential attachment.
+///
+/// Starts from a directed cycle on `m0 = attach + 1` nodes; each subsequent
+/// node attaches `attach` out-edges to existing nodes chosen proportionally
+/// to their current total degree (the classic repeated-endpoint urn trick).
+/// Each new node also receives one in-link from a uniformly random earlier
+/// node, which makes in-degrees heavy-tailed too — matching the shape of
+/// directed social graphs like Wiki-Vote and Pokec where both degree tails
+/// are fat.
+///
+/// # Panics
+///
+/// Panics if `attach == 0` or `n <= attach`.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: u32, attach: u32, rng: &mut R) -> Graph {
+    assert!(attach > 0, "attach must be positive");
+    assert!(n > attach, "need n > attach (n={n}, attach={attach})");
+    let m0 = attach + 1;
+    let mut b = GraphBuilder::with_capacity(n, (n as usize) * (attach as usize + 1));
+    // Urn of node ids, one entry per degree endpoint.
+    let mut urn: Vec<u32> = Vec::with_capacity(2 * (n as usize) * (attach as usize));
+    for i in 0..m0 {
+        let j = (i + 1) % m0;
+        b.add_arc(i, j).expect("in-range");
+        urn.push(i);
+        urn.push(j);
+    }
+    let mut targets: Vec<u32> = Vec::with_capacity(attach as usize);
+    for v in m0..n {
+        targets.clear();
+        // Preferential out-links from v.
+        let mut guard = 0usize;
+        while targets.len() < attach as usize {
+            let cand = urn[rng.random_range(0..urn.len())];
+            if cand != v && !targets.contains(&cand) {
+                targets.push(cand);
+            }
+            guard += 1;
+            if guard > 64 * attach as usize {
+                // Degenerate corner (tiny urns): fall back to uniform.
+                let cand = rng.random_range(0..v);
+                if !targets.contains(&cand) {
+                    targets.push(cand);
+                }
+            }
+        }
+        for &t in &targets {
+            b.add_arc(v, t).expect("in-range");
+            urn.push(v);
+            urn.push(t);
+        }
+        // One uniform in-link so every node is reachable and in-degree grows.
+        let src = rng.random_range(0..v);
+        b.add_arc(src, v).expect("in-range");
+        urn.push(src);
+        urn.push(v);
+    }
+    b.build().expect("valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::in_degree_histogram;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sizes_are_right() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 500u32;
+        let attach = 3u32;
+        let g = barabasi_albert(n, attach, &mut rng);
+        assert_eq!(g.node_count(), n as usize);
+        // m0 cycle edges + (attach + 1) per later node, minus KeepFirst dedups.
+        let m0 = attach + 1;
+        let expected_max = m0 as usize + (n - m0) as usize * (attach as usize + 1);
+        assert!(g.edge_count() <= expected_max);
+        assert!(g.edge_count() >= expected_max * 9 / 10);
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = barabasi_albert(2000, 2, &mut rng);
+        let hist = in_degree_histogram(&g);
+        let max_in = hist.len() - 1;
+        let avg = g.edge_count() as f64 / g.node_count() as f64;
+        // The hub's in-degree should dwarf the average.
+        assert!(
+            max_in as f64 > 6.0 * avg,
+            "max in-degree {max_in} not heavy-tailed vs avg {avg}"
+        );
+    }
+
+    #[test]
+    fn every_node_has_indegree() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = barabasi_albert(300, 2, &mut rng);
+        for v in g.nodes() {
+            assert!(
+                g.in_degree(v) + g.out_degree(v) > 0,
+                "node {v} isolated"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g1 = barabasi_albert(100, 3, &mut StdRng::seed_from_u64(77));
+        let g2 = barabasi_albert(100, 3, &mut StdRng::seed_from_u64(77));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "attach")]
+    fn zero_attach_panics() {
+        let _ = barabasi_albert(10, 0, &mut StdRng::seed_from_u64(1));
+    }
+}

@@ -1,0 +1,159 @@
+use crate::{Graph, GraphBuilder};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Directed configuration model: a uniform random simple digraph whose
+/// out- and in-degree sequences approximate the given ones.
+///
+/// Builds stub lists from both sequences, shuffles, and pairs them;
+/// self-loops and duplicate pairs are dropped (the standard "erased"
+/// configuration model), so realized degrees can fall slightly short of
+/// the request — by `O(⟨d²⟩/m)` pairs, negligible for the analog use case
+/// (matching a real dataset's degree distribution exactly).
+///
+/// # Panics
+///
+/// Panics if the sequences have different lengths than `n`, or their sums
+/// differ (out-stubs must equal in-stubs).
+pub fn configuration_model<R: Rng + ?Sized>(
+    out_degrees: &[u32],
+    in_degrees: &[u32],
+    rng: &mut R,
+) -> Graph {
+    assert_eq!(
+        out_degrees.len(),
+        in_degrees.len(),
+        "degree sequences must have equal length"
+    );
+    let out_sum: u64 = out_degrees.iter().map(|&d| d as u64).sum();
+    let in_sum: u64 = in_degrees.iter().map(|&d| d as u64).sum();
+    assert_eq!(out_sum, in_sum, "out-degree sum must equal in-degree sum");
+    let n = out_degrees.len() as u32;
+
+    let mut out_stubs: Vec<u32> = Vec::with_capacity(out_sum as usize);
+    let mut in_stubs: Vec<u32> = Vec::with_capacity(in_sum as usize);
+    for (v, (&od, &id)) in out_degrees.iter().zip(in_degrees.iter()).enumerate() {
+        out_stubs.extend(std::iter::repeat_n(v as u32, od as usize));
+        in_stubs.extend(std::iter::repeat_n(v as u32, id as usize));
+    }
+    out_stubs.shuffle(rng);
+    in_stubs.shuffle(rng);
+
+    let mut b = GraphBuilder::with_capacity(n, out_stubs.len());
+    let mut seen = std::collections::HashSet::with_capacity(out_stubs.len());
+    for (&u, &v) in out_stubs.iter().zip(in_stubs.iter()) {
+        if u != v && seen.insert((u, v)) {
+            b.add_arc(u, v).expect("in-range");
+        }
+    }
+    b.build().expect("valid")
+}
+
+/// Samples a power-law degree sequence `Pr[d] ∝ d^{-gamma}` over
+/// `d ∈ [1, d_max]`, adjusted so the sum is even with the companion
+/// sequence (the last entry absorbs the residual).
+///
+/// # Panics
+///
+/// Panics if `gamma <= 1.0` or `d_max == 0`.
+pub fn power_law_degrees<R: Rng + ?Sized>(
+    n: usize,
+    gamma: f64,
+    d_max: u32,
+    rng: &mut R,
+) -> Vec<u32> {
+    assert!(gamma > 1.0, "gamma must exceed 1");
+    assert!(d_max >= 1, "d_max must be positive");
+    // Inverse-CDF sampling over the discrete support.
+    let weights: Vec<f64> = (1..=d_max).map(|d| (d as f64).powf(-gamma)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    (0..n)
+        .map(|_| {
+            let x: f64 = rng.random();
+            (cdf.partition_point(|&c| c < x) as u32 + 1).min(d_max)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn degrees_approximately_realized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out: Vec<u32> = vec![3, 2, 1, 0, 2];
+        let inn: Vec<u32> = vec![1, 1, 2, 3, 1];
+        let g = configuration_model(&out, &inn, &mut rng);
+        assert_eq!(g.node_count(), 5);
+        // Erased model: realized ≤ requested.
+        for v in 0..5u32 {
+            assert!(g.out_degree(v.into()) <= out[v as usize] as usize);
+            assert!(g.in_degree(v.into()) <= inn[v as usize] as usize);
+        }
+        // Most stubs survive at this density.
+        assert!(g.edge_count() >= 5);
+    }
+
+    #[test]
+    fn zero_degrees_allowed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = configuration_model(&[0, 0], &[0, 0], &mut rng);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum")]
+    fn mismatched_sums_panic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = configuration_model(&[2, 0], &[1, 0], &mut rng);
+    }
+
+    #[test]
+    fn power_law_sequence_shape() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let seq = power_law_degrees(20_000, 2.5, 100, &mut rng);
+        assert_eq!(seq.len(), 20_000);
+        assert!(seq.iter().all(|&d| (1..=100).contains(&d)));
+        // Heavy tail: degree-1 dominates, but large degrees occur.
+        let ones = seq.iter().filter(|&&d| d == 1).count();
+        let big = seq.iter().filter(|&&d| d >= 20).count();
+        assert!(ones > seq.len() / 2, "ones={ones}");
+        assert!(big > 0, "no tail at all");
+    }
+
+    #[test]
+    fn full_pipeline_power_law_graph() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut out = power_law_degrees(500, 2.3, 40, &mut rng);
+        let mut inn = power_law_degrees(500, 2.3, 40, &mut rng);
+        // Balance the sums by padding the smaller sequence's first entry.
+        let so: u64 = out.iter().map(|&d| d as u64).sum();
+        let si: u64 = inn.iter().map(|&d| d as u64).sum();
+        if so > si {
+            inn[0] += (so - si) as u32;
+        } else {
+            out[0] += (si - so) as u32;
+        }
+        let g = configuration_model(&out, &inn, &mut rng);
+        assert_eq!(g.node_count(), 500);
+        assert!(g.edge_count() > 300);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let out = vec![1, 2, 1, 2];
+        let inn = vec![2, 1, 2, 1];
+        let a = configuration_model(&out, &inn, &mut StdRng::seed_from_u64(7));
+        let b = configuration_model(&out, &inn, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,153 @@
+use crate::{Graph, GraphBuilder};
+use rand::Rng;
+
+/// Directed Erdős–Rényi `G(n, p)`: every ordered pair `(u, v)`, `u ≠ v`,
+/// is an edge independently with probability `p`.
+///
+/// Uses geometric skipping, so generation is `O(n + m)` rather than
+/// `O(n²)` — essential for sparse graphs.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: u32, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p={p} must be a probability");
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 || n < 2 {
+        return b.build().expect("empty edge set is always valid");
+    }
+    let total = n as u64 * (n as u64 - 1); // ordered pairs without diagonal
+    if p == 1.0 {
+        for u in 0..n {
+            for v in 0..n {
+                if u != v {
+                    b.add_arc(u, v).expect("in-range");
+                }
+            }
+        }
+        return b.build().expect("valid");
+    }
+    // Geometric skipping over the linearized pair index.
+    let log_q = (1.0 - p).ln();
+    let mut idx: i64 = -1;
+    loop {
+        let r: f64 = rng.random::<f64>();
+        let skip = ((1.0 - r).ln() / log_q).floor() as i64 + 1;
+        idx += skip.max(1);
+        if idx as u64 >= total {
+            break;
+        }
+        let (u, v) = unlinearize(idx as u64, n);
+        b.add_arc(u, v).expect("in-range");
+    }
+    b.build().expect("valid")
+}
+
+/// Directed Erdős–Rényi `G(n, m)`: exactly `m` distinct directed edges
+/// chosen uniformly (rejection sampling; requires `m` at most half the
+/// possible pairs for efficiency but works up to the maximum).
+///
+/// # Panics
+///
+/// Panics if `m` exceeds `n·(n−1)`.
+pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: u32, m: usize, rng: &mut R) -> Graph {
+    let total = n as u64 * (n as u64 - 1);
+    assert!(m as u64 <= total, "m={m} exceeds the {total} possible directed edges");
+    let mut chosen = std::collections::HashSet::with_capacity(m);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    while chosen.len() < m {
+        let idx = rng.random_range(0..total);
+        if chosen.insert(idx) {
+            let (u, v) = unlinearize(idx, n);
+            b.add_arc(u, v).expect("in-range");
+        }
+    }
+    b.build().expect("valid")
+}
+
+/// Maps a linear index over the `n·(n−1)` off-diagonal pairs to `(u, v)`.
+fn unlinearize(idx: u64, n: u32) -> (u32, u32) {
+    let row = (idx / (n as u64 - 1)) as u32;
+    let col = (idx % (n as u64 - 1)) as u32;
+    let v = if col >= row { col + 1 } else { col };
+    (row, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnp_zero_and_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g0 = erdos_renyi(10, 0.0, &mut rng);
+        assert_eq!(g0.edge_count(), 0);
+        let g1 = erdos_renyi(5, 1.0, &mut rng);
+        assert_eq!(g1.edge_count(), 20);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200u32;
+        let p = 0.05;
+        let g = erdos_renyi(n, p, &mut rng);
+        let expected = p * (n as f64) * (n as f64 - 1.0);
+        let m = g.edge_count() as f64;
+        // 5 sigma tolerance.
+        let sigma = (expected * (1.0 - p)).sqrt();
+        assert!((m - expected).abs() < 5.0 * sigma, "m={m} expected≈{expected}");
+    }
+
+    #[test]
+    fn gnp_no_self_loops() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = erdos_renyi(50, 0.2, &mut rng);
+        for e in g.edges() {
+            assert_ne!(e.source, e.target);
+        }
+    }
+
+    #[test]
+    fn gnm_exact_count_and_distinct() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = erdos_renyi_gnm(30, 100, &mut rng);
+        assert_eq!(g.edge_count(), 100);
+    }
+
+    #[test]
+    fn gnm_max_edges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = erdos_renyi_gnm(5, 20, &mut rng);
+        assert_eq!(g.edge_count(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_too_many_edges_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = erdos_renyi_gnm(3, 7, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g1 = erdos_renyi(64, 0.1, &mut StdRng::seed_from_u64(9));
+        let g2 = erdos_renyi(64, 0.1, &mut StdRng::seed_from_u64(9));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn unlinearize_covers_all_pairs() {
+        let n = 5u32;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..(n as u64 * (n as u64 - 1)) {
+            let (u, v) = unlinearize(idx, n);
+            assert_ne!(u, v);
+            assert!(u < n && v < n);
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len(), 20);
+    }
+}

@@ -1,0 +1,32 @@
+//! Seeded synthetic graph generators.
+//!
+//! These produce the *structural* graph with unit weights; apply a
+//! [`WeightModel`](crate::WeightModel) via
+//! [`Graph::reweighted`](crate::Graph::reweighted) afterwards. Every
+//! generator takes an explicit RNG so experiments are reproducible.
+//!
+//! * [`erdos_renyi`] / [`erdos_renyi_gnm`] — uniform random digraphs.
+//! * [`barabasi_albert`] — preferential attachment; heavy-tailed degrees
+//!   like Wiki-Vote/Epinions/Pokec.
+//! * [`watts_strogatz`] — small-world ring rewiring; high clustering like
+//!   ego-network datasets (Facebook).
+//! * [`planted_partition`] — stochastic block model with equal-probability
+//!   blocks; ground-truth communities like co-authorship networks (DBLP).
+//! * [`configuration_model`] / [`power_law_degrees`] — match an arbitrary
+//!   (e.g. measured) degree sequence exactly.
+//! * [`rmat`] — recursive-matrix (Graph500-style) generator with
+//!   self-similar community structure.
+
+mod barabasi_albert;
+mod configuration;
+mod erdos_renyi;
+mod planted_partition;
+mod rmat;
+mod watts_strogatz;
+
+pub use barabasi_albert::barabasi_albert;
+pub use configuration::{configuration_model, power_law_degrees};
+pub use erdos_renyi::{erdos_renyi, erdos_renyi_gnm};
+pub use planted_partition::{planted_partition, PlantedPartition};
+pub use rmat::{rmat, rmat_graph500};
+pub use watts_strogatz::watts_strogatz;

@@ -1,0 +1,202 @@
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Output of [`planted_partition`]: the graph and its ground-truth blocks.
+#[derive(Debug, Clone)]
+pub struct PlantedPartition {
+    /// The generated directed graph (both directions of each undirected
+    /// edge).
+    pub graph: Graph,
+    /// `blocks[i]` lists the members of planted block `i`, sorted.
+    pub blocks: Vec<Vec<NodeId>>,
+}
+
+/// Planted-partition stochastic block model.
+///
+/// `n` nodes are split into `r` near-equal blocks; an undirected edge is
+/// drawn within a block with probability `p_in` and across blocks with
+/// probability `p_out` (`p_in ≫ p_out` gives strong community structure,
+/// mimicking co-authorship networks like DBLP). Uses geometric skipping on
+/// both the intra- and inter-block pair streams, so generation is
+/// `O(n + m)`.
+///
+/// # Panics
+///
+/// Panics if `r == 0`, `r > n`, or probabilities are outside `[0, 1]`.
+pub fn planted_partition<R: Rng + ?Sized>(
+    n: u32,
+    r: u32,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> PlantedPartition {
+    assert!(r > 0 && r <= n, "need 0 < r <= n (r={r}, n={n})");
+    assert!((0.0..=1.0).contains(&p_in), "p_in={p_in} must be a probability");
+    assert!((0.0..=1.0).contains(&p_out), "p_out={p_out} must be a probability");
+
+    // Round-robin assignment keeps block sizes within 1 of each other.
+    let mut blocks: Vec<Vec<NodeId>> = vec![Vec::new(); r as usize];
+    let mut block_of = vec![0u32; n as usize];
+    for v in 0..n {
+        let b = v % r;
+        blocks[b as usize].push(NodeId::new(v));
+        block_of[v as usize] = b;
+    }
+
+    let mut b = GraphBuilder::new(n);
+    // Stream over all unordered pairs (u < v) using geometric skipping with
+    // the *larger* probability, then thin by the actual pair class. This is
+    // exact and avoids one pass per block pair.
+    let p_max = p_in.max(p_out);
+    if p_max > 0.0 {
+        let total_pairs = n as u64 * (n as u64 - 1) / 2;
+        let mut emit = |u: u32, v: u32, rng: &mut R| {
+            let p = if block_of[u as usize] == block_of[v as usize] { p_in } else { p_out };
+            // Thin: keep with probability p / p_max.
+            if p > 0.0 && (p >= p_max || rng.random_bool(p / p_max)) {
+                b.add_undirected(u, v, 1.0).expect("in-range");
+            }
+        };
+        if p_max >= 1.0 {
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    emit(u, v, rng);
+                }
+            }
+        } else {
+            let log_q = (1.0 - p_max).ln();
+            let mut idx: i64 = -1;
+            loop {
+                let rr: f64 = rng.random::<f64>();
+                let skip = ((1.0 - rr).ln() / log_q).floor() as i64 + 1;
+                idx += skip.max(1);
+                if idx as u64 >= total_pairs {
+                    break;
+                }
+                let (u, v) = unrank_pair(idx as u64, n);
+                emit(u, v, rng);
+            }
+        }
+    }
+    PlantedPartition { graph: b.build().expect("valid"), blocks }
+}
+
+/// Maps a linear rank over unordered pairs `(u < v)` of `0..n` to the pair.
+fn unrank_pair(rank: u64, n: u32) -> (u32, u32) {
+    // Row u owns (n-1-u) pairs. Solve the triangular inversion directly.
+    let nf = n as f64;
+    let k = rank as f64;
+    // u is the smallest integer with offset(u+1) > rank, where
+    // offset(u) = u*n - u*(u+1)/2.
+    let mut u = ((2.0 * nf - 1.0 - ((2.0 * nf - 1.0).powi(2) - 8.0 * k).sqrt()) / 2.0) as u64;
+    // Fix floating point drift.
+    let offset = |u: u64| u * n as u64 - u * (u + 1) / 2;
+    while offset(u + 1) <= rank {
+        u += 1;
+    }
+    while u > 0 && offset(u) > rank {
+        u -= 1;
+    }
+    let v = rank - offset(u) + u + 1;
+    (u as u32, v as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn blocks_partition_nodes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pp = planted_partition(100, 7, 0.3, 0.01, &mut rng);
+        let total: usize = pp.blocks.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 100);
+        let mut seen = std::collections::HashSet::new();
+        for blk in &pp.blocks {
+            for v in blk {
+                assert!(seen.insert(*v));
+            }
+        }
+        // Near-equal sizes.
+        let min = pp.blocks.iter().map(|b| b.len()).min().unwrap();
+        let max = pp.blocks.iter().map(|b| b.len()).max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn intra_density_exceeds_inter() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 300u32;
+        let pp = planted_partition(n, 6, 0.25, 0.005, &mut rng);
+        let mut block_of = vec![0usize; n as usize];
+        for (i, blk) in pp.blocks.iter().enumerate() {
+            for v in blk {
+                block_of[v.index()] = i;
+            }
+        }
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for e in pp.graph.edges() {
+            if block_of[e.source.index()] == block_of[e.target.index()] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        // 50 intra-pairs per node vs 250 inter-pairs, but 50x probability gap.
+        assert!(intra > inter, "intra={intra} inter={inter}");
+    }
+
+    #[test]
+    fn edge_counts_near_expectation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200u32;
+        let r = 4u32;
+        let p_in = 0.2;
+        let pp = planted_partition(n, r, p_in, 0.0, &mut rng);
+        let per_block = (n / r) as f64;
+        let intra_pairs = r as f64 * per_block * (per_block - 1.0) / 2.0;
+        let expected = 2.0 * p_in * intra_pairs; // directed doubling
+        let m = pp.graph.edge_count() as f64;
+        let sigma = (2.0 * intra_pairs * p_in * (1.0 - p_in)).sqrt() * 2.0;
+        assert!((m - expected).abs() < 5.0 * sigma, "m={m}, expected≈{expected}");
+    }
+
+    #[test]
+    fn zero_probabilities_give_empty_graph() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pp = planted_partition(50, 5, 0.0, 0.0, &mut rng);
+        assert_eq!(pp.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn p_one_within_blocks_is_complete() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pp = planted_partition(12, 3, 1.0, 0.0, &mut rng);
+        // Each block of 4 is a complete undirected graph: 4*3 directed edges.
+        assert_eq!(pp.graph.edge_count(), 3 * 12);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = planted_partition(80, 4, 0.2, 0.02, &mut StdRng::seed_from_u64(6));
+        let b = planted_partition(80, 4, 0.2, 0.02, &mut StdRng::seed_from_u64(6));
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.blocks, b.blocks);
+    }
+
+    #[test]
+    fn unrank_pair_is_a_bijection() {
+        let n = 9u32;
+        let mut seen = std::collections::HashSet::new();
+        let total = n as u64 * (n as u64 - 1) / 2;
+        for rank in 0..total {
+            let (u, v) = unrank_pair(rank, n);
+            assert!(u < v && v < n, "bad pair ({u},{v}) at rank {rank}");
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len() as u64, total);
+    }
+}

@@ -1,0 +1,141 @@
+use crate::{Graph, GraphBuilder};
+use rand::Rng;
+
+/// R-MAT recursive-matrix generator (Chakrabarti, Zhan, Faloutsos 2004) —
+/// the model behind Graph500 and a good fit for SNAP-style social graphs
+/// (heavy-tailed degrees, community-like self-similar structure).
+///
+/// Each of the `m` edges picks its cell of the `2^scale × 2^scale`
+/// adjacency matrix by descending `scale` levels, choosing the quadrant
+/// with probabilities `(a, b, c, d)` (normalized internally; classic
+/// Graph500 uses `(0.57, 0.19, 0.19, 0.05)`). Duplicate edges and
+/// self-loops are dropped, so the realized count can be slightly below
+/// `m`.
+///
+/// # Panics
+///
+/// Panics if `scale == 0`, any probability is negative, or all are zero.
+pub fn rmat<R: Rng + ?Sized>(
+    scale: u32,
+    m: usize,
+    probabilities: (f64, f64, f64, f64),
+    rng: &mut R,
+) -> Graph {
+    assert!(scale > 0 && scale < 31, "scale must be in 1..31");
+    let (a, b, c, d) = probabilities;
+    assert!(
+        a >= 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0,
+        "probabilities must be non-negative"
+    );
+    let total = a + b + c + d;
+    assert!(total > 0.0, "probabilities must not all be zero");
+    let (pa, pb, pc) = (a / total, b / total, c / total);
+
+    let n = 1u32 << scale;
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    let mut seen = std::collections::HashSet::with_capacity(m);
+    // Oversample attempts to compensate for dropped duplicates/self-loops.
+    let max_attempts = m.saturating_mul(8).max(64);
+    let mut added = 0usize;
+    for _ in 0..max_attempts {
+        if added >= m {
+            break;
+        }
+        let mut u = 0u32;
+        let mut v = 0u32;
+        for level in (0..scale).rev() {
+            let x: f64 = rng.random();
+            let (du, dv) = if x < pa {
+                (0, 0)
+            } else if x < pa + pb {
+                (0, 1)
+            } else if x < pa + pb + pc {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u |= du << level;
+            v |= dv << level;
+        }
+        if u != v && seen.insert((u, v)) {
+            builder.add_arc(u, v).expect("in-range");
+            added += 1;
+        }
+    }
+    builder.build().expect("valid")
+}
+
+/// R-MAT with the Graph500 parameter set `(0.57, 0.19, 0.19, 0.05)`.
+pub fn rmat_graph500<R: Rng + ?Sized>(scale: u32, m: usize, rng: &mut R) -> Graph {
+    rmat(scale, m, (0.57, 0.19, 0.19, 0.05), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{in_degree_histogram, out_degree_histogram};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sizes_match_request() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = rmat_graph500(10, 4_000, &mut rng);
+        assert_eq!(g.node_count(), 1024);
+        // Some loss to duplicates is expected, but most edges land.
+        assert!(g.edge_count() >= 3_600, "m={}", g.edge_count());
+        assert!(g.edge_count() <= 4_000);
+    }
+
+    #[test]
+    fn skew_produces_heavy_tail() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = rmat_graph500(11, 10_000, &mut rng);
+        let oh = out_degree_histogram(&g);
+        let ih = in_degree_histogram(&g);
+        let avg = g.edge_count() as f64 / g.node_count() as f64;
+        assert!((oh.len() - 1) as f64 > 5.0 * avg, "out tail too light");
+        assert!((ih.len() - 1) as f64 > 5.0 * avg, "in tail too light");
+    }
+
+    #[test]
+    fn uniform_probabilities_are_near_erdos_renyi() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = rmat(8, 2_000, (0.25, 0.25, 0.25, 0.25), &mut rng);
+        let oh = out_degree_histogram(&g);
+        // Max degree stays near the Poisson range, far from the skewed
+        // case.
+        let avg = g.edge_count() as f64 / g.node_count() as f64;
+        assert!(((oh.len() - 1) as f64) < 5.0 * avg + 10.0);
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = rmat_graph500(8, 1_500, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for e in g.edges() {
+            assert_ne!(e.source, e.target);
+            assert!(seen.insert((e.source, e.target)));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = rmat_graph500(9, 1_000, &mut StdRng::seed_from_u64(5));
+        let b = rmat_graph500(9, 1_000, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_panics() {
+        let _ = rmat_graph500(0, 10, &mut StdRng::seed_from_u64(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_probability_panics() {
+        let _ = rmat(4, 10, (-0.1, 0.5, 0.3, 0.3), &mut StdRng::seed_from_u64(1));
+    }
+}

@@ -1,0 +1,122 @@
+use crate::{Graph, GraphBuilder};
+use rand::Rng;
+
+/// Watts–Strogatz small-world graph, returned as a directed graph with both
+/// directions of every undirected edge (the paper's convention for
+/// undirected datasets).
+///
+/// Starts from a ring lattice where each node connects to its `k_half`
+/// clockwise neighbors, then rewires each lattice edge's far endpoint with
+/// probability `beta`. High clustering plus short paths mimics dense ego
+/// networks such as the Facebook dataset.
+///
+/// # Panics
+///
+/// Panics if `k_half == 0`, `2·k_half >= n`, or `beta ∉ [0, 1]`.
+pub fn watts_strogatz<R: Rng + ?Sized>(n: u32, k_half: u32, beta: f64, rng: &mut R) -> Graph {
+    assert!(k_half > 0, "k_half must be positive");
+    assert!(2 * k_half < n, "ring requires 2·k_half < n (k_half={k_half}, n={n})");
+    assert!((0.0..=1.0).contains(&beta), "beta={beta} must be a probability");
+    // Undirected edge set as normalized (min, max) pairs.
+    let mut present = std::collections::HashSet::<(u32, u32)>::new();
+    let norm = |a: u32, b: u32| if a < b { (a, b) } else { (b, a) };
+    for u in 0..n {
+        for d in 1..=k_half {
+            present.insert(norm(u, (u + d) % n));
+        }
+    }
+    // Rewire lattice edges (iterate in deterministic lattice order).
+    for u in 0..n {
+        for d in 1..=k_half {
+            let v = (u + d) % n;
+            if rng.random_bool(beta) {
+                let key = norm(u, v);
+                if !present.contains(&key) {
+                    continue; // already rewired away by the other endpoint
+                }
+                // Pick a new endpoint avoiding self-loops and duplicates.
+                let mut attempts = 0;
+                loop {
+                    let w = rng.random_range(0..n);
+                    if w != u && !present.contains(&norm(u, w)) {
+                        present.remove(&key);
+                        present.insert(norm(u, w));
+                        break;
+                    }
+                    attempts += 1;
+                    if attempts > 4 * n {
+                        break; // node saturated; keep the lattice edge
+                    }
+                }
+            }
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(n, present.len() * 2);
+    for (u, v) in present {
+        b.add_undirected(u, v, 1.0).expect("in-range");
+    }
+    b.build().expect("valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn beta_zero_is_exact_lattice() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20u32;
+        let k_half = 2u32;
+        let g = watts_strogatz(n, k_half, 0.0, &mut rng);
+        assert_eq!(g.edge_count(), (n * k_half * 2) as usize);
+        // Ring neighbors present in both directions.
+        assert!(g.has_edge(0.into(), 1.into()));
+        assert!(g.has_edge(1.into(), 0.into()));
+        assert!(g.has_edge(0.into(), 2.into()));
+        assert!(!g.has_edge(0.into(), 3.into()));
+    }
+
+    #[test]
+    fn edge_count_preserved_under_rewiring() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100u32;
+        let k_half = 3u32;
+        let g = watts_strogatz(n, k_half, 0.5, &mut rng);
+        // Rewiring never changes the number of undirected edges (unless a
+        // node saturates, which cannot happen at this density).
+        assert_eq!(g.edge_count(), (n * k_half * 2) as usize);
+    }
+
+    #[test]
+    fn symmetric_adjacency() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = watts_strogatz(60, 2, 0.3, &mut rng);
+        for e in g.edges() {
+            assert!(g.has_edge(e.target, e.source), "asymmetric edge {e:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g1 = watts_strogatz(50, 2, 0.2, &mut StdRng::seed_from_u64(5));
+        let g2 = watts_strogatz(50, 2, 0.2, &mut StdRng::seed_from_u64(5));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring requires")]
+    fn too_dense_ring_panics() {
+        let _ = watts_strogatz(4, 2, 0.1, &mut StdRng::seed_from_u64(1));
+    }
+
+    #[test]
+    fn no_self_loops_after_rewiring() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let g = watts_strogatz(80, 2, 0.9, &mut rng);
+        for e in g.edges() {
+            assert_ne!(e.source, e.target);
+        }
+    }
+}

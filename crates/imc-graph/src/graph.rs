@@ -1,0 +1,405 @@
+use crate::NodeId;
+
+/// A directed edge together with its influence probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Source node.
+    pub source: NodeId,
+    /// Target node.
+    pub target: NodeId,
+    /// Influence probability `w(source, target) ∈ [0, 1]`.
+    pub weight: f64,
+}
+
+/// Immutable directed weighted graph in compressed-sparse-row form.
+///
+/// Both the out-adjacency (forward edges) and the in-adjacency (reverse
+/// edges) are stored, because influence-maximization sampling walks the graph
+/// backwards (reverse reachability) while diffusion simulation walks it
+/// forwards. Node ids are dense: `0..node_count()`.
+///
+/// Construct a `Graph` through [`GraphBuilder`](crate::GraphBuilder), the
+/// [`edgelist`](crate::edgelist) parser, or one of the
+/// [`generators`](crate::generators).
+///
+/// ```
+/// use imc_graph::GraphBuilder;
+/// # fn main() -> Result<(), imc_graph::GraphError> {
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1, 0.3)?;
+/// b.add_edge(2, 1, 0.7)?;
+/// let g = b.build()?;
+/// assert_eq!(g.in_degree(1.into()), 2);
+/// assert_eq!(g.out_degree(0.into()), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    n: u32,
+    // Forward CSR.
+    out_offsets: Vec<usize>,
+    out_targets: Vec<NodeId>,
+    out_weights: Vec<f64>,
+    // Reverse CSR.
+    in_offsets: Vec<usize>,
+    in_sources: Vec<NodeId>,
+    in_weights: Vec<f64>,
+}
+
+impl Graph {
+    /// Builds the CSR structure from a validated, deduplicated edge list.
+    ///
+    /// `edges` entries are `(source, target, weight)`; endpoints must already
+    /// be `< n` and weights in `[0, 1]`. This is `pub(crate)`: external users
+    /// go through [`GraphBuilder`](crate::GraphBuilder), which validates.
+    pub(crate) fn from_validated_edges(n: u32, edges: &[(u32, u32, f64)]) -> Self {
+        let nu = n as usize;
+        let mut out_deg = vec![0usize; nu];
+        let mut in_deg = vec![0usize; nu];
+        for &(u, v, _) in edges {
+            out_deg[u as usize] += 1;
+            in_deg[v as usize] += 1;
+        }
+        let mut out_offsets = Vec::with_capacity(nu + 1);
+        let mut in_offsets = Vec::with_capacity(nu + 1);
+        let mut acc = 0usize;
+        for d in &out_deg {
+            out_offsets.push(acc);
+            acc += d;
+        }
+        out_offsets.push(acc);
+        let m = acc;
+        acc = 0;
+        for d in &in_deg {
+            in_offsets.push(acc);
+            acc += d;
+        }
+        in_offsets.push(acc);
+
+        let mut out_targets = vec![NodeId::default(); m];
+        let mut out_weights = vec![0.0f64; m];
+        let mut in_sources = vec![NodeId::default(); m];
+        let mut in_weights = vec![0.0f64; m];
+        let mut out_pos = out_offsets[..nu].to_vec();
+        let mut in_pos = in_offsets[..nu].to_vec();
+        for &(u, v, w) in edges {
+            let p = out_pos[u as usize];
+            out_targets[p] = NodeId::new(v);
+            out_weights[p] = w;
+            out_pos[u as usize] += 1;
+            let q = in_pos[v as usize];
+            in_sources[q] = NodeId::new(u);
+            in_weights[q] = w;
+            in_pos[v as usize] += 1;
+        }
+        // Sort each adjacency run by neighbor id for deterministic iteration
+        // and binary-searchable `weight(u, v)` lookups.
+        for u in 0..nu {
+            let (s, e) = (out_offsets[u], out_offsets[u + 1]);
+            sort_run(&mut out_targets[s..e], &mut out_weights[s..e]);
+            let (s, e) = (in_offsets[u], in_offsets[u + 1]);
+            sort_run(&mut in_sources[s..e], &mut in_weights[s..e]);
+        }
+        Graph { n, out_offsets, out_targets, out_weights, in_offsets, in_sources, in_weights }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Number of directed edges `m`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n).map(NodeId::new)
+    }
+
+    /// Out-degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        let i = u.index();
+        self.out_offsets[i + 1] - self.out_offsets[i]
+    }
+
+    /// In-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        self.in_offsets[i + 1] - self.in_offsets[i]
+    }
+
+    /// Iterator over out-edges of `u` (sorted by target id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn out_edges(&self, u: NodeId) -> OutEdges<'_> {
+        let i = u.index();
+        let (s, e) = (self.out_offsets[i], self.out_offsets[i + 1]);
+        OutEdges {
+            source: u,
+            targets: &self.out_targets[s..e],
+            weights: &self.out_weights[s..e],
+            pos: 0,
+        }
+    }
+
+    /// Iterator over in-edges of `v` (sorted by source id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn in_edges(&self, v: NodeId) -> InEdges<'_> {
+        let i = v.index();
+        let (s, e) = (self.in_offsets[i], self.in_offsets[i + 1]);
+        InEdges {
+            target: v,
+            sources: &self.in_sources[s..e],
+            weights: &self.in_weights[s..e],
+            pos: 0,
+        }
+    }
+
+    /// Returns the weight of edge `(u, v)`, or `None` if absent.
+    ///
+    /// By the paper's convention `w(u, v) = 0` for non-edges; callers that
+    /// want that convention can `unwrap_or(0.0)`.
+    pub fn weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let i = u.index();
+        let (s, e) = (self.out_offsets[i], self.out_offsets[i + 1]);
+        let run = &self.out_targets[s..e];
+        run.binary_search(&v).ok().map(|k| self.out_weights[s + k])
+    }
+
+    /// Returns `true` when the directed edge `(u, v)` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.weight(u, v).is_some()
+    }
+
+    /// Iterator over every directed edge in the graph.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.nodes().flat_map(move |u| self.out_edges(u))
+    }
+
+    /// Returns the transposed graph (every edge reversed, weights kept).
+    pub fn reverse(&self) -> Graph {
+        Graph {
+            n: self.n,
+            out_offsets: self.in_offsets.clone(),
+            out_targets: self.in_sources.clone(),
+            out_weights: self.in_weights.clone(),
+            in_offsets: self.out_offsets.clone(),
+            in_sources: self.out_targets.clone(),
+            in_weights: self.out_weights.clone(),
+        }
+    }
+
+    /// Checks whether `u` is a valid node id of this graph.
+    #[inline]
+    pub fn contains(&self, u: NodeId) -> bool {
+        u.raw() < self.n
+    }
+
+    /// Sum of all edge weights (expected number of live edges in a sample).
+    pub fn total_weight(&self) -> f64 {
+        self.out_weights.iter().sum()
+    }
+}
+
+fn sort_run(ids: &mut [NodeId], ws: &mut [f64]) {
+    let mut idx: Vec<usize> = (0..ids.len()).collect();
+    idx.sort_by_key(|&i| ids[i]);
+    let sorted_ids: Vec<NodeId> = idx.iter().map(|&i| ids[i]).collect();
+    let sorted_ws: Vec<f64> = idx.iter().map(|&i| ws[i]).collect();
+    ids.copy_from_slice(&sorted_ids);
+    ws.copy_from_slice(&sorted_ws);
+}
+
+/// Iterator over the out-edges of a node, created by [`Graph::out_edges`].
+#[derive(Debug, Clone)]
+pub struct OutEdges<'a> {
+    source: NodeId,
+    targets: &'a [NodeId],
+    weights: &'a [f64],
+    pos: usize,
+}
+
+impl Iterator for OutEdges<'_> {
+    type Item = Edge;
+
+    fn next(&mut self) -> Option<Edge> {
+        if self.pos < self.targets.len() {
+            let e = Edge {
+                source: self.source,
+                target: self.targets[self.pos],
+                weight: self.weights[self.pos],
+            };
+            self.pos += 1;
+            Some(e)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.targets.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for OutEdges<'_> {}
+
+/// Iterator over the in-edges of a node, created by [`Graph::in_edges`].
+#[derive(Debug, Clone)]
+pub struct InEdges<'a> {
+    target: NodeId,
+    sources: &'a [NodeId],
+    weights: &'a [f64],
+    pos: usize,
+}
+
+impl Iterator for InEdges<'_> {
+    type Item = Edge;
+
+    fn next(&mut self) -> Option<Edge> {
+        if self.pos < self.sources.len() {
+            let e = Edge {
+                source: self.sources[self.pos],
+                target: self.target,
+                weight: self.weights[self.pos],
+            };
+            self.pos += 1;
+            Some(e)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.sources.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for InEdges<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn diamond() -> Graph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(0, 2, 0.4).unwrap();
+        b.add_edge(1, 3, 0.3).unwrap();
+        b.add_edge(2, 3, 0.2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = diamond();
+        assert_eq!(g.out_degree(0.into()), 2);
+        assert_eq!(g.in_degree(3.into()), 2);
+        assert_eq!(g.in_degree(0.into()), 0);
+        assert_eq!(g.out_degree(3.into()), 0);
+    }
+
+    #[test]
+    fn adjacency_sorted_and_weighted() {
+        let g = diamond();
+        let out: Vec<_> = g.out_edges(0.into()).collect();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].target, NodeId::new(1));
+        assert_eq!(out[0].weight, 0.5);
+        assert_eq!(out[1].target, NodeId::new(2));
+        let ins: Vec<_> = g.in_edges(3.into()).collect();
+        assert_eq!(ins[0].source, NodeId::new(1));
+        assert_eq!(ins[1].source, NodeId::new(2));
+    }
+
+    #[test]
+    fn weight_lookup() {
+        let g = diamond();
+        assert_eq!(g.weight(0.into(), 1.into()), Some(0.5));
+        assert_eq!(g.weight(1.into(), 0.into()), None);
+        assert!(g.has_edge(2.into(), 3.into()));
+        assert!(!g.has_edge(3.into(), 2.into()));
+    }
+
+    #[test]
+    fn reverse_transposes() {
+        let g = diamond();
+        let r = g.reverse();
+        assert_eq!(r.edge_count(), g.edge_count());
+        assert!(r.has_edge(1.into(), 0.into()));
+        assert!(r.has_edge(3.into(), 2.into()));
+        assert!(!r.has_edge(0.into(), 1.into()));
+        // Reversing twice gives back the original.
+        assert_eq!(r.reverse(), g);
+    }
+
+    #[test]
+    fn edges_iterator_covers_all() {
+        let g = diamond();
+        let all: Vec<_> = g.edges().collect();
+        assert_eq!(all.len(), 4);
+        assert!(all.iter().any(|e| e.source == NodeId::new(2) && e.target == NodeId::new(3)));
+    }
+
+    #[test]
+    fn total_weight_sums() {
+        let g = diamond();
+        assert!((g.total_weight() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_no_edges() {
+        let g = GraphBuilder::new(5).build().unwrap();
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 0);
+            assert_eq!(g.in_degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn exact_size_iterators() {
+        let g = diamond();
+        let it = g.out_edges(0.into());
+        assert_eq!(it.len(), 2);
+        let it = g.in_edges(3.into());
+        assert_eq!(it.len(), 2);
+    }
+}

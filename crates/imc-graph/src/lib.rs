@@ -1,0 +1,64 @@
+//! Graph substrate for the `imc` workspace.
+//!
+//! This crate provides the directed, weighted graph representation used by
+//! every other crate in the workspace, together with the supporting
+//! machinery a realistic influence-maximization system needs:
+//!
+//! * [`Graph`] — an immutable compressed-sparse-row (CSR) graph storing both
+//!   out- and in-adjacency, with `f64` edge weights interpreted as influence
+//!   probabilities in `[0, 1]`.
+//! * [`GraphBuilder`] — mutable edge-list accumulator that validates and
+//!   freezes into a [`Graph`].
+//! * [`WeightModel`] — the weight-assignment schemes used in the IMC paper
+//!   (weighted cascade `1/indeg(v)`, uniform, trivalency).
+//! * [`generators`] — seeded synthetic graph generators (Erdős–Rényi,
+//!   Barabási–Albert, Watts–Strogatz, planted partition).
+//! * [`traversal`], [`components`], [`stats`], [`subgraph`], [`edgelist`] —
+//!   BFS/DFS, Tarjan SCC / weak components, summary statistics, induced
+//!   subgraphs, and a SNAP-compatible edge-list reader/writer.
+//!
+//! # Example
+//!
+//! ```
+//! use imc_graph::{GraphBuilder, WeightModel};
+//!
+//! # fn main() -> Result<(), imc_graph::GraphError> {
+//! let mut b = GraphBuilder::new(3);
+//! b.add_edge(0, 1, 0.5)?;
+//! b.add_edge(1, 2, 0.25)?;
+//! let g = b.build()?;
+//! assert_eq!(g.node_count(), 3);
+//! assert_eq!(g.edge_count(), 2);
+//! let g = g.reweighted(WeightModel::WeightedCascade);
+//! assert_eq!(g.out_edges(0.into()).next().unwrap().weight, 1.0); // indeg(1) == 1
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod graph;
+mod node;
+mod weights;
+
+pub mod components;
+pub mod distance;
+pub mod dot;
+pub mod edgelist;
+pub mod generators;
+pub mod kcore;
+pub mod stats;
+pub mod subgraph;
+pub mod traversal;
+
+pub use builder::{DedupPolicy, GraphBuilder};
+pub use error::GraphError;
+pub use graph::{Edge, Graph, InEdges, OutEdges};
+pub use node::NodeId;
+pub use weights::WeightModel;
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,92 @@
+use std::fmt;
+
+/// Compact identifier of a graph node.
+///
+/// Nodes are always numbered `0..n` inside a [`Graph`](crate::Graph); the
+/// newtype keeps node indices from being confused with other integer
+/// quantities (community ids, counts, thresholds).
+///
+/// ```
+/// use imc_graph::NodeId;
+/// let v = NodeId::new(7);
+/// assert_eq!(v.index(), 7);
+/// assert_eq!(u32::from(v), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw `u32` index.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// Returns the id as a `usize` suitable for indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<NodeId> for u32 {
+    #[inline]
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+impl From<NodeId> for usize {
+    #[inline]
+    fn from(id: NodeId) -> Self {
+        id.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u32() {
+        let v = NodeId::from(42u32);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(v.index(), 42usize);
+        assert_eq!(v.raw(), 42);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(NodeId::new(3).to_string(), "v3");
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(5), NodeId::new(5));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(NodeId::default(), NodeId::new(0));
+    }
+}

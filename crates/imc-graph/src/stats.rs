@@ -1,0 +1,168 @@
+//! Summary statistics for graphs — used to regenerate Table I of the paper.
+
+use crate::Graph;
+use std::fmt;
+
+/// Degree and size statistics of a graph.
+///
+/// ```
+/// use imc_graph::{GraphBuilder, stats::GraphStats};
+/// # fn main() -> Result<(), imc_graph::GraphError> {
+/// let mut b = GraphBuilder::new(3);
+/// b.add_arc(0, 1)?;
+/// b.add_arc(1, 2)?;
+/// let s = GraphStats::compute(&b.build()?);
+/// assert_eq!(s.nodes, 3);
+/// assert_eq!(s.edges, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of directed edges.
+    pub edges: usize,
+    /// Mean out-degree (equals mean in-degree).
+    pub avg_degree: f64,
+    /// Largest out-degree.
+    pub max_out_degree: usize,
+    /// Largest in-degree.
+    pub max_in_degree: usize,
+    /// Count of nodes with no incident edges at all.
+    pub isolated_nodes: usize,
+    /// Directed density `m / (n·(n−1))`.
+    pub density: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics in one pass over the adjacency.
+    pub fn compute(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let m = graph.edge_count();
+        let mut max_out = 0;
+        let mut max_in = 0;
+        let mut isolated = 0;
+        for v in graph.nodes() {
+            let od = graph.out_degree(v);
+            let id = graph.in_degree(v);
+            max_out = max_out.max(od);
+            max_in = max_in.max(id);
+            if od == 0 && id == 0 {
+                isolated += 1;
+            }
+        }
+        GraphStats {
+            nodes: n,
+            edges: m,
+            avg_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            isolated_nodes: isolated,
+            density: if n > 1 { m as f64 / (n as f64 * (n as f64 - 1.0)) } else { 0.0 },
+        }
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} m={} avg_deg={:.2} max_out={} max_in={} isolated={} density={:.6}",
+            self.nodes,
+            self.edges,
+            self.avg_degree,
+            self.max_out_degree,
+            self.max_in_degree,
+            self.isolated_nodes,
+            self.density
+        )
+    }
+}
+
+/// Histogram of out-degrees: `hist[d]` = number of nodes with out-degree `d`.
+pub fn out_degree_histogram(graph: &Graph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in graph.nodes() {
+        let d = graph.out_degree(v);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Histogram of in-degrees: `hist[d]` = number of nodes with in-degree `d`.
+pub fn in_degree_histogram(graph: &Graph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in graph.nodes() {
+        let d = graph.in_degree(v);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> Graph {
+        // 0 -> 1, 0 -> 2, 1 -> 2; node 3 isolated
+        let mut b = GraphBuilder::new(4);
+        b.add_arc(0, 1).unwrap();
+        b.add_arc(0, 2).unwrap();
+        b.add_arc(1, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_stats() {
+        let s = GraphStats::compute(&sample());
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 2);
+        assert_eq!(s.isolated_nodes, 1);
+        assert!((s.avg_degree - 0.75).abs() < 1e-12);
+        assert!((s.density - 3.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histograms_sum_to_n() {
+        let g = sample();
+        let oh = out_degree_histogram(&g);
+        let ih = in_degree_histogram(&g);
+        assert_eq!(oh.iter().sum::<usize>(), 4);
+        assert_eq!(ih.iter().sum::<usize>(), 4);
+        assert_eq!(oh[2], 1); // node 0
+        assert_eq!(ih[2], 1); // node 2
+    }
+
+    #[test]
+    fn histogram_weighted_sum_is_edge_count() {
+        let g = sample();
+        let oh = out_degree_histogram(&g);
+        let m: usize = oh.iter().enumerate().map(|(d, c)| d * c).sum();
+        assert_eq!(m, g.edge_count());
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.density, 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = GraphStats::compute(&sample());
+        assert!(s.to_string().contains("n=4"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Induced subgraphs with node-id remapping.
+
+use crate::{Graph, NodeId};
+
+/// The result of extracting an induced subgraph: the new graph plus the
+/// mapping from new dense ids back to the original ids.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The induced subgraph over the selected nodes, with dense ids `0..k`.
+    pub graph: Graph,
+    /// `original[i]` is the id in the parent graph of subgraph node `i`.
+    pub original: Vec<NodeId>,
+}
+
+impl Subgraph {
+    /// Maps a subgraph node id back to the parent graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range for the subgraph.
+    pub fn to_original(&self, local: NodeId) -> NodeId {
+        self.original[local.index()]
+    }
+
+    /// Maps a parent-graph node into the subgraph, if it was selected.
+    pub fn to_local(&self, original: NodeId) -> Option<NodeId> {
+        // `original` is sorted by construction, so binary search works.
+        self.original
+            .binary_search(&original)
+            .ok()
+            .map(|i| NodeId::new(i as u32))
+    }
+}
+
+/// Extracts the subgraph induced by `nodes` (duplicates ignored). Edge
+/// weights are preserved. Nodes are relabelled `0..k` in sorted order of
+/// their original ids.
+///
+/// # Panics
+///
+/// Panics if any node id is out of range for `graph`.
+pub fn induced_subgraph(graph: &Graph, nodes: &[NodeId]) -> Subgraph {
+    let mut selected: Vec<NodeId> = nodes.to_vec();
+    selected.sort();
+    selected.dedup();
+    for &v in &selected {
+        assert!(graph.contains(v), "node {v} out of range");
+    }
+    let mut local = vec![u32::MAX; graph.node_count()];
+    for (i, &v) in selected.iter().enumerate() {
+        local[v.index()] = i as u32;
+    }
+    let mut edges = Vec::new();
+    for &u in &selected {
+        for e in graph.out_edges(u) {
+            let lv = local[e.target.index()];
+            if lv != u32::MAX {
+                edges.push((local[u.index()], lv, e.weight));
+            }
+        }
+    }
+    Subgraph {
+        graph: Graph::from_validated_edges(selected.len() as u32, &edges),
+        original: selected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn pentagon() -> Graph {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..5 {
+            b.add_edge(i, (i + 1) % 5, 0.1 * (i + 1) as f64).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = pentagon();
+        let sub = induced_subgraph(&g, &[0.into(), 1.into(), 2.into()]);
+        assert_eq!(sub.graph.node_count(), 3);
+        // Edges 0->1 and 1->2 survive; 2->3 and 4->0 do not.
+        assert_eq!(sub.graph.edge_count(), 2);
+        assert!(sub.graph.has_edge(0.into(), 1.into()));
+        assert!(sub.graph.has_edge(1.into(), 2.into()));
+    }
+
+    #[test]
+    fn weights_preserved() {
+        let g = pentagon();
+        let sub = induced_subgraph(&g, &[0.into(), 1.into()]);
+        assert_eq!(sub.graph.weight(0.into(), 1.into()), Some(0.1));
+    }
+
+    #[test]
+    fn mapping_roundtrip() {
+        let g = pentagon();
+        let sub = induced_subgraph(&g, &[4.into(), 2.into()]);
+        // Sorted: local 0 = original 2, local 1 = original 4.
+        assert_eq!(sub.to_original(0.into()), NodeId::new(2));
+        assert_eq!(sub.to_original(1.into()), NodeId::new(4));
+        assert_eq!(sub.to_local(4.into()), Some(NodeId::new(1)));
+        assert_eq!(sub.to_local(0.into()), None);
+    }
+
+    #[test]
+    fn duplicates_in_selection_ignored() {
+        let g = pentagon();
+        let sub = induced_subgraph(&g, &[1.into(), 1.into(), 2.into()]);
+        assert_eq!(sub.graph.node_count(), 2);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = pentagon();
+        let sub = induced_subgraph(&g, &[]);
+        assert_eq!(sub.graph.node_count(), 0);
+        assert_eq!(sub.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn full_selection_is_isomorphic() {
+        let g = pentagon();
+        let all: Vec<NodeId> = g.nodes().collect();
+        let sub = induced_subgraph(&g, &all);
+        assert_eq!(sub.graph, g);
+    }
+}

@@ -1,0 +1,194 @@
+//! Breadth-first and depth-first traversal over [`Graph`].
+//!
+//! Traversals ignore edge weights — they operate on the structural graph.
+//! Probabilistic (live-edge) traversal lives in the diffusion and sampling
+//! crates; these helpers are the deterministic building blocks.
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Which adjacency a traversal follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow out-edges (forward reachability).
+    Forward,
+    /// Follow in-edges (who can reach the start set).
+    Backward,
+}
+
+/// Nodes reachable from `starts` following `direction`, including the start
+/// nodes themselves. Returned in BFS discovery order.
+///
+/// # Panics
+///
+/// Panics if any start node is out of range.
+pub fn bfs(graph: &Graph, starts: &[NodeId], direction: Direction) -> Vec<NodeId> {
+    let mut visited = vec![false; graph.node_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    for &s in starts {
+        assert!(graph.contains(s), "start node {s} out of range");
+        if !visited[s.index()] {
+            visited[s.index()] = true;
+            queue.push_back(s);
+            order.push(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let neighbors: Box<dyn Iterator<Item = NodeId>> = match direction {
+            Direction::Forward => Box::new(graph.out_edges(u).map(|e| e.target)),
+            Direction::Backward => Box::new(graph.in_edges(u).map(|e| e.source)),
+        };
+        for v in neighbors {
+            if !visited[v.index()] {
+                visited[v.index()] = true;
+                queue.push_back(v);
+                order.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// Nodes reachable *from* `start` following out-edges (forward closure).
+pub fn reachable_from(graph: &Graph, start: NodeId) -> Vec<NodeId> {
+    bfs(graph, &[start], Direction::Forward)
+}
+
+/// Nodes that can *reach* `target` following edges forward (backward
+/// closure); this is the `R_g(u)` notion of the IMC paper applied to a
+/// deterministic graph.
+pub fn reaching_to(graph: &Graph, target: NodeId) -> Vec<NodeId> {
+    bfs(graph, &[target], Direction::Backward)
+}
+
+/// Iterative depth-first preorder from `start` following `direction`.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+pub fn dfs(graph: &Graph, start: NodeId, direction: Direction) -> Vec<NodeId> {
+    assert!(graph.contains(start), "start node {start} out of range");
+    let mut visited = vec![false; graph.node_count()];
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    while let Some(u) = stack.pop() {
+        if visited[u.index()] {
+            continue;
+        }
+        visited[u.index()] = true;
+        order.push(u);
+        // Push in reverse so lower-numbered neighbors are visited first.
+        let mut neighbors: Vec<NodeId> = match direction {
+            Direction::Forward => graph.out_edges(u).map(|e| e.target).collect(),
+            Direction::Backward => graph.in_edges(u).map(|e| e.source).collect(),
+        };
+        neighbors.reverse();
+        for v in neighbors {
+            if !visited[v.index()] {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// `true` when a forward path from `from` to `to` exists.
+pub fn has_path(graph: &Graph, from: NodeId, to: NodeId) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut visited = vec![false; graph.node_count()];
+    let mut queue = VecDeque::new();
+    visited[from.index()] = true;
+    queue.push_back(from);
+    while let Some(u) = queue.pop_front() {
+        for e in graph.out_edges(u) {
+            if e.target == to {
+                return true;
+            }
+            if !visited[e.target.index()] {
+                visited[e.target.index()] = true;
+                queue.push_back(e.target);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn chain() -> Graph {
+        // 0 -> 1 -> 2 -> 3, plus 4 isolated
+        let mut b = GraphBuilder::new(5);
+        b.add_arc(0, 1).unwrap();
+        b.add_arc(1, 2).unwrap();
+        b.add_arc(2, 3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn forward_bfs_reaches_downstream() {
+        let g = chain();
+        let r = reachable_from(&g, 1.into());
+        assert_eq!(r, vec![1.into(), 2.into(), 3.into()]);
+    }
+
+    #[test]
+    fn backward_bfs_reaches_upstream() {
+        let g = chain();
+        let r = reaching_to(&g, 2.into());
+        assert_eq!(r, vec![2.into(), 1.into(), 0.into()]);
+    }
+
+    #[test]
+    fn multi_source_bfs_dedups() {
+        let g = chain();
+        let r = bfs(&g, &[0.into(), 1.into(), 0.into()], Direction::Forward);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn dfs_preorder() {
+        // 0 -> 1, 0 -> 2, 1 -> 3
+        let mut b = GraphBuilder::new(4);
+        b.add_arc(0, 1).unwrap();
+        b.add_arc(0, 2).unwrap();
+        b.add_arc(1, 3).unwrap();
+        let g = b.build().unwrap();
+        let order = dfs(&g, 0.into(), Direction::Forward);
+        assert_eq!(order, vec![0.into(), 1.into(), 3.into(), 2.into()]);
+    }
+
+    #[test]
+    fn has_path_works() {
+        let g = chain();
+        assert!(has_path(&g, 0.into(), 3.into()));
+        assert!(!has_path(&g, 3.into(), 0.into()));
+        assert!(has_path(&g, 4.into(), 4.into()));
+        assert!(!has_path(&g, 4.into(), 0.into()));
+    }
+
+    #[test]
+    fn isolated_node_closure_is_itself() {
+        let g = chain();
+        assert_eq!(reachable_from(&g, 4.into()), vec![4.into()]);
+        assert_eq!(reaching_to(&g, 4.into()), vec![4.into()]);
+    }
+
+    #[test]
+    fn cycle_terminates() {
+        let mut b = GraphBuilder::new(3);
+        b.add_arc(0, 1).unwrap();
+        b.add_arc(1, 2).unwrap();
+        b.add_arc(2, 0).unwrap();
+        let g = b.build().unwrap();
+        let r = reachable_from(&g, 0.into());
+        assert_eq!(r.len(), 3);
+        let d = dfs(&g, 0.into(), Direction::Backward);
+        assert_eq!(d.len(), 3);
+    }
+}

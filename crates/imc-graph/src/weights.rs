@@ -1,0 +1,132 @@
+use crate::{Graph, NodeId};
+
+/// Edge-weight assignment schemes for influence graphs.
+///
+/// The IMC paper evaluates under the *weighted cascade* model
+/// (`w(u, v) = 1 / indeg(v)`), the standard choice in the IM literature.
+/// Uniform and trivalency schemes are provided for completeness — they are
+/// the other two conventions used by the baselines the paper cites
+/// (Kempe et al. 2003, Chen et al. 2010).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightModel {
+    /// `w(u, v) = 1 / indeg(v)`; an undirected input is first viewed as two
+    /// directed edges, exactly as the paper's §VI.A prescribes.
+    WeightedCascade,
+    /// Every edge gets the same probability `p`.
+    Uniform(f64),
+    /// Each edge's probability is chosen from the given palette by a
+    /// deterministic hash of its endpoints (classic TRIVALENCY uses
+    /// `{0.1, 0.01, 0.001}`). Deterministic so graphs stay reproducible
+    /// without threading an RNG through weight assignment.
+    Trivalency([f64; 3]),
+}
+
+impl WeightModel {
+    /// The classic trivalency palette `{0.1, 0.01, 0.001}`.
+    pub fn trivalency_classic() -> Self {
+        WeightModel::Trivalency([0.1, 0.01, 0.001])
+    }
+}
+
+impl Graph {
+    /// Returns a copy of the graph with every edge weight replaced per
+    /// `model`. Structure (node and edge sets) is unchanged.
+    ///
+    /// ```
+    /// use imc_graph::{GraphBuilder, WeightModel};
+    /// # fn main() -> Result<(), imc_graph::GraphError> {
+    /// let mut b = GraphBuilder::new(3);
+    /// b.add_arc(0, 2)?;
+    /// b.add_arc(1, 2)?;
+    /// let g = b.build()?.reweighted(WeightModel::WeightedCascade);
+    /// assert_eq!(g.weight(0.into(), 2.into()), Some(0.5)); // indeg(2) == 2
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn reweighted(&self, model: WeightModel) -> Graph {
+        let edges: Vec<(u32, u32, f64)> = self
+            .edges()
+            .map(|e| {
+                let w = match model {
+                    WeightModel::WeightedCascade => 1.0 / self.in_degree(e.target) as f64,
+                    WeightModel::Uniform(p) => p,
+                    WeightModel::Trivalency(palette) => {
+                        palette[endpoint_hash(e.source, e.target) as usize % 3]
+                    }
+                };
+                (e.source.raw(), e.target.raw(), w)
+            })
+            .collect();
+        Graph::from_validated_edges(self.node_count() as u32, &edges)
+    }
+}
+
+/// Small deterministic mix of the two endpoints (splitmix64 finalizer).
+fn endpoint_hash(u: NodeId, v: NodeId) -> u64 {
+    let mut x = ((u.raw() as u64) << 32) | v.raw() as u64;
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn star_into_center() -> Graph {
+        // 0,1,2,3 -> 4
+        let mut b = GraphBuilder::new(5);
+        for u in 0..4 {
+            b.add_arc(u, 4).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn weighted_cascade_is_one_over_indeg() {
+        let g = star_into_center().reweighted(WeightModel::WeightedCascade);
+        for u in 0..4u32 {
+            assert_eq!(g.weight(u.into(), 4.into()), Some(0.25));
+        }
+    }
+
+    #[test]
+    fn weighted_cascade_weights_sum_to_one_per_node() {
+        let g = star_into_center().reweighted(WeightModel::WeightedCascade);
+        let total: f64 = g.in_edges(4.into()).map(|e| e.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_sets_all() {
+        let g = star_into_center().reweighted(WeightModel::Uniform(0.07));
+        for e in g.edges() {
+            assert_eq!(e.weight, 0.07);
+        }
+    }
+
+    #[test]
+    fn trivalency_uses_palette_and_is_deterministic() {
+        let g = star_into_center();
+        let t1 = g.reweighted(WeightModel::trivalency_classic());
+        let t2 = g.reweighted(WeightModel::trivalency_classic());
+        let palette = [0.1, 0.01, 0.001];
+        for e in t1.edges() {
+            assert!(palette.contains(&e.weight));
+        }
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn reweighting_preserves_structure() {
+        let g = star_into_center();
+        let r = g.reweighted(WeightModel::Uniform(0.5));
+        assert_eq!(r.node_count(), g.node_count());
+        assert_eq!(r.edge_count(), g.edge_count());
+        for e in g.edges() {
+            assert!(r.has_edge(e.source, e.target));
+        }
+    }
+}

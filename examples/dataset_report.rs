@@ -1,0 +1,68 @@
+//! Dataset report: structural statistics of every analog in the registry.
+//!
+//! ```text
+//! cargo run --release --example dataset_report [scale]
+//! ```
+//!
+//! Prints, for each Table-I analog: size, degrees, components, coreness,
+//! hop statistics, and the community structure Louvain finds — the
+//! substrate facts behind every experiment in `EXPERIMENTS.md`.
+
+use imc::prelude::*;
+use imc_community::{louvain::louvain, modularity::modularity};
+use imc_graph::{
+    components::weakly_connected_components,
+    distance::{estimate_average_distance, estimate_diameter},
+    kcore::degeneracy,
+    stats::GraphStats,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(0.25);
+    println!("analog scale factor: {scale}");
+    println!(
+        "{:<10} {:>7} {:>8} {:>7} {:>6} {:>6} {:>7} {:>6} {:>7} {:>6}",
+        "dataset", "nodes", "edges", "avgdeg", "wcc", "core", "diam≥", "hops", "comms", "Q"
+    );
+    for id in imc_datasets::all() {
+        let spec = imc_datasets::spec(id);
+        let graph =
+            imc_datasets::generate(id, scale, 7).reweighted(WeightModel::WeightedCascade);
+        let stats = GraphStats::compute(&graph);
+        let wcc = weakly_connected_components(&graph).len();
+        let core = degeneracy(&graph);
+        let diameter = estimate_diameter(&graph, 8);
+        let hops = estimate_average_distance(&graph, 8).unwrap_or(0.0);
+        let communities = louvain(&graph, 42);
+        let q = modularity(&graph, &communities);
+        println!(
+            "{:<10} {:>7} {:>8} {:>7.2} {:>6} {:>6} {:>7} {:>6.2} {:>7} {:>6.3}",
+            spec.name,
+            stats.nodes,
+            stats.edges,
+            stats.avg_degree,
+            wcc,
+            core,
+            diameter,
+            hops,
+            communities.len(),
+            q
+        );
+    }
+    println!("\npaper sizes for reference:");
+    for id in imc_datasets::all() {
+        let spec = imc_datasets::spec(id);
+        println!(
+            "  {:<10} {:>9} nodes {:>10} edges ({})",
+            spec.name,
+            spec.paper_nodes,
+            spec.paper_edges,
+            if spec.undirected { "undirected" } else { "directed" }
+        );
+    }
+    Ok(())
+}

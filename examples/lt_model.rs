@@ -1,0 +1,87 @@
+//! The Linear Threshold extension — paper §II.A.
+//!
+//! ```text
+//! cargo run --release --example lt_model
+//! ```
+//!
+//! The paper proves everything under Independent Cascade and notes the
+//! standard live-edge argument carries the machinery to LT. This example
+//! runs the *same* instance under both models: RIC sampling with the
+//! matching live-edge distribution, greedy seed selection, and forward
+//! simulation under the matching model — showing the estimator stays
+//! unbiased and the chosen seeds differ between models.
+
+use imc::prelude::*;
+use imc_core::maxr::greedy::greedy_nu;
+use imc_core::{LiveEdgeModel, RicCollection, RicSampler};
+use imc_diffusion::benefit::monte_carlo_benefit;
+use imc_diffusion::DiffusionModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(21);
+    let pp = imc::graph::generators::planted_partition(300, 20, 0.3, 0.008, &mut rng);
+    let graph = pp.graph.reweighted(WeightModel::WeightedCascade);
+    let communities = CommunitySet::builder(&graph)
+        .explicit(pp.blocks)
+        .split_larger_than(8)
+        .threshold(ThresholdPolicy::Constant(2))
+        .benefit(BenefitPolicy::Population)
+        .build()?;
+    let instance = ImcInstance::new(graph, communities)?;
+    let k = 10;
+    let samples = 15_000;
+
+    println!("{:<8} {:>12} {:>16} {:>16}", "model", "ĉ_R(S)", "forward c(S)", "cross-model");
+    let mut chosen: Vec<(LiveEdgeModel, Vec<imc::graph::NodeId>)> = Vec::new();
+    for (name, live_edge, forward) in [
+        (
+            "IC",
+            LiveEdgeModel::IndependentCascade,
+            &IndependentCascade as &dyn DiffusionModel,
+        ),
+        ("LT", LiveEdgeModel::LinearThreshold, &LinearThreshold as &dyn DiffusionModel),
+    ] {
+        let sampler =
+            RicSampler::with_model(instance.graph(), instance.communities(), live_edge);
+        let mut collection = RicCollection::for_sampler(&sampler);
+        let mut rng = StdRng::seed_from_u64(5);
+        collection.extend_with(&sampler, samples, &mut rng);
+        let seeds = greedy_nu(&collection, k);
+        let ric_estimate = collection.estimate(&seeds);
+        let forward_estimate = monte_carlo_benefit(
+            instance.graph(),
+            instance.communities(),
+            forward,
+            &seeds,
+            10_000,
+            77,
+        );
+        // Grade the same seeds under the *other* model to show the
+        // model-mismatch penalty.
+        let other: &dyn DiffusionModel = if name == "IC" {
+            &LinearThreshold
+        } else {
+            &IndependentCascade
+        };
+        let cross = monte_carlo_benefit(
+            instance.graph(),
+            instance.communities(),
+            other,
+            &seeds,
+            10_000,
+            77,
+        );
+        println!("{name:<8} {ric_estimate:>12.1} {forward_estimate:>16.1} {cross:>16.1}");
+        chosen.push((live_edge, seeds));
+    }
+
+    let same = chosen[0].1.iter().filter(|s| chosen[1].1.contains(s)).count();
+    println!(
+        "\nseed overlap between IC-optimized and LT-optimized sets: {same}/{k}"
+    );
+    println!("(RIC estimates match their own model's forward simulation — Lemma 1");
+    println!(" holds under both live-edge distributions.)");
+    Ok(())
+}

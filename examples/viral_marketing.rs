@@ -1,0 +1,83 @@
+//! Collaborative viral marketing — the paper's first motivating scenario.
+//!
+//! ```text
+//! cargo run --release --example viral_marketing
+//! ```
+//!
+//! A product (say, a team-messaging app) is only adopted by a *group* once
+//! enough of its members are influenced — half the group, here. Classic IM
+//! maximizes raw activations; IMC maximizes *adopting groups*. This example
+//! runs both on a heavy-tailed social graph and shows why they differ: IM's
+//! activations scatter, IMC's concentrate.
+
+use imc::prelude::*;
+use imc_core::baselines::{hbc_seeds, im_seeds, ks_seeds};
+use imc_diffusion::benefit::monte_carlo_benefit;
+use imc_diffusion::spread::monte_carlo_spread;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Wiki-Vote-like heavy-tailed directed graph at reduced scale.
+    let graph = imc_datasets::generate(imc_datasets::DatasetId::WikiVote, 0.3, 11)
+        .reweighted(WeightModel::WeightedCascade);
+    println!(
+        "network: {} users, {} follow edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    // Groups from Louvain, capped at 8; a group adopts when 50% of its
+    // members are influenced; the group's value is its size.
+    let communities = CommunitySet::builder(&graph)
+        .louvain(5)
+        .split_larger_than(8)
+        .threshold(ThresholdPolicy::Fraction(0.5))
+        .benefit(BenefitPolicy::Population)
+        .build()?;
+    println!("groups: {}", communities.len());
+    let instance = ImcInstance::new(graph, communities)?;
+
+    let k = 15;
+    let runs = 5_000u64;
+    let model = IndependentCascade;
+    println!("\n{:<10} {:>14} {:>14}", "method", "adopting value", "raw spread");
+
+    // IMC solvers via IMCAF.
+    for (name, algo) in
+        [("UBG", MaxrAlgorithm::Ubg), ("MAF", MaxrAlgorithm::Maf)]
+    {
+        let cfg = ImcafConfig { max_samples: 60_000, ..ImcafConfig::paper_defaults(k) };
+        let res = imc::core::imcaf(&instance, algo, &cfg, 3)?;
+        report(name, &instance, &model, &res.seeds, runs);
+    }
+
+    // Heuristic baselines.
+    let hbc = hbc_seeds(instance.graph(), instance.communities(), k);
+    report("HBC", &instance, &model, &hbc, runs);
+    let ks = ks_seeds(instance.graph(), instance.communities(), k);
+    report("KS", &instance, &model, &ks, runs);
+    let im = im_seeds(instance.graph(), k, 17);
+    report("IM", &instance, &model, &im, runs);
+
+    println!("\nIM wins on raw spread; the IMC solvers win on adopting value —");
+    println!("the collaborative objective the campaign actually cares about.");
+    Ok(())
+}
+
+fn report(
+    name: &str,
+    instance: &ImcInstance,
+    model: &IndependentCascade,
+    seeds: &[imc::graph::NodeId],
+    runs: u64,
+) {
+    let benefit = monte_carlo_benefit(
+        instance.graph(),
+        instance.communities(),
+        model,
+        seeds,
+        runs,
+        1234,
+    );
+    let spread = monte_carlo_spread(instance.graph(), model, seeds, runs, 1234);
+    println!("{name:<10} {benefit:>14.1} {spread:>14.1}");
+}

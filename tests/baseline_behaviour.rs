@@ -1,0 +1,123 @@
+//! Behavioral contracts of the baseline heuristics on instances where the
+//! right answer is known by construction.
+
+use imc_community::CommunitySet;
+use imc_core::baselines::{
+    degree_seeds, hbc_seeds, im_seeds, kcore_seeds, ks_seeds, pagerank_seeds,
+};
+use imc_graph::{Graph, GraphBuilder, NodeId};
+
+/// Star-of-stars: hub 0 feeds mid nodes 1..4; each mid node feeds a
+/// 5-node fan. Community layout rewards reaching the fans.
+fn layered() -> (Graph, CommunitySet) {
+    let mut b = GraphBuilder::new(25);
+    for mid in 1..5u32 {
+        b.add_edge(0, mid, 0.9).unwrap();
+        for leaf in 0..5u32 {
+            let id = 4 + mid * 5 + leaf - 4; // 5..25 range
+            b.add_edge(mid, id, 0.9).unwrap();
+        }
+    }
+    let g = b.build().unwrap();
+    let mut parts = Vec::new();
+    for mid in 1..5u32 {
+        let members: Vec<NodeId> =
+            (0..5u32).map(|leaf| NodeId::new(4 + mid * 5 + leaf - 4)).collect();
+        parts.push((members, 2u32, 5.0f64));
+    }
+    let cs = CommunitySet::from_parts(25, parts).unwrap();
+    (g, cs)
+}
+
+#[test]
+fn degree_picks_the_hub_and_mids() {
+    let (g, _) = layered();
+    let seeds = degree_seeds(&g, 5);
+    // Mids have out-degree 5, hub has 4.
+    assert!(seeds.contains(&NodeId::new(1)));
+    assert!(seeds.contains(&NodeId::new(4)));
+    assert!(seeds.contains(&NodeId::new(0)));
+}
+
+#[test]
+fn hbc_prefers_direct_community_feeders() {
+    let (g, cs) = layered();
+    // Mids feed community members directly (B > 0); hub feeds only mids
+    // (no community) so B(0) = 0.
+    let seeds = hbc_seeds(&g, &cs, 4);
+    for mid in 1..5u32 {
+        assert!(seeds.contains(&NodeId::new(mid)), "mid {mid} missing: {seeds:?}");
+    }
+    assert!(!seeds.contains(&NodeId::new(0)));
+}
+
+#[test]
+fn ks_spends_budget_inside_communities() {
+    let (g, cs) = layered();
+    let seeds = ks_seeds(&g, &cs, 4);
+    // Knapsack: two communities at cost 2 each.
+    let in_communities = seeds
+        .iter()
+        .filter(|s| cs.community_of(**s).is_some())
+        .count();
+    assert_eq!(in_communities, 4, "{seeds:?}");
+}
+
+#[test]
+fn im_finds_the_structural_hub() {
+    let (g, _) = layered();
+    let seeds = im_seeds(&g, 1, 7);
+    assert_eq!(seeds, vec![NodeId::new(0)], "hub maximizes raw spread");
+}
+
+#[test]
+fn pagerank_ranks_the_sourceless_hub_last() {
+    // The hub has no in-links, so it holds only the teleport share and
+    // must rank at the bottom; mids and leaves (who receive real mass)
+    // all outrank it.
+    let (g, _) = layered();
+    let full = pagerank_seeds(&g, g.node_count());
+    assert_eq!(*full.last().unwrap(), NodeId::new(0), "hub should rank last");
+    let top = full[0];
+    assert_ne!(top, NodeId::new(0));
+}
+
+#[test]
+fn kcore_prefers_dense_cluster_over_star() {
+    let mut b = GraphBuilder::new(10);
+    // 4-clique 0..4 plus star 4 -> 5..9.
+    for u in 0..4u32 {
+        for v in (u + 1)..4 {
+            b.add_undirected(u, v, 1.0).unwrap();
+        }
+    }
+    for leaf in 5..10u32 {
+        b.add_arc(4, leaf).unwrap();
+    }
+    let g = b.build().unwrap();
+    let top = kcore_seeds(&g, 3);
+    for v in &top {
+        assert!(v.raw() < 4, "clique member expected, got {v}");
+    }
+}
+
+#[test]
+fn all_baselines_return_distinct_valid_seeds() {
+    let (g, cs) = layered();
+    let k = 6;
+    for (name, seeds) in [
+        ("degree", degree_seeds(&g, k)),
+        ("kcore", kcore_seeds(&g, k)),
+        ("pagerank", pagerank_seeds(&g, k)),
+        ("hbc", hbc_seeds(&g, &cs, k)),
+        ("ks", ks_seeds(&g, &cs, k)),
+        ("im", im_seeds(&g, k, 1)),
+    ] {
+        assert_eq!(seeds.len(), k, "{name}");
+        let uniq: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(uniq.len(), k, "{name} duplicated seeds");
+        for s in &seeds {
+            assert!(g.contains(*s), "{name} out-of-range seed");
+        }
+    }
+}

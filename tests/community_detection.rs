@@ -1,0 +1,81 @@
+//! Community-detection quality: do the detectors recover planted
+//! structure, and how do they rank against each other?
+
+use imc_community::label_propagation::label_propagation;
+use imc_community::louvain::louvain;
+use imc_community::metrics::{nmi, purity};
+use imc_community::modularity::modularity;
+use imc_community::random_partition::random_partition;
+use imc_graph::generators::planted_partition;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn louvain_recovers_well_separated_blocks_with_high_nmi() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let pp = planted_partition(200, 8, 0.5, 0.004, &mut rng);
+    let found = louvain(&pp.graph, 7);
+    let score = nmi(200, &found, &pp.blocks);
+    assert!(score > 0.85, "NMI {score:.3} too low for strong separation");
+    assert!(purity(200, &found, &pp.blocks) > 0.85);
+}
+
+#[test]
+fn label_propagation_recovers_strong_blocks_too() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let pp = planted_partition(200, 8, 0.6, 0.002, &mut rng);
+    let found = label_propagation(&pp.graph, 3, 30);
+    let score = nmi(200, &found, &pp.blocks);
+    assert!(score > 0.7, "LPA NMI {score:.3} too low");
+}
+
+#[test]
+fn detection_quality_degrades_with_mixing() {
+    // As p_out grows toward p_in, recovery gets harder — NMI must be
+    // (weakly) lower in the harder regime.
+    let easy = {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pp = planted_partition(200, 5, 0.4, 0.002, &mut rng);
+        nmi(200, &louvain(&pp.graph, 1), &pp.blocks)
+    };
+    let hard = {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pp = planted_partition(200, 5, 0.4, 0.08, &mut rng);
+        nmi(200, &louvain(&pp.graph, 1), &pp.blocks)
+    };
+    assert!(
+        easy >= hard - 0.05,
+        "easy NMI {easy:.3} should not trail hard NMI {hard:.3}"
+    );
+}
+
+#[test]
+fn louvain_beats_lpa_beats_random_on_modularity() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let pp = planted_partition(250, 10, 0.35, 0.01, &mut rng);
+    let q_louvain = modularity(&pp.graph, &louvain(&pp.graph, 2));
+    let q_lpa = modularity(&pp.graph, &label_propagation(&pp.graph, 2, 30));
+    let q_random = modularity(&pp.graph, &random_partition(250, 10, 2));
+    assert!(
+        q_louvain + 1e-9 >= q_lpa,
+        "louvain Q={q_louvain:.3} < LPA Q={q_lpa:.3}"
+    );
+    assert!(q_lpa > q_random, "LPA Q={q_lpa:.3} should beat random Q={q_random:.3}");
+}
+
+#[test]
+fn random_partition_has_near_zero_nmi_with_truth() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let pp = planted_partition(300, 6, 0.4, 0.01, &mut rng);
+    let rand_parts = random_partition(300, 6, 99);
+    let score = nmi(300, &rand_parts, &pp.blocks);
+    assert!(score < 0.15, "random partition NMI {score:.3} suspiciously high");
+}
+
+#[test]
+fn nmi_of_detector_with_itself_is_one() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let pp = planted_partition(120, 4, 0.4, 0.01, &mut rng);
+    let found = louvain(&pp.graph, 4);
+    assert!((nmi(120, &found, &found) - 1.0).abs() < 1e-9);
+}

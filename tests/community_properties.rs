@@ -1,0 +1,109 @@
+//! Property-based tests for the community substrate.
+
+use imc_community::split::split_larger_than;
+use imc_community::{BenefitPolicy, CommunitySet, ThresholdPolicy};
+use imc_graph::NodeId;
+use proptest::prelude::*;
+
+fn partition_strategy() -> impl Strategy<Value = (u32, Vec<Vec<NodeId>>)> {
+    (4u32..60).prop_flat_map(|n| {
+        // Random partition of a prefix of 0..n into up to 6 groups.
+        prop::collection::vec(0usize..6, n as usize).prop_map(move |assign| {
+            let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); 6];
+            for (v, &g) in assign.iter().enumerate() {
+                groups[g].push(NodeId::new(v as u32));
+            }
+            groups.retain(|g| !g.is_empty());
+            (n, groups)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn split_preserves_members_and_respects_cap(
+        (_n, groups) in partition_strategy(),
+        cap in 1usize..10,
+    ) {
+        let before: usize = groups.iter().map(|g| g.len()).sum();
+        let original: std::collections::BTreeSet<NodeId> =
+            groups.iter().flatten().copied().collect();
+        let out = split_larger_than(groups, cap);
+        let after: usize = out.iter().map(|g| g.len()).sum();
+        prop_assert_eq!(before, after);
+        let now: std::collections::BTreeSet<NodeId> =
+            out.iter().flatten().copied().collect();
+        prop_assert_eq!(original, now);
+        for g in &out {
+            prop_assert!(!g.is_empty());
+            prop_assert!(g.len() <= cap);
+        }
+    }
+
+    #[test]
+    fn split_chunk_count_matches_paper_formula(
+        size in 1usize..100,
+        cap in 1usize..12,
+    ) {
+        let members: Vec<NodeId> = (0..size as u32).map(NodeId::new).collect();
+        let out = split_larger_than(vec![members], cap);
+        prop_assert_eq!(out.len(), size.div_ceil(cap));
+        // Balanced: sizes differ by at most 1.
+        let min = out.iter().map(|g| g.len()).min().unwrap();
+        let max = out.iter().map(|g| g.len()).max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn community_set_invariants_hold(
+        (n, groups) in partition_strategy(),
+        h in 1u32..5,
+    ) {
+        prop_assume!(!groups.is_empty());
+        let parts: Vec<(Vec<NodeId>, u32, f64)> = groups
+            .iter()
+            .map(|g| (g.clone(), h, g.len() as f64))
+            .collect();
+        let cs = CommunitySet::from_parts(n, parts).unwrap();
+        // Derived aggregates agree with definitions.
+        let expect_b: f64 = groups.iter().map(|g| g.len() as f64).sum();
+        prop_assert!((cs.total_benefit() - expect_b).abs() < 1e-9);
+        prop_assert_eq!(cs.max_threshold(), h);
+        prop_assert_eq!(cs.covered_nodes(), groups.iter().map(|g| g.len()).sum::<usize>());
+        // community_of is the inverse of membership.
+        for c in cs.iter() {
+            for &v in &c.members {
+                prop_assert_eq!(cs.community_of(v), Some(c.id));
+            }
+        }
+        // benefit CDF is sorted, positive, ends at exactly 1.
+        let cdf = cs.benefit_cdf();
+        prop_assert!(cdf.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        prop_assert_eq!(*cdf.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn threshold_policies_are_sane(pop in 1usize..500, frac in 0.01f64..=1.0) {
+        let t = ThresholdPolicy::Fraction(frac).threshold_for(pop).unwrap();
+        prop_assert!(t >= 1);
+        prop_assert!(t as usize <= pop, "fraction threshold exceeded population");
+        // Monotone in population.
+        let t2 = ThresholdPolicy::Fraction(frac).threshold_for(pop + 50).unwrap();
+        prop_assert!(t2 >= t);
+        // Constant ignores population.
+        let c = ThresholdPolicy::Constant(3).threshold_for(pop).unwrap();
+        prop_assert_eq!(c, 3);
+    }
+
+    #[test]
+    fn benefit_policies_are_positive(pop in 1usize..1000, scale in 0.001f64..100.0) {
+        prop_assert_eq!(
+            BenefitPolicy::Population.benefit_for(pop).unwrap(),
+            pop as f64
+        );
+        let s = BenefitPolicy::ScaledPopulation(scale).benefit_for(pop).unwrap();
+        prop_assert!(s > 0.0 && (s - scale * pop as f64).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,100 @@
+//! Structural fidelity of the dataset analogs against Table I.
+//!
+//! The substitution argument in DESIGN.md rests on the analogs matching
+//! the originals' *shape*: type (directedness), density, tail heaviness,
+//! and connectivity. These tests pin those properties so a refactor of
+//! the generators cannot silently change the experimental substrate.
+
+use imc_datasets::{all, generate, spec, DatasetId};
+use imc_graph::components::weakly_connected_components;
+use imc_graph::stats::{in_degree_histogram, GraphStats};
+
+#[test]
+fn every_analog_matches_its_spec_direction() {
+    for id in all() {
+        let s = spec(id);
+        let g = generate(id, 0.2, 1);
+        let sym = g
+            .edges()
+            .take(200)
+            .all(|e| g.has_edge(e.target, e.source));
+        if s.undirected {
+            assert!(sym, "{}: undirected analog must be symmetric", s.name);
+        } else {
+            let any_asym = g.edges().take(500).any(|e| !g.has_edge(e.target, e.source));
+            assert!(any_asym, "{}: directed analog is fully symmetric", s.name);
+        }
+    }
+}
+
+#[test]
+fn analog_density_tracks_paper_density() {
+    // m/n of the analog should be within 2.5x of the paper's m/n
+    // (undirected paper counts are single edges; analogs store both
+    // directions).
+    for id in all() {
+        let s = spec(id);
+        let g = generate(id, 1.0, 2);
+        let analog_ratio = g.edge_count() as f64 / g.node_count() as f64;
+        let mut paper_ratio = s.paper_edges as f64 / s.paper_nodes as f64;
+        if s.undirected {
+            paper_ratio *= 2.0;
+        }
+        let rel = analog_ratio / paper_ratio;
+        assert!(
+            (0.4..=2.5).contains(&rel),
+            "{}: analog m/n {analog_ratio:.1} vs paper {paper_ratio:.1}",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn directed_analogs_have_heavy_tails() {
+    for id in [DatasetId::WikiVote, DatasetId::Epinions, DatasetId::Pokec] {
+        let g = generate(id, 0.3, 3);
+        let hist = in_degree_histogram(&g);
+        let max_in = hist.len() - 1;
+        let avg = g.edge_count() as f64 / g.node_count() as f64;
+        assert!(
+            max_in as f64 > 5.0 * avg,
+            "{:?}: max in-degree {max_in} vs avg {avg:.1} — tail too light",
+            id
+        );
+    }
+}
+
+#[test]
+fn analogs_are_mostly_connected() {
+    // Influence experiments need a dominant component; tiny satellite
+    // components are fine.
+    for id in all() {
+        let g = generate(id, 0.2, 4);
+        let comps = weakly_connected_components(&g);
+        let biggest = comps.iter().map(|c| c.len()).max().unwrap();
+        assert!(
+            biggest as f64 >= 0.9 * g.node_count() as f64,
+            "{:?}: giant component only {biggest}/{}",
+            id,
+            g.node_count()
+        );
+    }
+}
+
+#[test]
+fn facebook_analog_is_dense_and_clustered() {
+    let g = generate(DatasetId::Facebook, 1.0, 5);
+    let stats = GraphStats::compute(&g);
+    assert!(stats.avg_degree > 60.0, "avg degree {:.1}", stats.avg_degree);
+    assert_eq!(stats.isolated_nodes, 0);
+}
+
+#[test]
+fn scale_parameter_scales_nodes_linearly() {
+    for id in [DatasetId::Epinions, DatasetId::Dblp] {
+        let full = generate(id, 1.0, 6).node_count();
+        let half = generate(id, 0.5, 6).node_count();
+        let rel = half as f64 / full as f64;
+        assert!((rel - 0.5).abs() < 0.02, "{:?}: half-scale ratio {rel:.3}", id);
+    }
+}

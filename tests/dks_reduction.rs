@@ -1,0 +1,160 @@
+//! The Densest-k-Subgraph reduction behind Theorem 1.
+//!
+//! The paper proves IMC's inapproximability by converting a DkS instance
+//! `(G_D, k)` into an IMC instance: one 2-node community `C_e` (threshold
+//! 2) per edge `e = {a, b}`, gadget sets `U_a` (all copies of `a`) made
+//! strongly connected with weight-1 edges. We cannot test hardness, but we
+//! *can* test the reduction's exactness: for every k-subset `S_D`,
+//! `e(S_D) = c(S_I')` — the number of edges inside the chosen subgraph
+//! equals the (deterministic) benefit of the corresponding IMC seed set —
+//! and therefore the optima coincide.
+
+use imc_community::CommunitySet;
+use imc_core::ImcInstance;
+use imc_diffusion::benefit::realized_benefit;
+use imc_diffusion::{DiffusionModel, IndependentCascade};
+use imc_graph::{components::is_strongly_connected, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds the IMC instance from an undirected DkS graph given as an edge
+/// list over `n_d` nodes. Returns the instance plus, for each DkS node,
+/// its gadget members `U_a`.
+fn reduce(n_d: usize, edges: &[(u32, u32)]) -> (ImcInstance, Vec<Vec<NodeId>>) {
+    // Two IMC nodes per DkS edge.
+    let n_i = (edges.len() * 2) as u32;
+    let mut gadget: Vec<Vec<NodeId>> = vec![Vec::new(); n_d];
+    let mut communities = Vec::new();
+    for (i, &(a, b)) in edges.iter().enumerate() {
+        let a_e = NodeId::new((2 * i) as u32);
+        let b_e = NodeId::new((2 * i + 1) as u32);
+        gadget[a as usize].push(a_e);
+        gadget[b as usize].push(b_e);
+        communities.push((vec![a_e, b_e], 2u32, 1.0f64));
+    }
+    let mut builder = GraphBuilder::new(n_i);
+    // Make each U_a strongly connected with a weight-1 cycle.
+    for members in &gadget {
+        if members.len() >= 2 {
+            for w in 0..members.len() {
+                let u = members[w];
+                let v = members[(w + 1) % members.len()];
+                builder.add_edge(u.raw(), v.raw(), 1.0).unwrap();
+            }
+        }
+    }
+    let graph = builder.build().unwrap();
+    let cs = CommunitySet::from_parts(n_i, communities).unwrap();
+    (ImcInstance::new(graph, cs).unwrap(), gadget)
+}
+
+/// Deterministic benefit of an IMC seed set (all edges weight 1).
+fn exact_benefit(instance: &ImcInstance, seeds: &[NodeId]) -> f64 {
+    let mut rng = StdRng::seed_from_u64(0);
+    let active = IndependentCascade
+        .simulate(instance.graph(), seeds, &mut rng)
+        .unwrap();
+    realized_benefit(instance.communities(), &active)
+}
+
+/// Number of edges of the DkS instance inside a node subset.
+fn induced_edges(edges: &[(u32, u32)], subset: &[u32]) -> usize {
+    edges
+        .iter()
+        .filter(|(a, b)| subset.contains(a) && subset.contains(b))
+        .count()
+}
+
+/// A small DkS instance: a triangle {0,1,2} plus pendant edges 2-3, 3-4.
+fn sample_dks() -> (usize, Vec<(u32, u32)>) {
+    (5, vec![(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)])
+}
+
+#[test]
+fn gadget_sets_are_strongly_connected() {
+    let (n_d, edges) = sample_dks();
+    let (instance, gadget) = reduce(n_d, &edges);
+    for members in gadget.iter().filter(|m| m.len() >= 2) {
+        let sub = imc_graph::subgraph::induced_subgraph(instance.graph(), members);
+        assert!(is_strongly_connected(&sub.graph), "U_a not strongly connected");
+    }
+}
+
+#[test]
+fn edge_count_equals_benefit_for_every_subset() {
+    let (n_d, edges) = sample_dks();
+    let (instance, gadget) = reduce(n_d, &edges);
+    // Every subset of DkS nodes (2^5): e(S_D) must equal c(S_I') where
+    // S_I' takes one arbitrary gadget member per chosen node.
+    for mask in 0u32..(1 << n_d) {
+        let subset: Vec<u32> = (0..n_d as u32).filter(|i| mask >> i & 1 == 1).collect();
+        let seeds: Vec<NodeId> = subset
+            .iter()
+            .filter(|&&a| !gadget[a as usize].is_empty())
+            .map(|&a| gadget[a as usize][0])
+            .collect();
+        let expected = induced_edges(&edges, &subset) as f64;
+        let got = exact_benefit(&instance, &seeds);
+        assert_eq!(got, expected, "subset {subset:?}");
+    }
+}
+
+#[test]
+fn optima_coincide_for_k3() {
+    let (n_d, edges) = sample_dks();
+    let (instance, gadget) = reduce(n_d, &edges);
+    let k = 3;
+    // Brute-force DkS optimum.
+    let mut best_dks = 0usize;
+    let mut best_subset = Vec::new();
+    for mask in 0u32..(1 << n_d) {
+        let subset: Vec<u32> = (0..n_d as u32).filter(|i| mask >> i & 1 == 1).collect();
+        if subset.len() != k {
+            continue;
+        }
+        let e = induced_edges(&edges, &subset);
+        if e > best_dks {
+            best_dks = e;
+            best_subset = subset;
+        }
+    }
+    assert_eq!(best_dks, 3); // the triangle
+    assert_eq!(best_subset, vec![0, 1, 2]);
+
+    // The mapped IMC seed set achieves the same benefit...
+    let mapped: Vec<NodeId> = best_subset.iter().map(|&a| gadget[a as usize][0]).collect();
+    assert_eq!(exact_benefit(&instance, &mapped), best_dks as f64);
+
+    // ...and no k-seed IMC solution beats it (scan all k-subsets of IMC
+    // nodes, exploiting the small gadget graph).
+    let n_i = instance.node_count();
+    let mut best_imc = 0.0f64;
+    let ids: Vec<NodeId> = instance.graph().nodes().collect();
+    for a in 0..n_i {
+        for b in (a + 1)..n_i {
+            for c in (b + 1)..n_i {
+                let benefit = exact_benefit(&instance, &[ids[a], ids[b], ids[c]]);
+                best_imc = best_imc.max(benefit);
+            }
+        }
+    }
+    assert_eq!(best_imc, best_dks as f64, "IMC optimum must equal DkS optimum");
+}
+
+#[test]
+fn seeding_one_gadget_member_activates_the_whole_gadget() {
+    let (n_d, edges) = sample_dks();
+    let (instance, gadget) = reduce(n_d, &edges);
+    // Node 2 has three incident edges → |U_2| = 3.
+    assert_eq!(gadget[2].len(), 3);
+    let mut rng = StdRng::seed_from_u64(1);
+    let active = IndependentCascade
+        .simulate(instance.graph(), &[gadget[2][0]], &mut rng)
+        .unwrap();
+    for m in &gadget[2] {
+        assert!(active[m.index()], "gadget member {m} not activated");
+    }
+    // And nothing outside U_2 activates.
+    let total: usize = active.iter().filter(|&&a| a).count();
+    assert_eq!(total, gadget[2].len());
+}

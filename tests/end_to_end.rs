@@ -1,0 +1,197 @@
+//! End-to-end pipeline tests spanning all workspace crates.
+
+use imc::prelude::*;
+use imc_core::baselines::{degree_seeds, hbc_seeds, im_seeds, ks_seeds, pagerank_seeds};
+use imc_diffusion::benefit::monte_carlo_benefit;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A reproducible bounded-threshold instance with clear community
+/// structure.
+fn bounded_instance(seed: u64) -> ImcInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pp = imc::graph::generators::planted_partition(200, 10, 0.3, 0.01, &mut rng);
+    let graph = pp.graph.reweighted(WeightModel::WeightedCascade);
+    let cs = CommunitySet::builder(&graph)
+        .explicit(pp.blocks)
+        .split_larger_than(8)
+        .threshold(ThresholdPolicy::Constant(2))
+        .benefit(BenefitPolicy::Population)
+        .build()
+        .unwrap();
+    ImcInstance::new(graph, cs).unwrap()
+}
+
+/// The paper's regular setting: Louvain communities, 50% thresholds.
+fn regular_instance(seed: u64) -> ImcInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pp = imc::graph::generators::planted_partition(200, 10, 0.3, 0.01, &mut rng);
+    let graph = pp.graph.reweighted(WeightModel::WeightedCascade);
+    let cs = CommunitySet::builder(&graph)
+        .louvain(seed)
+        .split_larger_than(8)
+        .threshold(ThresholdPolicy::Fraction(0.5))
+        .benefit(BenefitPolicy::Population)
+        .build()
+        .unwrap();
+    ImcInstance::new(graph, cs).unwrap()
+}
+
+fn grade(instance: &ImcInstance, seeds: &[imc::graph::NodeId]) -> f64 {
+    monte_carlo_benefit(
+        instance.graph(),
+        instance.communities(),
+        &IndependentCascade,
+        seeds,
+        6_000,
+        12345,
+    )
+}
+
+#[test]
+fn every_algorithm_completes_on_bounded_instance() {
+    let inst = bounded_instance(1);
+    let cfg = ImcafConfig { max_samples: 10_000, ..ImcafConfig::paper_defaults(6) };
+    for algo in [
+        MaxrAlgorithm::Greedy,
+        MaxrAlgorithm::Ubg,
+        MaxrAlgorithm::Maf,
+        MaxrAlgorithm::Bt,
+        MaxrAlgorithm::Mb,
+    ] {
+        let res = imc::core::imcaf(&inst, algo, &cfg, 2).unwrap();
+        assert_eq!(res.seeds.len(), 6, "{algo:?}");
+        let distinct: std::collections::HashSet<_> = res.seeds.iter().collect();
+        assert_eq!(distinct.len(), 6, "{algo:?} duplicated seeds");
+        assert!(res.estimate >= 0.0);
+    }
+}
+
+#[test]
+fn ubg_beats_every_baseline_on_community_objective() {
+    let inst = regular_instance(3);
+    let k = 10;
+    let cfg = ImcafConfig { max_samples: 40_000, ..ImcafConfig::paper_defaults(k) };
+    let ubg = imc::core::imcaf(&inst, MaxrAlgorithm::Ubg, &cfg, 5).unwrap();
+    let ubg_benefit = grade(&inst, &ubg.seeds);
+
+    let baselines: Vec<(&str, Vec<imc::graph::NodeId>)> = vec![
+        ("KS", ks_seeds(inst.graph(), inst.communities(), k)),
+        ("degree", degree_seeds(inst.graph(), k)),
+        ("pagerank", pagerank_seeds(inst.graph(), k)),
+    ];
+    for (name, seeds) in baselines {
+        let b = grade(&inst, &seeds);
+        assert!(
+            ubg_benefit >= b * 0.9,
+            "UBG ({ubg_benefit:.1}) should not lose badly to {name} ({b:.1})"
+        );
+    }
+}
+
+#[test]
+fn imcaf_estimate_consistent_with_ground_truth_across_algorithms() {
+    let inst = bounded_instance(7);
+    let cfg = ImcafConfig { max_samples: 40_000, ..ImcafConfig::paper_defaults(5) };
+    for algo in [MaxrAlgorithm::Ubg, MaxrAlgorithm::Maf] {
+        let res = imc::core::imcaf(&inst, algo, &cfg, 9).unwrap();
+        let mc = grade(&inst, &res.seeds);
+        let rel = (res.estimate - mc).abs() / mc.max(1.0);
+        assert!(
+            rel < 0.35,
+            "{algo:?}: ĉ_R={:.1} vs MC={mc:.1} (rel {rel:.2})",
+            res.estimate
+        );
+    }
+}
+
+#[test]
+fn hbc_and_im_baselines_produce_valid_seed_sets() {
+    let inst = regular_instance(11);
+    let k = 7;
+    for seeds in [
+        hbc_seeds(inst.graph(), inst.communities(), k),
+        im_seeds(inst.graph(), k, 3),
+        ks_seeds(inst.graph(), inst.communities(), k),
+    ] {
+        assert_eq!(seeds.len(), k);
+        let distinct: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(distinct.len(), k);
+        for s in &seeds {
+            assert!(inst.graph().contains(*s));
+        }
+    }
+}
+
+#[test]
+fn larger_budget_never_hurts_much() {
+    // c(S_k) should increase (statistically) with k for the same solver.
+    let inst = bounded_instance(13);
+    let mut previous = 0.0f64;
+    for k in [2usize, 6, 12] {
+        let cfg = ImcafConfig { max_samples: 20_000, ..ImcafConfig::paper_defaults(k) };
+        let res = imc::core::imcaf(&inst, MaxrAlgorithm::Ubg, &cfg, 21).unwrap();
+        let benefit = grade(&inst, &res.seeds);
+        assert!(
+            benefit >= previous * 0.85,
+            "k={k}: benefit {benefit:.1} dropped from {previous:.1}"
+        );
+        previous = previous.max(benefit);
+    }
+}
+
+#[test]
+fn louvain_communities_outperform_random_for_same_solver() {
+    // The paper's Fig. 4 observation: community-aware formation gives the
+    // solver more to work with than random assignment.
+    let mut rng = StdRng::seed_from_u64(17);
+    let pp = imc::graph::generators::planted_partition(200, 10, 0.35, 0.008, &mut rng);
+    let graph = pp.graph.reweighted(WeightModel::WeightedCascade);
+    let k = 8;
+    let cfg = ImcafConfig { max_samples: 20_000, ..ImcafConfig::paper_defaults(k) };
+
+    let louvain_cs = CommunitySet::builder(&graph)
+        .louvain(1)
+        .split_larger_than(8)
+        .threshold(ThresholdPolicy::Constant(2))
+        .build()
+        .unwrap();
+    let n_louvain = louvain_cs.len() as u32;
+    let louvain_inst = ImcInstance::new(graph.clone(), louvain_cs).unwrap();
+    let louvain_res =
+        imc::core::imcaf(&louvain_inst, MaxrAlgorithm::Ubg, &cfg, 31).unwrap();
+    let louvain_benefit = grade(&louvain_inst, &louvain_res.seeds);
+
+    let random_cs = CommunitySet::builder(&graph)
+        .random(n_louvain, 2)
+        .split_larger_than(8)
+        .threshold(ThresholdPolicy::Constant(2))
+        .build()
+        .unwrap();
+    let random_inst = ImcInstance::new(graph, random_cs).unwrap();
+    let random_res =
+        imc::core::imcaf(&random_inst, MaxrAlgorithm::Ubg, &cfg, 31).unwrap();
+    let random_benefit = grade(&random_inst, &random_res.seeds);
+
+    assert!(
+        louvain_benefit > random_benefit * 0.8,
+        "louvain {louvain_benefit:.1} vs random {random_benefit:.1}"
+    );
+}
+
+#[test]
+fn datasets_pipeline_smoke() {
+    // Smallest analogs flow through the full pipeline.
+    let graph = imc_datasets::generate(imc_datasets::DatasetId::Facebook, 0.2, 5)
+        .reweighted(WeightModel::WeightedCascade);
+    let cs = CommunitySet::builder(&graph)
+        .louvain(9)
+        .split_larger_than(8)
+        .threshold(ThresholdPolicy::Constant(2))
+        .build()
+        .unwrap();
+    let inst = ImcInstance::new(graph, cs).unwrap();
+    let cfg = ImcafConfig { max_samples: 4_000, ..ImcafConfig::paper_defaults(5) };
+    let res = imc::core::imcaf(&inst, MaxrAlgorithm::Maf, &cfg, 1).unwrap();
+    assert_eq!(res.seeds.len(), 5);
+}

@@ -1,0 +1,186 @@
+//! Statistical consistency of the RIC estimators (Section III).
+//!
+//! These tests check the paper's Lemma 1 (unbiasedness of `ĉ_R`), Lemma 3
+//! (`ν` dominates `c`), and Lemma 4 (`ĉ_R = ν_R` when all thresholds are
+//! 1) against independent forward Monte-Carlo simulation.
+
+use imc::prelude::*;
+use imc_diffusion::benefit::{monte_carlo_benefit, monte_carlo_fractional_benefit};
+use imc_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_instance(threshold: ThresholdPolicy, seed: u64) -> ImcInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pp = imc::graph::generators::planted_partition(120, 8, 0.3, 0.02, &mut rng);
+    let graph = pp.graph.reweighted(WeightModel::WeightedCascade);
+    let cs = CommunitySet::builder(&graph)
+        .explicit(pp.blocks)
+        .split_larger_than(6)
+        .threshold(threshold)
+        .benefit(BenefitPolicy::Population)
+        .build()
+        .unwrap();
+    ImcInstance::new(graph, cs).unwrap()
+}
+
+fn collect(instance: &ImcInstance, count: usize, seed: u64) -> RicCollection {
+    let sampler = instance.sampler();
+    let mut col = RicCollection::for_sampler(&sampler);
+    let mut rng = StdRng::seed_from_u64(seed);
+    col.extend_with(&sampler, count, &mut rng);
+    col
+}
+
+#[test]
+fn lemma1_ric_estimate_is_unbiased_vs_forward_simulation() {
+    let inst = build_instance(ThresholdPolicy::Constant(2), 3);
+    let col = collect(&inst, 30_000, 4);
+    // Several seed sets of different sizes and placements.
+    let seed_sets: Vec<Vec<NodeId>> = vec![
+        vec![NodeId::new(0)],
+        vec![NodeId::new(0), NodeId::new(1)],
+        (0..6).map(NodeId::new).collect(),
+        vec![NodeId::new(10), NodeId::new(50), NodeId::new(99)],
+    ];
+    for seeds in seed_sets {
+        let ric = col.estimate(&seeds);
+        let mc = monte_carlo_benefit(
+            inst.graph(),
+            inst.communities(),
+            &IndependentCascade,
+            &seeds,
+            30_000,
+            777,
+        );
+        let diff = (ric - mc).abs();
+        let tol = 0.1 * mc.max(2.0) + 1.0;
+        assert!(diff < tol, "seeds {seeds:?}: ĉ_R={ric:.2} MC={mc:.2}");
+    }
+}
+
+#[test]
+fn lemma3_nu_dominates_c_everywhere() {
+    let inst = build_instance(ThresholdPolicy::Fraction(0.5), 5);
+    let col = collect(&inst, 5_000, 6);
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..30 {
+        let size = 1 + (rand::Rng::random_range(&mut rng, 0..8usize));
+        let seeds: Vec<NodeId> = (0..size)
+            .map(|_| NodeId::new(rand::Rng::random_range(&mut rng, 0..120u32)))
+            .collect();
+        assert!(
+            col.nu_estimate(&seeds) >= col.estimate(&seeds) - 1e-9,
+            "ν < ĉ for {seeds:?}"
+        );
+    }
+}
+
+#[test]
+fn lemma3_nu_dominates_c_under_forward_simulation_too() {
+    let inst = build_instance(ThresholdPolicy::Constant(2), 11);
+    let seeds: Vec<NodeId> = (0..5).map(NodeId::new).collect();
+    let c = monte_carlo_benefit(
+        inst.graph(),
+        inst.communities(),
+        &IndependentCascade,
+        &seeds,
+        20_000,
+        3,
+    );
+    let nu = monte_carlo_fractional_benefit(
+        inst.graph(),
+        inst.communities(),
+        &IndependentCascade,
+        &seeds,
+        20_000,
+        3,
+    );
+    assert!(nu >= c - 1e-9, "ν={nu} < c={c}");
+}
+
+#[test]
+fn lemma4_estimators_coincide_for_unit_thresholds() {
+    let inst = build_instance(ThresholdPolicy::Constant(1), 13);
+    let col = collect(&inst, 3_000, 14);
+    for size in [1usize, 3, 7] {
+        let seeds: Vec<NodeId> = (0..size as u32).map(NodeId::new).collect();
+        let c = col.estimate(&seeds);
+        let nu = col.nu_estimate(&seeds);
+        assert!((c - nu).abs() < 1e-9, "h=1 but ĉ={c} ν={nu}");
+    }
+}
+
+#[test]
+fn chat_estimate_is_monotone_in_seeds() {
+    let inst = build_instance(ThresholdPolicy::Constant(2), 17);
+    let col = collect(&inst, 4_000, 18);
+    let mut seeds: Vec<NodeId> = Vec::new();
+    let mut previous = 0.0;
+    for v in 0..20u32 {
+        seeds.push(NodeId::new(v));
+        let now = col.estimate(&seeds);
+        assert!(now + 1e-9 >= previous, "ĉ_R decreased when adding {v}");
+        previous = now;
+    }
+}
+
+#[test]
+fn empty_seed_set_scores_zero() {
+    let inst = build_instance(ThresholdPolicy::Constant(2), 19);
+    let col = collect(&inst, 1_000, 20);
+    assert_eq!(col.estimate(&[]), 0.0);
+    assert_eq!(col.nu_estimate(&[]), 0.0);
+    let mc = monte_carlo_benefit(
+        inst.graph(),
+        inst.communities(),
+        &IndependentCascade,
+        &[],
+        1_000,
+        1,
+    );
+    assert_eq!(mc, 0.0);
+}
+
+#[test]
+fn full_seed_set_reaches_total_benefit() {
+    // Seeding every node influences every satisfiable community with
+    // certainty.
+    let inst = build_instance(ThresholdPolicy::Constant(2), 23);
+    let all: Vec<NodeId> = inst.graph().nodes().collect();
+    let col = collect(&inst, 2_000, 24);
+    let satisfiable_benefit: f64 = inst
+        .communities()
+        .iter()
+        .filter(|c| c.is_satisfiable())
+        .map(|c| c.benefit)
+        .sum();
+    // All communities here have ≥ 2 members, so everything is satisfiable.
+    assert_eq!(satisfiable_benefit, inst.total_benefit());
+    assert!((col.estimate(&all) - inst.total_benefit()).abs() < 1e-9);
+}
+
+#[test]
+fn estimate_variance_shrinks_with_more_samples() {
+    let inst = build_instance(ThresholdPolicy::Constant(2), 29);
+    let sampler = inst.sampler();
+    let seeds: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+    let spread = |count: usize, trials: u64| -> f64 {
+        let mut values = Vec::new();
+        for t in 0..trials {
+            let mut col = RicCollection::for_sampler(&sampler);
+            let mut rng = StdRng::seed_from_u64(1000 + t);
+            col.extend_with(&sampler, count, &mut rng);
+            values.push(col.estimate(&seeds));
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64)
+            .sqrt()
+    };
+    let coarse = spread(200, 8);
+    let fine = spread(5_000, 8);
+    assert!(
+        fine < coarse,
+        "std with 5000 samples ({fine:.3}) should beat 200 samples ({coarse:.3})"
+    );
+}

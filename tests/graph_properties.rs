@@ -1,0 +1,179 @@
+//! Property-based tests for the graph substrate.
+
+use imc_graph::components::{tarjan_scc, weakly_connected_components};
+use imc_graph::distance::{bfs_distances, UNREACHABLE};
+use imc_graph::kcore::core_numbers;
+use imc_graph::subgraph::induced_subgraph;
+use imc_graph::traversal::{has_path, reachable_from, reaching_to};
+use imc_graph::{Graph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    n: u32,
+    edges: Vec<(u32, u32, f64)>,
+}
+
+fn graph_strategy(max_n: u32, max_m: usize) -> impl Strategy<Value = RandomGraph> {
+    (2u32..max_n).prop_flat_map(move |n| {
+        let edges = prop::collection::vec(
+            (0..n, 0..n, 0.0f64..=1.0).prop_filter("no loops", |(u, v, _)| u != v),
+            0..max_m,
+        );
+        (Just(n), edges).prop_map(|(n, edges)| RandomGraph { n, edges })
+    })
+}
+
+fn build(rg: &RandomGraph) -> Graph {
+    let mut b = GraphBuilder::new(rg.n);
+    for &(u, v, w) in &rg.edges {
+        b.add_edge(u, v, w).unwrap();
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn degree_sums_equal_edge_count(rg in graph_strategy(30, 80)) {
+        let g = build(&rg);
+        let out_sum: usize = g.nodes().map(|v| g.out_degree(v)).sum();
+        let in_sum: usize = g.nodes().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, g.edge_count());
+        prop_assert_eq!(in_sum, g.edge_count());
+    }
+
+    #[test]
+    fn reverse_is_involutive_and_degree_swapping(rg in graph_strategy(25, 60)) {
+        let g = build(&rg);
+        let r = g.reverse();
+        prop_assert_eq!(&r.reverse(), &g);
+        for v in g.nodes() {
+            prop_assert_eq!(g.out_degree(v), r.in_degree(v));
+            prop_assert_eq!(g.in_degree(v), r.out_degree(v));
+        }
+    }
+
+    #[test]
+    fn weight_lookup_agrees_with_edges(rg in graph_strategy(20, 50)) {
+        let g = build(&rg);
+        for e in g.edges() {
+            prop_assert_eq!(g.weight(e.source, e.target), Some(e.weight));
+            prop_assert!(g.has_edge(e.source, e.target));
+        }
+    }
+
+    #[test]
+    fn full_induced_subgraph_is_identity(rg in graph_strategy(20, 50)) {
+        let g = build(&rg);
+        let all: Vec<NodeId> = g.nodes().collect();
+        let sub = induced_subgraph(&g, &all);
+        prop_assert_eq!(&sub.graph, &g);
+    }
+
+    #[test]
+    fn sccs_partition_nodes(rg in graph_strategy(25, 70)) {
+        let g = build(&rg);
+        let sccs = tarjan_scc(&g);
+        let total: usize = sccs.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, g.node_count());
+        let mut seen = std::collections::HashSet::new();
+        for c in &sccs {
+            for v in c {
+                prop_assert!(seen.insert(*v));
+            }
+        }
+    }
+
+    #[test]
+    fn wcc_refines_reachability(rg in graph_strategy(20, 50)) {
+        let g = build(&rg);
+        // Any two mutually reachable nodes share a weak component.
+        let wcc = weakly_connected_components(&g);
+        let mut comp = vec![usize::MAX; g.node_count()];
+        for (i, c) in wcc.iter().enumerate() {
+            for v in c {
+                comp[v.index()] = i;
+            }
+        }
+        for u in g.nodes() {
+            for v in reachable_from(&g, u) {
+                prop_assert_eq!(comp[u.index()], comp[v.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_and_backward_reachability_agree(rg in graph_strategy(18, 40)) {
+        let g = build(&rg);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let forward = reachable_from(&g, u).contains(&v);
+                let backward = reaching_to(&g, v).contains(&u);
+                prop_assert_eq!(forward, backward, "u={} v={}", u, v);
+                prop_assert_eq!(forward, has_path(&g, u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_distances_are_consistent(rg in graph_strategy(20, 50)) {
+        let g = build(&rg);
+        for s in g.nodes().take(5) {
+            let dist = bfs_distances(&g, s);
+            prop_assert_eq!(dist[s.index()], 0);
+            // Edge relaxation: d(v) ≤ d(u) + 1 along every edge.
+            for e in g.edges() {
+                let du = dist[e.source.index()];
+                let dv = dist[e.target.index()];
+                if du != UNREACHABLE {
+                    prop_assert!(dv != UNREACHABLE && dv <= du + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn core_numbers_bounded_by_total_degree(rg in graph_strategy(25, 70)) {
+        let g = build(&rg);
+        let core = core_numbers(&g);
+        for v in g.nodes() {
+            let total = g.out_degree(v) + g.in_degree(v);
+            prop_assert!(core[v.index()] as usize <= total);
+        }
+        // Degeneracy bounded by max total degree.
+        let max_core = core.iter().copied().max().unwrap_or(0);
+        let max_deg = g
+            .nodes()
+            .map(|v| g.out_degree(v) + g.in_degree(v))
+            .max()
+            .unwrap_or(0);
+        prop_assert!(max_core as usize <= max_deg);
+    }
+
+    #[test]
+    fn edgelist_roundtrip(rg in graph_strategy(20, 50)) {
+        let g = build(&rg);
+        let mut buf = Vec::new();
+        imc_graph::edgelist::write(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = imc_graph::edgelist::parse_str(
+            &text,
+            imc_graph::edgelist::ParseOptions::default(),
+        )
+        .unwrap();
+        let g2 = parsed.builder.build().unwrap();
+        prop_assert_eq!(g2.edge_count(), g.edge_count());
+        // Parsed ids are compacted; edge multiset must match after
+        // translating labels.
+        for e in g2.edges() {
+            let u = imc_graph::edgelist::label_of(&parsed, e.source) as u32;
+            let v = imc_graph::edgelist::label_of(&parsed, e.target) as u32;
+            prop_assert_eq!(
+                g.weight(NodeId::new(u), NodeId::new(v)),
+                Some(e.weight)
+            );
+        }
+    }
+}
