@@ -11,7 +11,10 @@ use std::hint::black_box;
 fn graphs() -> Vec<(&'static str, Graph)> {
     let mut rng = StdRng::seed_from_u64(1);
     vec![
-        ("planted_2k", planted_partition(2_000, 100, 0.2, 0.001, &mut rng).graph),
+        (
+            "planted_2k",
+            planted_partition(2_000, 100, 0.2, 0.001, &mut rng).graph,
+        ),
         ("ba_2k", barabasi_albert(2_000, 4, &mut rng)),
         ("ws_2k", watts_strogatz(2_000, 5, 0.1, &mut rng)),
     ]

@@ -42,7 +42,9 @@ fn bench_benefit_evaluation(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("realized_benefit", |b| {
         let mut rng = StdRng::seed_from_u64(4);
-        let active = IndependentCascade.simulate(&graph, &seeds, &mut rng).unwrap();
+        let active = IndependentCascade
+            .simulate(&graph, &seeds, &mut rng)
+            .unwrap();
         b.iter(|| black_box(realized_benefit(&communities, &active)));
     });
     group.finish();

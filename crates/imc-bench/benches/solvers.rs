@@ -56,7 +56,14 @@ fn bench_solvers(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("bt_capped_100_pivots_k5", |b| {
         b.iter(|| {
-            black_box(bt(&col, 5, &BtConfig { depth: 2, candidate_limit: Some(100) }))
+            black_box(bt(
+                &col,
+                5,
+                &BtConfig {
+                    depth: 2,
+                    candidate_limit: Some(100),
+                },
+            ))
         });
     });
     group.finish();

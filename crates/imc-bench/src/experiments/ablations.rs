@@ -51,7 +51,12 @@ pub fn samples(options: &ExpOptions) -> std::io::Result<()> {
         let start = Instant::now();
         let outcome = ubg(&collection, k);
         let elapsed = start.elapsed();
-        let benefit = grade(&instance, &outcome.seeds, options.seed + 3, options.grade_budget);
+        let benefit = grade(
+            &instance,
+            &outcome.seeds,
+            options.seed + 3,
+            options.grade_budget,
+        );
         table.push_row(vec![size.to_string(), fmt_f(benefit), fmt_secs(elapsed)]);
     }
     table.emit(options.out_dir.as_deref())
@@ -71,7 +76,11 @@ pub fn btd(options: &ExpOptions) -> std::io::Result<()> {
     let sampler = instance.sampler();
     let mut collection = RicCollection::for_sampler(&sampler);
     let mut rng = StdRng::seed_from_u64(options.seed);
-    collection.extend_with(&sampler, if options.quick { 1_000 } else { 6_000 }, &mut rng);
+    collection.extend_with(
+        &sampler,
+        if options.quick { 1_000 } else { 6_000 },
+        &mut rng,
+    );
 
     let mut table = Table::new(
         "Ablation - BT^3 vs other solvers (h=3, k=6)",
@@ -83,19 +92,40 @@ pub fn btd(options: &ExpOptions) -> std::io::Result<()> {
     let bt_out = bt(
         &collection,
         k,
-        &BtConfig { depth: 3, candidate_limit: Some(if options.quick { 10 } else { 50 }) },
+        &BtConfig {
+            depth: 3,
+            candidate_limit: Some(if options.quick { 10 } else { 50 }),
+        },
     );
     let bt_time = start.elapsed();
-    let bt_benefit = grade(&instance, &bt_out.seeds, options.seed + 1, options.grade_budget);
-    table.push_row(vec!["BT^3 (capped)".into(), fmt_f(bt_benefit), fmt_secs(bt_time)]);
+    let bt_benefit = grade(
+        &instance,
+        &bt_out.seeds,
+        options.seed + 1,
+        options.grade_budget,
+    );
+    table.push_row(vec![
+        "BT^3 (capped)".into(),
+        fmt_f(bt_benefit),
+        fmt_secs(bt_time),
+    ]);
 
-    for algo in [MaxrAlgorithm::Ubg, MaxrAlgorithm::Maf, MaxrAlgorithm::Greedy] {
+    for algo in [
+        MaxrAlgorithm::Ubg,
+        MaxrAlgorithm::Maf,
+        MaxrAlgorithm::Greedy,
+    ] {
         let start = Instant::now();
         let sol = algo
             .solve(&instance, &collection, k, options.seed)
             .expect("solvers valid on h=3 instance");
         let t = start.elapsed();
-        let benefit = grade(&instance, &sol.seeds, options.seed + 1, options.grade_budget);
+        let benefit = grade(
+            &instance,
+            &sol.seeds,
+            options.seed + 1,
+            options.grade_budget,
+        );
         table.push_row(vec![algo.name().to_string(), fmt_f(benefit), fmt_secs(t)]);
     }
     table.emit(options.out_dir.as_deref())
@@ -127,18 +157,12 @@ pub fn nonsubmodularity(options: &ExpOptions) -> std::io::Result<()> {
         &["regime", "violations", "trials", "rate"],
     );
     for &(name, threshold) in regimes {
-        let instance =
-            build_instance(&graph, Formation::Louvain, 8, threshold, options.seed);
+        let instance = build_instance(&graph, Formation::Louvain, 8, threshold, options.seed);
         let sampler = instance.sampler();
         let mut collection = RicCollection::for_sampler(&sampler);
         let mut rng = StdRng::seed_from_u64(options.seed);
         collection.extend_with(&sampler, sample_count, &mut rng);
-        let report = imc_core::diagnostics::probe_submodularity(
-            &collection,
-            4,
-            trials,
-            &mut rng,
-        );
+        let report = imc_core::diagnostics::probe_submodularity(&collection, 4, trials, &mut rng);
         table.push_row(vec![
             name.to_string(),
             report.increasing.to_string(),
@@ -186,8 +210,9 @@ pub fn ratios(options: &ExpOptions) -> std::io::Result<()> {
             MaxrAlgorithm::Mb,
             MaxrAlgorithm::Greedy,
         ] {
-            let sol =
-                algo.solve(&instance, &collection, k, seed).expect("bounded instance");
+            let sol = algo
+                .solve(&instance, &collection, k, seed)
+                .expect("bounded instance");
             let ratio = sol.influenced_samples as f64 / opt.influenced_samples as f64;
             table.push_row(vec![
                 format!("trial{trial}"),

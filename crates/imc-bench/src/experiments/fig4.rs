@@ -14,8 +14,7 @@
 
 use crate::experiments::ExpOptions;
 use crate::harness::{
-    average_over_runs, build_instance, dataset_graph, grade, run_method, Formation,
-    Method,
+    average_over_runs, build_instance, dataset_graph, grade, run_method, Formation, Method,
 };
 use crate::report::{fmt_f, Table};
 use imc_community::ThresholdPolicy;
@@ -27,7 +26,11 @@ const K: usize = 10;
 
 /// Runs the experiment and prints/writes the table.
 pub fn run(options: &ExpOptions) -> std::io::Result<()> {
-    let caps: &[usize] = if options.quick { &[4, 8] } else { &[4, 8, 16, 32] };
+    let caps: &[usize] = if options.quick {
+        &[4, 8]
+    } else {
+        &[4, 8, 16, 32]
+    };
     let methods = [
         Method::Imc(MaxrAlgorithm::Ubg),
         Method::Imc(MaxrAlgorithm::Maf),
@@ -67,7 +70,12 @@ pub fn run(options: &ExpOptions) -> std::io::Result<()> {
                             options.max_samples,
                             Duration::from_secs(600),
                         );
-                        grade(&instance, &run.seeds, options.seed + 31 * r, options.grade_budget)
+                        grade(
+                            &instance,
+                            &run.seeds,
+                            options.seed + 31 * r,
+                            options.grade_budget,
+                        )
                     });
                     table.push_row(vec![
                         imc_datasets::spec(dataset).name.to_string(),
@@ -121,10 +129,19 @@ pub fn run(options: &ExpOptions) -> std::io::Result<()> {
                 if run.timed_out {
                     f64::NAN
                 } else {
-                    grade(&instance, &run.seeds, options.seed + 31 * r, options.grade_budget)
+                    grade(
+                        &instance,
+                        &run.seeds,
+                        options.seed + 31 * r,
+                        options.grade_budget,
+                    )
                 }
             });
-            let cell = if benefit.is_nan() { "timeout".to_string() } else { fmt_f(benefit) };
+            let cell = if benefit.is_nan() {
+                "timeout".to_string()
+            } else {
+                fmt_f(benefit)
+            };
             table_c.push_row(vec![
                 "facebook".to_string(),
                 "louvain".to_string(),

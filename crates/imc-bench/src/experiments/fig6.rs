@@ -8,8 +8,7 @@
 
 use crate::experiments::ExpOptions;
 use crate::harness::{
-    average_over_runs, build_instance, dataset_graph, grade, run_method, Formation,
-    Method,
+    average_over_runs, build_instance, dataset_graph, grade, run_method, Formation, Method,
 };
 use crate::report::{fmt_f, Table};
 use imc_community::ThresholdPolicy;
@@ -19,7 +18,11 @@ use std::time::Duration;
 
 /// Runs the experiment and prints/writes the table.
 pub fn run(options: &ExpOptions) -> std::io::Result<()> {
-    let ks: &[usize] = if options.quick { &[5, 20] } else { &[5, 10, 20, 30, 40, 50] };
+    let ks: &[usize] = if options.quick {
+        &[5, 20]
+    } else {
+        &[5, 10, 20, 30, 40, 50]
+    };
     let datasets: &[(DatasetId, f64)] = if options.quick {
         &[(DatasetId::Facebook, 0.4)]
     } else {
@@ -68,11 +71,19 @@ pub fn run(options: &ExpOptions) -> std::io::Result<()> {
                     if run.timed_out {
                         f64::NAN
                     } else {
-                        grade(&instance, &run.seeds, options.seed + 31 * r, options.grade_budget)
+                        grade(
+                            &instance,
+                            &run.seeds,
+                            options.seed + 31 * r,
+                            options.grade_budget,
+                        )
                     }
                 });
-                let cell =
-                    if benefit.is_nan() { "timeout".to_string() } else { fmt_f(benefit) };
+                let cell = if benefit.is_nan() {
+                    "timeout".to_string()
+                } else {
+                    fmt_f(benefit)
+                };
                 table.push_row(vec![
                     imc_datasets::spec(dataset).name.to_string(),
                     k.to_string(),

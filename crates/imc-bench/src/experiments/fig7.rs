@@ -18,7 +18,11 @@ use std::time::Duration;
 
 /// Runs the experiment and prints/writes the table.
 pub fn run(options: &ExpOptions) -> std::io::Result<()> {
-    let ks: &[usize] = if options.quick { &[5, 20] } else { &[5, 10, 20, 50] };
+    let ks: &[usize] = if options.quick {
+        &[5, 20]
+    } else {
+        &[5, 10, 20, 50]
+    };
     let datasets: &[(DatasetId, f64)] = if options.quick {
         &[(DatasetId::WikiVote, 0.15)]
     } else {
@@ -51,8 +55,14 @@ pub fn run(options: &ExpOptions) -> std::io::Result<()> {
                 } else {
                     Duration::from_secs(900)
                 };
-                let run =
-                    run_method(&instance, method, k, options.seed, options.max_samples, limit);
+                let run = run_method(
+                    &instance,
+                    method,
+                    k,
+                    options.seed,
+                    options.max_samples,
+                    limit,
+                );
                 let cell = if run.timed_out && run.seeds.is_empty() {
                     "timeout".to_string()
                 } else {
@@ -84,9 +94,10 @@ pub fn run(options: &ExpOptions) -> std::io::Result<()> {
             options.seed,
         );
         for &k in ks {
-            for method in
-                [Method::Imc(MaxrAlgorithm::Ubg), Method::Imc(MaxrAlgorithm::Maf)]
-            {
+            for method in [
+                Method::Imc(MaxrAlgorithm::Ubg),
+                Method::Imc(MaxrAlgorithm::Maf),
+            ] {
                 let run = run_method(
                     &instance,
                     method,

@@ -21,7 +21,11 @@ use rand::SeedableRng;
 
 /// Runs the experiment and prints/writes the table.
 pub fn run(options: &ExpOptions) -> std::io::Result<()> {
-    let ks: &[usize] = if options.quick { &[5, 20] } else { &[5, 10, 20, 50] };
+    let ks: &[usize] = if options.quick {
+        &[5, 20]
+    } else {
+        &[5, 10, 20, 50]
+    };
     let datasets: &[(DatasetId, f64)] = if options.quick {
         &[(DatasetId::Facebook, 0.4)]
     } else {
@@ -41,8 +45,7 @@ pub fn run(options: &ExpOptions) -> std::io::Result<()> {
     for &(dataset, ds_scale) in datasets {
         let graph = dataset_graph(dataset, ds_scale * options.scale, options.seed);
         for &(regime_name, threshold) in regimes {
-            let instance =
-                build_instance(&graph, Formation::Louvain, 8, threshold, options.seed);
+            let instance = build_instance(&graph, Formation::Louvain, 8, threshold, options.seed);
             let sampler = instance.sampler();
             let mut collection = RicCollection::for_sampler(&sampler);
             let mut rng = StdRng::seed_from_u64(options.seed);

@@ -15,8 +15,14 @@ pub fn run(options: &ExpOptions) -> std::io::Result<()> {
     let mut table = Table::new(
         "Table I - dataset statistics (paper vs analog)",
         &[
-            "dataset", "type", "paper nodes", "paper edges", "analog nodes",
-            "analog edges", "analog avg deg", "source",
+            "dataset",
+            "type",
+            "paper nodes",
+            "paper edges",
+            "analog nodes",
+            "analog edges",
+            "analog avg deg",
+            "source",
         ],
     );
     for id in imc_datasets::all() {
@@ -32,7 +38,12 @@ pub fn run(options: &ExpOptions) -> std::io::Result<()> {
         let stats = GraphStats::compute(&graph);
         table.push_row(vec![
             spec.name.to_string(),
-            if spec.undirected { "undirected" } else { "directed" }.to_string(),
+            if spec.undirected {
+                "undirected"
+            } else {
+                "directed"
+            }
+            .to_string(),
             spec.paper_nodes.to_string(),
             spec.paper_edges.to_string(),
             stats.nodes.to_string(),
@@ -50,7 +61,10 @@ mod tests {
 
     #[test]
     fn runs_at_tiny_scale() {
-        let options = ExpOptions { scale: 0.05, ..ExpOptions::smoke() };
+        let options = ExpOptions {
+            scale: 0.05,
+            ..ExpOptions::smoke()
+        };
         run(&options).unwrap();
     }
 }

@@ -142,16 +142,27 @@ pub fn run_method(
     // limit on one core. This mirrors the paper discarding MB on its
     // largest networks for exceeding the runtime limit (Fig. 6b, Fig. 7a).
     if let Method::Imc(algo) = method {
-        if matches!(algo, MaxrAlgorithm::Bt | MaxrAlgorithm::Mb | MaxrAlgorithm::Btd(_))
-            && instance.node_count() > MB_NODE_LIMIT
+        if matches!(
+            algo,
+            MaxrAlgorithm::Bt | MaxrAlgorithm::Mb | MaxrAlgorithm::Btd(_)
+        ) && instance.node_count() > MB_NODE_LIMIT
         {
-            return MethodRun { seeds: Vec::new(), elapsed: limit, timed_out: true };
+            return MethodRun {
+                seeds: Vec::new(),
+                elapsed: limit,
+                timed_out: true,
+            };
         }
     }
     let start = Instant::now();
     let seeds = match method {
         Method::Imc(algo) => {
-            let cfg = ImcafConfig { k, epsilon: EPSILON, delta: DELTA, max_samples };
+            let cfg = ImcafConfig {
+                k,
+                epsilon: EPSILON,
+                delta: DELTA,
+                max_samples,
+            };
             match imcaf(instance, algo, &cfg, seed) {
                 Ok(res) => res.seeds,
                 Err(e) => panic!("IMCAF({}) failed: {e}", algo.name()),
@@ -164,7 +175,11 @@ pub fn run_method(
         Method::PageRank => pagerank_seeds(instance.graph(), k),
     };
     let elapsed = start.elapsed();
-    MethodRun { seeds, elapsed, timed_out: elapsed > limit }
+    MethodRun {
+        seeds,
+        elapsed,
+        timed_out: elapsed > limit,
+    }
 }
 
 /// Grades a seed set the way the paper does: the Dagum estimator with the
@@ -210,14 +225,32 @@ mod tests {
 
     fn tiny_instance() -> ImcInstance {
         let graph = dataset_graph(DatasetId::Facebook, 0.1, 1);
-        build_instance(&graph, Formation::Louvain, 8, ThresholdPolicy::Constant(2), 1)
+        build_instance(
+            &graph,
+            Formation::Louvain,
+            8,
+            ThresholdPolicy::Constant(2),
+            1,
+        )
     }
 
     #[test]
     fn build_instance_louvain_and_random_have_same_scale() {
         let graph = dataset_graph(DatasetId::Facebook, 0.1, 1);
-        let a = build_instance(&graph, Formation::Louvain, 8, ThresholdPolicy::Constant(2), 1);
-        let b = build_instance(&graph, Formation::Random, 8, ThresholdPolicy::Constant(2), 1);
+        let a = build_instance(
+            &graph,
+            Formation::Louvain,
+            8,
+            ThresholdPolicy::Constant(2),
+            1,
+        );
+        let b = build_instance(
+            &graph,
+            Formation::Random,
+            8,
+            ThresholdPolicy::Constant(2),
+            1,
+        );
         assert_eq!(a.node_count(), b.node_count());
         assert!(a.community_count() > 0 && b.community_count() > 0);
     }
@@ -242,8 +275,7 @@ mod tests {
     #[test]
     fn grade_is_nonnegative_and_bounded() {
         let inst = tiny_instance();
-        let run =
-            run_method(&inst, Method::Hbc, 3, 2, 1_000, Duration::from_secs(60));
+        let run = run_method(&inst, Method::Hbc, 3, 2, 1_000, Duration::from_secs(60));
         let g = grade(&inst, &run.seeds, 3, 20_000);
         assert!(g >= 0.0 && g <= inst.total_benefit() * 1.3);
         assert_eq!(grade(&inst, &[], 3, 20_000), 0.0);
@@ -261,8 +293,13 @@ mod tests {
         // Fabricate node count > 20k cheaply.
         let graph = imc_datasets::generate(DatasetId::Pokec, 1.0, 1)
             .reweighted(WeightModel::WeightedCascade);
-        let inst =
-            build_instance(&graph, Formation::Random, 8, ThresholdPolicy::Constant(2), 1);
+        let inst = build_instance(
+            &graph,
+            Formation::Random,
+            8,
+            ThresholdPolicy::Constant(2),
+            1,
+        );
         let run = run_method(
             &inst,
             Method::Imc(MaxrAlgorithm::Mb),

@@ -24,7 +24,9 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
-        eprintln!("usage: imc-bench <experiment> [--scale F] [--quick] [--runs N] [--seed N] [--out DIR]");
+        eprintln!(
+            "usage: imc-bench <experiment> [--scale F] [--quick] [--runs N] [--seed N] [--out DIR]"
+        );
         eprintln!("experiments: table1 fig4 fig5 fig6 fig7 fig8 ablation-samples ablation-btd ablation-nonsub ablation-ratios all");
         return ExitCode::FAILURE;
     };
@@ -106,7 +108,10 @@ fn main() -> ExitCode {
     };
     match result {
         Ok(()) => {
-            eprintln!("[{command}] done in {:.1}s", started.elapsed().as_secs_f64());
+            eprintln!(
+                "[{command}] done in {:.1}s",
+                started.elapsed().as_secs_f64()
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -30,13 +30,21 @@ pub fn run<W: Write>(command: &str, args: &Args, out: &mut W) -> Result<()> {
         "estimate" => estimate(args, out),
         "stats" => stats(args, out),
         "dot" => dot(args, out),
+        "serve" => crate::service::serve(args, out),
+        "query" => crate::service::query(args, out),
+        "snapshot save" => crate::service::snapshot_save(args, out),
+        "snapshot load" => crate::service::snapshot_load(args, out),
+        other if other == "snapshot" || other.starts_with("snapshot ") => Err(CliError::Usage(
+            "snapshot expects an action: snapshot save | snapshot load".into(),
+        )),
         other => Err(CliError::Usage(format!(
-            "unknown command `{other}` (expected generate | communities | solve | estimate | stats | dot)"
+            "unknown command `{other}` (expected generate | communities | solve | estimate | \
+             stats | dot | serve | query | snapshot)"
         ))),
     }
 }
 
-fn load_graph(args: &Args) -> Result<Graph> {
+pub(crate) fn load_graph(args: &Args) -> Result<Graph> {
     let path = args.required("graph")?;
     let options = ParseOptions {
         undirected: args.switch("undirected"),
@@ -89,7 +97,7 @@ fn benefit_policy(args: &Args) -> Result<BenefitPolicy> {
     }
 }
 
-fn build_instance(args: &Args, graph: Graph) -> Result<ImcInstance> {
+pub(crate) fn build_instance(args: &Args, graph: Graph) -> Result<ImcInstance> {
     let path = args.required("communities")?;
     let file = std::fs::File::open(path)?;
     let groups = read_assignments(file)?;
@@ -108,11 +116,7 @@ fn generate<W: Write>(args: &Args, out: &mut W) -> Result<()> {
     let seed: u64 = args.get_or("seed", 1u64)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let graph = match model.as_str() {
-        "ba" => imc_graph::generators::barabasi_albert(
-            n,
-            args.get_or("attach", 3u32)?,
-            &mut rng,
-        ),
+        "ba" => imc_graph::generators::barabasi_albert(n, args.get_or("attach", 3u32)?, &mut rng),
         "er" => imc_graph::generators::erdos_renyi(n, args.get_or("p", 0.01f64)?, &mut rng),
         "ws" => imc_graph::generators::watts_strogatz(
             n,
@@ -187,7 +191,11 @@ fn communities<W: Write>(args: &Args, out: &mut W) -> Result<()> {
         Some(path) => {
             let file = std::fs::File::create(path)?;
             write_assignments(file, &groups)?;
-            writeln!(out, "wrote {} communities (Q = {q:.4}) to {path}", groups.len())?;
+            writeln!(
+                out,
+                "wrote {} communities (Q = {q:.4}) to {path}",
+                groups.len()
+            )?;
         }
         None => write_assignments(&mut *out, &groups)?,
     }
@@ -300,9 +308,11 @@ fn dot<W: Write>(args: &Args, out: &mut W) -> Result<()> {
         groups,
         highlight,
         edge_labels: graph.edge_count() <= 200,
-        min_weight: args.get("min-weight").map(|w| w.parse()).transpose().map_err(
-            |_| CliError::Usage("--min-weight expects a number".into()),
-        )?,
+        min_weight: args
+            .get("min-weight")
+            .map(|w| w.parse())
+            .transpose()
+            .map_err(|_| CliError::Usage("--min-weight expects a number".into()))?,
     };
     write!(out, "{}", imc_graph::dot::to_dot(&graph, &options))?;
     Ok(())
@@ -328,15 +338,20 @@ mod tests {
 
     #[test]
     fn unknown_command_is_usage_error() {
-        assert!(matches!(run_str("frobnicate", &[]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_str("frobnicate", &[]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
     fn generate_to_stdout_parses_back() {
-        let text =
-            run_str("generate", &["--model", "er", "--nodes", "50", "--p", "0.05"]).unwrap();
-        let parsed =
-            edgelist::parse_str(&text, ParseOptions::default()).unwrap();
+        let text = run_str(
+            "generate",
+            &["--model", "er", "--nodes", "50", "--p", "0.05"],
+        )
+        .unwrap();
+        let parsed = edgelist::parse_str(&text, ParseOptions::default()).unwrap();
         assert!(parsed.builder.build().unwrap().edge_count() > 0);
     }
 
@@ -346,24 +361,56 @@ mod tests {
         let comm_path = tmp("c.txt");
         let msg = run_str(
             "generate",
-            &["--model", "pp", "--nodes", "80", "--blocks", "8", "--p-in", "0.4",
-              "--p-out", "0.02", "--seed", "3", "--out", &graph_path],
+            &[
+                "--model",
+                "pp",
+                "--nodes",
+                "80",
+                "--blocks",
+                "8",
+                "--p-in",
+                "0.4",
+                "--p-out",
+                "0.02",
+                "--seed",
+                "3",
+                "--out",
+                &graph_path,
+            ],
         )
         .unwrap();
         assert!(msg.contains("wrote"));
 
         let msg = run_str(
             "communities",
-            &["--graph", &graph_path, "--method", "louvain", "--split", "8",
-              "--out", &comm_path],
+            &[
+                "--graph",
+                &graph_path,
+                "--method",
+                "louvain",
+                "--split",
+                "8",
+                "--out",
+                &comm_path,
+            ],
         )
         .unwrap();
         assert!(msg.contains("communities"));
 
         let solve_out = run_str(
             "solve",
-            &["--graph", &graph_path, "--communities", &comm_path, "--k", "4",
-              "--algo", "maf", "--max-samples", "2000"],
+            &[
+                "--graph",
+                &graph_path,
+                "--communities",
+                &comm_path,
+                "--k",
+                "4",
+                "--algo",
+                "maf",
+                "--max-samples",
+                "2000",
+            ],
         )
         .unwrap();
         assert!(solve_out.contains("seeds:"));
@@ -373,8 +420,16 @@ mod tests {
 
         let est_out = run_str(
             "estimate",
-            &["--graph", &graph_path, "--communities", &comm_path, "--seeds", &seeds,
-              "--budget", "30000"],
+            &[
+                "--graph",
+                &graph_path,
+                "--communities",
+                &comm_path,
+                "--seeds",
+                &seeds,
+                "--budget",
+                "30000",
+            ],
         )
         .unwrap();
         assert!(est_out.contains("benefit:"));
@@ -391,22 +446,49 @@ mod tests {
         let graph_path = tmp("g2.txt");
         run_str(
             "generate",
-            &["--model", "er", "--nodes", "20", "--p", "0.1", "--out", &graph_path],
+            &[
+                "--model",
+                "er",
+                "--nodes",
+                "20",
+                "--p",
+                "0.1",
+                "--out",
+                &graph_path,
+            ],
         )
         .unwrap();
         let comm_path = tmp("c2.txt");
         std::fs::write(&comm_path, "0 0\n1 0\n2 1\n3 1\n").unwrap();
         let err = run_str(
             "solve",
-            &["--graph", &graph_path, "--communities", &comm_path, "--k", "2",
-              "--algo", "nope"],
+            &[
+                "--graph",
+                &graph_path,
+                "--communities",
+                &comm_path,
+                "--k",
+                "2",
+                "--algo",
+                "nope",
+            ],
         )
         .unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
         let err = run_str(
             "solve",
-            &["--graph", &graph_path, "--communities", &comm_path, "--k", "2",
-              "--threshold", "2", "--threshold-frac", "0.5"],
+            &[
+                "--graph",
+                &graph_path,
+                "--communities",
+                &comm_path,
+                "--k",
+                "2",
+                "--threshold",
+                "2",
+                "--threshold-frac",
+                "0.5",
+            ],
         )
         .unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
@@ -419,14 +501,30 @@ mod tests {
         let graph_path = tmp("g3.txt");
         run_str(
             "generate",
-            &["--model", "er", "--nodes", "10", "--p", "0.2", "--out", &graph_path],
+            &[
+                "--model",
+                "er",
+                "--nodes",
+                "10",
+                "--p",
+                "0.2",
+                "--out",
+                &graph_path,
+            ],
         )
         .unwrap();
         let comm_path = tmp("c3.txt");
         std::fs::write(&comm_path, "0 0\n1 0\n").unwrap();
         let err = run_str(
             "estimate",
-            &["--graph", &graph_path, "--communities", &comm_path, "--seeds", "999"],
+            &[
+                "--graph",
+                &graph_path,
+                "--communities",
+                &comm_path,
+                "--seeds",
+                "999",
+            ],
         )
         .unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
@@ -439,15 +537,32 @@ mod tests {
         let graph_path = tmp("g5.txt");
         run_str(
             "generate",
-            &["--model", "er", "--nodes", "15", "--p", "0.2", "--out", &graph_path],
+            &[
+                "--model",
+                "er",
+                "--nodes",
+                "15",
+                "--p",
+                "0.2",
+                "--out",
+                &graph_path,
+            ],
         )
         .unwrap();
         let comm_path = tmp("c5.txt");
         std::fs::write(&comm_path, "0 0\n1 0\n2 1\n").unwrap();
         let dot_out = run_str(
             "dot",
-            &["--graph", &graph_path, "--communities", &comm_path, "--seeds", "0,2",
-              "--weights", "keep"],
+            &[
+                "--graph",
+                &graph_path,
+                "--communities",
+                &comm_path,
+                "--seeds",
+                "0,2",
+                "--weights",
+                "keep",
+            ],
         )
         .unwrap();
         assert!(dot_out.contains("digraph imc"));
@@ -462,12 +577,20 @@ mod tests {
         let graph_path = tmp("g4.txt");
         run_str(
             "generate",
-            &["--model", "er", "--nodes", "20", "--p", "0.2", "--out", &graph_path],
+            &[
+                "--model",
+                "er",
+                "--nodes",
+                "20",
+                "--p",
+                "0.2",
+                "--out",
+                &graph_path,
+            ],
         )
         .unwrap();
         for w in ["cascade", "keep", "trivalency", "0.05"] {
-            let out =
-                run_str("stats", &["--graph", &graph_path, "--weights", w]).unwrap();
+            let out = run_str("stats", &["--graph", &graph_path, "--weights", w]).unwrap();
             assert!(out.contains("n=20"), "weights={w}");
         }
         assert!(run_str("stats", &["--graph", &graph_path, "--weights", "bogus"]).is_err());

@@ -60,10 +60,7 @@ pub fn read_assignments<R: Read>(reader: R) -> Result<Vec<Vec<NodeId>>> {
 /// # Errors
 ///
 /// Propagates writer failures.
-pub fn write_assignments<W: Write>(
-    mut writer: W,
-    communities: &[Vec<NodeId>],
-) -> Result<()> {
+pub fn write_assignments<W: Write>(mut writer: W, communities: &[Vec<NodeId>]) -> Result<()> {
     writeln!(writer, "# node community")?;
     for (cid, members) in communities.iter().enumerate() {
         for v in members {

@@ -15,6 +15,9 @@
 //! imc solve --graph g.txt --communities c.txt --k 10 --algo ubg
 //! imc estimate --graph g.txt --communities c.txt --seeds 5,9,42
 //! imc stats --graph g.txt
+//! imc snapshot save --graph g.txt --communities c.txt --samples 100000 --out warm.snap
+//! imc serve --graph g.txt --communities c.txt --snapshot warm.snap --addr 127.0.0.1:7744
+//! imc query --addr 127.0.0.1:7744 --op solve --k 10 --algo maf
 //! ```
 
 #![forbid(unsafe_code)]
@@ -23,6 +26,7 @@
 pub mod args;
 pub mod commands;
 pub mod community_io;
+pub mod service;
 
 use std::fmt;
 

@@ -10,6 +10,9 @@
 //!   estimate     grade a seed set (--seeds 1,2,3) with the Dagum estimator
 //!   stats        structural statistics of a graph
 //!   dot          render graph (+communities, +seeds) as Graphviz DOT
+//!   serve        run the query daemon (--addr, --workers, --snapshot, --refresh-target)
+//!   query        send one request to a daemon (--addr, --op solve|estimate|stats|health|shutdown)
+//!   snapshot     save | load a persistent RIC sample store (--samples, --out / --file)
 //!
 //! common flags:
 //!   --graph FILE  --communities FILE  --undirected  --weights cascade|keep|trivalency|<p>
@@ -22,12 +25,21 @@ use imc_cli::{commands, CliError};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let mut argv = std::env::args().skip(1);
-    let Some(command) = argv.next() else {
-        eprintln!("usage: imc <generate | communities | solve | estimate | stats | dot> [flags]");
+    let mut argv = std::env::args().skip(1).peekable();
+    let Some(mut command) = argv.next() else {
+        eprintln!(
+            "usage: imc <generate | communities | solve | estimate | stats | dot | serve | \
+             query | snapshot save|load> [flags]"
+        );
         eprintln!("run with a command and no flags to see its errors spelled out");
         return ExitCode::from(2);
     };
+    // `snapshot` takes an action word before the flags: `imc snapshot save ...`.
+    if command == "snapshot" {
+        if let Some(action) = argv.next_if(|token| !token.starts_with("--")) {
+            command = format!("snapshot {action}");
+        }
+    }
     let args = match Args::parse(argv) {
         Ok(a) => a,
         Err(e) => {

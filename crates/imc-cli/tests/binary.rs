@@ -60,21 +60,42 @@ fn full_pipeline_through_the_binary() {
     let cs = c.to_str().unwrap();
 
     let out = run(&[
-        "generate", "--model", "pp", "--nodes", "60", "--blocks", "6", "--p-in",
-        "0.4", "--p-out", "0.02", "--seed", "5", "--out", gs,
+        "generate", "--model", "pp", "--nodes", "60", "--blocks", "6", "--p-in", "0.4", "--p-out",
+        "0.02", "--seed", "5", "--out", gs,
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = run(&[
-        "communities", "--graph", gs, "--method", "louvain", "--split", "8",
-        "--out", cs,
+        "communities",
+        "--graph",
+        gs,
+        "--method",
+        "louvain",
+        "--split",
+        "8",
+        "--out",
+        cs,
     ]);
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("communities"));
 
     let out = run(&[
-        "solve", "--graph", gs, "--communities", cs, "--k", "3", "--algo", "maf",
-        "--max-samples", "1500", "--quiet",
+        "solve",
+        "--graph",
+        gs,
+        "--communities",
+        cs,
+        "--k",
+        "3",
+        "--algo",
+        "maf",
+        "--max-samples",
+        "1500",
+        "--quiet",
     ]);
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -89,8 +110,15 @@ fn full_pipeline_through_the_binary() {
     assert_eq!(stdout.lines().count(), 1, "stdout: {stdout}");
 
     let out = run(&[
-        "estimate", "--graph", gs, "--communities", cs, "--seeds", &seeds,
-        "--budget", "20000",
+        "estimate",
+        "--graph",
+        gs,
+        "--communities",
+        cs,
+        "--seeds",
+        &seeds,
+        "--budget",
+        "20000",
     ]);
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("benefit:"));
@@ -110,16 +138,25 @@ fn generate_to_stdout_is_parseable() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.lines().any(|l| l.starts_with('#')));
     // Every non-comment line is "u v w".
-    for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+    for line in text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
         assert_eq!(line.split_whitespace().count(), 3, "line: {line}");
     }
 }
 
 #[test]
 fn deterministic_given_seed() {
-    let a = run(&["generate", "--model", "ba", "--nodes", "50", "--attach", "2", "--seed", "9"]);
-    let b = run(&["generate", "--model", "ba", "--nodes", "50", "--attach", "2", "--seed", "9"]);
+    let a = run(&[
+        "generate", "--model", "ba", "--nodes", "50", "--attach", "2", "--seed", "9",
+    ]);
+    let b = run(&[
+        "generate", "--model", "ba", "--nodes", "50", "--attach", "2", "--seed", "9",
+    ]);
     assert_eq!(a.stdout, b.stdout);
-    let c = run(&["generate", "--model", "ba", "--nodes", "50", "--attach", "2", "--seed", "10"]);
+    let c = run(&[
+        "generate", "--model", "ba", "--nodes", "50", "--attach", "2", "--seed", "10",
+    ]);
     assert_ne!(a.stdout, c.stdout);
 }

@@ -33,7 +33,10 @@ impl BenefitPolicy {
         if b > 0.0 && b.is_finite() {
             Ok(b)
         } else {
-            Err(CommunityError::InvalidBenefit { index: 0, benefit: b })
+            Err(CommunityError::InvalidBenefit {
+                index: 0,
+                benefit: b,
+            })
         }
     }
 }
@@ -61,14 +64,19 @@ mod tests {
 
     #[test]
     fn scaled_population() {
-        assert_eq!(BenefitPolicy::ScaledPopulation(0.5).benefit_for(8).unwrap(), 4.0);
+        assert_eq!(
+            BenefitPolicy::ScaledPopulation(0.5).benefit_for(8).unwrap(),
+            4.0
+        );
     }
 
     #[test]
     fn invalid_benefits_rejected() {
         assert!(BenefitPolicy::Uniform(0.0).benefit_for(5).is_err());
         assert!(BenefitPolicy::Uniform(-1.0).benefit_for(5).is_err());
-        assert!(BenefitPolicy::Uniform(f64::INFINITY).benefit_for(5).is_err());
+        assert!(BenefitPolicy::Uniform(f64::INFINITY)
+            .benefit_for(5)
+            .is_err());
         assert!(BenefitPolicy::ScaledPopulation(1.0).benefit_for(0).is_err());
     }
 

@@ -208,7 +208,10 @@ mod tests {
     #[test]
     fn label_propagation_pipeline_covers_all_nodes() {
         let g = toy_graph();
-        let cs = CommunitySet::builder(&g).label_propagation(3).build().unwrap();
+        let cs = CommunitySet::builder(&g)
+            .label_propagation(3)
+            .build()
+            .unwrap();
         assert_eq!(cs.covered_nodes(), g.node_count());
         assert!(cs.len() >= 2);
     }

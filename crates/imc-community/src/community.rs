@@ -115,10 +115,7 @@ impl CommunitySet {
     /// * [`CommunityError::ZeroThreshold`] for `threshold == 0`.
     /// * [`CommunityError::InvalidBenefit`] for non-positive/non-finite
     ///   benefits.
-    pub fn from_parts(
-        node_count: u32,
-        parts: Vec<(Vec<NodeId>, u32, f64)>,
-    ) -> Result<Self> {
+    pub fn from_parts(node_count: u32, parts: Vec<(Vec<NodeId>, u32, f64)>) -> Result<Self> {
         let mut node_to_community = vec![u32::MAX; node_count as usize];
         let mut communities = Vec::with_capacity(parts.len());
         for (index, (mut members, threshold, benefit)) in parts.into_iter().enumerate() {
@@ -135,7 +132,10 @@ impl CommunitySet {
             members.dedup();
             for &v in &members {
                 if v.raw() >= node_count {
-                    return Err(CommunityError::NodeOutOfRange { node: v.raw(), node_count });
+                    return Err(CommunityError::NodeOutOfRange {
+                        node: v.raw(),
+                        node_count,
+                    });
                 }
                 if node_to_community[v.index()] != u32::MAX {
                     return Err(CommunityError::OverlappingNode { node: v.raw() });
@@ -151,8 +151,10 @@ impl CommunitySet {
         }
         let total_benefit = communities.iter().map(|c| c.benefit).sum();
         let max_threshold = communities.iter().map(|c| c.threshold).max().unwrap_or(0);
-        let min_benefit =
-            communities.iter().map(|c| c.benefit).fold(f64::INFINITY, f64::min);
+        let min_benefit = communities
+            .iter()
+            .map(|c| c.benefit)
+            .fold(f64::INFINITY, f64::min);
         Ok(CommunitySet {
             communities,
             node_to_community,
@@ -213,7 +215,10 @@ impl CommunitySet {
 
     /// Number of nodes covered by some community.
     pub fn covered_nodes(&self) -> usize {
-        self.node_to_community.iter().filter(|&&c| c != u32::MAX).count()
+        self.node_to_community
+            .iter()
+            .filter(|&&c| c != u32::MAX)
+            .count()
     }
 
     /// Number of nodes of the underlying graph.
@@ -295,19 +300,18 @@ mod tests {
 
     #[test]
     fn rejects_overlap() {
-        let err = CommunitySet::from_parts(
-            5,
-            vec![(ids(&[0, 1]), 1, 1.0), (ids(&[1, 2]), 1, 1.0)],
-        )
-        .unwrap_err();
+        let err = CommunitySet::from_parts(5, vec![(ids(&[0, 1]), 1, 1.0), (ids(&[1, 2]), 1, 1.0)])
+            .unwrap_err();
         assert_eq!(err, CommunityError::OverlappingNode { node: 1 });
     }
 
     #[test]
     fn rejects_out_of_range() {
-        let err =
-            CommunitySet::from_parts(3, vec![(ids(&[0, 5]), 1, 1.0)]).unwrap_err();
-        assert!(matches!(err, CommunityError::NodeOutOfRange { node: 5, .. }));
+        let err = CommunitySet::from_parts(3, vec![(ids(&[0, 5]), 1, 1.0)]).unwrap_err();
+        assert!(matches!(
+            err,
+            CommunityError::NodeOutOfRange { node: 5, .. }
+        ));
     }
 
     #[test]
@@ -332,8 +336,7 @@ mod tests {
 
     #[test]
     fn members_are_sorted_and_deduped() {
-        let cs =
-            CommunitySet::from_parts(5, vec![(ids(&[3, 1, 3, 2]), 1, 1.0)]).unwrap();
+        let cs = CommunitySet::from_parts(5, vec![(ids(&[3, 1, 3, 2]), 1, 1.0)]).unwrap();
         assert_eq!(cs.get(CommunityId::new(0)).members, ids(&[1, 2, 3]));
     }
 

@@ -49,7 +49,10 @@ impl fmt::Display for CommunityError {
                 write!(f, "node {node} belongs to more than one community")
             }
             CommunityError::NodeOutOfRange { node, node_count } => {
-                write!(f, "community member {node} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "community member {node} out of range for graph with {node_count} nodes"
+                )
             }
             CommunityError::EmptyCommunity { index } => {
                 write!(f, "community #{index} has no members")
@@ -78,9 +81,15 @@ mod tests {
 
     #[test]
     fn display_mentions_details() {
-        assert!(CommunityError::OverlappingNode { node: 3 }.to_string().contains('3'));
-        assert!(CommunityError::EmptyCommunity { index: 2 }.to_string().contains('2'));
-        assert!(CommunityError::InvalidFraction { fraction: 1.5 }.to_string().contains("1.5"));
+        assert!(CommunityError::OverlappingNode { node: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(CommunityError::EmptyCommunity { index: 2 }
+            .to_string()
+            .contains('2'));
+        assert!(CommunityError::InvalidFraction { fraction: 1.5 }
+            .to_string()
+            .contains("1.5"));
     }
 
     #[test]

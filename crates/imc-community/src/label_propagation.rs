@@ -31,8 +31,7 @@ pub fn label_propagation(graph: &Graph, seed: u64, max_sweeps: usize) -> Vec<Vec
     let mut label: Vec<u32> = (0..n as u32).collect();
     let mut order: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut weight_of: std::collections::HashMap<u32, f64> =
-        std::collections::HashMap::new();
+    let mut weight_of: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
 
     for _ in 0..max_sweeps {
         order.shuffle(&mut rng);
@@ -64,8 +63,7 @@ pub fn label_propagation(graph: &Graph, seed: u64, max_sweeps: usize) -> Vec<Vec
     }
 
     // Gather label classes.
-    let mut map: std::collections::HashMap<u32, Vec<NodeId>> =
-        std::collections::HashMap::new();
+    let mut map: std::collections::HashMap<u32, Vec<NodeId>> = std::collections::HashMap::new();
     for (v, &l) in label.iter().enumerate() {
         map.entry(l).or_default().push(NodeId::new(v as u32));
     }

@@ -59,9 +59,15 @@ impl Level {
             *row = merged;
         }
         let self_loop = vec![0.0; n];
-        let two_m: f64 =
-            adj.iter().flat_map(|r| r.iter().map(|&(_, w)| w)).sum::<f64>();
-        Level { adj, self_loop, two_m }
+        let two_m: f64 = adj
+            .iter()
+            .flat_map(|r| r.iter().map(|&(_, w)| w))
+            .sum::<f64>();
+        Level {
+            adj,
+            self_loop,
+            two_m,
+        }
     }
 }
 
@@ -104,8 +110,7 @@ fn local_moving(level: &Level, rng: &mut StdRng) -> (Vec<u32>, bool) {
                 if c == cu {
                     continue;
                 }
-                let gain =
-                    weight_to[c as usize] - sigma_tot[c as usize] * degrees[u] / two_m;
+                let gain = weight_to[c as usize] - sigma_tot[c as usize] * degrees[u] / two_m;
                 if gain > best_gain + 1e-12 {
                     best_gain = gain;
                     best_c = c;
@@ -168,7 +173,11 @@ fn aggregate(level: &Level, dense: &[u32], k: usize) -> Level {
     for row in &mut adj {
         row.sort_by_key(|&(v, _)| v);
     }
-    Level { adj, self_loop, two_m: level.two_m }
+    Level {
+        adj,
+        self_loop,
+        two_m: level.two_m,
+    }
 }
 
 /// Runs multi-level Louvain and returns the detected communities, each a
@@ -298,7 +307,11 @@ mod tests {
         let pp = planted_partition(150, 5, 0.5, 0.002, &mut rng);
         let comms = louvain(&pp.graph, 11);
         // With this separation Louvain should find close to 5 communities.
-        assert!(comms.len() >= 4 && comms.len() <= 8, "found {}", comms.len());
+        assert!(
+            comms.len() >= 4 && comms.len() <= 8,
+            "found {}",
+            comms.len()
+        );
         // Modularity should be clearly positive.
         let q = crate::modularity::modularity(&pp.graph, &comms);
         assert!(q > 0.5, "modularity {q} too low");
@@ -361,8 +374,7 @@ mod tests {
                 // Collect the fine communities intersecting this coarse one.
                 let fines: std::collections::HashSet<usize> =
                     coarse.iter().map(|v| fine_of[v.index()]).collect();
-                let union_size: usize =
-                    fines.iter().map(|&fi| w[0][fi].len()).sum();
+                let union_size: usize = fines.iter().map(|&fi| w[0][fi].len()).sum();
                 assert_eq!(union_size, coarse.len(), "coarse splits a fine community");
             }
         }

@@ -98,8 +98,7 @@ pub fn purity(n: usize, a: &[Vec<NodeId>], truth: &[Vec<NodeId>]) -> f64 {
     let lt = labels(n, truth);
     let mut correct = 0usize;
     for members in a {
-        let mut counts: std::collections::HashMap<usize, usize> =
-            std::collections::HashMap::new();
+        let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
         for &v in members {
             *counts.entry(lt[v.index()]).or_insert(0) += 1;
         }

@@ -90,7 +90,10 @@ mod tests {
         let g = two_cliques();
         let q = modularity(
             &g,
-            &[vec![0.into(), 1.into(), 2.into()], vec![3.into(), 4.into(), 5.into()]],
+            &[
+                vec![0.into(), 1.into(), 2.into()],
+                vec![3.into(), 4.into(), 5.into()],
+            ],
         );
         assert!((q - 0.5).abs() < 1e-12, "q={q}");
     }
@@ -134,7 +137,10 @@ mod tests {
         let g = two_cliques();
         let q = modularity(
             &g,
-            &[vec![0.into(), 1.into(), 2.into()], vec![3.into(), 4.into(), 5.into()]],
+            &[
+                vec![0.into(), 1.into(), 2.into()],
+                vec![3.into(), 4.into(), 5.into()],
+            ],
         );
         assert!(q <= 1.0);
     }

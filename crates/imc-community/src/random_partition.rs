@@ -42,8 +42,10 @@ pub fn random_partition(n: u32, r: u32, seed: u64) -> Vec<Vec<NodeId>> {
     let mut pos = 0usize;
     for i in 0..r as usize {
         let size = base + usize::from(i < extra);
-        let mut members: Vec<NodeId> =
-            nodes[pos..pos + size].iter().map(|&v| NodeId::new(v)).collect();
+        let mut members: Vec<NodeId> = nodes[pos..pos + size]
+            .iter()
+            .map(|&v| NodeId::new(v))
+            .collect();
         members.sort();
         parts.push(members);
         pos += size;

@@ -25,10 +25,7 @@ use imc_graph::NodeId;
 /// assert_eq!(parts.len(), 3); // ceil(10/4)
 /// assert!(parts.iter().all(|p| p.len() <= 4));
 /// ```
-pub fn split_larger_than(
-    communities: Vec<Vec<NodeId>>,
-    cap: usize,
-) -> Vec<Vec<NodeId>> {
+pub fn split_larger_than(communities: Vec<Vec<NodeId>>, cap: usize) -> Vec<Vec<NodeId>> {
     assert!(cap > 0, "size cap must be positive");
     let mut out = Vec::with_capacity(communities.len());
     for mut members in communities {

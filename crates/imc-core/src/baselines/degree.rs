@@ -8,7 +8,10 @@ pub fn degree_seeds(graph: &Graph, k: usize) -> Vec<NodeId> {
     let k = k.min(graph.node_count());
     let mut nodes: Vec<NodeId> = graph.nodes().collect();
     nodes.sort_by(|a, b| {
-        graph.out_degree(*b).cmp(&graph.out_degree(*a)).then(a.cmp(b))
+        graph
+            .out_degree(*b)
+            .cmp(&graph.out_degree(*a))
+            .then(a.cmp(b))
     });
     nodes.truncate(k);
     nodes

@@ -34,7 +34,11 @@ pub fn hbc_seeds(graph: &Graph, communities: &CommunitySet, k: usize) -> Vec<Nod
         .map(|v| (hbc_score(graph, communities, v), v.raw()))
         .collect();
     scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-    scored.into_iter().take(k).map(|(_, v)| NodeId::new(v)).collect()
+    scored
+        .into_iter()
+        .take(k)
+        .map(|(_, v)| NodeId::new(v))
+        .collect()
 }
 
 #[cfg(test)]
@@ -83,8 +87,7 @@ mod tests {
         let mut b = GraphBuilder::new(3);
         b.add_edge(0, 2, 1.0).unwrap();
         let g = b.build().unwrap();
-        let cs =
-            CommunitySet::from_parts(3, vec![(vec![NodeId::new(1)], 1, 5.0)]).unwrap();
+        let cs = CommunitySet::from_parts(3, vec![(vec![NodeId::new(1)], 1, 5.0)]).unwrap();
         assert_eq!(hbc_score(&g, &cs, NodeId::new(0)), 0.0);
     }
 
@@ -99,8 +102,7 @@ mod tests {
     #[test]
     fn tie_break_prefers_smaller_id() {
         let g = GraphBuilder::new(3).build().unwrap();
-        let cs =
-            CommunitySet::from_parts(3, vec![(vec![NodeId::new(0)], 1, 1.0)]).unwrap();
+        let cs = CommunitySet::from_parts(3, vec![(vec![NodeId::new(0)], 1, 1.0)]).unwrap();
         // All scores 0: order must be 0, 1, 2.
         assert_eq!(
             hbc_seeds(&g, &cs, 3),

@@ -16,12 +16,7 @@ pub fn im_seeds(graph: &Graph, k: usize, seed: u64) -> Vec<NodeId> {
 }
 
 /// Like [`im_seeds`] with an explicit RIS configuration.
-pub fn im_seeds_with(
-    graph: &Graph,
-    k: usize,
-    config: &RisImConfig,
-    seed: u64,
-) -> Vec<NodeId> {
+pub fn im_seeds_with(graph: &Graph, k: usize, config: &RisImConfig, seed: u64) -> Vec<NodeId> {
     let result = ris_im(graph, k, config, seed);
     let mut seeds = result.seeds;
     // RIS can return fewer than k when coverage saturates; pad by degree.
@@ -32,7 +27,10 @@ pub fn im_seeds_with(
         }
         let mut rest: Vec<NodeId> = graph.nodes().filter(|v| !used[v.index()]).collect();
         rest.sort_by(|a, b| {
-            graph.out_degree(*b).cmp(&graph.out_degree(*a)).then(a.cmp(b))
+            graph
+                .out_degree(*b)
+                .cmp(&graph.out_degree(*a))
+                .then(a.cmp(b))
         });
         for v in rest {
             if seeds.len() >= k.min(graph.node_count()) {

@@ -101,8 +101,8 @@ mod tests {
         CommunitySet::from_parts(
             10,
             vec![
-                (vec![NodeId::new(0), NodeId::new(1)], 2, 6.0),  // cost 2, value 6
-                (vec![NodeId::new(2), NodeId::new(3)], 2, 5.0),  // cost 2, value 5
+                (vec![NodeId::new(0), NodeId::new(1)], 2, 6.0), // cost 2, value 6
+                (vec![NodeId::new(2), NodeId::new(3)], 2, 5.0), // cost 2, value 5
                 (vec![NodeId::new(4), NodeId::new(5), NodeId::new(6)], 3, 8.0), // cost 3, value 8
             ],
         )
@@ -146,7 +146,12 @@ mod tests {
         s.sort();
         assert_eq!(
             s,
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3)
+            ]
         );
     }
 

@@ -11,15 +11,15 @@
 //!   beyond the paper, used in ablations).
 
 pub mod degree;
-pub mod kcore;
 pub mod hbc;
 pub mod im;
+pub mod kcore;
 pub mod ks;
 pub mod pagerank;
 
 pub use degree::degree_seeds;
-pub use kcore::kcore_seeds;
 pub use hbc::hbc_seeds;
 pub use im::im_seeds;
+pub use kcore::kcore_seeds;
 pub use ks::ks_seeds;
 pub use pagerank::pagerank_seeds;

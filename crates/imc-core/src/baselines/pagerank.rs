@@ -59,7 +59,9 @@ pub fn pagerank_seeds(graph: &Graph, k: usize) -> Vec<NodeId> {
     let scores = pagerank(graph, 0.85, 100, 1e-9);
     let mut nodes: Vec<u32> = (0..graph.node_count() as u32).collect();
     nodes.sort_by(|&a, &b| {
-        scores[b as usize].total_cmp(&scores[a as usize]).then(a.cmp(&b))
+        scores[b as usize]
+            .total_cmp(&scores[a as usize])
+            .then(a.cmp(&b))
     });
     nodes.into_iter().take(k).map(NodeId::new).collect()
 }

@@ -45,9 +45,7 @@ impl CoverSet {
     pub fn get(&self, i: usize) -> bool {
         match self {
             CoverSet::Small(w) => i < 64 && (*w >> i) & 1 == 1,
-            CoverSet::Large(limbs) => {
-                limbs.get(i / 64).is_some_and(|l| (*l >> (i % 64)) & 1 == 1)
-            }
+            CoverSet::Large(limbs) => limbs.get(i / 64).is_some_and(|l| (*l >> (i % 64)) & 1 == 1),
         }
     }
 
@@ -91,7 +89,10 @@ impl CoverSet {
             (CoverSet::Small(a), CoverSet::Small(b)) => (a | b).count_ones(),
             (CoverSet::Large(a), CoverSet::Large(b)) => {
                 assert_eq!(a.len(), b.len(), "cover set width mismatch");
-                a.iter().zip(b.iter()).map(|(x, y)| (x | y).count_ones()).sum()
+                a.iter()
+                    .zip(b.iter())
+                    .map(|(x, y)| (x | y).count_ones())
+                    .sum()
             }
             _ => panic!("cover set representation mismatch"),
         }
@@ -109,7 +110,10 @@ impl CoverSet {
             (CoverSet::Small(a), CoverSet::Small(b)) => (a & !b).count_ones(),
             (CoverSet::Large(a), CoverSet::Large(b)) => {
                 assert_eq!(a.len(), b.len(), "cover set width mismatch");
-                a.iter().zip(b.iter()).map(|(x, y)| (x & !y).count_ones()).sum()
+                a.iter()
+                    .zip(b.iter())
+                    .map(|(x, y)| (x & !y).count_ones())
+                    .sum()
             }
             _ => panic!("cover set representation mismatch"),
         }
@@ -121,9 +125,7 @@ impl CoverSet {
             (CoverSet::Small(a), CoverSet::Small(b)) => CoverSet::Small(a & !b),
             (CoverSet::Large(a), CoverSet::Large(b)) => {
                 assert_eq!(a.len(), b.len(), "cover set width mismatch");
-                CoverSet::Large(
-                    a.iter().zip(b.iter()).map(|(x, y)| x & !y).collect(),
-                )
+                CoverSet::Large(a.iter().zip(b.iter()).map(|(x, y)| x & !y).collect())
             }
             _ => panic!("cover set representation mismatch"),
         }

@@ -74,9 +74,12 @@ pub fn psi(
     ] {
         assert!(v > 0.0 && v < 1.0, "{name}={v} must be in (0,1)");
     }
-    assert!(alpha > 0.0 && alpha <= 1.0, "alpha={alpha} must be in (0,1]");
-    let lead = params.total_benefit * params.max_threshold as f64
-        / (params.min_benefit * params.k as f64);
+    assert!(
+        alpha > 0.0 && alpha <= 1.0,
+        "alpha={alpha} must be in (0,1]"
+    );
+    let lead =
+        params.total_benefit * params.max_threshold as f64 / (params.min_benefit * params.k as f64);
     let first = 2.0 * (1.0 / delta1).ln() / (epsilon1 * epsilon1);
     let ln_nk = ln_binomial(params.node_count as u64, params.k as u64);
     let second = 3.0 * (ln_nk - delta2.ln()) / (alpha * alpha * epsilon2 * epsilon2);
@@ -102,8 +105,7 @@ pub fn lambda(epsilon1: f64, epsilon2: f64, epsilon3: f64, delta: f64) -> f64 {
     ] {
         assert!(v > 0.0 && v < 1.0, "{name}={v} must be in (0,1)");
     }
-    (1.0 + epsilon1) * (1.0 + epsilon2) * 3.0 * (3.0 / (2.0 * delta)).ln()
-        / (epsilon3 * epsilon3)
+    (1.0 + epsilon1) * (1.0 + epsilon2) * 3.0 * (3.0 / (2.0 * delta)).ln() / (epsilon3 * epsilon3)
 }
 
 #[cfg(test)]

@@ -80,7 +80,10 @@ impl RicCollection {
     pub fn push(&mut self, sample: RicSample) {
         let si = self.samples.len() as u32;
         for (pos, &v) in sample.nodes.iter().enumerate() {
-            self.index[v.index()].push(SampleRef { sample: si, pos: pos as u32 });
+            self.index[v.index()].push(SampleRef {
+                sample: si,
+                pos: pos as u32,
+            });
         }
         self.samples.push(sample);
     }
@@ -95,6 +98,99 @@ impl RicCollection {
         self.samples.reserve(count);
         for _ in 0..count {
             self.push(sampler.sample(rng));
+        }
+    }
+
+    /// Generates and appends `count` samples using multiple threads, with
+    /// results bit-identical regardless of thread count or scheduling.
+    ///
+    /// Mirrors the sharding scheme of `imc_diffusion::parallel`: the work
+    /// is split into a fixed number of shards (independent of the machine),
+    /// shard `i` samples from an RNG seeded with `base_seed + i`, and the
+    /// shards are appended in shard order. The sample stream differs from
+    /// [`extend_with`](Self::extend_with) (which draws every sample from
+    /// one sequential RNG), so callers pick one scheme and stay with it.
+    pub fn extend_parallel(&mut self, sampler: &RicSampler<'_>, count: usize, base_seed: u64) {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        self.extend_parallel_with_workers(sampler, count, base_seed, workers);
+    }
+
+    /// [`extend_parallel`](Self::extend_parallel) with an explicit worker
+    /// count — exposed so callers (and the determinism tests) can pin the
+    /// level of parallelism. Any `workers` value produces the same
+    /// collection; `0` is treated as `1`.
+    pub fn extend_parallel_with_workers(
+        &mut self,
+        sampler: &RicSampler<'_>,
+        count: usize,
+        base_seed: u64,
+        workers: usize,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        if count == 0 {
+            return;
+        }
+        // Fixed shard count (independent of the machine) keeps the output
+        // reproducible across hosts; worker threads just consume shards.
+        let shards = if count < 64 { 1 } else { 16 };
+        let per = count / shards;
+        let extra = count % shards;
+        let plan: Vec<(u64, usize)> = (0..shards)
+            .map(|i| {
+                (
+                    base_seed.wrapping_add(i as u64),
+                    per + usize::from(i < extra),
+                )
+            })
+            .collect();
+
+        fn sample_shard(sampler: &RicSampler<'_>, seed: u64, n: usize) -> Vec<RicSample> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..n).map(|_| sampler.sample(&mut rng)).collect()
+        }
+
+        let workers = workers.clamp(1, plan.len());
+        let shard_outputs: Vec<Vec<RicSample>> = if workers <= 1 {
+            plan.iter()
+                .map(|&(seed, n)| sample_shard(sampler, seed, n))
+                .collect()
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let slots: Vec<std::sync::Mutex<Vec<RicSample>>> = plan
+                .iter()
+                .map(|_| std::sync::Mutex::new(Vec::new()))
+                .collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= plan.len() {
+                            break;
+                        }
+                        let (seed, n) = plan[i];
+                        *slots[i].lock().expect("no poisoned shards") =
+                            sample_shard(sampler, seed, n);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|m| m.into_inner().expect("threads joined"))
+                .collect()
+        };
+
+        self.samples.reserve(count);
+        // Append in shard order so the collection (samples *and* inverted
+        // index) is independent of scheduling.
+        for shard in shard_outputs {
+            for s in shard {
+                self.push(s);
+            }
         }
     }
 
@@ -140,7 +236,10 @@ impl RicCollection {
 
     /// Number of samples influenced by `S`: `Σ_g X_g(S)`.
     pub fn influenced_count(&self, seeds: &[NodeId]) -> usize {
-        self.samples.iter().filter(|g| g.influenced_by(seeds)).count()
+        self.samples
+            .iter()
+            .filter(|g| g.influenced_by(seeds))
+            .count()
     }
 
     /// The estimator `ĉ_R(S)` (eq. 3). Returns 0 for an empty collection.
@@ -157,7 +256,11 @@ impl RicCollection {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let frac: f64 = self.samples.iter().map(|g| g.fractional_coverage(seeds)).sum();
+        let frac: f64 = self
+            .samples
+            .iter()
+            .map(|g| g.fractional_coverage(seeds))
+            .sum();
         self.total_benefit * frac / self.samples.len() as f64
     }
 
@@ -353,13 +456,80 @@ mod tests {
     }
 
     #[test]
+    fn extend_parallel_bit_identical_across_worker_counts() {
+        let mut b = GraphBuilder::new(20);
+        for u in 0..19u32 {
+            b.add_edge(u, u + 1, 0.4).unwrap();
+        }
+        let g = b.build().unwrap();
+        let cs = CommunitySet::from_parts(
+            20,
+            vec![
+                ((0..5).map(NodeId::new).collect(), 2, 1.0),
+                ((10..15).map(NodeId::new).collect(), 1, 3.0),
+            ],
+        )
+        .unwrap();
+        let sampler = RicSampler::new(&g, &cs);
+        let mut reference = RicCollection::for_sampler(&sampler);
+        reference.extend_parallel_with_workers(&sampler, 300, 77, 1);
+        for workers in [2, 4, 8] {
+            let mut col = RicCollection::for_sampler(&sampler);
+            col.extend_parallel_with_workers(&sampler, 300, 77, workers);
+            assert_eq!(col.samples(), reference.samples(), "workers={workers}");
+            for v in 0..20 {
+                assert_eq!(
+                    col.touched_by(NodeId::new(v)),
+                    reference.touched_by(NodeId::new(v)),
+                    "index mismatch at node {v} with workers={workers}"
+                );
+            }
+        }
+        // The machine-default entry point agrees too.
+        let mut auto = RicCollection::for_sampler(&sampler);
+        auto.extend_parallel(&sampler, 300, 77);
+        assert_eq!(auto.samples(), reference.samples());
+    }
+
+    #[test]
+    fn extend_parallel_small_count_single_shard() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let cs = CommunitySet::from_parts(3, vec![(vec![NodeId::new(1)], 1, 2.0)]).unwrap();
+        let sampler = RicSampler::new(&g, &cs);
+        // Below the shard threshold the plan is one shard seeded base_seed,
+        // i.e. identical to a sequential draw from StdRng(base_seed).
+        let mut par = RicCollection::for_sampler(&sampler);
+        par.extend_parallel_with_workers(&sampler, 10, 5, 4);
+        let mut seq = RicCollection::for_sampler(&sampler);
+        seq.extend_with(&sampler, 10, &mut StdRng::seed_from_u64(5));
+        assert_eq!(par.samples(), seq.samples());
+    }
+
+    #[test]
+    fn extend_parallel_zero_count_is_noop() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let cs = CommunitySet::from_parts(3, vec![(vec![NodeId::new(1)], 1, 2.0)]).unwrap();
+        let sampler = RicSampler::new(&g, &cs);
+        let mut col = RicCollection::for_sampler(&sampler);
+        col.extend_parallel(&sampler, 0, 1);
+        assert!(col.is_empty());
+    }
+
+    #[test]
     fn extend_with_generates_from_sampler() {
         let mut b = GraphBuilder::new(3);
         b.add_edge(0, 1, 1.0).unwrap();
         let g = b.build().unwrap();
         let cs = CommunitySet::from_parts(
             3,
-            vec![(vec![NodeId::new(1)], 1, 2.0), (vec![NodeId::new(2)], 1, 2.0)],
+            vec![
+                (vec![NodeId::new(1)], 1, 2.0),
+                (vec![NodeId::new(2)], 1, 2.0),
+            ],
         )
         .unwrap();
         let sampler = RicSampler::new(&g, &cs);

@@ -65,8 +65,9 @@ pub fn probe_submodularity<R: Rng + ?Sized>(
     }
     for _ in 0..trials {
         let base_size = rng.random_range(0..=max_base);
-        let mut base: Vec<NodeId> =
-            (0..base_size).map(|_| NodeId::new(rng.random_range(0..n))).collect();
+        let mut base: Vec<NodeId> = (0..base_size)
+            .map(|_| NodeId::new(rng.random_range(0..n)))
+            .collect();
         base.sort();
         base.dedup();
         let v = NodeId::new(rng.random_range(0..n));
@@ -170,6 +171,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let trials = 300;
         let report = probe_submodularity(&col, 1, trials, &mut rng);
-        assert_eq!(report.diminishing + report.increasing + report.skipped, trials);
+        assert_eq!(
+            report.diminishing + report.increasing + report.skipped,
+            trials
+        );
     }
 }

@@ -48,17 +48,26 @@ impl fmt::Display for ImcError {
             ImcError::Diffusion(e) => write!(f, "diffusion error: {e}"),
             ImcError::Graph(e) => write!(f, "graph error: {e}"),
             ImcError::InvalidBudget { k, node_count } => {
-                write!(f, "seed budget {k} invalid for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "seed budget {k} invalid for graph with {node_count} nodes"
+                )
             }
             ImcError::NoCommunities => write!(f, "instance has no communities"),
-            ImcError::Mismatched { graph_nodes, community_nodes } => write!(
+            ImcError::Mismatched {
+                graph_nodes,
+                community_nodes,
+            } => write!(
                 f,
                 "community set built for {community_nodes} nodes but graph has {graph_nodes}"
             ),
             ImcError::InvalidParameter { name } => {
                 write!(f, "parameter {name} out of range")
             }
-            ImcError::ThresholdTooLarge { bound, max_threshold } => write!(
+            ImcError::ThresholdTooLarge {
+                bound,
+                max_threshold,
+            } => write!(
                 f,
                 "algorithm requires thresholds at most {bound} but instance has {max_threshold}"
             ),
@@ -101,11 +110,21 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(ImcError::NoCommunities.to_string().contains("no communities"));
-        assert!(ImcError::InvalidBudget { k: 0, node_count: 5 }.to_string().contains('0'));
-        assert!(ImcError::ThresholdTooLarge { bound: 2, max_threshold: 4 }
+        assert!(ImcError::NoCommunities
             .to_string()
-            .contains('4'));
+            .contains("no communities"));
+        assert!(ImcError::InvalidBudget {
+            k: 0,
+            node_count: 5
+        }
+        .to_string()
+        .contains('0'));
+        assert!(ImcError::ThresholdTooLarge {
+            bound: 2,
+            max_threshold: 4
+        }
+        .to_string()
+        .contains('4'));
     }
 
     #[test]

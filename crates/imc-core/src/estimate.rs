@@ -73,15 +73,11 @@ mod tests {
         bld.add_edge(0, 1, 1.0).unwrap();
         bld.add_edge(0, 2, 1.0).unwrap();
         let g = bld.build().unwrap();
-        let cs = CommunitySet::from_parts(
-            3,
-            vec![(vec![NodeId::new(1), NodeId::new(2)], 2, 5.0)],
-        )
-        .unwrap();
+        let cs = CommunitySet::from_parts(3, vec![(vec![NodeId::new(1), NodeId::new(2)], 2, 5.0)])
+            .unwrap();
         let sampler = RicSampler::new(&g, &cs);
         let mut rng = StdRng::seed_from_u64(1);
-        let out =
-            estimate_c(&sampler, &[NodeId::new(0)], 0.2, 0.2, 100_000, &mut rng).unwrap();
+        let out = estimate_c(&sampler, &[NodeId::new(0)], 0.2, 0.2, 100_000, &mut rng).unwrap();
         // Every sample influenced: T = ceil(Λ′), estimate = b·Λ′/⌈Λ′⌉ ≈ b.
         assert!((out.estimate - 5.0).abs() < 0.05, "estimate={out:?}");
     }
@@ -92,23 +88,18 @@ mod tests {
         let mut bld = GraphBuilder::new(2);
         bld.add_edge(0, 1, 0.5).unwrap();
         let g = bld.build().unwrap();
-        let cs =
-            CommunitySet::from_parts(2, vec![(vec![NodeId::new(1)], 1, 2.0)]).unwrap();
+        let cs = CommunitySet::from_parts(2, vec![(vec![NodeId::new(1)], 1, 2.0)]).unwrap();
         let sampler = RicSampler::new(&g, &cs);
         let mut rng = StdRng::seed_from_u64(3);
-        let out =
-            estimate_c(&sampler, &[NodeId::new(0)], 0.1, 0.1, 1_000_000, &mut rng).unwrap();
+        let out = estimate_c(&sampler, &[NodeId::new(0)], 0.1, 0.1, 1_000_000, &mut rng).unwrap();
         assert!((out.estimate - 1.0).abs() < 0.12, "estimate={out:?}");
     }
 
     #[test]
     fn hopeless_seed_exhausts_budget() {
         let g = GraphBuilder::new(3).build().unwrap();
-        let cs = CommunitySet::from_parts(
-            3,
-            vec![(vec![NodeId::new(1), NodeId::new(2)], 2, 1.0)],
-        )
-        .unwrap();
+        let cs = CommunitySet::from_parts(3, vec![(vec![NodeId::new(1), NodeId::new(2)], 2, 1.0)])
+            .unwrap();
         let sampler = RicSampler::new(&g, &cs);
         let mut rng = StdRng::seed_from_u64(5);
         assert!(estimate_c(&sampler, &[NodeId::new(0)], 0.2, 0.2, 500, &mut rng).is_none());
@@ -117,13 +108,11 @@ mod tests {
     #[test]
     fn samples_used_reported() {
         let g = GraphBuilder::new(2).build().unwrap();
-        let cs =
-            CommunitySet::from_parts(2, vec![(vec![NodeId::new(1)], 1, 1.0)]).unwrap();
+        let cs = CommunitySet::from_parts(2, vec![(vec![NodeId::new(1)], 1, 1.0)]).unwrap();
         let sampler = RicSampler::new(&g, &cs);
         let mut rng = StdRng::seed_from_u64(7);
         // Seeding the member itself influences every sample.
-        let out =
-            estimate_c(&sampler, &[NodeId::new(1)], 0.2, 0.2, 100_000, &mut rng).unwrap();
+        let out = estimate_c(&sampler, &[NodeId::new(1)], 0.2, 0.2, 100_000, &mut rng).unwrap();
         let lambda = stopping_threshold(0.2, 0.2);
         assert_eq!(out.samples_used, lambda.ceil() as u64);
     }

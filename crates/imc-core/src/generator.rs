@@ -69,13 +69,21 @@ impl<'a> RicSampler<'a> {
         communities: &'a CommunitySet,
         model: LiveEdgeModel,
     ) -> Self {
-        assert!(!communities.is_empty(), "cannot sample from zero communities");
+        assert!(
+            !communities.is_empty(),
+            "cannot sample from zero communities"
+        );
         assert_eq!(
             communities.node_count(),
             graph.node_count(),
             "community set built for a different graph"
         );
-        RicSampler { graph, communities, benefit_cdf: communities.benefit_cdf(), model }
+        RicSampler {
+            graph,
+            communities,
+            benefit_cdf: communities.benefit_cdf(),
+            model,
+        }
     }
 
     /// The live-edge model this sampler draws from.
@@ -108,11 +116,7 @@ impl<'a> RicSampler<'a> {
 
     /// Generates a RIC sample with a *fixed* source community — used by
     /// tests and stratified diagnostics.
-    pub fn sample_rooted<R: Rng + ?Sized>(
-        &self,
-        cid: CommunityId,
-        rng: &mut R,
-    ) -> RicSample {
+    pub fn sample_rooted<R: Rng + ?Sized>(&self, cid: CommunityId, rng: &mut R) -> RicSample {
         let community = self.communities.get(cid);
         let members = &community.members;
         let width = members.len();
@@ -196,8 +200,7 @@ impl<'a> RicSampler<'a> {
         // --- Phase 2: per-member reverse reachability -> cover bitsets. ---
         // BFS from each member over live_in adjacency; every reached local
         // node gets the member's bit.
-        let mut covers: Vec<CoverSet> =
-            (0..nodes.len()).map(|_| CoverSet::new(width)).collect();
+        let mut covers: Vec<CoverSet> = (0..nodes.len()).map(|_| CoverSet::new(width)).collect();
         let mut seen = vec![u32::MAX; nodes.len()]; // stamp = member index
         let mut stack: Vec<u32> = Vec::new();
         for (mi, &m) in members.iter().enumerate() {
@@ -219,8 +222,7 @@ impl<'a> RicSampler<'a> {
         let mut order: Vec<usize> = (0..nodes.len()).collect();
         order.sort_by_key(|&i| nodes[i]);
         let sorted_nodes: Vec<NodeId> = order.iter().map(|&i| nodes[i]).collect();
-        let sorted_covers: Vec<CoverSet> =
-            order.iter().map(|&i| covers[i].clone()).collect();
+        let sorted_covers: Vec<CoverSet> = order.iter().map(|&i| covers[i].clone()).collect();
 
         RicSample {
             community: cid,
@@ -275,7 +277,12 @@ mod tests {
         // Sample contains 0, 1, 2, 4 (3 touches nothing).
         assert_eq!(
             s.nodes,
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(4)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(4)
+            ]
         );
         // Node 0 and node 4 reach both members.
         assert_eq!(s.cover_of(NodeId::new(0)).unwrap().count_ones(), 2);
@@ -442,7 +449,10 @@ mod tests {
         let ric_rate = hits as f64 / runs as f64;
         // Forward LT: node 1 activates iff θ₁ ≤ 0.5, then 2 iff θ₂ ≤ 0.6.
         let expected = 0.5 * 0.6;
-        assert!((ric_rate - expected).abs() < 0.02, "ric={ric_rate} lt={expected}");
+        assert!(
+            (ric_rate - expected).abs() < 0.02,
+            "ric={ric_rate} lt={expected}"
+        );
     }
 
     #[test]

@@ -46,7 +46,12 @@ pub struct ImcafConfig {
 impl ImcafConfig {
     /// The paper's experimental setting: `ε = δ = 0.2`.
     pub fn paper_defaults(k: usize) -> Self {
-        ImcafConfig { k, epsilon: 0.2, delta: 0.2, max_samples: 1 << 20 }
+        ImcafConfig {
+            k,
+            epsilon: 0.2,
+            delta: 0.2,
+            max_samples: 1 << 20,
+        }
     }
 }
 
@@ -136,11 +141,8 @@ pub fn imcaf_with_trace(
     instance.validate_budget(config.k)?;
 
     let k = config.k;
-    let alpha = algorithm.approximation_ratio(
-        instance.community_count(),
-        instance.max_threshold(),
-        k,
-    );
+    let alpha =
+        algorithm.approximation_ratio(instance.community_count(), instance.max_threshold(), k);
 
     // Ψ splits (paper §VI.A): ε₁ = ε₂ = ε/2, δ₁ = δ₂ = δ/2.
     let params = BoundParams {
@@ -186,8 +188,7 @@ pub fn imcaf_with_trace(
             let log_rounds = (psi_capped as f64 / check_lambda).log2().max(1.0);
             let delta_est = (config.delta / (3.0 * log_rounds)).clamp(1e-9, 0.999);
             let t_max = (collection.len() as f64 * (1.0 + es) / (1.0 - es)).ceil() as u64;
-            if let Some(out) =
-                estimate_c(&sampler, &solution.seeds, es, delta_est, t_max, &mut rng)
+            if let Some(out) = estimate_c(&sampler, &solution.seeds, es, delta_est, t_max, &mut rng)
             {
                 record.independent_estimate = Some(out.estimate);
                 if solution.estimate <= (1.0 + es) * out.estimate {
@@ -259,7 +260,10 @@ mod tests {
     #[test]
     fn returns_k_distinct_seeds() {
         let inst = small_instance();
-        let cfg = ImcafConfig { max_samples: 20_000, ..ImcafConfig::paper_defaults(4) };
+        let cfg = ImcafConfig {
+            max_samples: 20_000,
+            ..ImcafConfig::paper_defaults(4)
+        };
         let res = imcaf(&inst, MaxrAlgorithm::Ubg, &cfg, 1).unwrap();
         assert_eq!(res.seeds.len(), 4);
         let uniq: std::collections::HashSet<_> = res.seeds.iter().collect();
@@ -271,7 +275,10 @@ mod tests {
     #[test]
     fn all_algorithms_run_on_bounded_instance() {
         let inst = small_instance();
-        let cfg = ImcafConfig { max_samples: 5_000, ..ImcafConfig::paper_defaults(4) };
+        let cfg = ImcafConfig {
+            max_samples: 5_000,
+            ..ImcafConfig::paper_defaults(4)
+        };
         for algo in [
             MaxrAlgorithm::Greedy,
             MaxrAlgorithm::Ubg,
@@ -288,7 +295,10 @@ mod tests {
     #[test]
     fn estimate_close_to_monte_carlo_ground_truth() {
         let inst = small_instance();
-        let cfg = ImcafConfig { max_samples: 40_000, ..ImcafConfig::paper_defaults(4) };
+        let cfg = ImcafConfig {
+            max_samples: 40_000,
+            ..ImcafConfig::paper_defaults(4)
+        };
         let res = imcaf(&inst, MaxrAlgorithm::Ubg, &cfg, 7).unwrap();
         let mc = imc_diffusion::benefit::monte_carlo_benefit(
             inst.graph(),
@@ -310,11 +320,7 @@ mod tests {
         let graph = b.build().unwrap();
         let cs = CommunitySet::from_parts(
             8,
-            vec![(
-                (1..6).map(imc_graph::NodeId::new).collect(),
-                4,
-                5.0,
-            )],
+            vec![((1..6).map(imc_graph::NodeId::new).collect(), 4, 5.0)],
         )
         .unwrap();
         let inst = ImcInstance::new(graph, cs).unwrap();
@@ -341,7 +347,10 @@ mod tests {
     #[test]
     fn tiny_cap_reports_cap_reached() {
         let inst = small_instance();
-        let cfg = ImcafConfig { max_samples: 8, ..ImcafConfig::paper_defaults(2) };
+        let cfg = ImcafConfig {
+            max_samples: 8,
+            ..ImcafConfig::paper_defaults(2)
+        };
         let res = imcaf(&inst, MaxrAlgorithm::Maf, &cfg, 3).unwrap();
         assert!(res.samples_used <= 8);
         // With 8 samples the Λ check can never pass (Λ ≈ 194 for ε=0.2).
@@ -351,7 +360,10 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let inst = small_instance();
-        let cfg = ImcafConfig { max_samples: 4_000, ..ImcafConfig::paper_defaults(3) };
+        let cfg = ImcafConfig {
+            max_samples: 4_000,
+            ..ImcafConfig::paper_defaults(3)
+        };
         let a = imcaf(&inst, MaxrAlgorithm::Ubg, &cfg, 5).unwrap();
         let b = imcaf(&inst, MaxrAlgorithm::Ubg, &cfg, 5).unwrap();
         assert_eq!(a, b);
@@ -360,9 +372,11 @@ mod tests {
     #[test]
     fn trace_records_doubling_schedule() {
         let inst = small_instance();
-        let cfg = ImcafConfig { max_samples: 8_000, ..ImcafConfig::paper_defaults(3) };
-        let (result, trace) =
-            super::imcaf_with_trace(&inst, MaxrAlgorithm::Maf, &cfg, 9).unwrap();
+        let cfg = ImcafConfig {
+            max_samples: 8_000,
+            ..ImcafConfig::paper_defaults(3)
+        };
+        let (result, trace) = super::imcaf_with_trace(&inst, MaxrAlgorithm::Maf, &cfg, 9).unwrap();
         assert_eq!(trace.len(), result.rounds);
         // Sample counts are non-decreasing and (until the cap) doubling.
         for w in trace.windows(2) {

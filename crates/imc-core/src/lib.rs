@@ -68,6 +68,7 @@ pub mod bounds;
 pub mod diagnostics;
 pub mod estimate;
 pub mod maxr;
+pub mod snapshot;
 
 pub use bitset::CoverSet;
 pub use collection::{CollectionStats, RicCollection, SampleRef};

@@ -35,7 +35,10 @@ pub struct BtConfig {
 
 impl Default for BtConfig {
     fn default() -> Self {
-        BtConfig { depth: 2, candidate_limit: None }
+        BtConfig {
+            depth: 2,
+            candidate_limit: None,
+        }
     }
 }
 
@@ -61,7 +64,10 @@ pub struct BtOutcome {
 pub fn bt(collection: &RicCollection, k: usize, config: &BtConfig) -> BtOutcome {
     assert!(config.depth >= 2, "BT depth must be at least 2");
     assert!(
-        collection.samples().iter().all(|s| s.threshold <= config.depth),
+        collection
+            .samples()
+            .iter()
+            .all(|s| s.threshold <= config.depth),
         "BT^{}: a sample exceeds the threshold bound",
         config.depth
     );
@@ -83,13 +89,21 @@ pub fn bt(collection: &RicCollection, k: usize, config: &BtConfig) -> BtOutcome 
     match best {
         Some((score, u, mut seeds)) => {
             pad_to_k(collection, &mut seeds, k);
-            BtOutcome { seeds, pivot: Some(u), pivot_score: score }
+            BtOutcome {
+                seeds,
+                pivot: Some(u),
+                pivot_score: score,
+            }
         }
         None => {
             // Nothing touches any sample; fall back to padding.
             let mut seeds = Vec::new();
             pad_to_k(collection, &mut seeds, k);
-            BtOutcome { seeds, pivot: None, pivot_score: 0 }
+            BtOutcome {
+                seeds,
+                pivot: None,
+                pivot_score: 0,
+            }
         }
     }
 }
@@ -104,17 +118,16 @@ fn pivot_candidates(collection: &RicCollection, limit: Option<usize>) -> Vec<Nod
         .collect();
     nodes.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
     let take = limit.unwrap_or(nodes.len());
-    nodes.into_iter().take(take).map(|(_, v)| NodeId::new(v)).collect()
+    nodes
+        .into_iter()
+        .take(take)
+        .map(|(_, v)| NodeId::new(v))
+        .collect()
 }
 
 /// Builds `K(u)`: `{u}` plus `k − 1` helpers chosen on the reduced
 /// collection (greedy for residual thresholds ≤ 1, recursive BT otherwise).
-fn seeds_for_pivot(
-    collection: &RicCollection,
-    u: NodeId,
-    k: usize,
-    depth: u32,
-) -> Vec<NodeId> {
+fn seeds_for_pivot(collection: &RicCollection, u: NodeId, k: usize, depth: u32) -> Vec<NodeId> {
     let mut kset = vec![u];
     if k == 1 {
         return kset;
@@ -123,7 +136,15 @@ fn seeds_for_pivot(
     let helpers = if depth <= 2 || reduced.samples().iter().all(|s| s.threshold <= 1) {
         greedy_c(&reduced, k - 1)
     } else {
-        bt(&reduced, k - 1, &BtConfig { depth: depth - 1, candidate_limit: None }).seeds
+        bt(
+            &reduced,
+            k - 1,
+            &BtConfig {
+                depth: depth - 1,
+                candidate_limit: None,
+            },
+        )
+        .seeds
     };
     for h in helpers {
         if h != u && kset.len() < k {
@@ -205,7 +226,10 @@ mod tests {
             threshold,
             community_size: width as u32,
             nodes: entries.iter().map(|&(v, _)| NodeId::new(v)).collect(),
-            covers: entries.iter().map(|&(_, bits)| mk_cover(width, bits)).collect(),
+            covers: entries
+                .iter()
+                .map(|&(_, bits)| mk_cover(width, bits))
+                .collect(),
         }
     }
 
@@ -271,7 +295,14 @@ mod tests {
     #[test]
     fn candidate_limit_restricts_pivots() {
         let col = hub_collection();
-        let limited = bt(&col, 3, &BtConfig { depth: 2, candidate_limit: Some(1) });
+        let limited = bt(
+            &col,
+            3,
+            &BtConfig {
+                depth: 2,
+                candidate_limit: Some(1),
+            },
+        );
         // Node 0 is the most-appearing node, so the limit of 1 still finds
         // the right pivot.
         assert_eq!(limited.pivot, Some(NodeId::new(0)));
@@ -283,7 +314,14 @@ mod tests {
         // reduces to h=2, recursion finds the rest.
         let mut col = RicCollection::new(5, 1, 1.0);
         col.push(sample(0, 3, 3, &[(1, &[0]), (2, &[1]), (3, &[2])]));
-        let out = bt(&col, 3, &BtConfig { depth: 3, candidate_limit: None });
+        let out = bt(
+            &col,
+            3,
+            &BtConfig {
+                depth: 3,
+                candidate_limit: None,
+            },
+        );
         assert_eq!(col.influenced_count(&out.seeds), 1);
         assert_eq!(out.pivot_score, 1);
     }
@@ -317,6 +355,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let col = hub_collection();
-        assert_eq!(bt(&col, 3, &BtConfig::default()), bt(&col, 3, &BtConfig::default()));
+        assert_eq!(
+            bt(&col, 3, &BtConfig::default()),
+            bt(&col, 3, &BtConfig::default())
+        );
     }
 }

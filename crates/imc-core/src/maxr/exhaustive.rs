@@ -33,10 +33,17 @@ pub fn exhaustive(collection: &RicCollection, k: usize) -> ExactSolution {
         .collect();
     let k = k.min(candidates.len().max(1));
     if candidates.is_empty() {
-        return ExactSolution { seeds: Vec::new(), influenced_samples: 0, subsets_evaluated: 1 };
+        return ExactSolution {
+            seeds: Vec::new(),
+            influenced_samples: 0,
+            subsets_evaluated: 1,
+        };
     }
     let space = binomial_capped(candidates.len() as u64, k as u64, 1 << 32);
-    assert!(space < 1 << 32, "search space too large for exhaustive MAXR");
+    assert!(
+        space < 1 << 32,
+        "search space too large for exhaustive MAXR"
+    );
 
     let mut best_seeds: Vec<NodeId> = Vec::new();
     let mut best_score = 0usize;
@@ -79,7 +86,11 @@ pub fn exhaustive(collection: &RicCollection, k: usize) -> ExactSolution {
             }
         }
     }
-    ExactSolution { seeds: best_seeds, influenced_samples: best_score, subsets_evaluated: evaluated }
+    ExactSolution {
+        seeds: best_seeds,
+        influenced_samples: best_score,
+        subsets_evaluated: evaluated,
+    }
 }
 
 /// `C(n, k)` capped at `cap` to avoid overflow.
@@ -191,7 +202,10 @@ mod tests {
     fn incremental_score_matches_batch() {
         let col = trap_collection();
         let seeds = [NodeId::new(0), NodeId::new(1), NodeId::new(2)];
-        assert_eq!(incremental_score(&col, &seeds), col.influenced_count(&seeds));
+        assert_eq!(
+            incremental_score(&col, &seeds),
+            col.influenced_count(&seeds)
+        );
     }
 
     #[test]

@@ -68,15 +68,18 @@ pub fn maf(
     // --- S2: top-k nodes by appearance count. ---
     let counts = collection.node_appearance_counts();
     let mut nodes: Vec<u32> = (0..collection.node_count() as u32).collect();
-    nodes.sort_by(|&a, &b| {
-        counts[b as usize].cmp(&counts[a as usize]).then(a.cmp(&b))
-    });
+    nodes.sort_by(|&a, &b| counts[b as usize].cmp(&counts[a as usize]).then(a.cmp(&b)));
     let s2: Vec<NodeId> = nodes.into_iter().take(k).map(NodeId::new).collect();
 
     let c1 = collection.influenced_count(&s1);
     let c2 = collection.influenced_count(&s2);
     let chose_s1 = c1 >= c2;
-    MafOutcome { seeds: if chose_s1 { s1.clone() } else { s2.clone() }, s1, s2, chose_s1 }
+    MafOutcome {
+        seeds: if chose_s1 { s1.clone() } else { s2.clone() },
+        s1,
+        s2,
+        chose_s1,
+    }
 }
 
 #[cfg(test)]

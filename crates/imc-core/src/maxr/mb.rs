@@ -43,7 +43,11 @@ pub fn mb(
     let bt_score = collection.influenced_count(&bt_out.seeds);
     let chose_bt = bt_score > maf_score;
     MbOutcome {
-        seeds: if chose_bt { bt_out.seeds.clone() } else { maf_out.seeds.clone() },
+        seeds: if chose_bt {
+            bt_out.seeds.clone()
+        } else {
+            maf_out.seeds.clone()
+        },
         maf_seeds: maf_out.seeds,
         bt_seeds: bt_out.seeds,
         chose_bt,
@@ -120,8 +124,7 @@ mod tests {
         let k = 2;
         let out = mb(&cs, &col, k, 3);
         let r = cs.len() as f64;
-        let bound =
-            ((1.0 - 1.0 / std::f64::consts::E) / r * ((k / 2) as f64 / k as f64)).sqrt();
+        let bound = ((1.0 - 1.0 / std::f64::consts::E) / r * ((k / 2) as f64 / k as f64)).sqrt();
         // OPT(k=2) influences 1 sample.
         let opt = 1.0;
         assert!(col.influenced_count(&out.seeds) as f64 >= bound * opt);

@@ -120,8 +120,15 @@ impl MaxrAlgorithm {
                     return Err(ImcError::InvalidParameter { name: "bt depth" });
                 }
                 require_bounded(max_h, *d)?;
-                bt::bt(collection, k, &bt::BtConfig { depth: *d, ..Default::default() })
-                    .seeds
+                bt::bt(
+                    collection,
+                    k,
+                    &bt::BtConfig {
+                        depth: *d,
+                        ..Default::default()
+                    },
+                )
+                .seeds
             }
             MaxrAlgorithm::Mb => {
                 require_bounded(max_h, 2)?;
@@ -130,13 +137,20 @@ impl MaxrAlgorithm {
         };
         let influenced = collection.influenced_count(&seeds);
         let estimate = collection.estimate(&seeds);
-        Ok(MaxrSolution { seeds, influenced_samples: influenced, estimate })
+        Ok(MaxrSolution {
+            seeds,
+            influenced_samples: influenced,
+            estimate,
+        })
     }
 }
 
 fn require_bounded(max_threshold: u32, bound: u32) -> Result<()> {
     if max_threshold > bound {
-        Err(ImcError::ThresholdTooLarge { bound, max_threshold })
+        Err(ImcError::ThresholdTooLarge {
+            bound,
+            max_threshold,
+        })
     } else {
         Ok(())
     }
@@ -183,8 +197,7 @@ mod tests {
             MaxrAlgorithm::Bt,
             MaxrAlgorithm::Mb,
         ];
-        let names: std::collections::HashSet<&str> =
-            algos.iter().map(|a| a.name()).collect();
+        let names: std::collections::HashSet<&str> = algos.iter().map(|a| a.name()).collect();
         assert_eq!(names.len(), algos.len());
     }
 
@@ -200,7 +213,10 @@ mod tests {
         ] {
             for (r, h, k) in [(1usize, 1u32, 1usize), (10, 2, 5), (100, 4, 50)] {
                 let a = algo.approximation_ratio(r, h, k);
-                assert!(a > 0.0 && a <= 1.0, "{algo:?} ratio {a} for r={r} h={h} k={k}");
+                assert!(
+                    a > 0.0 && a <= 1.0,
+                    "{algo:?} ratio {a} for r={r} h={h} k={k}"
+                );
             }
         }
     }
@@ -220,9 +236,7 @@ mod tests {
         assert!((MaxrAlgorithm::Bt.approximation_ratio(3, 2, 7) - expect).abs() < 1e-12);
         // BT^(3) divides by k².
         let expect3 = (1.0 - 1.0 / e) / 49.0;
-        assert!(
-            (MaxrAlgorithm::Btd(3).approximation_ratio(3, 3, 7) - expect3).abs() < 1e-12
-        );
+        assert!((MaxrAlgorithm::Btd(3).approximation_ratio(3, 3, 7) - expect3).abs() < 1e-12);
     }
 
     #[test]

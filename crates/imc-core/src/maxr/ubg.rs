@@ -34,7 +34,11 @@ pub fn ubg(collection: &RicCollection, k: usize) -> UbgOutcome {
     let c_of_nu = collection.estimate(&s_nu);
     let c_of_c = collection.estimate(&s_c);
     let nu_of_nu = collection.nu_estimate(&s_nu);
-    let sandwich_ratio = if nu_of_nu > 0.0 { c_of_nu / nu_of_nu } else { 1.0 };
+    let sandwich_ratio = if nu_of_nu > 0.0 {
+        c_of_nu / nu_of_nu
+    } else {
+        1.0
+    };
     let chose_nu = c_of_nu >= c_of_c;
     UbgOutcome {
         seeds: if chose_nu { s_nu.clone() } else { s_c.clone() },

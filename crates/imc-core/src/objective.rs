@@ -238,8 +238,10 @@ mod tests {
         let col = build_collection();
         let mut st = CoverageState::new(&col);
         let candidates: Vec<NodeId> = (0..6).map(NodeId::new).collect();
-        let before: Vec<f64> =
-            candidates.iter().map(|&v| st.marginal_fraction(v)).collect();
+        let before: Vec<f64> = candidates
+            .iter()
+            .map(|&v| st.marginal_fraction(v))
+            .collect();
         st.add_seed(NodeId::new(2));
         for (i, &v) in candidates.iter().enumerate() {
             assert!(

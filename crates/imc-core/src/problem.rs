@@ -82,7 +82,10 @@ impl ImcInstance {
     /// [`ImcError::InvalidBudget`] when `k == 0` or `k > n`.
     pub fn validate_budget(&self, k: usize) -> Result<()> {
         if k == 0 || k > self.node_count() {
-            Err(ImcError::InvalidBudget { k, node_count: self.node_count() })
+            Err(ImcError::InvalidBudget {
+                k,
+                node_count: self.node_count(),
+            })
         } else {
             Ok(())
         }
@@ -126,7 +129,10 @@ mod tests {
     #[test]
     fn empty_communities_rejected() {
         let cs = CommunitySet::from_parts(3, vec![]).unwrap();
-        assert!(matches!(ImcInstance::new(graph3(), cs), Err(ImcError::NoCommunities)));
+        assert!(matches!(
+            ImcInstance::new(graph3(), cs),
+            Err(ImcError::NoCommunities)
+        ));
     }
 
     #[test]

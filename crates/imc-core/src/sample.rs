@@ -89,8 +89,7 @@ mod tests {
     /// covers: v1 reaches {0}, v2 {1}, v3 {2}, v4 {3}, v5 {0,1}, v6 {2},
     /// v7 {0,1,2}.
     fn fig3_sample() -> RicSample {
-        let masks: [&[usize]; 7] =
-            [&[0], &[1], &[2], &[3], &[0, 1], &[2], &[0, 1, 2]];
+        let masks: [&[usize]; 7] = [&[0], &[1], &[2], &[3], &[0, 1], &[2], &[0, 1, 2]];
         let covers = masks
             .iter()
             .map(|bits| {
@@ -141,11 +140,7 @@ mod tests {
         let g = fig3_sample();
         assert!((g.fractional_coverage(&[NodeId::new(1)]) - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(
-            g.fractional_coverage(&[
-                NodeId::new(7),
-                NodeId::new(4),
-                NodeId::new(5)
-            ]),
+            g.fractional_coverage(&[NodeId::new(7), NodeId::new(4), NodeId::new(5)]),
             1.0
         );
     }

@@ -1,0 +1,684 @@
+//! Persistent snapshot store for [`RicCollection`].
+//!
+//! IMCAF-generated sample collections are expensive (each RIC sample is a
+//! reverse BFS over a live-edge realization), but they are pure data: a
+//! collection sampled once can serve any number of `solve`/`estimate`
+//! queries later. This module serializes a collection — together with a
+//! fingerprint of the graph + community structure it was sampled from — to
+//! a versioned, checksummed, std-only binary format, so a warm index can
+//! cold-start from disk instead of regenerating samples.
+//!
+//! # Format (version 1, all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       7     magic "IMCSNAP"
+//! 7       1     format version (= 1)
+//! 8       8     instance fingerprint (FNV-1a, see [`instance_fingerprint`])
+//! 16      8     node_count        (u64)
+//! 24      8     community_count   (u64)
+//! 32      8     total_benefit     (f64 bits)
+//! 40      8     generation        (u64, snapshot publisher's counter)
+//! 48      8     sample_count      (u64)
+//! 56      ...   samples, each:
+//!                 community       (u32)
+//!                 threshold       (u32)
+//!                 community_size  (u32)
+//!                 node_count n    (u32)
+//!                 nodes           (n × u32, strictly ascending)
+//!                 covers          (n × ceil(community_size/64) × u64 limbs)
+//! end-8   8     FNV-1a checksum over every preceding byte
+//! ```
+//!
+//! Decoding validates the magic, version, checksum and every structural
+//! invariant (sorted in-range nodes, in-range community ids, zero padding
+//! bits) before reconstructing the collection, so a truncated or corrupted
+//! file is rejected rather than producing a silently wrong index.
+
+use crate::{CoverSet, RicCollection, RicSample};
+use imc_community::{CommunityId, CommunitySet};
+use imc_graph::{Graph, NodeId};
+use std::fmt;
+use std::path::Path;
+
+/// Leading magic bytes of every snapshot file.
+pub const MAGIC: &[u8; 7] = b"IMCSNAP";
+/// Current format version.
+pub const FORMAT_VERSION: u8 = 1;
+
+const HEADER_LEN: usize = 7 + 1 + 8 * 6;
+const CHECKSUM_LEN: usize = 8;
+
+/// Errors raised while reading or writing snapshots.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's version byte is not one this build understands.
+    UnsupportedVersion(u8),
+    /// The file ends before the declared content does.
+    Truncated,
+    /// The trailing checksum does not match the content.
+    ChecksumMismatch,
+    /// A structural invariant is violated; the message says which.
+    Corrupt(&'static str),
+    /// The snapshot was sampled from a different graph/community structure.
+    FingerprintMismatch {
+        /// Fingerprint of the instance the caller is loading for.
+        expected: u64,
+        /// Fingerprint recorded in the snapshot file.
+        found: u64,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot format version {v} (this build reads {FORMAT_VERSION})")
+            }
+            SnapshotError::Truncated => write!(f, "snapshot file is truncated"),
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch (file corrupted)"),
+            SnapshotError::Corrupt(what) => write!(f, "snapshot is corrupt: {what}"),
+            SnapshotError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "snapshot fingerprint {found:#018x} does not match instance fingerprint {expected:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// A decoded snapshot: the collection plus the provenance recorded with it.
+#[derive(Debug, Clone)]
+pub struct SnapshotData {
+    /// The reconstructed sample collection (inverted index rebuilt).
+    pub collection: RicCollection,
+    /// Fingerprint of the instance the samples were drawn from.
+    pub fingerprint: u64,
+    /// Generation counter the publisher stamped (0 for CLI-produced files).
+    pub generation: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher (std-only, stable across platforms).
+#[derive(Debug, Clone)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a hash of a byte slice — exposed for tests and the wire protocol.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Deterministic fingerprint of an IMC instance: node count, the full
+/// weighted edge list, and every community's members/threshold/benefit.
+///
+/// Two instances fingerprint equal iff a sample collection drawn from one
+/// is valid for the other, so snapshot loading can refuse a collection
+/// sampled from a different graph or community structure.
+pub fn instance_fingerprint(graph: &Graph, communities: &CommunitySet) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(graph.node_count() as u64);
+    h.write_u64(graph.edge_count() as u64);
+    for e in graph.edges() {
+        h.write_u32(e.source.raw());
+        h.write_u32(e.target.raw());
+        h.write_u64(e.weight.to_bits());
+    }
+    h.write_u64(communities.len() as u64);
+    for c in communities.iter() {
+        h.write_u32(c.threshold);
+        h.write_u64(c.benefit.to_bits());
+        h.write_u64(c.members.len() as u64);
+        for &m in &c.members {
+            h.write_u32(m.raw());
+        }
+    }
+    h.finish()
+}
+
+/// Number of `u64` limbs a cover set of `width` bits serializes to.
+fn limbs_for(width: u32) -> usize {
+    (width as usize).div_ceil(64).max(1)
+}
+
+/// Encodes a collection into the version-1 snapshot byte format.
+pub fn encode(collection: &RicCollection, fingerprint: u64, generation: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + 64 * collection.len() + CHECKSUM_LEN);
+    out.extend_from_slice(MAGIC);
+    out.push(FORMAT_VERSION);
+    out.extend_from_slice(&fingerprint.to_le_bytes());
+    out.extend_from_slice(&(collection.node_count() as u64).to_le_bytes());
+    out.extend_from_slice(&(collection.community_count() as u64).to_le_bytes());
+    out.extend_from_slice(&collection.total_benefit().to_bits().to_le_bytes());
+    out.extend_from_slice(&generation.to_le_bytes());
+    out.extend_from_slice(&(collection.len() as u64).to_le_bytes());
+    for s in collection.samples() {
+        out.extend_from_slice(&s.community.raw().to_le_bytes());
+        out.extend_from_slice(&s.threshold.to_le_bytes());
+        out.extend_from_slice(&s.community_size.to_le_bytes());
+        out.extend_from_slice(&(s.nodes.len() as u32).to_le_bytes());
+        for &v in &s.nodes {
+            out.extend_from_slice(&v.raw().to_le_bytes());
+        }
+        let limbs = limbs_for(s.community_size);
+        for c in &s.covers {
+            match c {
+                CoverSet::Small(w) => {
+                    debug_assert_eq!(limbs, 1);
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+                CoverSet::Large(ws) => {
+                    debug_assert_eq!(limbs, ws.len());
+                    for w in ws.iter() {
+                        out.extend_from_slice(&w.to_le_bytes());
+                    }
+                }
+            }
+        }
+    }
+    let checksum = fnv1a(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Bounds-checked little-endian reader over the snapshot body.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+/// Decodes snapshot bytes, validating magic, version, checksum and every
+/// structural invariant.
+///
+/// # Errors
+///
+/// Any [`SnapshotError`] variant except `Io` and `FingerprintMismatch`
+/// (fingerprints are checked by [`load_for_instance`], which knows the
+/// expected value).
+pub fn decode(bytes: &[u8]) -> Result<SnapshotData, SnapshotError> {
+    if bytes.len() < MAGIC.len() + 1 {
+        return Err(SnapshotError::Truncated);
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = bytes[MAGIC.len()];
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
+        return Err(SnapshotError::Truncated);
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - CHECKSUM_LEN);
+    let declared = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    if fnv1a(body) != declared {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+
+    let mut cur = Cursor {
+        bytes: body,
+        pos: MAGIC.len() + 1,
+    };
+    let fingerprint = cur.u64()?;
+    let node_count = cur.u64()?;
+    let community_count = cur.u64()?;
+    let total_benefit = f64::from_bits(cur.u64()?);
+    let generation = cur.u64()?;
+    let sample_count = cur.u64()?;
+
+    if node_count > u64::from(u32::MAX) {
+        return Err(SnapshotError::Corrupt("node count exceeds u32 range"));
+    }
+    if !total_benefit.is_finite() || total_benefit < 0.0 {
+        return Err(SnapshotError::Corrupt(
+            "total benefit is not a finite non-negative number",
+        ));
+    }
+    // Each sample takes at least 16 body bytes, which bounds a plausible
+    // count long before any allocation happens.
+    if sample_count > (body.len() / 16) as u64 {
+        return Err(SnapshotError::Corrupt(
+            "sample count implies more data than the file holds",
+        ));
+    }
+
+    let mut collection =
+        RicCollection::new(node_count as usize, community_count as usize, total_benefit);
+    for _ in 0..sample_count {
+        let community = cur.u32()?;
+        let threshold = cur.u32()?;
+        let community_size = cur.u32()?;
+        let n = cur.u32()? as usize;
+        if u64::from(community) >= community_count {
+            return Err(SnapshotError::Corrupt(
+                "sample references an out-of-range community",
+            ));
+        }
+        // Thresholds above the community size are legal (such a
+        // community can never activate — `ThresholdPolicy::Constant`
+        // does not clamp), so only zero is structurally invalid.
+        if threshold == 0 {
+            return Err(SnapshotError::Corrupt("sample threshold is zero"));
+        }
+        let mut nodes = Vec::with_capacity(n);
+        let mut prev: Option<u32> = None;
+        for _ in 0..n {
+            let v = cur.u32()?;
+            if u64::from(v) >= node_count {
+                return Err(SnapshotError::Corrupt("sample node id out of range"));
+            }
+            if prev.is_some_and(|p| p >= v) {
+                return Err(SnapshotError::Corrupt(
+                    "sample nodes not strictly ascending",
+                ));
+            }
+            prev = Some(v);
+            nodes.push(NodeId::new(v));
+        }
+        let limbs = limbs_for(community_size);
+        let mut covers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut words = Vec::with_capacity(limbs);
+            for _ in 0..limbs {
+                words.push(cur.u64()?);
+            }
+            // Bits at positions >= community_size must be zero: they are
+            // meaningless and would corrupt union popcounts.
+            let used_in_top = community_size as usize - (limbs - 1) * 64;
+            let top_mask = if used_in_top == 64 {
+                u64::MAX
+            } else {
+                (1u64 << used_in_top) - 1
+            };
+            if words[limbs - 1] & !top_mask != 0 {
+                return Err(SnapshotError::Corrupt(
+                    "cover set has bits beyond community size",
+                ));
+            }
+            let cover = if community_size <= 64 {
+                CoverSet::Small(words[0])
+            } else {
+                CoverSet::Large(words.into_boxed_slice())
+            };
+            covers.push(cover);
+        }
+        collection.push(RicSample {
+            community: CommunityId::new(community),
+            threshold,
+            community_size,
+            nodes,
+            covers,
+        });
+    }
+    if cur.pos != body.len() {
+        return Err(SnapshotError::Corrupt("trailing bytes after last sample"));
+    }
+    Ok(SnapshotData {
+        collection,
+        fingerprint,
+        generation,
+    })
+}
+
+/// Writes a snapshot to `path` (atomically where the filesystem allows:
+/// write to `<path>.tmp`, then rename over the destination).
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] on filesystem failure.
+pub fn save(
+    path: &Path,
+    collection: &RicCollection,
+    fingerprint: u64,
+    generation: u64,
+) -> Result<(), SnapshotError> {
+    let bytes = encode(collection, fingerprint, generation);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads and decodes a snapshot from `path` without fingerprint checking.
+///
+/// # Errors
+///
+/// Any [`SnapshotError`] except `FingerprintMismatch`.
+pub fn load(path: &Path) -> Result<SnapshotData, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    decode(&bytes)
+}
+
+/// Reads a snapshot and verifies it was sampled from `instance`'s exact
+/// graph and community structure.
+///
+/// # Errors
+///
+/// [`SnapshotError::FingerprintMismatch`] when the snapshot came from a
+/// different instance, plus every error [`load`] can raise.
+pub fn load_for_instance(
+    path: &Path,
+    instance: &crate::ImcInstance,
+) -> Result<SnapshotData, SnapshotError> {
+    let expected = instance_fingerprint(instance.graph(), instance.communities());
+    let data = load(path)?;
+    if data.fingerprint != expected {
+        return Err(SnapshotError::FingerprintMismatch {
+            expected,
+            found: data.fingerprint,
+        });
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RicSampler;
+    use imc_community::CommunitySet;
+    use imc_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_collection() -> (Graph, CommunitySet, RicCollection) {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 0.8).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        b.add_edge(3, 4, 0.9).unwrap();
+        let g = b.build().unwrap();
+        let cs = CommunitySet::from_parts(
+            6,
+            vec![
+                (vec![NodeId::new(1), NodeId::new(2)], 1, 2.0),
+                (vec![NodeId::new(4), NodeId::new(5)], 2, 3.0),
+            ],
+        )
+        .unwrap();
+        let sampler = RicSampler::new(&g, &cs);
+        let mut col = RicCollection::for_sampler(&sampler);
+        col.extend_with(&sampler, 200, &mut StdRng::seed_from_u64(11));
+        (g, cs, col)
+    }
+
+    #[test]
+    fn round_trip_preserves_samples_and_header() {
+        let (g, cs, col) = tiny_collection();
+        let fp = instance_fingerprint(&g, &cs);
+        let bytes = encode(&col, fp, 7);
+        let data = decode(&bytes).unwrap();
+        assert_eq!(data.fingerprint, fp);
+        assert_eq!(data.generation, 7);
+        assert_eq!(data.collection.len(), col.len());
+        assert_eq!(data.collection.node_count(), col.node_count());
+        assert_eq!(data.collection.community_count(), col.community_count());
+        assert_eq!(data.collection.total_benefit(), col.total_benefit());
+        assert_eq!(data.collection.samples(), col.samples());
+        // Rebuilt inverted index answers identically.
+        for v in 0..6 {
+            assert_eq!(
+                data.collection.touched_by(NodeId::new(v)),
+                col.touched_by(NodeId::new(v))
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_survive_round_trip() {
+        let (g, cs, col) = tiny_collection();
+        let fp = instance_fingerprint(&g, &cs);
+        let data = decode(&encode(&col, fp, 0)).unwrap();
+        for seeds in [vec![NodeId::new(0)], vec![NodeId::new(0), NodeId::new(3)]] {
+            assert_eq!(data.collection.estimate(&seeds), col.estimate(&seeds));
+            assert_eq!(data.collection.nu_estimate(&seeds), col.nu_estimate(&seeds));
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let (g, cs, col) = tiny_collection();
+        let mut bytes = encode(&col, instance_fingerprint(&g, &cs), 0);
+        bytes[0] = b'X';
+        assert!(matches!(decode(&bytes), Err(SnapshotError::BadMagic)));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let (g, cs, col) = tiny_collection();
+        let mut bytes = encode(&col, instance_fingerprint(&g, &cs), 0);
+        bytes[7] = FORMAT_VERSION + 1;
+        assert!(matches!(
+            decode(&bytes),
+            Err(SnapshotError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn every_truncation_point_rejected() {
+        let (g, cs, col) = tiny_collection();
+        let bytes = encode(&col, instance_fingerprint(&g, &cs), 0);
+        // Cutting anywhere must fail loudly — never yield a collection.
+        for cut in [
+            0,
+            3,
+            8,
+            HEADER_LEN - 1,
+            HEADER_LEN,
+            bytes.len() / 2,
+            bytes.len() - 1,
+        ] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn bit_flip_anywhere_is_caught_by_checksum() {
+        let (g, cs, col) = tiny_collection();
+        let bytes = encode(&col, instance_fingerprint(&g, &cs), 0);
+        for &at in &[8usize, 20, HEADER_LEN + 3, bytes.len() - 12] {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x40;
+            assert!(decode(&bad).is_err(), "flip at {at} accepted");
+        }
+    }
+
+    #[test]
+    fn fingerprint_mismatch_detected() {
+        let (g, cs, col) = tiny_collection();
+        let fp = instance_fingerprint(&g, &cs);
+        let dir = std::env::temp_dir().join(format!("imc-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.snap");
+        save(&path, &col, fp ^ 1, 0).unwrap();
+        let inst = crate::ImcInstance::new(g, cs).unwrap();
+        assert!(matches!(
+            load_for_instance(&path, &inst),
+            Err(SnapshotError::FingerprintMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_load_file_round_trip() {
+        let (g, cs, col) = tiny_collection();
+        let fp = instance_fingerprint(&g, &cs);
+        let dir = std::env::temp_dir().join(format!("imc-snap-rt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("col.snap");
+        save(&path, &col, fp, 3).unwrap();
+        let inst = crate::ImcInstance::new(g, cs).unwrap();
+        let data = load_for_instance(&path, &inst).unwrap();
+        assert_eq!(data.generation, 3);
+        assert_eq!(data.collection.samples(), col.samples());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_structure() {
+        let (g, cs, _) = tiny_collection();
+        let fp = instance_fingerprint(&g, &cs);
+        // Different weight → different fingerprint.
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 0.7).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        b.add_edge(3, 4, 0.9).unwrap();
+        let g2 = b.build().unwrap();
+        assert_ne!(fp, instance_fingerprint(&g2, &cs));
+        // Different threshold → different fingerprint.
+        let cs2 = CommunitySet::from_parts(
+            6,
+            vec![
+                (vec![NodeId::new(1), NodeId::new(2)], 2, 2.0),
+                (vec![NodeId::new(4), NodeId::new(5)], 2, 3.0),
+            ],
+        )
+        .unwrap();
+        assert_ne!(fp, instance_fingerprint(&g, &cs2));
+    }
+
+    #[test]
+    fn corrupt_structural_fields_rejected_with_fixed_checksum() {
+        // Rewrites a field, then re-stamps the checksum, so the structural
+        // validator (not the checksum) must catch it.
+        let (g, cs, col) = tiny_collection();
+        let restamp = |mut b: Vec<u8>| {
+            let n = b.len();
+            let sum = fnv1a(&b[..n - 8]);
+            b[n - 8..].copy_from_slice(&sum.to_le_bytes());
+            b
+        };
+        let bytes = encode(&col, instance_fingerprint(&g, &cs), 0);
+        // Out-of-range community id in the first sample.
+        let mut bad = bytes.clone();
+        bad[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            decode(&restamp(bad)),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        // Zero threshold.
+        let mut bad = bytes.clone();
+        bad[HEADER_LEN + 4..HEADER_LEN + 8].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode(&restamp(bad)),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        // Absurd sample count.
+        let mut bad = bytes.clone();
+        bad[48..56].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode(&restamp(bad)),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn threshold_above_community_size_round_trips() {
+        // `ThresholdPolicy::Constant` does not clamp, so a singleton
+        // community with the default threshold 2 is a legal sample.
+        let mut col = RicCollection::new(3, 1, 1.0);
+        let mut cover = CoverSet::new(1);
+        cover.set(0);
+        col.push(RicSample {
+            community: CommunityId::new(0),
+            threshold: 2,
+            community_size: 1,
+            nodes: vec![NodeId::new(2)],
+            covers: vec![cover],
+        });
+        let decoded = decode(&encode(&col, 7, 0)).unwrap();
+        assert_eq!(decoded.collection.samples(), col.samples());
+    }
+
+    #[test]
+    fn large_cover_sets_round_trip() {
+        // Hand-build a collection whose community is wider than 64 members.
+        let width = 130u32;
+        let mut col = RicCollection::new(4, 1, 1.0);
+        let mut c0 = CoverSet::new(width as usize);
+        c0.set(0);
+        c0.set(64);
+        c0.set(129);
+        let mut c1 = CoverSet::new(width as usize);
+        c1.set(70);
+        col.push(RicSample {
+            community: CommunityId::new(0),
+            threshold: 2,
+            community_size: width,
+            nodes: vec![NodeId::new(1), NodeId::new(3)],
+            covers: vec![c0, c1],
+        });
+        let data = decode(&encode(&col, 42, 1)).unwrap();
+        assert_eq!(data.collection.samples(), col.samples());
+    }
+}

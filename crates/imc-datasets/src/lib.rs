@@ -174,7 +174,6 @@ pub fn generate(id: DatasetId, scale: f64, seed: u64) -> Graph {
     }
 }
 
-
 /// Per-dataset constant XORed into the seed so datasets generated with the
 /// same user seed still draw from distinct RNG streams.
 fn fingerprint(id: DatasetId) -> u64 {
@@ -203,7 +202,10 @@ pub fn load_or_generate(
     let s = spec(id);
     let path = data_dir.join(format!("{}.txt", s.name));
     if path.exists() {
-        let opts = ParseOptions { undirected: s.undirected, ..ParseOptions::default() };
+        let opts = ParseOptions {
+            undirected: s.undirected,
+            ..ParseOptions::default()
+        };
         let parsed = read_path(&path, opts)?;
         Ok((parsed.builder.build()?, DataSource::RealEdgeList))
     } else {
@@ -277,8 +279,7 @@ mod tests {
     #[test]
     fn load_or_generate_falls_back_to_synthetic() {
         let dir = std::env::temp_dir().join("imc-no-such-dir");
-        let (g, src) =
-            load_or_generate(DatasetId::Facebook, &dir, 0.2, 1).unwrap();
+        let (g, src) = load_or_generate(DatasetId::Facebook, &dir, 0.2, 1).unwrap();
         assert_eq!(src, DataSource::Synthetic);
         assert!(g.node_count() > 0);
     }

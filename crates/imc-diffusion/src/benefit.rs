@@ -180,11 +180,8 @@ mod tests {
         b.add_edge(0, 2, 0.3).unwrap();
         b.add_edge(1, 3, 0.3).unwrap();
         let g = b.build().unwrap();
-        let cs = CommunitySet::from_parts(
-            4,
-            vec![(vec![NodeId::new(2), NodeId::new(3)], 2, 1.0)],
-        )
-        .unwrap();
+        let cs = CommunitySet::from_parts(4, vec![(vec![NodeId::new(2), NodeId::new(3)], 2, 1.0)])
+            .unwrap();
         let runs = 60_000;
         let c_a = monte_carlo_benefit(&g, &cs, &IndependentCascade, &[NodeId::new(0)], runs, 1);
         let c_b = monte_carlo_benefit(&g, &cs, &IndependentCascade, &[NodeId::new(1)], runs, 2);

@@ -23,7 +23,10 @@ pub struct CelfConfig {
 
 impl Default for CelfConfig {
     fn default() -> Self {
-        CelfConfig { runs: 1_000, candidate_limit: Some(200) }
+        CelfConfig {
+            runs: 1_000,
+            candidate_limit: Some(200),
+        }
     }
 }
 
@@ -42,7 +45,9 @@ impl PartialEq for Entry {
 impl Eq for Entry {}
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.gain.total_cmp(&other.gain).then_with(|| other.node.cmp(&self.node))
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.node.cmp(&self.node))
     }
 }
 impl PartialOrd for Entry {
@@ -68,7 +73,10 @@ pub fn celf_im(
     let mut candidates: Vec<NodeId> = graph.nodes().collect();
     if let Some(limit) = config.candidate_limit {
         candidates.sort_by(|a, b| {
-            graph.out_degree(*b).cmp(&graph.out_degree(*a)).then(a.cmp(b))
+            graph
+                .out_degree(*b)
+                .cmp(&graph.out_degree(*a))
+                .then(a.cmp(b))
         });
         candidates.truncate(limit.max(k));
     }
@@ -84,7 +92,11 @@ pub fn celf_im(
     let mut base_spread = 0.0f64;
     let mut heap: std::collections::BinaryHeap<Entry> = candidates
         .iter()
-        .map(|&v| Entry { gain: eval(&[], v, 0) - 0.0, node: v.raw(), stamp: 0 })
+        .map(|&v| Entry {
+            gain: eval(&[], v, 0) - 0.0,
+            node: v.raw(),
+            stamp: 0,
+        })
         .collect();
     let mut round = 0u32;
     while seeds.len() < k {
@@ -98,7 +110,11 @@ pub fn celf_im(
                     round += 1;
                 } else {
                     let fresh = eval(&seeds, NodeId::new(e.node), round) - base_spread;
-                    heap.push(Entry { gain: fresh, node: e.node, stamp: round });
+                    heap.push(Entry {
+                        gain: fresh,
+                        node: e.node,
+                        stamp: round,
+                    });
                 }
             }
         }
@@ -162,7 +178,10 @@ mod tests {
         let mut b = GraphBuilder::new(10);
         b.add_edge(0, 1, 0.5).unwrap();
         let g = b.build().unwrap();
-        let cfg = CelfConfig { runs: 200, candidate_limit: Some(4) };
+        let cfg = CelfConfig {
+            runs: 200,
+            candidate_limit: Some(4),
+        };
         let seeds = celf_im(&g, &IndependentCascade, 6, &cfg, 3);
         assert_eq!(seeds.len(), 6);
         let uniq: std::collections::HashSet<_> = seeds.iter().collect();
@@ -176,7 +195,10 @@ mod tests {
             b.add_edge(i, i + 1, 0.5).unwrap();
         }
         let g = b.build().unwrap();
-        let cfg = CelfConfig { runs: 300, candidate_limit: None };
+        let cfg = CelfConfig {
+            runs: 300,
+            candidate_limit: None,
+        };
         assert_eq!(
             celf_im(&g, &IndependentCascade, 3, &cfg, 7),
             celf_im(&g, &IndependentCascade, 3, &cfg, 7)

@@ -64,7 +64,10 @@ where
     let mut t: u64 = 0;
     while t < max_samples {
         let z = sampler(rng);
-        debug_assert!((0.0..=1.0 + 1e-9).contains(&z), "sampler must emit values in [0,1]");
+        debug_assert!(
+            (0.0..=1.0 + 1e-9).contains(&z),
+            "sampler must emit values in [0,1]"
+        );
         sum += z;
         t += 1;
         if sum >= lambda {
@@ -125,8 +128,9 @@ pub fn dagum_benefit(
         let sums: Vec<Vec<f64>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n_batches)
                 .map(|i| {
-                    let batch_seed = seed
-                        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(consumed_batches + i + 1));
+                    let batch_seed = seed.wrapping_add(
+                        0x9E37_79B9_7F4A_7C15u64.wrapping_mul(consumed_batches + i + 1),
+                    );
                     scope.spawn(move || {
                         let mut rng = StdRng::seed_from_u64(batch_seed);
                         let mut vals = Vec::with_capacity(batch as usize);
@@ -140,7 +144,10 @@ pub fn dagum_benefit(
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
         consumed_batches += n_batches;
         for vals in sums {
@@ -196,8 +203,7 @@ mod tests {
     #[test]
     fn estimates_constant_exactly() {
         let mut rng = StdRng::seed_from_u64(3);
-        let est =
-            stopping_rule_estimate(|_| 0.5, 0.2, 0.2, 1_000_000, &mut rng).unwrap();
+        let est = stopping_rule_estimate(|_| 0.5, 0.2, 0.2, 1_000_000, &mut rng).unwrap();
         // Sum crosses Λ′ after T = ceil(Λ′ / 0.5); estimate Λ′/T ∈ (0.5−, 0.5].
         assert!((est - 0.5).abs() < 0.01, "est={est}");
     }
@@ -206,7 +212,10 @@ mod tests {
     fn zero_mean_exhausts_budget() {
         let mut rng = StdRng::seed_from_u64(4);
         let err = stopping_rule_estimate(|_| 0.0, 0.2, 0.2, 1000, &mut rng).unwrap_err();
-        assert!(matches!(err, DiffusionError::BudgetExhausted { samples: 1000 }));
+        assert!(matches!(
+            err,
+            DiffusionError::BudgetExhausted { samples: 1000 }
+        ));
     }
 
     #[test]
@@ -223,11 +232,8 @@ mod tests {
         bld.add_edge(0, 1, 1.0).unwrap();
         bld.add_edge(0, 2, 1.0).unwrap();
         let g = bld.build().unwrap();
-        let cs = CommunitySet::from_parts(
-            3,
-            vec![(vec![NodeId::new(1), NodeId::new(2)], 2, 4.0)],
-        )
-        .unwrap();
+        let cs = CommunitySet::from_parts(3, vec![(vec![NodeId::new(1), NodeId::new(2)], 2, 4.0)])
+            .unwrap();
         let est = dagum_benefit(
             &g,
             &cs,
@@ -245,11 +251,8 @@ mod tests {
     #[test]
     fn dagum_benefit_zero_when_unreachable() {
         let g = GraphBuilder::new(3).build().unwrap();
-        let cs = CommunitySet::from_parts(
-            3,
-            vec![(vec![NodeId::new(1), NodeId::new(2)], 2, 4.0)],
-        )
-        .unwrap();
+        let cs = CommunitySet::from_parts(3, vec![(vec![NodeId::new(1), NodeId::new(2)], 2, 4.0)])
+            .unwrap();
         let res = dagum_benefit(
             &g,
             &cs,

@@ -27,13 +27,19 @@ impl fmt::Display for DiffusionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DiffusionError::SeedOutOfRange { node, node_count } => {
-                write!(f, "seed node {node} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "seed node {node} out of range for graph with {node_count} nodes"
+                )
             }
             DiffusionError::InvalidParameter { name } => {
                 write!(f, "estimation parameter {name} must lie in (0, 1)")
             }
             DiffusionError::BudgetExhausted { samples } => {
-                write!(f, "sample budget exhausted after {samples} samples without convergence")
+                write!(
+                    f,
+                    "sample budget exhausted after {samples} samples without convergence"
+                )
             }
         }
     }
@@ -47,7 +53,10 @@ mod tests {
 
     #[test]
     fn display_has_detail() {
-        let e = DiffusionError::SeedOutOfRange { node: 4, node_count: 2 };
+        let e = DiffusionError::SeedOutOfRange {
+            node: 4,
+            node_count: 2,
+        };
         assert!(e.to_string().contains('4'));
         let e = DiffusionError::InvalidParameter { name: "epsilon" };
         assert!(e.to_string().contains("epsilon"));

@@ -128,7 +128,9 @@ mod tests {
             b.add_edge(i, i + 1, 1.0).unwrap();
         }
         let g = b.build().unwrap();
-        let act = IndependentCascade.simulate(&g, &[NodeId::new(0)], &mut rng()).unwrap();
+        let act = IndependentCascade
+            .simulate(&g, &[NodeId::new(0)], &mut rng())
+            .unwrap();
         assert!(act.iter().all(|&a| a));
     }
 
@@ -139,7 +141,9 @@ mod tests {
         let g = b.build().unwrap();
         for seed in 0..20 {
             let mut r = StdRng::seed_from_u64(seed);
-            let act = IndependentCascade.simulate(&g, &[NodeId::new(0)], &mut r).unwrap();
+            let act = IndependentCascade
+                .simulate(&g, &[NodeId::new(0)], &mut r)
+                .unwrap();
             assert!(!act[1]);
         }
     }
@@ -149,7 +153,9 @@ mod tests {
         let mut b = GraphBuilder::new(2);
         b.add_edge(0, 1, 1.0).unwrap();
         let g = b.build().unwrap();
-        let act = IndependentCascade.simulate(&g, &[NodeId::new(1)], &mut rng()).unwrap();
+        let act = IndependentCascade
+            .simulate(&g, &[NodeId::new(1)], &mut rng())
+            .unwrap();
         assert_eq!(act, vec![false, true]);
     }
 
@@ -165,7 +171,9 @@ mod tests {
     #[test]
     fn out_of_range_seed_errors() {
         let g = GraphBuilder::new(2).build().unwrap();
-        assert!(IndependentCascade.simulate(&g, &[NodeId::new(5)], &mut rng()).is_err());
+        assert!(IndependentCascade
+            .simulate(&g, &[NodeId::new(5)], &mut rng())
+            .is_err());
     }
 
     #[test]
@@ -188,7 +196,9 @@ mod tests {
         let runs = 4000;
         let mut hits = 0;
         for _ in 0..runs {
-            let act = IndependentCascade.simulate(&g, &[NodeId::new(0)], &mut r).unwrap();
+            let act = IndependentCascade
+                .simulate(&g, &[NodeId::new(0)], &mut r)
+                .unwrap();
             hits += usize::from(act[1]);
         }
         let rate = hits as f64 / runs as f64;
@@ -243,7 +253,9 @@ mod tests {
             b.add_edge(u, v, 1.0).unwrap();
         }
         let g = b.build().unwrap();
-        let active = IndependentCascade.simulate(&g, &[NodeId::new(0)], &mut rng()).unwrap();
+        let active = IndependentCascade
+            .simulate(&g, &[NodeId::new(0)], &mut rng())
+            .unwrap();
         let rounds = IndependentCascade
             .simulate_rounds(&g, &[NodeId::new(0)], u32::MAX, &mut rng())
             .unwrap();
@@ -259,7 +271,9 @@ mod tests {
         b.add_edge(1, 2, 1.0).unwrap();
         b.add_edge(2, 0, 1.0).unwrap();
         let g = b.build().unwrap();
-        let act = IndependentCascade.simulate(&g, &[NodeId::new(0)], &mut rng()).unwrap();
+        let act = IndependentCascade
+            .simulate(&g, &[NodeId::new(0)], &mut rng())
+            .unwrap();
         assert!(act.iter().all(|&a| a));
     }
 }

@@ -79,7 +79,9 @@ mod tests {
         let g = b.build().unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         for _ in 0..50 {
-            let act = LinearThreshold.simulate(&g, &[NodeId::new(0)], &mut rng).unwrap();
+            let act = LinearThreshold
+                .simulate(&g, &[NodeId::new(0)], &mut rng)
+                .unwrap();
             assert!(act[1]);
         }
     }
@@ -94,7 +96,9 @@ mod tests {
         let runs = 6000;
         let mut hits = 0;
         for _ in 0..runs {
-            let act = LinearThreshold.simulate(&g, &[NodeId::new(0)], &mut rng).unwrap();
+            let act = LinearThreshold
+                .simulate(&g, &[NodeId::new(0)], &mut rng)
+                .unwrap();
             hits += usize::from(act[1]);
         }
         let rate = hits as f64 / runs as f64;
@@ -132,7 +136,9 @@ mod tests {
     fn out_of_range_seed_errors() {
         let g = GraphBuilder::new(1).build().unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(LinearThreshold.simulate(&g, &[NodeId::new(9)], &mut rng).is_err());
+        assert!(LinearThreshold
+            .simulate(&g, &[NodeId::new(9)], &mut rng)
+            .is_err());
     }
 
     #[test]

@@ -8,7 +8,10 @@
 /// Number of worker threads used by parallel estimators: the available
 /// parallelism, capped at 8 (diminishing returns for memory-bound BFS).
 pub fn worker_count() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 /// Splits `runs` Monte-Carlo iterations into shards, runs
@@ -95,7 +98,10 @@ mod tests {
     fn shard_seeds_are_distinct() {
         let seen = std::sync::Mutex::new(std::collections::HashSet::new());
         sharded_sum(640, 100, |seed, _r| {
-            assert!(seen.lock().unwrap().insert(seed), "duplicate shard seed {seed}");
+            assert!(
+                seen.lock().unwrap().insert(seed),
+                "duplicate shard seed {seed}"
+            );
             0.0
         });
         assert_eq!(seen.into_inner().unwrap().len(), 16);

@@ -45,11 +45,7 @@ pub struct RisImResult {
 
 /// Greedy max-coverage over a fixed RR-set pool. Exposed for reuse by
 /// higher-level algorithms (BT runs it over reduced RIC collections).
-pub fn greedy_max_coverage(
-    node_count: usize,
-    rr_sets: &[RrSet],
-    k: usize,
-) -> Vec<NodeId> {
+pub fn greedy_max_coverage(node_count: usize, rr_sets: &[RrSet], k: usize) -> Vec<NodeId> {
     // Inverted index: node -> RR set indices.
     let mut index: Vec<Vec<u32>> = vec![Vec::new(); node_count];
     for (i, rr) in rr_sets.iter().enumerate() {
@@ -61,9 +57,8 @@ pub fn greedy_max_coverage(
     let mut gain: Vec<i64> = index.iter().map(|l| l.len() as i64).collect();
     let mut chosen = Vec::with_capacity(k);
     // CELF lazy greedy: coverage is submodular.
-    let mut heap: std::collections::BinaryHeap<(i64, u32, u32)> = (0..node_count)
-        .map(|v| (gain[v], v as u32, 0u32))
-        .collect();
+    let mut heap: std::collections::BinaryHeap<(i64, u32, u32)> =
+        (0..node_count).map(|v| (gain[v], v as u32, 0u32)).collect();
     let mut round = 0u32;
     while chosen.len() < k {
         match heap.pop() {
@@ -119,7 +114,11 @@ pub fn ris_im(graph: &Graph, k: usize, config: &RisImConfig, seed: u64) -> RisIm
             .map(|p| (coverage - p).abs() <= config.stability_tolerance * p.max(1e-12))
             .unwrap_or(false);
         if stable || pool.len() * 2 > config.max_samples {
-            return RisImResult { seeds, samples_used: pool.len(), coverage };
+            return RisImResult {
+                seeds,
+                samples_used: pool.len(),
+                coverage,
+            };
         }
         previous_cov = Some(coverage);
         let target = pool.len() * 2;
@@ -153,9 +152,18 @@ mod tests {
     #[test]
     fn greedy_max_coverage_prefers_bigger_cover() {
         let sets = vec![
-            RrSet { root: 0.into(), nodes: vec![0.into(), 1.into()] },
-            RrSet { root: 1.into(), nodes: vec![1.into()] },
-            RrSet { root: 2.into(), nodes: vec![1.into(), 2.into()] },
+            RrSet {
+                root: 0.into(),
+                nodes: vec![0.into(), 1.into()],
+            },
+            RrSet {
+                root: 1.into(),
+                nodes: vec![1.into()],
+            },
+            RrSet {
+                root: 2.into(),
+                nodes: vec![1.into(), 2.into()],
+            },
         ];
         let picked = greedy_max_coverage(3, &sets, 1);
         assert_eq!(picked, vec![NodeId::new(1)]); // covers all three
@@ -163,7 +171,10 @@ mod tests {
 
     #[test]
     fn greedy_stops_when_everything_covered() {
-        let sets = vec![RrSet { root: 0.into(), nodes: vec![0.into()] }];
+        let sets = vec![RrSet {
+            root: 0.into(),
+            nodes: vec![0.into()],
+        }];
         let picked = greedy_max_coverage(2, &sets, 2);
         assert_eq!(picked.len(), 1); // second pick has zero gain
     }
@@ -174,11 +185,9 @@ mod tests {
             .reweighted(WeightModel::WeightedCascade);
         let r = ris_im(&g, 5, &RisImConfig::default(), 11);
         assert_eq!(r.seeds.len(), 5);
-        let ris_spread =
-            monte_carlo_spread(&g, &IndependentCascade, &r.seeds, 2000, 12);
+        let ris_spread = monte_carlo_spread(&g, &IndependentCascade, &r.seeds, 2000, 12);
         let random_seeds: Vec<NodeId> = (0..5).map(|i| NodeId::new(i * 60)).collect();
-        let random_spread =
-            monte_carlo_spread(&g, &IndependentCascade, &random_seeds, 2000, 12);
+        let random_spread = monte_carlo_spread(&g, &IndependentCascade, &random_seeds, 2000, 12);
         assert!(
             ris_spread >= random_spread,
             "RIS {ris_spread} should beat arbitrary {random_spread}"

@@ -91,7 +91,10 @@ mod tests {
     #[test]
     fn zero_runs_returns_zero() {
         let g = GraphBuilder::new(2).build().unwrap();
-        assert_eq!(monte_carlo_spread(&g, &IndependentCascade, &[NodeId::new(0)], 0, 1), 0.0);
+        assert_eq!(
+            monte_carlo_spread(&g, &IndependentCascade, &[NodeId::new(0)], 0, 1),
+            0.0
+        );
     }
 
     #[test]

@@ -44,12 +44,20 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `n` nodes (ids `0..n`).
     pub fn new(n: u32) -> Self {
-        GraphBuilder { n, edges: Vec::new(), dedup: DedupPolicy::default() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            dedup: DedupPolicy::default(),
+        }
     }
 
     /// Creates a builder with pre-allocated capacity for `m` edges.
     pub fn with_capacity(n: u32, m: usize) -> Self {
-        GraphBuilder { n, edges: Vec::with_capacity(m), dedup: DedupPolicy::default() }
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+            dedup: DedupPolicy::default(),
+        }
     }
 
     /// Sets the duplicate-edge policy applied at [`build`](Self::build) time.
@@ -78,16 +86,26 @@ impl GraphBuilder {
     /// * [`GraphError::InvalidWeight`] if `weight` is NaN or outside `[0, 1]`.
     pub fn add_edge(&mut self, source: u32, target: u32, weight: f64) -> Result<&mut Self> {
         if source >= self.n {
-            return Err(GraphError::NodeOutOfRange { node: source, node_count: self.n });
+            return Err(GraphError::NodeOutOfRange {
+                node: source,
+                node_count: self.n,
+            });
         }
         if target >= self.n {
-            return Err(GraphError::NodeOutOfRange { node: target, node_count: self.n });
+            return Err(GraphError::NodeOutOfRange {
+                node: target,
+                node_count: self.n,
+            });
         }
         if source == target {
             return Err(GraphError::SelfLoop { node: source });
         }
         if !(0.0..=1.0).contains(&weight) {
-            return Err(GraphError::InvalidWeight { source, target, weight });
+            return Err(GraphError::InvalidWeight {
+                source,
+                target,
+                weight,
+            });
         }
         self.edges.push((source, target, weight));
         Ok(self)
@@ -135,7 +153,10 @@ impl GraphBuilder {
                     DedupPolicy::KeepMax => last.2 = last.2.max(w),
                     DedupPolicy::NoisyOr => last.2 = 1.0 - (1.0 - last.2) * (1.0 - w),
                     DedupPolicy::Error => {
-                        return Err(GraphError::DuplicateEdge { source: u, target: v })
+                        return Err(GraphError::DuplicateEdge {
+                            source: u,
+                            target: v,
+                        })
                     }
                 },
                 _ => deduped.push((u, v, w)),
@@ -152,12 +173,30 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let mut b = GraphBuilder::new(3);
-        assert!(matches!(b.add_edge(3, 0, 0.5), Err(GraphError::NodeOutOfRange { .. })));
-        assert!(matches!(b.add_edge(0, 3, 0.5), Err(GraphError::NodeOutOfRange { .. })));
-        assert!(matches!(b.add_edge(1, 1, 0.5), Err(GraphError::SelfLoop { .. })));
-        assert!(matches!(b.add_edge(0, 1, 1.5), Err(GraphError::InvalidWeight { .. })));
-        assert!(matches!(b.add_edge(0, 1, -0.1), Err(GraphError::InvalidWeight { .. })));
-        assert!(matches!(b.add_edge(0, 1, f64::NAN), Err(GraphError::InvalidWeight { .. })));
+        assert!(matches!(
+            b.add_edge(3, 0, 0.5),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(0, 3, 0.5),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(1, 1, 0.5),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(0, 1, 1.5),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(0, 1, -0.1),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(0, 1, f64::NAN),
+            Err(GraphError::InvalidWeight { .. })
+        ));
     }
 
     #[test]

@@ -33,8 +33,10 @@ pub fn tarjan_scc(graph: &Graph) -> Vec<Vec<NodeId>> {
         on_stack[root as usize] = true;
 
         while let Some(&mut (v, ref mut pos)) = call.last_mut() {
-            let out: Vec<u32> =
-                graph.out_edges(NodeId::new(v)).map(|e| e.target.raw()).collect();
+            let out: Vec<u32> = graph
+                .out_edges(NodeId::new(v))
+                .map(|e| e.target.raw())
+                .collect();
             if *pos < out.len() {
                 let w = out[*pos];
                 *pos += 1;
@@ -51,8 +53,7 @@ pub fn tarjan_scc(graph: &Graph) -> Vec<Vec<NodeId>> {
             } else {
                 call.pop();
                 if let Some(&(parent, _)) = call.last() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     let mut comp = Vec::new();
@@ -131,7 +132,10 @@ mod tests {
         let g = b.build().unwrap();
         let mut sccs = tarjan_scc(&g);
         sccs.sort();
-        assert_eq!(sccs, vec![vec![0.into(), 1.into()], vec![2.into(), 3.into()]]);
+        assert_eq!(
+            sccs,
+            vec![vec![0.into(), 1.into()], vec![2.into(), 3.into()]]
+        );
         assert!(!is_strongly_connected(&g));
         assert_eq!(weakly_connected_components(&g).len(), 1);
     }

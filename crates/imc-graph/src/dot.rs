@@ -24,8 +24,8 @@ pub struct DotOptions {
 }
 
 const PALETTE: [&str; 10] = [
-    "#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462", "#b3de69",
-    "#fccde5", "#d9d9d9", "#bc80bd",
+    "#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462", "#b3de69", "#fccde5",
+    "#d9d9d9", "#bc80bd",
 ];
 
 /// Renders `graph` as Graphviz DOT text.
@@ -86,11 +86,7 @@ pub fn to_dot(graph: &Graph, options: &DotOptions) -> String {
     out
 }
 
-fn node_line(
-    v: NodeId,
-    group: usize,
-    highlighted: &std::collections::HashSet<NodeId>,
-) -> String {
+fn node_line(v: NodeId, group: usize, highlighted: &std::collections::HashSet<NodeId>) -> String {
     let mut attrs = Vec::new();
     if group != usize::MAX {
         attrs.push(format!("fillcolor=\"{}\"", PALETTE[group % PALETTE.len()]));
@@ -144,8 +140,10 @@ mod tests {
 
     #[test]
     fn highlights_get_red_borders() {
-        let options =
-            DotOptions { highlight: vec![NodeId::new(1)], ..DotOptions::default() };
+        let options = DotOptions {
+            highlight: vec![NodeId::new(1)],
+            ..DotOptions::default()
+        };
         let dot = to_dot(&toy(), &options);
         assert!(dot.contains("1 [color=red, penwidth=3]"));
     }

@@ -34,7 +34,11 @@ pub struct ParseOptions {
 
 impl Default for ParseOptions {
     fn default() -> Self {
-        ParseOptions { undirected: false, default_weight: 1.0, skip_self_loops: true }
+        ParseOptions {
+            undirected: false,
+            default_weight: 1.0,
+            skip_self_loops: true,
+        }
     }
 }
 
@@ -57,14 +61,34 @@ pub fn parse<R: Read>(reader: R, options: ParseOptions) -> Result<ParsedEdgeList
         })
     };
 
+    let mut declared_nodes: Option<u64> = None;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            // Honor the `# nodes: N ...` header [`write`] emits, so
+            // write/parse round-trips keep isolated nodes: labels
+            // `0..N` are interned up front, in numeric order.
+            if declared_nodes.is_none() {
+                if let Some(n) = line
+                    .strip_prefix("# nodes: ")
+                    .and_then(|rest| rest.split_whitespace().next())
+                    .and_then(|tok| tok.parse::<u64>().ok())
+                    .filter(|&n| n <= u64::from(u32::MAX))
+                {
+                    for label in 0..n {
+                        intern(label, &mut labels);
+                    }
+                    declared_nodes = Some(n);
+                }
+            }
             continue;
         }
         let mut parts = line.split_whitespace();
-        let err = |message: String| GraphError::Parse { line: lineno + 1, message };
+        let err = |message: String| GraphError::Parse {
+            line: lineno + 1,
+            message,
+        };
         let u: u64 = parts
             .next()
             .ok_or_else(|| err("missing source".into()))?
@@ -89,7 +113,11 @@ pub fn parse<R: Read>(reader: R, options: ParseOptions) -> Result<ParsedEdgeList
 
     let mut builder = GraphBuilder::with_capacity(
         labels.len() as u32,
-        if options.undirected { edges.len() * 2 } else { edges.len() },
+        if options.undirected {
+            edges.len() * 2
+        } else {
+            edges.len()
+        },
     );
     for (u, v, w) in edges {
         if options.undirected {
@@ -138,7 +166,12 @@ pub fn read_path<P: AsRef<Path>>(path: P, options: ParseOptions) -> Result<Parse
 ///
 /// Propagates writer failures as [`GraphError::Io`].
 pub fn write<W: Write>(graph: &crate::Graph, mut writer: W) -> Result<()> {
-    writeln!(writer, "# nodes: {} edges: {}", graph.node_count(), graph.edge_count())?;
+    writeln!(
+        writer,
+        "# nodes: {} edges: {}",
+        graph.node_count(),
+        graph.edge_count()
+    )?;
     for e in graph.edges() {
         writeln!(writer, "{} {} {}", e.source.raw(), e.target.raw(), e.weight)?;
     }
@@ -174,7 +207,10 @@ mod tests {
 
     #[test]
     fn undirected_doubles_edges() {
-        let opts = ParseOptions { undirected: true, ..ParseOptions::default() };
+        let opts = ParseOptions {
+            undirected: true,
+            ..ParseOptions::default()
+        };
         let p = parse_str("1 2\n", opts).unwrap();
         let g = p.builder.build().unwrap();
         assert_eq!(g.edge_count(), 2);
@@ -209,6 +245,33 @@ mod tests {
         assert_eq!(g2.node_count(), g.node_count());
         assert_eq!(g2.edge_count(), g.edge_count());
         assert_eq!(g2.weight(0.into(), 1.into()), Some(0.5));
+    }
+
+    #[test]
+    fn nodes_header_preserves_isolated_nodes() {
+        // Node 4 has no edges; the header keeps it across a round-trip.
+        let p = parse_str("# nodes: 5 edges: 2\n0 1\n1 2\n", ParseOptions::default()).unwrap();
+        let g = p.builder.build().unwrap();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(p.labels, vec![0, 1, 2, 3, 4]);
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        let g2 = parse_str(&String::from_utf8(buf).unwrap(), ParseOptions::default())
+            .unwrap()
+            .builder
+            .build()
+            .unwrap();
+        assert_eq!(g2.node_count(), 5);
+        // Labels beyond the declared count still intern fine.
+        let p = parse_str("# nodes: 2 edges: 1\n0 7\n", ParseOptions::default()).unwrap();
+        assert_eq!(p.labels, vec![0, 1, 7]);
+        // An absurd header is ignored rather than allocated.
+        let p = parse_str(
+            "# nodes: 99999999999 edges: 1\n0 1\n",
+            ParseOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(p.labels, vec![0, 1]);
     }
 
     #[test]

@@ -49,9 +49,16 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node {node} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {node_count} nodes"
+                )
             }
-            GraphError::InvalidWeight { source, target, weight } => write!(
+            GraphError::InvalidWeight {
+                source,
+                target,
+                weight,
+            } => write!(
                 f,
                 "edge ({source}, {target}) has weight {weight} outside the probability range [0, 1]"
             ),
@@ -88,14 +95,24 @@ mod tests {
 
     #[test]
     fn display_mentions_offenders() {
-        let e = GraphError::NodeOutOfRange { node: 9, node_count: 5 };
+        let e = GraphError::NodeOutOfRange {
+            node: 9,
+            node_count: 5,
+        };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('5'));
 
-        let e = GraphError::InvalidWeight { source: 1, target: 2, weight: 1.5 };
+        let e = GraphError::InvalidWeight {
+            source: 1,
+            target: 2,
+            weight: 1.5,
+        };
         assert!(e.to_string().contains("1.5"));
 
-        let e = GraphError::Parse { line: 3, message: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 3"));
     }
 

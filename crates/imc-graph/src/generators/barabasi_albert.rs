@@ -100,10 +100,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let g = barabasi_albert(300, 2, &mut rng);
         for v in g.nodes() {
-            assert!(
-                g.in_degree(v) + g.out_degree(v) > 0,
-                "node {v} isolated"
-            );
+            assert!(g.in_degree(v) + g.out_degree(v) > 0, "node {v} isolated");
         }
     }
 

@@ -52,7 +52,10 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: u32, p: f64, rng: &mut R) -> Graph {
 /// Panics if `m` exceeds `n·(n−1)`.
 pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: u32, m: usize, rng: &mut R) -> Graph {
     let total = n as u64 * (n as u64 - 1);
-    assert!(m as u64 <= total, "m={m} exceeds the {total} possible directed edges");
+    assert!(
+        m as u64 <= total,
+        "m={m} exceeds the {total} possible directed edges"
+    );
     let mut chosen = std::collections::HashSet::with_capacity(m);
     let mut b = GraphBuilder::with_capacity(n, m);
     while chosen.len() < m {
@@ -98,7 +101,10 @@ mod tests {
         let m = g.edge_count() as f64;
         // 5 sigma tolerance.
         let sigma = (expected * (1.0 - p)).sqrt();
-        assert!((m - expected).abs() < 5.0 * sigma, "m={m} expected≈{expected}");
+        assert!(
+            (m - expected).abs() < 5.0 * sigma,
+            "m={m} expected≈{expected}"
+        );
     }
 
     #[test]

@@ -31,8 +31,14 @@ pub fn planted_partition<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> PlantedPartition {
     assert!(r > 0 && r <= n, "need 0 < r <= n (r={r}, n={n})");
-    assert!((0.0..=1.0).contains(&p_in), "p_in={p_in} must be a probability");
-    assert!((0.0..=1.0).contains(&p_out), "p_out={p_out} must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&p_in),
+        "p_in={p_in} must be a probability"
+    );
+    assert!(
+        (0.0..=1.0).contains(&p_out),
+        "p_out={p_out} must be a probability"
+    );
 
     // Round-robin assignment keeps block sizes within 1 of each other.
     let mut blocks: Vec<Vec<NodeId>> = vec![Vec::new(); r as usize];
@@ -51,7 +57,11 @@ pub fn planted_partition<R: Rng + ?Sized>(
     if p_max > 0.0 {
         let total_pairs = n as u64 * (n as u64 - 1) / 2;
         let mut emit = |u: u32, v: u32, rng: &mut R| {
-            let p = if block_of[u as usize] == block_of[v as usize] { p_in } else { p_out };
+            let p = if block_of[u as usize] == block_of[v as usize] {
+                p_in
+            } else {
+                p_out
+            };
             // Thin: keep with probability p / p_max.
             if p > 0.0 && (p >= p_max || rng.random_bool(p / p_max)) {
                 b.add_undirected(u, v, 1.0).expect("in-range");
@@ -78,7 +88,10 @@ pub fn planted_partition<R: Rng + ?Sized>(
             }
         }
     }
-    PlantedPartition { graph: b.build().expect("valid"), blocks }
+    PlantedPartition {
+        graph: b.build().expect("valid"),
+        blocks,
+    }
 }
 
 /// Maps a linear rank over unordered pairs `(u < v)` of `0..n` to the pair.
@@ -161,7 +174,10 @@ mod tests {
         let expected = 2.0 * p_in * intra_pairs; // directed doubling
         let m = pp.graph.edge_count() as f64;
         let sigma = (2.0 * intra_pairs * p_in * (1.0 - p_in)).sqrt() * 2.0;
-        assert!((m - expected).abs() < 5.0 * sigma, "m={m}, expected≈{expected}");
+        assert!(
+            (m - expected).abs() < 5.0 * sigma,
+            "m={m}, expected≈{expected}"
+        );
     }
 
     #[test]

@@ -15,8 +15,14 @@ use rand::Rng;
 /// Panics if `k_half == 0`, `2·k_half >= n`, or `beta ∉ [0, 1]`.
 pub fn watts_strogatz<R: Rng + ?Sized>(n: u32, k_half: u32, beta: f64, rng: &mut R) -> Graph {
     assert!(k_half > 0, "k_half must be positive");
-    assert!(2 * k_half < n, "ring requires 2·k_half < n (k_half={k_half}, n={n})");
-    assert!((0.0..=1.0).contains(&beta), "beta={beta} must be a probability");
+    assert!(
+        2 * k_half < n,
+        "ring requires 2·k_half < n (k_half={k_half}, n={n})"
+    );
+    assert!(
+        (0.0..=1.0).contains(&beta),
+        "beta={beta} must be a probability"
+    );
     // Undirected edge set as normalized (min, max) pairs.
     let mut present = std::collections::HashSet::<(u32, u32)>::new();
     let norm = |a: u32, b: u32| if a < b { (a, b) } else { (b, a) };

@@ -101,7 +101,15 @@ impl Graph {
             let (s, e) = (in_offsets[u], in_offsets[u + 1]);
             sort_run(&mut in_sources[s..e], &mut in_weights[s..e]);
         }
-        Graph { n, out_offsets, out_targets, out_weights, in_offsets, in_sources, in_weights }
+        Graph {
+            n,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+        }
     }
 
     /// Number of nodes `n`.
@@ -368,7 +376,9 @@ mod tests {
         let g = diamond();
         let all: Vec<_> = g.edges().collect();
         assert_eq!(all.len(), 4);
-        assert!(all.iter().any(|e| e.source == NodeId::new(2) && e.target == NodeId::new(3)));
+        assert!(all
+            .iter()
+            .any(|e| e.source == NodeId::new(2) && e.target == NodeId::new(3)));
     }
 
     #[test]

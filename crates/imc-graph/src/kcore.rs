@@ -15,11 +15,12 @@ pub fn core_numbers(graph: &Graph) -> Vec<u32> {
     if n == 0 {
         return Vec::new();
     }
-    let mut degree: Vec<usize> =
-        (0..n).map(|v| {
+    let mut degree: Vec<usize> = (0..n)
+        .map(|v| {
             let v = NodeId::new(v as u32);
             graph.out_degree(v) + graph.in_degree(v)
-        }).collect();
+        })
+        .collect();
     let max_degree = degree.iter().copied().max().unwrap_or(0);
 
     // Bucket sort nodes by degree.

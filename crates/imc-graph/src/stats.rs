@@ -59,7 +59,11 @@ impl GraphStats {
             max_out_degree: max_out,
             max_in_degree: max_in,
             isolated_nodes: isolated,
-            density: if n > 1 { m as f64 / (n as f64 * (n as f64 - 1.0)) } else { 0.0 },
+            density: if n > 1 {
+                m as f64 / (n as f64 * (n as f64 - 1.0))
+            } else {
+                0.0
+            },
         }
     }
 }

@@ -1,0 +1,72 @@
+//! Minimal blocking client for the newline-delimited JSON protocol —
+//! used by `imc query` and the end-to-end tests.
+
+use crate::json::{self, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected client. One request/response pair at a time; the
+/// connection is reused across requests.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects with the given I/O timeout.
+    ///
+    /// # Errors
+    ///
+    /// `std::io::Error` when the connection fails.
+    pub fn connect<A: ToSocketAddrs>(addr: A, timeout: Duration) -> std::io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Sends one raw request line and returns the raw response line.
+    ///
+    /// # Errors
+    ///
+    /// `std::io::Error` on broken pipe, timeout, or server disconnect.
+    pub fn request_line(&mut self, line: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// Sends a request line and parses the response as JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from [`request_line`](Self::request_line); a JSON parse
+    /// failure maps to `InvalidData`.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Value> {
+        let text = self.request_line(line)?;
+        json::parse(&text).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response: {e}"),
+            )
+        })
+    }
+}

@@ -1,0 +1,183 @@
+//! Request metrics: per-operation counters and a latency reservoir giving
+//! p50/p99 without unbounded memory.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How many recent latency observations the reservoir keeps.
+const RESERVOIR_CAP: usize = 4096;
+
+/// Lock-light metrics shared by every worker thread.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Completed `solve` requests.
+    pub solve_requests: AtomicU64,
+    /// Completed `estimate` requests.
+    pub estimate_requests: AtomicU64,
+    /// Completed `stats`/`health` requests.
+    pub info_requests: AtomicU64,
+    /// Requests rejected with an error response.
+    pub error_requests: AtomicU64,
+    /// Requests dropped because their deadline passed while queued.
+    pub deadline_misses: AtomicU64,
+    /// Total RIC samples scanned on behalf of requests.
+    pub samples_served: AtomicU64,
+    /// Recent request latencies in microseconds (ring buffer).
+    latencies_us: Mutex<LatencyRing>,
+}
+
+#[derive(Debug, Default)]
+struct LatencyRing {
+    buf: Vec<u64>,
+    next: usize,
+}
+
+impl Metrics {
+    /// Fresh metrics with zeroed counters.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one completed request of the given operation kind.
+    pub fn record(&self, kind: OpKind, latency: Duration, samples_scanned: u64) {
+        match kind {
+            OpKind::Solve => &self.solve_requests,
+            OpKind::Estimate => &self.estimate_requests,
+            OpKind::Info => &self.info_requests,
+            OpKind::Error => &self.error_requests,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.samples_served
+            .fetch_add(samples_scanned, Ordering::Relaxed);
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let mut ring = self.latencies_us.lock().expect("metrics lock");
+        if ring.buf.len() < RESERVOIR_CAP {
+            ring.buf.push(us);
+        } else {
+            let at = ring.next;
+            ring.buf[at] = us;
+        }
+        ring.next = (ring.next + 1) % RESERVOIR_CAP;
+    }
+
+    /// Records a request rejected because its deadline expired in queue.
+    pub fn record_deadline_miss(&self) {
+        self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        self.error_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time snapshot of all counters and percentiles.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let (p50, p99) = {
+            let ring = self.latencies_us.lock().expect("metrics lock");
+            percentiles(&ring.buf)
+        };
+        MetricsSnapshot {
+            solve_requests: self.solve_requests.load(Ordering::Relaxed),
+            estimate_requests: self.estimate_requests.load(Ordering::Relaxed),
+            info_requests: self.info_requests.load(Ordering::Relaxed),
+            error_requests: self.error_requests.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            samples_served: self.samples_served.load(Ordering::Relaxed),
+            p50_latency_us: p50,
+            p99_latency_us: p99,
+        }
+    }
+}
+
+/// Which counter a completed request increments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `solve` requests.
+    Solve,
+    /// `estimate` requests.
+    Estimate,
+    /// `stats` and `health` requests.
+    Info,
+    /// Requests answered with an error.
+    Error,
+}
+
+/// Plain-data view of [`Metrics`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Completed `solve` requests.
+    pub solve_requests: u64,
+    /// Completed `estimate` requests.
+    pub estimate_requests: u64,
+    /// Completed `stats`/`health` requests.
+    pub info_requests: u64,
+    /// Requests answered with an error.
+    pub error_requests: u64,
+    /// Requests dropped for missing their deadline in queue.
+    pub deadline_misses: u64,
+    /// Total RIC samples scanned.
+    pub samples_served: u64,
+    /// Median request latency, microseconds (0 when no data).
+    pub p50_latency_us: u64,
+    /// 99th-percentile request latency, microseconds (0 when no data).
+    pub p99_latency_us: u64,
+}
+
+/// Nearest-rank percentiles over the reservoir.
+fn percentiles(values: &[u64]) -> (u64, u64) {
+    if values.is_empty() {
+        return (0, 0);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = |p: f64| {
+        let idx = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[idx.clamp(1, sorted.len()) - 1]
+    };
+    (rank(50.0), rank(99.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_kind() {
+        let m = Metrics::new();
+        m.record(OpKind::Solve, Duration::from_micros(10), 100);
+        m.record(OpKind::Solve, Duration::from_micros(20), 100);
+        m.record(OpKind::Estimate, Duration::from_micros(30), 50);
+        m.record(OpKind::Info, Duration::from_micros(1), 0);
+        m.record(OpKind::Error, Duration::from_micros(1), 0);
+        let s = m.snapshot();
+        assert_eq!(s.solve_requests, 2);
+        assert_eq!(s.estimate_requests, 1);
+        assert_eq!(s.info_requests, 1);
+        assert_eq!(s.error_requests, 1);
+        assert_eq!(s.samples_served, 250);
+    }
+
+    #[test]
+    fn percentile_ranks() {
+        let values: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentiles(&values), (50, 99));
+        assert_eq!(percentiles(&[7]), (7, 7));
+        assert_eq!(percentiles(&[]), (0, 0));
+    }
+
+    #[test]
+    fn reservoir_wraps_without_growing() {
+        let m = Metrics::new();
+        for i in 0..(RESERVOIR_CAP as u64 + 100) {
+            m.record(OpKind::Info, Duration::from_micros(i), 0);
+        }
+        let ring = m.latencies_us.lock().unwrap();
+        assert_eq!(ring.buf.len(), RESERVOIR_CAP);
+    }
+
+    #[test]
+    fn deadline_misses_count_as_errors() {
+        let m = Metrics::new();
+        m.record_deadline_miss();
+        let s = m.snapshot();
+        assert_eq!(s.deadline_misses, 1);
+        assert_eq!(s.error_requests, 1);
+    }
+}

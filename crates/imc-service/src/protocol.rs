@@ -1,0 +1,291 @@
+//! Newline-delimited JSON wire protocol.
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line. Request shapes:
+//!
+//! ```text
+//! {"op":"solve","k":5}                                — solve on the current snapshot
+//! {"op":"solve","k":5,"algo":"maf","seed":7}          — choose solver + RNG seed
+//! {"op":"solve","k":5,"framework":"imcaf",
+//!  "epsilon":0.2,"delta":0.1,"max_samples":100000}    — full IMCAF run (samples fresh)
+//! {"op":"estimate","seeds":[3,17,42]}                 — ĉ_R / ν_R of a seed set
+//! {"op":"stats"}                                      — metrics + collection stats
+//! {"op":"health"}                                     — liveness probe
+//! {"op":"shutdown"}                                   — graceful stop
+//! ```
+//!
+//! Responses carry `"ok":true` plus op-specific fields, or `"ok":false`
+//! with an `"error"` string.
+
+use crate::json::{self, ObjectBuilder, Value};
+use imc_core::MaxrAlgorithm;
+use imc_graph::NodeId;
+
+/// Default solver when a `solve` request names none.
+pub const DEFAULT_ALGO: MaxrAlgorithm = MaxrAlgorithm::Ubg;
+/// Default RNG seed for tie-breaking / sampling.
+pub const DEFAULT_SEED: u64 = 1;
+/// Default IMCAF accuracy parameter ε.
+pub const DEFAULT_EPSILON: f64 = 0.2;
+/// Default IMCAF failure probability δ.
+pub const DEFAULT_DELTA: f64 = 0.2;
+/// Default IMCAF sample cap.
+pub const DEFAULT_MAX_SAMPLES: usize = 1 << 20;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Select `k` seeds with a MAXR solver.
+    Solve {
+        /// Seed budget `k`.
+        k: usize,
+        /// Which MAXR solver to run.
+        algo: MaxrAlgorithm,
+        /// RNG seed (MAF tie-breaking; IMCAF sampling).
+        seed: u64,
+        /// `None`: solve on the served snapshot (deterministic given the
+        /// snapshot). `Some`: run the full IMCAF loop with fresh samples.
+        imcaf: Option<ImcafParams>,
+    },
+    /// Score a caller-supplied seed set with the snapshot estimators.
+    Estimate {
+        /// The seed set to score.
+        seeds: Vec<NodeId>,
+    },
+    /// Metrics and collection statistics.
+    Stats,
+    /// Liveness probe.
+    Health,
+    /// Graceful server stop.
+    Shutdown,
+}
+
+/// IMCAF accuracy parameters for `"framework":"imcaf"` solves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImcafParams {
+    /// Approximation slack ε.
+    pub epsilon: f64,
+    /// Failure probability δ.
+    pub delta: f64,
+    /// Hard cap on generated samples.
+    pub max_samples: usize,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A human-readable message describing the malformed field.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = json::parse(line).map_err(|e| e.to_string())?;
+    let obj = value.as_object().ok_or("request must be a JSON object")?;
+    let op = obj
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("missing string field `op`")?;
+    match op {
+        "solve" => {
+            let k = value
+                .get("k")
+                .and_then(Value::as_u64)
+                .ok_or("solve requires a non-negative integer `k`")?;
+            let algo = match value
+                .get("algo")
+                .map(|a| a.as_str().ok_or("`algo` must be a string"))
+            {
+                None => DEFAULT_ALGO,
+                Some(name) => parse_algo(name?)?,
+            };
+            let seed = field_u64(&value, "seed")?.unwrap_or(DEFAULT_SEED);
+            let imcaf = match value.get("framework").map(|f| f.as_str()) {
+                None | Some(Some("snapshot")) => None,
+                Some(Some("imcaf")) => Some(ImcafParams {
+                    epsilon: field_f64(&value, "epsilon")?.unwrap_or(DEFAULT_EPSILON),
+                    delta: field_f64(&value, "delta")?.unwrap_or(DEFAULT_DELTA),
+                    max_samples: field_u64(&value, "max_samples")?
+                        .map_or(DEFAULT_MAX_SAMPLES, |m| m as usize),
+                }),
+                Some(Some(other)) => {
+                    return Err(format!(
+                        "unknown framework `{other}` (expected snapshot | imcaf)"
+                    ))
+                }
+                Some(None) => return Err("`framework` must be a string".into()),
+            };
+            Ok(Request::Solve {
+                k: k as usize,
+                algo,
+                seed,
+                imcaf,
+            })
+        }
+        "estimate" => {
+            let arr = value
+                .get("seeds")
+                .and_then(Value::as_array)
+                .ok_or("estimate requires an array field `seeds`")?;
+            let seeds = arr
+                .iter()
+                .map(|s| {
+                    s.as_u64()
+                        .filter(|&v| v <= u64::from(u32::MAX))
+                        .map(|v| NodeId::new(v as u32))
+                        .ok_or_else(|| {
+                            format!("invalid node id in `seeds`: {}", json::to_string(s))
+                        })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Request::Estimate { seeds })
+        }
+        "stats" => Ok(Request::Stats),
+        "health" => Ok(Request::Health),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!(
+            "unknown op `{other}` (expected solve | estimate | stats | health | shutdown)"
+        )),
+    }
+}
+
+fn field_u64(value: &Value, name: &str) -> Result<Option<u64>, String> {
+    match value.get(name) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("`{name}` must be a non-negative integer")),
+    }
+}
+
+fn field_f64(value: &Value, name: &str) -> Result<Option<f64>, String> {
+    match value.get(name) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("`{name}` must be a number")),
+    }
+}
+
+fn parse_algo(name: &str) -> Result<MaxrAlgorithm, String> {
+    Ok(match name {
+        "greedy" => MaxrAlgorithm::Greedy,
+        "ubg" => MaxrAlgorithm::Ubg,
+        "maf" => MaxrAlgorithm::Maf,
+        "bt" => MaxrAlgorithm::Bt,
+        "mb" => MaxrAlgorithm::Mb,
+        other => {
+            return Err(format!(
+                "unknown algo `{other}` (expected greedy | ubg | maf | bt | mb)"
+            ))
+        }
+    })
+}
+
+/// Serializes an `"ok":true` response with the given extra fields.
+pub fn ok_response(op: &str, fields: ObjectBuilder) -> String {
+    json::to_string(&fields.field("ok", true).field("op", op).build())
+}
+
+/// Serializes an `"ok":false` error response.
+pub fn error_response(message: &str) -> String {
+    json::to_string(
+        &ObjectBuilder::new()
+            .field("ok", false)
+            .field("error", message)
+            .build(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_solve_defaults_and_overrides() {
+        let r = parse_request(r#"{"op":"solve","k":4}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Solve {
+                k: 4,
+                algo: MaxrAlgorithm::Ubg,
+                seed: 1,
+                imcaf: None
+            }
+        );
+        let r = parse_request(r#"{"op":"solve","k":2,"algo":"maf","seed":9}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Solve {
+                k: 2,
+                algo: MaxrAlgorithm::Maf,
+                seed: 9,
+                imcaf: None
+            }
+        );
+    }
+
+    #[test]
+    fn parses_imcaf_framework() {
+        let r = parse_request(
+            r#"{"op":"solve","k":3,"framework":"imcaf","epsilon":0.1,"delta":0.05,"max_samples":5000}"#,
+        )
+        .unwrap();
+        let Request::Solve { imcaf: Some(p), .. } = r else {
+            panic!("expected imcaf solve, got {r:?}");
+        };
+        assert_eq!(p.epsilon, 0.1);
+        assert_eq!(p.delta, 0.05);
+        assert_eq!(p.max_samples, 5000);
+    }
+
+    #[test]
+    fn parses_estimate_stats_health_shutdown() {
+        assert_eq!(
+            parse_request(r#"{"op":"estimate","seeds":[0,5]}"#).unwrap(),
+            Request::Estimate {
+                seeds: vec![NodeId::new(0), NodeId::new(5)]
+            }
+        );
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"op":"health"}"#).unwrap(),
+            Request::Health
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "not json",
+            r#"[1,2]"#,
+            r#"{"k":3}"#,
+            r#"{"op":"solve"}"#,
+            r#"{"op":"solve","k":-2}"#,
+            r#"{"op":"solve","k":2,"algo":"quantum"}"#,
+            r#"{"op":"solve","k":2,"framework":"other"}"#,
+            r#"{"op":"estimate"}"#,
+            r#"{"op":"estimate","seeds":[-1]}"#,
+            r#"{"op":"estimate","seeds":["a"]}"#,
+            r#"{"op":"teleport"}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn responses_are_single_line_json() {
+        let ok = ok_response("health", ObjectBuilder::new().field("status", "ok"));
+        assert!(!ok.contains('\n'));
+        let v = json::parse(&ok).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("op").unwrap().as_str(), Some("health"));
+        let err = error_response("boom \"quoted\"");
+        let v = json::parse(&err).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("error").unwrap().as_str(), Some("boom \"quoted\""));
+    }
+}

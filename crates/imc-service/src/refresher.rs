@@ -1,0 +1,116 @@
+//! Background sample refresher: grows the served collection by doubling
+//! (the IMCAF outer-loop schedule) and publishes each enlarged collection
+//! via the state's atomic `Arc` swap — in-flight requests keep the
+//! collection they pinned; new requests see the new generation.
+//!
+//! The seed schedule is deterministic: growth round for generation `g`
+//! draws its shard seeds from `base_seed + (g + 1) * 2^16`, so reruns of
+//! the same schedule reproduce the same collections bit-for-bit while
+//! distinct rounds never reuse a shard seed (shards use offsets `0..16`).
+
+use crate::server::{RefreshConfig, Shutdown};
+use crate::ServiceState;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Seed stride between growth rounds — far larger than the 16 shard
+/// offsets `extend_parallel` uses, so rounds never collide.
+const ROUND_SEED_STRIDE: u64 = 1 << 16;
+
+/// One growth round: doubles the collection (capped at `target_samples`)
+/// and publishes it. Returns the new generation, or `None` when the
+/// collection is already at target.
+pub fn grow_once(state: &ServiceState, config: &RefreshConfig) -> Option<u64> {
+    let (current, generation) = state.pinned();
+    let len = current.len();
+    if len >= config.target_samples {
+        return None;
+    }
+    let grow_to = (len.max(1) * 2).min(config.target_samples);
+    let additional = grow_to - len;
+    let mut next = (*current).clone();
+    let sampler = state.instance().sampler();
+    let round_seed = config
+        .base_seed
+        .wrapping_add(generation.wrapping_add(1).wrapping_mul(ROUND_SEED_STRIDE));
+    next.extend_parallel(&sampler, additional, round_seed);
+    Some(state.publish(next))
+}
+
+/// Spawns the refresher thread: waits `interval` between rounds, exits
+/// promptly when `shutdown` is raised, and idles (still watching for
+/// shutdown) once the target is reached.
+pub fn spawn(
+    state: Arc<ServiceState>,
+    config: RefreshConfig,
+    shutdown: Arc<Shutdown>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("imc-refresher".to_string())
+        .spawn(move || loop {
+            if shutdown.wait_timeout(config.interval) {
+                return;
+            }
+            let _ = grow_once(&state, &config);
+        })
+        .expect("spawn refresher thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::tiny_state;
+    use std::time::Duration;
+
+    fn config(target: usize) -> RefreshConfig {
+        RefreshConfig {
+            target_samples: target,
+            interval: Duration::from_millis(1),
+            base_seed: 99,
+        }
+    }
+
+    #[test]
+    fn doubles_until_target_then_idles() {
+        let state = tiny_state(100);
+        let cfg = config(350);
+        assert_eq!(grow_once(&state, &cfg), Some(1));
+        assert_eq!(state.collection().len(), 200);
+        assert_eq!(grow_once(&state, &cfg), Some(2));
+        // Doubling 200 → 400 is capped at the 350 target.
+        assert_eq!(state.collection().len(), 350);
+        assert_eq!(grow_once(&state, &cfg), None);
+        assert_eq!(state.generation(), 2);
+    }
+
+    #[test]
+    fn growth_is_deterministic_and_preserves_prefix() {
+        let a = tiny_state(64);
+        let b = tiny_state(64);
+        let cfg = config(256);
+        grow_once(&a, &cfg);
+        grow_once(&b, &cfg);
+        assert_eq!(a.collection().samples(), b.collection().samples());
+        // The original 64 samples are an untouched prefix.
+        let before = tiny_state(64);
+        assert_eq!(
+            &a.collection().samples()[..64],
+            before.collection().samples()
+        );
+    }
+
+    #[test]
+    fn spawned_thread_reaches_target_and_stops_on_signal() {
+        let state = Arc::new(tiny_state(32));
+        let shutdown = Arc::new(crate::server::Shutdown::new());
+        let handle = spawn(Arc::clone(&state), config(128), Arc::clone(&shutdown));
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while state.collection().len() < 128 {
+            assert!(std::time::Instant::now() < deadline, "refresher too slow");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        shutdown.request();
+        handle.join().unwrap();
+        assert_eq!(state.collection().len(), 128);
+    }
+}

@@ -1,0 +1,557 @@
+//! The TCP daemon: accept loop, worker pool dispatch, request handling,
+//! graceful shutdown.
+//!
+//! One acceptor thread owns the listener and hands each connection to a
+//! fixed [`ThreadPool`]. Every request pins the currently-published
+//! collection (`Arc` clone), so a background refresh never blocks or
+//! tears an in-flight solve. Shutdown is cooperative: a `shutdown`
+//! request (or [`ServerHandle::stop`]) raises the [`Shutdown`] signal and
+//! pokes the listener with a loopback connection so the blocking `accept`
+//! wakes up; the acceptor then drains — dropping the pool joins workers
+//! after their queued connections finish.
+
+use crate::json::ObjectBuilder;
+use crate::metrics::OpKind;
+use crate::pool::ThreadPool;
+use crate::protocol::{self, Request};
+use crate::refresher;
+use crate::ServiceState;
+use imc_core::{imcaf, ImcafConfig};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Cooperative shutdown signal shared by the acceptor, workers and the
+/// refresher thread.
+#[derive(Debug, Default)]
+pub struct Shutdown {
+    requested: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Shutdown {
+    /// A signal in the "running" state.
+    pub fn new() -> Self {
+        Shutdown::default()
+    }
+
+    /// Raises the signal (idempotent) and wakes all waiters.
+    pub fn request(&self) {
+        *self.requested.lock().expect("shutdown lock") = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_requested(&self) -> bool {
+        *self.requested.lock().expect("shutdown lock")
+    }
+
+    /// Sleeps up to `timeout` or until the signal is raised; returns
+    /// whether shutdown is requested.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let guard = self.requested.lock().expect("shutdown lock");
+        if *guard {
+            return true;
+        }
+        let (guard, _) = self.cv.wait_timeout(guard, timeout).expect("shutdown lock");
+        *guard
+    }
+
+    /// Blocks until the signal is raised.
+    pub fn wait(&self) {
+        let mut guard = self.requested.lock().expect("shutdown lock");
+        while !*guard {
+            guard = self.cv.wait(guard).expect("shutdown lock");
+        }
+    }
+}
+
+/// Background sample-refresh configuration (see [`refresher`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshConfig {
+    /// Stop growing once the collection holds this many samples.
+    pub target_samples: usize,
+    /// Pause between growth rounds.
+    pub interval: Duration,
+    /// Base RNG seed for the deterministic shard-seed schedule.
+    pub base_seed: u64,
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Per-request deadline: socket read/write timeout, and the cap on
+    /// time a connection may wait in the pool queue before being refused.
+    pub deadline: Duration,
+    /// Optional background refresher.
+    pub refresh: Option<RefreshConfig>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            deadline: Duration::from_secs(30),
+            refresh: None,
+        }
+    }
+}
+
+/// A running daemon instance.
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the acceptor (plus the refresher when configured) and
+    /// returns a handle. Non-blocking; use [`ServerHandle::wait`] to park
+    /// until shutdown.
+    ///
+    /// # Errors
+    ///
+    /// `std::io::Error` when the bind fails.
+    pub fn start(state: Arc<ServiceState>, config: ServeConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(config.addr.as_str())?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(Shutdown::new());
+
+        let refresh_thread = config
+            .refresh
+            .map(|rc| refresher::spawn(Arc::clone(&state), rc, Arc::clone(&shutdown)));
+
+        let accept_state = Arc::clone(&state);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let workers = config.workers;
+        let deadline = config.deadline;
+        let accept_thread = std::thread::Builder::new()
+            .name("imc-acceptor".to_string())
+            .spawn(move || {
+                let pool = ThreadPool::new(workers);
+                for stream in listener.incoming() {
+                    if accept_shutdown.is_requested() {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let state = Arc::clone(&accept_state);
+                    let shutdown = Arc::clone(&accept_shutdown);
+                    let enqueued = Instant::now();
+                    pool.execute(move || {
+                        handle_connection(&state, stream, deadline, &shutdown, enqueued);
+                    });
+                }
+                // Dropping the pool joins workers after queued jobs drain.
+            })
+            .expect("spawn acceptor thread");
+
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            refresh_thread,
+        })
+    }
+}
+
+/// Handle to a running server: address, stop trigger, join.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<Shutdown>,
+    accept_thread: Option<JoinHandle<()>>,
+    refresh_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves ephemeral port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared shutdown signal.
+    pub fn shutdown_signal(&self) -> Arc<Shutdown> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Requests a graceful stop (also triggered by a client `shutdown`
+    /// request) and wakes the blocking accept.
+    pub fn stop(&self) {
+        self.shutdown.request();
+        poke(self.addr);
+    }
+
+    /// Blocks until shutdown is requested, then joins all threads.
+    /// In-flight connections finish first.
+    pub fn wait(mut self) {
+        self.shutdown.wait();
+        poke(self.addr);
+        self.join_threads();
+    }
+
+    /// Stops and joins immediately.
+    pub fn stop_and_join(mut self) {
+        self.stop();
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.refresh_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.request();
+        poke(self.addr);
+        self.join_threads();
+    }
+}
+
+/// Wakes a blocking `accept` by making (and dropping) a loopback
+/// connection.
+fn poke(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+}
+
+/// How often an idle connection wakes to check the shutdown signal.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
+
+fn handle_connection(
+    state: &ServiceState,
+    stream: TcpStream,
+    deadline: Duration,
+    shutdown: &Shutdown,
+    enqueued: Instant,
+) {
+    // Short read timeout so idle connections notice shutdown promptly;
+    // the request deadline is enforced separately via `idle_since`.
+    let _ = stream.set_read_timeout(Some(deadline.min(SHUTDOWN_POLL)));
+    let _ = stream.set_write_timeout(Some(deadline));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = BufWriter::new(stream);
+
+    // Deadline already blown while this connection sat in the pool queue:
+    // refuse rather than serve stale work.
+    if enqueued.elapsed() > deadline {
+        state.metrics().record_deadline_miss();
+        let _ = writeln!(
+            writer,
+            "{}",
+            protocol::error_response("deadline exceeded in queue")
+        );
+        let _ = writer.flush();
+        return;
+    }
+
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    let mut idle_since = Instant::now();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    if shutdown.is_requested() {
+                        let _ = writeln!(
+                            writer,
+                            "{}",
+                            protocol::error_response("server is shutting down")
+                        );
+                        let _ = writer.flush();
+                        break;
+                    }
+                    let (response, stop) = dispatch(state, trimmed);
+                    if writeln!(writer, "{response}")
+                        .and_then(|()| writer.flush())
+                        .is_err()
+                    {
+                        break;
+                    }
+                    if stop {
+                        shutdown.request();
+                        break;
+                    }
+                }
+                line.clear();
+                idle_since = Instant::now();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::WouldBlock =>
+            {
+                // Idle poll tick: drop the connection on shutdown or once
+                // the client has been silent past the deadline.
+                if shutdown.is_requested() || idle_since.elapsed() > deadline {
+                    break;
+                }
+            }
+            Err(_) => break, // reset or protocol-level I/O failure
+        }
+    }
+}
+
+/// Handles one request line; returns the response and whether the server
+/// should shut down afterwards.
+fn dispatch(state: &ServiceState, line: &str) -> (String, bool) {
+    let start = Instant::now();
+    let request = match protocol::parse_request(line) {
+        Ok(r) => r,
+        Err(message) => {
+            state.metrics().record(OpKind::Error, start.elapsed(), 0);
+            return (protocol::error_response(&message), false);
+        }
+    };
+    match request {
+        Request::Solve {
+            k,
+            algo,
+            seed,
+            imcaf: None,
+        } => {
+            let (collection, generation) = state.pinned();
+            match algo.solve(state.instance(), &collection, k, seed) {
+                Ok(solution) => {
+                    let scanned = collection.len() as u64;
+                    state
+                        .metrics()
+                        .record(OpKind::Solve, start.elapsed(), scanned);
+                    let seeds: Vec<u32> = solution.seeds.iter().map(|v| v.raw()).collect();
+                    let body = ObjectBuilder::new()
+                        .field("seeds", seeds)
+                        .field("estimate", solution.estimate)
+                        .field("influenced_samples", solution.influenced_samples)
+                        .field("samples", collection.len())
+                        .field("generation", generation)
+                        .field("elapsed_us", elapsed_us(start));
+                    (protocol::ok_response("solve", body), false)
+                }
+                Err(e) => {
+                    state.metrics().record(OpKind::Error, start.elapsed(), 0);
+                    (protocol::error_response(&e.to_string()), false)
+                }
+            }
+        }
+        Request::Solve {
+            k,
+            algo,
+            seed,
+            imcaf: Some(params),
+        } => {
+            let config = ImcafConfig {
+                k,
+                epsilon: params.epsilon,
+                delta: params.delta,
+                max_samples: params.max_samples,
+            };
+            match imcaf(state.instance(), algo, &config, seed) {
+                Ok(result) => {
+                    state.metrics().record(
+                        OpKind::Solve,
+                        start.elapsed(),
+                        result.samples_used as u64,
+                    );
+                    let seeds: Vec<u32> = result.seeds.iter().map(|v| v.raw()).collect();
+                    let body = ObjectBuilder::new()
+                        .field("seeds", seeds)
+                        .field("estimate", result.estimate)
+                        .field("samples", result.samples_used)
+                        .field("rounds", result.rounds)
+                        .field("stop_reason", format!("{:?}", result.stop_reason))
+                        .field("elapsed_us", elapsed_us(start));
+                    (protocol::ok_response("solve", body), false)
+                }
+                Err(e) => {
+                    state.metrics().record(OpKind::Error, start.elapsed(), 0);
+                    (protocol::error_response(&e.to_string()), false)
+                }
+            }
+        }
+        Request::Estimate { seeds } => {
+            let node_count = state.instance().node_count();
+            if let Some(bad) = seeds.iter().find(|v| v.index() >= node_count) {
+                state.metrics().record(OpKind::Error, start.elapsed(), 0);
+                return (
+                    protocol::error_response(&format!(
+                        "seed {} out of range (graph has {node_count} nodes)",
+                        bad.raw()
+                    )),
+                    false,
+                );
+            }
+            let (collection, generation) = state.pinned();
+            let estimate = collection.estimate(&seeds);
+            let nu = collection.nu_estimate(&seeds);
+            let influenced = collection.influenced_count(&seeds);
+            state
+                .metrics()
+                .record(OpKind::Estimate, start.elapsed(), collection.len() as u64);
+            let body = ObjectBuilder::new()
+                .field("estimate", estimate)
+                .field("nu_estimate", nu)
+                .field("influenced_samples", influenced)
+                .field("samples", collection.len())
+                .field("generation", generation)
+                .field("elapsed_us", elapsed_us(start));
+            (protocol::ok_response("estimate", body), false)
+        }
+        Request::Stats => {
+            let (collection, generation) = state.pinned();
+            let m = state.metrics().snapshot();
+            let cs = collection.stats();
+            state.metrics().record(OpKind::Info, start.elapsed(), 0);
+            let metrics_obj = ObjectBuilder::new()
+                .field("solve_requests", m.solve_requests)
+                .field("estimate_requests", m.estimate_requests)
+                .field("info_requests", m.info_requests)
+                .field("error_requests", m.error_requests)
+                .field("deadline_misses", m.deadline_misses)
+                .field("samples_served", m.samples_served)
+                .field("p50_latency_us", m.p50_latency_us)
+                .field("p99_latency_us", m.p99_latency_us)
+                .build();
+            let collection_obj = ObjectBuilder::new()
+                .field("samples", cs.samples)
+                .field("total_index_entries", cs.total_index_entries)
+                .field("mean_sample_size", cs.mean_sample_size)
+                .field("max_sample_size", cs.max_sample_size)
+                .field("touched_nodes", cs.touched_nodes)
+                .build();
+            let body = ObjectBuilder::new()
+                .field("metrics", metrics_obj)
+                .field("collection", collection_obj)
+                .field("generation", generation)
+                .field("fingerprint", format!("{:016x}", state.fingerprint()))
+                .field("node_count", state.instance().node_count())
+                .field("community_count", state.instance().community_count());
+            (protocol::ok_response("stats", body), false)
+        }
+        Request::Health => {
+            let (collection, generation) = state.pinned();
+            state.metrics().record(OpKind::Info, start.elapsed(), 0);
+            let body = ObjectBuilder::new()
+                .field("status", "ok")
+                .field("samples", collection.len())
+                .field("generation", generation);
+            (protocol::ok_response("health", body), false)
+        }
+        Request::Shutdown => {
+            state.metrics().record(OpKind::Info, start.elapsed(), 0);
+            (
+                protocol::ok_response("shutdown", ObjectBuilder::new()),
+                true,
+            )
+        }
+    }
+}
+
+fn elapsed_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::tests::tiny_state;
+
+    #[test]
+    fn dispatch_solve_estimate_stats_health() {
+        let state = tiny_state(200);
+        let (resp, stop) = dispatch(&state, r#"{"op":"solve","k":2,"algo":"maf"}"#);
+        assert!(!stop);
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("seeds").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(v.get("samples").unwrap().as_u64(), Some(200));
+
+        let (resp, _) = dispatch(&state, r#"{"op":"estimate","seeds":[0]}"#);
+        let v = json::parse(&resp).unwrap();
+        assert!(v.get("estimate").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(
+            v.get("nu_estimate").unwrap().as_f64().unwrap()
+                >= v.get("estimate").unwrap().as_f64().unwrap() - 1e-12
+        );
+
+        let (resp, _) = dispatch(&state, r#"{"op":"stats"}"#);
+        let v = json::parse(&resp).unwrap();
+        let m = v.get("metrics").unwrap();
+        assert_eq!(m.get("solve_requests").unwrap().as_u64(), Some(1));
+        assert_eq!(m.get("estimate_requests").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("node_count").unwrap().as_u64(), Some(6));
+
+        let (resp, _) = dispatch(&state, r#"{"op":"health"}"#);
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+    }
+
+    #[test]
+    fn dispatch_shutdown_flags_stop() {
+        let state = tiny_state(10);
+        let (resp, stop) = dispatch(&state, r#"{"op":"shutdown"}"#);
+        assert!(stop);
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn dispatch_errors_count_and_report() {
+        let state = tiny_state(10);
+        let (resp, _) = dispatch(&state, r#"{"op":"solve","k":0}"#);
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        let (resp, _) = dispatch(&state, r#"{"op":"estimate","seeds":[999]}"#);
+        let v = json::parse(&resp).unwrap();
+        assert!(v
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("out of range"));
+        let (resp, _) = dispatch(&state, "garbage");
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(state.metrics().snapshot().error_requests, 3);
+    }
+
+    #[test]
+    fn solve_on_snapshot_is_deterministic() {
+        let state = tiny_state(300);
+        let line = r#"{"op":"solve","k":2,"algo":"ubg","seed":5}"#;
+        let (first, _) = dispatch(&state, line);
+        for _ in 0..3 {
+            let (again, _) = dispatch(&state, line);
+            // Identical except elapsed_us; compare the seeds field.
+            let a = json::parse(&first).unwrap();
+            let b = json::parse(&again).unwrap();
+            assert_eq!(a.get("seeds"), b.get("seeds"));
+            assert_eq!(a.get("estimate"), b.get("estimate"));
+        }
+    }
+
+    #[test]
+    fn shutdown_signal_wakes_waiters() {
+        let s = Arc::new(Shutdown::new());
+        assert!(!s.is_requested());
+        assert!(!s.wait_timeout(Duration::from_millis(5)));
+        let s2 = Arc::clone(&s);
+        let waiter = std::thread::spawn(move || s2.wait());
+        std::thread::sleep(Duration::from_millis(10));
+        s.request();
+        waiter.join().unwrap();
+        assert!(s.is_requested());
+        assert!(s.wait_timeout(Duration::from_secs(60))); // returns at once
+    }
+}

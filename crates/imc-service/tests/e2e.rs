@@ -1,0 +1,272 @@
+//! End-to-end daemon tests: real TCP on an ephemeral port, concurrent
+//! clients, snapshot cold-start, deterministic solves, graceful shutdown.
+
+use imc_community::CommunitySet;
+use imc_core::{snapshot, ImcInstance, MaxrAlgorithm, RicCollection};
+use imc_graph::{GraphBuilder, NodeId};
+use imc_service::client::Client;
+use imc_service::{RefreshConfig, ServeConfig, Server, ServiceState};
+use std::sync::Arc;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(20);
+
+/// A 40-node instance with 4 communities and a collection of 400 samples.
+fn build_state(samples: usize) -> ServiceState {
+    let mut b = GraphBuilder::new(40);
+    for u in 0..39u32 {
+        b.add_edge(u, u + 1, 0.5).unwrap();
+        if u % 3 == 0 {
+            b.add_edge(u, (u + 7) % 40, 0.3).unwrap();
+        }
+    }
+    let g = b.build().unwrap();
+    let parts = (0..4)
+        .map(|c| {
+            let members: Vec<NodeId> = (c * 10..c * 10 + 10).map(NodeId::new).collect();
+            (members, 2u32, 1.0 + f64::from(c))
+        })
+        .collect();
+    let cs = CommunitySet::from_parts(40, parts).unwrap();
+    let instance = ImcInstance::new(g, cs).unwrap();
+    let sampler = instance.sampler();
+    let mut col = RicCollection::for_sampler(&sampler);
+    col.extend_parallel_with_workers(&sampler, samples, 1234, 1);
+    ServiceState::new(instance, col, 0)
+}
+
+fn start(state: Arc<ServiceState>, workers: usize) -> imc_service::ServerHandle {
+    Server::start(
+        state,
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            deadline: TIMEOUT,
+            refresh: None,
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+#[test]
+fn concurrent_solves_match_in_process_solver_byte_identically() {
+    let state = Arc::new(build_state(400));
+    let server = start(Arc::clone(&state), 4);
+    let addr = server.addr();
+
+    // In-process reference answers on the same pinned collection.
+    let collection = state.collection();
+    let mut expected = Vec::new();
+    for (algo_name, algo) in [
+        ("greedy", MaxrAlgorithm::Greedy),
+        ("ubg", MaxrAlgorithm::Ubg),
+        ("maf", MaxrAlgorithm::Maf),
+        ("mb", MaxrAlgorithm::Mb),
+    ] {
+        let solution = algo.solve(state.instance(), &collection, 3, 7).unwrap();
+        let seeds: Vec<u32> = solution.seeds.iter().map(|v| v.raw()).collect();
+        expected.push((algo_name, seeds, solution.estimate));
+    }
+
+    // 4 threads × 4 algorithms, all concurrent, each on its own connection.
+    let mut joins = Vec::new();
+    for _ in 0..4 {
+        let expected = expected.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr, TIMEOUT).unwrap();
+            for (algo_name, seeds, estimate) in &expected {
+                let resp = client
+                    .request(&format!(
+                        r#"{{"op":"solve","k":3,"algo":"{algo_name}","seed":7}}"#
+                    ))
+                    .unwrap();
+                assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{algo_name}");
+                let got: Vec<u32> = resp
+                    .get("seeds")
+                    .unwrap()
+                    .as_array()
+                    .unwrap()
+                    .iter()
+                    .map(|v| v.as_u64().unwrap() as u32)
+                    .collect();
+                assert_eq!(&got, seeds, "seed set differs for {algo_name}");
+                let got_estimate = resp.get("estimate").unwrap().as_f64().unwrap();
+                assert_eq!(got_estimate, *estimate, "estimate differs for {algo_name}");
+                assert_eq!(resp.get("generation").unwrap().as_u64(), Some(0));
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+
+    // Metrics counted every request.
+    let mut client = Client::connect(addr, TIMEOUT).unwrap();
+    let stats = client.request(r#"{"op":"stats"}"#).unwrap();
+    let solves = stats
+        .get("metrics")
+        .unwrap()
+        .get("solve_requests")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert_eq!(solves, 16);
+    server.stop_and_join();
+}
+
+#[test]
+fn estimates_match_in_process_and_interleave_with_solves() {
+    let state = Arc::new(build_state(300));
+    let server = start(Arc::clone(&state), 3);
+    let addr = server.addr();
+
+    let collection = state.collection();
+    let seed_sets: Vec<Vec<u32>> = vec![vec![0], vec![5, 15], vec![0, 10, 20, 30]];
+    let expected: Vec<f64> = seed_sets
+        .iter()
+        .map(|s| {
+            let ids: Vec<NodeId> = s.iter().map(|&v| NodeId::new(v)).collect();
+            collection.estimate(&ids)
+        })
+        .collect();
+
+    let mut joins = Vec::new();
+    for t in 0..3 {
+        let seed_sets = seed_sets.clone();
+        let expected = expected.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr, TIMEOUT).unwrap();
+            for (set, want) in seed_sets.iter().zip(&expected) {
+                let ids = set
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let resp = client
+                    .request(&format!(r#"{{"op":"estimate","seeds":[{ids}]}}"#))
+                    .unwrap();
+                assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+                assert_eq!(resp.get("estimate").unwrap().as_f64().unwrap(), *want);
+                // Interleave a solve on the same connection.
+                let resp = client
+                    .request(&format!(r#"{{"op":"solve","k":2,"seed":{t}}}"#))
+                    .unwrap();
+                assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    server.stop_and_join();
+}
+
+#[test]
+fn snapshot_cold_start_serves_estimates_without_resampling() {
+    // Phase 1: sample once, save a snapshot, remember an estimate.
+    let state = build_state(250);
+    let dir = std::env::temp_dir().join(format!("imc-e2e-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("warm.snap");
+    state.save_snapshot(&path).unwrap();
+    let probe: Vec<NodeId> = vec![NodeId::new(3), NodeId::new(17)];
+    let want = state.collection().estimate(&probe);
+    let instance = state.instance().clone();
+    drop(state);
+
+    // Phase 2: cold-start purely from the file — no sampling happens.
+    let data = snapshot::load_for_instance(&path, &instance).unwrap();
+    assert_eq!(data.collection.len(), 250);
+    let cold = Arc::new(ServiceState::from_snapshot(instance, data).unwrap());
+    let server = start(Arc::clone(&cold), 2);
+
+    let mut client = Client::connect(server.addr(), TIMEOUT).unwrap();
+    let resp = client
+        .request(r#"{"op":"estimate","seeds":[3,17]}"#)
+        .unwrap();
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(resp.get("estimate").unwrap().as_f64().unwrap(), want);
+    assert_eq!(resp.get("samples").unwrap().as_u64(), Some(250));
+
+    let health = client.request(r#"{"op":"health"}"#).unwrap();
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+    server.stop_and_join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn refresher_publishes_new_generations_while_serving() {
+    let state = Arc::new(build_state(50));
+    let server = Server::start(
+        Arc::clone(&state),
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            deadline: TIMEOUT,
+            refresh: Some(RefreshConfig {
+                target_samples: 200,
+                interval: Duration::from_millis(1),
+                base_seed: 42,
+            }),
+        },
+    )
+    .unwrap();
+
+    let mut client = Client::connect(server.addr(), TIMEOUT).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let health = client.request(r#"{"op":"health"}"#).unwrap();
+        let samples = health.get("samples").unwrap().as_u64().unwrap();
+        let generation = health.get("generation").unwrap().as_u64().unwrap();
+        if samples >= 200 {
+            assert!(generation >= 1, "samples grew without a generation bump");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "refresher never reached target"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Requests keep working after refreshes.
+    let resp = client.request(r#"{"op":"solve","k":2}"#).unwrap();
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+    server.stop_and_join();
+}
+
+#[test]
+fn shutdown_request_stops_the_server_gracefully() {
+    let state = Arc::new(build_state(60));
+    let server = start(state, 2);
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr, TIMEOUT).unwrap();
+    let resp = client.request(r#"{"op":"shutdown"}"#).unwrap();
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(resp.get("op").unwrap().as_str(), Some("shutdown"));
+
+    // wait() returns because the client's request raised the signal.
+    server.wait();
+
+    // New connections are refused (or reset) once the listener is gone.
+    std::thread::sleep(Duration::from_millis(50));
+    let denied = Client::connect(addr, Duration::from_millis(300))
+        .and_then(|mut c| c.request_line(r#"{"op":"health"}"#));
+    assert!(denied.is_err(), "server still answering after shutdown");
+}
+
+#[test]
+fn malformed_requests_get_error_responses_not_disconnects() {
+    let state = Arc::new(build_state(40));
+    let server = start(state, 2);
+    let mut client = Client::connect(server.addr(), TIMEOUT).unwrap();
+    for bad in ["not json", r#"{"op":"nope"}"#, r#"{"op":"solve"}"#] {
+        let resp = client.request(bad).unwrap();
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false), "{bad}");
+        assert!(resp.get("error").unwrap().as_str().is_some());
+    }
+    // The connection survives all three errors.
+    let resp = client.request(r#"{"op":"health"}"#).unwrap();
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+    server.stop_and_join();
+}

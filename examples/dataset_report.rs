@@ -30,8 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for id in imc_datasets::all() {
         let spec = imc_datasets::spec(id);
-        let graph =
-            imc_datasets::generate(id, scale, 7).reweighted(WeightModel::WeightedCascade);
+        let graph = imc_datasets::generate(id, scale, 7).reweighted(WeightModel::WeightedCascade);
         let stats = GraphStats::compute(&graph);
         let wcc = weakly_connected_components(&graph).len();
         let core = degeneracy(&graph);
@@ -61,7 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             spec.name,
             spec.paper_nodes,
             spec.paper_edges,
-            if spec.undirected { "undirected" } else { "directed" }
+            if spec.undirected {
+                "undirected"
+            } else {
+                "directed"
+            }
         );
     }
     Ok(())

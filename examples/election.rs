@@ -21,12 +21,12 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 12 states of varying size; voters mostly talk within their state.
     let sizes: [u32; 12] = [40, 36, 32, 28, 24, 24, 20, 20, 16, 16, 12, 12];
-    let weights: [f64; 12] =
-        [55.0, 40.0, 38.0, 29.0, 20.0, 20.0, 16.0, 16.0, 11.0, 11.0, 6.0, 6.0];
+    let weights: [f64; 12] = [
+        55.0, 40.0, 38.0, 29.0, 20.0, 20.0, 16.0, 16.0, 11.0, 11.0, 6.0, 6.0,
+    ];
     let n: u32 = sizes.iter().sum();
     let mut rng = StdRng::seed_from_u64(1789);
-    let pp =
-        imc::graph::generators::planted_partition(n, sizes.len() as u32, 0.3, 0.01, &mut rng);
+    let pp = imc::graph::generators::planted_partition(n, sizes.len() as u32, 0.3, 0.01, &mut rng);
     let graph = pp.graph.reweighted(WeightModel::WeightedCascade);
 
     // Round-robin blocks from the generator have near-equal sizes; regroup
@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Greedy on ĉ_R", MaxrAlgorithm::Greedy),
         ("MAF", MaxrAlgorithm::Maf),
     ] {
-        let cfg = ImcafConfig { max_samples: 60_000, ..ImcafConfig::paper_defaults(k) };
+        let cfg = ImcafConfig {
+            max_samples: 60_000,
+            ..ImcafConfig::paper_defaults(k)
+        };
         let res = imc::core::imcaf(&instance, algo, &cfg, 4)?;
         let ev = monte_carlo_benefit(
             instance.graph(),

@@ -41,16 +41,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sweep the adversary's budget. MAF keeps this fast (one pass over the
     // sample index) — the trade-off the paper's Fig. 7 documents.
-    println!("\n{:>6} {:>16} {:>22}", "budget", "expected load hit", "samples used");
+    println!(
+        "\n{:>6} {:>16} {:>22}",
+        "budget", "expected load hit", "samples used"
+    );
     for k in [2usize, 4, 8, 16, 32] {
-        let cfg = ImcafConfig { max_samples: 40_000, ..ImcafConfig::paper_defaults(k) };
+        let cfg = ImcafConfig {
+            max_samples: 40_000,
+            ..ImcafConfig::paper_defaults(k)
+        };
         let res = imc::core::imcaf(&instance, MaxrAlgorithm::Maf, &cfg, 7)?;
         println!("{k:>6} {:>16.1} {:>22}", res.estimate, res.samples_used);
     }
 
     // For the largest budget, show which neighborhoods fall in a typical
     // realization — the defender's risk map.
-    let cfg = ImcafConfig { max_samples: 40_000, ..ImcafConfig::paper_defaults(32) };
+    let cfg = ImcafConfig {
+        max_samples: 40_000,
+        ..ImcafConfig::paper_defaults(32)
+    };
     let res = imc::core::imcaf(&instance, MaxrAlgorithm::Maf, &cfg, 7)?;
     let mut rng = StdRng::seed_from_u64(555);
     let active = IndependentCascade.simulate(instance.graph(), &res.seeds, &mut rng)?;

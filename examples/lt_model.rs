@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let k = 10;
     let samples = 15_000;
 
-    println!("{:<8} {:>12} {:>16} {:>16}", "model", "ĉ_R(S)", "forward c(S)", "cross-model");
+    println!(
+        "{:<8} {:>12} {:>16} {:>16}",
+        "model", "ĉ_R(S)", "forward c(S)", "cross-model"
+    );
     let mut chosen: Vec<(LiveEdgeModel, Vec<imc::graph::NodeId>)> = Vec::new();
     for (name, live_edge, forward) in [
         (
@@ -41,10 +44,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             LiveEdgeModel::IndependentCascade,
             &IndependentCascade as &dyn DiffusionModel,
         ),
-        ("LT", LiveEdgeModel::LinearThreshold, &LinearThreshold as &dyn DiffusionModel),
+        (
+            "LT",
+            LiveEdgeModel::LinearThreshold,
+            &LinearThreshold as &dyn DiffusionModel,
+        ),
     ] {
-        let sampler =
-            RicSampler::with_model(instance.graph(), instance.communities(), live_edge);
+        let sampler = RicSampler::with_model(instance.graph(), instance.communities(), live_edge);
         let mut collection = RicCollection::for_sampler(&sampler);
         let mut rng = StdRng::seed_from_u64(5);
         collection.extend_with(&sampler, samples, &mut rng);
@@ -77,10 +83,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         chosen.push((live_edge, seeds));
     }
 
-    let same = chosen[0].1.iter().filter(|s| chosen[1].1.contains(s)).count();
-    println!(
-        "\nseed overlap between IC-optimized and LT-optimized sets: {same}/{k}"
-    );
+    let same = chosen[0]
+        .1
+        .iter()
+        .filter(|s| chosen[1].1.contains(s))
+        .count();
+    println!("\nseed overlap between IC-optimized and LT-optimized sets: {same}/{k}");
     println!("(RIC estimates match their own model's forward simulation — Lemma 1");
     println!(" holds under both live-edge distributions.)");
     Ok(())

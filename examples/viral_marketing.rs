@@ -39,13 +39,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let k = 15;
     let runs = 5_000u64;
     let model = IndependentCascade;
-    println!("\n{:<10} {:>14} {:>14}", "method", "adopting value", "raw spread");
+    println!(
+        "\n{:<10} {:>14} {:>14}",
+        "method", "adopting value", "raw spread"
+    );
 
     // IMC solvers via IMCAF.
-    for (name, algo) in
-        [("UBG", MaxrAlgorithm::Ubg), ("MAF", MaxrAlgorithm::Maf)]
-    {
-        let cfg = ImcafConfig { max_samples: 60_000, ..ImcafConfig::paper_defaults(k) };
+    for (name, algo) in [("UBG", MaxrAlgorithm::Ubg), ("MAF", MaxrAlgorithm::Maf)] {
+        let cfg = ImcafConfig {
+            max_samples: 60_000,
+            ..ImcafConfig::paper_defaults(k)
+        };
         let res = imc::core::imcaf(&instance, algo, &cfg, 3)?;
         report(name, &instance, &model, &res.seeds, runs);
     }

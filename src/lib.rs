@@ -51,12 +51,10 @@ pub use imc_graph as graph;
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
-    pub use imc_community::{
-        BenefitPolicy, CommunityId, CommunitySet, ThresholdPolicy,
-    };
+    pub use imc_community::{BenefitPolicy, CommunityId, CommunitySet, ThresholdPolicy};
     pub use imc_core::{
-        imcaf, imcaf_with_trace, ImcInstance, ImcafConfig, LiveEdgeModel,
-        MaxrAlgorithm, RicCollection, RicSampler,
+        imcaf, imcaf_with_trace, ImcInstance, ImcafConfig, LiveEdgeModel, MaxrAlgorithm,
+        RicCollection, RicSampler,
     };
     pub use imc_diffusion::{DiffusionModel, IndependentCascade, LinearThreshold};
     pub use imc_graph::{Graph, GraphBuilder, NodeId, WeightModel};

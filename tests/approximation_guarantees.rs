@@ -34,7 +34,10 @@ fn tiny_case(seed: u64, samples: usize) -> TinyCase {
     let instance = ImcInstance::new(graph, communities).unwrap();
     let mut collection = RicCollection::for_sampler(&instance.sampler());
     collection.extend_with(&instance.sampler(), samples, &mut rng);
-    TinyCase { instance, collection }
+    TinyCase {
+        instance,
+        collection,
+    }
 }
 
 fn check_bound(algo: MaxrAlgorithm, trials: u64, k: usize) {
@@ -88,9 +91,8 @@ fn ubg_sandwich_bound_holds() {
         }
         let out = ubg(&case.collection, k);
         let got = case.collection.influenced_count(&out.seeds) as f64;
-        let bound = out.sandwich_ratio
-            * (1.0 - 1.0 / std::f64::consts::E)
-            * opt.influenced_samples as f64;
+        let bound =
+            out.sandwich_ratio * (1.0 - 1.0 / std::f64::consts::E) * opt.influenced_samples as f64;
         assert!(
             got + 1e-9 >= bound,
             "trial {trial}: UBG {got} < sandwich bound {bound:.2} (ratio {:.3}, OPT {})",
@@ -139,7 +141,9 @@ fn exhaustive_dominates_every_solver() {
             MaxrAlgorithm::Bt,
             MaxrAlgorithm::Mb,
         ] {
-            let sol = algo.solve(&case.instance, &case.collection, k, trial).unwrap();
+            let sol = algo
+                .solve(&case.instance, &case.collection, k, trial)
+                .unwrap();
             assert!(
                 sol.influenced_samples <= opt.influenced_samples,
                 "{} beat the optimum?!",

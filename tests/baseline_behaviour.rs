@@ -21,8 +21,9 @@ fn layered() -> (Graph, CommunitySet) {
     let g = b.build().unwrap();
     let mut parts = Vec::new();
     for mid in 1..5u32 {
-        let members: Vec<NodeId> =
-            (0..5u32).map(|leaf| NodeId::new(4 + mid * 5 + leaf - 4)).collect();
+        let members: Vec<NodeId> = (0..5u32)
+            .map(|leaf| NodeId::new(4 + mid * 5 + leaf - 4))
+            .collect();
         parts.push((members, 2u32, 5.0f64));
     }
     let cs = CommunitySet::from_parts(25, parts).unwrap();
@@ -46,7 +47,10 @@ fn hbc_prefers_direct_community_feeders() {
     // (no community) so B(0) = 0.
     let seeds = hbc_seeds(&g, &cs, 4);
     for mid in 1..5u32 {
-        assert!(seeds.contains(&NodeId::new(mid)), "mid {mid} missing: {seeds:?}");
+        assert!(
+            seeds.contains(&NodeId::new(mid)),
+            "mid {mid} missing: {seeds:?}"
+        );
     }
     assert!(!seeds.contains(&NodeId::new(0)));
 }
@@ -77,7 +81,11 @@ fn pagerank_ranks_the_sourceless_hub_last() {
     // all outrank it.
     let (g, _) = layered();
     let full = pagerank_seeds(&g, g.node_count());
-    assert_eq!(*full.last().unwrap(), NodeId::new(0), "hub should rank last");
+    assert_eq!(
+        *full.last().unwrap(),
+        NodeId::new(0),
+        "hub should rank last"
+    );
     let top = full[0];
     assert_ne!(top, NodeId::new(0));
 }

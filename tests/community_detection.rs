@@ -60,7 +60,10 @@ fn louvain_beats_lpa_beats_random_on_modularity() {
         q_louvain + 1e-9 >= q_lpa,
         "louvain Q={q_louvain:.3} < LPA Q={q_lpa:.3}"
     );
-    assert!(q_lpa > q_random, "LPA Q={q_lpa:.3} should beat random Q={q_random:.3}");
+    assert!(
+        q_lpa > q_random,
+        "LPA Q={q_lpa:.3} should beat random Q={q_random:.3}"
+    );
 }
 
 #[test]
@@ -69,7 +72,10 @@ fn random_partition_has_near_zero_nmi_with_truth() {
     let pp = planted_partition(300, 6, 0.4, 0.01, &mut rng);
     let rand_parts = random_partition(300, 6, 99);
     let score = nmi(300, &rand_parts, &pp.blocks);
-    assert!(score < 0.15, "random partition NMI {score:.3} suspiciously high");
+    assert!(
+        score < 0.15,
+        "random partition NMI {score:.3} suspiciously high"
+    );
 }
 
 #[test]

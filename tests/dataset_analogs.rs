@@ -14,10 +14,7 @@ fn every_analog_matches_its_spec_direction() {
     for id in all() {
         let s = spec(id);
         let g = generate(id, 0.2, 1);
-        let sym = g
-            .edges()
-            .take(200)
-            .all(|e| g.has_edge(e.target, e.source));
+        let sym = g.edges().take(200).all(|e| g.has_edge(e.target, e.source));
         if s.undirected {
             assert!(sym, "{}: undirected analog must be symmetric", s.name);
         } else {
@@ -85,7 +82,11 @@ fn analogs_are_mostly_connected() {
 fn facebook_analog_is_dense_and_clustered() {
     let g = generate(DatasetId::Facebook, 1.0, 5);
     let stats = GraphStats::compute(&g);
-    assert!(stats.avg_degree > 60.0, "avg degree {:.1}", stats.avg_degree);
+    assert!(
+        stats.avg_degree > 60.0,
+        "avg degree {:.1}",
+        stats.avg_degree
+    );
     assert_eq!(stats.isolated_nodes, 0);
 }
 
@@ -95,6 +96,10 @@ fn scale_parameter_scales_nodes_linearly() {
         let full = generate(id, 1.0, 6).node_count();
         let half = generate(id, 0.5, 6).node_count();
         let rel = half as f64 / full as f64;
-        assert!((rel - 0.5).abs() < 0.02, "{:?}: half-scale ratio {rel:.3}", id);
+        assert!(
+            (rel - 0.5).abs() < 0.02,
+            "{:?}: half-scale ratio {rel:.3}",
+            id
+        );
     }
 }

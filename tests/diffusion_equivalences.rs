@@ -10,8 +10,7 @@ use rand::SeedableRng;
 
 fn random_graph(seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
-    imc::graph::generators::erdos_renyi(60, 0.06, &mut rng)
-        .reweighted(WeightModel::Uniform(0.25))
+    imc::graph::generators::erdos_renyi(60, 0.06, &mut rng).reweighted(WeightModel::Uniform(0.25))
 }
 
 #[test]
@@ -53,14 +52,16 @@ fn ric_with_unit_thresholds_equals_classic_rr_coverage() {
     // which is true for any non-empty S. Use per-node communities instead
     // for the strict correspondence.
     drop(cs);
-    let parts: Vec<(Vec<NodeId>, u32, f64)> =
-        g.nodes().map(|v| (vec![v], 1, 1.0)).collect();
+    let parts: Vec<(Vec<NodeId>, u32, f64)> = g.nodes().map(|v| (vec![v], 1, 1.0)).collect();
     let cs = CommunitySet::from_parts(n as u32, parts).unwrap();
     let sampler = RicSampler::new(&g, &cs);
     let mut col = RicCollection::for_sampler(&sampler);
     let mut rng = StdRng::seed_from_u64(8);
     col.extend_with(&sampler, 30_000, &mut rng);
-    for seeds in [vec![NodeId::new(0)], (0..5).map(NodeId::new).collect::<Vec<_>>()] {
+    for seeds in [
+        vec![NodeId::new(0)],
+        (0..5).map(NodeId::new).collect::<Vec<_>>(),
+    ] {
         // ĉ_R estimates Σ_v Pr[S activates v] = σ(S) (b_v = 1 each).
         let via_ric = col.estimate(&seeds);
         let via_mc = monte_carlo_spread(&g, &IndependentCascade, &seeds, 30_000, 9);
@@ -82,7 +83,10 @@ fn celf_and_ris_choose_comparable_seed_sets() {
         &g,
         &IndependentCascade,
         k,
-        &CelfConfig { runs: 2_000, candidate_limit: None },
+        &CelfConfig {
+            runs: 2_000,
+            candidate_limit: None,
+        },
         3,
     );
     let ris = ris_im(&g, k, &RisImConfig::default(), 3).seeds;

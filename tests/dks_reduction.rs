@@ -76,7 +76,10 @@ fn gadget_sets_are_strongly_connected() {
     let (instance, gadget) = reduce(n_d, &edges);
     for members in gadget.iter().filter(|m| m.len() >= 2) {
         let sub = imc_graph::subgraph::induced_subgraph(instance.graph(), members);
-        assert!(is_strongly_connected(&sub.graph), "U_a not strongly connected");
+        assert!(
+            is_strongly_connected(&sub.graph),
+            "U_a not strongly connected"
+        );
     }
 }
 
@@ -138,7 +141,10 @@ fn optima_coincide_for_k3() {
             }
         }
     }
-    assert_eq!(best_imc, best_dks as f64, "IMC optimum must equal DkS optimum");
+    assert_eq!(
+        best_imc, best_dks as f64,
+        "IMC optimum must equal DkS optimum"
+    );
 }
 
 #[test]

@@ -51,7 +51,10 @@ fn grade(instance: &ImcInstance, seeds: &[imc::graph::NodeId]) -> f64 {
 #[test]
 fn every_algorithm_completes_on_bounded_instance() {
     let inst = bounded_instance(1);
-    let cfg = ImcafConfig { max_samples: 10_000, ..ImcafConfig::paper_defaults(6) };
+    let cfg = ImcafConfig {
+        max_samples: 10_000,
+        ..ImcafConfig::paper_defaults(6)
+    };
     for algo in [
         MaxrAlgorithm::Greedy,
         MaxrAlgorithm::Ubg,
@@ -71,7 +74,10 @@ fn every_algorithm_completes_on_bounded_instance() {
 fn ubg_beats_every_baseline_on_community_objective() {
     let inst = regular_instance(3);
     let k = 10;
-    let cfg = ImcafConfig { max_samples: 40_000, ..ImcafConfig::paper_defaults(k) };
+    let cfg = ImcafConfig {
+        max_samples: 40_000,
+        ..ImcafConfig::paper_defaults(k)
+    };
     let ubg = imc::core::imcaf(&inst, MaxrAlgorithm::Ubg, &cfg, 5).unwrap();
     let ubg_benefit = grade(&inst, &ubg.seeds);
 
@@ -92,7 +98,10 @@ fn ubg_beats_every_baseline_on_community_objective() {
 #[test]
 fn imcaf_estimate_consistent_with_ground_truth_across_algorithms() {
     let inst = bounded_instance(7);
-    let cfg = ImcafConfig { max_samples: 40_000, ..ImcafConfig::paper_defaults(5) };
+    let cfg = ImcafConfig {
+        max_samples: 40_000,
+        ..ImcafConfig::paper_defaults(5)
+    };
     for algo in [MaxrAlgorithm::Ubg, MaxrAlgorithm::Maf] {
         let res = imc::core::imcaf(&inst, algo, &cfg, 9).unwrap();
         let mc = grade(&inst, &res.seeds);
@@ -129,7 +138,10 @@ fn larger_budget_never_hurts_much() {
     let inst = bounded_instance(13);
     let mut previous = 0.0f64;
     for k in [2usize, 6, 12] {
-        let cfg = ImcafConfig { max_samples: 20_000, ..ImcafConfig::paper_defaults(k) };
+        let cfg = ImcafConfig {
+            max_samples: 20_000,
+            ..ImcafConfig::paper_defaults(k)
+        };
         let res = imc::core::imcaf(&inst, MaxrAlgorithm::Ubg, &cfg, 21).unwrap();
         let benefit = grade(&inst, &res.seeds);
         assert!(
@@ -148,7 +160,10 @@ fn louvain_communities_outperform_random_for_same_solver() {
     let pp = imc::graph::generators::planted_partition(200, 10, 0.35, 0.008, &mut rng);
     let graph = pp.graph.reweighted(WeightModel::WeightedCascade);
     let k = 8;
-    let cfg = ImcafConfig { max_samples: 20_000, ..ImcafConfig::paper_defaults(k) };
+    let cfg = ImcafConfig {
+        max_samples: 20_000,
+        ..ImcafConfig::paper_defaults(k)
+    };
 
     let louvain_cs = CommunitySet::builder(&graph)
         .louvain(1)
@@ -158,8 +173,7 @@ fn louvain_communities_outperform_random_for_same_solver() {
         .unwrap();
     let n_louvain = louvain_cs.len() as u32;
     let louvain_inst = ImcInstance::new(graph.clone(), louvain_cs).unwrap();
-    let louvain_res =
-        imc::core::imcaf(&louvain_inst, MaxrAlgorithm::Ubg, &cfg, 31).unwrap();
+    let louvain_res = imc::core::imcaf(&louvain_inst, MaxrAlgorithm::Ubg, &cfg, 31).unwrap();
     let louvain_benefit = grade(&louvain_inst, &louvain_res.seeds);
 
     let random_cs = CommunitySet::builder(&graph)
@@ -169,8 +183,7 @@ fn louvain_communities_outperform_random_for_same_solver() {
         .build()
         .unwrap();
     let random_inst = ImcInstance::new(graph, random_cs).unwrap();
-    let random_res =
-        imc::core::imcaf(&random_inst, MaxrAlgorithm::Ubg, &cfg, 31).unwrap();
+    let random_res = imc::core::imcaf(&random_inst, MaxrAlgorithm::Ubg, &cfg, 31).unwrap();
     let random_benefit = grade(&random_inst, &random_res.seeds);
 
     assert!(
@@ -191,7 +204,10 @@ fn datasets_pipeline_smoke() {
         .build()
         .unwrap();
     let inst = ImcInstance::new(graph, cs).unwrap();
-    let cfg = ImcafConfig { max_samples: 4_000, ..ImcafConfig::paper_defaults(5) };
+    let cfg = ImcafConfig {
+        max_samples: 4_000,
+        ..ImcafConfig::paper_defaults(5)
+    };
     let res = imc::core::imcaf(&inst, MaxrAlgorithm::Maf, &cfg, 1).unwrap();
     assert_eq!(res.seeds.len(), 5);
 }

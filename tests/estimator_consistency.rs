@@ -174,8 +174,7 @@ fn estimate_variance_shrinks_with_more_samples() {
             values.push(col.estimate(&seeds));
         }
         let mean = values.iter().sum::<f64>() / values.len() as f64;
-        (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64)
-            .sqrt()
+        (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
     };
     let coarse = spread(200, 8);
     let fine = spread(5_000, 8);

@@ -25,9 +25,11 @@ fn instance(seed: u64, n: u32, blocks: u32) -> ImcInstance {
 #[test]
 fn converged_runs_pass_the_lambda_checkpoint() {
     let inst = instance(1, 150, 8);
-    let cfg = ImcafConfig { max_samples: 60_000, ..ImcafConfig::paper_defaults(6) };
-    let (result, trace) =
-        imcaf_with_trace(&inst, MaxrAlgorithm::Ubg, &cfg, 3).unwrap();
+    let cfg = ImcafConfig {
+        max_samples: 60_000,
+        ..ImcafConfig::paper_defaults(6)
+    };
+    let (result, trace) = imcaf_with_trace(&inst, MaxrAlgorithm::Ubg, &cfg, 3).unwrap();
     if result.stop_reason == StopReason::Converged {
         let es = cfg.epsilon / 4.0;
         let check = lambda(es, es, es, cfg.delta);
@@ -47,11 +49,18 @@ fn converged_runs_pass_the_lambda_checkpoint() {
 #[test]
 fn independent_estimate_close_to_collection_estimate_on_convergence() {
     let inst = instance(5, 150, 8);
-    let cfg = ImcafConfig { max_samples: 60_000, ..ImcafConfig::paper_defaults(5) };
+    let cfg = ImcafConfig {
+        max_samples: 60_000,
+        ..ImcafConfig::paper_defaults(5)
+    };
     let result = imc::core::imcaf(&inst, MaxrAlgorithm::Maf, &cfg, 7).unwrap();
     if let Some(c_star) = result.independent_estimate {
         let rel = (result.estimate - c_star).abs() / c_star.max(1e-9);
-        assert!(rel < 0.35, "ĉ_R={} vs c*={c_star} (rel {rel:.2})", result.estimate);
+        assert!(
+            rel < 0.35,
+            "ĉ_R={} vs c*={c_star} (rel {rel:.2})",
+            result.estimate
+        );
     }
 }
 
@@ -81,7 +90,10 @@ fn tighter_epsilon_needs_at_least_as_many_samples() {
 #[test]
 fn stop_reason_is_cap_when_cap_below_lambda() {
     let inst = instance(13, 100, 5);
-    let cfg = ImcafConfig { max_samples: 50, ..ImcafConfig::paper_defaults(3) };
+    let cfg = ImcafConfig {
+        max_samples: 50,
+        ..ImcafConfig::paper_defaults(3)
+    };
     let result = imc::core::imcaf(&inst, MaxrAlgorithm::Greedy, &cfg, 1).unwrap();
     assert_eq!(result.stop_reason, StopReason::CapReached);
     assert!(result.samples_used <= 50);
@@ -93,7 +105,10 @@ fn different_solvers_share_the_sampling_schedule() {
     // The schedule (Λ, doubling, Ψ) is solver-independent; per-round
     // sample counts must match across solvers for the same config/seed.
     let inst = instance(17, 120, 6);
-    let cfg = ImcafConfig { max_samples: 3_000, ..ImcafConfig::paper_defaults(4) };
+    let cfg = ImcafConfig {
+        max_samples: 3_000,
+        ..ImcafConfig::paper_defaults(4)
+    };
     let (_, trace_a) = imcaf_with_trace(&inst, MaxrAlgorithm::Maf, &cfg, 5).unwrap();
     let (_, trace_b) = imcaf_with_trace(&inst, MaxrAlgorithm::Greedy, &cfg, 5).unwrap();
     let counts_a: Vec<usize> = trace_a.iter().map(|r| r.samples).collect();
@@ -106,7 +121,10 @@ fn different_solvers_share_the_sampling_schedule() {
 #[test]
 fn all_seeds_are_valid_nodes_and_distinct_across_algorithms() {
     let inst = instance(21, 140, 7);
-    let cfg = ImcafConfig { max_samples: 4_000, ..ImcafConfig::paper_defaults(6) };
+    let cfg = ImcafConfig {
+        max_samples: 4_000,
+        ..ImcafConfig::paper_defaults(6)
+    };
     for algo in [
         MaxrAlgorithm::Greedy,
         MaxrAlgorithm::Ubg,

@@ -121,5 +121,8 @@ fn lt_live_edge_realizations_form_in_forests() {
         }
     }
     // IC, by contrast, regularly keeps several (Pr ≈ 26% per sample).
-    assert!(ic_saw_pair, "IC never sampled two live in-edges in 4000 draws");
+    assert!(
+        ic_saw_pair,
+        "IC never sampled two live in-edges in 4000 draws"
+    );
 }

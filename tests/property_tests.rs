@@ -92,8 +92,11 @@ fn instance_strategy() -> impl Strategy<Value = RandomInstance> {
             }
             out
         });
-        (Just(n), edges, communities)
-            .prop_map(|(n, edges, communities)| RandomInstance { n, edges, communities })
+        (Just(n), edges, communities).prop_map(|(n, edges, communities)| RandomInstance {
+            n,
+            edges,
+            communities,
+        })
     })
 }
 

@@ -1,0 +1,161 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! This workspace builds in air-gapped environments with no crates.io
+//! mirror, so `[patch.crates-io]` in the root `Cargo.toml` replaces
+//! `criterion` with this vendored implementation. It keeps the bench
+//! targets compiling and runnable: each registered benchmark body is
+//! executed a small fixed number of times and timed with
+//! [`std::time::Instant`], printing a single nanoseconds-per-iteration
+//! line. There is no statistical analysis, warm-up, or HTML report —
+//! use real criterion on a networked machine for publication numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Iterations per benchmark body (kept tiny so `cargo test`/`cargo bench`
+/// stay fast offline).
+const ITERS: u32 = 3;
+
+/// Stand-in for criterion's central struct.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), _parent: self }
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark with no input parameter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&self.name, id, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, mut f: F) {
+    let mut bencher = Bencher { elapsed_ns: 0, iters: 0 };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed_ns / u128::from(bencher.iters.max(1));
+    println!("bench {group}/{id}: {per_iter} ns/iter ({} iters, stub harness)", bencher.iters);
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine`, running it a small fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.iters += ITERS;
+    }
+}
+
+/// Re-export so `criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Declares the benchmark entry-point function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; the stub's
+            // benchmarks are already cheap, so run them in both modes.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_ids_run_bodies() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u32;
+        group.sample_size(10);
+        group.bench_function("plain", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("with", 7), &3u32, |b, &x| {
+            b.iter(|| black_box(x + 1));
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &(), |b, ()| b.iter(|| ()));
+        group.finish();
+        assert_eq!(runs, 3);
+        assert_eq!(BenchmarkId::new("f", 9).to_string(), "f/9");
+    }
+}
