@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! imc-bench <experiment> [--scale F] [--quick] [--runs N] [--seed N] [--out DIR]
+//!           [--trace FILE] [--metrics-out FILE]
 //!
 //! experiments:
 //!   table1            dataset statistics (Table I)
@@ -25,16 +26,35 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
         eprintln!(
-            "usage: imc-bench <experiment> [--scale F] [--quick] [--runs N] [--seed N] [--out DIR]"
+            "usage: imc-bench <experiment> [--scale F] [--quick] [--runs N] [--seed N] [--out DIR] \
+             [--trace FILE] [--metrics-out FILE]"
         );
         eprintln!("experiments: table1 fig4 fig5 fig6 fig7 fig8 ablation-samples ablation-btd ablation-nonsub ablation-ratios all");
         return ExitCode::FAILURE;
     };
     let mut options = ExpOptions::default();
+    let mut metrics_out: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => options.quick = true,
+            "--trace" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    return usage_error("--trace expects a file path");
+                };
+                if let Err(e) = imc_obs::trace::set_sink_path(std::path::Path::new(path)) {
+                    eprintln!("error: cannot open trace file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = match args.get(i) {
+                    Some(v) => Some(PathBuf::from(v)),
+                    None => return usage_error("--metrics-out expects a file path"),
+                };
+            }
             "--scale" => {
                 i += 1;
                 options.scale = match args.get(i).and_then(|v| v.parse().ok()) {
@@ -106,6 +126,18 @@ fn main() -> ExitCode {
             .and_then(|_| experiments::ablations::ratios(&options)),
         other => return usage_error(&format!("unknown experiment {other}")),
     };
+    // Dump the accumulated solver metrics (same registry the daemon
+    // exposes over GET /metrics) even when the experiment failed partway:
+    // a partial exposition is exactly what post-mortems want.
+    if let Some(path) = metrics_out {
+        let text = imc_obs::encode::to_prometheus(imc_obs::global());
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("error: cannot write metrics to {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[{command}] wrote metrics to {}", path.display());
+    }
+    imc_obs::trace::clear_sink();
     match result {
         Ok(()) => {
             eprintln!(

@@ -44,6 +44,16 @@ pub fn run<W: Write>(command: &str, args: &Args, out: &mut W) -> Result<()> {
     }
 }
 
+/// Installs the process-wide JSONL trace sink when `--trace <path>` is
+/// given. Every subsequent solver/daemon event in this process appends
+/// one JSON line to the file (see `imc_obs::trace`).
+pub(crate) fn install_trace(args: &Args) -> Result<()> {
+    if let Some(path) = args.get("trace") {
+        imc_obs::trace::set_sink_path(Path::new(path))?;
+    }
+    Ok(())
+}
+
 pub(crate) fn load_graph(args: &Args) -> Result<Graph> {
     let path = args.required("graph")?;
     let options = ParseOptions {
@@ -202,8 +212,11 @@ fn communities<W: Write>(args: &Args, out: &mut W) -> Result<()> {
     Ok(())
 }
 
-/// `imc solve`: runs IMCAF with the chosen MAXR solver.
+/// `imc solve`: runs IMCAF with the chosen MAXR solver. With
+/// `--trace FILE`, every IMCAF round, Estimate call, and MAXR solve is
+/// appended to FILE as one JSON line (see `docs/METRICS.md`).
 fn solve<W: Write>(args: &Args, out: &mut W) -> Result<()> {
+    install_trace(args)?;
     let graph = load_graph(args)?;
     let instance = build_instance(args, graph)?;
     let k: usize = args.required_as("k")?;
@@ -439,6 +452,82 @@ mod tests {
 
         std::fs::remove_file(&graph_path).ok();
         std::fs::remove_file(&comm_path).ok();
+    }
+
+    #[test]
+    fn solve_with_trace_writes_valid_jsonl() {
+        let graph_path = tmp("gt.txt");
+        let comm_path = tmp("ct.txt");
+        let trace_path = tmp("trace.jsonl");
+        run_str(
+            "generate",
+            &[
+                "--model",
+                "pp",
+                "--nodes",
+                "60",
+                "--blocks",
+                "6",
+                "--p-in",
+                "0.4",
+                "--p-out",
+                "0.02",
+                "--seed",
+                "8",
+                "--out",
+                &graph_path,
+            ],
+        )
+        .unwrap();
+        let mut assignments = String::new();
+        for v in 0..60 {
+            assignments.push_str(&format!("{v} {}\n", v / 10));
+        }
+        std::fs::write(&comm_path, assignments).unwrap();
+        let out = run_str(
+            "solve",
+            &[
+                "--graph",
+                &graph_path,
+                "--communities",
+                &comm_path,
+                "--k",
+                "3",
+                "--algo",
+                "maf",
+                "--max-samples",
+                "4000",
+                "--trace",
+                &trace_path,
+            ],
+        )
+        .unwrap();
+        assert!(out.contains("seeds:"));
+        imc_obs::trace::clear_sink();
+
+        // Every line must parse as a JSON object with `ts_us` and `kind`;
+        // the solve must have logged at least bounds, rounds, and a
+        // completion event. The sink is process-global, so events from
+        // concurrently running tests may interleave — that's fine, they
+        // must still be valid lines.
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(!text.is_empty(), "trace file is empty");
+        let mut kinds = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            let v = imc_service::json::parse(line)
+                .unwrap_or_else(|e| panic!("invalid JSONL line `{line}`: {e}"));
+            assert!(v.get("ts_us").and_then(|t| t.as_u64()).is_some(), "{line}");
+            kinds.insert(v.get("kind").unwrap().as_str().unwrap().to_string());
+        }
+        for expected in ["imcaf_bounds", "imcaf_round", "imcaf_done", "maxr_solve"] {
+            assert!(
+                kinds.contains(expected),
+                "missing kind `{expected}` in {kinds:?}"
+            );
+        }
+        std::fs::remove_file(&graph_path).ok();
+        std::fs::remove_file(&comm_path).ok();
+        std::fs::remove_file(&trace_path).ok();
     }
 
     #[test]

@@ -10,14 +10,16 @@
 //!   estimate     grade a seed set (--seeds 1,2,3) with the Dagum estimator
 //!   stats        structural statistics of a graph
 //!   dot          render graph (+communities, +seeds) as Graphviz DOT
-//!   serve        run the query daemon (--addr, --workers, --snapshot, --refresh-target)
-//!   query        send one request to a daemon (--addr, --op solve|estimate|stats|health|shutdown)
+//!   serve        run the query daemon (--addr, --workers, --snapshot, --refresh-target,
+//!                --metrics-port N for a Prometheus GET /metrics listener)
+//!   query        send one request to a daemon
+//!                (--addr, --op solve|estimate|stats|metrics|health|shutdown)
 //!   snapshot     save | load a persistent RIC sample store (--samples, --out / --file)
 //!
 //! common flags:
 //!   --graph FILE  --communities FILE  --undirected  --weights cascade|keep|trivalency|<p>
 //!   --threshold H | --threshold-frac F   --benefit population|<constant>
-//!   --seed N  --out FILE  --quiet
+//!   --seed N  --out FILE  --quiet  --trace FILE (JSONL solver/daemon event log)
 //! ```
 
 use imc_cli::args::Args;

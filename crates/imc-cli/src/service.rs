@@ -40,7 +40,14 @@ fn snap_err(e: SnapshotError) -> CliError {
 /// `--refresh-target`, a background thread doubles the collection until
 /// the target, publishing each generation atomically. `--port-file`
 /// writes the bound address (useful with `--addr host:0`).
+///
+/// Observability: `--metrics-port N` binds a dedicated Prometheus
+/// listener on `127.0.0.1:N` (`0` picks a free port;
+/// `--metrics-port-file` writes the bound address). The main port also
+/// answers `GET /metrics` either way. `--trace FILE` appends solver
+/// events as JSON lines while the daemon runs.
 pub fn serve<W: Write>(args: &Args, out: &mut W) -> Result<()> {
+    crate::commands::install_trace(args)?;
     let graph = load_graph(args)?;
     let instance = build_instance(args, graph)?;
     let state = match args.get("snapshot") {
@@ -65,11 +72,19 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> Result<()> {
     } else {
         None
     };
+    let metrics_addr = match args.get("metrics-port") {
+        Some(_) => Some(format!(
+            "127.0.0.1:{}",
+            args.required_as::<u16>("metrics-port")?
+        )),
+        None => None,
+    };
     let config = ServeConfig {
         addr: args.get_or("addr", "127.0.0.1:7744".to_string())?,
         workers: args.get_or("workers", 4usize)?,
         deadline: Duration::from_millis(args.get_or("deadline-ms", 30_000u64)?),
         refresh,
+        metrics_addr,
     };
     let state = Arc::new(state);
     let server = Server::start(Arc::clone(&state), config)?;
@@ -80,12 +95,20 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> Result<()> {
         state.collection().len(),
         state.generation()
     )?;
+    if let Some(addr) = server.metrics_addr() {
+        writeln!(out, "metrics on http://{addr}/metrics")?;
+    }
     out.flush()?;
     if let Some(path) = args.get("port-file") {
         // Write-then-rename so readers polling the file never see a
         // partially written address.
         let tmp = format!("{path}.tmp");
         std::fs::write(&tmp, server.addr().to_string())?;
+        std::fs::rename(&tmp, path)?;
+    }
+    if let (Some(path), Some(addr)) = (args.get("metrics-port-file"), server.metrics_addr()) {
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, addr.to_string())?;
         std::fs::rename(&tmp, path)?;
     }
     server.wait();
@@ -136,10 +159,10 @@ fn build_request(args: &Args) -> Result<String> {
         "estimate" => {
             builder = builder.field("seeds", args.required_u32_list("seeds")?);
         }
-        "stats" | "health" | "shutdown" => {}
+        "stats" | "metrics" | "health" | "shutdown" => {}
         other => {
             return Err(CliError::Usage(format!(
-                "--op expects solve | estimate | stats | health | shutdown, got `{other}`"
+                "--op expects solve | estimate | stats | metrics | health | shutdown, got `{other}`"
             )))
         }
     }
@@ -482,6 +505,84 @@ mod tests {
         std::fs::remove_file(&comm_path).ok();
         std::fs::remove_file(&snap_path).ok();
         std::fs::remove_file(&port_file).ok();
+    }
+
+    #[test]
+    fn serve_exposes_prometheus_metrics_port() {
+        let (graph_path, comm_path) = instance_files("metrics");
+        let port_file = tmp("metrics.addr");
+        let metrics_file = tmp("metrics.maddr");
+        std::fs::remove_file(&port_file).ok();
+        std::fs::remove_file(&metrics_file).ok();
+        let serve_args = vec![
+            "--graph".to_string(),
+            graph_path.clone(),
+            "--communities".to_string(),
+            comm_path.clone(),
+            "--addr".to_string(),
+            "127.0.0.1:0".to_string(),
+            "--port-file".to_string(),
+            port_file.clone(),
+            "--metrics-port".to_string(),
+            "0".to_string(),
+            "--metrics-port-file".to_string(),
+            metrics_file.clone(),
+            "--samples".to_string(),
+            "150".to_string(),
+            "--workers".to_string(),
+            "2".to_string(),
+        ];
+        let serve_thread = std::thread::spawn(move || {
+            let args = Args::parse(serve_args).unwrap();
+            let mut out = Vec::new();
+            run("serve", &args, &mut out).unwrap();
+            String::from_utf8(out).unwrap()
+        });
+        let addr = wait_for_addr(&port_file);
+        let metrics_addr = wait_for_addr(&metrics_file);
+
+        let solved = run_str(
+            "query",
+            &[
+                "--addr", &addr, "--op", "solve", "--k", "2", "--algo", "ubg",
+            ],
+        )
+        .unwrap();
+        assert!(solved.contains(r#""ok":true"#), "{solved}");
+
+        // Raw HTTP scrape against the dedicated metrics listener.
+        let response = {
+            use std::io::{Read, Write};
+            let mut stream = std::net::TcpStream::connect(&metrics_addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            write!(stream, "GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            response
+        };
+        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"));
+        assert!(response.contains("imc_requests_total"));
+        assert!(response.contains("imc_ric_samples_generated_total"));
+
+        // The NDJSON `metrics` op returns the same exposition as JSON.
+        let via_op = run_str("query", &["--addr", &addr, "--op", "metrics"]).unwrap();
+        assert!(
+            via_op.contains(r#""format":"prometheus-0.0.4""#),
+            "{via_op}"
+        );
+        assert!(via_op.contains("imc_collection_samples"), "{via_op}");
+
+        let bye = run_str("query", &["--addr", &addr, "--op", "shutdown"]).unwrap();
+        assert!(bye.contains(r#""ok":true"#), "{bye}");
+        let transcript = serve_thread.join().unwrap();
+        assert!(transcript.contains("metrics on http://"), "{transcript}");
+        std::fs::remove_file(&graph_path).ok();
+        std::fs::remove_file(&comm_path).ok();
+        std::fs::remove_file(&port_file).ok();
+        std::fs::remove_file(&metrics_file).ok();
     }
 
     #[test]

@@ -150,8 +150,11 @@ impl RicCollection {
             .collect();
 
         fn sample_shard(sampler: &RicSampler<'_>, seed: u64, n: usize) -> Vec<RicSample> {
+            let start = std::time::Instant::now();
             let mut rng = StdRng::seed_from_u64(seed);
-            (0..n).map(|_| sampler.sample(&mut rng)).collect()
+            let out: Vec<RicSample> = (0..n).map(|_| sampler.sample(&mut rng)).collect();
+            crate::obs::ric_shard_duration().observe_duration(start.elapsed());
+            out
         }
 
         let workers = workers.clamp(1, plan.len());

@@ -41,18 +41,38 @@ pub fn estimate_c<R: Rng + ?Sized>(
 ) -> Option<EstimateOutcome> {
     let lambda_prime = stopping_threshold(epsilon, delta);
     let b = sampler.communities().total_benefit();
+    crate::obs::estimate_calls_total().inc();
     let mut influenced = 0u64;
     for t in 1..=t_max {
         let g = sampler.sample(rng);
         if g.influenced_by(seeds) {
             influenced += 1;
             if influenced as f64 >= lambda_prime {
+                crate::obs::estimate_samples().observe(t as f64);
+                if imc_obs::trace::enabled() {
+                    imc_obs::trace::emit(
+                        imc_obs::trace::TraceEvent::new("estimate")
+                            .field("outcome", "converged")
+                            .field("samples_used", t)
+                            .field("estimate", b * lambda_prime / t as f64),
+                    );
+                }
                 return Some(EstimateOutcome {
                     estimate: b * lambda_prime / t as f64,
                     samples_used: t,
                 });
             }
         }
+    }
+    crate::obs::estimate_exhausted_total().inc();
+    crate::obs::estimate_samples().observe(t_max as f64);
+    if imc_obs::trace::enabled() {
+        imc_obs::trace::emit(
+            imc_obs::trace::TraceEvent::new("estimate")
+                .field("outcome", "exhausted")
+                .field("samples_used", t_max)
+                .field("influenced", influenced),
+        );
     }
     None
 }

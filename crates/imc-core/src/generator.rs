@@ -224,6 +224,9 @@ impl<'a> RicSampler<'a> {
         let sorted_nodes: Vec<NodeId> = order.iter().map(|&i| nodes[i]).collect();
         let sorted_covers: Vec<CoverSet> = order.iter().map(|&i| covers[i].clone()).collect();
 
+        crate::obs::ric_samples_total().inc();
+        crate::obs::ric_sample_width().observe(sorted_nodes.len() as f64);
+
         RicSample {
             community: cid,
             threshold: community.threshold,

@@ -67,6 +67,18 @@ pub enum StopReason {
     CapReached,
 }
 
+impl StopReason {
+    /// Stable label value used by the `imc_imcaf_runs_total{stop_reason}`
+    /// metric and the `imcaf_done` trace event.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::Converged => "converged",
+            StopReason::SampleBoundReached => "sample_bound",
+            StopReason::CapReached => "cap",
+        }
+    }
+}
+
 /// Output of [`imcaf`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ImcafResult {
@@ -117,11 +129,14 @@ pub fn imcaf(
     config: &ImcafConfig,
     seed: u64,
 ) -> Result<ImcafResult> {
-    imcaf_with_trace(instance, algorithm, config, seed).map(|(result, _)| result)
+    imcaf_inner(instance, algorithm, config, seed, &mut |_| {})
 }
 
-/// Like [`imcaf`] but also returns the per-round trace — used by the
-/// sample-size ablation and by tests asserting the doubling schedule.
+/// Like [`imcaf`] but also collects the per-round [`RoundRecord`]s — used
+/// by the sample-size ablation and by tests asserting the doubling
+/// schedule. The same per-round data always flows to the observability
+/// layer (`imcaf_round` trace events, `imc_imcaf_*` metrics) regardless of
+/// which entry point is used; this variant merely materializes it.
 ///
 /// # Errors
 ///
@@ -132,6 +147,52 @@ pub fn imcaf_with_trace(
     config: &ImcafConfig,
     seed: u64,
 ) -> Result<(ImcafResult, Vec<RoundRecord>)> {
+    let mut trace: Vec<RoundRecord> = Vec::new();
+    let result = imcaf_inner(instance, algorithm, config, seed, &mut |record| {
+        trace.push(record.clone())
+    })?;
+    Ok((result, trace))
+}
+
+/// Emits the per-round structured trace event and round metrics shared by
+/// every IMCAF entry point.
+fn observe_round(record: &RoundRecord) {
+    crate::obs::imcaf_rounds_total().inc();
+    if imc_obs::trace::enabled() {
+        let mut event = imc_obs::trace::TraceEvent::new("imcaf_round")
+            .field("round", record.round)
+            .field("samples", record.samples)
+            .field("influenced", record.influenced)
+            .field("estimate", record.estimate)
+            .field("checked", record.checked);
+        if let Some(c_star) = record.independent_estimate {
+            event = event.field("independent_estimate", c_star);
+        }
+        imc_obs::trace::emit(event);
+    }
+}
+
+/// Emits the end-of-run metrics and `imcaf_done` trace event.
+fn observe_done(result: &ImcafResult) {
+    crate::obs::record_imcaf_run(result.stop_reason.as_str());
+    if imc_obs::trace::enabled() {
+        imc_obs::trace::emit(
+            imc_obs::trace::TraceEvent::new("imcaf_done")
+                .field("stop_reason", result.stop_reason.as_str())
+                .field("rounds", result.rounds)
+                .field("samples_used", result.samples_used)
+                .field("estimate", result.estimate),
+        );
+    }
+}
+
+fn imcaf_inner(
+    instance: &ImcInstance,
+    algorithm: MaxrAlgorithm,
+    config: &ImcafConfig,
+    seed: u64,
+    observe: &mut dyn FnMut(&RoundRecord),
+) -> Result<ImcafResult> {
     if !(config.epsilon > 0.0 && config.epsilon < 1.0) {
         return Err(ImcError::InvalidParameter { name: "epsilon" });
     }
@@ -161,6 +222,18 @@ pub fn imcaf_with_trace(
     let es = config.epsilon / 4.0;
     let check_lambda = lambda(es, es, es, config.delta);
 
+    if imc_obs::trace::enabled() {
+        imc_obs::trace::emit(
+            imc_obs::trace::TraceEvent::new("imcaf_bounds")
+                .field("algo", algorithm.name())
+                .field("k", k)
+                .field("alpha", alpha)
+                .field("psi", psi_bound)
+                .field("psi_capped", psi_capped)
+                .field("lambda", check_lambda),
+        );
+    }
+
     let sampler = instance.sampler();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut collection = RicCollection::for_sampler(&sampler);
@@ -168,7 +241,6 @@ pub fn imcaf_with_trace(
     collection.extend_with(&sampler, initial, &mut rng);
 
     let mut rounds = 0usize;
-    let mut trace: Vec<RoundRecord> = Vec::new();
     loop {
         rounds += 1;
         let solution = algorithm.solve(instance, &collection, k, seed ^ rounds as u64)?;
@@ -192,22 +264,23 @@ pub fn imcaf_with_trace(
             {
                 record.independent_estimate = Some(out.estimate);
                 if solution.estimate <= (1.0 + es) * out.estimate {
-                    trace.push(record);
-                    return Ok((
-                        ImcafResult {
-                            seeds: solution.seeds,
-                            estimate: solution.estimate,
-                            independent_estimate: Some(out.estimate),
-                            samples_used: collection.len(),
-                            rounds,
-                            stop_reason: StopReason::Converged,
-                        },
-                        trace,
-                    ));
+                    observe_round(&record);
+                    observe(&record);
+                    let result = ImcafResult {
+                        seeds: solution.seeds,
+                        estimate: solution.estimate,
+                        independent_estimate: Some(out.estimate),
+                        samples_used: collection.len(),
+                        rounds,
+                        stop_reason: StopReason::Converged,
+                    };
+                    observe_done(&result);
+                    return Ok(result);
                 }
             }
         }
-        trace.push(record);
+        observe_round(&record);
+        observe(&record);
 
         if collection.len() >= psi_capped {
             let reason = if (psi_capped as f64) < psi_bound {
@@ -215,17 +288,16 @@ pub fn imcaf_with_trace(
             } else {
                 StopReason::SampleBoundReached
             };
-            return Ok((
-                ImcafResult {
-                    seeds: solution.seeds,
-                    estimate: solution.estimate,
-                    independent_estimate: None,
-                    samples_used: collection.len(),
-                    rounds,
-                    stop_reason: reason,
-                },
-                trace,
-            ));
+            let result = ImcafResult {
+                seeds: solution.seeds,
+                estimate: solution.estimate,
+                independent_estimate: None,
+                samples_used: collection.len(),
+                rounds,
+                stop_reason: reason,
+            };
+            observe_done(&result);
+            return Ok(result);
         }
 
         // Double the collection (line 11), capped at Ψ.

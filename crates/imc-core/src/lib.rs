@@ -52,7 +52,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod bitset;
 mod collection;
@@ -68,6 +68,7 @@ pub mod bounds;
 pub mod diagnostics;
 pub mod estimate;
 pub mod maxr;
+pub mod obs;
 pub mod snapshot;
 
 pub use bitset::CoverSet;

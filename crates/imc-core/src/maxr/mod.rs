@@ -106,7 +106,9 @@ impl MaxrAlgorithm {
         seed: u64,
     ) -> Result<MaxrSolution> {
         instance.validate_budget(k)?;
+        let start = std::time::Instant::now();
         let max_h = instance.max_threshold();
+        let select_span = imc_obs::Span::enter_with("maxr_select", self.name());
         let seeds = match self {
             MaxrAlgorithm::Greedy => greedy::greedy_c(collection, k),
             MaxrAlgorithm::Ubg => ubg::ubg(collection, k).seeds,
@@ -135,8 +137,13 @@ impl MaxrAlgorithm {
                 mb::mb(instance.communities(), collection, k, seed).seeds
             }
         };
-        let influenced = collection.influenced_count(&seeds);
+        drop(select_span);
+        let influenced = {
+            let _eval_span = imc_obs::Span::enter_with("maxr_evaluate", self.name());
+            collection.influenced_count(&seeds)
+        };
         let estimate = collection.estimate(&seeds);
+        crate::obs::record_maxr_solve(self.name(), start.elapsed(), influenced, collection.len());
         Ok(MaxrSolution {
             seeds,
             influenced_samples: influenced,

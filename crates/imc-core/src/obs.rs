@@ -1,0 +1,246 @@
+//! Observability for the solver stack: the `imc_ric_*`, `imc_maxr_*`,
+//! `imc_imcaf_*` and `imc_estimate_*` metric families (see DESIGN.md §7
+//! and `docs/METRICS.md`), all registered in the process-wide
+//! [`imc_obs::global`] registry.
+//!
+//! Handles are cached in `OnceLock` statics so the per-sample hot path
+//! (Alg. 1 runs millions of times per IMCAF invocation) pays a couple of
+//! relaxed atomic ops and never a registry lookup. Everything here is
+//! passive: with no scrape and no trace sink installed the overhead is the
+//! atomics alone.
+
+use imc_obs::{exponential_buckets, Counter, Histogram, DEFAULT_DURATION_BUCKETS};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// RIC sample width buckets: node counts per sample, 1 … 262144
+/// geometrically (×4).
+fn width_buckets() -> Vec<f64> {
+    exponential_buckets(1.0, 4.0, 10)
+}
+
+/// Generated-sample counts per Estimate call, same geometric layout.
+fn estimate_sample_buckets() -> Vec<f64> {
+    exponential_buckets(1.0, 4.0, 10)
+}
+
+/// Coverage-ratio buckets (fractions of the collection influenced).
+const COVERAGE_BUCKETS: &[f64] = &[0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 1.0];
+
+pub(crate) fn ric_samples_total() -> &'static Arc<Counter> {
+    static H: OnceLock<Arc<Counter>> = OnceLock::new();
+    H.get_or_init(|| {
+        imc_obs::global().counter(
+            "imc_ric_samples_generated_total",
+            "RIC samples generated (Alg. 1), across collections and Estimate calls.",
+        )
+    })
+}
+
+pub(crate) fn ric_sample_width() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        imc_obs::global().histogram(
+            "imc_ric_sample_width",
+            "Nodes per generated RIC sample (the sample's memory and solve cost driver).",
+            &width_buckets(),
+        )
+    })
+}
+
+pub(crate) fn ric_shard_duration() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        imc_obs::global().histogram(
+            "imc_ric_shard_duration_seconds",
+            "Wall-clock time of one extend_parallel sampling shard.",
+            DEFAULT_DURATION_BUCKETS,
+        )
+    })
+}
+
+pub(crate) fn imcaf_rounds_total() -> &'static Arc<Counter> {
+    static H: OnceLock<Arc<Counter>> = OnceLock::new();
+    H.get_or_init(|| {
+        imc_obs::global().counter(
+            "imc_imcaf_rounds_total",
+            "IMCAF stop-stage iterations executed (Alg. 5 outer loop).",
+        )
+    })
+}
+
+pub(crate) fn estimate_calls_total() -> &'static Arc<Counter> {
+    static H: OnceLock<Arc<Counter>> = OnceLock::new();
+    H.get_or_init(|| {
+        imc_obs::global().counter(
+            "imc_estimate_calls_total",
+            "Dagum Estimate invocations (Alg. 6).",
+        )
+    })
+}
+
+pub(crate) fn estimate_exhausted_total() -> &'static Arc<Counter> {
+    static H: OnceLock<Arc<Counter>> = OnceLock::new();
+    H.get_or_init(|| {
+        imc_obs::global().counter(
+            "imc_estimate_exhausted_total",
+            "Estimate calls that hit t_max without reaching the stopping threshold.",
+        )
+    })
+}
+
+pub(crate) fn estimate_samples() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        imc_obs::global().histogram(
+            "imc_estimate_samples",
+            "Fresh RIC samples consumed per Estimate call.",
+            &estimate_sample_buckets(),
+        )
+    })
+}
+
+pub(crate) fn maxr_coverage_ratio() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        imc_obs::global().histogram(
+            "imc_maxr_coverage_ratio",
+            "Fraction of the collection influenced by each MAXR solution.",
+            COVERAGE_BUCKETS,
+        )
+    })
+}
+
+/// Records one MAXR solve: per-algorithm counter + duration histogram,
+/// the coverage-ratio histogram, and a `maxr_solve` trace event.
+pub(crate) fn record_maxr_solve(
+    algo: &'static str,
+    duration: Duration,
+    influenced: usize,
+    samples: usize,
+) {
+    let registry = imc_obs::global();
+    registry
+        .counter_with(
+            "imc_maxr_solves_total",
+            "MAXR solves by algorithm.",
+            &[("algo", algo)],
+        )
+        .inc();
+    registry
+        .histogram_with(
+            "imc_maxr_solve_duration_seconds",
+            "Wall-clock MAXR solve time by algorithm.",
+            DEFAULT_DURATION_BUCKETS,
+            &[("algo", algo)],
+        )
+        .observe_duration(duration);
+    if samples > 0 {
+        maxr_coverage_ratio().observe(influenced as f64 / samples as f64);
+    }
+    if imc_obs::trace::enabled() {
+        imc_obs::trace::emit(
+            imc_obs::trace::TraceEvent::new("maxr_solve")
+                .field("algo", algo)
+                .field("seconds", duration.as_secs_f64())
+                .field("influenced", influenced)
+                .field("samples", samples),
+        );
+    }
+}
+
+/// Records one finished IMCAF run under its stop reason.
+pub(crate) fn record_imcaf_run(stop_reason: &'static str) {
+    imc_obs::global()
+        .counter_with(
+            "imc_imcaf_runs_total",
+            "Completed IMCAF runs by stop reason.",
+            &[("stop_reason", stop_reason)],
+        )
+        .inc();
+}
+
+/// Forces registration of every metric family this crate can export, so a
+/// `/metrics` scrape sees them (at zero) before the first solve. Called by
+/// the daemon on startup; idempotent and cheap, safe to call repeatedly.
+pub fn register() {
+    let _ = ric_samples_total();
+    let _ = ric_sample_width();
+    let _ = ric_shard_duration();
+    let _ = imcaf_rounds_total();
+    let _ = estimate_calls_total();
+    let _ = estimate_exhausted_total();
+    let _ = estimate_samples();
+    let _ = maxr_coverage_ratio();
+    for algo in ["GREEDY", "UBG", "MAF", "BT", "BT^d", "MB"] {
+        let registry = imc_obs::global();
+        let _ = registry.counter_with(
+            "imc_maxr_solves_total",
+            "MAXR solves by algorithm.",
+            &[("algo", algo)],
+        );
+        let _ = registry.histogram_with(
+            "imc_maxr_solve_duration_seconds",
+            "Wall-clock MAXR solve time by algorithm.",
+            DEFAULT_DURATION_BUCKETS,
+            &[("algo", algo)],
+        );
+    }
+    for reason in ["converged", "sample_bound", "cap"] {
+        let _ = imc_obs::global().counter_with(
+            "imc_imcaf_runs_total",
+            "Completed IMCAF runs by stop reason.",
+            &[("stop_reason", reason)],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent_and_exports_all_families() {
+        register();
+        register();
+        let text = imc_obs::encode::to_prometheus(imc_obs::global());
+        for name in [
+            "imc_ric_samples_generated_total",
+            "imc_ric_sample_width",
+            "imc_ric_shard_duration_seconds",
+            "imc_maxr_solves_total",
+            "imc_maxr_solve_duration_seconds",
+            "imc_maxr_coverage_ratio",
+            "imc_imcaf_rounds_total",
+            "imc_imcaf_runs_total",
+            "imc_estimate_calls_total",
+            "imc_estimate_exhausted_total",
+            "imc_estimate_samples",
+        ] {
+            assert!(
+                text.contains(name),
+                "family `{name}` missing from exposition"
+            );
+        }
+    }
+
+    #[test]
+    fn record_maxr_solve_feeds_labeled_series() {
+        let before = imc_obs::global()
+            .counter_with(
+                "imc_maxr_solves_total",
+                "MAXR solves by algorithm.",
+                &[("algo", "UBG")],
+            )
+            .get();
+        record_maxr_solve("UBG", Duration::from_micros(50), 3, 10);
+        let after = imc_obs::global()
+            .counter_with(
+                "imc_maxr_solves_total",
+                "MAXR solves by algorithm.",
+                &[("algo", "UBG")],
+            )
+            .get();
+        assert_eq!(after, before + 1);
+    }
+}

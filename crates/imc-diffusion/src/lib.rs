@@ -48,7 +48,7 @@ pub mod rr;
 pub mod spread;
 
 pub use error::DiffusionError;
-pub use ic::IndependentCascade;
+pub use ic::{IndependentCascade, NEVER};
 pub use lt::LinearThreshold;
 pub use model::DiffusionModel;
 

@@ -1,0 +1,135 @@
+//! Prometheus text exposition format 0.0.4.
+//!
+//! One `# HELP` / `# TYPE` header per family, then one line per child
+//! sample. Histograms expand to cumulative `_bucket{le="..."}` series plus
+//! `_sum` and `_count`, exactly as scrapers expect. Serve the output with
+//! content type `text/plain; version=0.0.4; charset=utf-8`.
+
+use crate::registry::{Child, Registry};
+use std::fmt::Write as _;
+
+/// The HTTP `Content-Type` for this exposition format.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Renders every family in `registry` (registration order; children in
+/// label order) as Prometheus 0.0.4 text.
+pub fn to_prometheus(registry: &Registry) -> String {
+    let mut out = String::new();
+    for family in registry.families() {
+        let _ = writeln!(out, "# HELP {} {}", family.name, escape_help(&family.help));
+        let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.as_str());
+        let children = family.children.read().expect("family lock");
+        for (values, child) in children.iter() {
+            let labels = render_labels(&family.label_names, values);
+            match child {
+                Child::Counter(c) => {
+                    let _ = writeln!(out, "{}{} {}", family.name, labels, c.get());
+                }
+                Child::Gauge(g) => {
+                    let _ = writeln!(out, "{}{} {}", family.name, labels, fmt_value(g.get()));
+                }
+                Child::Histogram(h) => {
+                    let cumulative = h.cumulative_buckets();
+                    for (bound, count) in h.bounds().iter().zip(&cumulative) {
+                        let le = with_label(&family.label_names, values, "le", &fmt_value(*bound));
+                        let _ = writeln!(out, "{}_bucket{} {}", family.name, le, count);
+                    }
+                    let inf = with_label(&family.label_names, values, "le", "+Inf");
+                    let total = cumulative.last().copied().unwrap_or(0);
+                    let _ = writeln!(out, "{}_bucket{} {}", family.name, inf, total);
+                    let _ = writeln!(out, "{}_sum{} {}", family.name, labels, fmt_value(h.sum()));
+                    let _ = writeln!(out, "{}_count{} {}", family.name, labels, h.count());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders one finite or infinite value the way Prometheus expects.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_labels(names: &[String], values: &[String]) -> String {
+    if names.is_empty() {
+        return String::new();
+    }
+    let pairs: Vec<String> = names
+        .iter()
+        .zip(values)
+        .map(|(n, v)| format!("{n}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", pairs.join(","))
+}
+
+fn with_label(names: &[String], values: &[String], extra_name: &str, extra_value: &str) -> String {
+    let mut pairs: Vec<String> = names
+        .iter()
+        .zip(values)
+        .map(|(n, v)| format!("{n}=\"{}\"", escape_label(v)))
+        .collect();
+    pairs.push(format!("{extra_name}=\"{}\"", escape_label(extra_value)));
+    format!("{{{}}}", pairs.join(","))
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_labels_render() {
+        let r = Registry::new();
+        r.counter_with("a_total", "A total.", &[("op", "x")]).inc();
+        r.gauge("b", "B gauge.").set(1.5);
+        let text = to_prometheus(&r);
+        assert!(text.contains("# HELP a_total A total."));
+        assert!(text.contains("# TYPE a_total counter"));
+        assert!(text.contains("a_total{op=\"x\"} 1"));
+        assert!(text.contains("# TYPE b gauge"));
+        assert!(text.contains("b 1.5"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf() {
+        let r = Registry::new();
+        let h = r.histogram("h_seconds", "H.", &[0.5, 2.0]);
+        h.observe(0.25);
+        h.observe(1.0);
+        h.observe(10.0);
+        let text = to_prometheus(&r);
+        assert!(text.contains("h_seconds_bucket{le=\"0.5\"} 1"));
+        assert!(text.contains("h_seconds_bucket{le=\"2\"} 2"));
+        assert!(text.contains("h_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("h_seconds_sum 11.25"));
+        assert!(text.contains("h_seconds_count 3"));
+    }
+
+    #[test]
+    fn help_and_label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_with("e_total", "line1\nline2 \\ slash", &[("p", "a\"b\nc")])
+            .inc();
+        let text = to_prometheus(&r);
+        assert!(text.contains("# HELP e_total line1\\nline2 \\\\ slash"));
+        assert!(text.contains("e_total{p=\"a\\\"b\\nc\"} 1"));
+    }
+}

@@ -1,0 +1,287 @@
+//! The three instrument types: counters, gauges, fixed-bucket histograms.
+//!
+//! All updates are lock-free. Counters and histogram bucket/count updates
+//! are single relaxed `fetch_add`s; gauge stores and the histogram sum use
+//! f64 bit-casts over `AtomicU64` (a CAS loop for additive updates), so
+//! concurrent totals are exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically-increasing `u64` counter.
+///
+/// Prometheus type `counter`; names should end in `_total`.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn inc_by(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable `f64` gauge (current-value metric: sizes, generations,
+/// temperatures).
+///
+/// Stored as f64 bits in an `AtomicU64`; `set`/`get` are single atomic
+/// ops, `add` is a CAS loop.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge starting at `0.0`.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative). Exact under concurrency.
+    pub fn add(&self, delta: f64) {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram of `f64` observations.
+///
+/// Buckets are defined by their inclusive upper bounds (ascending); an
+/// implicit `+Inf` bucket catches the rest. Per-bucket tallies are stored
+/// *non*-cumulatively and summed cumulatively only at exposition time.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>, // bounds.len() + 1 (the +Inf bucket)
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+/// Duration buckets (seconds) covering 10 µs … ~2.6 s exponentially —
+/// the default for `*_duration_seconds` histograms across the workspace.
+pub const DEFAULT_DURATION_BUCKETS: &[f64] = &[
+    1e-5, 4e-5, 1.6e-4, 6.4e-4, 2.56e-3, 1.024e-2, 4.096e-2, 0.16384, 0.65536, 2.62144,
+];
+
+impl Histogram {
+    /// A histogram with the given ascending bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bounds` is empty, non-finite, or not strictly
+    /// ascending — bucket layouts are static configuration, so a bad one
+    /// is a programming error.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "histogram bounds must be strictly ascending");
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite (+Inf is implicit)"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // CAS loop keeps the sum exact under concurrency.
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Records a [`std::time::Duration`] in seconds.
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The configured upper bounds (without the implicit `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Cumulative per-bucket counts, one entry per bound plus the final
+    /// `+Inf` bucket (which equals [`count`](Self::count) once no
+    /// observation is in flight).
+    pub fn cumulative_buckets(&self) -> Vec<u64> {
+        let mut acc = 0u64;
+        self.buckets
+            .iter()
+            .map(|b| {
+                acc += b.load(Ordering::Relaxed);
+                acc
+            })
+            .collect()
+    }
+}
+
+/// `count` bucket bounds growing geometrically from `start` by `factor`.
+///
+/// # Panics
+///
+/// Panics when `start <= 0`, `factor <= 1`, or `count == 0`.
+pub fn exponential_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    assert!(start > 0.0, "exponential buckets need a positive start");
+    assert!(factor > 1.0, "exponential buckets need a factor > 1");
+    assert!(count > 0, "exponential buckets need at least one bucket");
+    let mut bounds = Vec::with_capacity(count);
+    let mut b = start;
+    for _ in 0..count {
+        bounds.push(b);
+        b *= factor;
+    }
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.inc_by(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_sets_and_adds() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.add(-1.0);
+        assert_eq!(g.get(), 1.5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5); // bucket le=1
+        h.observe(1.0); // le bounds are inclusive
+        h.observe(5.0); // bucket le=10
+        h.observe(100.0); // +Inf
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 106.5);
+        assert_eq!(h.cumulative_buckets(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn exponential_buckets_grow() {
+        assert_eq!(exponential_buckets(1.0, 2.0, 4), vec![1.0, 2.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn concurrent_totals_are_exact() {
+        // N threads hammering one counter, one gauge and one histogram:
+        // every total must come out exact, not approximately.
+        use std::sync::Arc;
+        let c = Arc::new(Counter::new());
+        let g = Arc::new(Gauge::new());
+        let h = Arc::new(Histogram::new(&[0.5, 1.5, 3.0]));
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let c = Arc::clone(&c);
+                let g = Arc::clone(&g);
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        c.inc();
+                        g.add(1.0);
+                        h.observe((((t * per_thread + i) % 4) as f64) + 0.25);
+                    }
+                });
+            }
+        });
+        let total = threads * per_thread;
+        assert_eq!(c.get(), total);
+        assert_eq!(g.get(), total as f64);
+        assert_eq!(h.count(), total);
+        // Observations cycle 0.25, 1.25, 2.25, 3.25 — exactly total/4 each
+        // (f64 sums of .25 multiples are exact in binary).
+        assert_eq!(h.sum(), (0.25 + 1.25 + 2.25 + 3.25) * (total / 4) as f64);
+        assert_eq!(
+            h.cumulative_buckets(),
+            vec![total / 4, total / 2, 3 * total / 4, total]
+        );
+    }
+}

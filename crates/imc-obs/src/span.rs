@@ -1,0 +1,112 @@
+//! RAII spans: time a phase into the global `imc_span_duration_seconds`
+//! histogram and (when a trace sink is installed) emit a `span` trace
+//! event on drop.
+//!
+//! ```
+//! {
+//!     let _span = imc_obs::Span::enter("doctest_phase");
+//!     // ... phase work ...
+//! } // drop records the duration
+//! ```
+
+use crate::metrics::DEFAULT_DURATION_BUCKETS;
+use crate::trace::{self, TraceEvent};
+use std::time::Instant;
+
+/// Histogram family every span reports into, labeled by `span` (the span
+/// name) and `detail` (a free-form qualifier, empty for plain spans).
+pub const SPAN_DURATION_METRIC: &str = "imc_span_duration_seconds";
+
+const SPAN_DURATION_HELP: &str = "Duration of instrumented phases, labeled by span name.";
+
+/// A timed phase; records its duration when dropped.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    detail: String,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts a span named `name` (the `span` label on the histogram).
+    pub fn enter(name: &'static str) -> Self {
+        Span {
+            name,
+            detail: String::new(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Starts a span with a qualifier carried in the `detail` label (for
+    /// example a shard index or an algorithm name). Keep cardinality low:
+    /// every distinct `(span, detail)` pair is its own time series.
+    pub fn enter_with(name: &'static str, detail: impl Into<String>) -> Self {
+        Span {
+            name,
+            detail: detail.into(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since the span started.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let secs = self.start.elapsed().as_secs_f64();
+        crate::global()
+            .histogram_with(
+                SPAN_DURATION_METRIC,
+                SPAN_DURATION_HELP,
+                DEFAULT_DURATION_BUCKETS,
+                &[("span", self.name), ("detail", &self.detail)],
+            )
+            .observe(secs);
+        if trace::enabled() {
+            let mut event = TraceEvent::new("span")
+                .field("span", self.name)
+                .field("seconds", secs);
+            if !self.detail.is_empty() {
+                event = event.field("detail", self.detail.as_str());
+            }
+            trace::emit(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_count(name: &str, detail: &str) -> u64 {
+        crate::global()
+            .histogram_with(
+                SPAN_DURATION_METRIC,
+                SPAN_DURATION_HELP,
+                DEFAULT_DURATION_BUCKETS,
+                &[("span", name), ("detail", detail)],
+            )
+            .count()
+    }
+
+    #[test]
+    fn span_records_into_global_histogram() {
+        let before = span_count("span_test", "");
+        {
+            let _span = Span::enter("span_test");
+        }
+        assert_eq!(span_count("span_test", ""), before + 1);
+    }
+
+    #[test]
+    fn span_with_detail_is_a_distinct_series() {
+        {
+            let _span = Span::enter_with("span_detail_test", "shard=3");
+        }
+        assert!(span_count("span_detail_test", "shard=3") >= 1);
+        assert_eq!(span_count("span_detail_test", "shard=9"), 0);
+    }
+}

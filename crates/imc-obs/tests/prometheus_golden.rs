@@ -1,0 +1,49 @@
+//! Golden-file test for the Prometheus 0.0.4 encoder: a local registry
+//! with one family of each kind must render byte-for-byte identically to
+//! `tests/golden/exposition.txt`.
+//!
+//! All observed values are exact binary floats (.25/.5 multiples) so the
+//! rendering is deterministic across platforms.
+
+use imc_obs::{encode, Registry};
+
+#[test]
+fn exposition_matches_golden_file() {
+    let registry = Registry::new();
+
+    let solve = registry.counter_with(
+        "imc_requests_total",
+        "Completed requests by operation.",
+        &[("op", "solve")],
+    );
+    solve.inc_by(5);
+    let estimate = registry.counter_with(
+        "imc_requests_total",
+        "Completed requests by operation.",
+        &[("op", "estimate")],
+    );
+    estimate.inc_by(2);
+
+    let gauge = registry.gauge(
+        "imc_collection_samples",
+        "RIC samples in the live collection.",
+    );
+    gauge.set(4096.0);
+
+    let hist = registry.histogram(
+        "imc_request_duration_seconds",
+        "Wall-clock request latency.",
+        &[0.25, 0.5, 1.0],
+    );
+    hist.observe(0.125);
+    hist.observe(0.25); // le bounds are inclusive
+    hist.observe(0.75);
+    hist.observe(2.5); // +Inf bucket
+
+    let rendered = encode::to_prometheus(&registry);
+    let golden = include_str!("golden/exposition.txt");
+    assert_eq!(
+        rendered, golden,
+        "encoder output drifted from tests/golden/exposition.txt"
+    );
+}

@@ -53,15 +53,23 @@ pub struct ServiceState {
 impl ServiceState {
     /// Wraps an instance and an initial collection (possibly empty) as
     /// snapshot `generation`.
+    ///
+    /// Also registers every metric family the daemon stack can export
+    /// (solver + service) in the global registry, so the first `/metrics`
+    /// scrape sees them at zero rather than absent.
     pub fn new(instance: ImcInstance, collection: RicCollection, generation: u64) -> Self {
+        imc_core::obs::register();
+        metrics::register();
         let fingerprint = snapshot::instance_fingerprint(instance.graph(), instance.communities());
-        ServiceState {
+        let state = ServiceState {
             instance,
             fingerprint,
             collection: RwLock::new(Arc::new(collection)),
             generation: AtomicU64::new(generation),
             metrics: Metrics::new(),
-        }
+        };
+        state.refresh_gauges();
+        state
     }
 
     /// Starts from a decoded snapshot, verifying it matches the instance.
@@ -123,9 +131,33 @@ impl ServiceState {
     /// Atomically publishes a new collection, bumping the generation.
     /// Returns the new generation number.
     pub fn publish(&self, collection: RicCollection) -> u64 {
-        let mut slot = self.collection.write().expect("collection lock");
-        *slot = Arc::new(collection);
-        self.generation.fetch_add(1, Ordering::SeqCst) + 1
+        let generation = {
+            let mut slot = self.collection.write().expect("collection lock");
+            *slot = Arc::new(collection);
+            self.generation.fetch_add(1, Ordering::SeqCst) + 1
+        };
+        self.refresh_gauges();
+        generation
+    }
+
+    /// Pushes the current collection size and generation into the
+    /// `imc_collection_samples` / `imc_collection_generation` gauges.
+    /// Called on construction, on publish, and before each exposition.
+    pub fn refresh_gauges(&self) {
+        let (collection, generation) = self.pinned();
+        let registry = imc_obs::global();
+        registry
+            .gauge(
+                "imc_collection_samples",
+                "RIC samples in the currently-published collection.",
+            )
+            .set(collection.len() as f64);
+        registry
+            .gauge(
+                "imc_collection_generation",
+                "Generation number of the currently-published collection.",
+            )
+            .set(generation as f64);
     }
 
     /// Current snapshot generation.

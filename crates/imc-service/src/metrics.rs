@@ -1,8 +1,17 @@
 //! Request metrics: per-operation counters and a latency reservoir giving
 //! p50/p99 without unbounded memory.
+//!
+//! Every recorded request is mirrored into the process-wide
+//! [`imc_obs::global`] registry (`imc_requests_total{op}`,
+//! `imc_request_duration_seconds{op}`, `imc_samples_scanned_total`,
+//! `imc_deadline_misses_total`), so the daemon's `GET /metrics` exposition
+//! and the NDJSON `stats` op report from one source of truth. The
+//! reservoir stays local: percentiles over a ring are cheap here and don't
+//! map onto fixed Prometheus buckets.
 
+use imc_obs::{Counter, Histogram, DEFAULT_DURATION_BUCKETS};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 /// How many recent latency observations the reservoir keeps.
@@ -50,6 +59,10 @@ impl Metrics {
         .fetch_add(1, Ordering::Relaxed);
         self.samples_served
             .fetch_add(samples_scanned, Ordering::Relaxed);
+        let obs = obs_handles(kind);
+        obs.requests.inc();
+        obs.duration.observe_duration(latency);
+        samples_scanned_total().inc_by(samples_scanned);
         let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
         let mut ring = self.latencies_us.lock().expect("metrics lock");
         if ring.buf.len() < RESERVOIR_CAP {
@@ -65,6 +78,8 @@ impl Metrics {
     pub fn record_deadline_miss(&self) {
         self.deadline_misses.fetch_add(1, Ordering::Relaxed);
         self.error_requests.fetch_add(1, Ordering::Relaxed);
+        deadline_misses_total().inc();
+        obs_handles(OpKind::Error).requests.inc();
     }
 
     /// A point-in-time snapshot of all counters and percentiles.
@@ -97,6 +112,87 @@ pub enum OpKind {
     Info,
     /// Requests answered with an error.
     Error,
+}
+
+impl OpKind {
+    /// The `op` label value this kind exports under.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OpKind::Solve => "solve",
+            OpKind::Estimate => "estimate",
+            OpKind::Info => "info",
+            OpKind::Error => "error",
+        }
+    }
+}
+
+/// Per-op registry handles, cached so the request path never takes the
+/// registry lock.
+struct OpObs {
+    requests: Arc<Counter>,
+    duration: Arc<Histogram>,
+}
+
+fn make_op_obs(op: &'static str) -> OpObs {
+    let registry = imc_obs::global();
+    OpObs {
+        requests: registry.counter_with(
+            "imc_requests_total",
+            "Completed daemon requests by operation.",
+            &[("op", op)],
+        ),
+        duration: registry.histogram_with(
+            "imc_request_duration_seconds",
+            "Wall-clock daemon request latency by operation.",
+            DEFAULT_DURATION_BUCKETS,
+            &[("op", op)],
+        ),
+    }
+}
+
+fn obs_handles(kind: OpKind) -> &'static OpObs {
+    static SOLVE: OnceLock<OpObs> = OnceLock::new();
+    static ESTIMATE: OnceLock<OpObs> = OnceLock::new();
+    static INFO: OnceLock<OpObs> = OnceLock::new();
+    static ERROR: OnceLock<OpObs> = OnceLock::new();
+    match kind {
+        OpKind::Solve => SOLVE.get_or_init(|| make_op_obs("solve")),
+        OpKind::Estimate => ESTIMATE.get_or_init(|| make_op_obs("estimate")),
+        OpKind::Info => INFO.get_or_init(|| make_op_obs("info")),
+        OpKind::Error => ERROR.get_or_init(|| make_op_obs("error")),
+    }
+}
+
+fn samples_scanned_total() -> &'static Arc<Counter> {
+    static H: OnceLock<Arc<Counter>> = OnceLock::new();
+    H.get_or_init(|| {
+        imc_obs::global().counter(
+            "imc_samples_scanned_total",
+            "RIC samples scanned on behalf of daemon requests.",
+        )
+    })
+}
+
+fn deadline_misses_total() -> &'static Arc<Counter> {
+    static H: OnceLock<Arc<Counter>> = OnceLock::new();
+    H.get_or_init(|| {
+        imc_obs::global().counter(
+            "imc_deadline_misses_total",
+            "Requests dropped because their deadline passed while queued.",
+        )
+    })
+}
+
+/// Forces registration of every daemon-side metric family (including the
+/// zero-valued children for each op label) so a fresh daemon's first
+/// scrape already lists them. Idempotent.
+pub fn register() {
+    let _ = obs_handles(OpKind::Solve);
+    let _ = obs_handles(OpKind::Estimate);
+    let _ = obs_handles(OpKind::Info);
+    let _ = obs_handles(OpKind::Error);
+    let _ = samples_scanned_total();
+    let _ = deadline_misses_total();
 }
 
 /// Plain-data view of [`Metrics`] at one instant.
@@ -179,5 +275,23 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.deadline_misses, 1);
         assert_eq!(s.error_requests, 1);
+    }
+
+    #[test]
+    fn record_mirrors_into_shared_registry() {
+        // Delta-based: the global registry is shared across parallel
+        // tests, so assert growth, not absolute values.
+        let before_count = obs_handles(OpKind::Solve).requests.get();
+        let before_hist = obs_handles(OpKind::Solve).duration.count();
+        let before_scanned = samples_scanned_total().get();
+        let m = Metrics::new();
+        m.record(OpKind::Solve, Duration::from_micros(123), 42);
+        assert_eq!(obs_handles(OpKind::Solve).requests.get(), before_count + 1);
+        assert_eq!(obs_handles(OpKind::Solve).duration.count(), before_hist + 1);
+        assert_eq!(samples_scanned_total().get(), before_scanned + 42);
+
+        let before_miss = deadline_misses_total().get();
+        m.record_deadline_miss();
+        assert_eq!(deadline_misses_total().get(), before_miss + 1);
     }
 }

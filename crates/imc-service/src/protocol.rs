@@ -10,9 +10,14 @@
 //!  "epsilon":0.2,"delta":0.1,"max_samples":100000}    — full IMCAF run (samples fresh)
 //! {"op":"estimate","seeds":[3,17,42]}                 — ĉ_R / ν_R of a seed set
 //! {"op":"stats"}                                      — metrics + collection stats
+//! {"op":"metrics"}                                    — Prometheus 0.0.4 exposition (as JSON string)
 //! {"op":"health"}                                     — liveness probe
 //! {"op":"shutdown"}                                   — graceful stop
 //! ```
+//!
+//! The daemon also answers plain `GET /metrics` HTTP requests on the same
+//! port (and on the dedicated metrics port when configured) — see
+//! [`server`](crate::server).
 //!
 //! Responses carry `"ok":true` plus op-specific fields, or `"ok":false`
 //! with an `"error"` string.
@@ -54,6 +59,8 @@ pub enum Request {
     },
     /// Metrics and collection statistics.
     Stats,
+    /// Full Prometheus exposition of the process-wide registry.
+    Metrics,
     /// Liveness probe.
     Health,
     /// Graceful server stop.
@@ -138,10 +145,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Estimate { seeds })
         }
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "health" => Ok(Request::Health),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown op `{other}` (expected solve | estimate | stats | health | shutdown)"
+            "unknown op `{other}` (expected solve | estimate | stats | metrics | health | shutdown)"
         )),
     }
 }
@@ -247,6 +255,10 @@ mod tests {
             }
         );
         assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics
+        );
         assert_eq!(
             parse_request(r#"{"op":"health"}"#).unwrap(),
             Request::Health

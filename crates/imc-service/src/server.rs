@@ -91,6 +91,10 @@ pub struct ServeConfig {
     pub deadline: Duration,
     /// Optional background refresher.
     pub refresh: Option<RefreshConfig>,
+    /// Optional dedicated Prometheus exposition listener (for example
+    /// `"127.0.0.1:9100"`). `GET /metrics` is always answered on the main
+    /// port too; a dedicated port keeps scrapers off the worker pool.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -100,6 +104,7 @@ impl Default for ServeConfig {
             workers: 4,
             deadline: Duration::from_secs(30),
             refresh: None,
+            metrics_addr: None,
         }
     }
 }
@@ -124,6 +129,20 @@ impl Server {
         let refresh_thread = config
             .refresh
             .map(|rc| refresher::spawn(Arc::clone(&state), rc, Arc::clone(&shutdown)));
+
+        let (metrics_addr, metrics_thread) = match config.metrics_addr.as_deref() {
+            Some(bind) => {
+                let metrics_listener = TcpListener::bind(bind)?;
+                let bound = metrics_listener.local_addr()?;
+                let thread = spawn_metrics_listener(
+                    metrics_listener,
+                    Arc::clone(&state),
+                    Arc::clone(&shutdown),
+                );
+                (Some(bound), Some(thread))
+            }
+            None => (None, None),
+        };
 
         let accept_state = Arc::clone(&state);
         let accept_shutdown = Arc::clone(&shutdown);
@@ -151,9 +170,11 @@ impl Server {
 
         Ok(ServerHandle {
             addr,
+            metrics_addr,
             shutdown,
             accept_thread: Some(accept_thread),
             refresh_thread,
+            metrics_thread,
         })
     }
 }
@@ -162,9 +183,11 @@ impl Server {
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shutdown: Arc<Shutdown>,
     accept_thread: Option<JoinHandle<()>>,
     refresh_thread: Option<JoinHandle<()>>,
+    metrics_thread: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -173,16 +196,24 @@ impl ServerHandle {
         self.addr
     }
 
+    /// The dedicated metrics listener's address, when one was configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
     /// The shared shutdown signal.
     pub fn shutdown_signal(&self) -> Arc<Shutdown> {
         Arc::clone(&self.shutdown)
     }
 
     /// Requests a graceful stop (also triggered by a client `shutdown`
-    /// request) and wakes the blocking accept.
+    /// request) and wakes the blocking accepts.
     pub fn stop(&self) {
         self.shutdown.request();
         poke(self.addr);
+        if let Some(m) = self.metrics_addr {
+            poke(m);
+        }
     }
 
     /// Blocks until shutdown is requested, then joins all threads.
@@ -190,6 +221,9 @@ impl ServerHandle {
     pub fn wait(mut self) {
         self.shutdown.wait();
         poke(self.addr);
+        if let Some(m) = self.metrics_addr {
+            poke(m);
+        }
         self.join_threads();
     }
 
@@ -206,6 +240,9 @@ impl ServerHandle {
         if let Some(t) = self.refresh_thread.take() {
             let _ = t.join();
         }
+        if let Some(t) = self.metrics_thread.take() {
+            let _ = t.join();
+        }
     }
 }
 
@@ -213,6 +250,9 @@ impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.shutdown.request();
         poke(self.addr);
+        if let Some(m) = self.metrics_addr {
+            poke(m);
+        }
         self.join_threads();
     }
 }
@@ -221,6 +261,69 @@ impl Drop for ServerHandle {
 /// connection.
 fn poke(addr: SocketAddr) {
     let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+}
+
+/// Renders the global registry as Prometheus text (refreshing the
+/// collection gauges first so scrapes see current sizes).
+fn prometheus_exposition(state: &ServiceState) -> String {
+    state.refresh_gauges();
+    imc_obs::encode::to_prometheus(imc_obs::global())
+}
+
+/// A complete HTTP/1.0 response for one `GET` request line. `/metrics`
+/// gets the exposition; anything else a 404. Connection closes after.
+fn http_response(state: &ServiceState, request_line: &str) -> String {
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    if path == "/metrics" || path.starts_with("/metrics?") {
+        let body = prometheus_exposition(state);
+        format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            imc_obs::encode::CONTENT_TYPE,
+            body.len(),
+            body
+        )
+    } else {
+        let body = "only /metrics is served here\n";
+        format!(
+            "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    }
+}
+
+/// Dedicated exposition listener: one short-lived connection per scrape,
+/// no worker pool involved, so monitoring stays responsive while every
+/// worker is busy solving.
+fn spawn_metrics_listener(
+    listener: TcpListener,
+    state: Arc<ServiceState>,
+    shutdown: Arc<Shutdown>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("imc-metrics".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if shutdown.is_requested() {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                let Ok(read_half) = stream.try_clone() else {
+                    continue;
+                };
+                let mut reader = BufReader::new(read_half);
+                let mut line = String::new();
+                if reader.read_line(&mut line).is_err() {
+                    continue;
+                }
+                let mut writer = BufWriter::new(stream);
+                let _ = writer.write_all(http_response(&state, line.trim()).as_bytes());
+                let _ = writer.flush();
+            }
+        })
+        .expect("spawn metrics listener thread")
 }
 
 /// How often an idle connection wakes to check the shutdown signal.
@@ -264,6 +367,15 @@ fn handle_connection(
             Ok(_) => {
                 let trimmed = line.trim();
                 if !trimmed.is_empty() {
+                    // HTTP-ish escape hatch: a scraper pointed at the main
+                    // port sends `GET /metrics HTTP/1.x`; answer with one
+                    // HTTP response and close (HTTP clients don't pipeline
+                    // NDJSON).
+                    if trimmed.starts_with("GET ") {
+                        let _ = writer.write_all(http_response(state, trimmed).as_bytes());
+                        let _ = writer.flush();
+                        break;
+                    }
                     if shutdown.is_requested() {
                         let _ = writeln!(
                             writer,
@@ -437,6 +549,14 @@ fn dispatch(state: &ServiceState, line: &str) -> (String, bool) {
                 .field("node_count", state.instance().node_count())
                 .field("community_count", state.instance().community_count());
             (protocol::ok_response("stats", body), false)
+        }
+        Request::Metrics => {
+            let body = prometheus_exposition(state);
+            state.metrics().record(OpKind::Info, start.elapsed(), 0);
+            let fields = ObjectBuilder::new()
+                .field("format", "prometheus-0.0.4")
+                .field("body", body);
+            (protocol::ok_response("metrics", fields), false)
         }
         Request::Health => {
             let (collection, generation) = state.pinned();

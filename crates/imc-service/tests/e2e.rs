@@ -43,6 +43,7 @@ fn start(state: Arc<ServiceState>, workers: usize) -> imc_service::ServerHandle 
             workers,
             deadline: TIMEOUT,
             refresh: None,
+            metrics_addr: None,
         },
     )
     .expect("bind ephemeral port")
@@ -208,6 +209,7 @@ fn refresher_publishes_new_generations_while_serving() {
                 interval: Duration::from_millis(1),
                 base_seed: 42,
             }),
+            metrics_addr: None,
         },
     )
     .unwrap();
@@ -253,6 +255,96 @@ fn shutdown_request_stops_the_server_gracefully() {
     let denied = Client::connect(addr, Duration::from_millis(300))
         .and_then(|mut c| c.request_line(r#"{"op":"health"}"#));
     assert!(denied.is_err(), "server still answering after shutdown");
+}
+
+/// Issues one `GET <path>` HTTP request against `addr` and returns the
+/// raw response (headers + body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect_timeout(&addr, TIMEOUT).unwrap();
+    stream.set_read_timeout(Some(TIMEOUT)).unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+    stream.flush().unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+#[test]
+fn get_metrics_exposes_prometheus_text_reflecting_requests() {
+    let state = Arc::new(build_state(120));
+    let server = Server::start(
+        Arc::clone(&state),
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            deadline: TIMEOUT,
+            refresh: None,
+            metrics_addr: Some("127.0.0.1:0".to_string()),
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let metrics_addr = server.metrics_addr().expect("dedicated metrics port");
+
+    // Baseline scrape, then serve a few requests, then scrape again. The
+    // registry is process-global and shared with parallel tests, so all
+    // assertions are deltas.
+    let parse_counter = |text: &str, series: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(series) && !l.starts_with('#'))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("series `{series}` missing or unparsable"))
+    };
+    let before = http_get(addr, "/metrics");
+    assert!(before.starts_with("HTTP/1.0 200 OK"), "{before}");
+    assert!(before.contains("text/plain; version=0.0.4"));
+    let solve_before = parse_counter(&before, r#"imc_requests_total{op="solve"}"#);
+
+    let mut client = Client::connect(addr, TIMEOUT).unwrap();
+    for _ in 0..3 {
+        let resp = client
+            .request(r#"{"op":"solve","k":2,"algo":"maf"}"#)
+            .unwrap();
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+    }
+    let resp = client
+        .request(r#"{"op":"estimate","seeds":[1,2]}"#)
+        .unwrap();
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+
+    // The dedicated port serves the same registry as the main port.
+    for scrape_addr in [addr, metrics_addr] {
+        let after = http_get(scrape_addr, "/metrics");
+        assert!(after.starts_with("HTTP/1.0 200 OK"));
+        // Acceptance criteria: request latency histograms, RIC sample
+        // counters and IMCAF round counters are all present.
+        assert!(after.contains("# TYPE imc_request_duration_seconds histogram"));
+        assert!(after.contains("imc_request_duration_seconds_bucket"));
+        assert!(after.contains("imc_ric_samples_generated_total"));
+        assert!(after.contains("imc_imcaf_rounds_total"));
+        assert!(after.contains("imc_maxr_solves_total"));
+        assert!(after.contains("imc_collection_samples 120"));
+        let solve_after = parse_counter(&after, r#"imc_requests_total{op="solve"}"#);
+        assert!(
+            solve_after >= solve_before + 3,
+            "solve counter did not reflect served requests: {solve_before} -> {solve_after}"
+        );
+    }
+
+    // Unknown paths 404; the NDJSON `metrics` op returns the same text.
+    assert!(http_get(metrics_addr, "/nope").starts_with("HTTP/1.0 404"));
+    let via_op = client.request(r#"{"op":"metrics"}"#).unwrap();
+    assert_eq!(via_op.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        via_op.get("format").unwrap().as_str(),
+        Some("prometheus-0.0.4")
+    );
+    let body = via_op.get("body").unwrap().as_str().unwrap().to_string();
+    assert!(body.contains("imc_requests_total"));
+    assert!(body.contains("imc_collection_generation"));
+    server.stop_and_join();
 }
 
 #[test]
