@@ -1,0 +1,236 @@
+//! RicStore microbenchmarks — sampling throughput, solver-evaluation
+//! throughput (arena-backed [`RicStore`] vs the legacy owning
+//! [`RicCollection`](imc_core::RicCollection)), and arena memory
+//! footprint.
+//!
+//! Besides the usual table, this experiment writes `BENCH_ric.json`
+//! (schema documented in `docs/BENCHMARKS.md`), the machine-readable
+//! record CI archives so throughput regressions show up in review rather
+//! than in production.
+//!
+//! Both backends hold bit-identical sample data (the legacy collection is
+//! materialised from the store), and every timed evaluation is checked
+//! for agreement — the speedup number is only meaningful if the two paths
+//! return the same `ĉ_R(S)`.
+
+use crate::experiments::ExpOptions;
+use crate::harness::{build_instance, dataset_graph};
+use crate::report::{fmt_f, Table};
+use imc_community::ThresholdPolicy;
+use imc_core::RicStore;
+use imc_datasets::DatasetId;
+use imc_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+/// Schema identifier stamped into `BENCH_ric.json`; bump when fields
+/// change meaning.
+pub const BENCH_SCHEMA: &str = "imc-bench/ric/v1";
+
+/// One backend's evaluation timing.
+struct EvalTiming {
+    seconds: f64,
+    evals_per_sec: f64,
+}
+
+/// Runs the microbenchmarks, prints the table, and writes
+/// `BENCH_ric.json` into `--out` (or the working directory).
+pub fn run(options: &ExpOptions) -> std::io::Result<()> {
+    let (samples, eval_sets, seeds_per_set) = if options.quick {
+        (4_000usize, 400usize, 8usize)
+    } else {
+        (40_000, 2_000, 10)
+    };
+
+    // The bundled medium instance: the Wiki-Vote analog with Louvain
+    // communities, size cap 8, bounded thresholds h = 2 (fig. 7a's setup).
+    let dataset = DatasetId::WikiVote;
+    let graph = dataset_graph(dataset, 0.3 * options.scale, options.seed);
+    let instance = build_instance(
+        &graph,
+        crate::harness::Formation::Louvain,
+        8,
+        ThresholdPolicy::Constant(2),
+        options.seed,
+    );
+    let sampler = instance.sampler();
+
+    // 1. Sampling throughput into the arena (seed-sharded, deterministic).
+    let mut store = RicStore::for_sampler(&sampler);
+    let gen_start = Instant::now();
+    store.extend_parallel(&sampler, samples, options.seed);
+    let gen_seconds = gen_start.elapsed().as_secs_f64();
+    let samples_per_sec = samples as f64 / gen_seconds;
+
+    // 2. Solver-evaluation throughput: `ĉ_R(S)` on the same seed sets
+    // through both backends. The legacy path scans every sample with
+    // per-seed binary searches; the store walks the inverted index.
+    let legacy = store.to_collection();
+    let node_count = store.node_count() as u32;
+    let mut rng = StdRng::seed_from_u64(options.seed ^ 0x51C0_FFEE);
+    let seed_sets: Vec<Vec<NodeId>> = (0..eval_sets)
+        .map(|_| {
+            (0..seeds_per_set)
+                .map(|_| NodeId::new(rng.random_range(0..node_count)))
+                .collect()
+        })
+        .collect();
+
+    let legacy_counts: Vec<usize>;
+    let legacy_timing = {
+        let start = Instant::now();
+        legacy_counts = seed_sets
+            .iter()
+            .map(|s| legacy.influenced_count(s))
+            .collect();
+        timing(start.elapsed().as_secs_f64(), eval_sets)
+    };
+    let store_counts: Vec<usize>;
+    let store_timing = {
+        let start = Instant::now();
+        store_counts = seed_sets
+            .iter()
+            .map(|s| store.influenced_count(s))
+            .collect();
+        timing(start.elapsed().as_secs_f64(), eval_sets)
+    };
+    assert_eq!(
+        legacy_counts, store_counts,
+        "backends must agree on every influenced count"
+    );
+    let speedup = store_timing.evals_per_sec / legacy_timing.evals_per_sec;
+
+    // 3. Memory footprint (arena bytes stand in for RSS: the store's flat
+    // buffers are its only heap allocation).
+    let arena_bytes = store.arena_bytes();
+    let index_entries = store.index_entries();
+
+    let mut table = Table::new("RicStore microbenchmarks", &["metric", "value"]);
+    table.push_row(vec![
+        "dataset".into(),
+        imc_datasets::spec(dataset).name.into(),
+    ]);
+    table.push_row(vec!["samples".into(), samples.to_string()]);
+    table.push_row(vec!["gen samples/sec".into(), fmt_f(samples_per_sec)]);
+    table.push_row(vec![
+        "legacy evals/sec".into(),
+        fmt_f(legacy_timing.evals_per_sec),
+    ]);
+    table.push_row(vec![
+        "store evals/sec".into(),
+        fmt_f(store_timing.evals_per_sec),
+    ]);
+    table.push_row(vec!["speedup".into(), format!("{speedup:.2}x")]);
+    table.push_row(vec!["arena bytes".into(), arena_bytes.to_string()]);
+    table.push_row(vec!["index entries".into(), index_entries.to_string()]);
+    table.emit(options.out_dir.as_deref())?;
+
+    let json = bench_json(
+        imc_datasets::spec(dataset).name,
+        samples,
+        gen_seconds,
+        samples_per_sec,
+        eval_sets,
+        seeds_per_set,
+        &legacy_timing,
+        &store_timing,
+        speedup,
+        arena_bytes,
+        index_entries,
+    );
+    let path = options
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| Path::new(".").to_path_buf())
+        .join("BENCH_ric.json");
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(json.as_bytes())?;
+    eprintln!("[ric] wrote {}", path.display());
+    Ok(())
+}
+
+fn timing(seconds: f64, evals: usize) -> EvalTiming {
+    EvalTiming {
+        seconds,
+        evals_per_sec: evals as f64 / seconds.max(1e-12),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bench_json(
+    dataset: &str,
+    samples: usize,
+    gen_seconds: f64,
+    samples_per_sec: f64,
+    eval_sets: usize,
+    seeds_per_set: usize,
+    legacy: &EvalTiming,
+    store: &EvalTiming,
+    speedup: f64,
+    arena_bytes: usize,
+    index_entries: usize,
+) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"{schema}\",\n",
+            "  \"dataset\": \"{dataset}\",\n",
+            "  \"samples\": {samples},\n",
+            "  \"generation\": {{\n",
+            "    \"seconds\": {gen_seconds:.6},\n",
+            "    \"samples_per_sec\": {samples_per_sec:.1}\n",
+            "  }},\n",
+            "  \"evaluation\": {{\n",
+            "    \"seed_sets\": {eval_sets},\n",
+            "    \"seeds_per_set\": {seeds_per_set},\n",
+            "    \"legacy\": {{ \"seconds\": {ls:.6}, \"evals_per_sec\": {le:.1} }},\n",
+            "    \"store\": {{ \"seconds\": {ss:.6}, \"evals_per_sec\": {se:.1} }},\n",
+            "    \"speedup\": {speedup:.3}\n",
+            "  }},\n",
+            "  \"memory\": {{\n",
+            "    \"arena_bytes\": {arena_bytes},\n",
+            "    \"index_entries\": {index_entries}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        schema = BENCH_SCHEMA,
+        dataset = dataset,
+        samples = samples,
+        gen_seconds = gen_seconds,
+        samples_per_sec = samples_per_sec,
+        eval_sets = eval_sets,
+        seeds_per_set = seeds_per_set,
+        ls = legacy.seconds,
+        le = legacy.evals_per_sec,
+        ss = store.seconds,
+        se = store.evals_per_sec,
+        speedup = speedup,
+        arena_bytes = arena_bytes,
+        index_entries = index_entries,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_tiny_scale_and_writes_json() {
+        let dir = std::env::temp_dir().join(format!("imc-bench-ric-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let options = ExpOptions {
+            scale: 0.2,
+            out_dir: Some(dir.clone()),
+            ..ExpOptions::smoke()
+        };
+        run(&options).unwrap();
+        let json = std::fs::read_to_string(dir.join("BENCH_ric.json")).unwrap();
+        assert!(json.contains(BENCH_SCHEMA));
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"arena_bytes\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

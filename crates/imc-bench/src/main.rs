@@ -15,6 +15,7 @@
 //!   ablation-btd      BT^(3) on a threshold-3 instance
 //!   ablation-nonsub   submodularity violation rate per threshold regime
 //!   ablation-ratios   empirical ratios vs the exact MAXR optimum
+//!   ric               RicStore microbenchmarks (writes BENCH_ric.json)
 //!   all               everything above
 //! ```
 
@@ -29,7 +30,7 @@ fn main() -> ExitCode {
             "usage: imc-bench <experiment> [--scale F] [--quick] [--runs N] [--seed N] [--out DIR] \
              [--trace FILE] [--metrics-out FILE]"
         );
-        eprintln!("experiments: table1 fig4 fig5 fig6 fig7 fig8 ablation-samples ablation-btd ablation-nonsub ablation-ratios all");
+        eprintln!("experiments: table1 fig4 fig5 fig6 fig7 fig8 ablation-samples ablation-btd ablation-nonsub ablation-ratios ric all");
         return ExitCode::FAILURE;
     };
     let mut options = ExpOptions::default();
@@ -114,6 +115,7 @@ fn main() -> ExitCode {
         "ablation-btd" => experiments::ablations::btd(&options),
         "ablation-nonsub" => experiments::ablations::nonsubmodularity(&options),
         "ablation-ratios" => experiments::ablations::ratios(&options),
+        "ric" => experiments::ric::run(&options),
         "all" => experiments::table1::run(&options)
             .and_then(|_| experiments::fig4::run(&options))
             .and_then(|_| experiments::fig5::run(&options))
@@ -123,7 +125,8 @@ fn main() -> ExitCode {
             .and_then(|_| experiments::ablations::samples(&options))
             .and_then(|_| experiments::ablations::btd(&options))
             .and_then(|_| experiments::ablations::nonsubmodularity(&options))
-            .and_then(|_| experiments::ablations::ratios(&options)),
+            .and_then(|_| experiments::ablations::ratios(&options))
+            .and_then(|_| experiments::ric::run(&options)),
         other => return usage_error(&format!("unknown experiment {other}")),
     };
     // Dump the accumulated solver metrics (same registry the daemon

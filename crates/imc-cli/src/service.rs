@@ -13,7 +13,7 @@ use crate::args::Args;
 use crate::commands::{build_instance, load_graph};
 use crate::{CliError, Result};
 use imc_core::snapshot::{self, SnapshotError};
-use imc_core::RicCollection;
+use imc_core::RicStore;
 use imc_service::client::Client;
 use imc_service::json::{self, ObjectBuilder};
 use imc_service::{RefreshConfig, ServeConfig, Server, ServiceState};
@@ -58,7 +58,7 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> Result<()> {
             let samples: usize = args.get_or("samples", 4096usize)?;
             let seed: u64 = args.get_or("seed", 1u64)?;
             let sampler = instance.sampler();
-            let mut collection = RicCollection::for_sampler(&sampler);
+            let mut collection = RicStore::for_sampler(&sampler);
             collection.extend_parallel(&sampler, samples, seed);
             ServiceState::new(instance, collection, 0)
         }
@@ -178,7 +178,7 @@ pub fn snapshot_save<W: Write>(args: &Args, out: &mut W) -> Result<()> {
     let seed: u64 = args.get_or("seed", 1u64)?;
     let path = args.required("out")?;
     let sampler = instance.sampler();
-    let mut collection = RicCollection::for_sampler(&sampler);
+    let mut collection = RicStore::for_sampler(&sampler);
     match args.get("workers") {
         Some(_) => collection.extend_parallel_with_workers(
             &sampler,

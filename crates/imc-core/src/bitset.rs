@@ -152,6 +152,34 @@ impl CoverSet {
         }
     }
 
+    /// The backing `u64` limbs, little-endian bit order. A `Small` set
+    /// exposes its single word; this is the bridge between the enum
+    /// representation and flat arena storage ([`crate::RicStore`]).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        match self {
+            CoverSet::Small(w) => std::slice::from_ref(w),
+            CoverSet::Large(limbs) => limbs,
+        }
+    }
+
+    /// Rebuilds a set of the given `width` from raw limbs (the inverse of
+    /// [`words`](Self::words)).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `words.len()` differs from the limb count `width`
+    /// implies (`max(1, ⌈width/64⌉)`).
+    pub fn from_words(width: usize, words: &[u64]) -> CoverSet {
+        let limbs = width.div_ceil(64).max(1);
+        assert_eq!(words.len(), limbs, "cover set width mismatch");
+        if width <= 64 {
+            CoverSet::Small(words[0])
+        } else {
+            CoverSet::Large(words.to_vec().into_boxed_slice())
+        }
+    }
+
     /// Iterator over set bit positions, ascending.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         let limbs: Box<dyn Iterator<Item = (usize, u64)> + '_> = match self {
@@ -274,6 +302,27 @@ mod tests {
     fn small_set_bit_out_of_range_panics() {
         let mut s = CoverSet::new(8);
         s.set(64);
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let mut small = CoverSet::new(8);
+        small.set(0);
+        small.set(5);
+        assert_eq!(small.words(), &[0b100001u64]);
+        assert_eq!(CoverSet::from_words(8, small.words()), small);
+
+        let mut large = CoverSet::new(130);
+        large.set(64);
+        large.set(129);
+        assert_eq!(large.words().len(), 3);
+        assert_eq!(CoverSet::from_words(130, large.words()), large);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn from_words_wrong_limb_count_panics() {
+        let _ = CoverSet::from_words(130, &[0, 0]);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! Returns `None` when `t_max` samples were drawn without reaching `Λ′` —
 //! the paper's `return −1` — which IMCAF treats as "keep sampling".
 
-use crate::RicSampler;
+use crate::{RicSampler, SampleBuf};
 use imc_diffusion::dagum::stopping_threshold;
 use imc_graph::NodeId;
 use rand::Rng;
@@ -43,9 +43,14 @@ pub fn estimate_c<R: Rng + ?Sized>(
     let b = sampler.communities().total_benefit();
     crate::obs::estimate_calls_total().inc();
     let mut influenced = 0u64;
+    // One reusable scratch buffer for the whole run — grading draws
+    // thousands of throwaway samples, so the owning path's per-sample
+    // allocations would dominate. The RNG stream (and thus the result) is
+    // identical to drawing owned samples.
+    let mut buf = SampleBuf::default();
     for t in 1..=t_max {
-        let g = sampler.sample(rng);
-        if g.influenced_by(seeds) {
+        sampler.sample_into(rng, &mut buf);
+        if buf.influenced_by(seeds) {
             influenced += 1;
             if influenced as f64 >= lambda_prime {
                 crate::obs::estimate_samples().observe(t as f64);

@@ -4,6 +4,118 @@ use imc_graph::{Graph, NodeId};
 use rand::Rng;
 use std::collections::{HashMap, VecDeque};
 
+/// Reusable output buffer for one sampler draw, holding the sample as the
+/// flat arrays an arena append wants: sorted node ids plus one contiguous
+/// run of cover limbs (`len × max(1, ⌈width/64⌉)` words).
+///
+/// [`RicStore::extend_with`](crate::RicStore::extend_with) reuses a single
+/// `SampleBuf` across draws, so generation feeds the arena without an
+/// owning [`RicSample`] (and its per-node `CoverSet` boxes) per sample.
+#[derive(Debug, Clone)]
+pub struct SampleBuf {
+    community: CommunityId,
+    threshold: u32,
+    width: u32,
+    nodes: Vec<NodeId>,
+    cover_words: Vec<u64>,
+}
+
+impl Default for SampleBuf {
+    fn default() -> Self {
+        SampleBuf {
+            community: CommunityId::new(0),
+            threshold: 0,
+            width: 0,
+            nodes: Vec::new(),
+            cover_words: Vec::new(),
+        }
+    }
+}
+
+impl SampleBuf {
+    /// Source community of the last draw.
+    pub fn community(&self) -> CommunityId {
+        self.community
+    }
+
+    /// Activation threshold `h_g` of the last draw.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Community size (cover width in bits) of the last draw.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Nodes of the last draw, ascending by id.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Cover limbs of the last draw — `nodes().len()` consecutive groups
+    /// of `max(1, ⌈width/64⌉)` little-endian words.
+    pub fn cover_words(&self) -> &[u64] {
+        &self.cover_words
+    }
+
+    /// Number of nodes in the last draw.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the last draw touched no node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether the buffered draw would be influenced by `seeds`: the union
+    /// of the seeds' covers reaches at least `threshold` members. Matches
+    /// [`RicSample::influenced_by`] without materializing the sample.
+    pub fn influenced_by(&self, seeds: &[NodeId]) -> bool {
+        let limbs = (self.width as usize).div_ceil(64).max(1);
+        let mut inline = [0u64; 4];
+        let mut heap: Vec<u64> = Vec::new();
+        let union: &mut [u64] = if limbs <= 4 {
+            &mut inline[..limbs]
+        } else {
+            heap.resize(limbs, 0);
+            &mut heap
+        };
+        for &s in seeds {
+            if let Ok(i) = self.nodes.binary_search(&s) {
+                for (u, w) in union
+                    .iter_mut()
+                    .zip(&self.cover_words[i * limbs..(i + 1) * limbs])
+                {
+                    *u |= w;
+                }
+            }
+        }
+        let covered: u32 = union.iter().map(|w| w.count_ones()).sum();
+        covered >= self.threshold
+    }
+
+    /// Materializes the buffered draw as an owning [`RicSample`].
+    pub fn to_sample(&self) -> RicSample {
+        let limbs = (self.width as usize).div_ceil(64).max(1);
+        RicSample {
+            community: self.community,
+            threshold: self.threshold,
+            community_size: self.width,
+            nodes: self.nodes.clone(),
+            covers: (0..self.nodes.len())
+                .map(|i| {
+                    CoverSet::from_words(
+                        self.width as usize,
+                        &self.cover_words[i * limbs..(i + 1) * limbs],
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Which live-edge distribution the sampler draws from.
 ///
 /// The paper presents RIC under Independent Cascade and notes (§II.A) the
@@ -38,6 +150,27 @@ pub enum LiveEdgeModel {
 ///
 /// The sampler is cheap to clone (borrows nothing mutable) and `Sync`, so
 /// parallel harnesses can share one across threads, each with its own RNG.
+///
+/// ```
+/// use imc_community::CommunitySet;
+/// use imc_core::RicSampler;
+/// use imc_graph::{GraphBuilder, NodeId};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 1.0)?;
+/// let graph = b.build()?;
+/// let communities =
+///     CommunitySet::from_parts(3, vec![(vec![NodeId::new(1)], 1, 2.0)])?;
+/// let sampler = RicSampler::new(&graph, &communities);
+/// let s = sampler.sample(&mut StdRng::seed_from_u64(7));
+/// // The member and its certain in-neighbour are always in the sample.
+/// assert_eq!(s.nodes, vec![NodeId::new(0), NodeId::new(1)]);
+/// assert!(s.influenced_by(&[NodeId::new(0)]));
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct RicSampler<'a> {
     graph: &'a Graph,
@@ -114,9 +247,32 @@ impl<'a> RicSampler<'a> {
         self.sample_rooted(cid, rng)
     }
 
+    /// Generates one RIC sample into a reusable [`SampleBuf`] — same draw
+    /// (identical RNG stream) as [`sample`](Self::sample), without
+    /// allocating an owning [`RicSample`].
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, buf: &mut SampleBuf) {
+        let cid = self.sample_community(rng);
+        self.sample_rooted_into(cid, rng, buf);
+    }
+
     /// Generates a RIC sample with a *fixed* source community — used by
     /// tests and stratified diagnostics.
     pub fn sample_rooted<R: Rng + ?Sized>(&self, cid: CommunityId, rng: &mut R) -> RicSample {
+        let mut buf = SampleBuf::default();
+        self.sample_rooted_into(cid, rng, &mut buf);
+        buf.to_sample()
+    }
+
+    /// [`sample_rooted`](Self::sample_rooted) into a reusable buffer. The
+    /// RNG is consumed only by the community draw (in
+    /// [`sample_into`](Self::sample_into)) and the phase-1 live-edge BFS,
+    /// so the buffered and owning paths draw identical streams.
+    pub fn sample_rooted_into<R: Rng + ?Sized>(
+        &self,
+        cid: CommunityId,
+        rng: &mut R,
+        buf: &mut SampleBuf,
+    ) {
         let community = self.communities.get(cid);
         let members = &community.members;
         let width = members.len();
@@ -198,9 +354,11 @@ impl<'a> RicSampler<'a> {
         }
 
         // --- Phase 2: per-member reverse reachability -> cover bitsets. ---
-        // BFS from each member over live_in adjacency; every reached local
-        // node gets the member's bit.
-        let mut covers: Vec<CoverSet> = (0..nodes.len()).map(|_| CoverSet::new(width)).collect();
+        // DFS from each member over live_in adjacency; every reached local
+        // node gets the member's bit, written into flat limbs (no per-node
+        // CoverSet allocation).
+        let limbs = width.div_ceil(64).max(1);
+        let mut raw_words = vec![0u64; nodes.len() * limbs];
         let mut seen = vec![u32::MAX; nodes.len()]; // stamp = member index
         let mut stack: Vec<u32> = Vec::new();
         for (mi, &m) in members.iter().enumerate() {
@@ -208,7 +366,7 @@ impl<'a> RicSampler<'a> {
             stack.push(lm);
             seen[lm as usize] = mi as u32;
             while let Some(l) = stack.pop() {
-                covers[l as usize].set(mi);
+                raw_words[l as usize * limbs + mi / 64] |= 1u64 << (mi % 64);
                 for &p in &live_in[l as usize] {
                     if seen[p as usize] != mi as u32 {
                         seen[p as usize] = mi as u32;
@@ -221,19 +379,20 @@ impl<'a> RicSampler<'a> {
         // Sort nodes (and covers in parallel) for binary-searchable lookup.
         let mut order: Vec<usize> = (0..nodes.len()).collect();
         order.sort_by_key(|&i| nodes[i]);
-        let sorted_nodes: Vec<NodeId> = order.iter().map(|&i| nodes[i]).collect();
-        let sorted_covers: Vec<CoverSet> = order.iter().map(|&i| covers[i].clone()).collect();
+        buf.community = cid;
+        buf.threshold = community.threshold;
+        buf.width = width as u32;
+        buf.nodes.clear();
+        buf.nodes.extend(order.iter().map(|&i| nodes[i]));
+        buf.cover_words.clear();
+        buf.cover_words.reserve(nodes.len() * limbs);
+        for &i in &order {
+            buf.cover_words
+                .extend_from_slice(&raw_words[i * limbs..(i + 1) * limbs]);
+        }
 
         crate::obs::ric_samples_total().inc();
-        crate::obs::ric_sample_width().observe(sorted_nodes.len() as f64);
-
-        RicSample {
-            community: cid,
-            threshold: community.threshold,
-            community_size: width as u32,
-            nodes: sorted_nodes,
-            covers: sorted_covers,
-        }
+        crate::obs::ric_sample_width().observe(buf.nodes.len() as f64);
     }
 }
 
@@ -456,6 +615,40 @@ mod tests {
             (ric_rate - expected).abs() < 0.02,
             "ric={ric_rate} lt={expected}"
         );
+    }
+
+    #[test]
+    fn sample_into_matches_owning_path_and_rng_stream() {
+        let mut b = GraphBuilder::new(8);
+        for (u, v, w) in [
+            (0, 2, 0.7),
+            (1, 2, 0.4),
+            (3, 4, 0.9),
+            (4, 5, 0.5),
+            (6, 2, 0.3),
+        ] {
+            b.add_edge(u, v, w).unwrap();
+        }
+        let g = b.build().unwrap();
+        let cs = CommunitySet::from_parts(
+            8,
+            vec![
+                (vec![NodeId::new(2), NodeId::new(5)], 1, 2.0),
+                (vec![NodeId::new(4)], 1, 1.0),
+            ],
+        )
+        .unwrap();
+        let sampler = RicSampler::new(&g, &cs);
+        let mut rng_owned = StdRng::seed_from_u64(42);
+        let mut rng_buf = StdRng::seed_from_u64(42);
+        let mut buf = SampleBuf::default();
+        for _ in 0..200 {
+            let owned = sampler.sample(&mut rng_owned);
+            sampler.sample_into(&mut rng_buf, &mut buf);
+            assert_eq!(buf.to_sample(), owned, "buffered draw diverged");
+            assert_eq!(buf.len(), owned.nodes.len());
+            assert_eq!(buf.is_empty(), owned.nodes.is_empty());
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use crate::bounds::{lambda, psi, BoundParams};
 use crate::estimate::estimate_c;
-use crate::{ImcError, ImcInstance, MaxrAlgorithm, Result, RicCollection};
+use crate::{ImcError, ImcInstance, MaxrAlgorithm, Result, RicStore};
 use imc_graph::NodeId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -116,6 +116,34 @@ pub struct RoundRecord {
 }
 
 /// Runs IMCAF (Alg. 5) with the given MAXR solver.
+///
+/// The sample collection grows inside an arena-backed
+/// [`RicStore`](crate::RicStore) across doubling rounds; results are
+/// deterministic for a fixed `(instance, algorithm, config, seed)`.
+///
+/// ```
+/// use imc_community::CommunitySet;
+/// use imc_core::{imcaf, ImcInstance, ImcafConfig, MaxrAlgorithm};
+/// use imc_graph::{GraphBuilder, NodeId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 1.0)?;
+/// b.add_edge(0, 2, 1.0)?;
+/// let graph = b.build()?;
+/// let communities = CommunitySet::from_parts(
+///     3,
+///     vec![(vec![NodeId::new(1), NodeId::new(2)], 2, 5.0)],
+/// )?;
+/// let instance = ImcInstance::new(graph, communities)?;
+/// let result = imcaf(&instance, MaxrAlgorithm::Ubg, &ImcafConfig::paper_defaults(1), 7)?;
+/// // Node 0 reaches both members with certainty: c({0}) = b = 5, and the
+/// // independent Dagum estimate certifies it within (1 − ε).
+/// assert_eq!(result.seeds, vec![NodeId::new(0)]);
+/// assert!(result.estimate >= 4.0);
+/// # Ok(())
+/// # }
+/// ```
 ///
 /// # Errors
 ///
@@ -236,7 +264,7 @@ fn imcaf_inner(
 
     let sampler = instance.sampler();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut collection = RicCollection::for_sampler(&sampler);
+    let mut collection = RicStore::for_sampler(&sampler);
     let initial = (check_lambda.ceil() as usize).min(psi_capped).max(1);
     collection.extend_with(&sampler, initial, &mut rng);
 

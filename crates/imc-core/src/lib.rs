@@ -15,7 +15,9 @@
 //!
 //! 1. **RIC sampling** ([`RicSampler`], Alg. 1) — benefit-weighted reverse
 //!    samples rooted at communities, giving the unbiased estimator
-//!    `ĉ_R(S)` (Lemma 1) materialized by [`RicCollection`].
+//!    `ĉ_R(S)` (Lemma 1) materialized by the arena-backed [`RicStore`]
+//!    (or the legacy owning [`RicCollection`]; both implement
+//!    [`RicSamples`], so everything downstream is backend-generic).
 //! 2. **MAXR solvers** ([`maxr`]) — [`maxr::ubg`] (sandwich with the
 //!    submodular upper bound `ν_R`), [`maxr::maf`] (most-appearance-first),
 //!    [`maxr::bt`] (bounded thresholds, with the `BT^(d)` recursion) and
@@ -62,6 +64,8 @@ mod imcaf;
 mod objective;
 mod problem;
 mod sample;
+mod samples;
+mod store;
 
 pub mod baselines;
 pub mod bounds;
@@ -74,12 +78,14 @@ pub mod snapshot;
 pub use bitset::CoverSet;
 pub use collection::{CollectionStats, RicCollection, SampleRef};
 pub use error::ImcError;
-pub use generator::{LiveEdgeModel, RicSampler};
+pub use generator::{LiveEdgeModel, RicSampler, SampleBuf};
 pub use imcaf::{imcaf, imcaf_with_trace, ImcafConfig, ImcafResult, RoundRecord, StopReason};
 pub use maxr::{MaxrAlgorithm, MaxrSolution};
 pub use objective::CoverageState;
 pub use problem::ImcInstance;
 pub use sample::RicSample;
+pub use samples::RicSamples;
+pub use store::{RicSampleView, RicStore, RicStoreError};
 
 /// Convenience result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, ImcError>;

@@ -20,7 +20,8 @@
 
 use crate::maxr::greedy::greedy_c;
 use crate::maxr::pad_to_k;
-use crate::{RicCollection, RicSample};
+use crate::samples::limbs_for_width;
+use crate::{RicSamples, RicStore};
 use imc_graph::NodeId;
 
 /// Configuration for [`bt`].
@@ -61,13 +62,10 @@ pub struct BtOutcome {
 /// Panics if `config.depth < 2` or any sample's threshold exceeds
 /// `config.depth` (the enum wrapper
 /// [`MaxrAlgorithm`](crate::MaxrAlgorithm) checks this fallibly).
-pub fn bt(collection: &RicCollection, k: usize, config: &BtConfig) -> BtOutcome {
+pub fn bt<C: RicSamples>(collection: &C, k: usize, config: &BtConfig) -> BtOutcome {
     assert!(config.depth >= 2, "BT depth must be at least 2");
     assert!(
-        collection
-            .samples()
-            .iter()
-            .all(|s| s.threshold <= config.depth),
+        (0..collection.len()).all(|si| collection.sample_threshold(si) <= config.depth),
         "BT^{}: a sample exceeds the threshold bound",
         config.depth
     );
@@ -109,7 +107,7 @@ pub fn bt(collection: &RicCollection, k: usize, config: &BtConfig) -> BtOutcome 
 }
 
 /// Nodes worth trying as pivots, most-appearing first.
-fn pivot_candidates(collection: &RicCollection, limit: Option<usize>) -> Vec<NodeId> {
+fn pivot_candidates<C: RicSamples>(collection: &C, limit: Option<usize>) -> Vec<NodeId> {
     let mut nodes: Vec<(usize, u32)> = (0..collection.node_count() as u32)
         .filter_map(|v| {
             let c = collection.appearance_count(NodeId::new(v));
@@ -127,13 +125,13 @@ fn pivot_candidates(collection: &RicCollection, limit: Option<usize>) -> Vec<Nod
 
 /// Builds `K(u)`: `{u}` plus `k − 1` helpers chosen on the reduced
 /// collection (greedy for residual thresholds ≤ 1, recursive BT otherwise).
-fn seeds_for_pivot(collection: &RicCollection, u: NodeId, k: usize, depth: u32) -> Vec<NodeId> {
+fn seeds_for_pivot<C: RicSamples>(collection: &C, u: NodeId, k: usize, depth: u32) -> Vec<NodeId> {
     let mut kset = vec![u];
     if k == 1 {
         return kset;
     }
     let reduced = reduce_for_pivot(collection, u);
-    let helpers = if depth <= 2 || reduced.samples().iter().all(|s| s.threshold <= 1) {
+    let helpers = if depth <= 2 || (0..reduced.len()).all(|si| reduced.sample_threshold(si) <= 1) {
         greedy_c(&reduced, k - 1)
     } else {
         bt(
@@ -158,53 +156,60 @@ fn seeds_for_pivot(collection: &RicCollection, u: NodeId, k: usize, depth: u32) 
 /// `u` reaches, lower thresholds. Samples `u` alone already influences
 /// (residual threshold 0) are dropped — they are won regardless of `T` and
 /// are counted by [`pivot_score`] directly.
-fn reduce_for_pivot(collection: &RicCollection, u: NodeId) -> RicCollection {
-    let mut reduced = RicCollection::new(
+fn reduce_for_pivot<C: RicSamples>(collection: &C, u: NodeId) -> RicStore {
+    let mut reduced = RicStore::new(
         collection.node_count(),
         collection.community_count(),
         collection.total_benefit(),
     );
+    let mut nodes: Vec<NodeId> = Vec::new();
+    let mut words: Vec<u64> = Vec::new();
     for r in collection.touched_by(u) {
-        let sample = &collection.samples()[r.sample as usize];
-        let cu = &sample.covers[r.pos as usize];
-        let covered = cu.count_ones();
-        if covered >= sample.threshold {
+        let si = r.sample as usize;
+        let threshold = collection.sample_threshold(si);
+        let cu = collection.cover_words(si, r.pos as usize);
+        let covered: u32 = cu.iter().map(|w| w.count_ones()).sum();
+        if covered >= threshold {
             continue; // already influenced by u alone
         }
-        let residual_threshold = sample.threshold - covered;
-        let mut nodes = Vec::new();
-        let mut covers = Vec::new();
-        for (i, v) in sample.nodes.iter().enumerate() {
-            let resid = sample.covers[i].difference(cu);
-            if !resid.is_zero() {
+        let residual_threshold = threshold - covered;
+        let width = collection.sample_width(si);
+        let limbs = limbs_for_width(width);
+        nodes.clear();
+        words.clear();
+        for (i, v) in collection.sample_nodes(si).iter().enumerate() {
+            let cover = collection.cover_words(si, i);
+            if cover.iter().zip(cu).any(|(a, b)| a & !b != 0) {
                 nodes.push(*v);
-                covers.push(resid);
+                words.extend(cover.iter().zip(cu).map(|(a, b)| a & !b));
             }
         }
-        reduced.push(RicSample {
-            community: sample.community,
-            threshold: residual_threshold,
-            community_size: sample.community_size,
-            nodes,
-            covers,
-        });
+        debug_assert_eq!(words.len(), nodes.len() * limbs);
+        reduced.push_raw(
+            collection.sample_community(si),
+            residual_threshold,
+            width,
+            &nodes,
+            &words,
+        );
     }
+    reduced.rebuild_index();
     reduced
 }
 
 /// `|D_R(K, u)|`: samples touched by `u` and influenced by `K`.
-fn pivot_score(collection: &RicCollection, u: NodeId, kset: &[NodeId]) -> usize {
+fn pivot_score<C: RicSamples>(collection: &C, u: NodeId, kset: &[NodeId]) -> usize {
     collection
         .touched_by(u)
         .iter()
-        .filter(|r| collection.samples()[r.sample as usize].influenced_by(kset))
+        .filter(|r| collection.sample_influenced(r.sample as usize, kset))
         .count()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::CoverSet;
+    use crate::{CoverSet, RicCollection, RicSample};
     use imc_community::CommunityId;
 
     fn mk_cover(width: usize, bits: &[usize]) -> CoverSet {
@@ -278,9 +283,10 @@ mod tests {
         let col = hub_collection();
         let reduced = reduce_for_pivot(&col, NodeId::new(0));
         assert_eq!(reduced.len(), 3);
-        for s in reduced.samples() {
-            assert_eq!(s.threshold, 1); // 2 - 1 covered by pivot
-            assert_eq!(s.nodes.len(), 1); // pivot's own entry dropped
+        for si in 0..reduced.len() {
+            let s = reduced.view(si);
+            assert_eq!(s.threshold(), 1); // 2 - 1 covered by pivot
+            assert_eq!(s.nodes().len(), 1); // pivot's own entry dropped
         }
     }
 

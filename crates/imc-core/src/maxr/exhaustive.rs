@@ -5,7 +5,7 @@
 //! brute-forceable collections, turning the paper's worst-case ratios
 //! (Theorems 3–5) into checkable assertions.
 
-use crate::{CoverageState, RicCollection};
+use crate::{CoverageState, RicSamples};
 use imc_graph::NodeId;
 
 /// Result of an exhaustive solve.
@@ -26,7 +26,7 @@ pub struct ExactSolution {
 ///
 /// Panics if the search space `C(candidates, k)` exceeds `2^32` subsets —
 /// use the approximate solvers for anything bigger.
-pub fn exhaustive(collection: &RicCollection, k: usize) -> ExactSolution {
+pub fn exhaustive<C: RicSamples>(collection: &C, k: usize) -> ExactSolution {
     let candidates: Vec<NodeId> = (0..collection.node_count() as u32)
         .map(NodeId::new)
         .filter(|&v| collection.appearance_count(v) > 0)
@@ -108,7 +108,7 @@ fn binomial_capped(n: u64, k: u64, cap: u64) -> u64 {
 
 /// Empirical approximation ratio of a solver's seed set against the exact
 /// optimum (1.0 when the optimum influences nothing).
-pub fn empirical_ratio(collection: &RicCollection, seeds: &[NodeId], k: usize) -> f64 {
+pub fn empirical_ratio<C: RicSamples>(collection: &C, seeds: &[NodeId], k: usize) -> f64 {
     let opt = exhaustive(collection, k);
     if opt.influenced_samples == 0 {
         return 1.0;
@@ -118,7 +118,7 @@ pub fn empirical_ratio(collection: &RicCollection, seeds: &[NodeId], k: usize) -
 
 /// Convenience used by diagnostics: evaluates a seed set via a fresh
 /// [`CoverageState`] (exercising the incremental path).
-pub fn incremental_score(collection: &RicCollection, seeds: &[NodeId]) -> usize {
+pub fn incremental_score<C: RicSamples>(collection: &C, seeds: &[NodeId]) -> usize {
     let mut st = CoverageState::new(collection);
     for &s in seeds {
         st.add_seed(s);
@@ -129,7 +129,7 @@ pub fn incremental_score(collection: &RicCollection, seeds: &[NodeId]) -> usize 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CoverSet, RicSample};
+    use crate::{CoverSet, RicCollection, RicSample};
     use imc_community::CommunityId;
 
     fn mk(width: usize, bits: &[usize]) -> CoverSet {

@@ -11,7 +11,7 @@
 //!   for `S_ν`.
 
 use crate::maxr::pad_to_k;
-use crate::{CoverageState, RicCollection};
+use crate::{CoverageState, RicSamples};
 use imc_graph::NodeId;
 use std::cmp::Ordering;
 
@@ -19,7 +19,12 @@ use std::cmp::Ordering;
 ///
 /// Returns exactly `min(k, n)` seeds: once no candidate has positive gain
 /// the remainder is padded with the most-appearing unused nodes.
-pub fn greedy_c(collection: &RicCollection, k: usize) -> Vec<NodeId> {
+///
+/// Generic over the storage backend; iteration order (node-id ascending
+/// candidates, smallest-id tie-breaks) is backend-independent, so
+/// [`RicCollection`](crate::RicCollection) and
+/// [`RicStore`](crate::RicStore) produce identical seed sets.
+pub fn greedy_c<C: RicSamples>(collection: &C, k: usize) -> Vec<NodeId> {
     let k = k.min(collection.node_count());
     let mut state = CoverageState::new(collection);
     let candidates: Vec<NodeId> = (0..collection.node_count() as u32)
@@ -83,7 +88,7 @@ impl PartialOrd for Entry {
 /// CELF lazy greedy on the fractional objective `ν_R`.
 ///
 /// Returns exactly `min(k, n)` seeds (padded like [`greedy_c`]).
-pub fn greedy_nu(collection: &RicCollection, k: usize) -> Vec<NodeId> {
+pub fn greedy_nu<C: RicSamples>(collection: &C, k: usize) -> Vec<NodeId> {
     let k = k.min(collection.node_count());
     let mut state = CoverageState::new(collection);
     let mut heap: std::collections::BinaryHeap<Entry> = (0..collection.node_count() as u32)
@@ -125,7 +130,7 @@ pub fn greedy_nu(collection: &RicCollection, k: usize) -> Vec<NodeId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CoverSet, RicSample};
+    use crate::{CoverSet, RicCollection, RicSample};
     use imc_community::CommunityId;
 
     fn mk_cover(width: usize, bits: &[usize]) -> CoverSet {

@@ -12,7 +12,7 @@
 //! MAF returns whichever influences more samples.
 
 use crate::maxr::pad_to_k;
-use crate::RicCollection;
+use crate::RicSamples;
 use imc_community::CommunitySet;
 use imc_graph::NodeId;
 use rand::rngs::StdRng;
@@ -32,10 +32,11 @@ pub struct MafOutcome {
     pub chose_s1: bool,
 }
 
-/// Runs MAF. `seed` drives the uniform member picks inside communities.
-pub fn maf(
+/// Runs MAF over either storage backend. `seed` drives the uniform member
+/// picks inside communities.
+pub fn maf<C: RicSamples>(
     communities: &CommunitySet,
-    collection: &RicCollection,
+    collection: &C,
     k: usize,
     seed: u64,
 ) -> MafOutcome {
@@ -85,7 +86,7 @@ pub fn maf(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CoverSet, RicSample};
+    use crate::{CoverSet, RicCollection, RicSample};
     use imc_community::CommunityId;
 
     fn mk_cover(width: usize, bits: &[usize]) -> CoverSet {

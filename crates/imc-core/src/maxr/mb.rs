@@ -8,7 +8,7 @@
 
 use crate::maxr::bt::{bt, BtConfig};
 use crate::maxr::maf::maf;
-use crate::RicCollection;
+use crate::RicSamples;
 use imc_community::CommunitySet;
 use imc_graph::NodeId;
 
@@ -31,9 +31,9 @@ pub struct MbOutcome {
 ///
 /// Panics if any sample threshold exceeds 2 (checked fallibly by
 /// [`MaxrAlgorithm`](crate::MaxrAlgorithm)).
-pub fn mb(
+pub fn mb<C: RicSamples>(
     communities: &CommunitySet,
-    collection: &RicCollection,
+    collection: &C,
     k: usize,
     seed: u64,
 ) -> MbOutcome {
@@ -57,7 +57,7 @@ pub fn mb(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CoverSet, RicSample};
+    use crate::{CoverSet, RicCollection, RicSample};
     use imc_community::CommunityId;
 
     fn mk_cover(width: usize, bits: &[usize]) -> CoverSet {

@@ -16,7 +16,7 @@ pub mod maf;
 pub mod mb;
 pub mod ubg;
 
-use crate::{ImcError, ImcInstance, Result, RicCollection};
+use crate::{ImcError, ImcInstance, Result, RicSamples};
 use imc_graph::NodeId;
 
 /// Which MAXR solver the framework should run.
@@ -88,7 +88,10 @@ impl MaxrAlgorithm {
         }
     }
 
-    /// Runs the solver on a sample collection.
+    /// Runs the solver on a sample collection — either storage backend
+    /// ([`RicCollection`](crate::RicCollection) or
+    /// [`RicStore`](crate::RicStore)); the seed sets are identical for
+    /// identical collections.
     ///
     /// `seed` drives MAF's random member picks (the only randomized
     /// solver); other solvers are deterministic and ignore it.
@@ -98,10 +101,34 @@ impl MaxrAlgorithm {
     /// * [`ImcError::InvalidBudget`] for `k == 0` or `k > n`.
     /// * [`ImcError::ThresholdTooLarge`] when BT/BT^(d)/MB run on an
     ///   instance whose thresholds exceed their bound.
-    pub fn solve(
+    ///
+    /// ```
+    /// use imc_community::CommunitySet;
+    /// use imc_core::{ImcInstance, MaxrAlgorithm, RicSampler, RicStore};
+    /// use imc_graph::{GraphBuilder, NodeId};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = GraphBuilder::new(3);
+    /// b.add_edge(0, 1, 1.0)?;
+    /// let graph = b.build()?;
+    /// let communities =
+    ///     CommunitySet::from_parts(3, vec![(vec![NodeId::new(1)], 1, 2.0)])?;
+    /// let instance = ImcInstance::new(graph, communities)?;
+    /// let sampler = instance.sampler();
+    /// let mut store = RicStore::for_sampler(&sampler);
+    /// store.extend_parallel_with_workers(&sampler, 500, 7, 2);
+    /// let solution = MaxrAlgorithm::Ubg.solve(&instance, &store, 1, 42)?;
+    /// // Node 0 reaches the member through a certain edge and tops node 1
+    /// // (both influence everything; smaller id wins the tie).
+    /// assert_eq!(solution.seeds, vec![NodeId::new(0)]);
+    /// assert_eq!(solution.influenced_samples, 500);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn solve<C: RicSamples>(
         &self,
         instance: &ImcInstance,
-        collection: &RicCollection,
+        collection: &C,
         k: usize,
         seed: u64,
     ) -> Result<MaxrSolution> {
@@ -167,7 +194,7 @@ fn require_bounded(max_threshold: u32, bound: u32) -> Result<()> {
 /// samples (extra seeds never hurt the objective). Shared by all solvers so
 /// every algorithm returns exactly `min(k, n)` seeds, matching how the
 /// paper compares fixed-budget solutions.
-pub(crate) fn pad_to_k(collection: &RicCollection, seeds: &mut Vec<NodeId>, k: usize) {
+pub(crate) fn pad_to_k<C: RicSamples>(collection: &C, seeds: &mut Vec<NodeId>, k: usize) {
     let k = k.min(collection.node_count());
     if seeds.len() >= k {
         seeds.truncate(k);

@@ -7,7 +7,7 @@
 //! reported in the paper's Fig. 8.
 
 use crate::maxr::greedy::{greedy_c, greedy_nu};
-use crate::RicCollection;
+use crate::RicSamples;
 use imc_graph::NodeId;
 
 /// Output of [`ubg`], exposing both candidate sets and the sandwich ratio.
@@ -27,8 +27,8 @@ pub struct UbgOutcome {
     pub sandwich_ratio: f64,
 }
 
-/// Runs UBG on a collection.
-pub fn ubg(collection: &RicCollection, k: usize) -> UbgOutcome {
+/// Runs UBG on a collection (either storage backend).
+pub fn ubg<C: RicSamples>(collection: &C, k: usize) -> UbgOutcome {
     let s_nu = greedy_nu(collection, k);
     let s_c = greedy_c(collection, k);
     let c_of_nu = collection.estimate(&s_nu);
@@ -52,7 +52,7 @@ pub fn ubg(collection: &RicCollection, k: usize) -> UbgOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CoverSet, RicSample};
+    use crate::{CoverSet, RicCollection, RicSample};
     use imc_community::CommunityId;
 
     fn mk_cover(width: usize, bits: &[usize]) -> CoverSet {

@@ -1,10 +1,14 @@
-use crate::{CoverSet, RicCollection};
+use crate::samples::{limbs_for_width, RicSamples};
+use crate::RicCollection;
 use imc_graph::NodeId;
 
-/// Incremental evaluator of the MAXR objectives over a [`RicCollection`].
+/// Incremental evaluator of the MAXR objectives over any [`RicSamples`]
+/// backend ([`RicCollection`] or [`RicStore`](crate::RicStore)).
 ///
 /// Maintains, per sample, the union of cover sets of the seeds added so
-/// far. Both greedy solvers drive it:
+/// far — stored as one flat `u64` buffer with per-sample offsets, so a
+/// gain evaluation is a linear scan of the node's inverted-index entries
+/// with direct word loads. Both greedy solvers drive it:
 ///
 /// * `marginal_influenced(v)` — how many *additional* samples become
 ///   influenced if `v` is added (the ĉ_R greedy gain; **not** submodular,
@@ -13,9 +17,10 @@ use imc_graph::NodeId;
 ///   `Σ_g min(|I_g|/h_g, 1)` (the ν_R greedy gain; submodular by Lemma 3,
 ///   so CELF lazy evaluation is sound).
 #[derive(Debug, Clone)]
-pub struct CoverageState<'a> {
-    collection: &'a RicCollection,
-    unions: Vec<CoverSet>,
+pub struct CoverageState<'a, C: RicSamples = RicCollection> {
+    collection: &'a C,
+    union_offsets: Vec<usize>,
+    union_words: Vec<u64>,
     counts: Vec<u32>,
     influenced: Vec<bool>,
     influenced_count: usize,
@@ -23,17 +28,19 @@ pub struct CoverageState<'a> {
     seeds: Vec<NodeId>,
 }
 
-impl<'a> CoverageState<'a> {
+impl<'a, C: RicSamples> CoverageState<'a, C> {
     /// Fresh state with no seeds.
-    pub fn new(collection: &'a RicCollection) -> Self {
-        let unions = collection
-            .samples()
-            .iter()
-            .map(|s| CoverSet::new(s.community_size as usize))
-            .collect();
+    pub fn new(collection: &'a C) -> Self {
+        let mut union_offsets = Vec::with_capacity(collection.len() + 1);
+        union_offsets.push(0usize);
+        for si in 0..collection.len() {
+            union_offsets.push(union_offsets[si] + limbs_for_width(collection.sample_width(si)));
+        }
+        let total_limbs = *union_offsets.last().unwrap_or(&0);
         CoverageState {
             collection,
-            unions,
+            union_offsets,
+            union_words: vec![0u64; total_limbs],
             counts: vec![0; collection.len()],
             influenced: vec![false; collection.len()],
             influenced_count: 0,
@@ -43,7 +50,7 @@ impl<'a> CoverageState<'a> {
     }
 
     /// The collection being evaluated.
-    pub fn collection(&self) -> &RicCollection {
+    pub fn collection(&self) -> &'a C {
         self.collection
     }
 
@@ -55,6 +62,11 @@ impl<'a> CoverageState<'a> {
     /// Number of samples currently influenced.
     pub fn influenced_count(&self) -> usize {
         self.influenced_count
+    }
+
+    /// `|I_g(seeds)|` per sample — covered-member counts in sample order.
+    pub fn covered_counts(&self) -> &[u32] {
+        &self.counts
     }
 
     /// Current `ĉ_R(seeds)`.
@@ -74,6 +86,10 @@ impl<'a> CoverageState<'a> {
         self.collection.total_benefit() * self.fraction_sum / self.collection.len() as f64
     }
 
+    fn union_of(&self, si: usize) -> &[u64] {
+        &self.union_words[self.union_offsets[si]..self.union_offsets[si + 1]]
+    }
+
     /// Number of additional samples influenced if `v` were added.
     pub fn marginal_influenced(&self, v: NodeId) -> usize {
         let mut gain = 0usize;
@@ -82,9 +98,14 @@ impl<'a> CoverageState<'a> {
             if self.influenced[si] {
                 continue;
             }
-            let sample = &self.collection.samples()[si];
-            let cover = &sample.covers[r.pos as usize];
-            if self.unions[si].union_count(cover) >= sample.threshold {
+            let cover = self.collection.cover_words(si, r.pos as usize);
+            let union_count: u32 = self
+                .union_of(si)
+                .iter()
+                .zip(cover)
+                .map(|(a, b)| (a | b).count_ones())
+                .sum();
+            if union_count >= self.collection.sample_threshold(si) {
                 gain += 1;
             }
         }
@@ -96,14 +117,19 @@ impl<'a> CoverageState<'a> {
         let mut gain = 0.0f64;
         for r in self.collection.touched_by(v) {
             let si = r.sample as usize;
-            let sample = &self.collection.samples()[si];
-            let h = sample.threshold as f64;
+            let h = self.collection.sample_threshold(si) as f64;
             let cur = (self.counts[si] as f64 / h).min(1.0);
             if cur >= 1.0 {
                 continue;
             }
-            let cover = &sample.covers[r.pos as usize];
-            let new = (self.unions[si].union_count(cover) as f64 / h).min(1.0);
+            let cover = self.collection.cover_words(si, r.pos as usize);
+            let union_count: u32 = self
+                .union_of(si)
+                .iter()
+                .zip(cover)
+                .map(|(a, b)| (a | b).count_ones())
+                .sum();
+            let new = (union_count as f64 / h).min(1.0);
             gain += new - cur;
         }
         gain
@@ -115,16 +141,20 @@ impl<'a> CoverageState<'a> {
     pub fn add_seed(&mut self, v: NodeId) {
         for r in self.collection.touched_by(v) {
             let si = r.sample as usize;
-            let sample = &self.collection.samples()[si];
-            let cover = &sample.covers[r.pos as usize];
-            let h = sample.threshold as f64;
+            let cover = self.collection.cover_words(si, r.pos as usize);
+            let h = self.collection.sample_threshold(si) as f64;
             let before = (self.counts[si] as f64 / h).min(1.0);
-            self.unions[si].or_assign(cover);
-            let count = self.unions[si].count_ones();
+            let lo = self.union_offsets[si];
+            let union = &mut self.union_words[lo..lo + cover.len()];
+            let mut count = 0u32;
+            for (u, &w) in union.iter_mut().zip(cover) {
+                *u |= w;
+                count += u.count_ones();
+            }
             self.counts[si] = count;
             let after = (count as f64 / h).min(1.0);
             self.fraction_sum += after - before;
-            if !self.influenced[si] && count >= sample.threshold {
+            if !self.influenced[si] && count >= self.collection.sample_threshold(si) {
                 self.influenced[si] = true;
                 self.influenced_count += 1;
             }
@@ -136,7 +166,7 @@ impl<'a> CoverageState<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::RicSample;
+    use crate::{CoverSet, RicSample, RicStore};
     use imc_community::CommunityId;
 
     fn build_collection() -> RicCollection {
@@ -194,6 +224,7 @@ mod tests {
         assert_eq!(st.estimate(), col.estimate(&seeds));
         assert!((st.nu_estimate() - col.nu_estimate(&seeds)).abs() < 1e-12);
         assert_eq!(st.influenced_count(), 2);
+        assert_eq!(st.covered_counts(), &[2, 1]);
     }
 
     #[test]
@@ -248,6 +279,28 @@ mod tests {
                 st.marginal_fraction(v) <= before[i] + 1e-12,
                 "gain increased for {v}"
             );
+        }
+    }
+
+    #[test]
+    fn store_backend_tracks_identical_state() {
+        let col = build_collection();
+        let store = RicStore::from_collection(&col).unwrap();
+        let mut st_col = CoverageState::new(&col);
+        let mut st_store = CoverageState::new(&store);
+        for v in (0..6).map(NodeId::new) {
+            assert_eq!(
+                st_col.marginal_influenced(v),
+                st_store.marginal_influenced(v)
+            );
+            assert_eq!(st_col.marginal_fraction(v), st_store.marginal_fraction(v));
+        }
+        for v in [2u32, 1, 3] {
+            st_col.add_seed(NodeId::new(v));
+            st_store.add_seed(NodeId::new(v));
+            assert_eq!(st_col.estimate(), st_store.estimate());
+            assert_eq!(st_col.nu_estimate(), st_store.nu_estimate());
+            assert_eq!(st_col.covered_counts(), st_store.covered_counts());
         }
     }
 }

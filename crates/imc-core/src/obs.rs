@@ -160,6 +160,25 @@ pub(crate) fn record_imcaf_run(stop_reason: &'static str) {
         .inc();
 }
 
+/// Publishes a [`RicStore`](crate::RicStore)'s arena footprint to the
+/// `imc_ric_store_arena_bytes` / `imc_ric_store_index_entries` gauges.
+/// Called by the service daemon whenever it (re)publishes a collection.
+pub fn set_ric_store_gauges(store: &crate::RicStore) {
+    let registry = imc_obs::global();
+    registry
+        .gauge(
+            "imc_ric_store_arena_bytes",
+            "Bytes held by the published RicStore arena (all flat buffers).",
+        )
+        .set(store.arena_bytes() as f64);
+    registry
+        .gauge(
+            "imc_ric_store_index_entries",
+            "Entries in the published RicStore's inverted node index.",
+        )
+        .set(store.index_entries() as f64);
+}
+
 /// Forces registration of every metric family this crate can export, so a
 /// `/metrics` scrape sees them (at zero) before the first solve. Called by
 /// the daemon on startup; idempotent and cheap, safe to call repeatedly.
@@ -167,6 +186,7 @@ pub fn register() {
     let _ = ric_samples_total();
     let _ = ric_sample_width();
     let _ = ric_shard_duration();
+    set_ric_store_gauges(&crate::RicStore::new(0, 0, 0.0));
     let _ = imcaf_rounds_total();
     let _ = estimate_calls_total();
     let _ = estimate_exhausted_total();
@@ -208,6 +228,8 @@ mod tests {
             "imc_ric_samples_generated_total",
             "imc_ric_sample_width",
             "imc_ric_shard_duration_seconds",
+            "imc_ric_store_arena_bytes",
+            "imc_ric_store_index_entries",
             "imc_maxr_solves_total",
             "imc_maxr_solve_duration_seconds",
             "imc_maxr_coverage_ratio",

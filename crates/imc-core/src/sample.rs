@@ -24,8 +24,10 @@ pub struct RicSample {
     pub threshold: u32,
     /// `|C_g|` — the width of every cover set in this sample.
     pub community_size: u32,
-    /// All nodes touching `C_g` in the live-edge graph, sorted by id.
-    /// Members of `C_g` always touch it (empty path), so they appear here.
+    /// All nodes touching `C_g` in the live-edge graph, **strictly
+    /// ascending** by id (sorted, no duplicates) — every lookup on this
+    /// type binary-searches it. Members of `C_g` always touch it (empty
+    /// path), so they appear here.
     pub nodes: Vec<NodeId>,
     /// `covers[i]`: which member indices (positions within the community's
     /// sorted member list) `nodes[i]` reaches. Parallel to `nodes`.
@@ -35,6 +37,18 @@ pub struct RicSample {
 impl RicSample {
     /// The cover set of `v` within this sample, or `None` when `v` does not
     /// touch the source community.
+    ///
+    /// # Input invariant
+    ///
+    /// The lookup is a binary search over `nodes`, so it is only correct
+    /// when `nodes` is **strictly ascending** (sorted, no duplicates) — the
+    /// invariant the generator always upholds. On a hand-built sample that
+    /// violates it the search may miss a node that is present, or resolve a
+    /// duplicated id to either of its entries; no panic, but the answer is
+    /// unspecified. [`RicStore::push_sample`](crate::RicStore::push_sample)
+    /// and [`RicStore::from_collection`](crate::RicStore::from_collection)
+    /// reject such samples up front with
+    /// [`RicStoreError::NodesNotStrictlyAscending`](crate::RicStoreError::NodesNotStrictlyAscending).
     pub fn cover_of(&self, v: NodeId) -> Option<&CoverSet> {
         self.nodes.binary_search(&v).ok().map(|i| &self.covers[i])
     }
@@ -157,5 +171,38 @@ mod tests {
         let g = fig3_sample();
         assert_eq!(g.len(), 7);
         assert!(!g.is_empty());
+    }
+
+    /// Pins the documented (unspecified-but-non-panicking) behaviour on
+    /// hand-built samples that violate the strictly-ascending invariant:
+    /// binary search can miss present nodes, and `RicStore` refuses the
+    /// sample with a typed error instead of silently mis-answering.
+    #[test]
+    fn unsorted_or_duplicate_nodes_degrade_safely_and_store_rejects_them() {
+        let mut g = fig3_sample();
+        g.nodes.reverse(); // 7,6,...,1 — violates the invariant.
+                           // No panic, but the search misses nodes that are in the slice.
+        let hits = (1..=7)
+            .filter(|&v| g.cover_of(NodeId::new(v)).is_some())
+            .count();
+        assert!(
+            hits < 7,
+            "binary search over unsorted nodes cannot be exhaustive"
+        );
+        let mut store = crate::RicStore::new(8, 1, 1.0);
+        assert_eq!(
+            store.push_sample(&g),
+            Err(crate::RicStoreError::NodesNotStrictlyAscending { sample: 0 })
+        );
+
+        let mut dup = fig3_sample();
+        dup.nodes[1] = dup.nodes[0]; // duplicate id 1 at positions 0 and 1.
+                                     // Either entry may be resolved; the call itself must stay safe.
+        let _ = dup.cover_of(NodeId::new(1));
+        assert_eq!(
+            store.push_sample(&dup),
+            Err(crate::RicStoreError::NodesNotStrictlyAscending { sample: 0 })
+        );
+        assert!(store.is_empty(), "rejected samples must not be appended");
     }
 }

@@ -1,0 +1,349 @@
+//! The [`RicSamples`] abstraction — read-only access to a collection of
+//! RIC samples independent of the storage layout.
+//!
+//! Two backends implement it:
+//!
+//! * [`RicCollection`](crate::RicCollection) — one heap-allocated
+//!   [`RicSample`](crate::RicSample) per draw, per-node
+//!   [`CoverSet`](crate::CoverSet) enums, per-node `Vec` index. Flexible,
+//!   and the construction target of hand-built test fixtures.
+//! * [`RicStore`](crate::RicStore) — one contiguous arena (CSR node lists,
+//!   flat `u64` cover words, CSR inverted index) for the whole collection.
+//!   The production hot path.
+//!
+//! Every MAXR solver, [`CoverageState`](crate::CoverageState) and the
+//! snapshot encoder are generic over this trait, so the two layouts are
+//! interchangeable — and the `store_equivalence` property test holds
+//! them to *identical* solver outputs, not merely equivalent ones.
+
+use crate::collection::SampleRef;
+use imc_community::CommunityId;
+use imc_graph::NodeId;
+
+/// Number of `u64` limbs a cover set of `width` bits occupies. Matches
+/// [`CoverSet`](crate::CoverSet): one limb even for `width == 0`, and the
+/// `Small`/`Large` boundary at 64 bits maps to 1 limb vs `⌈width/64⌉`.
+#[inline]
+pub(crate) fn limbs_for_width(width: u32) -> usize {
+    (width as usize).div_ceil(64).max(1)
+}
+
+/// Read-only view of a collection `R` of RIC samples.
+///
+/// The ten required methods are the layout primitives; everything the
+/// solvers consume (estimators, appearance statistics, per-sample influence
+/// checks) is provided on top of them. Implementations may override the
+/// provided methods with faster layout-specific versions as long as the
+/// results are identical — `ĉ_R` is integer-exact and `ν_R` must be summed
+/// in sample order so both backends agree bitwise.
+pub trait RicSamples {
+    /// Number of samples `|R|`.
+    fn len(&self) -> usize;
+
+    /// Node count of the underlying graph.
+    fn node_count(&self) -> usize;
+
+    /// Number of communities of the underlying instance.
+    fn community_count(&self) -> usize;
+
+    /// Total benefit `b` of the underlying instance.
+    fn total_benefit(&self) -> f64;
+
+    /// Source community `C_g` of sample `si`.
+    fn sample_community(&self, si: usize) -> CommunityId;
+
+    /// Activation threshold `h_g` of sample `si`.
+    fn sample_threshold(&self, si: usize) -> u32;
+
+    /// `|C_g|` — the cover-set width of sample `si`.
+    fn sample_width(&self, si: usize) -> u32;
+
+    /// Nodes touching sample `si`, sorted ascending by id.
+    fn sample_nodes(&self, si: usize) -> &[NodeId];
+
+    /// Cover words of the node at position `pos` within sample `si` —
+    /// exactly `max(1, ⌈width/64⌉)` little-endian `u64` limbs.
+    fn cover_words(&self, si: usize, pos: usize) -> &[u64];
+
+    /// Samples touched by `v` (the paper's `G_R(u)`), ordered by
+    /// `(sample, pos)` ascending.
+    fn touched_by(&self, v: NodeId) -> &[SampleRef];
+
+    /// `true` when the collection holds no samples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of samples `v` appears in — MAF's node-appearance count.
+    fn appearance_count(&self, v: NodeId) -> usize {
+        self.touched_by(v).len()
+    }
+
+    /// Number of distinct members of sample `si` reachable from `seeds` —
+    /// the paper's `|I_g(S)|`.
+    fn sample_covered_members(&self, si: usize, seeds: &[NodeId]) -> u32 {
+        let limbs = limbs_for_width(self.sample_width(si));
+        let mut acc = [0u64; 4];
+        let mut heap: Vec<u64>;
+        let union: &mut [u64] = if limbs <= 4 {
+            &mut acc[..limbs]
+        } else {
+            heap = vec![0u64; limbs];
+            &mut heap
+        };
+        let nodes = self.sample_nodes(si);
+        for &s in seeds {
+            if let Ok(pos) = nodes.binary_search(&s) {
+                for (u, &w) in union.iter_mut().zip(self.cover_words(si, pos)) {
+                    *u |= w;
+                }
+            }
+        }
+        union.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// The indicator `X_g(S)` for sample `si`: does `S` reach at least
+    /// `h_g` members?
+    fn sample_influenced(&self, si: usize, seeds: &[NodeId]) -> bool {
+        self.sample_covered_members(si, seeds) >= self.sample_threshold(si)
+    }
+
+    /// Fractional coverage `min(|I_g(S)|/h_g, 1)` of sample `si` — its
+    /// contribution to `ν_R` (eq. 7).
+    fn sample_fractional_coverage(&self, si: usize, seeds: &[NodeId]) -> f64 {
+        (self.sample_covered_members(si, seeds) as f64 / self.sample_threshold(si) as f64).min(1.0)
+    }
+
+    /// Number of samples influenced by `S`: `Σ_g X_g(S)`.
+    fn influenced_count(&self, seeds: &[NodeId]) -> usize {
+        (0..self.len())
+            .filter(|&si| self.sample_influenced(si, seeds))
+            .count()
+    }
+
+    /// The estimator `ĉ_R(S)` (eq. 3). Returns 0 for an empty collection.
+    fn estimate(&self, seeds: &[NodeId]) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.total_benefit() * self.influenced_count(seeds) as f64 / self.len() as f64
+    }
+
+    /// The submodular upper-bound estimator `ν_R(S)` (eq. 7). Returns 0
+    /// for an empty collection. Summed in sample order so every backend
+    /// produces bitwise-identical values.
+    fn nu_estimate(&self, seeds: &[NodeId]) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let frac: f64 = (0..self.len())
+            .map(|si| self.sample_fractional_coverage(si, seeds))
+            .sum();
+        self.total_benefit() * frac / self.len() as f64
+    }
+
+    /// How many samples each community roots — MAF's community-frequency
+    /// table.
+    fn community_frequencies(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.community_count()];
+        for si in 0..self.len() {
+            counts[self.sample_community(si).index()] += 1;
+        }
+        counts
+    }
+
+    /// Appearance count for every node (`counts[v]` = samples touched by
+    /// `v`).
+    fn node_appearance_counts(&self) -> Vec<usize> {
+        (0..self.node_count() as u32)
+            .map(|v| self.appearance_count(NodeId::new(v)))
+            .collect()
+    }
+}
+
+impl RicSamples for crate::RicCollection {
+    fn len(&self) -> usize {
+        crate::RicCollection::len(self)
+    }
+
+    fn node_count(&self) -> usize {
+        crate::RicCollection::node_count(self)
+    }
+
+    fn community_count(&self) -> usize {
+        crate::RicCollection::community_count(self)
+    }
+
+    fn total_benefit(&self) -> f64 {
+        crate::RicCollection::total_benefit(self)
+    }
+
+    fn sample_community(&self, si: usize) -> CommunityId {
+        self.samples()[si].community
+    }
+
+    fn sample_threshold(&self, si: usize) -> u32 {
+        self.samples()[si].threshold
+    }
+
+    fn sample_width(&self, si: usize) -> u32 {
+        self.samples()[si].community_size
+    }
+
+    fn sample_nodes(&self, si: usize) -> &[NodeId] {
+        &self.samples()[si].nodes
+    }
+
+    fn cover_words(&self, si: usize, pos: usize) -> &[u64] {
+        self.samples()[si].covers[pos].words()
+    }
+
+    fn touched_by(&self, v: NodeId) -> &[SampleRef] {
+        crate::RicCollection::touched_by(self, v)
+    }
+
+    // Forward the derived queries to the long-standing inherent methods so
+    // the trait path is behaviorally indistinguishable from direct calls.
+    fn appearance_count(&self, v: NodeId) -> usize {
+        crate::RicCollection::appearance_count(self, v)
+    }
+
+    fn sample_covered_members(&self, si: usize, seeds: &[NodeId]) -> u32 {
+        self.samples()[si].covered_members(seeds)
+    }
+
+    fn influenced_count(&self, seeds: &[NodeId]) -> usize {
+        crate::RicCollection::influenced_count(self, seeds)
+    }
+
+    fn estimate(&self, seeds: &[NodeId]) -> f64 {
+        crate::RicCollection::estimate(self, seeds)
+    }
+
+    fn nu_estimate(&self, seeds: &[NodeId]) -> f64 {
+        crate::RicCollection::nu_estimate(self, seeds)
+    }
+
+    fn community_frequencies(&self) -> Vec<usize> {
+        crate::RicCollection::community_frequencies(self)
+    }
+
+    fn node_appearance_counts(&self) -> Vec<usize> {
+        crate::RicCollection::node_appearance_counts(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoverSet, RicCollection, RicSample};
+
+    fn build() -> RicCollection {
+        let mut col = RicCollection::new(6, 2, 4.0);
+        let mk = |bits: &[usize]| {
+            let mut c = CoverSet::new(2);
+            for &b in bits {
+                c.set(b);
+            }
+            c
+        };
+        col.push(RicSample {
+            community: CommunityId::new(0),
+            threshold: 2,
+            community_size: 2,
+            nodes: vec![NodeId::new(1), NodeId::new(2)],
+            covers: vec![mk(&[0]), mk(&[1])],
+        });
+        col.push(RicSample {
+            community: CommunityId::new(1),
+            threshold: 1,
+            community_size: 2,
+            nodes: vec![NodeId::new(2)],
+            covers: vec![mk(&[0])],
+        });
+        col
+    }
+
+    /// The provided (default) trait methods must agree with the inherent
+    /// `RicCollection` implementations they generalize.
+    #[test]
+    fn defaults_match_inherent_collection_queries() {
+        struct Shim<'a>(&'a RicCollection);
+        impl RicSamples for Shim<'_> {
+            fn len(&self) -> usize {
+                RicSamples::len(self.0)
+            }
+            fn node_count(&self) -> usize {
+                RicSamples::node_count(self.0)
+            }
+            fn community_count(&self) -> usize {
+                RicSamples::community_count(self.0)
+            }
+            fn total_benefit(&self) -> f64 {
+                RicSamples::total_benefit(self.0)
+            }
+            fn sample_community(&self, si: usize) -> CommunityId {
+                self.0.sample_community(si)
+            }
+            fn sample_threshold(&self, si: usize) -> u32 {
+                self.0.sample_threshold(si)
+            }
+            fn sample_width(&self, si: usize) -> u32 {
+                self.0.sample_width(si)
+            }
+            fn sample_nodes(&self, si: usize) -> &[NodeId] {
+                self.0.sample_nodes(si)
+            }
+            fn cover_words(&self, si: usize, pos: usize) -> &[u64] {
+                self.0.cover_words(si, pos)
+            }
+            fn touched_by(&self, v: NodeId) -> &[SampleRef] {
+                RicSamples::touched_by(self.0, v)
+            }
+        }
+        let col = build();
+        let shim = Shim(&col);
+        for seeds in [
+            vec![],
+            vec![NodeId::new(1)],
+            vec![NodeId::new(2)],
+            vec![NodeId::new(1), NodeId::new(2)],
+            vec![NodeId::new(5)],
+        ] {
+            assert_eq!(shim.influenced_count(&seeds), col.influenced_count(&seeds));
+            assert_eq!(shim.estimate(&seeds), col.estimate(&seeds));
+            assert_eq!(shim.nu_estimate(&seeds), col.nu_estimate(&seeds));
+            for si in 0..col.len() {
+                assert_eq!(
+                    shim.sample_covered_members(si, &seeds),
+                    col.samples()[si].covered_members(&seeds)
+                );
+            }
+        }
+        assert_eq!(shim.community_frequencies(), col.community_frequencies());
+        assert_eq!(shim.node_appearance_counts(), col.node_appearance_counts());
+        assert_eq!(shim.appearance_count(NodeId::new(2)), 2);
+    }
+
+    #[test]
+    fn wide_sample_covered_members_spills_to_heap_scratch() {
+        // width 300 → 5 limbs > the 4-limb inline scratch.
+        let width = 300usize;
+        let mut c = CoverSet::new(width);
+        c.set(0);
+        c.set(299);
+        let mut col = RicCollection::new(3, 1, 1.0);
+        col.push(RicSample {
+            community: CommunityId::new(0),
+            threshold: 2,
+            community_size: width as u32,
+            nodes: vec![NodeId::new(1)],
+            covers: vec![c],
+        });
+        // Route through the default implementation (UFCS on the trait).
+        assert_eq!(
+            RicSamples::sample_covered_members(&col, 0, &[NodeId::new(1)]),
+            2
+        );
+    }
+}

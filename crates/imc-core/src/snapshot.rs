@@ -1,4 +1,4 @@
-//! Persistent snapshot store for [`RicCollection`].
+//! Persistent snapshot store for RIC sample collections.
 //!
 //! IMCAF-generated sample collections are expensive (each RIC sample is a
 //! reverse BFS over a live-edge realization), but they are pure data: a
@@ -8,34 +8,45 @@
 //! a versioned, checksummed, std-only binary format, so a warm index can
 //! cold-start from disk instead of regenerating samples.
 //!
-//! # Format (version 1, all integers little-endian)
+//! # Format (version 2, all integers little-endian)
+//!
+//! Version 2 is columnar, mirroring the arena layout of
+//! [`RicStore`]: all per-sample metadata first, then every node list
+//! back-to-back, then every cover buffer back-to-back. Decoding therefore
+//! fills the store's flat buffers with long sequential reads instead of
+//! interleaved per-sample parsing.
 //!
 //! ```text
 //! offset  size  field
 //! 0       7     magic "IMCSNAP"
-//! 7       1     format version (= 1)
+//! 7       1     format version (= 2)
 //! 8       8     instance fingerprint (FNV-1a, see [`instance_fingerprint`])
 //! 16      8     node_count        (u64)
 //! 24      8     community_count   (u64)
 //! 32      8     total_benefit     (f64 bits)
 //! 40      8     generation        (u64, snapshot publisher's counter)
 //! 48      8     sample_count      (u64)
-//! 56      ...   samples, each:
+//! 56      ...   metadata block: per sample
 //!                 community       (u32)
 //!                 threshold       (u32)
 //!                 community_size  (u32)
 //!                 node_count n    (u32)
-//!                 nodes           (n × u32, strictly ascending)
-//!                 covers          (n × ceil(community_size/64) × u64 limbs)
+//!         ...   node block: per sample, n × u32 (strictly ascending)
+//!         ...   cover block: per sample,
+//!                 n × max(1, ceil(community_size/64)) × u64 limbs
 //! end-8   8     FNV-1a checksum over every preceding byte
 //! ```
+//!
+//! Version-1 files (row-major: each sample's metadata, nodes and covers
+//! interleaved) are still decoded transparently; [`encode`] always writes
+//! version 2.
 //!
 //! Decoding validates the magic, version, checksum and every structural
 //! invariant (sorted in-range nodes, in-range community ids, zero padding
 //! bits) before reconstructing the collection, so a truncated or corrupted
 //! file is rejected rather than producing a silently wrong index.
 
-use crate::{CoverSet, RicCollection, RicSample};
+use crate::{RicSamples, RicStore};
 use imc_community::{CommunityId, CommunitySet};
 use imc_graph::{Graph, NodeId};
 use std::fmt;
@@ -43,8 +54,10 @@ use std::path::Path;
 
 /// Leading magic bytes of every snapshot file.
 pub const MAGIC: &[u8; 7] = b"IMCSNAP";
-/// Current format version.
-pub const FORMAT_VERSION: u8 = 1;
+/// Format version written by [`encode`].
+pub const FORMAT_VERSION: u8 = 2;
+/// Oldest format version [`decode`] still reads.
+pub const MIN_FORMAT_VERSION: u8 = 1;
 
 const HEADER_LEN: usize = 7 + 1 + 8 * 6;
 const CHECKSUM_LEN: usize = 8;
@@ -79,7 +92,10 @@ impl fmt::Display for SnapshotError {
             SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
             SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
             SnapshotError::UnsupportedVersion(v) => {
-                write!(f, "unsupported snapshot format version {v} (this build reads {FORMAT_VERSION})")
+                write!(
+                    f,
+                    "unsupported snapshot format version {v} (this build reads {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
+                )
             }
             SnapshotError::Truncated => write!(f, "snapshot file is truncated"),
             SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch (file corrupted)"),
@@ -111,7 +127,7 @@ impl From<std::io::Error> for SnapshotError {
 #[derive(Debug, Clone)]
 pub struct SnapshotData {
     /// The reconstructed sample collection (inverted index rebuilt).
-    pub collection: RicCollection,
+    pub collection: RicStore,
     /// Fingerprint of the instance the samples were drawn from.
     pub fingerprint: u64,
     /// Generation counter the publisher stamped (0 for CLI-produced files).
@@ -189,8 +205,9 @@ fn limbs_for(width: u32) -> usize {
     (width as usize).div_ceil(64).max(1)
 }
 
-/// Encodes a collection into the version-1 snapshot byte format.
-pub fn encode(collection: &RicCollection, fingerprint: u64, generation: u64) -> Vec<u8> {
+/// Encodes a collection (either storage backend) into the version-2
+/// columnar snapshot byte format.
+pub fn encode<C: RicSamples>(collection: &C, fingerprint: u64, generation: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + 64 * collection.len() + CHECKSUM_LEN);
     out.extend_from_slice(MAGIC);
     out.push(FORMAT_VERSION);
@@ -200,27 +217,21 @@ pub fn encode(collection: &RicCollection, fingerprint: u64, generation: u64) -> 
     out.extend_from_slice(&collection.total_benefit().to_bits().to_le_bytes());
     out.extend_from_slice(&generation.to_le_bytes());
     out.extend_from_slice(&(collection.len() as u64).to_le_bytes());
-    for s in collection.samples() {
-        out.extend_from_slice(&s.community.raw().to_le_bytes());
-        out.extend_from_slice(&s.threshold.to_le_bytes());
-        out.extend_from_slice(&s.community_size.to_le_bytes());
-        out.extend_from_slice(&(s.nodes.len() as u32).to_le_bytes());
-        for &v in &s.nodes {
+    for si in 0..collection.len() {
+        out.extend_from_slice(&collection.sample_community(si).raw().to_le_bytes());
+        out.extend_from_slice(&collection.sample_threshold(si).to_le_bytes());
+        out.extend_from_slice(&collection.sample_width(si).to_le_bytes());
+        out.extend_from_slice(&(collection.sample_nodes(si).len() as u32).to_le_bytes());
+    }
+    for si in 0..collection.len() {
+        for &v in collection.sample_nodes(si) {
             out.extend_from_slice(&v.raw().to_le_bytes());
         }
-        let limbs = limbs_for(s.community_size);
-        for c in &s.covers {
-            match c {
-                CoverSet::Small(w) => {
-                    debug_assert_eq!(limbs, 1);
-                    out.extend_from_slice(&w.to_le_bytes());
-                }
-                CoverSet::Large(ws) => {
-                    debug_assert_eq!(limbs, ws.len());
-                    for w in ws.iter() {
-                        out.extend_from_slice(&w.to_le_bytes());
-                    }
-                }
+    }
+    for si in 0..collection.len() {
+        for pos in 0..collection.sample_nodes(si).len() {
+            for &w in collection.cover_words(si, pos) {
+                out.extend_from_slice(&w.to_le_bytes());
             }
         }
     }
@@ -259,8 +270,80 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// Validates a sample's metadata fields shared by both format versions.
+fn check_meta(community: u32, threshold: u32, community_count: u64) -> Result<(), SnapshotError> {
+    if u64::from(community) >= community_count {
+        return Err(SnapshotError::Corrupt(
+            "sample references an out-of-range community",
+        ));
+    }
+    // Thresholds above the community size are legal (such a community can
+    // never activate — `ThresholdPolicy::Constant` does not clamp), so
+    // only zero is structurally invalid.
+    if threshold == 0 {
+        return Err(SnapshotError::Corrupt("sample threshold is zero"));
+    }
+    Ok(())
+}
+
+/// Reads `n` strictly-ascending in-range node ids, appending to `out`.
+fn read_nodes(
+    cur: &mut Cursor<'_>,
+    n: usize,
+    node_count: u64,
+    out: &mut Vec<NodeId>,
+) -> Result<(), SnapshotError> {
+    let mut prev: Option<u32> = None;
+    for _ in 0..n {
+        let v = cur.u32()?;
+        if u64::from(v) >= node_count {
+            return Err(SnapshotError::Corrupt("sample node id out of range"));
+        }
+        if prev.is_some_and(|p| p >= v) {
+            return Err(SnapshotError::Corrupt(
+                "sample nodes not strictly ascending",
+            ));
+        }
+        prev = Some(v);
+        out.push(NodeId::new(v));
+    }
+    Ok(())
+}
+
+/// Reads `n` cover sets of `community_size` bits, appending the limbs to
+/// `out` and rejecting set bits beyond the community width.
+fn read_covers(
+    cur: &mut Cursor<'_>,
+    n: usize,
+    community_size: u32,
+    out: &mut Vec<u64>,
+) -> Result<(), SnapshotError> {
+    let limbs = limbs_for(community_size);
+    // Bits at positions >= community_size must be zero: they are
+    // meaningless and would corrupt union popcounts.
+    let used_in_top = community_size as usize - (limbs - 1) * 64;
+    let top_mask = if used_in_top == 64 {
+        u64::MAX
+    } else {
+        (1u64 << used_in_top) - 1
+    };
+    for _ in 0..n {
+        let start = out.len();
+        for _ in 0..limbs {
+            out.push(cur.u64()?);
+        }
+        if out[start + limbs - 1] & !top_mask != 0 {
+            return Err(SnapshotError::Corrupt(
+                "cover set has bits beyond community size",
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Decodes snapshot bytes, validating magic, version, checksum and every
-/// structural invariant.
+/// structural invariant. Accepts both the current columnar format and the
+/// legacy row-major version 1.
 ///
 /// # Errors
 ///
@@ -275,7 +358,7 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotData, SnapshotError> {
         return Err(SnapshotError::BadMagic);
     }
     let version = bytes[MAGIC.len()];
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
     if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
@@ -314,82 +397,105 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotData, SnapshotError> {
         ));
     }
 
-    let mut collection =
-        RicCollection::new(node_count as usize, community_count as usize, total_benefit);
+    let mut store = RicStore::new(node_count as usize, community_count as usize, total_benefit);
+    match version {
+        1 => decode_body_v1(
+            &mut cur,
+            &mut store,
+            sample_count,
+            community_count,
+            node_count,
+        )?,
+        2 => decode_body_v2(
+            &mut cur,
+            &mut store,
+            sample_count,
+            community_count,
+            node_count,
+        )?,
+        _ => unreachable!("version range checked above"),
+    }
+    if cur.pos != body.len() {
+        return Err(SnapshotError::Corrupt("trailing bytes after last sample"));
+    }
+    store.rebuild_index();
+    Ok(SnapshotData {
+        collection: store,
+        fingerprint,
+        generation,
+    })
+}
+
+/// Legacy row-major body: each sample's metadata, nodes and covers
+/// interleaved.
+fn decode_body_v1(
+    cur: &mut Cursor<'_>,
+    store: &mut RicStore,
+    sample_count: u64,
+    community_count: u64,
+    node_count: u64,
+) -> Result<(), SnapshotError> {
+    let mut nodes: Vec<NodeId> = Vec::new();
+    let mut words: Vec<u64> = Vec::new();
     for _ in 0..sample_count {
         let community = cur.u32()?;
         let threshold = cur.u32()?;
         let community_size = cur.u32()?;
         let n = cur.u32()? as usize;
-        if u64::from(community) >= community_count {
-            return Err(SnapshotError::Corrupt(
-                "sample references an out-of-range community",
-            ));
-        }
-        // Thresholds above the community size are legal (such a
-        // community can never activate — `ThresholdPolicy::Constant`
-        // does not clamp), so only zero is structurally invalid.
-        if threshold == 0 {
-            return Err(SnapshotError::Corrupt("sample threshold is zero"));
-        }
-        let mut nodes = Vec::with_capacity(n);
-        let mut prev: Option<u32> = None;
-        for _ in 0..n {
-            let v = cur.u32()?;
-            if u64::from(v) >= node_count {
-                return Err(SnapshotError::Corrupt("sample node id out of range"));
-            }
-            if prev.is_some_and(|p| p >= v) {
-                return Err(SnapshotError::Corrupt(
-                    "sample nodes not strictly ascending",
-                ));
-            }
-            prev = Some(v);
-            nodes.push(NodeId::new(v));
-        }
-        let limbs = limbs_for(community_size);
-        let mut covers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let mut words = Vec::with_capacity(limbs);
-            for _ in 0..limbs {
-                words.push(cur.u64()?);
-            }
-            // Bits at positions >= community_size must be zero: they are
-            // meaningless and would corrupt union popcounts.
-            let used_in_top = community_size as usize - (limbs - 1) * 64;
-            let top_mask = if used_in_top == 64 {
-                u64::MAX
-            } else {
-                (1u64 << used_in_top) - 1
-            };
-            if words[limbs - 1] & !top_mask != 0 {
-                return Err(SnapshotError::Corrupt(
-                    "cover set has bits beyond community size",
-                ));
-            }
-            let cover = if community_size <= 64 {
-                CoverSet::Small(words[0])
-            } else {
-                CoverSet::Large(words.into_boxed_slice())
-            };
-            covers.push(cover);
-        }
-        collection.push(RicSample {
-            community: CommunityId::new(community),
+        check_meta(community, threshold, community_count)?;
+        nodes.clear();
+        words.clear();
+        read_nodes(cur, n, node_count, &mut nodes)?;
+        read_covers(cur, n, community_size, &mut words)?;
+        store.push_raw(
+            CommunityId::new(community),
             threshold,
             community_size,
-            nodes,
-            covers,
-        });
+            &nodes,
+            &words,
+        );
     }
-    if cur.pos != body.len() {
-        return Err(SnapshotError::Corrupt("trailing bytes after last sample"));
+    Ok(())
+}
+
+/// Columnar body: the metadata block, then the node block, then the cover
+/// block.
+fn decode_body_v2(
+    cur: &mut Cursor<'_>,
+    store: &mut RicStore,
+    sample_count: u64,
+    community_count: u64,
+    node_count: u64,
+) -> Result<(), SnapshotError> {
+    let mut metas: Vec<(u32, u32, u32, usize)> = Vec::with_capacity(sample_count as usize);
+    for _ in 0..sample_count {
+        let community = cur.u32()?;
+        let threshold = cur.u32()?;
+        let community_size = cur.u32()?;
+        let n = cur.u32()? as usize;
+        check_meta(community, threshold, community_count)?;
+        metas.push((community, threshold, community_size, n));
     }
-    Ok(SnapshotData {
-        collection,
-        fingerprint,
-        generation,
-    })
+    let mut flat_nodes: Vec<NodeId> = Vec::new();
+    let mut node_offsets: Vec<usize> = Vec::with_capacity(metas.len() + 1);
+    node_offsets.push(0);
+    for &(_, _, _, n) in &metas {
+        read_nodes(cur, n, node_count, &mut flat_nodes)?;
+        node_offsets.push(flat_nodes.len());
+    }
+    let mut words: Vec<u64> = Vec::new();
+    for (i, &(community, threshold, community_size, n)) in metas.iter().enumerate() {
+        words.clear();
+        read_covers(cur, n, community_size, &mut words)?;
+        store.push_raw(
+            CommunityId::new(community),
+            threshold,
+            community_size,
+            &flat_nodes[node_offsets[i]..node_offsets[i + 1]],
+            &words,
+        );
+    }
+    Ok(())
 }
 
 /// Writes a snapshot to `path` (atomically where the filesystem allows:
@@ -398,9 +504,9 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotData, SnapshotError> {
 /// # Errors
 ///
 /// [`SnapshotError::Io`] on filesystem failure.
-pub fn save(
+pub fn save<C: RicSamples>(
     path: &Path,
-    collection: &RicCollection,
+    collection: &C,
     fingerprint: u64,
     generation: u64,
 ) -> Result<(), SnapshotError> {
@@ -446,13 +552,13 @@ pub fn load_for_instance(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::RicSampler;
+    use crate::{CoverSet, RicCollection, RicSample, RicSampler};
     use imc_community::CommunitySet;
     use imc_graph::GraphBuilder;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn tiny_collection() -> (Graph, CommunitySet, RicCollection) {
+    fn tiny_collection() -> (Graph, CommunitySet, RicStore) {
         let mut b = GraphBuilder::new(6);
         b.add_edge(0, 1, 0.8).unwrap();
         b.add_edge(1, 2, 0.5).unwrap();
@@ -467,9 +573,41 @@ mod tests {
         )
         .unwrap();
         let sampler = RicSampler::new(&g, &cs);
-        let mut col = RicCollection::for_sampler(&sampler);
+        let mut col = RicStore::for_sampler(&sampler);
         col.extend_with(&sampler, 200, &mut StdRng::seed_from_u64(11));
         (g, cs, col)
+    }
+
+    /// Writes the legacy row-major version-1 byte format, reproducing the
+    /// pre-columnar encoder for compatibility tests.
+    fn encode_v1<C: RicSamples>(collection: &C, fingerprint: u64, generation: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(1u8);
+        out.extend_from_slice(&fingerprint.to_le_bytes());
+        out.extend_from_slice(&(collection.node_count() as u64).to_le_bytes());
+        out.extend_from_slice(&(collection.community_count() as u64).to_le_bytes());
+        out.extend_from_slice(&collection.total_benefit().to_bits().to_le_bytes());
+        out.extend_from_slice(&generation.to_le_bytes());
+        out.extend_from_slice(&(collection.len() as u64).to_le_bytes());
+        for si in 0..collection.len() {
+            out.extend_from_slice(&collection.sample_community(si).raw().to_le_bytes());
+            out.extend_from_slice(&collection.sample_threshold(si).to_le_bytes());
+            out.extend_from_slice(&collection.sample_width(si).to_le_bytes());
+            let nodes = collection.sample_nodes(si);
+            out.extend_from_slice(&(nodes.len() as u32).to_le_bytes());
+            for &v in nodes {
+                out.extend_from_slice(&v.raw().to_le_bytes());
+            }
+            for pos in 0..nodes.len() {
+                for &w in collection.cover_words(si, pos) {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+        }
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
     }
 
     #[test]
@@ -480,11 +618,7 @@ mod tests {
         let data = decode(&bytes).unwrap();
         assert_eq!(data.fingerprint, fp);
         assert_eq!(data.generation, 7);
-        assert_eq!(data.collection.len(), col.len());
-        assert_eq!(data.collection.node_count(), col.node_count());
-        assert_eq!(data.collection.community_count(), col.community_count());
-        assert_eq!(data.collection.total_benefit(), col.total_benefit());
-        assert_eq!(data.collection.samples(), col.samples());
+        assert_eq!(data.collection, col);
         // Rebuilt inverted index answers identically.
         for v in 0..6 {
             assert_eq!(
@@ -492,6 +626,29 @@ mod tests {
                 col.touched_by(NodeId::new(v))
             );
         }
+    }
+
+    #[test]
+    fn v1_row_major_bytes_decode_identically() {
+        let (g, cs, col) = tiny_collection();
+        let fp = instance_fingerprint(&g, &cs);
+        let old = decode(&encode_v1(&col, fp, 5)).unwrap();
+        let new = decode(&encode(&col, fp, 5)).unwrap();
+        assert_eq!(old.fingerprint, new.fingerprint);
+        assert_eq!(old.generation, 5);
+        assert_eq!(old.collection, new.collection);
+        assert_eq!(old.collection, col);
+    }
+
+    #[test]
+    fn legacy_collection_backend_encodes_identically() {
+        // `encode` over a `RicCollection` must produce the same bytes as
+        // over the equivalent `RicStore` — the trait accessors hide the
+        // backend entirely.
+        let (g, cs, col) = tiny_collection();
+        let legacy: RicCollection = col.to_collection();
+        let fp = instance_fingerprint(&g, &cs);
+        assert_eq!(encode(&legacy, fp, 9), encode(&col, fp, 9));
     }
 
     #[test]
@@ -521,6 +678,11 @@ mod tests {
         assert!(matches!(
             decode(&bytes),
             Err(SnapshotError::UnsupportedVersion(_))
+        ));
+        bytes[7] = 0;
+        assert!(matches!(
+            decode(&bytes),
+            Err(SnapshotError::UnsupportedVersion(0))
         ));
     }
 
@@ -580,7 +742,7 @@ mod tests {
         let inst = crate::ImcInstance::new(g, cs).unwrap();
         let data = load_for_instance(&path, &inst).unwrap();
         assert_eq!(data.generation, 3);
-        assert_eq!(data.collection.samples(), col.samples());
+        assert_eq!(data.collection, col);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -610,7 +772,10 @@ mod tests {
     #[test]
     fn corrupt_structural_fields_rejected_with_fixed_checksum() {
         // Rewrites a field, then re-stamps the checksum, so the structural
-        // validator (not the checksum) must catch it.
+        // validator (not the checksum) must catch it. The first sample's
+        // community/threshold sit at the same offsets in both format
+        // versions (v2's metadata block starts where v1's first sample
+        // did).
         let (g, cs, col) = tiny_collection();
         let restamp = |mut b: Vec<u8>| {
             let n = b.len();
@@ -657,7 +822,7 @@ mod tests {
             covers: vec![cover],
         });
         let decoded = decode(&encode(&col, 7, 0)).unwrap();
-        assert_eq!(decoded.collection.samples(), col.samples());
+        assert_eq!(decoded.collection, RicStore::from_collection(&col).unwrap());
     }
 
     #[test]
@@ -679,6 +844,6 @@ mod tests {
             covers: vec![c0, c1],
         });
         let data = decode(&encode(&col, 42, 1)).unwrap();
-        assert_eq!(data.collection.samples(), col.samples());
+        assert_eq!(data.collection, RicStore::from_collection(&col).unwrap());
     }
 }

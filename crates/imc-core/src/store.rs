@@ -1,0 +1,1115 @@
+//! [`RicStore`] — the arena-backed RIC collection.
+//!
+//! [`RicCollection`](crate::RicCollection) stores one heap allocation per
+//! sample (`Vec<NodeId>` + `Vec<CoverSet>`, each `Large` cover another
+//! box) and a `Vec<SampleRef>` per node. `RicStore` packs the same data
+//! into four flat buffers:
+//!
+//! ```text
+//! node_offsets:  [0,        n_0,      n_0+n_1,  ...]          (CSR)
+//! nodes:         [s_0 nodes | s_1 nodes | ...]                 sorted per sample
+//! cover_offsets: [0,        n_0·L_0,  n_0·L_0+n_1·L_1, ...]   (word CSR)
+//! cover_words:   [s_0 covers | s_1 covers | ...]               L_i limbs per node
+//! ```
+//!
+//! plus a CSR **inverted node index** `index_offsets`/`index_entries`
+//! mapping every node to the `(sample, pos)` pairs it appears at — the
+//! paper's `G_R(u)`, materialized contiguously. A greedy gain evaluation
+//! for `v` is then one linear scan of `index(v)` with direct word loads,
+//! no per-sample binary search and no pointer chasing.
+
+use crate::collection::{CollectionStats, SampleRef};
+use crate::samples::{limbs_for_width, RicSamples};
+use crate::{CoverSet, CoverageState, RicCollection, RicSample, RicSampler};
+use imc_community::CommunityId;
+use imc_graph::NodeId;
+use rand::Rng;
+
+/// Validation failure when feeding a sample into a [`RicStore`].
+///
+/// The store enforces the invariants [`RicSample::cover_of`] silently
+/// assumes (sorted, duplicate-free node lists; covers shaped to the
+/// sample's community width) and reports violations as typed errors
+/// instead of corrupting lookups downstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RicStoreError {
+    /// The sample's `nodes` array is not strictly ascending (unsorted or
+    /// containing duplicates), so binary-searched cover lookups would be
+    /// unspecified.
+    NodesNotStrictlyAscending {
+        /// Index the sample would have had in the store.
+        sample: usize,
+    },
+    /// A node id is outside the store's graph (`id ≥ node_count`).
+    NodeOutOfRange {
+        /// Index the sample would have had in the store.
+        sample: usize,
+        /// The offending node id.
+        node: u32,
+    },
+    /// The sample's source community is outside the store's instance.
+    CommunityOutOfRange {
+        /// Index the sample would have had in the store.
+        sample: usize,
+        /// The offending community id.
+        community: u32,
+    },
+    /// The sample's activation threshold is zero (every seed set would
+    /// trivially influence it; the snapshot codec rejects these too).
+    ZeroThreshold {
+        /// Index the sample would have had in the store.
+        sample: usize,
+    },
+    /// The cover array disagrees with the node array (count of covers, or
+    /// limb count of one cover, does not match the community width).
+    CoverShapeMismatch {
+        /// Index the sample would have had in the store.
+        sample: usize,
+    },
+    /// A cover has bits set at positions `≥ community_size`.
+    CoverBitsOutOfRange {
+        /// Index the sample would have had in the store.
+        sample: usize,
+    },
+}
+
+impl std::fmt::Display for RicStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RicStoreError::NodesNotStrictlyAscending { sample } => {
+                write!(f, "sample {sample}: nodes not strictly ascending")
+            }
+            RicStoreError::NodeOutOfRange { sample, node } => {
+                write!(f, "sample {sample}: node {node} out of range")
+            }
+            RicStoreError::CommunityOutOfRange { sample, community } => {
+                write!(f, "sample {sample}: community {community} out of range")
+            }
+            RicStoreError::ZeroThreshold { sample } => {
+                write!(f, "sample {sample}: zero activation threshold")
+            }
+            RicStoreError::CoverShapeMismatch { sample } => {
+                write!(f, "sample {sample}: cover shape does not match nodes/width")
+            }
+            RicStoreError::CoverBitsOutOfRange { sample } => {
+                write!(f, "sample {sample}: cover bits set beyond community width")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RicStoreError {}
+
+/// Borrowed view of one sample inside a [`RicStore`] — the store-side
+/// analogue of [`RicSample`], pointing into the arena instead of owning
+/// buffers.
+#[derive(Debug, Clone, Copy)]
+pub struct RicSampleView<'a> {
+    community: CommunityId,
+    threshold: u32,
+    community_size: u32,
+    nodes: &'a [NodeId],
+    cover_words: &'a [u64],
+}
+
+impl<'a> RicSampleView<'a> {
+    /// The source community `C_g`.
+    pub fn community(&self) -> CommunityId {
+        self.community
+    }
+
+    /// The activation threshold `h_g`.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// `|C_g|` — the width of every cover in this sample.
+    pub fn community_size(&self) -> u32 {
+        self.community_size
+    }
+
+    /// The sample's nodes, ascending by id.
+    pub fn nodes(&self) -> &'a [NodeId] {
+        self.nodes
+    }
+
+    /// Number of nodes in the sample.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no node reaches any member (BT residuals can be empty).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Cover limbs of the node at `pos`.
+    pub fn cover_words_of(&self, pos: usize) -> &'a [u64] {
+        let limbs = limbs_for_width(self.community_size);
+        &self.cover_words[pos * limbs..(pos + 1) * limbs]
+    }
+
+    /// Cover limbs of node `v`, or `None` when `v` is not in the sample.
+    pub fn cover_of(&self, v: NodeId) -> Option<&'a [u64]> {
+        self.nodes
+            .binary_search(&v)
+            .ok()
+            .map(|pos| self.cover_words_of(pos))
+    }
+
+    /// `|I_g(S)|` — distinct members reached by `seeds`.
+    pub fn covered_members(&self, seeds: &[NodeId]) -> u32 {
+        let limbs = limbs_for_width(self.community_size);
+        let mut union = vec![0u64; limbs];
+        for &s in seeds {
+            if let Some(words) = self.cover_of(s) {
+                for (u, &w) in union.iter_mut().zip(words) {
+                    *u |= w;
+                }
+            }
+        }
+        union.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// The indicator `X_g(S)`.
+    pub fn influenced_by(&self, seeds: &[NodeId]) -> bool {
+        self.covered_members(seeds) >= self.threshold
+    }
+
+    /// `min(|I_g(S)|/h_g, 1)` — the sample's `ν` contribution.
+    pub fn fractional_coverage(&self, seeds: &[NodeId]) -> f64 {
+        (self.covered_members(seeds) as f64 / self.threshold as f64).min(1.0)
+    }
+
+    /// Materializes the view as an owning [`RicSample`].
+    pub fn to_sample(&self) -> RicSample {
+        let limbs = limbs_for_width(self.community_size);
+        RicSample {
+            community: self.community,
+            threshold: self.threshold,
+            community_size: self.community_size,
+            nodes: self.nodes.to_vec(),
+            covers: (0..self.nodes.len())
+                .map(|pos| {
+                    CoverSet::from_words(
+                        self.community_size as usize,
+                        &self.cover_words[pos * limbs..(pos + 1) * limbs],
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Arena-backed collection `R` of RIC samples with a CSR inverted node
+/// index — the production storage for the MAXR/IMCAF hot path.
+///
+/// Behaviorally interchangeable with [`RicCollection`] through the
+/// [`RicSamples`] trait: same estimators, same solver outputs (the
+/// `store_equivalence` property test pins this), same deterministic
+/// parallel generation scheme. The layout differences are purely
+/// mechanical: four flat buffers instead of per-sample heap allocations,
+/// and one contiguous inverted index instead of a `Vec` per node.
+///
+/// ```
+/// use imc_community::CommunitySet;
+/// use imc_core::{RicSampler, RicStore};
+/// use imc_graph::{GraphBuilder, NodeId};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 1.0)?;
+/// let graph = b.build()?;
+/// let communities =
+///     CommunitySet::from_parts(3, vec![(vec![NodeId::new(1)], 1, 2.0)])?;
+/// let sampler = RicSampler::new(&graph, &communities);
+/// let mut store = RicStore::for_sampler(&sampler);
+/// store.extend_with(&sampler, 1000, &mut StdRng::seed_from_u64(7));
+/// // Node 0 reaches the single member through a certain edge: ĉ = b = 2.
+/// assert_eq!(store.estimate(&[NodeId::new(0)]), 2.0);
+/// // The inverted index knows node 0 touches every sample.
+/// assert_eq!(store.appearance_count(NodeId::new(0)), 1000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RicStore {
+    node_count: usize,
+    community_count: usize,
+    total_benefit: f64,
+    // Per-sample metadata columns.
+    communities: Vec<CommunityId>,
+    thresholds: Vec<u32>,
+    widths: Vec<u32>,
+    // CSR node lists: sample si owns nodes[node_offsets[si]..node_offsets[si+1]].
+    node_offsets: Vec<usize>,
+    nodes: Vec<NodeId>,
+    // Flat cover bitsets: sample si owns cover_words[cover_offsets[si]..
+    // cover_offsets[si+1]], as len(si) consecutive groups of limbs(si) limbs.
+    cover_offsets: Vec<usize>,
+    cover_words: Vec<u64>,
+    // CSR inverted index: node v touches index_entries[index_offsets[v]..
+    // index_offsets[v+1]], ordered by (sample, pos) ascending.
+    index_offsets: Vec<usize>,
+    index_entries: Vec<SampleRef>,
+}
+
+impl RicStore {
+    /// Creates an empty store for a graph with `node_count` nodes,
+    /// `community_count` communities and total benefit `total_benefit`.
+    pub fn new(node_count: usize, community_count: usize, total_benefit: f64) -> Self {
+        RicStore {
+            node_count,
+            community_count,
+            total_benefit,
+            communities: Vec::new(),
+            thresholds: Vec::new(),
+            widths: Vec::new(),
+            node_offsets: vec![0],
+            nodes: Vec::new(),
+            cover_offsets: vec![0],
+            cover_words: Vec::new(),
+            index_offsets: vec![0; node_count + 1],
+            index_entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty store matching a sampler's instance.
+    pub fn for_sampler(sampler: &RicSampler<'_>) -> Self {
+        RicStore::new(
+            sampler.graph().node_count(),
+            sampler.communities().len(),
+            sampler.communities().total_benefit(),
+        )
+    }
+
+    /// Builds a store from owning samples, validating each.
+    pub fn from_samples<'s, I>(
+        node_count: usize,
+        community_count: usize,
+        total_benefit: f64,
+        samples: I,
+    ) -> Result<Self, RicStoreError>
+    where
+        I: IntoIterator<Item = &'s RicSample>,
+    {
+        let mut store = RicStore::new(node_count, community_count, total_benefit);
+        for s in samples {
+            store.append_validated(s)?;
+        }
+        store.rebuild_index();
+        Ok(store)
+    }
+
+    /// Converts a legacy [`RicCollection`] into a store, validating every
+    /// sample on the way in.
+    pub fn from_collection(col: &RicCollection) -> Result<Self, RicStoreError> {
+        RicStore::from_samples(
+            col.node_count(),
+            col.community_count(),
+            col.total_benefit(),
+            col.samples(),
+        )
+    }
+
+    /// Materializes the store as a legacy [`RicCollection`] (tests and
+    /// tooling; the hot path never leaves the arena).
+    pub fn to_collection(&self) -> RicCollection {
+        let mut col = RicCollection::new(self.node_count, self.community_count, self.total_benefit);
+        for si in 0..self.len() {
+            col.push(self.view(si).to_sample());
+        }
+        col
+    }
+
+    /// Appends one sample, validating it and updating the inverted index.
+    ///
+    /// Rebuilds the index (`O(arena)`); batch construction paths
+    /// ([`from_samples`](Self::from_samples), [`extend_with`](Self::extend_with),
+    /// [`extend_parallel`](Self::extend_parallel)) amortize that to one
+    /// rebuild per batch.
+    pub fn push_sample(&mut self, sample: &RicSample) -> Result<(), RicStoreError> {
+        self.append_validated(sample)?;
+        self.rebuild_index();
+        Ok(())
+    }
+
+    fn append_validated(&mut self, sample: &RicSample) -> Result<(), RicStoreError> {
+        let si = self.len();
+        if sample.community.index() >= self.community_count {
+            return Err(RicStoreError::CommunityOutOfRange {
+                sample: si,
+                community: sample.community.index() as u32,
+            });
+        }
+        if sample.threshold == 0 {
+            return Err(RicStoreError::ZeroThreshold { sample: si });
+        }
+        if !sample.nodes.windows(2).all(|w| w[0] < w[1]) {
+            return Err(RicStoreError::NodesNotStrictlyAscending { sample: si });
+        }
+        if let Some(v) = sample.nodes.iter().find(|v| v.index() >= self.node_count) {
+            return Err(RicStoreError::NodeOutOfRange {
+                sample: si,
+                node: v.index() as u32,
+            });
+        }
+        if sample.covers.len() != sample.nodes.len() {
+            return Err(RicStoreError::CoverShapeMismatch { sample: si });
+        }
+        let width = sample.community_size as usize;
+        let limbs = limbs_for_width(sample.community_size);
+        for cover in &sample.covers {
+            let words = cover.words();
+            if words.len() != limbs {
+                return Err(RicStoreError::CoverShapeMismatch { sample: si });
+            }
+            for (li, &w) in words.iter().enumerate() {
+                if w & !allowed_mask(width, li) != 0 {
+                    return Err(RicStoreError::CoverBitsOutOfRange { sample: si });
+                }
+            }
+        }
+        self.communities.push(sample.community);
+        self.thresholds.push(sample.threshold);
+        self.widths.push(sample.community_size);
+        self.nodes.extend_from_slice(&sample.nodes);
+        for cover in &sample.covers {
+            self.cover_words.extend_from_slice(cover.words());
+        }
+        self.node_offsets.push(self.nodes.len());
+        self.cover_offsets.push(self.cover_words.len());
+        Ok(())
+    }
+
+    /// Appends already-validated raw sample parts without touching the
+    /// index. `words` is `nodes.len() × limbs(width)` limbs. Used by the
+    /// trusted in-crate producers (sampler output, BT pivot reductions,
+    /// snapshot decode); callers must finish with
+    /// [`rebuild_index`](Self::rebuild_index).
+    pub(crate) fn push_raw(
+        &mut self,
+        community: CommunityId,
+        threshold: u32,
+        width: u32,
+        nodes: &[NodeId],
+        words: &[u64],
+    ) {
+        debug_assert_eq!(words.len(), nodes.len() * limbs_for_width(width));
+        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+        self.communities.push(community);
+        self.thresholds.push(threshold);
+        self.widths.push(width);
+        self.nodes.extend_from_slice(nodes);
+        self.cover_words.extend_from_slice(words);
+        self.node_offsets.push(self.nodes.len());
+        self.cover_offsets.push(self.cover_words.len());
+    }
+
+    /// Recomputes the CSR inverted index from the node arena with one
+    /// counting sort — `O(node_count + Σ_g |g|)`. Entries per node come
+    /// out ordered by `(sample, pos)` ascending, matching the append
+    /// order of [`RicCollection`]'s per-node lists.
+    pub(crate) fn rebuild_index(&mut self) {
+        let mut offsets = vec![0usize; self.node_count + 1];
+        for v in &self.nodes {
+            offsets[v.index() + 1] += 1;
+        }
+        for i in 1..=self.node_count {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut entries = vec![SampleRef { sample: 0, pos: 0 }; self.nodes.len()];
+        for si in 0..self.len() {
+            let start = self.node_offsets[si];
+            for (pos, v) in self.nodes[start..self.node_offsets[si + 1]]
+                .iter()
+                .enumerate()
+            {
+                let slot = &mut cursor[v.index()];
+                entries[*slot] = SampleRef {
+                    sample: si as u32,
+                    pos: pos as u32,
+                };
+                *slot += 1;
+            }
+        }
+        self.index_offsets = offsets;
+        self.index_entries = entries;
+    }
+
+    /// Appends another store's arena (metadata, nodes, covers) without
+    /// rebuilding the index — the shard-merge step of parallel generation.
+    fn append_arena(&mut self, other: &RicStore) {
+        let node_base = self.nodes.len();
+        let word_base = self.cover_words.len();
+        self.communities.extend_from_slice(&other.communities);
+        self.thresholds.extend_from_slice(&other.thresholds);
+        self.widths.extend_from_slice(&other.widths);
+        self.nodes.extend_from_slice(&other.nodes);
+        self.cover_words.extend_from_slice(&other.cover_words);
+        self.node_offsets
+            .extend(other.node_offsets[1..].iter().map(|o| o + node_base));
+        self.cover_offsets
+            .extend(other.cover_offsets[1..].iter().map(|o| o + word_base));
+    }
+
+    /// Generates and appends `count` samples from `sampler`, reusing one
+    /// scratch buffer so each draw lands in the arena without an owning
+    /// `RicSample` in between. Draws the same RNG stream as
+    /// [`RicCollection::extend_with`].
+    pub fn extend_with<R: Rng + ?Sized>(
+        &mut self,
+        sampler: &RicSampler<'_>,
+        count: usize,
+        rng: &mut R,
+    ) {
+        let mut buf = crate::generator::SampleBuf::default();
+        for _ in 0..count {
+            sampler.sample_into(rng, &mut buf);
+            self.push_raw(
+                buf.community(),
+                buf.threshold(),
+                buf.width(),
+                buf.nodes(),
+                buf.cover_words(),
+            );
+        }
+        self.rebuild_index();
+    }
+
+    /// Generates and appends `count` samples using multiple threads;
+    /// bit-identical to [`RicCollection::extend_parallel`] for the same
+    /// `base_seed` (same shard plan, same per-shard RNG streams).
+    pub fn extend_parallel(&mut self, sampler: &RicSampler<'_>, count: usize, base_seed: u64) {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        self.extend_parallel_with_workers(sampler, count, base_seed, workers);
+    }
+
+    /// [`extend_parallel`](Self::extend_parallel) with an explicit worker
+    /// count. Any `workers` value produces the same store; `0` is treated
+    /// as `1`.
+    pub fn extend_parallel_with_workers(
+        &mut self,
+        sampler: &RicSampler<'_>,
+        count: usize,
+        base_seed: u64,
+        workers: usize,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        if count == 0 {
+            return;
+        }
+        // Same machine-independent shard plan as RicCollection: shard i
+        // draws from StdRng(base_seed + i); shards are appended in order.
+        let shards = if count < 64 { 1 } else { 16 };
+        let per = count / shards;
+        let extra = count % shards;
+        let plan: Vec<(u64, usize)> = (0..shards)
+            .map(|i| {
+                (
+                    base_seed.wrapping_add(i as u64),
+                    per + usize::from(i < extra),
+                )
+            })
+            .collect();
+
+        let shard_store = |seed: u64, n: usize| -> RicStore {
+            let start = std::time::Instant::now();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut seg = RicStore::new(self.node_count, self.community_count, self.total_benefit);
+            let mut buf = crate::generator::SampleBuf::default();
+            for _ in 0..n {
+                sampler.sample_into(&mut rng, &mut buf);
+                seg.push_raw(
+                    buf.community(),
+                    buf.threshold(),
+                    buf.width(),
+                    buf.nodes(),
+                    buf.cover_words(),
+                );
+            }
+            crate::obs::ric_shard_duration().observe_duration(start.elapsed());
+            seg
+        };
+
+        let workers = workers.clamp(1, plan.len());
+        let segments: Vec<RicStore> = if workers <= 1 {
+            plan.iter().map(|&(seed, n)| shard_store(seed, n)).collect()
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let slots: Vec<std::sync::Mutex<Option<RicStore>>> =
+                plan.iter().map(|_| std::sync::Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= plan.len() {
+                            break;
+                        }
+                        let (seed, n) = plan[i];
+                        *slots[i].lock().expect("no poisoned shards") = Some(shard_store(seed, n));
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|m| {
+                    m.into_inner()
+                        .expect("threads joined")
+                        .expect("shard filled")
+                })
+                .collect()
+        };
+
+        for seg in &segments {
+            self.append_arena(seg);
+        }
+        self.rebuild_index();
+    }
+
+    /// Number of samples `|R|`.
+    pub fn len(&self) -> usize {
+        self.communities.len()
+    }
+
+    /// `true` when the store holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.communities.is_empty()
+    }
+
+    /// Node count of the underlying graph.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of communities of the underlying instance.
+    pub fn community_count(&self) -> usize {
+        self.community_count
+    }
+
+    /// Total benefit `b` of the underlying instance.
+    pub fn total_benefit(&self) -> f64 {
+        self.total_benefit
+    }
+
+    /// Borrowed view of sample `si`.
+    pub fn view(&self, si: usize) -> RicSampleView<'_> {
+        RicSampleView {
+            community: self.communities[si],
+            threshold: self.thresholds[si],
+            community_size: self.widths[si],
+            nodes: &self.nodes[self.node_offsets[si]..self.node_offsets[si + 1]],
+            cover_words: &self.cover_words[self.cover_offsets[si]..self.cover_offsets[si + 1]],
+        }
+    }
+
+    /// Iterator over all samples as borrowed views, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = RicSampleView<'_>> + '_ {
+        (0..self.len()).map(|si| self.view(si))
+    }
+
+    /// Samples touched by `v` (the paper's `G_R(u)`), ordered by
+    /// `(sample, pos)` ascending.
+    pub fn touched_by(&self, v: NodeId) -> &[SampleRef] {
+        &self.index_entries[self.index_offsets[v.index()]..self.index_offsets[v.index() + 1]]
+    }
+
+    /// Number of samples `v` appears in — MAF's node-appearance count.
+    pub fn appearance_count(&self, v: NodeId) -> usize {
+        self.index_offsets[v.index() + 1] - self.index_offsets[v.index()]
+    }
+
+    /// Number of samples influenced by `S`, computed through the inverted
+    /// index: only samples actually touched by a seed are visited, instead
+    /// of scanning all `|R|` samples with per-seed binary searches.
+    pub fn influenced_count(&self, seeds: &[NodeId]) -> usize {
+        let mut state = CoverageState::new(self);
+        for &s in seeds {
+            if s.index() < self.node_count {
+                state.add_seed(s);
+            }
+        }
+        state.influenced_count()
+    }
+
+    /// The estimator `ĉ_R(S)` (eq. 3). Returns 0 for an empty store.
+    pub fn estimate(&self, seeds: &[NodeId]) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.total_benefit * self.influenced_count(seeds) as f64 / self.len() as f64
+    }
+
+    /// The submodular upper-bound estimator `ν_R(S)` (eq. 7). Returns 0
+    /// for an empty store. Coverage counts come from the inverted index;
+    /// the fractions are then summed in sample order, so the value is
+    /// bitwise-identical to [`RicCollection::nu_estimate`].
+    pub fn nu_estimate(&self, seeds: &[NodeId]) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let mut state = CoverageState::new(self);
+        for &s in seeds {
+            if s.index() < self.node_count {
+                state.add_seed(s);
+            }
+        }
+        let counts = state.covered_counts();
+        let frac: f64 = (0..self.len())
+            .map(|si| (counts[si] as f64 / self.thresholds[si] as f64).min(1.0))
+            .sum();
+        self.total_benefit * frac / self.len() as f64
+    }
+
+    /// How many samples each community roots — MAF's community-frequency
+    /// table.
+    pub fn community_frequencies(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.community_count];
+        for c in &self.communities {
+            counts[c.index()] += 1;
+        }
+        counts
+    }
+
+    /// Appearance count for every node.
+    pub fn node_appearance_counts(&self) -> Vec<usize> {
+        self.index_offsets.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Size and cost statistics — same quantities as
+    /// [`RicCollection::stats`].
+    pub fn stats(&self) -> CollectionStats {
+        let sizes = self.node_offsets.windows(2).map(|w| w[1] - w[0]);
+        let total = self.nodes.len();
+        let max = sizes.clone().max().unwrap_or(0);
+        let sum_sq: u64 = sizes.map(|s| (s * s) as u64).sum();
+        let touched_nodes = self
+            .index_offsets
+            .windows(2)
+            .filter(|w| w[1] > w[0])
+            .count();
+        CollectionStats {
+            samples: self.len(),
+            total_index_entries: total,
+            mean_sample_size: if self.is_empty() {
+                0.0
+            } else {
+                total as f64 / self.len() as f64
+            },
+            max_sample_size: max,
+            sum_squared_sizes: sum_sq,
+            touched_nodes,
+        }
+    }
+
+    /// Bytes held by the arena and index buffers — the store's RSS proxy
+    /// (per-sample metadata columns, CSR offsets, node ids, cover limbs,
+    /// and inverted-index entries; excludes `Vec` growth slack).
+    pub fn arena_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.communities.len() * size_of::<CommunityId>()
+            + self.thresholds.len() * size_of::<u32>()
+            + self.widths.len() * size_of::<u32>()
+            + self.node_offsets.len() * size_of::<usize>()
+            + self.nodes.len() * size_of::<NodeId>()
+            + self.cover_offsets.len() * size_of::<usize>()
+            + self.cover_words.len() * size_of::<u64>()
+            + self.index_offsets.len() * size_of::<usize>()
+            + self.index_entries.len() * size_of::<SampleRef>()
+    }
+
+    /// Number of entries in the inverted node index (`Σ_g |g|`).
+    pub fn index_entries(&self) -> usize {
+        self.index_entries.len()
+    }
+}
+
+/// Mask of the bit positions limb `limb` may legally use for a cover of
+/// `width` bits.
+fn allowed_mask(width: usize, limb: usize) -> u64 {
+    let lo = limb * 64;
+    if width <= lo {
+        0
+    } else if width >= lo + 64 {
+        !0
+    } else {
+        (!0u64) >> (64 - (width - lo))
+    }
+}
+
+impl RicSamples for RicStore {
+    fn len(&self) -> usize {
+        RicStore::len(self)
+    }
+
+    fn node_count(&self) -> usize {
+        RicStore::node_count(self)
+    }
+
+    fn community_count(&self) -> usize {
+        RicStore::community_count(self)
+    }
+
+    fn total_benefit(&self) -> f64 {
+        RicStore::total_benefit(self)
+    }
+
+    fn sample_community(&self, si: usize) -> CommunityId {
+        self.communities[si]
+    }
+
+    fn sample_threshold(&self, si: usize) -> u32 {
+        self.thresholds[si]
+    }
+
+    fn sample_width(&self, si: usize) -> u32 {
+        self.widths[si]
+    }
+
+    fn sample_nodes(&self, si: usize) -> &[NodeId] {
+        &self.nodes[self.node_offsets[si]..self.node_offsets[si + 1]]
+    }
+
+    fn cover_words(&self, si: usize, pos: usize) -> &[u64] {
+        let limbs = limbs_for_width(self.widths[si]);
+        let start = self.cover_offsets[si] + pos * limbs;
+        &self.cover_words[start..start + limbs]
+    }
+
+    fn touched_by(&self, v: NodeId) -> &[SampleRef] {
+        RicStore::touched_by(self, v)
+    }
+
+    fn appearance_count(&self, v: NodeId) -> usize {
+        RicStore::appearance_count(self, v)
+    }
+
+    fn influenced_count(&self, seeds: &[NodeId]) -> usize {
+        RicStore::influenced_count(self, seeds)
+    }
+
+    fn estimate(&self, seeds: &[NodeId]) -> f64 {
+        RicStore::estimate(self, seeds)
+    }
+
+    fn nu_estimate(&self, seeds: &[NodeId]) -> f64 {
+        RicStore::nu_estimate(self, seeds)
+    }
+
+    fn community_frequencies(&self) -> Vec<usize> {
+        RicStore::community_frequencies(self)
+    }
+
+    fn node_appearance_counts(&self) -> Vec<usize> {
+        RicStore::node_appearance_counts(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_community::CommunitySet;
+    use imc_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn manual_sample(community: u32, threshold: u32, node_covers: &[(u32, &[usize])]) -> RicSample {
+        let width = 4usize;
+        let mut nodes = Vec::new();
+        let mut covers = Vec::new();
+        for &(v, bits) in node_covers {
+            nodes.push(NodeId::new(v));
+            let mut c = CoverSet::new(width);
+            for &b in bits {
+                c.set(b);
+            }
+            covers.push(c);
+        }
+        RicSample {
+            community: CommunityId::new(community),
+            threshold,
+            community_size: width as u32,
+            nodes,
+            covers,
+        }
+    }
+
+    fn fixture_samples() -> Vec<RicSample> {
+        vec![
+            manual_sample(0, 2, &[(1, &[0]), (2, &[1])]),
+            manual_sample(1, 1, &[(2, &[0])]),
+            manual_sample(0, 2, &[(3, &[0, 1])]),
+        ]
+    }
+
+    fn fixture_store() -> RicStore {
+        RicStore::from_samples(10, 3, 6.0, &fixture_samples()).unwrap()
+    }
+
+    fn fixture_collection() -> RicCollection {
+        let mut col = RicCollection::new(10, 3, 6.0);
+        for s in fixture_samples() {
+            col.push(s);
+        }
+        col
+    }
+
+    fn medium_instance() -> (imc_graph::Graph, CommunitySet) {
+        let mut b = GraphBuilder::new(30);
+        for u in 0..29u32 {
+            b.add_edge(u, u + 1, 0.5).unwrap();
+            b.add_edge(u + 1, u, 0.3).unwrap();
+        }
+        b.add_edge(0, 15, 0.7).unwrap();
+        let g = b.build().unwrap();
+        let cs = CommunitySet::from_parts(
+            30,
+            vec![
+                ((0..5).map(NodeId::new).collect(), 2, 1.0),
+                ((10..16).map(NodeId::new).collect(), 3, 3.0),
+                ((20..24).map(NodeId::new).collect(), 1, 2.0),
+            ],
+        )
+        .unwrap();
+        (g, cs)
+    }
+
+    #[test]
+    fn store_matches_collection_queries_on_fixture() {
+        let store = fixture_store();
+        let col = fixture_collection();
+        assert_eq!(store.len(), col.len());
+        for v in 0..10u32 {
+            assert_eq!(
+                store.touched_by(NodeId::new(v)),
+                col.touched_by(NodeId::new(v)),
+                "index mismatch at node {v}"
+            );
+        }
+        for seeds in [
+            vec![],
+            vec![NodeId::new(1)],
+            vec![NodeId::new(2)],
+            vec![NodeId::new(3)],
+            vec![NodeId::new(1), NodeId::new(2)],
+            vec![NodeId::new(1), NodeId::new(3)],
+        ] {
+            assert_eq!(store.influenced_count(&seeds), col.influenced_count(&seeds));
+            assert_eq!(store.estimate(&seeds), col.estimate(&seeds));
+            assert_eq!(store.nu_estimate(&seeds), col.nu_estimate(&seeds));
+        }
+        assert_eq!(store.community_frequencies(), col.community_frequencies());
+        assert_eq!(store.node_appearance_counts(), col.node_appearance_counts());
+        assert_eq!(store.stats(), col.stats());
+    }
+
+    #[test]
+    fn round_trips_through_collection() {
+        let store = fixture_store();
+        let col = store.to_collection();
+        assert_eq!(col.samples().len(), 3);
+        let back = RicStore::from_collection(&col).unwrap();
+        assert_eq!(back, store);
+    }
+
+    #[test]
+    fn views_expose_sample_contents() {
+        let store = fixture_store();
+        let v = store.view(0);
+        assert_eq!(v.community(), CommunityId::new(0));
+        assert_eq!(v.threshold(), 2);
+        assert_eq!(v.community_size(), 4);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.nodes(), &[NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(v.cover_of(NodeId::new(1)), Some(&[0b01u64][..]));
+        assert_eq!(v.cover_of(NodeId::new(2)), Some(&[0b10u64][..]));
+        assert_eq!(v.cover_of(NodeId::new(7)), None);
+        assert_eq!(v.covered_members(&[NodeId::new(1), NodeId::new(2)]), 2);
+        assert!(v.influenced_by(&[NodeId::new(1), NodeId::new(2)]));
+        assert!(!v.influenced_by(&[NodeId::new(1)]));
+        assert!((v.fractional_coverage(&[NodeId::new(1)]) - 0.5).abs() < 1e-12);
+        assert_eq!(v.to_sample(), fixture_samples()[0]);
+    }
+
+    #[test]
+    fn empty_sample_is_accepted() {
+        // BT pivot reduction produces residual samples with no nodes.
+        let mut store = RicStore::new(4, 1, 1.0);
+        store
+            .push_sample(&RicSample {
+                community: CommunityId::new(0),
+                threshold: 1,
+                community_size: 2,
+                nodes: vec![],
+                covers: vec![],
+            })
+            .unwrap();
+        assert_eq!(store.len(), 1);
+        assert!(store.view(0).is_empty());
+        assert_eq!(store.influenced_count(&[NodeId::new(0)]), 0);
+    }
+
+    #[test]
+    fn rejects_unsorted_and_duplicate_nodes() {
+        let mut store = RicStore::new(10, 3, 6.0);
+        let mut unsorted = manual_sample(0, 1, &[(2, &[0]), (1, &[1])]);
+        assert_eq!(
+            store.push_sample(&unsorted),
+            Err(RicStoreError::NodesNotStrictlyAscending { sample: 0 })
+        );
+        unsorted.nodes = vec![NodeId::new(2), NodeId::new(2)];
+        assert_eq!(
+            store.push_sample(&unsorted),
+            Err(RicStoreError::NodesNotStrictlyAscending { sample: 0 })
+        );
+        assert!(store.is_empty(), "rejected samples must not be stored");
+    }
+
+    #[test]
+    fn rejects_out_of_range_ids_and_zero_threshold() {
+        let mut store = RicStore::new(3, 1, 1.0);
+        assert_eq!(
+            store.push_sample(&manual_sample(0, 1, &[(5, &[0])])),
+            Err(RicStoreError::NodeOutOfRange { sample: 0, node: 5 })
+        );
+        assert_eq!(
+            store.push_sample(&manual_sample(2, 1, &[(1, &[0])])),
+            Err(RicStoreError::CommunityOutOfRange {
+                sample: 0,
+                community: 2
+            })
+        );
+        assert_eq!(
+            store.push_sample(&manual_sample(0, 0, &[(1, &[0])])),
+            Err(RicStoreError::ZeroThreshold { sample: 0 })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_covers() {
+        let mut store = RicStore::new(10, 3, 6.0);
+        let mut missing_cover = manual_sample(0, 1, &[(1, &[0]), (2, &[1])]);
+        missing_cover.covers.pop();
+        assert_eq!(
+            store.push_sample(&missing_cover),
+            Err(RicStoreError::CoverShapeMismatch { sample: 0 })
+        );
+        let mut wrong_width = manual_sample(0, 1, &[(1, &[0])]);
+        wrong_width.covers[0] = CoverSet::new(100); // 2 limbs vs width 4 → 1
+        assert_eq!(
+            store.push_sample(&wrong_width),
+            Err(RicStoreError::CoverShapeMismatch { sample: 0 })
+        );
+        let mut stray_bits = manual_sample(0, 1, &[(1, &[0])]);
+        stray_bits.covers[0] = CoverSet::Small(1 << 10); // width 4
+        assert_eq!(
+            store.push_sample(&stray_bits),
+            Err(RicStoreError::CoverBitsOutOfRange { sample: 0 })
+        );
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = RicStoreError::NodesNotStrictlyAscending { sample: 3 };
+        assert!(e.to_string().contains("strictly ascending"));
+        let e = RicStoreError::NodeOutOfRange { sample: 1, node: 9 };
+        assert!(e.to_string().contains("node 9"));
+    }
+
+    #[test]
+    fn extend_with_matches_collection_stream() {
+        let (g, cs) = medium_instance();
+        let sampler = RicSampler::new(&g, &cs);
+        let mut store = RicStore::for_sampler(&sampler);
+        store.extend_with(&sampler, 150, &mut StdRng::seed_from_u64(11));
+        let mut col = RicCollection::for_sampler(&sampler);
+        col.extend_with(&sampler, 150, &mut StdRng::seed_from_u64(11));
+        assert_eq!(store, RicStore::from_collection(&col).unwrap());
+    }
+
+    #[test]
+    fn extend_parallel_bit_identical_across_worker_counts() {
+        let (g, cs) = medium_instance();
+        let sampler = RicSampler::new(&g, &cs);
+        let mut reference = RicStore::for_sampler(&sampler);
+        reference.extend_parallel_with_workers(&sampler, 300, 77, 1);
+        for workers in [2, 4, 8] {
+            let mut store = RicStore::for_sampler(&sampler);
+            store.extend_parallel_with_workers(&sampler, 300, 77, workers);
+            assert_eq!(store, reference, "workers={workers}");
+        }
+        // And identical to the legacy collection under the same seed.
+        let mut col = RicCollection::for_sampler(&sampler);
+        col.extend_parallel_with_workers(&sampler, 300, 77, 4);
+        assert_eq!(RicStore::from_collection(&col).unwrap(), reference);
+    }
+
+    #[test]
+    fn extend_parallel_zero_count_is_noop() {
+        let (g, cs) = medium_instance();
+        let sampler = RicSampler::new(&g, &cs);
+        let mut store = RicStore::for_sampler(&sampler);
+        store.extend_parallel(&sampler, 0, 1);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn generated_store_matches_collection_estimates() {
+        let (g, cs) = medium_instance();
+        let sampler = RicSampler::new(&g, &cs);
+        let mut store = RicStore::for_sampler(&sampler);
+        store.extend_parallel_with_workers(&sampler, 400, 3, 4);
+        let mut col = RicCollection::for_sampler(&sampler);
+        col.extend_parallel_with_workers(&sampler, 400, 3, 4);
+        let seed_sets: Vec<Vec<NodeId>> = vec![
+            vec![NodeId::new(0)],
+            vec![NodeId::new(12), NodeId::new(21)],
+            vec![NodeId::new(2), NodeId::new(14), NodeId::new(22)],
+            (0..30).step_by(5).map(NodeId::new).collect(),
+        ];
+        for seeds in &seed_sets {
+            assert_eq!(store.influenced_count(seeds), col.influenced_count(seeds));
+            assert_eq!(store.estimate(seeds), col.estimate(seeds));
+            assert_eq!(store.nu_estimate(seeds), col.nu_estimate(seeds));
+        }
+    }
+
+    #[test]
+    fn out_of_range_seeds_are_ignored_like_legacy() {
+        let store = fixture_store();
+        let col = fixture_collection();
+        let seeds = [NodeId::new(3), NodeId::new(4000)];
+        // Legacy influenced_count binary-searches and simply misses.
+        assert_eq!(store.influenced_count(&seeds), col.influenced_count(&seeds));
+        assert_eq!(store.estimate(&seeds), col.estimate(&seeds));
+        assert_eq!(store.nu_estimate(&seeds), col.nu_estimate(&seeds));
+    }
+
+    #[test]
+    fn arena_accounting_is_consistent() {
+        let store = fixture_store();
+        assert_eq!(store.index_entries(), 4); // 2 + 1 + 1 node appearances
+                                              // 3 communities + 3 thresholds + 3 widths (4B each) + 4+4 offsets
+                                              // (8B) + 4 nodes (4B) + 4 limbs (8B) + 11 index offsets (8B) + 4
+                                              // index entries (8B).
+        let expect = 3 * 4 * 3 + (4 + 4) * 8 + 4 * 4 + 4 * 8 + 11 * 8 + 4 * 8;
+        assert_eq!(store.arena_bytes(), expect);
+    }
+
+    #[test]
+    fn allowed_mask_boundaries() {
+        assert_eq!(allowed_mask(4, 0), 0b1111);
+        assert_eq!(allowed_mask(64, 0), !0);
+        assert_eq!(allowed_mask(64, 1), 0);
+        assert_eq!(allowed_mask(0, 0), 0);
+        assert_eq!(allowed_mask(130, 1), !0);
+        assert_eq!(allowed_mask(130, 2), 0b11);
+    }
+}

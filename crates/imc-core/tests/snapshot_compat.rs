@@ -1,0 +1,68 @@
+//! Backward-compatibility check against a committed version-1 snapshot.
+//!
+//! `fixtures/snapshot_v1.snap` was written by the row-major version-1
+//! encoder before the columnar format landed. It must keep decoding — and
+//! decode to exactly the collection a fresh deterministic regeneration
+//! produces — for as long as `MIN_FORMAT_VERSION` is 1.
+
+use imc_community::CommunitySet;
+use imc_core::snapshot::{decode, instance_fingerprint, load_for_instance};
+use imc_core::{ImcInstance, RicStore};
+use imc_graph::{GraphBuilder, NodeId};
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("snapshot_v1.snap")
+}
+
+/// The instance the fixture was sampled from (mirrors the service crate's
+/// `tiny_state` test helper at the time the fixture was written).
+fn fixture_instance() -> ImcInstance {
+    let mut b = GraphBuilder::new(6);
+    b.add_edge(0, 1, 0.9).unwrap();
+    b.add_edge(1, 2, 0.5).unwrap();
+    b.add_edge(3, 4, 0.8).unwrap();
+    let graph = b.build().unwrap();
+    let communities = CommunitySet::from_parts(
+        6,
+        vec![
+            (vec![NodeId::new(1), NodeId::new(2)], 1, 2.0),
+            (vec![NodeId::new(4), NodeId::new(5)], 1, 3.0),
+        ],
+    )
+    .unwrap();
+    ImcInstance::new(graph, communities).unwrap()
+}
+
+#[test]
+fn v1_fixture_still_loads() {
+    let bytes = std::fs::read(fixture_path()).expect("committed fixture present");
+    assert_eq!(bytes[7], 1, "fixture must remain a version-1 file");
+    let data = decode(&bytes).expect("v1 fixture decodes");
+    assert_eq!(data.generation, 3);
+    assert_eq!(data.collection.len(), 200);
+
+    // The fixture was generated deterministically: same sampler, same
+    // seed/sharding — so a fresh store must match sample for sample.
+    let instance = fixture_instance();
+    assert_eq!(
+        data.fingerprint,
+        instance_fingerprint(instance.graph(), instance.communities())
+    );
+    let sampler = instance.sampler();
+    let mut fresh = RicStore::for_sampler(&sampler);
+    fresh.extend_parallel_with_workers(&sampler, 200, 7, 1);
+    assert_eq!(data.collection, fresh);
+}
+
+#[test]
+fn v1_fixture_passes_fingerprint_gate() {
+    let instance = fixture_instance();
+    let data = load_for_instance(&fixture_path(), &instance).expect("fingerprint matches");
+    assert_eq!(data.collection.node_count(), 6);
+    assert_eq!(data.collection.community_count(), 2);
+    assert_eq!(data.collection.total_benefit(), 5.0);
+}

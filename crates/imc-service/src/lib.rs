@@ -31,7 +31,7 @@ pub mod refresher;
 pub mod server;
 
 use imc_core::snapshot::{self, SnapshotData, SnapshotError};
-use imc_core::{ImcInstance, RicCollection};
+use imc_core::{ImcInstance, RicStore};
 use metrics::Metrics;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,7 +45,7 @@ pub use server::{RefreshConfig, ServeConfig, Server, ServerHandle};
 pub struct ServiceState {
     instance: ImcInstance,
     fingerprint: u64,
-    collection: RwLock<Arc<RicCollection>>,
+    collection: RwLock<Arc<RicStore>>,
     generation: AtomicU64,
     metrics: Metrics,
 }
@@ -57,7 +57,7 @@ impl ServiceState {
     /// Also registers every metric family the daemon stack can export
     /// (solver + service) in the global registry, so the first `/metrics`
     /// scrape sees them at zero rather than absent.
-    pub fn new(instance: ImcInstance, collection: RicCollection, generation: u64) -> Self {
+    pub fn new(instance: ImcInstance, collection: RicStore, generation: u64) -> Self {
         imc_core::obs::register();
         metrics::register();
         let fingerprint = snapshot::instance_fingerprint(instance.graph(), instance.communities());
@@ -116,21 +116,21 @@ impl ServiceState {
     /// Pins the currently-published collection. The returned `Arc` stays
     /// valid (and immutable) even if a refresh publishes a newer
     /// generation mid-request.
-    pub fn collection(&self) -> Arc<RicCollection> {
+    pub fn collection(&self) -> Arc<RicStore> {
         Arc::clone(&self.collection.read().expect("collection lock"))
     }
 
     /// Pins the current collection together with its generation number,
     /// read consistently under one lock acquisition (a concurrent
     /// [`publish`](Self::publish) can never tear the pair).
-    pub fn pinned(&self) -> (Arc<RicCollection>, u64) {
+    pub fn pinned(&self) -> (Arc<RicStore>, u64) {
         let slot = self.collection.read().expect("collection lock");
         (Arc::clone(&slot), self.generation.load(Ordering::SeqCst))
     }
 
     /// Atomically publishes a new collection, bumping the generation.
     /// Returns the new generation number.
-    pub fn publish(&self, collection: RicCollection) -> u64 {
+    pub fn publish(&self, collection: RicStore) -> u64 {
         let generation = {
             let mut slot = self.collection.write().expect("collection lock");
             *slot = Arc::new(collection);
@@ -140,9 +140,10 @@ impl ServiceState {
         generation
     }
 
-    /// Pushes the current collection size and generation into the
-    /// `imc_collection_samples` / `imc_collection_generation` gauges.
-    /// Called on construction, on publish, and before each exposition.
+    /// Pushes the current collection size, generation, and arena footprint
+    /// into the `imc_collection_samples` / `imc_collection_generation` /
+    /// `imc_ric_store_*` gauges. Called on construction, on publish, and
+    /// before each exposition.
     pub fn refresh_gauges(&self) {
         let (collection, generation) = self.pinned();
         let registry = imc_obs::global();
@@ -158,6 +159,7 @@ impl ServiceState {
                 "Generation number of the currently-published collection.",
             )
             .set(generation as f64);
+        imc_core::obs::set_ric_store_gauges(&collection);
     }
 
     /// Current snapshot generation.
@@ -177,7 +179,7 @@ impl ServiceState {
     /// [`SnapshotError::Io`] on filesystem failure.
     pub fn save_snapshot(&self, path: &Path) -> Result<(), SnapshotError> {
         let collection = self.collection();
-        snapshot::save(path, &collection, self.fingerprint, self.generation())
+        snapshot::save(path, &*collection, self.fingerprint, self.generation())
     }
 }
 
@@ -203,7 +205,7 @@ mod tests {
         .unwrap();
         let instance = ImcInstance::new(g, cs).unwrap();
         let sampler = instance.sampler();
-        let mut col = RicCollection::for_sampler(&sampler);
+        let mut col = RicStore::for_sampler(&sampler);
         col.extend_parallel_with_workers(&sampler, samples, 7, 1);
         // `col` borrows `instance` via the sampler only transiently; the
         // collection itself owns its data.
@@ -218,7 +220,7 @@ mod tests {
         assert_eq!(state.generation(), 0);
 
         let sampler = state.instance().sampler();
-        let mut bigger = RicCollection::for_sampler(&sampler);
+        let mut bigger = RicStore::for_sampler(&sampler);
         bigger.extend_parallel_with_workers(&sampler, 200, 9, 1);
         let generation = state.publish(bigger);
         assert_eq!(generation, 1);
@@ -239,10 +241,7 @@ mod tests {
         let instance = state.instance().clone();
         let restored = ServiceState::from_snapshot_path(instance, &path).unwrap();
         assert_eq!(restored.generation(), 0);
-        assert_eq!(
-            restored.collection().samples(),
-            state.collection().samples()
-        );
+        assert_eq!(*restored.collection(), *state.collection());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -434,7 +434,7 @@ fn dispatch(state: &ServiceState, line: &str) -> (String, bool) {
             imcaf: None,
         } => {
             let (collection, generation) = state.pinned();
-            match algo.solve(state.instance(), &collection, k, seed) {
+            match algo.solve(state.instance(), &*collection, k, seed) {
                 Ok(solution) => {
                     let scanned = collection.len() as u64;
                     state

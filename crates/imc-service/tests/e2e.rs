@@ -2,7 +2,7 @@
 //! clients, snapshot cold-start, deterministic solves, graceful shutdown.
 
 use imc_community::CommunitySet;
-use imc_core::{snapshot, ImcInstance, MaxrAlgorithm, RicCollection};
+use imc_core::{snapshot, ImcInstance, MaxrAlgorithm, RicStore};
 use imc_graph::{GraphBuilder, NodeId};
 use imc_service::client::Client;
 use imc_service::{RefreshConfig, ServeConfig, Server, ServiceState};
@@ -30,7 +30,7 @@ fn build_state(samples: usize) -> ServiceState {
     let cs = CommunitySet::from_parts(40, parts).unwrap();
     let instance = ImcInstance::new(g, cs).unwrap();
     let sampler = instance.sampler();
-    let mut col = RicCollection::for_sampler(&sampler);
+    let mut col = RicStore::for_sampler(&sampler);
     col.extend_parallel_with_workers(&sampler, samples, 1234, 1);
     ServiceState::new(instance, col, 0)
 }
@@ -64,7 +64,7 @@ fn concurrent_solves_match_in_process_solver_byte_identically() {
         ("maf", MaxrAlgorithm::Maf),
         ("mb", MaxrAlgorithm::Mb),
     ] {
-        let solution = algo.solve(state.instance(), &collection, 3, 7).unwrap();
+        let solution = algo.solve(state.instance(), &*collection, 3, 7).unwrap();
         let seeds: Vec<u32> = solution.seeds.iter().map(|v| v.raw()).collect();
         expected.push((algo_name, seeds, solution.estimate));
     }

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Checks relative markdown links and heading anchors.
+
+Usage: check_markdown_links.py FILE.md [FILE.md ...]
+
+For every `[text](target)` in the given files:
+  * external schemes (http/https/mailto) are skipped;
+  * relative paths must exist on disk (resolved against the file's dir);
+  * `#fragment` targets (own-file or `other.md#fragment`) must match a
+    GitHub-style slug of some heading in the target file.
+
+Exits non-zero listing every broken link. Standard library only.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor algorithm, close enough for ASCII docs."""
+    heading = re.sub(r"[`*_]", "", heading.strip()).lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {slugify(m.group(1)) for m in HEADING.finditer(text)}
+
+
+def main(argv):
+    errors = []
+    for name in argv:
+        source = Path(name)
+        text = FENCE.sub("", source.read_text(encoding="utf-8"))
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            path_part, _, fragment = target.partition("#")
+            dest = (source.parent / path_part).resolve() if path_part else source
+            if not dest.exists():
+                errors.append(f"{name}: broken path {target}")
+                continue
+            if fragment and dest.suffix == ".md":
+                if slugify(fragment) not in anchors_of(dest):
+                    errors.append(f"{name}: missing anchor {target}")
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(argv)} files: {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -4,7 +4,7 @@
 use imc_community::CommunityId;
 use imc_community::CommunitySet;
 use imc_core::snapshot;
-use imc_core::{CoverSet, RicCollection, RicSample, RicSampler};
+use imc_core::{CoverSet, RicCollection, RicSample, RicSampler, RicStore};
 use imc_graph::{generators::erdos_renyi, GraphBuilder, NodeId, WeightModel};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -40,7 +40,7 @@ proptest! {
         let data = snapshot::decode(&bytes).expect("round trip decodes");
         prop_assert_eq!(data.fingerprint, fp);
         prop_assert_eq!(data.generation, seed);
-        prop_assert_eq!(data.collection.samples(), col.samples());
+        prop_assert_eq!(&data.collection, &RicStore::from_collection(&col).unwrap());
         prop_assert_eq!(data.collection.node_count(), col.node_count());
         prop_assert_eq!(data.collection.total_benefit(), col.total_benefit());
         // The rebuilt inverted index must answer identically for every node.
@@ -74,7 +74,7 @@ proptest! {
         // content; it must never yield a *different* collection.
         match snapshot::decode(&bad) {
             Err(_) => {}
-            Ok(data) => prop_assert_eq!(data.collection.samples(), col.samples()),
+            Ok(data) => prop_assert_eq!(&data.collection, &RicStore::from_collection(&col).unwrap()),
         }
     }
 
@@ -132,5 +132,5 @@ fn hand_built_wide_community_round_trips() {
         covers: vec![cover],
     });
     let data = snapshot::decode(&snapshot::encode(&col, 1, 0)).unwrap();
-    assert_eq!(data.collection.samples(), col.samples());
+    assert_eq!(data.collection, RicStore::from_collection(&col).unwrap());
 }

@@ -1,0 +1,87 @@
+//! Backend-equivalence properties: a collection materialised as the
+//! legacy owning `RicCollection` and as the arena-backed `RicStore` from
+//! the same seed must be indistinguishable — identical estimator values
+//! `ĉ_R(S)` / `ν_R(S)` and identical solver outputs for every MAXR
+//! algorithm, on random small instances.
+
+use imc_community::CommunitySet;
+use imc_core::{ImcInstance, MaxrAlgorithm, RicCollection, RicSampler, RicStore};
+use imc_graph::{generators::erdos_renyi, NodeId, WeightModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random small instance whose thresholds stay ≤ 2, so BT and MB are
+/// admissible alongside GREEDY/UBG/MAF.
+fn small_instance(seed: u64) -> ImcInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = erdos_renyi(30, 0.1, &mut rng).reweighted(WeightModel::Uniform(0.3));
+    let parts = (0..6)
+        .map(|c| {
+            let members: Vec<NodeId> = (c * 5..c * 5 + 5).map(NodeId::new).collect();
+            (members, 1 + (c % 2), 1.0 + f64::from(c))
+        })
+        .collect();
+    let communities = CommunitySet::from_parts(30, parts).unwrap();
+    ImcInstance::new(graph, communities).unwrap()
+}
+
+/// Both backends grown from one shared seed — sample for sample the same
+/// collection, reached through two different memory layouts.
+fn both_backends(sampler: &RicSampler<'_>, samples: usize, seed: u64) -> (RicCollection, RicStore) {
+    let mut col = RicCollection::for_sampler(sampler);
+    col.extend_with(sampler, samples, &mut StdRng::seed_from_u64(seed));
+    let mut store = RicStore::for_sampler(sampler);
+    store.extend_with(sampler, samples, &mut StdRng::seed_from_u64(seed));
+    (col, store)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn estimators_agree_exactly(
+        seed in 0u64..500,
+        samples in 1usize..120,
+        raw_seeds in proptest::collection::vec(0u32..40, 0..6),
+    ) {
+        let instance = small_instance(seed);
+        let sampler = instance.sampler();
+        let (col, store) = both_backends(&sampler, samples, seed ^ 0xA5A5);
+        prop_assert_eq!(&store, &RicStore::from_collection(&col).unwrap());
+
+        // Seed ids above the node count are tolerated (ignored) by both.
+        let seeds: Vec<NodeId> = raw_seeds.iter().map(|&v| NodeId::new(v.min(29))).collect();
+        prop_assert_eq!(col.influenced_count(&seeds), store.influenced_count(&seeds));
+        // ĉ is exact (an integer count times a shared factor) and ν is
+        // summed in sample order by both backends, so bitwise equality —
+        // not approximate equality — is the contract.
+        prop_assert_eq!(col.estimate(&seeds), store.estimate(&seeds));
+        prop_assert_eq!(col.nu_estimate(&seeds), store.nu_estimate(&seeds));
+    }
+
+    #[test]
+    fn all_solvers_pick_identical_seeds(
+        seed in 0u64..200,
+        samples in 20usize..100,
+        k in 1usize..6,
+    ) {
+        let instance = small_instance(seed);
+        let sampler = instance.sampler();
+        let (col, store) = both_backends(&sampler, samples, seed ^ 0x5A5A);
+        for algo in [
+            MaxrAlgorithm::Greedy,
+            MaxrAlgorithm::Ubg,
+            MaxrAlgorithm::Maf,
+            MaxrAlgorithm::Bt,
+            MaxrAlgorithm::Mb,
+        ] {
+            let legacy = algo.solve(&instance, &col, k, seed).unwrap();
+            let arena = algo.solve(&instance, &store, k, seed).unwrap();
+            prop_assert_eq!(
+                &legacy, &arena,
+                "{} diverged between backends", algo.name()
+            );
+        }
+    }
+}
