@@ -3,11 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use imc_community::{CommunitySet, ThresholdPolicy};
-use imc_core::maxr::bt::{bt, BtConfig};
-use imc_core::maxr::greedy::{greedy_c, greedy_nu};
-use imc_core::maxr::maf::maf;
-use imc_core::maxr::ubg::ubg;
-use imc_core::{RicCollection, RicSampler};
+use imc_core::maxr::engine::{greedy_c_with, greedy_nu_with};
+use imc_core::{
+    BtSolver, MafSolver, MaxrSolver, RicCollection, RicSampler, SolveRequest, SolveStrategy,
+    UbgSolver,
+};
 use imc_datasets::DatasetId;
 use imc_graph::WeightModel;
 use rand::rngs::StdRng;
@@ -35,17 +35,35 @@ fn bench_solvers(c: &mut Criterion) {
     let mut group = c.benchmark_group("maxr_solvers");
     group.sample_size(10);
     for k in [5usize, 20] {
-        group.bench_with_input(BenchmarkId::new("greedy_c", k), &k, |b, &k| {
-            b.iter(|| black_box(greedy_c(&col, k)));
+        group.bench_with_input(BenchmarkId::new("greedy_c_sequential", k), &k, |b, &k| {
+            b.iter(|| black_box(greedy_c_with(&col, k, SolveStrategy::Sequential)));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_c_lazy", k), &k, |b, &k| {
+            b.iter(|| black_box(greedy_c_with(&col, k, SolveStrategy::Lazy)));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_c_parallel4", k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(greedy_c_with(
+                    &col,
+                    k,
+                    SolveStrategy::Parallel { threads: 4 },
+                ))
+            });
         });
         group.bench_with_input(BenchmarkId::new("greedy_nu_celf", k), &k, |b, &k| {
-            b.iter(|| black_box(greedy_nu(&col, k)));
+            b.iter(|| black_box(greedy_nu_with(&col, k, SolveStrategy::Lazy)));
         });
         group.bench_with_input(BenchmarkId::new("ubg", k), &k, |b, &k| {
-            b.iter(|| black_box(ubg(&col, k)));
+            b.iter(|| black_box(UbgSolver.solve(&col, &SolveRequest::new(k)).unwrap()));
         });
         group.bench_with_input(BenchmarkId::new("maf", k), &k, |b, &k| {
-            b.iter(|| black_box(maf(&communities, &col, k, 1)));
+            b.iter(|| {
+                black_box(
+                    MafSolver::new(&communities)
+                        .solve(&col, &SolveRequest::new(k))
+                        .unwrap(),
+                )
+            });
         });
     }
     group.finish();
@@ -56,14 +74,13 @@ fn bench_solvers(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("bt_capped_100_pivots_k5", |b| {
         b.iter(|| {
-            black_box(bt(
-                &col,
-                5,
-                &BtConfig {
-                    depth: 2,
+            black_box(
+                BtSolver {
                     candidate_limit: Some(100),
-                },
-            ))
+                }
+                .solve(&col, &SolveRequest::new(5))
+                .unwrap(),
+            )
         });
     });
     group.finish();

@@ -10,9 +10,7 @@ use crate::experiments::ExpOptions;
 use crate::harness::{build_instance, dataset_graph, grade, Formation};
 use crate::report::{fmt_f, fmt_secs, Table};
 use imc_community::ThresholdPolicy;
-use imc_core::maxr::bt::{bt, BtConfig};
-use imc_core::maxr::ubg::ubg;
-use imc_core::{MaxrAlgorithm, RicCollection};
+use imc_core::{BtSolver, MaxrAlgorithm, MaxrSolver, RicCollection, SolveRequest, UbgSolver};
 use imc_datasets::DatasetId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -49,7 +47,9 @@ pub fn samples(options: &ExpOptions) -> std::io::Result<()> {
         let mut rng = StdRng::seed_from_u64(options.seed);
         collection.extend_with(&sampler, size, &mut rng);
         let start = Instant::now();
-        let outcome = ubg(&collection, k);
+        let outcome = UbgSolver
+            .solve(&collection, &SolveRequest::new(k))
+            .expect("nonzero budget");
         let elapsed = start.elapsed();
         let benefit = grade(
             &instance,
@@ -89,14 +89,11 @@ pub fn btd(options: &ExpOptions) -> std::io::Result<()> {
     // BT^3 with a candidate cap (full pivot scan at threshold 3 is the
     // k^{d-1} regime the paper warns about).
     let start = Instant::now();
-    let bt_out = bt(
-        &collection,
-        k,
-        &BtConfig {
-            depth: 3,
-            candidate_limit: Some(if options.quick { 10 } else { 50 }),
-        },
-    );
+    let bt_out = BtSolver {
+        candidate_limit: Some(if options.quick { 10 } else { 50 }),
+    }
+    .solve(&collection, &SolveRequest::new(k).with_depth(3))
+    .expect("thresholds bounded by 3");
     let bt_time = start.elapsed();
     let bt_benefit = grade(
         &instance,
@@ -117,7 +114,11 @@ pub fn btd(options: &ExpOptions) -> std::io::Result<()> {
     ] {
         let start = Instant::now();
         let sol = algo
-            .solve(&instance, &collection, k, options.seed)
+            .solve(
+                &instance,
+                &collection,
+                &SolveRequest::new(k).with_seed(options.seed),
+            )
             .expect("solvers valid on h=3 instance");
         let t = start.elapsed();
         let benefit = grade(
@@ -211,7 +212,11 @@ pub fn ratios(options: &ExpOptions) -> std::io::Result<()> {
             MaxrAlgorithm::Greedy,
         ] {
             let sol = algo
-                .solve(&instance, &collection, k, seed)
+                .solve(
+                    &instance,
+                    &collection,
+                    &SolveRequest::new(k).with_seed(seed),
+                )
                 .expect("bounded instance");
             let ratio = sol.influenced_samples as f64 / opt.influenced_samples as f64;
             table.push_row(vec![

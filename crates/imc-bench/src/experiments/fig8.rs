@@ -11,8 +11,8 @@ use crate::experiments::ExpOptions;
 use crate::harness::{build_instance, dataset_graph, Formation};
 use crate::report::{fmt_f, Table};
 use imc_community::ThresholdPolicy;
-use imc_core::maxr::greedy::greedy_nu;
-use imc_core::RicCollection;
+use imc_core::maxr::engine::greedy_nu_with;
+use imc_core::{RicCollection, SolveStrategy};
 use imc_datasets::DatasetId;
 use imc_diffusion::benefit::{monte_carlo_benefit, monte_carlo_fractional_benefit};
 use imc_diffusion::IndependentCascade;
@@ -51,7 +51,7 @@ pub fn run(options: &ExpOptions) -> std::io::Result<()> {
             let mut rng = StdRng::seed_from_u64(options.seed);
             collection.extend_with(&sampler, sample_count, &mut rng);
             for &k in ks {
-                let s_nu = greedy_nu(&collection, k);
+                let s_nu = greedy_nu_with(&collection, k, SolveStrategy::Lazy).seeds;
                 let c = monte_carlo_benefit(
                     instance.graph(),
                     instance.communities(),

@@ -8,6 +8,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod ric;
+pub mod solver;
 pub mod table1;
 
 use std::path::PathBuf;

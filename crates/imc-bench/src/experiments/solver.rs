@@ -1,0 +1,205 @@
+//! Solve-engine benchmark — sequential vs CELF-lazy vs lazy+parallel
+//! greedy on a fixed RIC collection.
+//!
+//! Times the shared engine's `ν_R` greedy (Alg. 2's CELF loop — the
+//! upper-bound arm of UBG, where Lemma 3 makes lazy evaluation sound)
+//! under each [`SolveStrategy`] on the Wiki-Vote analog, asserting that
+//! every strategy returns bitwise identical seeds. Besides the usual
+//! table it writes `BENCH_solver.json` (schema in `docs/BENCHMARKS.md`),
+//! the machine-readable record CI archives alongside `BENCH_ric.json`.
+//!
+//! The evaluation counts make the speedup legible: CELF wins by *doing
+//! less* (stale-gain pruning), the parallel strategy wins by fanning the
+//! surviving evaluations out to more cores — so `evaluations` drops
+//! sharply from sequential to lazy and stays nearly constant across
+//! thread counts (batched queue-popping re-checks a few extra entries).
+
+use crate::experiments::ExpOptions;
+use crate::harness::{build_instance, dataset_graph, Formation};
+use crate::report::{fmt_secs, Table};
+use imc_community::ThresholdPolicy;
+use imc_core::maxr::engine::greedy_nu_with;
+use imc_core::{RicStore, SolveStrategy};
+use imc_datasets::DatasetId;
+use imc_graph::NodeId;
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+/// Schema identifier stamped into `BENCH_solver.json`; bump when fields
+/// change meaning.
+pub const BENCH_SCHEMA: &str = "imc-bench/solver/v1";
+
+/// One strategy's timing row.
+struct StrategyRun {
+    strategy: &'static str,
+    threads: usize,
+    seconds: f64,
+    evaluations: u64,
+    speedup: f64,
+}
+
+/// Runs the benchmark, prints the table, and writes `BENCH_solver.json`
+/// into `--out` (or the working directory).
+pub fn run(options: &ExpOptions) -> std::io::Result<()> {
+    let (samples, k, thread_counts): (usize, usize, &[usize]) = if options.quick {
+        (4_000, 10, &[1, 2])
+    } else {
+        (40_000, 25, &[1, 2, 4, 8])
+    };
+
+    // Same instance recipe as the `ric` benchmark: the Wiki-Vote analog,
+    // Louvain communities capped at 8, bounded thresholds h = 2.
+    let dataset = DatasetId::WikiVote;
+    let graph = dataset_graph(dataset, 0.3 * options.scale, options.seed);
+    let instance = build_instance(
+        &graph,
+        Formation::Louvain,
+        8,
+        ThresholdPolicy::Constant(2),
+        options.seed,
+    );
+    let sampler = instance.sampler();
+    let mut store = RicStore::for_sampler(&sampler);
+    store.extend_parallel(&sampler, samples, options.seed);
+
+    let mut strategies: Vec<SolveStrategy> = vec![SolveStrategy::Sequential, SolveStrategy::Lazy];
+    strategies.extend(
+        thread_counts
+            .iter()
+            .map(|&threads| SolveStrategy::Parallel { threads }),
+    );
+
+    // Best-of-N wall clock per strategy (N = --runs) so one scheduler
+    // hiccup cannot invert the comparison; seeds must agree on every run.
+    let repeats = options.runs.max(1);
+    let mut rows: Vec<StrategyRun> = Vec::with_capacity(strategies.len());
+    let mut reference: Option<Vec<NodeId>> = None;
+    for strategy in strategies {
+        let mut seconds = f64::INFINITY;
+        let mut evaluations = 0;
+        for _ in 0..repeats {
+            let start = Instant::now();
+            let run = greedy_nu_with(&store, k, strategy);
+            seconds = seconds.min(start.elapsed().as_secs_f64());
+            evaluations = run.evaluations;
+            match &reference {
+                None => reference = Some(run.seeds),
+                Some(expected) => assert_eq!(
+                    expected,
+                    &run.seeds,
+                    "strategy {} ({} threads) diverged from the sequential seeds",
+                    strategy.label(),
+                    strategy.threads(),
+                ),
+            }
+        }
+        rows.push(StrategyRun {
+            strategy: strategy.label(),
+            threads: strategy.threads(),
+            seconds,
+            evaluations,
+            speedup: 0.0,
+        });
+    }
+    let sequential_seconds = rows[0].seconds;
+    for row in &mut rows {
+        row.speedup = sequential_seconds / row.seconds.max(1e-12);
+    }
+
+    let mut table = Table::new(
+        "Solve engine - greedy strategies on identical seeds",
+        &["strategy", "threads", "seconds", "evaluations", "speedup"],
+    );
+    for row in &rows {
+        table.push_row(vec![
+            row.strategy.to_string(),
+            row.threads.to_string(),
+            fmt_secs(std::time::Duration::from_secs_f64(row.seconds)),
+            row.evaluations.to_string(),
+            format!("{:.2}x", row.speedup),
+        ]);
+    }
+    table.emit(options.out_dir.as_deref())?;
+
+    let json = bench_json(imc_datasets::spec(dataset).name, samples, k, repeats, &rows);
+    let path = options
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| Path::new(".").to_path_buf())
+        .join("BENCH_solver.json");
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(json.as_bytes())?;
+    eprintln!("[solver] wrote {}", path.display());
+    Ok(())
+}
+
+fn bench_json(
+    dataset: &str,
+    samples: usize,
+    k: usize,
+    repeats: u64,
+    rows: &[StrategyRun],
+) -> String {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            format!(
+                concat!(
+                    "    {{ \"strategy\": \"{strategy}\", \"threads\": {threads}, ",
+                    "\"seconds\": {seconds:.6}, \"evaluations\": {evaluations}, ",
+                    "\"speedup_vs_sequential\": {speedup:.3} }}",
+                ),
+                strategy = row.strategy,
+                threads = row.threads,
+                seconds = row.seconds,
+                evaluations = row.evaluations,
+                speedup = row.speedup,
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"{schema}\",\n",
+            "  \"dataset\": \"{dataset}\",\n",
+            "  \"objective\": \"nu_greedy\",\n",
+            "  \"samples\": {samples},\n",
+            "  \"k\": {k},\n",
+            "  \"runs_per_strategy\": {repeats},\n",
+            "  \"seeds_identical\": true,\n",
+            "  \"strategies\": [\n{entries}\n  ]\n",
+            "}}\n",
+        ),
+        schema = BENCH_SCHEMA,
+        dataset = dataset,
+        samples = samples,
+        k = k,
+        repeats = repeats,
+        entries = entries.join(",\n"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_tiny_scale_and_writes_json() {
+        let dir = std::env::temp_dir().join(format!("imc-bench-solver-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let options = ExpOptions {
+            scale: 0.2,
+            out_dir: Some(dir.clone()),
+            ..ExpOptions::smoke()
+        };
+        run(&options).unwrap();
+        let json = std::fs::read_to_string(dir.join("BENCH_solver.json")).unwrap();
+        assert!(json.contains(BENCH_SCHEMA));
+        assert!(json.contains("\"objective\": \"nu_greedy\""));
+        assert!(json.contains("\"seeds_identical\": true"));
+        assert!(json.contains("\"speedup_vs_sequential\""));
+        assert!(json.contains("\"strategy\": \"parallel\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -162,6 +162,7 @@ pub fn run_method(
                 epsilon: EPSILON,
                 delta: DELTA,
                 max_samples,
+                strategy: imc_core::SolveStrategy::Lazy,
             };
             match imcaf(instance, algo, &cfg, seed) {
                 Ok(res) => res.seeds,

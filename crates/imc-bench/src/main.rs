@@ -16,6 +16,8 @@
 //!   ablation-nonsub   submodularity violation rate per threshold regime
 //!   ablation-ratios   empirical ratios vs the exact MAXR optimum
 //!   ric               RicStore microbenchmarks (writes BENCH_ric.json)
+//!   solver            solve-engine strategies: sequential vs lazy vs parallel
+//!                     (writes BENCH_solver.json)
 //!   all               everything above
 //! ```
 
@@ -30,7 +32,7 @@ fn main() -> ExitCode {
             "usage: imc-bench <experiment> [--scale F] [--quick] [--runs N] [--seed N] [--out DIR] \
              [--trace FILE] [--metrics-out FILE]"
         );
-        eprintln!("experiments: table1 fig4 fig5 fig6 fig7 fig8 ablation-samples ablation-btd ablation-nonsub ablation-ratios ric all");
+        eprintln!("experiments: table1 fig4 fig5 fig6 fig7 fig8 ablation-samples ablation-btd ablation-nonsub ablation-ratios ric solver all");
         return ExitCode::FAILURE;
     };
     let mut options = ExpOptions::default();
@@ -116,6 +118,7 @@ fn main() -> ExitCode {
         "ablation-nonsub" => experiments::ablations::nonsubmodularity(&options),
         "ablation-ratios" => experiments::ablations::ratios(&options),
         "ric" => experiments::ric::run(&options),
+        "solver" => experiments::solver::run(&options),
         "all" => experiments::table1::run(&options)
             .and_then(|_| experiments::fig4::run(&options))
             .and_then(|_| experiments::fig5::run(&options))
@@ -126,7 +129,8 @@ fn main() -> ExitCode {
             .and_then(|_| experiments::ablations::btd(&options))
             .and_then(|_| experiments::ablations::nonsubmodularity(&options))
             .and_then(|_| experiments::ablations::ratios(&options))
-            .and_then(|_| experiments::ric::run(&options)),
+            .and_then(|_| experiments::ric::run(&options))
+            .and_then(|_| experiments::solver::run(&options)),
         other => return usage_error(&format!("unknown experiment {other}")),
     };
     // Dump the accumulated solver metrics (same registry the daemon

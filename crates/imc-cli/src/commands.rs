@@ -6,7 +6,7 @@ use crate::args::Args;
 use crate::community_io::{read_assignments, write_assignments};
 use crate::{CliError, Result};
 use imc_community::{BenefitPolicy, CommunitySet, ThresholdPolicy};
-use imc_core::{imcaf, ImcInstance, ImcafConfig, MaxrAlgorithm};
+use imc_core::{imcaf, ImcInstance, ImcafConfig, MaxrAlgorithm, SolveStrategy};
 use imc_diffusion::dagum::dagum_benefit;
 use imc_diffusion::IndependentCascade;
 use imc_graph::edgelist::{self, ParseOptions};
@@ -214,7 +214,9 @@ fn communities<W: Write>(args: &Args, out: &mut W) -> Result<()> {
 
 /// `imc solve`: runs IMCAF with the chosen MAXR solver. With
 /// `--trace FILE`, every IMCAF round, Estimate call, and MAXR solve is
-/// appended to FILE as one JSON line (see `docs/METRICS.md`).
+/// appended to FILE as one JSON line (see `docs/METRICS.md`). With
+/// `--threads N` (N > 1) the inner greedy sweeps shard their marginal-gain
+/// scans across N threads; seeds are bitwise identical for every N.
 fn solve<W: Write>(args: &Args, out: &mut W) -> Result<()> {
     install_trace(args)?;
     let graph = load_graph(args)?;
@@ -232,11 +234,16 @@ fn solve<W: Write>(args: &Args, out: &mut W) -> Result<()> {
             )))
         }
     };
+    let threads: usize = args.get_or("threads", 1usize)?;
+    if threads == 0 {
+        return Err(CliError::Usage("--threads must be at least 1".into()));
+    }
     let config = ImcafConfig {
         k,
         epsilon: args.get_or("epsilon", 0.2f64)?,
         delta: args.get_or("delta", 0.2f64)?,
         max_samples: args.get_or("max-samples", 1usize << 20)?,
+        strategy: SolveStrategy::with_threads(threads),
     };
     let seed: u64 = args.get_or("seed", 1u64)?;
     let result = imcaf(&instance, algo, &config, seed)?;
@@ -528,6 +535,61 @@ mod tests {
         std::fs::remove_file(&graph_path).ok();
         std::fs::remove_file(&comm_path).ok();
         std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
+    fn solve_threads_flag_is_seed_invariant() {
+        let graph_path = tmp("gp.txt");
+        let comm_path = tmp("cp.txt");
+        run_str(
+            "generate",
+            &[
+                "--model",
+                "pp",
+                "--nodes",
+                "60",
+                "--blocks",
+                "6",
+                "--p-in",
+                "0.4",
+                "--p-out",
+                "0.02",
+                "--seed",
+                "4",
+                "--out",
+                &graph_path,
+            ],
+        )
+        .unwrap();
+        let mut assignments = String::new();
+        for v in 0..60 {
+            assignments.push_str(&format!("{v} {}\n", v / 10));
+        }
+        std::fs::write(&comm_path, assignments).unwrap();
+        let base = [
+            "--graph",
+            &graph_path,
+            "--communities",
+            &comm_path,
+            "--k",
+            "3",
+            "--algo",
+            "ubg",
+            "--max-samples",
+            "2000",
+            "--quiet",
+        ];
+        let seq = run_str("solve", &base).unwrap();
+        for threads in ["1", "2", "4"] {
+            let mut tokens = base.to_vec();
+            tokens.extend(["--threads", threads]);
+            assert_eq!(run_str("solve", &tokens).unwrap(), seq, "threads={threads}");
+        }
+        let mut tokens = base.to_vec();
+        tokens.extend(["--threads", "0"]);
+        assert!(matches!(run_str("solve", &tokens), Err(CliError::Usage(_))));
+        std::fs::remove_file(&graph_path).ok();
+        std::fs::remove_file(&comm_path).ok();
     }
 
     #[test]

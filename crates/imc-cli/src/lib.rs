@@ -18,8 +18,8 @@
 //! imc snapshot save --graph g.txt --communities c.txt --samples 100000 --out warm.snap
 //! imc serve --graph g.txt --communities c.txt --snapshot warm.snap --addr 127.0.0.1:7744 \
 //!           --metrics-port 9464
-//! imc query --addr 127.0.0.1:7744 --op solve --k 10 --algo maf
-//! imc solve --graph g.txt --communities c.txt --k 10 --trace run.jsonl
+//! imc query --addr 127.0.0.1:7744 --op solve --k 10 --algo maf --threads 4
+//! imc solve --graph g.txt --communities c.txt --k 10 --threads 4 --trace run.jsonl
 //! curl http://127.0.0.1:9464/metrics     # Prometheus 0.0.4 exposition
 //! ```
 

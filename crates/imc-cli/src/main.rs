@@ -6,14 +6,16 @@
 //! commands:
 //!   generate     synthesize a graph (--model ba|er|ws|pp|rmat) to an edge list
 //!   communities  detect communities (--method louvain|lpa|random) to a file
-//!   solve        run IMCAF (--algo ubg|maf|mb|bt|greedy) on graph + communities
+//!   solve        run IMCAF (--algo ubg|maf|mb|bt|greedy, --threads N) on graph + communities
 //!   estimate     grade a seed set (--seeds 1,2,3) with the Dagum estimator
 //!   stats        structural statistics of a graph
 //!   dot          render graph (+communities, +seeds) as Graphviz DOT
 //!   serve        run the query daemon (--addr, --workers, --snapshot, --refresh-target,
+//!                --max-solve-threads N per-request parallelism cap,
 //!                --metrics-port N for a Prometheus GET /metrics listener)
 //!   query        send one request to a daemon
-//!                (--addr, --op solve|estimate|stats|metrics|health|shutdown)
+//!                (--addr, --op solve|estimate|stats|metrics|health|shutdown;
+//!                 solve tuning: --threads N, --mode sequential|lazy|parallel, --depth D)
 //!   snapshot     save | load a persistent RIC sample store (--samples, --out / --file)
 //!
 //! common flags:

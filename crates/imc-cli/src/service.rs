@@ -46,6 +46,9 @@ fn snap_err(e: SnapshotError) -> CliError {
 /// `--metrics-port-file` writes the bound address). The main port also
 /// answers `GET /metrics` either way. `--trace FILE` appends solver
 /// events as JSON lines while the daemon runs.
+///
+/// `--max-solve-threads N` caps the per-request `threads` tuning knob
+/// (protocol v2) so one client cannot monopolize the host; default 4.
 pub fn serve<W: Write>(args: &Args, out: &mut W) -> Result<()> {
     crate::commands::install_trace(args)?;
     let graph = load_graph(args)?;
@@ -85,6 +88,7 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> Result<()> {
         deadline: Duration::from_millis(args.get_or("deadline-ms", 30_000u64)?),
         refresh,
         metrics_addr,
+        max_solve_threads: args.get_or("max-solve-threads", 4usize)?,
     };
     let state = Arc::new(state);
     let server = Server::start(Arc::clone(&state), config)?;
@@ -142,6 +146,23 @@ fn build_request(args: &Args) -> Result<String> {
             }
             if args.get("seed").is_some() {
                 builder = builder.field("seed", args.required_as::<u64>("seed")?);
+            }
+            // Protocol-v2 tuning knobs; the daemon clamps `threads` to its
+            // own `--max-solve-threads` cap.
+            let tuned = ["threads", "mode", "depth"]
+                .iter()
+                .any(|f| args.get(f).is_some());
+            if tuned {
+                builder = builder.field("v", 2u64);
+            }
+            if args.get("threads").is_some() {
+                builder = builder.field("threads", args.required_as::<u64>("threads")?);
+            }
+            if let Some(mode) = args.get("mode") {
+                builder = builder.field("mode", mode);
+            }
+            if args.get("depth").is_some() {
+                builder = builder.field("depth", args.required_as::<u64>("depth")?);
             }
             if let Some(framework) = args.get("framework") {
                 builder = builder.field("framework", framework);
@@ -430,6 +451,28 @@ mod tests {
         )
         .unwrap();
         assert!(estimated.contains(r#""estimate":"#), "{estimated}");
+
+        // Protocol-v2 tuning knobs pass through and are echoed back.
+        let tuned = run_str(
+            "query",
+            &[
+                "--addr",
+                &addr,
+                "--op",
+                "solve",
+                "--k",
+                "2",
+                "--algo",
+                "greedy",
+                "--threads",
+                "2",
+                "--mode",
+                "parallel",
+            ],
+        )
+        .unwrap();
+        assert!(tuned.contains(r#""mode":"parallel""#), "{tuned}");
+        assert!(tuned.contains(r#""threads":2"#), "{tuned}");
 
         let raw = run_str("query", &["--addr", &addr, "--raw", r#"{"op":"nope"}"#]).unwrap();
         assert!(raw.contains(r#""ok":false"#), "{raw}");

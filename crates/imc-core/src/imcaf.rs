@@ -23,7 +23,7 @@
 
 use crate::bounds::{lambda, psi, BoundParams};
 use crate::estimate::estimate_c;
-use crate::{ImcError, ImcInstance, MaxrAlgorithm, Result, RicStore};
+use crate::{ImcError, ImcInstance, MaxrAlgorithm, Result, RicStore, SolveRequest, SolveStrategy};
 use imc_graph::NodeId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,6 +41,9 @@ pub struct ImcafConfig {
     /// for small `α`). The theoretical guarantee holds only when the run
     /// ends by convergence or by reaching `Ψ` itself.
     pub max_samples: usize,
+    /// Engine strategy the inner MAXR solves run with. Seeds are identical
+    /// for every strategy; only wall-clock and evaluation counts change.
+    pub strategy: SolveStrategy,
 }
 
 impl ImcafConfig {
@@ -51,6 +54,7 @@ impl ImcafConfig {
             epsilon: 0.2,
             delta: 0.2,
             max_samples: 1 << 20,
+            strategy: SolveStrategy::Lazy,
         }
     }
 }
@@ -271,7 +275,10 @@ fn imcaf_inner(
     let mut rounds = 0usize;
     loop {
         rounds += 1;
-        let solution = algorithm.solve(instance, &collection, k, seed ^ rounds as u64)?;
+        let req = SolveRequest::new(k)
+            .with_seed(seed ^ rounds as u64)
+            .with_strategy(config.strategy);
+        let solution = algorithm.solve(instance, &collection, &req)?;
         let mut record = RoundRecord {
             round: rounds,
             samples: collection.len(),

@@ -80,7 +80,12 @@ pub use collection::{CollectionStats, RicCollection, SampleRef};
 pub use error::ImcError;
 pub use generator::{LiveEdgeModel, RicSampler, SampleBuf};
 pub use imcaf::{imcaf, imcaf_with_trace, ImcafConfig, ImcafResult, RoundRecord, StopReason};
-pub use maxr::{MaxrAlgorithm, MaxrSolution};
+#[allow(deprecated)]
+pub use maxr::MaxrSolution;
+pub use maxr::{
+    BtSolver, GreedyRun, GreedySolver, MafSolver, MaxrAlgorithm, MaxrSolver, MbSolver, SolveReport,
+    SolveRequest, SolveStrategy, SolverExtras, UbgSolver,
+};
 pub use objective::CoverageState;
 pub use problem::ImcInstance;
 pub use sample::RicSample;

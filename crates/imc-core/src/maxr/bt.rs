@@ -18,7 +18,7 @@
 //! [`BtConfig::candidate_limit`] optionally restricts pivots to the
 //! most-appearing nodes for an ablation-grade speedup.
 
-use crate::maxr::greedy::greedy_c;
+use crate::maxr::engine::{greedy_c_with, shard_map, SolveStrategy};
 use crate::maxr::pad_to_k;
 use crate::samples::limbs_for_width;
 use crate::{RicSamples, RicStore};
@@ -62,20 +62,57 @@ pub struct BtOutcome {
 /// Panics if `config.depth < 2` or any sample's threshold exceeds
 /// `config.depth` (the enum wrapper
 /// [`MaxrAlgorithm`](crate::MaxrAlgorithm) checks this fallibly).
+#[deprecated(note = "use `BtSolver` or `MaxrAlgorithm::Bt.solve` (see docs/SOLVER_API.md)")]
 pub fn bt<C: RicSamples>(collection: &C, k: usize, config: &BtConfig) -> BtOutcome {
-    assert!(config.depth >= 2, "BT depth must be at least 2");
+    bt_with(
+        collection,
+        k,
+        config.depth,
+        config.candidate_limit,
+        SolveStrategy::Lazy,
+    )
+    .0
+}
+
+/// Strategy-aware BT core used by [`BtSolver`](crate::maxr::solver::BtSolver)
+/// and the deprecated [`bt`] shim. The per-pivot subproblems are independent,
+/// so they are sharded across workers via the engine; the reduce below walks
+/// results in candidate order, which keeps the winning pivot (ties broken by
+/// smaller pivot id) identical for any thread count. Inner greedy/recursive
+/// calls always run single-threaded — the outer pivot loop is where the
+/// parallelism pays. Returns the outcome plus the total number of objective
+/// evaluations (one `pivot_score` per candidate plus all inner-greedy gains).
+///
+/// # Panics
+///
+/// Panics if `depth < 2` or any sample's threshold exceeds `depth`.
+pub(crate) fn bt_with<C: RicSamples>(
+    collection: &C,
+    k: usize,
+    depth: u32,
+    candidate_limit: Option<usize>,
+    strategy: SolveStrategy,
+) -> (BtOutcome, u64) {
+    assert!(depth >= 2, "BT depth must be at least 2");
     assert!(
-        (0..collection.len()).all(|si| collection.sample_threshold(si) <= config.depth),
-        "BT^{}: a sample exceeds the threshold bound",
-        config.depth
+        (0..collection.len()).all(|si| collection.sample_threshold(si) <= depth),
+        "BT^{depth}: a sample exceeds the threshold bound"
     );
     let k = k.min(collection.node_count()).max(1);
-    let candidates = pivot_candidates(collection, config.candidate_limit);
+    let candidates = pivot_candidates(collection, candidate_limit);
 
-    let mut best: Option<(usize, NodeId, Vec<NodeId>)> = None;
-    for &u in &candidates {
-        let kset = seeds_for_pivot(collection, u, k, config.depth);
+    let runs = shard_map(candidates.len(), strategy.threads(), |i| {
+        let u = candidates[i];
+        let (kset, inner_evals) = seeds_for_pivot(collection, u, k, depth);
         let score = pivot_score(collection, u, &kset);
+        (score, kset, inner_evals)
+    });
+
+    let mut evaluations = candidates.len() as u64;
+    let mut best: Option<(usize, NodeId, Vec<NodeId>)> = None;
+    for (i, (score, kset, inner_evals)) in runs.into_iter().enumerate() {
+        evaluations += inner_evals;
+        let u = candidates[i];
         let better = match &best {
             None => true,
             Some((bs, bu, _)) => score > *bs || (score == *bs && u < *bu),
@@ -84,7 +121,7 @@ pub fn bt<C: RicSamples>(collection: &C, k: usize, config: &BtConfig) -> BtOutco
             best = Some((score, u, kset));
         }
     }
-    match best {
+    let outcome = match best {
         Some((score, u, mut seeds)) => {
             pad_to_k(collection, &mut seeds, k);
             BtOutcome {
@@ -103,7 +140,8 @@ pub fn bt<C: RicSamples>(collection: &C, k: usize, config: &BtConfig) -> BtOutco
                 pivot_score: 0,
             }
         }
-    }
+    };
+    (outcome, evaluations)
 }
 
 /// Nodes worth trying as pivots, most-appearing first.
@@ -125,31 +163,32 @@ fn pivot_candidates<C: RicSamples>(collection: &C, limit: Option<usize>) -> Vec<
 
 /// Builds `K(u)`: `{u}` plus `k − 1` helpers chosen on the reduced
 /// collection (greedy for residual thresholds ≤ 1, recursive BT otherwise).
-fn seeds_for_pivot<C: RicSamples>(collection: &C, u: NodeId, k: usize, depth: u32) -> Vec<NodeId> {
+/// Returns the helper set plus the inner evaluation count.
+fn seeds_for_pivot<C: RicSamples>(
+    collection: &C,
+    u: NodeId,
+    k: usize,
+    depth: u32,
+) -> (Vec<NodeId>, u64) {
     let mut kset = vec![u];
     if k == 1 {
-        return kset;
+        return (kset, 0);
     }
     let reduced = reduce_for_pivot(collection, u);
-    let helpers = if depth <= 2 || (0..reduced.len()).all(|si| reduced.sample_threshold(si) <= 1) {
-        greedy_c(&reduced, k - 1)
-    } else {
-        bt(
-            &reduced,
-            k - 1,
-            &BtConfig {
-                depth: depth - 1,
-                candidate_limit: None,
-            },
-        )
-        .seeds
-    };
+    let (helpers, inner_evals) =
+        if depth <= 2 || (0..reduced.len()).all(|si| reduced.sample_threshold(si) <= 1) {
+            let run = greedy_c_with(&reduced, k - 1, SolveStrategy::Lazy);
+            (run.seeds, run.evaluations)
+        } else {
+            let (out, evals) = bt_with(&reduced, k - 1, depth - 1, None, SolveStrategy::Lazy);
+            (out.seeds, evals)
+        };
     for h in helpers {
         if h != u && kset.len() < k {
             kset.push(h);
         }
     }
-    kset
+    (kset, inner_evals)
 }
 
 /// Lines 2–7 of Alg. 4: copy the samples `u` touches, remove the members
@@ -238,6 +277,17 @@ mod tests {
         }
     }
 
+    fn run(col: &RicCollection, k: usize, config: &BtConfig) -> BtOutcome {
+        bt_with(
+            col,
+            k,
+            config.depth,
+            config.candidate_limit,
+            SolveStrategy::Lazy,
+        )
+        .0
+    }
+
     /// Node 0 touches all three h=2 samples covering member 0; nodes 1, 2,
     /// 3 each complete one sample.
     fn hub_collection() -> RicCollection {
@@ -251,7 +301,7 @@ mod tests {
     #[test]
     fn bt_picks_hub_pivot_and_completers() {
         let col = hub_collection();
-        let out = bt(&col, 3, &BtConfig::default());
+        let out = run(&col, 3, &BtConfig::default());
         assert_eq!(out.pivot, Some(NodeId::new(0)));
         // {0} + 2 completers influence 2 samples.
         assert_eq!(out.pivot_score, 2);
@@ -262,7 +312,7 @@ mod tests {
     #[test]
     fn bt_k4_wins_everything() {
         let col = hub_collection();
-        let out = bt(&col, 4, &BtConfig::default());
+        let out = run(&col, 4, &BtConfig::default());
         assert_eq!(col.influenced_count(&out.seeds), 3);
         assert_eq!(out.pivot_score, 3);
     }
@@ -272,7 +322,7 @@ mod tests {
         // Node 4 covers both members of one sample alone.
         let mut col = hub_collection();
         col.push(sample(0, 2, 2, &[(4, &[0, 1])]));
-        let out = bt(&col, 1, &BtConfig::default());
+        let out = run(&col, 1, &BtConfig::default());
         assert_eq!(out.pivot, Some(NodeId::new(4)));
         assert_eq!(out.pivot_score, 1);
         assert_eq!(out.seeds, vec![NodeId::new(4)]);
@@ -301,7 +351,7 @@ mod tests {
     #[test]
     fn candidate_limit_restricts_pivots() {
         let col = hub_collection();
-        let limited = bt(
+        let limited = run(
             &col,
             3,
             &BtConfig {
@@ -320,7 +370,7 @@ mod tests {
         // reduces to h=2, recursion finds the rest.
         let mut col = RicCollection::new(5, 1, 1.0);
         col.push(sample(0, 3, 3, &[(1, &[0]), (2, &[1]), (3, &[2])]));
-        let out = bt(
+        let out = run(
             &col,
             3,
             &BtConfig {
@@ -337,13 +387,13 @@ mod tests {
     fn depth2_rejects_threshold3_samples() {
         let mut col = RicCollection::new(5, 1, 1.0);
         col.push(sample(0, 3, 3, &[(1, &[0]), (2, &[1]), (3, &[2])]));
-        let _ = bt(&col, 2, &BtConfig::default());
+        let _ = run(&col, 2, &BtConfig::default());
     }
 
     #[test]
     fn empty_collection_falls_back_to_padding() {
         let col = RicCollection::new(4, 1, 1.0);
-        let out = bt(&col, 2, &BtConfig::default());
+        let out = run(&col, 2, &BtConfig::default());
         assert_eq!(out.pivot, None);
         assert_eq!(out.seeds.len(), 2);
     }
@@ -353,7 +403,7 @@ mod tests {
         // ĉ(S_BT) ≥ (1−1/e)/k · ĉ(S_OPT) must hold on the hub instance:
         // OPT(k=3) = 2 (e.g. {0,1,2}), bound = (1−1/e)/3 · 2 ≈ 0.42.
         let col = hub_collection();
-        let out = bt(&col, 3, &BtConfig::default());
+        let out = run(&col, 3, &BtConfig::default());
         let bound = (1.0 - 1.0 / std::f64::consts::E) / 3.0 * 2.0;
         assert!(col.influenced_count(&out.seeds) as f64 >= bound);
     }
@@ -362,8 +412,17 @@ mod tests {
     fn deterministic() {
         let col = hub_collection();
         assert_eq!(
-            bt(&col, 3, &BtConfig::default()),
-            bt(&col, 3, &BtConfig::default())
+            run(&col, 3, &BtConfig::default()),
+            run(&col, 3, &BtConfig::default())
         );
+    }
+
+    /// The deprecated shim must stay behaviourally pinned to `bt_with`.
+    #[test]
+    #[allow(deprecated)]
+    fn shim_matches_core() {
+        let col = hub_collection();
+        let config = BtConfig::default();
+        assert_eq!(bt(&col, 3, &config), run(&col, 3, &config));
     }
 }

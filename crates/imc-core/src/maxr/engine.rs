@@ -1,0 +1,714 @@
+//! The shared solve engine: strategy-aware greedy selection over RIC
+//! samples, combining CELF lazy evaluation with a deterministic scoped
+//! thread pool for parallel marginal-gain evaluation.
+//!
+//! Every strategy returns **bitwise-identical seed sets**:
+//!
+//! * [`SolveStrategy::Sequential`] is the reference — a full re-scan of
+//!   every candidate per round, exactly the paper's greedy loops.
+//! * [`SolveStrategy::Lazy`] prunes evaluations with a priority queue.
+//!   For the submodular `ν_R` (Lemma 3) this is classic CELF on cached
+//!   gains. `ĉ_R` is **non-submodular** (Lemma 2), so cached gains are
+//!   not upper bounds there; instead the queue is keyed by the node's
+//!   *potential* — the number of still-uninfluenced samples it touches —
+//!   which only shrinks as seeds are added and always dominates the
+//!   gain. Both queues break ties toward the smaller [`NodeId`] and a
+//!   round ends only when no queued entry can beat the verified best, so
+//!   the pick equals the sequential argmax every round.
+//! * [`SolveStrategy::Parallel`] evaluates queue batches on scoped worker
+//!   threads. Work is split into fixed-width shards whose boundaries
+//!   depend only on the item count, each shard's results are written back
+//!   in shard order, and the argmax reduction runs over that fixed order
+//!   under a total order on `(gain, node)` — so the outcome is identical
+//!   for *any* thread count, including 1.
+
+use crate::maxr::pad_to_k;
+use crate::{CoverageState, RicSamples};
+use imc_graph::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Mutex;
+
+/// How a solver schedules marginal-gain evaluations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolveStrategy {
+    /// Full re-scan of every candidate per round, single-threaded — the
+    /// reference semantics every other strategy reproduces exactly.
+    Sequential,
+    /// CELF lazy evaluation, single-threaded (the default).
+    #[default]
+    Lazy,
+    /// CELF lazy evaluation with gains computed on scoped worker threads.
+    Parallel {
+        /// Worker threads (clamped to ≥ 1; `1` behaves like [`Lazy`](Self::Lazy)).
+        threads: usize,
+    },
+}
+
+impl SolveStrategy {
+    /// Number of evaluation threads this strategy uses.
+    pub fn threads(self) -> usize {
+        match self {
+            SolveStrategy::Sequential | SolveStrategy::Lazy => 1,
+            SolveStrategy::Parallel { threads } => threads.max(1),
+        }
+    }
+
+    /// Stable label used in reports and the service protocol.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolveStrategy::Sequential => "sequential",
+            SolveStrategy::Lazy => "lazy",
+            SolveStrategy::Parallel { .. } => "parallel",
+        }
+    }
+
+    /// The strategy a thread-count knob maps to: `Lazy` for ≤ 1 thread,
+    /// `Parallel` otherwise.
+    pub fn with_threads(threads: usize) -> Self {
+        if threads > 1 {
+            SolveStrategy::Parallel { threads }
+        } else {
+            SolveStrategy::Lazy
+        }
+    }
+}
+
+/// Outcome of one engine greedy run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GreedyRun {
+    /// Selected seeds, in pick order, padded to exactly `min(k, n)`.
+    pub seeds: Vec<NodeId>,
+    /// Marginal-gain evaluations performed — the engine's work measure.
+    /// Deterministic for a fixed strategy; lazy strategies report fewer.
+    pub evaluations: u64,
+}
+
+/// Fixed shard width. Work is split into `⌈len/SHARD⌉` chunks whose
+/// boundaries depend only on the item count — never on the thread count —
+/// so the concatenated result equals the sequential map exactly.
+const SHARD: usize = 256;
+
+/// Below this many items the spawn overhead outweighs the parallelism and
+/// the map runs inline.
+const MIN_PARALLEL_ITEMS: usize = 192;
+
+/// Maps `eval` over `0..len`, fanning shards out to `threads` scoped
+/// workers, and returns the results in index order — bit-identical to
+/// `(0..len).map(eval).collect()` for any thread count.
+pub(crate) fn shard_map<T, F>(len: usize, threads: usize, eval: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || len < MIN_PARALLEL_ITEMS {
+        return (0..len).map(eval).collect();
+    }
+    let shards = len.div_ceil(SHARD);
+    let workers = threads.min(shards);
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::with_capacity(shards));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let s = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                if s >= shards {
+                    break;
+                }
+                let lo = s * SHARD;
+                let hi = ((s + 1) * SHARD).min(len);
+                let vals: Vec<T> = (lo..hi).map(&eval).collect();
+                collected
+                    .lock()
+                    .expect("shard results poisoned")
+                    .push((s, vals));
+            });
+        }
+    });
+    let mut groups = collected.into_inner().expect("shard results poisoned");
+    groups.sort_unstable_by_key(|&(s, _)| s);
+    groups.into_iter().flat_map(|(_, vals)| vals).collect()
+}
+
+/// Entries popped per evaluation batch: classic one-at-a-time CELF when
+/// single-threaded, a thread-scaled batch when parallel. Evaluating a
+/// slightly larger superset of candidates never changes the argmax.
+fn batch_cap(threads: usize) -> usize {
+    if threads <= 1 {
+        1
+    } else {
+        threads * 64
+    }
+}
+
+/// Strategy-aware greedy on `ĉ_R` (the number of influenced samples).
+///
+/// All strategies return the seed set of the paper's plain re-evaluating
+/// greedy: per round the argmax of the marginal gain, ties to the
+/// smallest node id, stopping (then padding) once no gain is positive.
+pub fn greedy_c_with<C: RicSamples>(
+    collection: &C,
+    k: usize,
+    strategy: SolveStrategy,
+) -> GreedyRun {
+    match strategy {
+        SolveStrategy::Sequential => greedy_c_sequential(collection, k),
+        SolveStrategy::Lazy | SolveStrategy::Parallel { .. } => {
+            greedy_c_lazy(collection, k, strategy.threads())
+        }
+    }
+}
+
+/// Strategy-aware CELF greedy on the submodular upper bound `ν_R`.
+///
+/// All strategies return the seed set of plain greedy on `ν_R`: per round
+/// the argmax of the fractional gain under `f64::total_cmp`, ties to the
+/// smallest node id, stopping once the best gain is ≤ `1e-15`.
+pub fn greedy_nu_with<C: RicSamples>(
+    collection: &C,
+    k: usize,
+    strategy: SolveStrategy,
+) -> GreedyRun {
+    match strategy {
+        SolveStrategy::Sequential => greedy_nu_sequential(collection, k),
+        SolveStrategy::Lazy | SolveStrategy::Parallel { .. } => {
+            greedy_nu_lazy(collection, k, strategy.threads())
+        }
+    }
+}
+
+fn greedy_c_sequential<C: RicSamples>(collection: &C, k: usize) -> GreedyRun {
+    let k = k.min(collection.node_count());
+    let mut state = CoverageState::new(collection);
+    let candidates: Vec<NodeId> = (0..collection.node_count() as u32)
+        .map(NodeId::new)
+        .filter(|&v| collection.appearance_count(v) > 0)
+        .collect();
+    let mut used = vec![false; collection.node_count()];
+    let mut seeds = Vec::with_capacity(k);
+    let mut evaluations = 0u64;
+    for _ in 0..k {
+        let mut best: Option<(usize, NodeId)> = None;
+        for &v in &candidates {
+            if used[v.index()] {
+                continue;
+            }
+            let gain = state.marginal_influenced(v);
+            evaluations += 1;
+            let better = match best {
+                None => gain > 0,
+                Some((bg, bv)) => gain > bg || (gain == bg && gain > 0 && v < bv),
+            };
+            if better {
+                best = Some((gain, v));
+            }
+        }
+        match best {
+            Some((_, v)) => {
+                state.add_seed(v);
+                used[v.index()] = true;
+                seeds.push(v);
+            }
+            None => break,
+        }
+    }
+    pad_to_k(collection, &mut seeds, k);
+    GreedyRun { seeds, evaluations }
+}
+
+/// Lazy-queue entry for `ĉ_R`: keyed by the node's *potential* (samples it
+/// touches that are not yet influenced), which upper-bounds every future
+/// gain even though `ĉ_R` is non-submodular.
+#[derive(Debug, PartialEq, Eq)]
+struct UbEntry {
+    ub: usize,
+    node: u32,
+}
+
+impl Ord for UbEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.ub
+            .cmp(&other.ub)
+            .then_with(|| other.node.cmp(&self.node)) // prefer smaller id on tie
+    }
+}
+
+impl PartialOrd for UbEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn greedy_c_lazy<C: RicSamples>(collection: &C, k: usize, threads: usize) -> GreedyRun {
+    let k = k.min(collection.node_count());
+    let mut state = CoverageState::new(collection);
+    // Initial potential = appearance count (no sample is influenced yet).
+    let mut heap: BinaryHeap<UbEntry> = (0..collection.node_count() as u32)
+        .filter_map(|v| {
+            let ub = collection.appearance_count(NodeId::new(v));
+            (ub > 0).then_some(UbEntry { ub, node: v })
+        })
+        .collect();
+    let cap = batch_cap(threads);
+    let mut seeds = Vec::with_capacity(k);
+    let mut evaluations = 0u64;
+    let mut batch: Vec<UbEntry> = Vec::new();
+    let mut evaluated: Vec<UbEntry> = Vec::new();
+    while seeds.len() < k {
+        let mut best: Option<(usize, u32)> = None;
+        evaluated.clear();
+        loop {
+            batch.clear();
+            while batch.len() < cap {
+                let viable = match (heap.peek(), best) {
+                    (None, _) => false,
+                    (Some(top), None) => top.ub > 0,
+                    (Some(top), Some((bg, bv))) => top.ub > bg || (top.ub == bg && top.node < bv),
+                };
+                if !viable {
+                    break;
+                }
+                batch.push(heap.pop().expect("peeked entry"));
+            }
+            if batch.is_empty() {
+                break;
+            }
+            let gains: Vec<(usize, usize)> = shard_map(batch.len(), threads, |i| {
+                state.marginal_influenced_with_potential(NodeId::new(batch[i].node))
+            });
+            evaluations += batch.len() as u64;
+            for (e, &(gain, potential)) in batch.iter().zip(&gains) {
+                let better = match best {
+                    None => gain > 0,
+                    Some((bg, bv)) => gain > bg || (gain == bg && gain > 0 && e.node < bv),
+                };
+                if better {
+                    best = Some((gain, e.node));
+                }
+                evaluated.push(UbEntry {
+                    ub: potential,
+                    node: e.node,
+                });
+            }
+        }
+        match best {
+            Some((_, v)) => {
+                state.add_seed(NodeId::new(v));
+                seeds.push(NodeId::new(v));
+                // Non-winners return with their freshly measured potential
+                // (still an upper bound after the new seed: potentials only
+                // shrink). Zero-potential nodes can never gain again.
+                for e in evaluated.drain(..) {
+                    if e.node != v && e.ub > 0 {
+                        heap.push(e);
+                    }
+                }
+            }
+            None => break,
+        }
+    }
+    pad_to_k(collection, &mut seeds, k);
+    GreedyRun { seeds, evaluations }
+}
+
+/// A gain below this is treated as zero for `ν_R` (matches the historical
+/// CELF cut-off).
+const NU_EPS: f64 = 1e-15;
+
+fn greedy_nu_sequential<C: RicSamples>(collection: &C, k: usize) -> GreedyRun {
+    let k = k.min(collection.node_count());
+    let mut state = CoverageState::new(collection);
+    let candidates: Vec<NodeId> = (0..collection.node_count() as u32)
+        .map(NodeId::new)
+        .filter(|&v| collection.appearance_count(v) > 0)
+        .collect();
+    let mut used = vec![false; collection.node_count()];
+    let mut seeds = Vec::with_capacity(k);
+    let mut evaluations = 0u64;
+    for _ in 0..k {
+        let mut best: Option<(f64, NodeId)> = None;
+        for &v in &candidates {
+            if used[v.index()] {
+                continue;
+            }
+            let gain = state.marginal_fraction(v);
+            evaluations += 1;
+            // Ascending scan keeps the smallest id on exact ties.
+            let better = match best {
+                None => gain > NU_EPS,
+                Some((bg, _)) => gain.total_cmp(&bg) == Ordering::Greater,
+            };
+            if better {
+                best = Some((gain, v));
+            }
+        }
+        match best {
+            Some((_, v)) => {
+                state.add_seed(v);
+                used[v.index()] = true;
+                seeds.push(v);
+            }
+            None => break,
+        }
+    }
+    pad_to_k(collection, &mut seeds, k);
+    GreedyRun { seeds, evaluations }
+}
+
+/// CELF entry for `ν_R`: cached gain with a staleness stamp.
+#[derive(Debug, PartialEq)]
+struct NuEntry {
+    gain: f64,
+    node: u32,
+    stamp: u32,
+}
+
+impl Eq for NuEntry {}
+
+impl Ord for NuEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.node.cmp(&self.node)) // prefer smaller id on tie
+    }
+}
+
+impl PartialOrd for NuEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn greedy_nu_lazy<C: RicSamples>(collection: &C, k: usize, threads: usize) -> GreedyRun {
+    let k = k.min(collection.node_count());
+    let mut state = CoverageState::new(collection);
+    let candidates: Vec<u32> = (0..collection.node_count() as u32)
+        .filter(|&v| collection.appearance_count(NodeId::new(v)) > 0)
+        .collect();
+    // The initial full gain scan is the single biggest evaluation wave —
+    // fan it out across the workers.
+    let initial: Vec<f64> = shard_map(candidates.len(), threads, |i| {
+        state.marginal_fraction(NodeId::new(candidates[i]))
+    });
+    let mut evaluations = candidates.len() as u64;
+    let mut heap: BinaryHeap<NuEntry> = candidates
+        .iter()
+        .zip(&initial)
+        .map(|(&v, &g)| NuEntry {
+            gain: g,
+            node: v,
+            stamp: 0,
+        })
+        .collect();
+    let cap = batch_cap(threads);
+    let mut seeds = Vec::with_capacity(k);
+    let mut round = 0u32;
+    let mut stale: Vec<u32> = Vec::new();
+    let mut evaluated: Vec<(f64, u32)> = Vec::new();
+    while seeds.len() < k {
+        let mut best: Option<(f64, u32)> = None;
+        evaluated.clear();
+        loop {
+            stale.clear();
+            let mut popped_fresh = false;
+            while stale.len() < cap {
+                let viable = match (heap.peek(), best) {
+                    (None, _) => false,
+                    (Some(top), None) => top.gain > NU_EPS,
+                    (Some(top), Some((bg, bv))) => match top.gain.total_cmp(&bg) {
+                        Ordering::Greater => true,
+                        Ordering::Equal => top.node < bv,
+                        Ordering::Less => false,
+                    },
+                };
+                if !viable {
+                    break;
+                }
+                let e = heap.pop().expect("peeked entry");
+                if e.stamp == round {
+                    // Gain is exact under the current seed set: contends
+                    // for the argmax without re-evaluation.
+                    let better = match best {
+                        None => e.gain > NU_EPS,
+                        Some((bg, bv)) => match e.gain.total_cmp(&bg) {
+                            Ordering::Greater => true,
+                            Ordering::Equal => e.node < bv,
+                            Ordering::Less => false,
+                        },
+                    };
+                    if better {
+                        best = Some((e.gain, e.node));
+                    }
+                    evaluated.push((e.gain, e.node));
+                    popped_fresh = true;
+                } else {
+                    stale.push(e.node);
+                }
+            }
+            if stale.is_empty() {
+                if popped_fresh {
+                    continue;
+                }
+                break;
+            }
+            let gains: Vec<f64> = shard_map(stale.len(), threads, |i| {
+                state.marginal_fraction(NodeId::new(stale[i]))
+            });
+            evaluations += stale.len() as u64;
+            for (&node, &gain) in stale.iter().zip(&gains) {
+                let better = match best {
+                    None => gain > NU_EPS,
+                    Some((bg, bv)) => match gain.total_cmp(&bg) {
+                        Ordering::Greater => true,
+                        Ordering::Equal => node < bv,
+                        Ordering::Less => false,
+                    },
+                };
+                if better {
+                    best = Some((gain, node));
+                }
+                evaluated.push((gain, node));
+            }
+        }
+        match best {
+            Some((_, v)) => {
+                state.add_seed(NodeId::new(v));
+                seeds.push(NodeId::new(v));
+                // Re-queue the non-winners with their freshly measured
+                // gains, stamped with the round they were measured in; the
+                // round bump below marks them stale. Submodularity lets
+                // exhausted (≤ ε) entries drop out for good.
+                for &(gain, node) in &evaluated {
+                    if node != v && gain > NU_EPS {
+                        heap.push(NuEntry {
+                            gain,
+                            node,
+                            stamp: round,
+                        });
+                    }
+                }
+                round += 1;
+            }
+            None => break,
+        }
+    }
+    pad_to_k(collection, &mut seeds, k);
+    GreedyRun { seeds, evaluations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoverSet, RicCollection, RicSample};
+    use imc_community::CommunityId;
+
+    const ALL_STRATEGIES: [SolveStrategy; 6] = [
+        SolveStrategy::Sequential,
+        SolveStrategy::Lazy,
+        SolveStrategy::Parallel { threads: 1 },
+        SolveStrategy::Parallel { threads: 2 },
+        SolveStrategy::Parallel { threads: 4 },
+        SolveStrategy::Parallel { threads: 8 },
+    ];
+
+    fn mk_cover(width: usize, bits: &[usize]) -> CoverSet {
+        let mut c = CoverSet::new(width);
+        for &b in bits {
+            c.set(b);
+        }
+        c
+    }
+
+    /// A pseudo-random collection large and irregular enough to exercise
+    /// staleness, ties, and the padding path.
+    fn scrambled_collection(nodes: u32, samples: usize, salt: u64) -> RicCollection {
+        let mut col = RicCollection::new(nodes as usize, 3, samples as f64);
+        let mut x = salt | 1;
+        let mut next = |m: u64| {
+            // xorshift64 — deterministic, no external RNG in unit tests.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % m
+        };
+        for _ in 0..samples {
+            let width = 1 + next(3) as usize;
+            let threshold = 1 + next(width.min(2) as u64) as u32;
+            let n = 1 + next(4) as usize;
+            let mut ids: Vec<u32> = (0..n).map(|_| next(u64::from(nodes)) as u32).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            let entries: Vec<(NodeId, CoverSet)> = ids
+                .iter()
+                .map(|&v| {
+                    let bit = next(width as u64) as usize;
+                    (NodeId::new(v), mk_cover(width, &[bit]))
+                })
+                .collect();
+            col.push(RicSample {
+                community: CommunityId::new(next(3) as u32),
+                threshold,
+                community_size: width as u32,
+                nodes: entries.iter().map(|e| e.0).collect(),
+                covers: entries.into_iter().map(|e| e.1).collect(),
+            });
+        }
+        col
+    }
+
+    #[test]
+    fn all_strategies_agree_on_c_greedy() {
+        for salt in [1u64, 7, 42, 1234] {
+            let col = scrambled_collection(40, 120, salt);
+            for k in [1usize, 3, 7, 40] {
+                let reference = greedy_c_with(&col, k, SolveStrategy::Sequential);
+                for strategy in ALL_STRATEGIES {
+                    let run = greedy_c_with(&col, k, strategy);
+                    assert_eq!(
+                        run.seeds, reference.seeds,
+                        "ĉ diverged for salt={salt} k={k} {strategy:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree_on_nu_greedy() {
+        for salt in [1u64, 7, 42, 1234] {
+            let col = scrambled_collection(40, 120, salt);
+            for k in [1usize, 3, 7, 40] {
+                let reference = greedy_nu_with(&col, k, SolveStrategy::Sequential);
+                for strategy in ALL_STRATEGIES {
+                    let run = greedy_nu_with(&col, k, strategy);
+                    assert_eq!(
+                        run.seeds, reference.seeds,
+                        "ν diverged for salt={salt} k={k} {strategy:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_evaluates_no_more_than_sequential() {
+        let col = scrambled_collection(60, 300, 5);
+        let k = 10;
+        let sequential = greedy_c_with(&col, k, SolveStrategy::Sequential);
+        let lazy = greedy_c_with(&col, k, SolveStrategy::Lazy);
+        assert!(
+            lazy.evaluations <= sequential.evaluations,
+            "lazy {} > sequential {}",
+            lazy.evaluations,
+            sequential.evaluations
+        );
+        let nu_seq = greedy_nu_with(&col, k, SolveStrategy::Sequential);
+        let nu_lazy = greedy_nu_with(&col, k, SolveStrategy::Lazy);
+        assert!(nu_lazy.evaluations <= nu_seq.evaluations);
+    }
+
+    /// CELF soundness: every lazy pick must be the true argmax of *fresh*
+    /// gains — a stale cached gain winning a round would show up here as a
+    /// pick whose freshly recomputed gain is below some other candidate's.
+    #[test]
+    fn celf_queue_never_returns_a_stale_gain() {
+        for salt in [3u64, 9, 77] {
+            let col = scrambled_collection(30, 90, salt);
+            let run = greedy_nu_with(&col, 8, SolveStrategy::Lazy);
+            let mut state = CoverageState::new(&col);
+            let mut used = vec![false; RicSamples::node_count(&col)];
+            for &picked in &run.seeds {
+                let fresh_picked = state.marginal_fraction(picked);
+                if fresh_picked <= NU_EPS {
+                    break; // padding region — no more greedy picks
+                }
+                for v in 0..RicSamples::node_count(&col) as u32 {
+                    if used[v as usize] {
+                        continue;
+                    }
+                    let fresh = state.marginal_fraction(NodeId::new(v));
+                    assert!(
+                        fresh.total_cmp(&fresh_picked) != Ordering::Greater,
+                        "salt={salt}: pick {picked} (gain {fresh_picked}) \
+                         beaten by fresh gain {fresh} of node {v}"
+                    );
+                    if fresh.total_cmp(&fresh_picked) == Ordering::Equal {
+                        assert!(
+                            picked.index() as u32 <= v,
+                            "salt={salt}: tie broken away from smaller id"
+                        );
+                    }
+                }
+                used[picked.index()] = true;
+                state.add_seed(picked);
+            }
+        }
+    }
+
+    /// Same soundness check for the potential-keyed ĉ queue.
+    #[test]
+    fn lazy_c_queue_never_returns_a_stale_gain() {
+        for salt in [3u64, 9, 77] {
+            let col = scrambled_collection(30, 90, salt);
+            let run = greedy_c_with(&col, 8, SolveStrategy::Lazy);
+            let mut state = CoverageState::new(&col);
+            let mut used = vec![false; RicSamples::node_count(&col)];
+            for &picked in &run.seeds {
+                let fresh_picked = state.marginal_influenced(picked);
+                if fresh_picked == 0 {
+                    break; // padding region
+                }
+                for v in 0..RicSamples::node_count(&col) as u32 {
+                    if used[v as usize] {
+                        continue;
+                    }
+                    let fresh = state.marginal_influenced(NodeId::new(v));
+                    assert!(
+                        fresh <= fresh_picked,
+                        "salt={salt}: pick {picked} (gain {fresh_picked}) \
+                         beaten by fresh gain {fresh} of node {v}"
+                    );
+                }
+                used[picked.index()] = true;
+                state.add_seed(picked);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_map_matches_sequential_map_for_every_thread_count() {
+        let data: Vec<u64> = (0..1000u64).map(|i| i * i % 977).collect();
+        let expect: Vec<u64> = data.iter().map(|&v| v * 3 + 1).collect();
+        for threads in [1usize, 2, 3, 4, 8, 16] {
+            let got = shard_map(data.len(), threads, |i| data[i] * 3 + 1);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_oversized_budgets_pad() {
+        let col = RicCollection::new(5, 1, 1.0);
+        for strategy in ALL_STRATEGIES {
+            assert_eq!(greedy_c_with(&col, 2, strategy).seeds.len(), 2);
+            assert_eq!(greedy_nu_with(&col, 2, strategy).seeds.len(), 2);
+            assert_eq!(greedy_c_with(&col, 100, strategy).seeds.len(), 5);
+        }
+    }
+
+    #[test]
+    fn strategy_labels_and_threads() {
+        assert_eq!(SolveStrategy::Sequential.threads(), 1);
+        assert_eq!(SolveStrategy::Lazy.threads(), 1);
+        assert_eq!(SolveStrategy::Parallel { threads: 0 }.threads(), 1);
+        assert_eq!(SolveStrategy::Parallel { threads: 4 }.threads(), 4);
+        assert_eq!(SolveStrategy::with_threads(1), SolveStrategy::Lazy);
+        assert_eq!(
+            SolveStrategy::with_threads(4),
+            SolveStrategy::Parallel { threads: 4 }
+        );
+        assert_eq!(SolveStrategy::default().label(), "lazy");
+        assert_eq!(SolveStrategy::Sequential.label(), "sequential");
+        assert_eq!(SolveStrategy::Parallel { threads: 2 }.label(), "parallel");
+    }
+}

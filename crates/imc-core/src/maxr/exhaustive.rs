@@ -193,7 +193,8 @@ mod tests {
     #[test]
     fn greedy_ratio_measurable() {
         let col = trap_collection();
-        let greedy = crate::maxr::greedy::greedy_c(&col, 2);
+        let greedy =
+            crate::maxr::engine::greedy_c_with(&col, 2, crate::maxr::SolveStrategy::Lazy).seeds;
         let ratio = empirical_ratio(&col, &greedy, 2);
         assert!(ratio > 0.0 && ratio <= 1.0);
     }

@@ -1,136 +1,40 @@
-//! Greedy seed selection over RIC collections.
+//! Deprecated free-function entry points for greedy seed selection.
 //!
-//! Two variants, matching the two objectives UBG sandwiches:
-//!
-//! * [`greedy_c`] — plain greedy on `ĉ_R`. Because `ĉ_R` is
-//!   **non-submodular** (Lemma 2), lazy (CELF) pruning is unsound here:
-//!   marginal gains can *increase* as seeds are added, so every round
-//!   re-evaluates all candidates.
-//! * [`greedy_nu`] — CELF lazy greedy on the submodular upper bound `ν_R`
-//!   (Lemma 3 makes laziness sound), giving the usual `1 − 1/e` guarantee
-//!   for `S_ν`.
+//! The selection logic lives in the shared [`engine`](crate::maxr::engine)
+//! module, which adds CELF lazy evaluation and deterministic parallel
+//! gain computation behind [`SolveStrategy`]. These shims keep the
+//! original signatures compiling; new code should go through
+//! [`GreedySolver`](crate::maxr::solver::GreedySolver) /
+//! [`MaxrAlgorithm::solve`](crate::MaxrAlgorithm::solve) or call the
+//! engine directly (see `docs/SOLVER_API.md`).
 
-use crate::maxr::pad_to_k;
-use crate::{CoverageState, RicSamples};
+use crate::maxr::engine::{greedy_c_with, greedy_nu_with, SolveStrategy};
+use crate::RicSamples;
 use imc_graph::NodeId;
-use std::cmp::Ordering;
 
-/// Plain (re-evaluating) greedy on the number of influenced samples.
+/// Greedy on the number of influenced samples (`ĉ_R`).
 ///
 /// Returns exactly `min(k, n)` seeds: once no candidate has positive gain
-/// the remainder is padded with the most-appearing unused nodes.
-///
-/// Generic over the storage backend; iteration order (node-id ascending
-/// candidates, smallest-id tie-breaks) is backend-independent, so
-/// [`RicCollection`](crate::RicCollection) and
+/// the remainder is padded with the most-appearing unused nodes. Backend-
+/// and strategy-independent: [`RicCollection`](crate::RicCollection) and
 /// [`RicStore`](crate::RicStore) produce identical seed sets.
+#[deprecated(note = "use `GreedySolver` or `MaxrAlgorithm::Greedy.solve` (see docs/SOLVER_API.md)")]
 pub fn greedy_c<C: RicSamples>(collection: &C, k: usize) -> Vec<NodeId> {
-    let k = k.min(collection.node_count());
-    let mut state = CoverageState::new(collection);
-    let candidates: Vec<NodeId> = (0..collection.node_count() as u32)
-        .map(NodeId::new)
-        .filter(|&v| collection.appearance_count(v) > 0)
-        .collect();
-    let mut used = vec![false; collection.node_count()];
-    let mut seeds = Vec::with_capacity(k);
-    for _ in 0..k {
-        let mut best: Option<(usize, NodeId)> = None;
-        for &v in &candidates {
-            if used[v.index()] {
-                continue;
-            }
-            let gain = state.marginal_influenced(v);
-            let better = match best {
-                None => gain > 0,
-                Some((bg, bv)) => gain > bg || (gain == bg && gain > 0 && v < bv),
-            };
-            if better {
-                best = Some((gain, v));
-            }
-        }
-        match best {
-            Some((_, v)) => {
-                state.add_seed(v);
-                used[v.index()] = true;
-                seeds.push(v);
-            }
-            None => break,
-        }
-    }
-    pad_to_k(collection, &mut seeds, k);
-    seeds
+    greedy_c_with(collection, k, SolveStrategy::Lazy).seeds
 }
 
-/// Heap entry for CELF: gain with a staleness stamp.
-#[derive(Debug, PartialEq)]
-struct Entry {
-    gain: f64,
-    node: u32,
-    stamp: u32,
-}
-
-impl Eq for Entry {}
-
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.gain
-            .total_cmp(&other.gain)
-            .then_with(|| other.node.cmp(&self.node)) // prefer smaller id on tie
-    }
-}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// CELF lazy greedy on the fractional objective `ν_R`.
+/// Greedy on the fractional objective `ν_R` (CELF lazy evaluation).
 ///
 /// Returns exactly `min(k, n)` seeds (padded like [`greedy_c`]).
+#[deprecated(note = "use `UbgSolver` / `engine::greedy_nu_with` (see docs/SOLVER_API.md)")]
 pub fn greedy_nu<C: RicSamples>(collection: &C, k: usize) -> Vec<NodeId> {
-    let k = k.min(collection.node_count());
-    let mut state = CoverageState::new(collection);
-    let mut heap: std::collections::BinaryHeap<Entry> = (0..collection.node_count() as u32)
-        .filter(|&v| collection.appearance_count(NodeId::new(v)) > 0)
-        .map(|v| Entry {
-            gain: state.marginal_fraction(NodeId::new(v)),
-            node: v,
-            stamp: 0,
-        })
-        .collect();
-    let mut seeds = Vec::with_capacity(k);
-    let mut round = 0u32;
-    while seeds.len() < k {
-        match heap.pop() {
-            None => break,
-            Some(e) => {
-                if e.gain <= 1e-15 {
-                    break;
-                }
-                if e.stamp == round {
-                    let v = NodeId::new(e.node);
-                    state.add_seed(v);
-                    seeds.push(v);
-                    round += 1;
-                } else {
-                    heap.push(Entry {
-                        gain: state.marginal_fraction(NodeId::new(e.node)),
-                        node: e.node,
-                        stamp: round,
-                    });
-                }
-            }
-        }
-    }
-    pad_to_k(collection, &mut seeds, k);
-    seeds
+    greedy_nu_with(collection, k, SolveStrategy::Lazy).seeds
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CoverSet, RicCollection, RicSample};
+    use crate::{CoverSet, CoverageState, RicCollection, RicSample};
     use imc_community::CommunityId;
 
     fn mk_cover(width: usize, bits: &[usize]) -> CoverSet {
@@ -163,10 +67,18 @@ mod tests {
         col
     }
 
+    fn c(col: &RicCollection, k: usize) -> Vec<NodeId> {
+        greedy_c_with(col, k, SolveStrategy::Lazy).seeds
+    }
+
+    fn nu(col: &RicCollection, k: usize) -> Vec<NodeId> {
+        greedy_nu_with(col, k, SolveStrategy::Lazy).seeds
+    }
+
     #[test]
     fn greedy_c_returns_k_seeds() {
         let col = trap_collection();
-        let s = greedy_c(&col, 3);
+        let s = c(&col, 3);
         assert_eq!(s.len(), 3);
         // All seeds distinct.
         let set: std::collections::HashSet<_> = s.iter().collect();
@@ -178,14 +90,14 @@ mod tests {
         // With k=1 no single node influences sample 0; node 2 influences
         // sample 1 → greedy must pick node 2 first.
         let col = trap_collection();
-        let s = greedy_c(&col, 1);
+        let s = c(&col, 1);
         assert_eq!(s, vec![NodeId::new(2)]);
     }
 
     #[test]
     fn greedy_c_k3_covers_both_samples() {
         let col = trap_collection();
-        let s = greedy_c(&col, 3);
+        let s = c(&col, 3);
         assert_eq!(col.influenced_count(&s), 2);
     }
 
@@ -194,7 +106,7 @@ mod tests {
         // ν gain of node 0 or 1 is 1/2 > 0, so greedy_nu picks them even
         // though their ĉ gain is 0 — the whole point of the sandwich.
         let col = trap_collection();
-        let s = greedy_nu(&col, 3);
+        let s = nu(&col, 3);
         assert_eq!(col.influenced_count(&s), 2);
         assert!(s.contains(&NodeId::new(0)) && s.contains(&NodeId::new(1)));
     }
@@ -203,7 +115,7 @@ mod tests {
     fn greedy_nu_matches_brute_force_on_small_instance() {
         // ν_R is submodular; CELF must equal plain greedy on ν.
         let col = trap_collection();
-        let celf = greedy_nu(&col, 2);
+        let celf = nu(&col, 2);
         // Plain greedy on ν:
         let mut state = CoverageState::new(&col);
         let mut plain = Vec::new();
@@ -226,23 +138,34 @@ mod tests {
     #[test]
     fn empty_collection_pads_with_arbitrary_nodes() {
         let col = RicCollection::new(5, 1, 1.0);
-        let s = greedy_c(&col, 2);
+        let s = c(&col, 2);
         assert_eq!(s.len(), 2);
-        let s = greedy_nu(&col, 2);
+        let s = nu(&col, 2);
         assert_eq!(s.len(), 2);
     }
 
     #[test]
     fn k_larger_than_n_clamps() {
         let col = trap_collection();
-        let s = greedy_c(&col, 100);
+        let s = c(&col, 100);
         assert_eq!(s.len(), 4);
     }
 
     #[test]
     fn deterministic() {
         let col = trap_collection();
-        assert_eq!(greedy_c(&col, 3), greedy_c(&col, 3));
-        assert_eq!(greedy_nu(&col, 3), greedy_nu(&col, 3));
+        assert_eq!(c(&col, 3), c(&col, 3));
+        assert_eq!(nu(&col, 3), nu(&col, 3));
+    }
+
+    /// The deprecated shims must stay behaviourally pinned to the engine.
+    #[test]
+    #[allow(deprecated)]
+    fn shims_match_engine() {
+        let col = trap_collection();
+        for k in 1..=4 {
+            assert_eq!(greedy_c(&col, k), c(&col, k));
+            assert_eq!(greedy_nu(&col, k), nu(&col, k));
+        }
     }
 }

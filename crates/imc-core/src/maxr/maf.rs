@@ -34,12 +34,26 @@ pub struct MafOutcome {
 
 /// Runs MAF over either storage backend. `seed` drives the uniform member
 /// picks inside communities.
+#[deprecated(note = "use `MafSolver` or `MaxrAlgorithm::Maf.solve` (see docs/SOLVER_API.md)")]
 pub fn maf<C: RicSamples>(
     communities: &CommunitySet,
     collection: &C,
     k: usize,
     seed: u64,
 ) -> MafOutcome {
+    maf_with(communities, collection, k, seed).0
+}
+
+/// MAF core used by [`MafSolver`](crate::maxr::solver::MafSolver) and the
+/// deprecated [`maf`] shim. MAF never computes marginal gains — its two
+/// objective evaluations are the final `ĉ_R` comparisons of `S1` vs `S2` —
+/// so the second tuple element is always 2.
+pub(crate) fn maf_with<C: RicSamples>(
+    communities: &CommunitySet,
+    collection: &C,
+    k: usize,
+    seed: u64,
+) -> (MafOutcome, u64) {
     let k = k.min(collection.node_count());
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -75,12 +89,15 @@ pub fn maf<C: RicSamples>(
     let c1 = collection.influenced_count(&s1);
     let c2 = collection.influenced_count(&s2);
     let chose_s1 = c1 >= c2;
-    MafOutcome {
-        seeds: if chose_s1 { s1.clone() } else { s2.clone() },
-        s1,
-        s2,
-        chose_s1,
-    }
+    (
+        MafOutcome {
+            seeds: if chose_s1 { s1.clone() } else { s2.clone() },
+            s1,
+            s2,
+            chose_s1,
+        },
+        2,
+    )
 }
 
 #[cfg(test)]
@@ -95,6 +112,10 @@ mod tests {
             c.set(b);
         }
         c
+    }
+
+    fn run<C: crate::RicSamples>(cs: &CommunitySet, col: &C, k: usize, seed: u64) -> MafOutcome {
+        maf_with(cs, col, k, seed).0
     }
 
     /// Community 0 = {0, 1} (h=2), community 1 = {2, 3} (h=2). Community 0
@@ -132,7 +153,7 @@ mod tests {
     #[test]
     fn s1_targets_most_frequent_community() {
         let (cs, col) = setup();
-        let out = maf(&cs, &col, 2, 7);
+        let out = run(&cs, &col, 2, 7);
         // Budget 2 = h of community 0; S1 must be exactly its two members.
         let mut s1 = out.s1.clone();
         s1.sort();
@@ -144,7 +165,7 @@ mod tests {
     #[test]
     fn k4_takes_both_communities() {
         let (cs, col) = setup();
-        let out = maf(&cs, &col, 4, 7);
+        let out = run(&cs, &col, 4, 7);
         assert_eq!(col.influenced_count(&out.seeds), 4);
     }
 
@@ -152,7 +173,7 @@ mod tests {
     fn seeds_are_k_and_distinct() {
         let (cs, col) = setup();
         for k in 1..=5 {
-            let out = maf(&cs, &col, k, 3);
+            let out = run(&cs, &col, k, 3);
             assert_eq!(out.seeds.len(), k);
             let uniq: std::collections::HashSet<_> = out.seeds.iter().collect();
             assert_eq!(uniq.len(), k, "duplicates at k={k}");
@@ -162,17 +183,25 @@ mod tests {
     #[test]
     fn s2_is_top_appearance() {
         let (cs, col) = setup();
-        let out = maf(&cs, &col, 2, 7);
+        let out = run(&cs, &col, 2, 7);
         // Nodes 0,1 appear in 3 samples each; 2,3 in 1 each.
         let mut s2 = out.s2.clone();
         s2.sort();
         assert_eq!(s2, vec![NodeId::new(0), NodeId::new(1)]);
     }
 
+    /// The deprecated shim must stay behaviourally pinned to `maf_with`.
+    #[test]
+    #[allow(deprecated)]
+    fn shim_matches_core() {
+        let (cs, col) = setup();
+        assert_eq!(maf(&cs, &col, 3, 11), run(&cs, &col, 3, 11));
+    }
+
     #[test]
     fn deterministic_under_seed() {
         let (cs, col) = setup();
-        assert_eq!(maf(&cs, &col, 3, 11), maf(&cs, &col, 3, 11));
+        assert_eq!(run(&cs, &col, 3, 11), run(&cs, &col, 3, 11));
     }
 
     #[test]
@@ -205,7 +234,7 @@ mod tests {
             nodes: vec![NodeId::new(1), NodeId::new(2)],
             covers: vec![mk_cover(2, &[0]), mk_cover(2, &[1])],
         });
-        let out = maf(&cs, &col, 2, 5);
+        let out = run(&cs, &col, 2, 5);
         assert_eq!(col.influenced_count(&out.seeds), 1);
         let mut s = out.seeds.clone();
         s.sort();
@@ -217,7 +246,7 @@ mod tests {
         // ĉ(S_MAF) ≥ ⌊k/h⌋/r · ĉ(S_OPT). Here r=2, h=2, k=2 → bound = 1/2
         // of optimum. Optimum with k=2 influences 3 samples; MAF achieves 3.
         let (cs, col) = setup();
-        let out = maf(&cs, &col, 2, 1);
+        let out = run(&cs, &col, 2, 1);
         let opt = 3.0;
         assert!(col.influenced_count(&out.seeds) as f64 >= 0.5 * opt);
     }

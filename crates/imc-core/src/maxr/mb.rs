@@ -6,8 +6,9 @@
 //! `Θ(√((1−1/e)/r))`-approximate for thresholds `≤ 2` — tight to the
 //! `O(r^{1/2(log log r)^c})` inapproximability of Theorem 1.
 
-use crate::maxr::bt::{bt, BtConfig};
-use crate::maxr::maf::maf;
+use crate::maxr::bt::bt_with;
+use crate::maxr::engine::SolveStrategy;
+use crate::maxr::maf::maf_with;
 use crate::RicSamples;
 use imc_community::CommunitySet;
 use imc_graph::NodeId;
@@ -31,27 +32,51 @@ pub struct MbOutcome {
 ///
 /// Panics if any sample threshold exceeds 2 (checked fallibly by
 /// [`MaxrAlgorithm`](crate::MaxrAlgorithm)).
+#[deprecated(note = "use `MbSolver` or `MaxrAlgorithm::Mb.solve` (see docs/SOLVER_API.md)")]
 pub fn mb<C: RicSamples>(
     communities: &CommunitySet,
     collection: &C,
     k: usize,
     seed: u64,
 ) -> MbOutcome {
-    let maf_out = maf(communities, collection, k, seed);
-    let bt_out = bt(collection, k, &BtConfig::default());
+    mb_with(communities, collection, k, seed, SolveStrategy::Lazy).0
+}
+
+/// Strategy-aware MB core used by [`MbSolver`](crate::maxr::solver::MbSolver)
+/// and the deprecated [`mb`] shim. The strategy only accelerates the BT
+/// half (its pivot loop shards across workers); MAF is already linear-time.
+/// Returns the outcome plus the total evaluation count (both halves, plus
+/// the two final `ĉ_R` comparisons).
+///
+/// # Panics
+///
+/// Panics if any sample threshold exceeds 2 (checked fallibly by
+/// [`MaxrAlgorithm`](crate::MaxrAlgorithm)).
+pub(crate) fn mb_with<C: RicSamples>(
+    communities: &CommunitySet,
+    collection: &C,
+    k: usize,
+    seed: u64,
+    strategy: SolveStrategy,
+) -> (MbOutcome, u64) {
+    let (maf_out, maf_evals) = maf_with(communities, collection, k, seed);
+    let (bt_out, bt_evals) = bt_with(collection, k, 2, None, strategy);
     let maf_score = collection.influenced_count(&maf_out.seeds);
     let bt_score = collection.influenced_count(&bt_out.seeds);
     let chose_bt = bt_score > maf_score;
-    MbOutcome {
-        seeds: if chose_bt {
-            bt_out.seeds.clone()
-        } else {
-            maf_out.seeds.clone()
+    (
+        MbOutcome {
+            seeds: if chose_bt {
+                bt_out.seeds.clone()
+            } else {
+                maf_out.seeds.clone()
+            },
+            maf_seeds: maf_out.seeds,
+            bt_seeds: bt_out.seeds,
+            chose_bt,
         },
-        maf_seeds: maf_out.seeds,
-        bt_seeds: bt_out.seeds,
-        chose_bt,
-    }
+        maf_evals + bt_evals + 2,
+    )
 }
 
 #[cfg(test)]
@@ -97,11 +122,15 @@ mod tests {
         (cs, col)
     }
 
+    fn run(cs: &CommunitySet, col: &RicCollection, k: usize, seed: u64) -> MbOutcome {
+        mb_with(cs, col, k, seed, SolveStrategy::Lazy).0
+    }
+
     #[test]
     fn mb_at_least_as_good_as_both_parts() {
         let (cs, col) = setup();
         for k in 1..=4 {
-            let out = mb(&cs, &col, k, 9);
+            let out = run(&cs, &col, k, 9);
             let score = col.influenced_count(&out.seeds);
             assert!(score >= col.influenced_count(&out.maf_seeds));
             assert!(score >= col.influenced_count(&out.bt_seeds));
@@ -114,7 +143,7 @@ mod tests {
         // in each). MAF's community strategy can win only one; BT finds the
         // hub.
         let (cs, col) = setup();
-        let out = mb(&cs, &col, 3, 1);
+        let out = run(&cs, &col, 3, 1);
         assert_eq!(col.influenced_count(&out.seeds), 2);
     }
 
@@ -122,7 +151,7 @@ mod tests {
     fn theorem5_bound_sanity() {
         let (cs, col) = setup();
         let k = 2;
-        let out = mb(&cs, &col, k, 3);
+        let out = run(&cs, &col, k, 3);
         let r = cs.len() as f64;
         let bound = ((1.0 - 1.0 / std::f64::consts::E) / r * ((k / 2) as f64 / k as f64)).sqrt();
         // OPT(k=2) influences 1 sample.
@@ -133,13 +162,21 @@ mod tests {
     #[test]
     fn seeds_sized_k() {
         let (cs, col) = setup();
-        let out = mb(&cs, &col, 4, 2);
+        let out = run(&cs, &col, 4, 2);
         assert_eq!(out.seeds.len(), 4);
     }
 
     #[test]
     fn deterministic_under_seed() {
         let (cs, col) = setup();
-        assert_eq!(mb(&cs, &col, 3, 5), mb(&cs, &col, 3, 5));
+        assert_eq!(run(&cs, &col, 3, 5), run(&cs, &col, 3, 5));
+    }
+
+    /// The deprecated shim must stay behaviourally pinned to `mb_with`.
+    #[test]
+    #[allow(deprecated)]
+    fn shim_matches_core() {
+        let (cs, col) = setup();
+        assert_eq!(mb(&cs, &col, 3, 5), run(&cs, &col, 3, 5));
     }
 }

@@ -8,13 +8,26 @@
 //! | [`maf`] (most-appearance)    | `⌊k/h⌋ / r` (Thm. 3) | — |
 //! | [`bt`]  (bounded threshold)  | `(1−1/e)/k` (Thm. 4), `(1−1/e)/k^{d−1}` for BT^(d) | `h_i ≤ d` |
 //! | [`mb`]  (MAF ∨ BT)           | `Θ(√((1−1/e)/r))` (Thm. 5) | `h_i ≤ 2` |
+//!
+//! All of them run on the shared [`engine`] (CELF lazy evaluation plus
+//! deterministic sharded parallelism, selected by [`SolveStrategy`]) and
+//! are exposed uniformly through the [`solver`] module's [`MaxrSolver`]
+//! trait; [`MaxrAlgorithm::solve`] is the single dispatch entry point.
 
 pub mod bt;
+pub mod engine;
 pub mod exhaustive;
 pub mod greedy;
 pub mod maf;
 pub mod mb;
+pub mod solver;
 pub mod ubg;
+
+pub use engine::{GreedyRun, SolveStrategy};
+pub use solver::{
+    BtSolver, GreedySolver, MafSolver, MaxrSolver, MbSolver, SolveReport, SolveRequest,
+    SolverExtras, UbgSolver,
+};
 
 use crate::{ImcError, ImcInstance, Result, RicSamples};
 use imc_graph::NodeId;
@@ -37,16 +50,11 @@ pub enum MaxrAlgorithm {
     Mb,
 }
 
-/// Result of a MAXR solve.
-#[derive(Debug, Clone, PartialEq)]
-pub struct MaxrSolution {
-    /// Chosen seeds, in pick order, exactly `min(k, n)` of them.
-    pub seeds: Vec<NodeId>,
-    /// Number of samples in the collection influenced by `seeds`.
-    pub influenced_samples: usize,
-    /// The estimator `ĉ_R(seeds)`.
-    pub estimate: f64,
-}
+/// Former name of [`SolveReport`]. The fields `seeds`,
+/// `influenced_samples`, and `estimate` carry over unchanged; the report
+/// adds `evaluations`, `elapsed`, and per-solver `extras`.
+#[deprecated(note = "renamed to `SolveReport`")]
+pub type MaxrSolution = SolveReport;
 
 impl MaxrAlgorithm {
     /// Short name used in reports.
@@ -91,20 +99,27 @@ impl MaxrAlgorithm {
     /// Runs the solver on a sample collection — either storage backend
     /// ([`RicCollection`](crate::RicCollection) or
     /// [`RicStore`](crate::RicStore)); the seed sets are identical for
-    /// identical collections.
+    /// identical collections and for every [`SolveStrategy`].
     ///
-    /// `seed` drives MAF's random member picks (the only randomized
-    /// solver); other solvers are deterministic and ignore it.
+    /// This is the single dispatch entry point over the unified
+    /// [`MaxrSolver`] API: it applies the instance-level budget check, the
+    /// per-algorithm threshold bounds, and records the `maxr_solve` metric,
+    /// then delegates to the matching solver struct. `req.seed` drives
+    /// MAF's random member picks (the only randomized solver);
+    /// `req.depth` is the `d` of BT^(d) (forced to the variant's `d` for
+    /// [`MaxrAlgorithm::Btd`], and to 2 nowhere — MB checks thresholds ≤ 2
+    /// directly).
     ///
     /// # Errors
     ///
-    /// * [`ImcError::InvalidBudget`] for `k == 0` or `k > n`.
+    /// * [`ImcError::InvalidBudget`] for `req.k == 0` or `req.k > n`.
+    /// * [`ImcError::InvalidParameter`] for a BT depth below 2.
     /// * [`ImcError::ThresholdTooLarge`] when BT/BT^(d)/MB run on an
     ///   instance whose thresholds exceed their bound.
     ///
     /// ```
     /// use imc_community::CommunitySet;
-    /// use imc_core::{ImcInstance, MaxrAlgorithm, RicSampler, RicStore};
+    /// use imc_core::{ImcInstance, MaxrAlgorithm, RicSampler, RicStore, SolveRequest};
     /// use imc_graph::{GraphBuilder, NodeId};
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -117,11 +132,13 @@ impl MaxrAlgorithm {
     /// let sampler = instance.sampler();
     /// let mut store = RicStore::for_sampler(&sampler);
     /// store.extend_parallel_with_workers(&sampler, 500, 7, 2);
-    /// let solution = MaxrAlgorithm::Ubg.solve(&instance, &store, 1, 42)?;
+    /// let report =
+    ///     MaxrAlgorithm::Ubg.solve(&instance, &store, &SolveRequest::new(1).with_seed(42))?;
     /// // Node 0 reaches the member through a certain edge and tops node 1
     /// // (both influence everything; smaller id wins the tie).
-    /// assert_eq!(solution.seeds, vec![NodeId::new(0)]);
-    /// assert_eq!(solution.influenced_samples, 500);
+    /// assert_eq!(report.seeds, vec![NodeId::new(0)]);
+    /// assert_eq!(report.influenced_samples, 500);
+    /// assert!(report.evaluations > 0);
     /// # Ok(())
     /// # }
     /// ```
@@ -129,53 +146,42 @@ impl MaxrAlgorithm {
         &self,
         instance: &ImcInstance,
         collection: &C,
-        k: usize,
-        seed: u64,
-    ) -> Result<MaxrSolution> {
-        instance.validate_budget(k)?;
+        req: &SolveRequest,
+    ) -> Result<SolveReport> {
+        instance.validate_budget(req.k)?;
         let start = std::time::Instant::now();
         let max_h = instance.max_threshold();
-        let select_span = imc_obs::Span::enter_with("maxr_select", self.name());
-        let seeds = match self {
-            MaxrAlgorithm::Greedy => greedy::greedy_c(collection, k),
-            MaxrAlgorithm::Ubg => ubg::ubg(collection, k).seeds,
-            MaxrAlgorithm::Maf => maf::maf(instance.communities(), collection, k, seed).seeds,
-            MaxrAlgorithm::Bt => {
-                require_bounded(max_h, 2)?;
-                bt::bt(collection, k, &bt::BtConfig::default()).seeds
-            }
-            MaxrAlgorithm::Btd(d) => {
-                if *d < 2 {
-                    return Err(ImcError::InvalidParameter { name: "bt depth" });
+        let report = {
+            let _select_span = imc_obs::Span::enter_with("maxr_select", self.name());
+            match self {
+                MaxrAlgorithm::Greedy => GreedySolver.solve(collection, req),
+                MaxrAlgorithm::Ubg => UbgSolver.solve(collection, req),
+                MaxrAlgorithm::Maf => MafSolver::new(instance.communities()).solve(collection, req),
+                MaxrAlgorithm::Bt => {
+                    require_bounded(max_h, req.depth)?;
+                    BtSolver::default().solve(collection, req)
                 }
-                require_bounded(max_h, *d)?;
-                bt::bt(
-                    collection,
-                    k,
-                    &bt::BtConfig {
-                        depth: *d,
-                        ..Default::default()
-                    },
-                )
-                .seeds
-            }
-            MaxrAlgorithm::Mb => {
-                require_bounded(max_h, 2)?;
-                mb::mb(instance.communities(), collection, k, seed).seeds
-            }
+                MaxrAlgorithm::Btd(d) => {
+                    if *d < 2 {
+                        return Err(ImcError::InvalidParameter { name: "bt depth" });
+                    }
+                    require_bounded(max_h, *d)?;
+                    let sub = req.with_depth(*d);
+                    BtSolver::default().solve(collection, &sub)
+                }
+                MaxrAlgorithm::Mb => {
+                    require_bounded(max_h, 2)?;
+                    MbSolver::new(instance.communities()).solve(collection, req)
+                }
+            }?
         };
-        drop(select_span);
-        let influenced = {
-            let _eval_span = imc_obs::Span::enter_with("maxr_evaluate", self.name());
-            collection.influenced_count(&seeds)
-        };
-        let estimate = collection.estimate(&seeds);
-        crate::obs::record_maxr_solve(self.name(), start.elapsed(), influenced, collection.len());
-        Ok(MaxrSolution {
-            seeds,
-            influenced_samples: influenced,
-            estimate,
-        })
+        crate::obs::record_maxr_solve(
+            self.name(),
+            start.elapsed(),
+            report.influenced_samples,
+            collection.len(),
+        );
+        Ok(report)
     }
 }
 

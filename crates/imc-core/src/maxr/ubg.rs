@@ -6,7 +6,7 @@
 //! data-dependent guarantee of `(ĉ_R(S_ν)/ν_R(S_ν))·(1 − 1/e)` — the ratio
 //! reported in the paper's Fig. 8.
 
-use crate::maxr::greedy::{greedy_c, greedy_nu};
+use crate::maxr::engine::{greedy_c_with, greedy_nu_with, SolveStrategy};
 use crate::RicSamples;
 use imc_graph::NodeId;
 
@@ -28,9 +28,25 @@ pub struct UbgOutcome {
 }
 
 /// Runs UBG on a collection (either storage backend).
+#[deprecated(note = "use `UbgSolver` or `MaxrAlgorithm::Ubg.solve` (see docs/SOLVER_API.md)")]
 pub fn ubg<C: RicSamples>(collection: &C, k: usize) -> UbgOutcome {
-    let s_nu = greedy_nu(collection, k);
-    let s_c = greedy_c(collection, k);
+    ubg_with(collection, k, SolveStrategy::Lazy).0
+}
+
+/// Strategy-aware UBG used by [`UbgSolver`](crate::maxr::solver::UbgSolver)
+/// and the deprecated [`ubg`] shim. Both greedy passes route through the
+/// shared engine so the sandwich bound uses identical pick logic to every
+/// other consumer. Returns the outcome plus the engine's evaluation count.
+pub(crate) fn ubg_with<C: RicSamples>(
+    collection: &C,
+    k: usize,
+    strategy: SolveStrategy,
+) -> (UbgOutcome, u64) {
+    let nu_run = greedy_nu_with(collection, k, strategy);
+    let c_run = greedy_c_with(collection, k, strategy);
+    let evaluations = nu_run.evaluations + c_run.evaluations;
+    let s_nu = nu_run.seeds;
+    let s_c = c_run.seeds;
     let c_of_nu = collection.estimate(&s_nu);
     let c_of_c = collection.estimate(&s_c);
     let nu_of_nu = collection.nu_estimate(&s_nu);
@@ -40,13 +56,16 @@ pub fn ubg<C: RicSamples>(collection: &C, k: usize) -> UbgOutcome {
         1.0
     };
     let chose_nu = c_of_nu >= c_of_c;
-    UbgOutcome {
-        seeds: if chose_nu { s_nu.clone() } else { s_c.clone() },
-        s_nu,
-        s_c,
-        chose_nu,
-        sandwich_ratio,
-    }
+    (
+        UbgOutcome {
+            seeds: if chose_nu { s_nu.clone() } else { s_c.clone() },
+            s_nu,
+            s_c,
+            chose_nu,
+            sandwich_ratio,
+        },
+        evaluations,
+    )
 }
 
 #[cfg(test)]
@@ -61,6 +80,10 @@ mod tests {
             c.set(b);
         }
         c
+    }
+
+    fn run(col: &RicCollection, k: usize) -> UbgOutcome {
+        ubg_with(col, k, SolveStrategy::Lazy).0
     }
 
     /// ĉ-greedy gets trapped: with k = 2, sample 0 (h=2) needs nodes
@@ -90,7 +113,7 @@ mod tests {
     #[test]
     fn ubg_beats_plain_greedy_on_trap() {
         let col = sandwich_collection();
-        let out = ubg(&col, 2);
+        let out = run(&col, 2);
         // Plain ĉ-greedy picks node 2 first (gain 1), then one of {0,1}:
         // total influenced = 1. ν-greedy picks {0,1}: influenced = 3.
         assert_eq!(col.influenced_count(&out.s_c), 1);
@@ -102,7 +125,7 @@ mod tests {
     #[test]
     fn sandwich_ratio_in_unit_interval() {
         let col = sandwich_collection();
-        let out = ubg(&col, 2);
+        let out = run(&col, 2);
         assert!(out.sandwich_ratio > 0.0 && out.sandwich_ratio <= 1.0 + 1e-12);
     }
 
@@ -117,7 +140,7 @@ mod tests {
             nodes: vec![NodeId::new(0), NodeId::new(1)],
             covers: vec![mk_cover(2, &[0]), mk_cover(2, &[1])],
         });
-        let out = ubg(&col, 1);
+        let out = run(&col, 1);
         assert!((out.sandwich_ratio - 1.0).abs() < 1e-12);
         assert_eq!(col.estimate(&out.seeds), col.nu_estimate(&out.seeds));
     }
@@ -134,7 +157,7 @@ mod tests {
             nodes: vec![NodeId::new(2)],
             covers: vec![mk_cover(1, &[0])],
         });
-        let out = ubg(&col, 1);
+        let out = run(&col, 1);
         assert_eq!(out.seeds, vec![NodeId::new(2)]);
         assert_eq!(col.influenced_count(&out.seeds), 1);
     }
@@ -142,7 +165,7 @@ mod tests {
     #[test]
     fn seeds_have_requested_size() {
         let col = sandwich_collection();
-        let out = ubg(&col, 3);
+        let out = run(&col, 3);
         assert_eq!(out.seeds.len(), 3);
         assert_eq!(out.s_nu.len(), 3);
         assert_eq!(out.s_c.len(), 3);
@@ -151,6 +174,6 @@ mod tests {
     #[test]
     fn deterministic() {
         let col = sandwich_collection();
-        assert_eq!(ubg(&col, 2), ubg(&col, 2));
+        assert_eq!(run(&col, 2), run(&col, 2));
     }
 }

@@ -112,6 +112,35 @@ impl<'a, C: RicSamples> CoverageState<'a, C> {
         gain
     }
 
+    /// The ĉ_R marginal gain of `v` together with its *potential* — the
+    /// number of still-uninfluenced samples `v` touches. The potential is
+    /// a monotone non-increasing upper bound on every future gain of `v`,
+    /// which is what makes lazy-queue pruning sound for the
+    /// non-submodular `ĉ_R`: the gain itself may grow as seeds are added,
+    /// the potential never does.
+    pub fn marginal_influenced_with_potential(&self, v: NodeId) -> (usize, usize) {
+        let mut gain = 0usize;
+        let mut potential = 0usize;
+        for r in self.collection.touched_by(v) {
+            let si = r.sample as usize;
+            if self.influenced[si] {
+                continue;
+            }
+            potential += 1;
+            let cover = self.collection.cover_words(si, r.pos as usize);
+            let union_count: u32 = self
+                .union_of(si)
+                .iter()
+                .zip(cover)
+                .map(|(a, b)| (a | b).count_ones())
+                .sum();
+            if union_count >= self.collection.sample_threshold(si) {
+                gain += 1;
+            }
+        }
+        (gain, potential)
+    }
+
     /// Increase of `Σ_g min(|I_g|/h_g, 1)` if `v` were added.
     pub fn marginal_fraction(&self, v: NodeId) -> f64 {
         let mut gain = 0.0f64;
@@ -212,6 +241,34 @@ mod tests {
         // sample 0 AND influences sample 1 → gain 2.
         assert_eq!(st.marginal_influenced(NodeId::new(2)), 2);
         assert_eq!(st.marginal_influenced(NodeId::new(3)), 1);
+    }
+
+    #[test]
+    fn potential_bounds_gain_and_shrinks_monotonically() {
+        let col = build_collection();
+        let mut st = CoverageState::new(&col);
+        let candidates: Vec<NodeId> = (0..6).map(NodeId::new).collect();
+        let mut prev: Vec<usize> = candidates
+            .iter()
+            .map(|&v| {
+                let (gain, potential) = st.marginal_influenced_with_potential(v);
+                assert_eq!(gain, st.marginal_influenced(v));
+                // With no seeds, potential == appearance count.
+                assert_eq!(potential, RicSamples::appearance_count(&col, v));
+                assert!(gain <= potential);
+                potential
+            })
+            .collect();
+        for seed in [2u32, 1, 3] {
+            st.add_seed(NodeId::new(seed));
+            for (i, &v) in candidates.iter().enumerate() {
+                let (gain, potential) = st.marginal_influenced_with_potential(v);
+                assert_eq!(gain, st.marginal_influenced(v));
+                assert!(gain <= potential);
+                assert!(potential <= prev[i], "potential grew for {v}");
+                prev[i] = potential;
+            }
+        }
     }
 
     #[test]

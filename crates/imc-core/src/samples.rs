@@ -36,7 +36,11 @@ pub(crate) fn limbs_for_width(width: u32) -> usize {
 /// provided methods with faster layout-specific versions as long as the
 /// results are identical — `ĉ_R` is integer-exact and `ν_R` must be summed
 /// in sample order so both backends agree bitwise.
-pub trait RicSamples {
+///
+/// `Sync` is a supertrait so the parallel solve engine can share a
+/// collection across scoped worker threads; both storage backends are
+/// plain owned data and satisfy it automatically.
+pub trait RicSamples: Sync {
     /// Number of samples `|R|`.
     fn len(&self) -> usize;
 

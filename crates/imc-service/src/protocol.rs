@@ -1,4 +1,4 @@
-//! Newline-delimited JSON wire protocol.
+//! Newline-delimited JSON wire protocol, version 2.
 //!
 //! Every request is one JSON object on one line; every response is one
 //! JSON object on one line. Request shapes:
@@ -6,6 +6,9 @@
 //! ```text
 //! {"op":"solve","k":5}                                — solve on the current snapshot
 //! {"op":"solve","k":5,"algo":"maf","seed":7}          — choose solver + RNG seed
+//! {"op":"solve","k":5,"threads":4}                    — v2: parallel engine (server caps)
+//! {"op":"solve","k":5,"mode":"sequential"}            — v2: engine strategy override
+//! {"op":"solve","k":5,"algo":"bt","depth":3}          — v2: BT^(d) threshold bound
 //! {"op":"solve","k":5,"framework":"imcaf",
 //!  "epsilon":0.2,"delta":0.1,"max_samples":100000}    — full IMCAF run (samples fresh)
 //! {"op":"estimate","seeds":[3,17,42]}                 — ĉ_R / ν_R of a seed set
@@ -15,16 +18,33 @@
 //! {"op":"shutdown"}                                   — graceful stop
 //! ```
 //!
+//! ## Versioning
+//!
+//! Version 2 adds the optional solve-tuning knobs `threads`, `mode`
+//! (`"sequential" | "lazy" | "parallel"`), and `depth`, mirroring
+//! [`imc_core::SolveRequest`]. Requests may state their version with an
+//! optional `"v": 1 | 2` field; version-1 requests (with or without the
+//! field) parse unchanged and behave exactly as before. The server clamps
+//! `threads` to its configured cap
+//! ([`ServeConfig::max_solve_threads`](crate::ServeConfig::max_solve_threads)),
+//! and `solve` responses echo the effective `mode`, `threads`, and the
+//! engine's `evaluations` count.
+//!
 //! The daemon also answers plain `GET /metrics` HTTP requests on the same
 //! port (and on the dedicated metrics port when configured) — see
 //! [`server`](crate::server).
 //!
 //! Responses carry `"ok":true` plus op-specific fields, or `"ok":false`
-//! with an `"error"` string.
+//! with a structured `"error"` object: `{"code":"...","message":"..."}`
+//! (version 1 carried a bare string; clients that only check `ok` are
+//! unaffected).
 
 use crate::json::{self, ObjectBuilder, Value};
-use imc_core::MaxrAlgorithm;
+use imc_core::{ImcError, MaxrAlgorithm};
 use imc_graph::NodeId;
+
+/// Highest protocol version this daemon speaks.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Default solver when a `solve` request names none.
 pub const DEFAULT_ALGO: MaxrAlgorithm = MaxrAlgorithm::Ubg;
@@ -51,6 +71,8 @@ pub enum Request {
         /// `None`: solve on the served snapshot (deterministic given the
         /// snapshot). `Some`: run the full IMCAF loop with fresh samples.
         imcaf: Option<ImcafParams>,
+        /// v2 engine-tuning knobs (all default in v1 requests).
+        tuning: SolveTuning,
     },
     /// Score a caller-supplied seed set with the snapshot estimators.
     Estimate {
@@ -65,6 +87,87 @@ pub enum Request {
     Health,
     /// Graceful server stop.
     Shutdown,
+}
+
+/// Engine strategy named by a v2 `solve` request's `mode` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveMode {
+    /// Plain sequential greedy — every gain re-evaluated each round.
+    Sequential,
+    /// CELF lazy evaluation, single-threaded.
+    Lazy,
+    /// CELF lazy evaluation with sharded parallel gain computation.
+    Parallel,
+}
+
+impl SolveMode {
+    /// The wire label (`"sequential" | "lazy" | "parallel"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SolveMode::Sequential => "sequential",
+            SolveMode::Lazy => "lazy",
+            SolveMode::Parallel => "parallel",
+        }
+    }
+}
+
+/// Optional v2 tuning knobs on `solve`. All `None` reproduces the v1
+/// behaviour (lazy, single-threaded, depth 2) exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveTuning {
+    /// Requested worker threads; the server clamps to its configured cap.
+    pub threads: Option<usize>,
+    /// Explicit engine strategy; absent means derive from `threads`.
+    pub mode: Option<SolveMode>,
+    /// BT^(d) threshold bound `d` (BT-family solvers only).
+    pub depth: Option<u32>,
+}
+
+/// Machine-readable error category carried by `"error".code`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line failed to parse or named unknown fields/values.
+    BadRequest,
+    /// The seed budget `k` was rejected.
+    InvalidBudget,
+    /// A bounded-threshold solver ran on samples exceeding its bound.
+    ThresholdTooLarge,
+    /// Some other parameter was out of range (ε, δ, BT depth, …).
+    InvalidParameter,
+    /// A seed id exceeded the graph's node count.
+    OutOfRange,
+    /// The request exceeded its deadline before a worker picked it up.
+    DeadlineExceeded,
+    /// The server is draining and no longer accepts work.
+    ShuttingDown,
+    /// Any other solver/framework failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire label for this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::InvalidBudget => "invalid_budget",
+            ErrorCode::ThresholdTooLarge => "threshold_too_large",
+            ErrorCode::InvalidParameter => "invalid_parameter",
+            ErrorCode::OutOfRange => "out_of_range",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// Maps a solver/framework error to its wire code.
+pub fn error_code_for(e: &ImcError) -> ErrorCode {
+    match e {
+        ImcError::InvalidBudget { .. } => ErrorCode::InvalidBudget,
+        ImcError::ThresholdTooLarge { .. } => ErrorCode::ThresholdTooLarge,
+        ImcError::InvalidParameter { .. } => ErrorCode::InvalidParameter,
+        _ => ErrorCode::Internal,
+    }
 }
 
 /// IMCAF accuracy parameters for `"framework":"imcaf"` solves.
@@ -90,6 +193,17 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         .get("op")
         .and_then(Value::as_str)
         .ok_or("missing string field `op`")?;
+    if let Some(v) = value.get("v") {
+        match v.as_u64() {
+            Some(1 | 2) => {}
+            _ => {
+                return Err(format!(
+                "unsupported protocol version `{}` (this daemon speaks v1..=v{PROTOCOL_VERSION})",
+                json::to_string(v)
+            ))
+            }
+        }
+    }
     match op {
         "solve" => {
             let k = value
@@ -119,11 +233,34 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 }
                 Some(None) => return Err("`framework` must be a string".into()),
             };
+            let threads = field_u64(&value, "threads")?.map(|t| t as usize);
+            let mode = match value.get("mode").map(|m| m.as_str()) {
+                None => None,
+                Some(Some("sequential")) => Some(SolveMode::Sequential),
+                Some(Some("lazy")) => Some(SolveMode::Lazy),
+                Some(Some("parallel")) => Some(SolveMode::Parallel),
+                Some(Some(other)) => {
+                    return Err(format!(
+                        "unknown mode `{other}` (expected sequential | lazy | parallel)"
+                    ))
+                }
+                Some(None) => return Err("`mode` must be a string".into()),
+            };
+            let depth = match field_u64(&value, "depth")? {
+                None => None,
+                Some(d) if (2..=u64::from(u32::MAX)).contains(&d) => Some(d as u32),
+                Some(d) => return Err(format!("`depth` must be at least 2, got {d}")),
+            };
             Ok(Request::Solve {
                 k: k as usize,
                 algo,
                 seed,
                 imcaf,
+                tuning: SolveTuning {
+                    threads,
+                    mode,
+                    depth,
+                },
             })
         }
         "estimate" => {
@@ -194,12 +331,19 @@ pub fn ok_response(op: &str, fields: ObjectBuilder) -> String {
     json::to_string(&fields.field("ok", true).field("op", op).build())
 }
 
-/// Serializes an `"ok":false` error response.
-pub fn error_response(message: &str) -> String {
+/// Serializes an `"ok":false` error response with a structured
+/// `{"code","message"}` payload (protocol v2).
+pub fn error_response(code: ErrorCode, message: &str) -> String {
     json::to_string(
         &ObjectBuilder::new()
             .field("ok", false)
-            .field("error", message)
+            .field(
+                "error",
+                ObjectBuilder::new()
+                    .field("code", code.as_str())
+                    .field("message", message)
+                    .build(),
+            )
             .build(),
     )
 }
@@ -217,7 +361,8 @@ mod tests {
                 k: 4,
                 algo: MaxrAlgorithm::Ubg,
                 seed: 1,
-                imcaf: None
+                imcaf: None,
+                tuning: SolveTuning::default()
             }
         );
         let r = parse_request(r#"{"op":"solve","k":2,"algo":"maf","seed":9}"#).unwrap();
@@ -227,9 +372,50 @@ mod tests {
                 k: 2,
                 algo: MaxrAlgorithm::Maf,
                 seed: 9,
-                imcaf: None
+                imcaf: None,
+                tuning: SolveTuning::default()
             }
         );
+    }
+
+    #[test]
+    fn parses_v2_tuning_fields() {
+        let r = parse_request(
+            r#"{"op":"solve","k":4,"v":2,"threads":8,"mode":"parallel","algo":"bt","depth":3}"#,
+        )
+        .unwrap();
+        let Request::Solve { tuning, algo, .. } = r else {
+            panic!("expected solve");
+        };
+        assert_eq!(algo, MaxrAlgorithm::Bt);
+        assert_eq!(
+            tuning,
+            SolveTuning {
+                threads: Some(8),
+                mode: Some(SolveMode::Parallel),
+                depth: Some(3),
+            }
+        );
+        // An explicit v1 marker still parses the old form.
+        let r = parse_request(r#"{"op":"solve","k":4,"v":1}"#).unwrap();
+        let Request::Solve { tuning, .. } = r else {
+            panic!("expected solve");
+        };
+        assert_eq!(tuning, SolveTuning::default());
+    }
+
+    #[test]
+    fn rejects_bad_v2_fields() {
+        for bad in [
+            r#"{"op":"solve","k":2,"v":3}"#,
+            r#"{"op":"solve","k":2,"v":"two"}"#,
+            r#"{"op":"solve","k":2,"mode":"warp"}"#,
+            r#"{"op":"solve","k":2,"mode":7}"#,
+            r#"{"op":"solve","k":2,"threads":-1}"#,
+            r#"{"op":"solve","k":2,"depth":1}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted {bad}");
+        }
     }
 
     #[test]
@@ -289,15 +475,44 @@ mod tests {
     }
 
     #[test]
+    fn error_codes_map_from_imc_errors() {
+        assert_eq!(
+            error_code_for(&ImcError::InvalidBudget {
+                k: 0,
+                node_count: 5
+            }),
+            ErrorCode::InvalidBudget
+        );
+        assert_eq!(
+            error_code_for(&ImcError::ThresholdTooLarge {
+                bound: 2,
+                max_threshold: 4
+            }),
+            ErrorCode::ThresholdTooLarge
+        );
+        assert_eq!(
+            error_code_for(&ImcError::InvalidParameter { name: "epsilon" }),
+            ErrorCode::InvalidParameter
+        );
+        assert_eq!(
+            error_code_for(&ImcError::NoCommunities),
+            ErrorCode::Internal
+        );
+    }
+
+    #[test]
     fn responses_are_single_line_json() {
         let ok = ok_response("health", ObjectBuilder::new().field("status", "ok"));
         assert!(!ok.contains('\n'));
         let v = json::parse(&ok).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("op").unwrap().as_str(), Some("health"));
-        let err = error_response("boom \"quoted\"");
+        let err = error_response(ErrorCode::Internal, "boom \"quoted\"");
+        assert!(!err.contains('\n'));
         let v = json::parse(&err).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
-        assert_eq!(v.get("error").unwrap().as_str(), Some("boom \"quoted\""));
+        let e = v.get("error").unwrap();
+        assert_eq!(e.get("code").unwrap().as_str(), Some("internal"));
+        assert_eq!(e.get("message").unwrap().as_str(), Some("boom \"quoted\""));
     }
 }

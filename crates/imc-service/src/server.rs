@@ -13,10 +13,10 @@
 use crate::json::ObjectBuilder;
 use crate::metrics::OpKind;
 use crate::pool::ThreadPool;
-use crate::protocol::{self, Request};
+use crate::protocol::{self, ErrorCode, Request, SolveMode, SolveTuning};
 use crate::refresher;
 use crate::ServiceState;
-use imc_core::{imcaf, ImcafConfig};
+use imc_core::{imcaf, ImcafConfig, SolveRequest, SolveStrategy};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Condvar, Mutex};
@@ -95,6 +95,10 @@ pub struct ServeConfig {
     /// `"127.0.0.1:9100"`). `GET /metrics` is always answered on the main
     /// port too; a dedicated port keeps scrapers off the worker pool.
     pub metrics_addr: Option<String>,
+    /// Server-side cap on the per-request `threads` tuning knob: a solve
+    /// asking for more runs with this many. Keeps one greedy client from
+    /// monopolizing the host under a concurrent worker pool.
+    pub max_solve_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -105,6 +109,7 @@ impl Default for ServeConfig {
             deadline: Duration::from_secs(30),
             refresh: None,
             metrics_addr: None,
+            max_solve_threads: 4,
         }
     }
 }
@@ -148,6 +153,7 @@ impl Server {
         let accept_shutdown = Arc::clone(&shutdown);
         let workers = config.workers;
         let deadline = config.deadline;
+        let max_solve_threads = config.max_solve_threads.max(1);
         let accept_thread = std::thread::Builder::new()
             .name("imc-acceptor".to_string())
             .spawn(move || {
@@ -161,7 +167,14 @@ impl Server {
                     let shutdown = Arc::clone(&accept_shutdown);
                     let enqueued = Instant::now();
                     pool.execute(move || {
-                        handle_connection(&state, stream, deadline, &shutdown, enqueued);
+                        handle_connection(
+                            &state,
+                            stream,
+                            deadline,
+                            &shutdown,
+                            enqueued,
+                            max_solve_threads,
+                        );
                     });
                 }
                 // Dropping the pool joins workers after queued jobs drain.
@@ -335,6 +348,7 @@ fn handle_connection(
     deadline: Duration,
     shutdown: &Shutdown,
     enqueued: Instant,
+    max_solve_threads: usize,
 ) {
     // Short read timeout so idle connections notice shutdown promptly;
     // the request deadline is enforced separately via `idle_since`.
@@ -352,7 +366,7 @@ fn handle_connection(
         let _ = writeln!(
             writer,
             "{}",
-            protocol::error_response("deadline exceeded in queue")
+            protocol::error_response(ErrorCode::DeadlineExceeded, "deadline exceeded in queue")
         );
         let _ = writer.flush();
         return;
@@ -380,12 +394,15 @@ fn handle_connection(
                         let _ = writeln!(
                             writer,
                             "{}",
-                            protocol::error_response("server is shutting down")
+                            protocol::error_response(
+                                ErrorCode::ShuttingDown,
+                                "server is shutting down"
+                            )
                         );
                         let _ = writer.flush();
                         break;
                     }
-                    let (response, stop) = dispatch(state, trimmed);
+                    let (response, stop) = dispatch(state, trimmed, max_solve_threads);
                     if writeln!(writer, "{response}")
                         .and_then(|()| writer.flush())
                         .is_err()
@@ -415,15 +432,35 @@ fn handle_connection(
     }
 }
 
+/// Resolves the effective engine strategy for a request under the server
+/// cap. Absent knobs reproduce v1 behaviour (lazy, single-threaded); an
+/// explicit `mode` wins over a bare `threads` count; `"parallel"` with no
+/// `threads` takes the whole cap.
+fn resolve_strategy(tuning: &SolveTuning, cap: usize) -> SolveStrategy {
+    let cap = cap.max(1);
+    match tuning.mode {
+        Some(SolveMode::Sequential) => SolveStrategy::Sequential,
+        Some(SolveMode::Lazy) => SolveStrategy::Lazy,
+        Some(SolveMode::Parallel) => {
+            SolveStrategy::with_threads(tuning.threads.unwrap_or(cap).clamp(1, cap))
+        }
+        None => SolveStrategy::with_threads(tuning.threads.unwrap_or(1).clamp(1, cap)),
+    }
+}
+
 /// Handles one request line; returns the response and whether the server
-/// should shut down afterwards.
-fn dispatch(state: &ServiceState, line: &str) -> (String, bool) {
+/// should shut down afterwards. `max_solve_threads` is the server-side cap
+/// on the per-request `threads` knob.
+fn dispatch(state: &ServiceState, line: &str, max_solve_threads: usize) -> (String, bool) {
     let start = Instant::now();
     let request = match protocol::parse_request(line) {
         Ok(r) => r,
         Err(message) => {
             state.metrics().record(OpKind::Error, start.elapsed(), 0);
-            return (protocol::error_response(&message), false);
+            return (
+                protocol::error_response(ErrorCode::BadRequest, &message),
+                false,
+            );
         }
     };
     match request {
@@ -432,19 +469,28 @@ fn dispatch(state: &ServiceState, line: &str) -> (String, bool) {
             algo,
             seed,
             imcaf: None,
+            tuning,
         } => {
+            let strategy = resolve_strategy(&tuning, max_solve_threads);
+            let req = SolveRequest::new(k)
+                .with_seed(seed)
+                .with_depth(tuning.depth.unwrap_or(2))
+                .with_strategy(strategy);
             let (collection, generation) = state.pinned();
-            match algo.solve(state.instance(), &*collection, k, seed) {
-                Ok(solution) => {
+            match algo.solve(state.instance(), &*collection, &req) {
+                Ok(report) => {
                     let scanned = collection.len() as u64;
                     state
                         .metrics()
                         .record(OpKind::Solve, start.elapsed(), scanned);
-                    let seeds: Vec<u32> = solution.seeds.iter().map(|v| v.raw()).collect();
+                    let seeds: Vec<u32> = report.seeds.iter().map(|v| v.raw()).collect();
                     let body = ObjectBuilder::new()
                         .field("seeds", seeds)
-                        .field("estimate", solution.estimate)
-                        .field("influenced_samples", solution.influenced_samples)
+                        .field("estimate", report.estimate)
+                        .field("influenced_samples", report.influenced_samples)
+                        .field("evaluations", report.evaluations)
+                        .field("mode", strategy.label())
+                        .field("threads", strategy.threads())
                         .field("samples", collection.len())
                         .field("generation", generation)
                         .field("elapsed_us", elapsed_us(start));
@@ -452,7 +498,10 @@ fn dispatch(state: &ServiceState, line: &str) -> (String, bool) {
                 }
                 Err(e) => {
                     state.metrics().record(OpKind::Error, start.elapsed(), 0);
-                    (protocol::error_response(&e.to_string()), false)
+                    (
+                        protocol::error_response(protocol::error_code_for(&e), &e.to_string()),
+                        false,
+                    )
                 }
             }
         }
@@ -461,12 +510,15 @@ fn dispatch(state: &ServiceState, line: &str) -> (String, bool) {
             algo,
             seed,
             imcaf: Some(params),
+            tuning,
         } => {
+            let strategy = resolve_strategy(&tuning, max_solve_threads);
             let config = ImcafConfig {
                 k,
                 epsilon: params.epsilon,
                 delta: params.delta,
                 max_samples: params.max_samples,
+                strategy,
             };
             match imcaf(state.instance(), algo, &config, seed) {
                 Ok(result) => {
@@ -482,12 +534,17 @@ fn dispatch(state: &ServiceState, line: &str) -> (String, bool) {
                         .field("samples", result.samples_used)
                         .field("rounds", result.rounds)
                         .field("stop_reason", format!("{:?}", result.stop_reason))
+                        .field("mode", strategy.label())
+                        .field("threads", strategy.threads())
                         .field("elapsed_us", elapsed_us(start));
                     (protocol::ok_response("solve", body), false)
                 }
                 Err(e) => {
                     state.metrics().record(OpKind::Error, start.elapsed(), 0);
-                    (protocol::error_response(&e.to_string()), false)
+                    (
+                        protocol::error_response(protocol::error_code_for(&e), &e.to_string()),
+                        false,
+                    )
                 }
             }
         }
@@ -496,10 +553,13 @@ fn dispatch(state: &ServiceState, line: &str) -> (String, bool) {
             if let Some(bad) = seeds.iter().find(|v| v.index() >= node_count) {
                 state.metrics().record(OpKind::Error, start.elapsed(), 0);
                 return (
-                    protocol::error_response(&format!(
-                        "seed {} out of range (graph has {node_count} nodes)",
-                        bad.raw()
-                    )),
+                    protocol::error_response(
+                        ErrorCode::OutOfRange,
+                        &format!(
+                            "seed {} out of range (graph has {node_count} nodes)",
+                            bad.raw()
+                        ),
+                    ),
                     false,
                 );
             }
@@ -590,14 +650,14 @@ mod tests {
     #[test]
     fn dispatch_solve_estimate_stats_health() {
         let state = tiny_state(200);
-        let (resp, stop) = dispatch(&state, r#"{"op":"solve","k":2,"algo":"maf"}"#);
+        let (resp, stop) = dispatch(&state, r#"{"op":"solve","k":2,"algo":"maf"}"#, 4);
         assert!(!stop);
         let v = json::parse(&resp).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("seeds").unwrap().as_array().unwrap().len(), 2);
         assert_eq!(v.get("samples").unwrap().as_u64(), Some(200));
 
-        let (resp, _) = dispatch(&state, r#"{"op":"estimate","seeds":[0]}"#);
+        let (resp, _) = dispatch(&state, r#"{"op":"estimate","seeds":[0]}"#, 4);
         let v = json::parse(&resp).unwrap();
         assert!(v.get("estimate").unwrap().as_f64().unwrap() >= 0.0);
         assert!(
@@ -605,14 +665,14 @@ mod tests {
                 >= v.get("estimate").unwrap().as_f64().unwrap() - 1e-12
         );
 
-        let (resp, _) = dispatch(&state, r#"{"op":"stats"}"#);
+        let (resp, _) = dispatch(&state, r#"{"op":"stats"}"#, 4);
         let v = json::parse(&resp).unwrap();
         let m = v.get("metrics").unwrap();
         assert_eq!(m.get("solve_requests").unwrap().as_u64(), Some(1));
         assert_eq!(m.get("estimate_requests").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("node_count").unwrap().as_u64(), Some(6));
 
-        let (resp, _) = dispatch(&state, r#"{"op":"health"}"#);
+        let (resp, _) = dispatch(&state, r#"{"op":"health"}"#, 4);
         let v = json::parse(&resp).unwrap();
         assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
     }
@@ -620,7 +680,7 @@ mod tests {
     #[test]
     fn dispatch_shutdown_flags_stop() {
         let state = tiny_state(10);
-        let (resp, stop) = dispatch(&state, r#"{"op":"shutdown"}"#);
+        let (resp, stop) = dispatch(&state, r#"{"op":"shutdown"}"#, 4);
         assert!(stop);
         let v = json::parse(&resp).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
@@ -629,18 +689,24 @@ mod tests {
     #[test]
     fn dispatch_errors_count_and_report() {
         let state = tiny_state(10);
-        let (resp, _) = dispatch(&state, r#"{"op":"solve","k":0}"#);
+        let (resp, _) = dispatch(&state, r#"{"op":"solve","k":0}"#, 4);
         let v = json::parse(&resp).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
-        let (resp, _) = dispatch(&state, r#"{"op":"estimate","seeds":[999]}"#);
+        assert_eq!(
+            v.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("invalid_budget")
+        );
+        let (resp, _) = dispatch(&state, r#"{"op":"estimate","seeds":[999]}"#, 4);
         let v = json::parse(&resp).unwrap();
-        assert!(v
-            .get("error")
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("code").unwrap().as_str(), Some("out_of_range"));
+        assert!(err
+            .get("message")
             .unwrap()
             .as_str()
             .unwrap()
             .contains("out of range"));
-        let (resp, _) = dispatch(&state, "garbage");
+        let (resp, _) = dispatch(&state, "garbage", 4);
         let v = json::parse(&resp).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
         assert_eq!(state.metrics().snapshot().error_requests, 3);
@@ -650,15 +716,63 @@ mod tests {
     fn solve_on_snapshot_is_deterministic() {
         let state = tiny_state(300);
         let line = r#"{"op":"solve","k":2,"algo":"ubg","seed":5}"#;
-        let (first, _) = dispatch(&state, line);
+        let (first, _) = dispatch(&state, line, 4);
         for _ in 0..3 {
-            let (again, _) = dispatch(&state, line);
+            let (again, _) = dispatch(&state, line, 4);
             // Identical except elapsed_us; compare the seeds field.
             let a = json::parse(&first).unwrap();
             let b = json::parse(&again).unwrap();
             assert_eq!(a.get("seeds"), b.get("seeds"));
             assert_eq!(a.get("estimate"), b.get("estimate"));
         }
+    }
+
+    #[test]
+    fn threads_knob_is_clamped_and_echoed() {
+        let state = tiny_state(300);
+        let (resp, _) = dispatch(&state, r#"{"op":"solve","k":2,"v":2,"threads":64}"#, 2);
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("mode").unwrap().as_str(), Some("parallel"));
+        assert_eq!(v.get("threads").unwrap().as_u64(), Some(2));
+        assert!(v.get("evaluations").unwrap().as_u64().unwrap() > 0);
+        // Seeds must match the single-threaded answer bit for bit.
+        let (seq, _) = dispatch(&state, r#"{"op":"solve","k":2,"mode":"sequential"}"#, 2);
+        let sv = json::parse(&seq).unwrap();
+        assert_eq!(sv.get("mode").unwrap().as_str(), Some("sequential"));
+        assert_eq!(v.get("seeds"), sv.get("seeds"));
+        assert_eq!(v.get("estimate"), sv.get("estimate"));
+    }
+
+    #[test]
+    fn strategy_resolution_respects_cap_and_mode() {
+        let t = |threads: Option<usize>, mode: Option<SolveMode>| SolveTuning {
+            threads,
+            mode,
+            depth: None,
+        };
+        assert_eq!(resolve_strategy(&t(None, None), 8), SolveStrategy::Lazy);
+        assert_eq!(
+            resolve_strategy(&t(Some(4), None), 8),
+            SolveStrategy::Parallel { threads: 4 }
+        );
+        assert_eq!(
+            resolve_strategy(&t(Some(64), None), 8),
+            SolveStrategy::Parallel { threads: 8 }
+        );
+        assert_eq!(resolve_strategy(&t(Some(0), None), 8), SolveStrategy::Lazy);
+        assert_eq!(
+            resolve_strategy(&t(None, Some(SolveMode::Sequential)), 8),
+            SolveStrategy::Sequential
+        );
+        assert_eq!(
+            resolve_strategy(&t(Some(9), Some(SolveMode::Lazy)), 8),
+            SolveStrategy::Lazy
+        );
+        assert_eq!(
+            resolve_strategy(&t(None, Some(SolveMode::Parallel)), 8),
+            SolveStrategy::Parallel { threads: 8 }
+        );
     }
 
     #[test]

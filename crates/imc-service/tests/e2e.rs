@@ -2,7 +2,7 @@
 //! clients, snapshot cold-start, deterministic solves, graceful shutdown.
 
 use imc_community::CommunitySet;
-use imc_core::{snapshot, ImcInstance, MaxrAlgorithm, RicStore};
+use imc_core::{snapshot, ImcInstance, MaxrAlgorithm, RicStore, SolveRequest};
 use imc_graph::{GraphBuilder, NodeId};
 use imc_service::client::Client;
 use imc_service::{RefreshConfig, ServeConfig, Server, ServiceState};
@@ -44,6 +44,7 @@ fn start(state: Arc<ServiceState>, workers: usize) -> imc_service::ServerHandle 
             deadline: TIMEOUT,
             refresh: None,
             metrics_addr: None,
+            max_solve_threads: 4,
         },
     )
     .expect("bind ephemeral port")
@@ -64,7 +65,13 @@ fn concurrent_solves_match_in_process_solver_byte_identically() {
         ("maf", MaxrAlgorithm::Maf),
         ("mb", MaxrAlgorithm::Mb),
     ] {
-        let solution = algo.solve(state.instance(), &*collection, 3, 7).unwrap();
+        let solution = algo
+            .solve(
+                state.instance(),
+                &*collection,
+                &SolveRequest::new(3).with_seed(7),
+            )
+            .unwrap();
         let seeds: Vec<u32> = solution.seeds.iter().map(|v| v.raw()).collect();
         expected.push((algo_name, seeds, solution.estimate));
     }
@@ -210,6 +217,7 @@ fn refresher_publishes_new_generations_while_serving() {
                 base_seed: 42,
             }),
             metrics_addr: None,
+            max_solve_threads: 4,
         },
     )
     .unwrap();
@@ -281,6 +289,7 @@ fn get_metrics_exposes_prometheus_text_reflecting_requests() {
             deadline: TIMEOUT,
             refresh: None,
             metrics_addr: Some("127.0.0.1:0".to_string()),
+            max_solve_threads: 4,
         },
     )
     .unwrap();
@@ -355,10 +364,50 @@ fn malformed_requests_get_error_responses_not_disconnects() {
     for bad in ["not json", r#"{"op":"nope"}"#, r#"{"op":"solve"}"#] {
         let resp = client.request(bad).unwrap();
         assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false), "{bad}");
-        assert!(resp.get("error").unwrap().as_str().is_some());
+        let err = resp.get("error").unwrap();
+        assert_eq!(
+            err.get("code").unwrap().as_str(),
+            Some("bad_request"),
+            "{bad}"
+        );
+        assert!(err.get("message").unwrap().as_str().is_some(), "{bad}");
     }
     // The connection survives all three errors.
     let resp = client.request(r#"{"op":"health"}"#).unwrap();
     assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+    server.stop_and_join();
+}
+
+#[test]
+fn v2_solve_requests_run_parallel_and_match_v1() {
+    let state = Arc::new(build_state(350));
+    let server = start(state, 2);
+    let mut client = Client::connect(server.addr(), TIMEOUT).unwrap();
+
+    let v1 = client
+        .request(r#"{"op":"solve","k":3,"algo":"ubg","seed":7}"#)
+        .unwrap();
+    assert_eq!(v1.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(v1.get("mode").unwrap().as_str(), Some("lazy"));
+    assert_eq!(v1.get("threads").unwrap().as_u64(), Some(1));
+
+    // Same request, v2 with the threads knob: identical seeds/estimate.
+    let v2 = client
+        .request(r#"{"op":"solve","k":3,"algo":"ubg","seed":7,"v":2,"threads":2}"#)
+        .unwrap();
+    assert_eq!(v2.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(v2.get("mode").unwrap().as_str(), Some("parallel"));
+    assert_eq!(v2.get("threads").unwrap().as_u64(), Some(2));
+    assert_eq!(v1.get("seeds"), v2.get("seeds"));
+    assert_eq!(v1.get("estimate"), v2.get("estimate"));
+    assert!(v2.get("evaluations").unwrap().as_u64().unwrap() > 0);
+
+    // Structured error payload for a solver-level rejection.
+    let err = client.request(r#"{"op":"solve","k":0}"#).unwrap();
+    assert_eq!(err.get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(
+        err.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("invalid_budget")
+    );
     server.stop_and_join();
 }

@@ -12,8 +12,8 @@
 //! unbiased and the chosen seeds differ between models.
 
 use imc::prelude::*;
-use imc_core::maxr::greedy::greedy_nu;
-use imc_core::{LiveEdgeModel, RicCollection, RicSampler};
+use imc_core::maxr::engine::greedy_nu_with;
+use imc_core::{LiveEdgeModel, RicCollection, RicSampler, SolveStrategy};
 use imc_diffusion::benefit::monte_carlo_benefit;
 use imc_diffusion::DiffusionModel;
 use rand::rngs::StdRng;
@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut collection = RicCollection::for_sampler(&sampler);
         let mut rng = StdRng::seed_from_u64(5);
         collection.extend_with(&sampler, samples, &mut rng);
-        let seeds = greedy_nu(&collection, k);
+        let seeds = greedy_nu_with(&collection, k, SolveStrategy::Lazy).seeds;
         let ric_estimate = collection.estimate(&seeds);
         let forward_estimate = monte_carlo_benefit(
             instance.graph(),

@@ -11,8 +11,9 @@
 
 use imc_community::{CommunitySet, ThresholdPolicy};
 use imc_core::maxr::exhaustive::exhaustive;
-use imc_core::maxr::ubg::ubg;
-use imc_core::{ImcInstance, MaxrAlgorithm, RicCollection};
+use imc_core::{
+    ImcInstance, MaxrAlgorithm, MaxrSolver, RicCollection, SolveRequest, SolverExtras, UbgSolver,
+};
 use imc_graph::WeightModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -48,7 +49,11 @@ fn check_bound(algo: MaxrAlgorithm, trials: u64, k: usize) {
             continue;
         }
         let sol = algo
-            .solve(&case.instance, &case.collection, k, trial)
+            .solve(
+                &case.instance,
+                &case.collection,
+                &SolveRequest::new(k).with_seed(trial),
+            )
             .expect("valid bounded instance");
         let r = case.instance.community_count();
         let h = case.instance.max_threshold();
@@ -89,14 +94,18 @@ fn ubg_sandwich_bound_holds() {
         if opt.influenced_samples == 0 {
             continue;
         }
-        let out = ubg(&case.collection, k);
-        let got = case.collection.influenced_count(&out.seeds) as f64;
+        let out = UbgSolver
+            .solve(&case.collection, &SolveRequest::new(k))
+            .expect("nonzero budget");
+        let SolverExtras::Ubg { sandwich_ratio, .. } = out.extras else {
+            panic!("UBG must report sandwich extras");
+        };
+        let got = out.influenced_samples as f64;
         let bound =
-            out.sandwich_ratio * (1.0 - 1.0 / std::f64::consts::E) * opt.influenced_samples as f64;
+            sandwich_ratio * (1.0 - 1.0 / std::f64::consts::E) * opt.influenced_samples as f64;
         assert!(
             got + 1e-9 >= bound,
-            "trial {trial}: UBG {got} < sandwich bound {bound:.2} (ratio {:.3}, OPT {})",
-            out.sandwich_ratio,
+            "trial {trial}: UBG {got} < sandwich bound {bound:.2} (ratio {sandwich_ratio:.3}, OPT {})",
             opt.influenced_samples
         );
     }
@@ -117,7 +126,11 @@ fn greedy_is_near_optimal_in_practice() {
             continue;
         }
         let sol = MaxrAlgorithm::Greedy
-            .solve(&case.instance, &case.collection, k, trial)
+            .solve(
+                &case.instance,
+                &case.collection,
+                &SolveRequest::new(k).with_seed(trial),
+            )
             .unwrap();
         total_ratio += sol.influenced_samples as f64 / opt.influenced_samples as f64;
         counted += 1;
@@ -142,7 +155,11 @@ fn exhaustive_dominates_every_solver() {
             MaxrAlgorithm::Mb,
         ] {
             let sol = algo
-                .solve(&case.instance, &case.collection, k, trial)
+                .solve(
+                    &case.instance,
+                    &case.collection,
+                    &SolveRequest::new(k).with_seed(trial),
+                )
                 .unwrap();
             assert!(
                 sol.influenced_samples <= opt.influenced_samples,

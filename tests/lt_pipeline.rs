@@ -6,8 +6,8 @@
 //! LT live-edge realization is distributed as LT activation.
 
 use imc::prelude::*;
-use imc_core::maxr::greedy::greedy_nu;
-use imc_core::{LiveEdgeModel, RicCollection, RicSampler};
+use imc_core::maxr::engine::greedy_nu_with;
+use imc_core::{LiveEdgeModel, RicCollection, RicSampler, SolveStrategy};
 use imc_diffusion::benefit::monte_carlo_benefit;
 use imc_graph::NodeId;
 use rand::rngs::StdRng;
@@ -74,7 +74,7 @@ fn lt_seed_selection_beats_random_seeds() {
     col.extend_with(&sampler, 8_000, &mut rng);
 
     let k = 6;
-    let chosen = greedy_nu(&col, k);
+    let chosen = greedy_nu_with(&col, k, SolveStrategy::Lazy).seeds;
     let arbitrary: Vec<NodeId> = (0..k as u32).map(|i| NodeId::new(i * 20)).collect();
 
     let grade = |seeds: &[NodeId]| {

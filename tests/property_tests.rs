@@ -209,7 +209,12 @@ proptest! {
         col.extend_with(&sampler, 30, &mut rng);
 
         let k = 2usize;
-        let greedy = imc_core::maxr::greedy::greedy_nu(&col, k);
+        let greedy = imc_core::maxr::engine::greedy_nu_with(
+            &col,
+            k,
+            imc_core::SolveStrategy::Lazy,
+        )
+        .seeds;
         let greedy_value = col.nu_estimate(&greedy);
 
         let mut opt = 0.0f64;

@@ -5,7 +5,9 @@
 //! algorithm, on random small instances.
 
 use imc_community::CommunitySet;
-use imc_core::{ImcInstance, MaxrAlgorithm, RicCollection, RicSampler, RicStore};
+use imc_core::{
+    ImcInstance, MaxrAlgorithm, RicCollection, RicSampler, RicStore, SolveRequest, SolveStrategy,
+};
 use imc_graph::{generators::erdos_renyi, NodeId, WeightModel};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -69,6 +71,7 @@ proptest! {
         let instance = small_instance(seed);
         let sampler = instance.sampler();
         let (col, store) = both_backends(&sampler, samples, seed ^ 0x5A5A);
+        let req = SolveRequest::new(k).with_seed(seed);
         for algo in [
             MaxrAlgorithm::Greedy,
             MaxrAlgorithm::Ubg,
@@ -76,12 +79,69 @@ proptest! {
             MaxrAlgorithm::Bt,
             MaxrAlgorithm::Mb,
         ] {
-            let legacy = algo.solve(&instance, &col, k, seed).unwrap();
-            let arena = algo.solve(&instance, &store, k, seed).unwrap();
+            let legacy = algo.solve(&instance, &col, &req).unwrap();
+            let arena = algo.solve(&instance, &store, &req).unwrap();
+            // Everything except the wall-clock stamp must match bitwise.
             prop_assert_eq!(
-                &legacy, &arena,
-                "{} diverged between backends", algo.name()
+                &legacy.seeds, &arena.seeds,
+                "{} seeds diverged between backends", algo.name()
             );
+            prop_assert_eq!(legacy.influenced_samples, arena.influenced_samples);
+            prop_assert_eq!(legacy.estimate, arena.estimate);
+            prop_assert_eq!(legacy.evaluations, arena.evaluations);
+            prop_assert_eq!(
+                &legacy.extras, &arena.extras,
+                "{} extras diverged between backends", algo.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole determinism contract: for every solver, the CELF-lazy
+    /// and lazy+parallel strategies at 1/2/4/8 threads return exactly the
+    /// sequential strategy's seeds — on both storage backends.
+    #[test]
+    fn strategies_agree_across_threads_and_backends(
+        seed in 0u64..100,
+        samples in 20usize..100,
+        k in 1usize..6,
+    ) {
+        let instance = small_instance(seed);
+        let sampler = instance.sampler();
+        let (col, store) = both_backends(&sampler, samples, seed ^ 0x3C3C);
+        let base = SolveRequest::new(k)
+            .with_seed(seed)
+            .with_strategy(SolveStrategy::Sequential);
+        for algo in [
+            MaxrAlgorithm::Greedy,
+            MaxrAlgorithm::Ubg,
+            MaxrAlgorithm::Maf,
+            MaxrAlgorithm::Bt,
+            MaxrAlgorithm::Mb,
+        ] {
+            let reference = algo.solve(&instance, &col, &base).unwrap();
+            for threads in [1usize, 2, 4, 8] {
+                // `with_threads(1)` is the lazy strategy, > 1 lazy+parallel.
+                let req = base.with_threads(threads);
+                for report in [
+                    algo.solve(&instance, &col, &req).unwrap(),
+                    algo.solve(&instance, &store, &req).unwrap(),
+                ] {
+                    prop_assert_eq!(
+                        &reference.seeds, &report.seeds,
+                        "{} seeds diverged at {} threads", algo.name(), threads
+                    );
+                    prop_assert_eq!(reference.influenced_samples, report.influenced_samples);
+                    prop_assert_eq!(reference.estimate, report.estimate);
+                    prop_assert_eq!(
+                        &reference.extras, &report.extras,
+                        "{} extras diverged at {} threads", algo.name(), threads
+                    );
+                }
+            }
         }
     }
 }
