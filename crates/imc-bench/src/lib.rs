@@ -16,4 +16,5 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod perfgate;
 pub mod report;

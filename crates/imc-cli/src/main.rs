@@ -12,7 +12,8 @@
 //!   dot          render graph (+communities, +seeds) as Graphviz DOT
 //!   serve        run the query daemon (--addr, --workers, --snapshot, --refresh-target,
 //!                --max-solve-threads N per-request parallelism cap,
-//!                --metrics-port N for a Prometheus GET /metrics listener)
+//!                --metrics-port N for a Prometheus GET /metrics listener,
+//!                --slow-request-log MS to log requests slower than MS)
 //!   query        send one request to a daemon
 //!                (--addr, --op solve|estimate|stats|metrics|health|shutdown;
 //!                 solve tuning: --threads N, --mode sequential|lazy|parallel, --depth D)

@@ -82,6 +82,12 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> Result<()> {
         )),
         None => None,
     };
+    let slow_request_log = match args.get("slow-request-log") {
+        Some(_) => Some(Duration::from_millis(
+            args.required_as::<u64>("slow-request-log")?,
+        )),
+        None => None,
+    };
     let config = ServeConfig {
         addr: args.get_or("addr", "127.0.0.1:7744".to_string())?,
         workers: args.get_or("workers", 4usize)?,
@@ -89,6 +95,7 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> Result<()> {
         refresh,
         metrics_addr,
         max_solve_threads: args.get_or("max-solve-threads", 4usize)?,
+        slow_request_log,
     };
     let state = Arc::new(state);
     let server = Server::start(Arc::clone(&state), config)?;

@@ -187,8 +187,11 @@ pub fn imcaf_with_trace(
 }
 
 /// Emits the per-round structured trace event and round metrics shared by
-/// every IMCAF entry point.
-fn observe_round(record: &RoundRecord) {
+/// every IMCAF entry point. `check_lambda` / `psi_capped` are the run's
+/// Λ and (capped) Ψ bounds, stamped into every round so a trace replay of
+/// Alg. 5's convergence needs no cross-referencing with the one-off
+/// `imcaf_bounds` event.
+fn observe_round(record: &RoundRecord, check_lambda: f64, psi_capped: usize) {
     crate::obs::imcaf_rounds_total().inc();
     if imc_obs::trace::enabled() {
         let mut event = imc_obs::trace::TraceEvent::new("imcaf_round")
@@ -196,7 +199,11 @@ fn observe_round(record: &RoundRecord) {
             .field("samples", record.samples)
             .field("influenced", record.influenced)
             .field("estimate", record.estimate)
-            .field("checked", record.checked);
+            .field("checked", record.checked)
+            .field("lambda", check_lambda)
+            .field("lambda_met", record.influenced as f64 >= check_lambda)
+            .field("psi_capped", psi_capped)
+            .field("psi_exhausted", record.samples >= psi_capped);
         if let Some(c_star) = record.independent_estimate {
             event = event.field("independent_estimate", c_star);
         }
@@ -299,7 +306,7 @@ fn imcaf_inner(
             {
                 record.independent_estimate = Some(out.estimate);
                 if solution.estimate <= (1.0 + es) * out.estimate {
-                    observe_round(&record);
+                    observe_round(&record, check_lambda, psi_capped);
                     observe(&record);
                     let result = ImcafResult {
                         seeds: solution.seeds,
@@ -314,7 +321,7 @@ fn imcaf_inner(
                 }
             }
         }
-        observe_round(&record);
+        observe_round(&record, check_lambda, psi_capped);
         observe(&record);
 
         if collection.len() >= psi_capped {

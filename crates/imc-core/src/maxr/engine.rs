@@ -23,12 +23,14 @@
 //!   for *any* thread count, including 1.
 
 use crate::maxr::pad_to_k;
+use crate::maxr::telemetry::{EngineTelemetry, IterationRecord, MapStats};
 use crate::{CoverageState, RicSamples};
 use imc_graph::NodeId;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// How a solver schedules marginal-gain evaluations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -102,33 +104,78 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    shard_map_stats(len, threads, eval).0
+}
+
+/// [`shard_map`] plus per-shard wall times and per-worker busy fractions
+/// for the engine telemetry. The timing never influences the result: the
+/// value vector stays bit-identical to the sequential map.
+pub(crate) fn shard_map_stats<T, F>(len: usize, threads: usize, eval: F) -> (Vec<T>, MapStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     if threads <= 1 || len < MIN_PARALLEL_ITEMS {
-        return (0..len).map(eval).collect();
+        let start = Instant::now();
+        let vals: Vec<T> = (0..len).map(eval).collect();
+        let stats = MapStats {
+            shard_seconds: vec![start.elapsed().as_secs_f64()],
+            busy_fractions: Vec::new(),
+        };
+        return (vals, stats);
     }
     let shards = len.div_ceil(SHARD);
     let workers = threads.min(shards);
     let cursor = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::with_capacity(shards));
+    let collected: Mutex<Vec<(usize, Vec<T>, f64)>> = Mutex::new(Vec::with_capacity(shards));
+    let busy: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(workers));
+    let wall = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let s = cursor.fetch_add(1, AtomicOrdering::Relaxed);
-                if s >= shards {
-                    break;
+            scope.spawn(|| {
+                let mut my_busy = 0.0;
+                loop {
+                    let s = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                    if s >= shards {
+                        break;
+                    }
+                    let shard_start = Instant::now();
+                    let lo = s * SHARD;
+                    let hi = ((s + 1) * SHARD).min(len);
+                    let vals: Vec<T> = (lo..hi).map(&eval).collect();
+                    let secs = shard_start.elapsed().as_secs_f64();
+                    my_busy += secs;
+                    collected
+                        .lock()
+                        .expect("shard results poisoned")
+                        .push((s, vals, secs));
                 }
-                let lo = s * SHARD;
-                let hi = ((s + 1) * SHARD).min(len);
-                let vals: Vec<T> = (lo..hi).map(&eval).collect();
-                collected
-                    .lock()
-                    .expect("shard results poisoned")
-                    .push((s, vals));
+                busy.lock().expect("busy seconds poisoned").push(my_busy);
             });
         }
     });
+    let wall_secs = wall.elapsed().as_secs_f64().max(1e-12);
     let mut groups = collected.into_inner().expect("shard results poisoned");
-    groups.sort_unstable_by_key(|&(s, _)| s);
-    groups.into_iter().flat_map(|(_, vals)| vals).collect()
+    groups.sort_unstable_by_key(|&(s, _, _)| s);
+    let mut out = Vec::with_capacity(len);
+    let mut shard_seconds = Vec::with_capacity(groups.len());
+    for (_, vals, secs) in groups {
+        out.extend(vals);
+        shard_seconds.push(secs);
+    }
+    let busy_fractions = busy
+        .into_inner()
+        .expect("busy seconds poisoned")
+        .into_iter()
+        .map(|b| (b / wall_secs).min(1.0))
+        .collect();
+    (
+        out,
+        MapStats {
+            shard_seconds,
+            busy_fractions,
+        },
+    )
 }
 
 /// Entries popped per evaluation batch: classic one-at-a-time CELF when
@@ -142,6 +189,22 @@ fn batch_cap(threads: usize) -> usize {
     }
 }
 
+/// Within one popped batch, evaluations run in chunks of this many items
+/// per worker thread; after each chunk the round's best-so-far is
+/// re-checked against the cached keys of the still-unevaluated remainder.
+const CHUNK_PER_THREAD: usize = 16;
+
+/// Evaluation chunk width for the best-so-far re-check. Single-threaded
+/// strategies already pop one entry at a time, so chunking is a no-op
+/// there.
+fn eval_chunk(threads: usize) -> usize {
+    if threads <= 1 {
+        1
+    } else {
+        threads * CHUNK_PER_THREAD
+    }
+}
+
 /// Strategy-aware greedy on `ĉ_R` (the number of influenced samples).
 ///
 /// All strategies return the seed set of the paper's plain re-evaluating
@@ -152,12 +215,27 @@ pub fn greedy_c_with<C: RicSamples>(
     k: usize,
     strategy: SolveStrategy,
 ) -> GreedyRun {
-    match strategy {
+    greedy_c_with_telemetry(collection, k, strategy).0
+}
+
+/// [`greedy_c_with`] that also returns the run's [`EngineTelemetry`].
+///
+/// Either entry point publishes the telemetry into the `imc_engine_*`
+/// metric families and the trace stream; this one additionally hands the
+/// structured records back for benches and tests.
+pub fn greedy_c_with_telemetry<C: RicSamples>(
+    collection: &C,
+    k: usize,
+    strategy: SolveStrategy,
+) -> (GreedyRun, EngineTelemetry) {
+    let (run, telemetry) = match strategy {
         SolveStrategy::Sequential => greedy_c_sequential(collection, k),
         SolveStrategy::Lazy | SolveStrategy::Parallel { .. } => {
-            greedy_c_lazy(collection, k, strategy.threads())
+            greedy_c_lazy(collection, k, strategy)
         }
-    }
+    };
+    telemetry.publish();
+    (run, telemetry)
 }
 
 /// Strategy-aware CELF greedy on the submodular upper bound `ν_R`.
@@ -170,15 +248,32 @@ pub fn greedy_nu_with<C: RicSamples>(
     k: usize,
     strategy: SolveStrategy,
 ) -> GreedyRun {
-    match strategy {
-        SolveStrategy::Sequential => greedy_nu_sequential(collection, k),
-        SolveStrategy::Lazy | SolveStrategy::Parallel { .. } => {
-            greedy_nu_lazy(collection, k, strategy.threads())
-        }
-    }
+    greedy_nu_with_telemetry(collection, k, strategy).0
 }
 
-fn greedy_c_sequential<C: RicSamples>(collection: &C, k: usize) -> GreedyRun {
+/// [`greedy_nu_with`] that also returns the run's [`EngineTelemetry`].
+///
+/// Either entry point publishes the telemetry into the `imc_engine_*`
+/// metric families and the trace stream; this one additionally hands the
+/// structured records back for benches and tests.
+pub fn greedy_nu_with_telemetry<C: RicSamples>(
+    collection: &C,
+    k: usize,
+    strategy: SolveStrategy,
+) -> (GreedyRun, EngineTelemetry) {
+    let (run, telemetry) = match strategy {
+        SolveStrategy::Sequential => greedy_nu_sequential(collection, k),
+        SolveStrategy::Lazy | SolveStrategy::Parallel { .. } => {
+            greedy_nu_lazy(collection, k, strategy)
+        }
+    };
+    telemetry.publish();
+    (run, telemetry)
+}
+
+fn greedy_c_sequential<C: RicSamples>(collection: &C, k: usize) -> (GreedyRun, EngineTelemetry) {
+    let wall = Instant::now();
+    let mut telemetry = EngineTelemetry::new("c_hat", "sequential", 1);
     let k = k.min(collection.node_count());
     let mut state = CoverageState::new(collection);
     let candidates: Vec<NodeId> = (0..collection.node_count() as u32)
@@ -186,9 +281,12 @@ fn greedy_c_sequential<C: RicSamples>(collection: &C, k: usize) -> GreedyRun {
         .filter(|&v| collection.appearance_count(v) > 0)
         .collect();
     let mut used = vec![false; collection.node_count()];
+    let mut remaining = candidates.len();
     let mut seeds = Vec::with_capacity(k);
     let mut evaluations = 0u64;
-    for _ in 0..k {
+    for round in 0..k {
+        let round_start = Instant::now();
+        let mut rec = IterationRecord::begin(round as u32, remaining);
         let mut best: Option<(usize, NodeId)> = None;
         for &v in &candidates {
             if used[v.index()] {
@@ -196,6 +294,7 @@ fn greedy_c_sequential<C: RicSamples>(collection: &C, k: usize) -> GreedyRun {
             }
             let gain = state.marginal_influenced(v);
             evaluations += 1;
+            rec.evaluations += 1;
             let better = match best {
                 None => gain > 0,
                 Some((bg, bv)) => gain > bg || (gain == bg && gain > 0 && v < bv),
@@ -204,17 +303,26 @@ fn greedy_c_sequential<C: RicSamples>(collection: &C, k: usize) -> GreedyRun {
                 best = Some((gain, v));
             }
         }
+        rec.pops = rec.evaluations;
         match best {
-            Some((_, v)) => {
+            Some((gain, v)) => {
                 state.add_seed(v);
                 used[v.index()] = true;
+                remaining -= 1;
                 seeds.push(v);
+                rec.finish(gain as f64, true, round_start);
+                telemetry.rounds.push(rec);
             }
-            None => break,
+            None => {
+                rec.finish(0.0, false, round_start);
+                telemetry.rounds.push(rec);
+                break;
+            }
         }
     }
     pad_to_k(collection, &mut seeds, k);
-    GreedyRun { seeds, evaluations }
+    telemetry.wall_seconds = wall.elapsed().as_secs_f64();
+    (GreedyRun { seeds, evaluations }, telemetry)
 }
 
 /// Lazy-queue entry for `ĉ_R`: keyed by the node's *potential* (samples it
@@ -240,7 +348,14 @@ impl PartialOrd for UbEntry {
     }
 }
 
-fn greedy_c_lazy<C: RicSamples>(collection: &C, k: usize, threads: usize) -> GreedyRun {
+fn greedy_c_lazy<C: RicSamples>(
+    collection: &C,
+    k: usize,
+    strategy: SolveStrategy,
+) -> (GreedyRun, EngineTelemetry) {
+    let threads = strategy.threads();
+    let wall = Instant::now();
+    let mut telemetry = EngineTelemetry::new("c_hat", strategy.label(), threads);
     let k = k.min(collection.node_count());
     let mut state = CoverageState::new(collection);
     // Initial potential = appearance count (no sample is influenced yet).
@@ -251,11 +366,15 @@ fn greedy_c_lazy<C: RicSamples>(collection: &C, k: usize, threads: usize) -> Gre
         })
         .collect();
     let cap = batch_cap(threads);
+    let chunk = eval_chunk(threads);
     let mut seeds = Vec::with_capacity(k);
     let mut evaluations = 0u64;
+    let mut round_idx = 0u32;
     let mut batch: Vec<UbEntry> = Vec::new();
     let mut evaluated: Vec<UbEntry> = Vec::new();
     while seeds.len() < k {
+        let round_start = Instant::now();
+        let mut rec = IterationRecord::begin(round_idx, heap.len());
         let mut best: Option<(usize, u32)> = None;
         evaluated.clear();
         loop {
@@ -274,26 +393,56 @@ fn greedy_c_lazy<C: RicSamples>(collection: &C, k: usize, threads: usize) -> Gre
             if batch.is_empty() {
                 break;
             }
-            let gains: Vec<(usize, usize)> = shard_map(batch.len(), threads, |i| {
-                state.marginal_influenced_with_potential(NodeId::new(batch[i].node))
-            });
-            evaluations += batch.len() as u64;
-            for (e, &(gain, potential)) in batch.iter().zip(&gains) {
-                let better = match best {
-                    None => gain > 0,
-                    Some((bg, bv)) => gain > bg || (gain == bg && gain > 0 && e.node < bv),
-                };
-                if better {
-                    best = Some((gain, e.node));
+            rec.batches += 1;
+            rec.pops += batch.len() as u64;
+            // Evaluate the batch in chunks; between chunks, entries whose
+            // cached upper bound can no longer beat the updated best go
+            // back to the queue *unevaluated*. Pops arrive in the queue's
+            // total order, so the first non-viable entry marks the cut.
+            let mut idx = 0;
+            while idx < batch.len() {
+                let hi = (idx + chunk).min(batch.len());
+                let (gains, stats): (Vec<(usize, usize)>, _) =
+                    shard_map_stats(hi - idx, threads, |i| {
+                        state.marginal_influenced_with_potential(NodeId::new(batch[idx + i].node))
+                    });
+                rec.absorb(&stats);
+                telemetry.absorb(stats);
+                evaluations += (hi - idx) as u64;
+                rec.evaluations += (hi - idx) as u64;
+                rec.stale_rechecks += (hi - idx) as u64;
+                for (e, &(gain, potential)) in batch[idx..hi].iter().zip(&gains) {
+                    let better = match best {
+                        None => gain > 0,
+                        Some((bg, bv)) => gain > bg || (gain == bg && gain > 0 && e.node < bv),
+                    };
+                    if better {
+                        best = Some((gain, e.node));
+                    }
+                    evaluated.push(UbEntry {
+                        ub: potential,
+                        node: e.node,
+                    });
                 }
-                evaluated.push(UbEntry {
-                    ub: potential,
-                    node: e.node,
-                });
+                idx = hi;
+                if idx < batch.len() {
+                    if let Some((bg, bv)) = best {
+                        let cut = batch[idx..]
+                            .iter()
+                            .position(|e| !(e.ub > bg || (e.ub == bg && e.node < bv)))
+                            .map_or(batch.len(), |p| idx + p);
+                        if cut < batch.len() {
+                            rec.saved_evaluations += (batch.len() - cut) as u64;
+                            for e in batch.drain(cut..) {
+                                heap.push(e);
+                            }
+                        }
+                    }
+                }
             }
         }
         match best {
-            Some((_, v)) => {
+            Some((gain, v)) => {
                 state.add_seed(NodeId::new(v));
                 seeds.push(NodeId::new(v));
                 // Non-winners return with their freshly measured potential
@@ -304,19 +453,29 @@ fn greedy_c_lazy<C: RicSamples>(collection: &C, k: usize, threads: usize) -> Gre
                         heap.push(e);
                     }
                 }
+                rec.finish(gain as f64, true, round_start);
+                telemetry.rounds.push(rec);
             }
-            None => break,
+            None => {
+                rec.finish(0.0, false, round_start);
+                telemetry.rounds.push(rec);
+                break;
+            }
         }
+        round_idx += 1;
     }
     pad_to_k(collection, &mut seeds, k);
-    GreedyRun { seeds, evaluations }
+    telemetry.wall_seconds = wall.elapsed().as_secs_f64();
+    (GreedyRun { seeds, evaluations }, telemetry)
 }
 
 /// A gain below this is treated as zero for `ν_R` (matches the historical
 /// CELF cut-off).
 const NU_EPS: f64 = 1e-15;
 
-fn greedy_nu_sequential<C: RicSamples>(collection: &C, k: usize) -> GreedyRun {
+fn greedy_nu_sequential<C: RicSamples>(collection: &C, k: usize) -> (GreedyRun, EngineTelemetry) {
+    let wall = Instant::now();
+    let mut telemetry = EngineTelemetry::new("nu", "sequential", 1);
     let k = k.min(collection.node_count());
     let mut state = CoverageState::new(collection);
     let candidates: Vec<NodeId> = (0..collection.node_count() as u32)
@@ -324,9 +483,12 @@ fn greedy_nu_sequential<C: RicSamples>(collection: &C, k: usize) -> GreedyRun {
         .filter(|&v| collection.appearance_count(v) > 0)
         .collect();
     let mut used = vec![false; collection.node_count()];
+    let mut remaining = candidates.len();
     let mut seeds = Vec::with_capacity(k);
     let mut evaluations = 0u64;
-    for _ in 0..k {
+    for round in 0..k {
+        let round_start = Instant::now();
+        let mut rec = IterationRecord::begin(round as u32, remaining);
         let mut best: Option<(f64, NodeId)> = None;
         for &v in &candidates {
             if used[v.index()] {
@@ -334,6 +496,7 @@ fn greedy_nu_sequential<C: RicSamples>(collection: &C, k: usize) -> GreedyRun {
             }
             let gain = state.marginal_fraction(v);
             evaluations += 1;
+            rec.evaluations += 1;
             // Ascending scan keeps the smallest id on exact ties.
             let better = match best {
                 None => gain > NU_EPS,
@@ -343,17 +506,26 @@ fn greedy_nu_sequential<C: RicSamples>(collection: &C, k: usize) -> GreedyRun {
                 best = Some((gain, v));
             }
         }
+        rec.pops = rec.evaluations;
         match best {
-            Some((_, v)) => {
+            Some((gain, v)) => {
                 state.add_seed(v);
                 used[v.index()] = true;
+                remaining -= 1;
                 seeds.push(v);
+                rec.finish(gain, true, round_start);
+                telemetry.rounds.push(rec);
             }
-            None => break,
+            None => {
+                rec.finish(0.0, false, round_start);
+                telemetry.rounds.push(rec);
+                break;
+            }
         }
     }
     pad_to_k(collection, &mut seeds, k);
-    GreedyRun { seeds, evaluations }
+    telemetry.wall_seconds = wall.elapsed().as_secs_f64();
+    (GreedyRun { seeds, evaluations }, telemetry)
 }
 
 /// CELF entry for `ν_R`: cached gain with a staleness stamp.
@@ -380,7 +552,14 @@ impl PartialOrd for NuEntry {
     }
 }
 
-fn greedy_nu_lazy<C: RicSamples>(collection: &C, k: usize, threads: usize) -> GreedyRun {
+fn greedy_nu_lazy<C: RicSamples>(
+    collection: &C,
+    k: usize,
+    strategy: SolveStrategy,
+) -> (GreedyRun, EngineTelemetry) {
+    let threads = strategy.threads();
+    let wall = Instant::now();
+    let mut telemetry = EngineTelemetry::new("nu", strategy.label(), threads);
     let k = k.min(collection.node_count());
     let mut state = CoverageState::new(collection);
     let candidates: Vec<u32> = (0..collection.node_count() as u32)
@@ -388,9 +567,11 @@ fn greedy_nu_lazy<C: RicSamples>(collection: &C, k: usize, threads: usize) -> Gr
         .collect();
     // The initial full gain scan is the single biggest evaluation wave —
     // fan it out across the workers.
-    let initial: Vec<f64> = shard_map(candidates.len(), threads, |i| {
+    let (initial, scan_stats): (Vec<f64>, _) = shard_map_stats(candidates.len(), threads, |i| {
         state.marginal_fraction(NodeId::new(candidates[i]))
     });
+    telemetry.absorb(scan_stats);
+    telemetry.initial_evaluations = candidates.len() as u64;
     let mut evaluations = candidates.len() as u64;
     let mut heap: BinaryHeap<NuEntry> = candidates
         .iter()
@@ -402,11 +583,14 @@ fn greedy_nu_lazy<C: RicSamples>(collection: &C, k: usize, threads: usize) -> Gr
         })
         .collect();
     let cap = batch_cap(threads);
+    let chunk = eval_chunk(threads);
     let mut seeds = Vec::with_capacity(k);
     let mut round = 0u32;
-    let mut stale: Vec<u32> = Vec::new();
+    let mut stale: Vec<NuEntry> = Vec::new();
     let mut evaluated: Vec<(f64, u32)> = Vec::new();
     while seeds.len() < k {
+        let round_start = Instant::now();
+        let mut rec = IterationRecord::begin(round, heap.len());
         let mut best: Option<(f64, u32)> = None;
         evaluated.clear();
         loop {
@@ -426,6 +610,7 @@ fn greedy_nu_lazy<C: RicSamples>(collection: &C, k: usize, threads: usize) -> Gr
                     break;
                 }
                 let e = heap.pop().expect("peeked entry");
+                rec.pops += 1;
                 if e.stamp == round {
                     // Gain is exact under the current seed set: contends
                     // for the argmax without re-evaluation.
@@ -441,9 +626,10 @@ fn greedy_nu_lazy<C: RicSamples>(collection: &C, k: usize, threads: usize) -> Gr
                         best = Some((e.gain, e.node));
                     }
                     evaluated.push((e.gain, e.node));
+                    rec.fresh_hits += 1;
                     popped_fresh = true;
                 } else {
-                    stale.push(e.node);
+                    stale.push(e);
                 }
             }
             if stale.is_empty() {
@@ -452,49 +638,89 @@ fn greedy_nu_lazy<C: RicSamples>(collection: &C, k: usize, threads: usize) -> Gr
                 }
                 break;
             }
-            let gains: Vec<f64> = shard_map(stale.len(), threads, |i| {
-                state.marginal_fraction(NodeId::new(stale[i]))
-            });
-            evaluations += stale.len() as u64;
-            for (&node, &gain) in stale.iter().zip(&gains) {
-                let better = match best {
-                    None => gain > NU_EPS,
-                    Some((bg, bv)) => match gain.total_cmp(&bg) {
-                        Ordering::Greater => true,
-                        Ordering::Equal => node < bv,
-                        Ordering::Less => false,
-                    },
-                };
-                if better {
-                    best = Some((gain, node));
+            rec.batches += 1;
+            // Re-evaluate the stale pops in chunks; between chunks, stale
+            // entries whose cached (upper-bound) gain can no longer beat
+            // the updated best go back to the queue unevaluated. Pops
+            // arrive in the queue's total order, so the first non-viable
+            // entry marks the cut.
+            let mut idx = 0;
+            while idx < stale.len() {
+                let hi = (idx + chunk).min(stale.len());
+                let (gains, stats): (Vec<f64>, _) = shard_map_stats(hi - idx, threads, |i| {
+                    state.marginal_fraction(NodeId::new(stale[idx + i].node))
+                });
+                rec.absorb(&stats);
+                telemetry.absorb(stats);
+                evaluations += (hi - idx) as u64;
+                rec.evaluations += (hi - idx) as u64;
+                rec.stale_rechecks += (hi - idx) as u64;
+                for (e, &gain) in stale[idx..hi].iter().zip(&gains) {
+                    let better = match best {
+                        None => gain > NU_EPS,
+                        Some((bg, bv)) => match gain.total_cmp(&bg) {
+                            Ordering::Greater => true,
+                            Ordering::Equal => e.node < bv,
+                            Ordering::Less => false,
+                        },
+                    };
+                    if better {
+                        best = Some((gain, e.node));
+                    }
+                    evaluated.push((gain, e.node));
                 }
-                evaluated.push((gain, node));
+                idx = hi;
+                if idx < stale.len() {
+                    if let Some((bg, bv)) = best {
+                        let cut = stale[idx..]
+                            .iter()
+                            .position(|e| match e.gain.total_cmp(&bg) {
+                                Ordering::Greater => false,
+                                Ordering::Equal => e.node >= bv,
+                                Ordering::Less => true,
+                            })
+                            .map_or(stale.len(), |p| idx + p);
+                        if cut < stale.len() {
+                            rec.saved_evaluations += (stale.len() - cut) as u64;
+                            for e in stale.drain(cut..) {
+                                heap.push(e);
+                            }
+                        }
+                    }
+                }
             }
         }
         match best {
-            Some((_, v)) => {
+            Some((gain, v)) => {
                 state.add_seed(NodeId::new(v));
                 seeds.push(NodeId::new(v));
                 // Re-queue the non-winners with their freshly measured
                 // gains, stamped with the round they were measured in; the
                 // round bump below marks them stale. Submodularity lets
                 // exhausted (≤ ε) entries drop out for good.
-                for &(gain, node) in &evaluated {
-                    if node != v && gain > NU_EPS {
+                for &(g, node) in &evaluated {
+                    if node != v && g > NU_EPS {
                         heap.push(NuEntry {
-                            gain,
+                            gain: g,
                             node,
                             stamp: round,
                         });
                     }
                 }
                 round += 1;
+                rec.finish(gain, true, round_start);
+                telemetry.rounds.push(rec);
             }
-            None => break,
+            None => {
+                rec.finish(0.0, false, round_start);
+                telemetry.rounds.push(rec);
+                break;
+            }
         }
     }
     pad_to_k(collection, &mut seeds, k);
-    GreedyRun { seeds, evaluations }
+    telemetry.wall_seconds = wall.elapsed().as_secs_f64();
+    (GreedyRun { seeds, evaluations }, telemetry)
 }
 
 #[cfg(test)]
@@ -674,6 +900,100 @@ mod tests {
                 state.add_seed(picked);
             }
         }
+    }
+
+    #[test]
+    fn telemetry_accounts_for_every_evaluation() {
+        let col = scrambled_collection(60, 300, 11);
+        let k = 8;
+        for strategy in ALL_STRATEGIES {
+            let (run, telemetry) = greedy_nu_with_telemetry(&col, k, strategy);
+            assert_eq!(
+                telemetry.evaluations(),
+                run.evaluations,
+                "ν telemetry evaluation total diverged for {strategy:?}"
+            );
+            assert_eq!(telemetry.objective, "nu");
+            assert_eq!(telemetry.strategy, strategy.label());
+            assert_eq!(telemetry.threads, strategy.threads());
+            let picked = telemetry.rounds.iter().filter(|r| r.picked).count();
+            assert!(picked <= k);
+            assert!(telemetry.rounds.len() <= k + 1);
+            // Queue depth at round start can never be below what is left
+            // to pop that round.
+            for rec in &telemetry.rounds {
+                assert!(rec.pops <= rec.queue_depth as u64 + rec.saved_evaluations);
+                assert!(rec.wasted_evaluations <= rec.evaluations);
+            }
+            assert!(telemetry.wall_seconds >= 0.0);
+
+            let (c_run, c_telemetry) = greedy_c_with_telemetry(&col, k, strategy);
+            assert_eq!(
+                c_telemetry.evaluations(),
+                c_run.evaluations,
+                "ĉ telemetry evaluation total diverged for {strategy:?}"
+            );
+            assert_eq!(c_telemetry.objective, "c_hat");
+            if strategy != SolveStrategy::Sequential {
+                // Every queue-based ĉ evaluation re-checks a bound-only key.
+                assert_eq!(c_telemetry.stale_rechecks(), c_run.evaluations);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_run_records_shard_timings() {
+        // 400 candidates push the initial ν scan over MIN_PARALLEL_ITEMS,
+        // so the parallel path must report per-shard wall times and
+        // per-worker busy fractions.
+        let col = scrambled_collection(400, 1200, 21);
+        let (_, telemetry) =
+            greedy_nu_with_telemetry(&col, 6, SolveStrategy::Parallel { threads: 4 });
+        assert!(
+            !telemetry.shard_seconds.is_empty(),
+            "no shard timings recorded"
+        );
+        assert!(
+            !telemetry.busy_fractions.is_empty(),
+            "no busy fractions recorded"
+        );
+        for &b in &telemetry.busy_fractions {
+            assert!((0.0..=1.0).contains(&b), "busy fraction {b} out of range");
+        }
+        for &s in &telemetry.shard_seconds {
+            assert!(s >= 0.0);
+        }
+    }
+
+    /// The thread-scaling fix: a wide parallel batch must push part of its
+    /// popped entries back unevaluated once the best-so-far proves they
+    /// cannot win — with seeds still bitwise identical to sequential.
+    #[test]
+    fn chunked_recheck_saves_evaluations_without_changing_seeds() {
+        let col = scrambled_collection(400, 1200, 21);
+        let k = 6;
+        let reference_nu = greedy_nu_with(&col, k, SolveStrategy::Sequential);
+        let reference_c = greedy_c_with(&col, k, SolveStrategy::Sequential);
+        let strategy = SolveStrategy::Parallel { threads: 8 };
+        let (nu_run, nu_telemetry) = greedy_nu_with_telemetry(&col, k, strategy);
+        let (c_run, c_telemetry) = greedy_c_with_telemetry(&col, k, strategy);
+        assert_eq!(nu_run.seeds, reference_nu.seeds);
+        assert_eq!(c_run.seeds, reference_c.seeds);
+        assert!(
+            nu_telemetry.saved_evaluations() > 0,
+            "ν saved no evaluations: {} pops, {} evaluations",
+            nu_telemetry.rounds.iter().map(|r| r.pops).sum::<u64>(),
+            nu_telemetry.evaluations(),
+        );
+        assert!(
+            c_telemetry.saved_evaluations() > 0,
+            "ĉ saved no evaluations: {} pops, {} evaluations",
+            c_telemetry.rounds.iter().map(|r| r.pops).sum::<u64>(),
+            c_telemetry.evaluations(),
+        );
+        // Single-threaded CELF pops one entry at a time — nothing to save.
+        let (_, lazy_telemetry) = greedy_nu_with_telemetry(&col, k, SolveStrategy::Lazy);
+        assert_eq!(lazy_telemetry.saved_evaluations(), 0);
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod greedy;
 pub mod maf;
 pub mod mb;
 pub mod solver;
+pub mod telemetry;
 pub mod ubg;
 
 pub use engine::{GreedyRun, SolveStrategy};
@@ -28,6 +29,7 @@ pub use solver::{
     BtSolver, GreedySolver, MafSolver, MaxrSolver, MbSolver, SolveReport, SolveRequest,
     SolverExtras, UbgSolver,
 };
+pub use telemetry::{EngineTelemetry, IterationRecord};
 
 use crate::{ImcError, ImcInstance, Result, RicSamples};
 use imc_graph::NodeId;

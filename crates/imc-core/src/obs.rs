@@ -111,6 +111,93 @@ pub(crate) fn maxr_coverage_ratio() -> &'static Arc<Histogram> {
     })
 }
 
+/// Worker utilisation buckets for `imc_engine_thread_busy_fraction`.
+const BUSY_FRACTION_BUCKETS: &[f64] = &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+pub(crate) fn engine_queue_depth() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        imc_obs::global().histogram(
+            "imc_engine_queue_depth",
+            "CELF queue depth at the start of each engine greedy round.",
+            &width_buckets(),
+        )
+    })
+}
+
+pub(crate) fn engine_shard_duration() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        imc_obs::global().histogram(
+            "imc_engine_shard_duration_seconds",
+            "Wall-clock time of one engine evaluation shard.",
+            DEFAULT_DURATION_BUCKETS,
+        )
+    })
+}
+
+pub(crate) fn engine_thread_busy_fraction() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        imc_obs::global().histogram(
+            "imc_engine_thread_busy_fraction",
+            "Per-worker busy fraction of each parallel engine evaluation map.",
+            BUSY_FRACTION_BUCKETS,
+        )
+    })
+}
+
+/// The `imc_engine_*` counter families, labelled by objective
+/// (`c_hat` / `nu`). Help strings live here so every registration of a
+/// family is identical.
+const ENGINE_COUNTERS: [(&str, &str); 5] = [
+    (
+        "imc_engine_rounds_total",
+        "Greedy rounds executed by the solve engine.",
+    ),
+    (
+        "imc_engine_evaluations_total",
+        "Marginal-gain evaluations performed by the solve engine.",
+    ),
+    (
+        "imc_engine_stale_rechecks_total",
+        "Queue entries re-evaluated after popping with a stale or bound-only key.",
+    ),
+    (
+        "imc_engine_wasted_evaluations_total",
+        "Evaluations whose result was discarded (everything but the round's pick).",
+    ),
+    (
+        "imc_engine_saved_evaluations_total",
+        "Popped entries returned to the queue unevaluated by the best-so-far re-check.",
+    ),
+];
+
+/// Publishes one engine run's telemetry into the `imc_engine_*` families.
+pub(crate) fn record_engine_run(telemetry: &crate::maxr::EngineTelemetry) {
+    let registry = imc_obs::global();
+    let labels = [("objective", telemetry.objective)];
+    let totals = [
+        telemetry.rounds.len() as u64,
+        telemetry.evaluations(),
+        telemetry.stale_rechecks(),
+        telemetry.wasted_evaluations(),
+        telemetry.saved_evaluations(),
+    ];
+    for ((name, help), total) in ENGINE_COUNTERS.iter().zip(totals) {
+        registry.counter_with(name, help, &labels).inc_by(total);
+    }
+    for rec in &telemetry.rounds {
+        engine_queue_depth().observe(rec.queue_depth as f64);
+    }
+    for &s in &telemetry.shard_seconds {
+        engine_shard_duration().observe(s);
+    }
+    for &b in &telemetry.busy_fractions {
+        engine_thread_busy_fraction().observe(b);
+    }
+}
+
 /// Records one MAXR solve: per-algorithm counter + duration histogram,
 /// the coverage-ratio histogram, and a `maxr_solve` trace event.
 pub(crate) fn record_maxr_solve(
@@ -213,6 +300,14 @@ pub fn register() {
             &[("stop_reason", reason)],
         );
     }
+    let _ = engine_queue_depth();
+    let _ = engine_shard_duration();
+    let _ = engine_thread_busy_fraction();
+    for objective in ["c_hat", "nu"] {
+        for (name, help) in ENGINE_COUNTERS {
+            let _ = imc_obs::global().counter_with(name, help, &[("objective", objective)]);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +333,14 @@ mod tests {
             "imc_estimate_calls_total",
             "imc_estimate_exhausted_total",
             "imc_estimate_samples",
+            "imc_engine_rounds_total",
+            "imc_engine_evaluations_total",
+            "imc_engine_stale_rechecks_total",
+            "imc_engine_wasted_evaluations_total",
+            "imc_engine_saved_evaluations_total",
+            "imc_engine_queue_depth",
+            "imc_engine_shard_duration_seconds",
+            "imc_engine_thread_busy_fraction",
         ] {
             assert!(
                 text.contains(name),

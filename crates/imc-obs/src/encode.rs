@@ -132,4 +132,57 @@ mod tests {
         assert!(text.contains("# HELP e_total line1\\nline2 \\\\ slash"));
         assert!(text.contains("e_total{p=\"a\\\"b\\nc\"} 1"));
     }
+
+    #[test]
+    fn label_escaping_handles_trailing_and_consecutive_backslashes() {
+        // A value ending in `\` must not swallow the closing quote, and
+        // `\\` must double to `\\\\` — a scraper that unescapes the line
+        // has to recover the original value byte-for-byte.
+        let r = Registry::new();
+        r.counter_with("bs_total", "B.", &[("p", "tail\\")]).inc();
+        r.counter_with("bs_total", "B.", &[("p", "a\\\\b")]).inc();
+        let text = to_prometheus(&r);
+        assert!(text.contains("bs_total{p=\"tail\\\\\"} 1"), "text: {text}");
+        assert!(
+            text.contains("bs_total{p=\"a\\\\\\\\b\"} 1"),
+            "text: {text}"
+        );
+        // Each escaped sample still occupies exactly one line.
+        for line in text.lines().filter(|l| l.starts_with("bs_total{")) {
+            assert!(line.ends_with(" 1"));
+        }
+    }
+
+    #[test]
+    fn label_escaping_handles_all_three_specials_together() {
+        // `\`, `"`, and a raw newline in one value: order of the replace
+        // passes matters (escaping `\` last would corrupt the others).
+        let r = Registry::new();
+        r.counter_with("mix_total", "M.", &[("p", "\\\"\n")]).inc();
+        let text = to_prometheus(&r);
+        assert!(
+            text.contains("mix_total{p=\"\\\\\\\"\\n\"} 1"),
+            "text: {text}"
+        );
+        // The raw newline must not split the sample across lines.
+        assert!(!text.contains("mix_total{p=\"\\\\\\\"\n"));
+    }
+
+    #[test]
+    fn histogram_le_lines_escape_shared_label_values() {
+        // The synthesized `le` label rides along with user labels on every
+        // bucket line — user-label escaping must survive the combination.
+        let r = Registry::new();
+        let h = r.histogram_with("esc_seconds", "E.", &[0.5], &[("op", "a\"b")]);
+        h.observe(0.1);
+        let text = to_prometheus(&r);
+        assert!(
+            text.contains("esc_seconds_bucket{op=\"a\\\"b\",le=\"0.5\"} 1"),
+            "text: {text}"
+        );
+        assert!(
+            text.contains("esc_seconds_bucket{op=\"a\\\"b\",le=\"+Inf\"} 1"),
+            "text: {text}"
+        );
+    }
 }

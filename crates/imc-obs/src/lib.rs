@@ -50,7 +50,10 @@ mod registry;
 pub mod span;
 pub mod trace;
 
-pub use metrics::{exponential_buckets, Counter, Gauge, Histogram, DEFAULT_DURATION_BUCKETS};
+pub use metrics::{
+    exponential_buckets, quantile_from_cumulative, Counter, Gauge, Histogram,
+    DEFAULT_DURATION_BUCKETS,
+};
 pub use registry::{MetricKind, Registry};
 pub use span::Span;
 

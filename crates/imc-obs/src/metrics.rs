@@ -183,6 +183,58 @@ impl Histogram {
             })
             .collect()
     }
+
+    /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) of the recorded
+    /// observations from the bucket layout, Prometheus
+    /// `histogram_quantile`-style: linear interpolation inside the bucket
+    /// containing the target rank, the last finite bound when the rank
+    /// lands in the `+Inf` bucket, `0.0` when nothing has been observed.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_cumulative(&self.bounds, &self.cumulative_buckets(), q)
+    }
+}
+
+/// The `q`-quantile of a histogram given as bucket upper `bounds` plus
+/// `cumulative` counts (one entry per bound, then the `+Inf` bucket).
+///
+/// This is the same estimate [`Histogram::quantile`] computes, exposed as
+/// a free function so callers can merge the cumulative buckets of several
+/// same-layout histograms (e.g. per-operation children of one family)
+/// before asking for an aggregate quantile.
+///
+/// # Panics
+///
+/// Panics when `cumulative.len() != bounds.len() + 1` — merged layouts
+/// must match the family's bounds.
+pub fn quantile_from_cumulative(bounds: &[f64], cumulative: &[u64], q: f64) -> f64 {
+    assert_eq!(
+        cumulative.len(),
+        bounds.len() + 1,
+        "cumulative buckets must cover every bound plus +Inf"
+    );
+    let total = *cumulative.last().expect("at least the +Inf bucket");
+    if total == 0 {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = q * total as f64;
+    let idx = cumulative
+        .iter()
+        .position(|&c| c as f64 >= rank)
+        .unwrap_or(bounds.len());
+    if idx >= bounds.len() {
+        // Rank fell in the +Inf bucket: the honest answer is "at least the
+        // last finite bound" — report that bound, as Prometheus does.
+        return bounds[bounds.len() - 1];
+    }
+    let upper = bounds[idx];
+    let lower = if idx == 0 { 0.0 } else { bounds[idx - 1] };
+    let below = if idx == 0 { 0 } else { cumulative[idx - 1] };
+    let in_bucket = cumulative[idx] - below;
+    if in_bucket == 0 {
+        return upper;
+    }
+    lower + (upper - lower) * ((rank - below as f64) / in_bucket as f64).clamp(0.0, 1.0)
 }
 
 /// `count` bucket bounds growing geometrically from `start` by `factor`.
@@ -235,6 +287,70 @@ mod tests {
         assert_eq!(h.count(), 4);
         assert_eq!(h.sum(), 106.5);
         assert_eq!(h.cumulative_buckets(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for _ in 0..50 {
+            h.observe(0.5); // le=1
+        }
+        for _ in 0..50 {
+            h.observe(1.5); // le=2
+        }
+        // Median rank (50) sits exactly at the top of the first bucket.
+        assert!((h.quantile(0.5) - 1.0).abs() < 1e-12);
+        // 75th percentile: halfway through the (1, 2] bucket.
+        assert!((h.quantile(0.75) - 1.5).abs() < 1e-12);
+        // Extremes clamp to the bucket edges.
+        assert!(h.quantile(0.0) >= 0.0);
+        assert!((h.quantile(1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::new(&[1.0]);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_in_the_inf_bucket_reports_last_finite_bound() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(100.0);
+        h.observe(200.0);
+        assert_eq!(h.quantile(0.99), 2.0);
+    }
+
+    #[test]
+    fn quantile_from_merged_cumulative_buckets() {
+        // Two same-layout histograms merged bucket-wise must yield the
+        // quantile of the union of their observations.
+        let a = Histogram::new(&[1.0, 2.0, 4.0]);
+        let b = Histogram::new(&[1.0, 2.0, 4.0]);
+        for _ in 0..10 {
+            a.observe(0.5);
+        }
+        for _ in 0..10 {
+            b.observe(3.0);
+        }
+        let merged: Vec<u64> = a
+            .cumulative_buckets()
+            .iter()
+            .zip(b.cumulative_buckets())
+            .map(|(&x, y)| x + y)
+            .collect();
+        let q50 = quantile_from_cumulative(&[1.0, 2.0, 4.0], &merged, 0.5);
+        // Half the mass is at 0.5, half at 3.0: the median lands on the
+        // first bucket's top edge.
+        assert!((q50 - 1.0).abs() < 1e-12, "got {q50}");
+        let q90 = quantile_from_cumulative(&[1.0, 2.0, 4.0], &merged, 0.9);
+        assert!(q90 > 2.0 && q90 <= 4.0, "got {q90}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cumulative buckets")]
+    fn quantile_rejects_mismatched_layouts() {
+        let _ = quantile_from_cumulative(&[1.0, 2.0], &[1, 2], 0.5);
     }
 
     #[test]

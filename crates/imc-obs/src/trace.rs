@@ -20,6 +20,7 @@
 //! }
 //! ```
 
+use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::io::Write;
 use std::path::Path;
@@ -67,6 +68,59 @@ pub fn clear_sink() {
         }
     }
     ENABLED.store(false, Ordering::Relaxed);
+}
+
+thread_local! {
+    static CURRENT_TRACE_ID: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// RAII guard scoping a request `trace_id` to the current thread.
+///
+/// While the guard lives, every [`TraceEvent`] constructed **on this
+/// thread** carries a `trace_id` field, so all events emitted while
+/// serving one request — solver spans, engine iterations, IMCAF rounds —
+/// stitch into one span tree in the JSONL sink. Guards nest: dropping an
+/// inner guard restores the outer id.
+///
+/// The id does **not** propagate into worker threads spawned inside the
+/// scope (the engine deliberately emits its trace events from the
+/// coordinating thread for exactly this reason).
+///
+/// ```
+/// use imc_obs::trace::{self, TraceCtx};
+///
+/// let guard = TraceCtx::enter("0123456789abcdef");
+/// assert_eq!(trace::current_trace_id().as_deref(), Some("0123456789abcdef"));
+/// drop(guard);
+/// assert_eq!(trace::current_trace_id(), None);
+/// ```
+#[must_use = "dropping the guard immediately ends the trace scope"]
+#[derive(Debug)]
+pub struct TraceCtx {
+    previous: Option<String>,
+}
+
+impl TraceCtx {
+    /// Makes `trace_id` the current thread's trace id until the returned
+    /// guard is dropped.
+    pub fn enter(trace_id: &str) -> TraceCtx {
+        let previous =
+            CURRENT_TRACE_ID.with(|slot| slot.borrow_mut().replace(trace_id.to_string()));
+        TraceCtx { previous }
+    }
+}
+
+impl Drop for TraceCtx {
+    fn drop(&mut self) {
+        CURRENT_TRACE_ID.with(|slot| {
+            *slot.borrow_mut() = self.previous.take();
+        });
+    }
+}
+
+/// The trace id installed on this thread by a live [`TraceCtx`], if any.
+pub fn current_trace_id() -> Option<String> {
+    CURRENT_TRACE_ID.with(|slot| slot.borrow().clone())
 }
 
 /// Writes one event as a single JSON line. No-op when no sink is
@@ -156,15 +210,22 @@ pub struct TraceEvent {
 
 impl TraceEvent {
     /// A new event of the given kind, timestamped now (UNIX microseconds).
+    ///
+    /// When a [`TraceCtx`] is live on this thread, the event starts with
+    /// a `trace_id` field so it joins that request's span tree.
     pub fn new(kind: &str) -> Self {
         let ts_us = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_micros() as u64)
             .unwrap_or(0);
+        let mut fields = Vec::new();
+        if let Some(id) = current_trace_id() {
+            fields.push(("trace_id".to_string(), FieldValue::Str(id)));
+        }
         TraceEvent {
             ts_us,
             kind: kind.to_string(),
-            fields: Vec::new(),
+            fields,
         }
     }
 
@@ -261,5 +322,83 @@ mod tests {
         // Must not panic or block; `enabled` can be toggled by other
         // tests, so just exercise the path.
         emit(TraceEvent::new("noop"));
+    }
+
+    #[test]
+    fn set_sink_path_to_unwritable_location_errs_without_panicking() {
+        // A directory that does not exist: File::create must fail, the
+        // error must surface as io::Result, and nothing may panic. The
+        // previously installed sink (if any) is left untouched because
+        // the failure happens before the slot is written.
+        let bogus = std::env::temp_dir()
+            .join("imc-obs-no-such-dir")
+            .join("deeper")
+            .join("trace.jsonl");
+        let err = set_sink_path(&bogus);
+        assert!(
+            err.is_err(),
+            "creating a sink under a missing dir must fail"
+        );
+        // Tracing stays usable after the failure.
+        emit(TraceEvent::new("after_unwritable_sink"));
+    }
+
+    /// A writer whose every write fails — emulates a disk that filled up
+    /// after the sink was installed.
+    struct FailingWriter;
+
+    impl Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk full"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Err(std::io::Error::other("disk full"))
+        }
+    }
+
+    #[test]
+    fn emit_swallows_write_errors_from_a_failing_sink() {
+        set_sink_writer(Box::new(FailingWriter));
+        // Every write and flush errors; emit must degrade gracefully.
+        emit(TraceEvent::new("lost_event").field("n", 1u64));
+        emit(TraceEvent::new("lost_event").field("n", 2u64));
+        // clear_sink flushes the failing writer — also must not panic.
+        clear_sink();
+    }
+
+    #[test]
+    fn trace_ctx_attaches_id_and_restores_on_drop() {
+        assert_eq!(current_trace_id(), None);
+        let outer = TraceCtx::enter("aaaa000011112222");
+        assert_eq!(current_trace_id().as_deref(), Some("aaaa000011112222"));
+        let json_outer = TraceEvent::new("e").to_json();
+        assert!(
+            json_outer.contains("\"trace_id\":\"aaaa000011112222\""),
+            "events inside the scope carry the id: {json_outer}"
+        );
+        {
+            let _inner = TraceCtx::enter("bbbb000011112222");
+            assert_eq!(current_trace_id().as_deref(), Some("bbbb000011112222"));
+        }
+        // Inner guard dropped: outer id restored, not cleared.
+        assert_eq!(current_trace_id().as_deref(), Some("aaaa000011112222"));
+        drop(outer);
+        assert_eq!(current_trace_id(), None);
+        let json_outside = TraceEvent::new("e").to_json();
+        assert!(!json_outside.contains("trace_id"));
+    }
+
+    #[test]
+    fn trace_ctx_is_thread_local() {
+        let _guard = TraceCtx::enter("cccc000011112222");
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                // Worker threads do not inherit the coordinating thread's
+                // trace id — the engine relies on this to emit from the
+                // coordinator only.
+                assert_eq!(current_trace_id(), None);
+            });
+        });
+        assert_eq!(current_trace_id().as_deref(), Some("cccc000011112222"));
     }
 }

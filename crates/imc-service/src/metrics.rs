@@ -1,21 +1,20 @@
-//! Request metrics: per-operation counters and a latency reservoir giving
-//! p50/p99 without unbounded memory.
+//! Request metrics: per-operation counters, with p50/p99 latency derived
+//! from the shared `imc_request_duration_seconds` histogram.
 //!
 //! Every recorded request is mirrored into the process-wide
 //! [`imc_obs::global`] registry (`imc_requests_total{op}`,
 //! `imc_request_duration_seconds{op}`, `imc_samples_scanned_total`,
 //! `imc_deadline_misses_total`), so the daemon's `GET /metrics` exposition
-//! and the NDJSON `stats` op report from one source of truth. The
-//! reservoir stays local: percentiles over a ring are cheap here and don't
-//! map onto fixed Prometheus buckets.
+//! and the NDJSON `stats` op report from one source of truth. The `stats`
+//! percentiles are computed by merging the per-op duration-histogram
+//! buckets (all four children share [`DEFAULT_DURATION_BUCKETS`]) and
+//! interpolating with [`imc_obs::quantile_from_cumulative`] — no separate
+//! latency reservoir, so the two surfaces can never disagree.
 
 use imc_obs::{Counter, Histogram, DEFAULT_DURATION_BUCKETS};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
-
-/// How many recent latency observations the reservoir keeps.
-const RESERVOIR_CAP: usize = 4096;
 
 /// Lock-light metrics shared by every worker thread.
 #[derive(Debug, Default)]
@@ -32,14 +31,6 @@ pub struct Metrics {
     pub deadline_misses: AtomicU64,
     /// Total RIC samples scanned on behalf of requests.
     pub samples_served: AtomicU64,
-    /// Recent request latencies in microseconds (ring buffer).
-    latencies_us: Mutex<LatencyRing>,
-}
-
-#[derive(Debug, Default)]
-struct LatencyRing {
-    buf: Vec<u64>,
-    next: usize,
 }
 
 impl Metrics {
@@ -63,15 +54,6 @@ impl Metrics {
         obs.requests.inc();
         obs.duration.observe_duration(latency);
         samples_scanned_total().inc_by(samples_scanned);
-        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        let mut ring = self.latencies_us.lock().expect("metrics lock");
-        if ring.buf.len() < RESERVOIR_CAP {
-            ring.buf.push(us);
-        } else {
-            let at = ring.next;
-            ring.buf[at] = us;
-        }
-        ring.next = (ring.next + 1) % RESERVOIR_CAP;
     }
 
     /// Records a request rejected because its deadline expired in queue.
@@ -84,10 +66,7 @@ impl Metrics {
 
     /// A point-in-time snapshot of all counters and percentiles.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let (p50, p99) = {
-            let ring = self.latencies_us.lock().expect("metrics lock");
-            percentiles(&ring.buf)
-        };
+        let (p50, p99) = latency_quantiles_us();
         MetricsSnapshot {
             solve_requests: self.solve_requests.load(Ordering::Relaxed),
             estimate_requests: self.estimate_requests.load(Ordering::Relaxed),
@@ -99,6 +78,27 @@ impl Metrics {
             p99_latency_us: p99,
         }
     }
+}
+
+/// p50/p99 request latency in microseconds, interpolated from the merged
+/// cumulative buckets of the four per-op `imc_request_duration_seconds`
+/// children. All children are registered with the same bucket layout, so
+/// element-wise summation yields the all-ops distribution.
+fn latency_quantiles_us() -> (u64, u64) {
+    let kinds = [OpKind::Solve, OpKind::Estimate, OpKind::Info, OpKind::Error];
+    let mut merged = vec![0u64; DEFAULT_DURATION_BUCKETS.len() + 1];
+    for kind in kinds {
+        let cumulative = obs_handles(kind).duration.cumulative_buckets();
+        debug_assert_eq!(cumulative.len(), merged.len());
+        for (slot, c) in merged.iter_mut().zip(cumulative) {
+            *slot += c;
+        }
+    }
+    let to_us = |q: f64| {
+        let seconds = imc_obs::quantile_from_cumulative(DEFAULT_DURATION_BUCKETS, &merged, q);
+        (seconds * 1e6).round() as u64
+    };
+    (to_us(0.5), to_us(0.99))
 }
 
 /// Which counter a completed request increments.
@@ -210,24 +210,13 @@ pub struct MetricsSnapshot {
     pub deadline_misses: u64,
     /// Total RIC samples scanned.
     pub samples_served: u64,
-    /// Median request latency, microseconds (0 when no data).
+    /// Median request latency, microseconds, interpolated from the shared
+    /// duration histogram (0 when no data). Process-wide, like the
+    /// histogram it derives from.
     pub p50_latency_us: u64,
-    /// 99th-percentile request latency, microseconds (0 when no data).
+    /// 99th-percentile request latency, microseconds, from the same
+    /// histogram (0 when no data).
     pub p99_latency_us: u64,
-}
-
-/// Nearest-rank percentiles over the reservoir.
-fn percentiles(values: &[u64]) -> (u64, u64) {
-    if values.is_empty() {
-        return (0, 0);
-    }
-    let mut sorted = values.to_vec();
-    sorted.sort_unstable();
-    let rank = |p: f64| {
-        let idx = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-        sorted[idx.clamp(1, sorted.len()) - 1]
-    };
-    (rank(50.0), rank(99.0))
 }
 
 #[cfg(test)]
@@ -251,21 +240,19 @@ mod tests {
     }
 
     #[test]
-    fn percentile_ranks() {
-        let values: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentiles(&values), (50, 99));
-        assert_eq!(percentiles(&[7]), (7, 7));
-        assert_eq!(percentiles(&[]), (0, 0));
-    }
-
-    #[test]
-    fn reservoir_wraps_without_growing() {
+    fn quantiles_come_from_the_shared_histogram() {
+        // The duration histogram is process-global and shared with every
+        // other test in this binary, so assert ordering and liveness, not
+        // exact values.
         let m = Metrics::new();
-        for i in 0..(RESERVOIR_CAP as u64 + 100) {
-            m.record(OpKind::Info, Duration::from_micros(i), 0);
-        }
-        let ring = m.latencies_us.lock().unwrap();
-        assert_eq!(ring.buf.len(), RESERVOIR_CAP);
+        m.record(OpKind::Info, Duration::from_micros(50), 0);
+        m.record(OpKind::Info, Duration::from_millis(5), 0);
+        let s = m.snapshot();
+        assert!(s.p50_latency_us > 0, "recorded data must move the median");
+        assert!(s.p50_latency_us <= s.p99_latency_us);
+        // The histogram's finite bounds end at ~2.62 s; the interpolated
+        // quantile can never exceed the last finite bound.
+        assert!(s.p99_latency_us <= 3_000_000);
     }
 
     #[test]

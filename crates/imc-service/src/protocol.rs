@@ -38,6 +38,14 @@
 //! with a structured `"error"` object: `{"code":"...","message":"..."}`
 //! (version 1 carried a bare string; clients that only check `ok` are
 //! unaffected).
+//!
+//! Every response — success or error — additionally echoes a server-
+//! assigned `"trace_id"` (16 hex digits). The same id tags every JSONL
+//! trace event the request produced (solver spans, engine per-iteration
+//! records, IMCAF rounds, slow-request records), so one request's span
+//! tree can be reassembled from the trace sink by filtering on the id.
+//! The field is additive and ignorable: version-1 and version-2 clients
+//! that only read the documented fields are unaffected.
 
 use crate::json::{self, ObjectBuilder, Value};
 use imc_core::{ImcError, MaxrAlgorithm};

@@ -99,6 +99,11 @@ pub struct ServeConfig {
     /// asking for more runs with this many. Keeps one greedy client from
     /// monopolizing the host under a concurrent worker pool.
     pub max_solve_threads: usize,
+    /// Requests slower than this threshold emit one structured
+    /// `slow_request` line on stderr (and a matching trace event when a
+    /// sink is installed) with a per-phase breakdown. `None` disables the
+    /// slow log.
+    pub slow_request_log: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -110,6 +115,7 @@ impl Default for ServeConfig {
             refresh: None,
             metrics_addr: None,
             max_solve_threads: 4,
+            slow_request_log: None,
         }
     }
 }
@@ -154,6 +160,7 @@ impl Server {
         let workers = config.workers;
         let deadline = config.deadline;
         let max_solve_threads = config.max_solve_threads.max(1);
+        let slow_request_log = config.slow_request_log;
         let accept_thread = std::thread::Builder::new()
             .name("imc-acceptor".to_string())
             .spawn(move || {
@@ -174,6 +181,7 @@ impl Server {
                             &shutdown,
                             enqueued,
                             max_solve_threads,
+                            slow_request_log,
                         );
                     });
                 }
@@ -342,6 +350,7 @@ fn spawn_metrics_listener(
 /// How often an idle connection wakes to check the shutdown signal.
 const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
 
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     state: &ServiceState,
     stream: TcpStream,
@@ -349,6 +358,7 @@ fn handle_connection(
     shutdown: &Shutdown,
     enqueued: Instant,
     max_solve_threads: usize,
+    slow_request_log: Option<Duration>,
 ) {
     // Short read timeout so idle connections notice shutdown promptly;
     // the request deadline is enforced separately via `idle_since`.
@@ -402,7 +412,8 @@ fn handle_connection(
                         let _ = writer.flush();
                         break;
                     }
-                    let (response, stop) = dispatch(state, trimmed, max_solve_threads);
+                    let (response, stop) =
+                        dispatch_with(state, trimmed, max_solve_threads, slow_request_log);
                     if writeln!(writer, "{response}")
                         .and_then(|()| writer.flush())
                         .is_err()
@@ -448,21 +459,139 @@ fn resolve_strategy(tuning: &SolveTuning, cap: usize) -> SolveStrategy {
     }
 }
 
+/// Allocates a request trace id: 16 lowercase hex digits, unique within
+/// the process and effectively unique across daemon restarts (counter,
+/// wall-clock microseconds, and pid are hashed together).
+fn next_trace_id() -> String {
+    use std::hash::{Hash, Hasher};
+    static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let micros = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    (n, micros, std::process::id()).hash(&mut hasher);
+    format!("{:016x}", hasher.finish())
+}
+
+/// Splices `"trace_id"` into a serialized response object. Every response
+/// carries at least the `ok` field, so inserting before the final `}` is
+/// always valid JSON. The id is plain hex and needs no escaping.
+fn with_trace_id(mut response: String, trace_id: &str) -> String {
+    match response.rfind('}') {
+        Some(pos) => {
+            response.truncate(pos);
+            response.push_str(",\"trace_id\":\"");
+            response.push_str(trace_id);
+            response.push_str("\"}");
+            response
+        }
+        None => response,
+    }
+}
+
+/// The `op` label a parsed request logs under.
+fn op_name(request: &Request) -> &'static str {
+    match request {
+        Request::Solve { .. } => "solve",
+        Request::Estimate { .. } => "estimate",
+        Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::Health => "health",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+/// [`dispatch_with`] without a slow-request threshold (test shorthand).
+#[cfg(test)]
+fn dispatch(state: &ServiceState, line: &str, max_solve_threads: usize) -> (String, bool) {
+    dispatch_with(state, line, max_solve_threads, None)
+}
+
 /// Handles one request line; returns the response and whether the server
 /// should shut down afterwards. `max_solve_threads` is the server-side cap
 /// on the per-request `threads` knob.
-fn dispatch(state: &ServiceState, line: &str, max_solve_threads: usize) -> (String, bool) {
+///
+/// Every request gets a fresh `trace_id`, echoed in the response (an
+/// additive protocol-v2 field) and installed as the thread's
+/// [`TraceCtx`](imc_obs::trace::TraceCtx) so every trace event the solve
+/// emits — engine per-iteration records, IMCAF round records, spans —
+/// carries the same id and reassembles into one span tree per request.
+///
+/// When `slow_threshold` is set and the request takes at least that long
+/// end to end, one structured `slow_request` line goes to stderr (and a
+/// matching trace event to the sink) with the per-phase breakdown (parse
+/// vs execute).
+fn dispatch_with(
+    state: &ServiceState,
+    line: &str,
+    max_solve_threads: usize,
+    slow_threshold: Option<Duration>,
+) -> (String, bool) {
     let start = Instant::now();
-    let request = match protocol::parse_request(line) {
-        Ok(r) => r,
+    let trace_id = next_trace_id();
+    let _ctx = imc_obs::trace::TraceCtx::enter(&trace_id);
+    let parsed = protocol::parse_request(line);
+    let parse_us = elapsed_us(start);
+    let op = parsed.as_ref().map_or("error", op_name);
+    let execute_started = Instant::now();
+    let (response, stop) = match parsed {
+        Ok(request) => execute(state, request, max_solve_threads, start),
         Err(message) => {
             state.metrics().record(OpKind::Error, start.elapsed(), 0);
-            return (
+            (
                 protocol::error_response(ErrorCode::BadRequest, &message),
                 false,
-            );
+            )
         }
     };
+    let execute_us = elapsed_us(execute_started);
+    if let Some(threshold) = slow_threshold {
+        let total = start.elapsed();
+        if total >= threshold {
+            log_slow_request(op, &trace_id, total, parse_us, execute_us, threshold);
+        }
+    }
+    (with_trace_id(response, &trace_id), stop)
+}
+
+/// Emits the structured slow-request record: a `slow_request` trace event
+/// (joining the request's span tree via the live [`TraceCtx`]) plus one
+/// `key=value` line on stderr for log scrapers.
+fn log_slow_request(
+    op: &str,
+    trace_id: &str,
+    total: Duration,
+    parse_us: u64,
+    execute_us: u64,
+    threshold: Duration,
+) {
+    let total_us = u64::try_from(total.as_micros()).unwrap_or(u64::MAX);
+    let threshold_ms = u64::try_from(threshold.as_millis()).unwrap_or(u64::MAX);
+    if imc_obs::trace::enabled() {
+        imc_obs::trace::emit(
+            imc_obs::trace::TraceEvent::new("slow_request")
+                .field("op", op)
+                .field("total_us", total_us)
+                .field("parse_us", parse_us)
+                .field("execute_us", execute_us)
+                .field("threshold_ms", threshold_ms),
+        );
+    }
+    eprintln!(
+        "slow_request trace_id={trace_id} op={op} total_us={total_us} \
+         parse_us={parse_us} execute_us={execute_us} threshold_ms={threshold_ms}"
+    );
+}
+
+/// Executes a parsed request. `start` is the dispatch start instant so the
+/// recorded latencies and `elapsed_us` fields cover parsing too.
+fn execute(
+    state: &ServiceState,
+    request: Request,
+    max_solve_threads: usize,
+    start: Instant,
+) -> (String, bool) {
     match request {
         Request::Solve {
             k,

@@ -45,6 +45,7 @@ fn start(state: Arc<ServiceState>, workers: usize) -> imc_service::ServerHandle 
             refresh: None,
             metrics_addr: None,
             max_solve_threads: 4,
+            slow_request_log: None,
         },
     )
     .expect("bind ephemeral port")
@@ -218,6 +219,7 @@ fn refresher_publishes_new_generations_while_serving() {
             }),
             metrics_addr: None,
             max_solve_threads: 4,
+            slow_request_log: None,
         },
     )
     .unwrap();
@@ -290,6 +292,7 @@ fn get_metrics_exposes_prometheus_text_reflecting_requests() {
             refresh: None,
             metrics_addr: Some("127.0.0.1:0".to_string()),
             max_solve_threads: 4,
+            slow_request_log: None,
         },
     )
     .unwrap();
@@ -376,6 +379,96 @@ fn malformed_requests_get_error_responses_not_disconnects() {
     let resp = client.request(r#"{"op":"health"}"#).unwrap();
     assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
     server.stop_and_join();
+}
+
+#[test]
+fn solve_response_trace_id_links_engine_iteration_records_in_the_sink() {
+    let dir = std::env::temp_dir().join(format!("imc-e2e-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sink = dir.join("trace.jsonl");
+    imc_obs::trace::set_sink_path(&sink).unwrap();
+
+    let state = Arc::new(build_state(400));
+    let server = Server::start(
+        Arc::clone(&state),
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            deadline: TIMEOUT,
+            refresh: None,
+            metrics_addr: None,
+            max_solve_threads: 4,
+            // Zero threshold: every request is "slow", so the structured
+            // slow-request record lands in the span tree too.
+            slow_request_log: Some(Duration::ZERO),
+        },
+    )
+    .unwrap();
+
+    let mut client = Client::connect(server.addr(), TIMEOUT).unwrap();
+    let resp = client
+        .request(r#"{"op":"solve","k":3,"algo":"ubg","seed":7,"v":2,"threads":2}"#)
+        .unwrap();
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+    let trace_id = resp
+        .get("trace_id")
+        .expect("solve response must echo a trace_id")
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert_eq!(trace_id.len(), 16, "trace_id is 16 hex digits: {trace_id}");
+    assert!(trace_id.chars().all(|c| c.is_ascii_hexdigit()));
+    // Error responses carry the id too.
+    let err = client.request("garbage").unwrap();
+    assert_eq!(err.get("ok").unwrap().as_bool(), Some(false));
+    assert!(err.get("trace_id").unwrap().as_str().is_some());
+    server.stop_and_join();
+    imc_obs::trace::clear_sink();
+
+    // Reassemble the request's span tree: every sink line tagged with the
+    // response's trace_id belongs to this one request, no matter how many
+    // concurrent tests were also tracing.
+    let text = std::fs::read_to_string(&sink).unwrap();
+    let mine: Vec<imc_service::json::Value> = text
+        .lines()
+        .filter(|l| l.contains(&format!(r#""trace_id":"{trace_id}""#)))
+        .map(|l| imc_service::json::parse(l).unwrap())
+        .collect();
+    let kind_of =
+        |v: &imc_service::json::Value| v.get("kind").unwrap().as_str().unwrap().to_string();
+    // UBG runs the engine twice (once per objective), 3 greedy rounds each.
+    let iterations: Vec<_> = mine
+        .iter()
+        .filter(|v| kind_of(v) == "engine_iteration")
+        .collect();
+    assert!(
+        iterations.len() >= 3,
+        "expected one engine_iteration per greedy round, got {}",
+        iterations.len()
+    );
+    for it in &iterations {
+        assert!(it.get("queue_depth").unwrap().as_u64().unwrap() >= 1);
+        assert!(it.get("stale_rechecks").unwrap().as_u64().is_some());
+        assert!(it.get("shard_seconds_sum").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(it.get("shard_seconds_max").unwrap().as_f64().is_some());
+    }
+    let objectives: Vec<_> = mine
+        .iter()
+        .filter(|v| kind_of(v) == "engine_solve")
+        .map(|v| v.get("objective").unwrap().as_str().unwrap().to_string())
+        .collect();
+    assert!(
+        objectives.iter().any(|o| o == "nu") && objectives.iter().any(|o| o == "c_hat"),
+        "UBG's span tree holds both objectives' engine_solve summaries: {objectives:?}"
+    );
+    let slow = mine
+        .iter()
+        .find(|v| kind_of(v) == "slow_request")
+        .expect("slow_request record at zero threshold");
+    assert_eq!(slow.get("op").unwrap().as_str(), Some("solve"));
+    assert!(slow.get("parse_us").unwrap().as_u64().is_some());
+    assert!(slow.get("execute_us").unwrap().as_u64().is_some());
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

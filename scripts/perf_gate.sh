@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Perf regression gate: build imc-bench in release mode and run
+# `imc-bench perf-gate` against the committed BENCH_*.json baselines at
+# the repository root.
+#
+# Usage:
+#   scripts/perf_gate.sh --quick [--report FILE]
+#       regenerate quick-mode bench JSON into a temp dir and gate it
+#       (the non-flaky CI job: wall-time rows skip on workload mismatch,
+#       seeds_identical and schema are still enforced)
+#   scripts/perf_gate.sh --candidate-dir DIR [--report FILE] [--tolerance F]
+#       gate a full-scale candidate (e.g. from `imc-bench solver --out DIR`
+#       and `imc-bench ric --out DIR` on the baseline machine class)
+#
+# All flags are forwarded to `imc-bench perf-gate`; the baseline dir
+# defaults to the repository root. Exits with the gate's status.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+exec cargo run --release -q -p imc-bench -- perf-gate --baseline-dir . "$@"
