@@ -1,11 +1,17 @@
 //! `imc-bench perf-gate` — the performance regression gate.
 //!
-//! Compares freshly generated `BENCH_ric.json` / `BENCH_solver.json`
-//! against the committed baselines at the repository root, with
-//! schema-aware tolerances:
+//! Compares freshly generated `BENCH_ric.json` / `BENCH_solver.json` /
+//! `BENCH_service.json` against the committed baselines at the
+//! repository root, with schema-aware tolerances:
 //!
 //! * `seeds_identical: false` in a candidate solver record **always**
-//!   fails the gate — determinism regressions are never tolerable.
+//!   fails the gate — determinism regressions are never tolerable. The
+//!   same holds for the cluster artifact's `seeds_identical` /
+//!   `evaluations_identical` / `eval_roundtrip` flags (on *either*
+//!   side: a broken committed baseline also fails).
+//! * `BENCH_service.json` is optional on the candidate side only —
+//!   `--quick` CI runs regenerate just the solver/RIC files, so a
+//!   missing cluster candidate earns a note, never a failure.
 //! * Wall-time rows are compared only between *matching workloads*
 //!   (same dataset, sample count, `k`, and — for the solver table —
 //!   the same `(strategy, threads)` pair). A quick-mode candidate
@@ -32,6 +38,9 @@ use std::path::{Path, PathBuf};
 pub const SOLVER_SCHEMA: &str = "imc-bench/solver/v1";
 /// RIC schema this gate understands.
 pub const RIC_SCHEMA: &str = "imc-bench/ric/v1";
+/// Cluster service schema this gate understands (`BENCH_service.json`,
+/// written by the `cluster-runner` binary in `imc-cluster`).
+pub const SERVICE_SCHEMA: &str = "imc-bench/service/v1";
 
 /// Gate configuration (see module docs).
 #[derive(Debug, Clone)]
@@ -333,6 +342,101 @@ fn gate_ric(gate: &mut Gate, base: &Value, cand: &Value, tolerance: f64) {
     }
 }
 
+/// Validates one side's determinism flags; any `false` (or a missing
+/// flag) is a hard failure — distributed/single-node divergence is
+/// never a tolerable regression.
+fn service_flags(gate: &mut Gate, side: &str, v: &Value) {
+    for flag in ["seeds_identical", "evaluations_identical", "eval_roundtrip"] {
+        match v.get(flag).and_then(Value::as_bool) {
+            Some(true) => {}
+            Some(false) => gate.fail(format!(
+                "BENCH_service.json: {side} reports {flag}=false — the cluster \
+                 no longer matches the single-node solver"
+            )),
+            None => gate.fail(format!("BENCH_service.json: {side} is missing `{flag}`")),
+        }
+    }
+}
+
+/// Gates the cluster artifact (`BENCH_service.json`).
+///
+/// The committed baseline is always validated. The candidate is
+/// optional: the `--quick` CI path regenerates only the solver/RIC
+/// files, so its absence earns a note, not a failure. When present it
+/// must carry the right schema and clean determinism flags, and its
+/// solve wall time is compared on matching workloads.
+fn gate_service(gate: &mut Gate, base: &Value, cand: Option<&Value>, tolerance: f64) {
+    let schema_ok = |gate: &mut Gate, side: &str, v: &Value| -> bool {
+        let got = str_field(v, "schema").unwrap_or_default();
+        if got != SERVICE_SCHEMA {
+            gate.fail(format!(
+                "BENCH_service.json: {side} schema is `{got}`, gate understands `{SERVICE_SCHEMA}`"
+            ));
+        }
+        got == SERVICE_SCHEMA
+    };
+    if !schema_ok(gate, "baseline", base) {
+        return;
+    }
+    service_flags(gate, "baseline", base);
+    let Some(cand) = cand else {
+        gate.note(
+            "BENCH_service.json: no candidate (quick runs skip the cluster); \
+             baseline validated only",
+        );
+        return;
+    };
+    if !schema_ok(gate, "candidate", cand) {
+        return;
+    }
+    service_flags(gate, "candidate", cand);
+    let workload = |v: &Value| {
+        (
+            str_field(v, "dataset").unwrap_or_default(),
+            u64_field(v, "samples").unwrap_or(0),
+            u64_field(v, "k").unwrap_or(0),
+            u64_field(v, "shards").unwrap_or(0),
+        )
+    };
+    let (bw, cw) = (workload(base), workload(cand));
+    if bw != cw {
+        gate.note(format!(
+            "BENCH_service.json: workloads differ (baseline {} samples={} k={} shards={}, \
+             candidate {} samples={} k={} shards={}); wall-time rows skipped",
+            bw.0, bw.1, bw.2, bw.3, cw.0, cw.1, cw.2, cw.3
+        ));
+        return;
+    }
+    let solve_secs = |v: &Value| v.get("solve").and_then(|s| f64_field(s, "seconds"));
+    match (solve_secs(base), solve_secs(cand)) {
+        (Some(b), Some(c)) => gate.compare_seconds("service cluster solve", b, c, tolerance),
+        _ => gate.fail("BENCH_service.json: `solve.seconds` missing"),
+    }
+    // Load-phase numbers trend but never fail on their own: throughput
+    // and tail latency on shared CI machines are too noisy to gate.
+    let load_f64 = |v: &Value, key: &str| v.get("load").and_then(|l| f64_field(l, key));
+    if let (Some(b), Some(c)) = (
+        load_f64(base, "throughput_rps"),
+        load_f64(cand, "throughput_rps"),
+    ) {
+        gate.info_row(
+            "service load throughput_rps",
+            format!("{b:.1}"),
+            format!("{c:.1}"),
+            Some(c / b.max(f64::MIN_POSITIVE)),
+        );
+    }
+    let load_u64 = |v: &Value, key: &str| v.get("load").and_then(|l| u64_field(l, key));
+    if let (Some(b), Some(c)) = (load_u64(base, "p99_us"), load_u64(cand, "p99_us")) {
+        gate.info_row(
+            "service load p99_us",
+            b.to_string(),
+            c.to_string(),
+            Some(c as f64 / b.max(1) as f64),
+        );
+    }
+}
+
 /// Runs the gate: loads both bench files from each directory, compares,
 /// renders the report (optionally to `report_path`).
 ///
@@ -353,6 +457,19 @@ pub fn run(options: &GateOptions) -> io::Result<GateOutcome> {
         let cand = load(&options.candidate_dir.join(file))?;
         checker(&mut gate, &base, &cand, options.tolerance);
     }
+    let service_base = load(&options.baseline_dir.join("BENCH_service.json"))?;
+    let service_cand_path = options.candidate_dir.join("BENCH_service.json");
+    let service_cand = if service_cand_path.exists() {
+        Some(load(&service_cand_path)?)
+    } else {
+        None
+    };
+    gate_service(
+        &mut gate,
+        &service_base,
+        service_cand.as_ref(),
+        options.tolerance,
+    );
     let passed = gate.failures.is_empty();
     let report = gate.render(passed);
     if let Some(path) = &options.report_path {
@@ -496,6 +613,68 @@ mod tests {
         let outcome = run(&options).unwrap();
         assert!(outcome.passed, "{}", outcome.report);
         assert!(outcome.report.contains("wall-time rows skipped"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn absent_service_candidate_passes_with_note() {
+        let dir = temp_dir("svc-absent");
+        // Identical solver/RIC candidates, but no BENCH_service.json.
+        stage_candidate(&dir, |s| s);
+        let options = GateOptions {
+            baseline_dir: repo_root(),
+            candidate_dir: dir.clone(),
+            ..GateOptions::default()
+        };
+        let outcome = run(&options).unwrap();
+        assert!(outcome.passed, "{}", outcome.report);
+        assert!(outcome.report.contains("quick runs skip the cluster"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn service_candidate_with_broken_seed_identity_fails() {
+        let dir = temp_dir("svc-seeds");
+        stage_candidate(&dir, |s| s);
+        let service = std::fs::read_to_string(repo_root().join("BENCH_service.json")).unwrap();
+        std::fs::write(
+            dir.join("BENCH_service.json"),
+            service.replace("\"seeds_identical\":true", "\"seeds_identical\":false"),
+        )
+        .unwrap();
+        let options = GateOptions {
+            baseline_dir: repo_root(),
+            candidate_dir: dir.clone(),
+            ..GateOptions::default()
+        };
+        let outcome = run(&options).unwrap();
+        assert!(!outcome.passed);
+        assert!(outcome
+            .report
+            .contains("no longer matches the single-node solver"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn service_candidate_with_wrong_schema_fails() {
+        let dir = temp_dir("svc-schema");
+        stage_candidate(&dir, |s| s);
+        let service = std::fs::read_to_string(repo_root().join("BENCH_service.json")).unwrap();
+        std::fs::write(
+            dir.join("BENCH_service.json"),
+            service.replace(SERVICE_SCHEMA, "imc-bench/service/v0"),
+        )
+        .unwrap();
+        let options = GateOptions {
+            baseline_dir: repo_root(),
+            candidate_dir: dir.clone(),
+            ..GateOptions::default()
+        };
+        let outcome = run(&options).unwrap();
+        assert!(!outcome.passed);
+        assert!(outcome
+            .report
+            .contains("gate understands `imc-bench/service/v1`"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -31,6 +31,7 @@ pub fn run<W: Write>(command: &str, args: &Args, out: &mut W) -> Result<()> {
         "stats" => stats(args, out),
         "dot" => dot(args, out),
         "serve" => crate::service::serve(args, out),
+        "cluster" => cluster(args, out),
         "query" => crate::service::query(args, out),
         "snapshot save" => crate::service::snapshot_save(args, out),
         "snapshot load" => crate::service::snapshot_load(args, out),
@@ -39,9 +40,33 @@ pub fn run<W: Write>(command: &str, args: &Args, out: &mut W) -> Result<()> {
         )),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}` (expected generate | communities | solve | estimate | \
-             stats | dot | serve | query | snapshot)"
+             stats | dot | serve | cluster | query | snapshot)"
         ))),
     }
+}
+
+/// `imc cluster --topology FILE [--out FILE] [--data-dir DIR] [--quiet]`
+/// — spawn a sharded solve cluster from a topology file, verify the
+/// distributed solve is bitwise identical to single-node, drive
+/// open-loop load and print the `imc-bench/service/v1` report.
+fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<()> {
+    let topology = imc_cluster::Topology::load(Path::new(args.required("topology")?))
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let mut options =
+        imc_cluster::RunnerOptions::new(topology, args.get("out").map(std::path::PathBuf::from));
+    if let Some(dir) = args.get("data-dir") {
+        options.data_dir = std::path::PathBuf::from(dir);
+    }
+    options.verbose = !args.switch("quiet");
+    let report = imc_cluster::run(&options)
+        .map_err(|e| CliError::Io(std::io::Error::other(e.to_string())))?;
+    writeln!(out, "{}", report.to_json())?;
+    if !(report.seeds_identical && report.evaluations_identical && report.eval_roundtrip) {
+        return Err(CliError::Io(std::io::Error::other(
+            "cluster identity checks failed: the distributed solve diverged from single-node",
+        )));
+    }
+    Ok(())
 }
 
 /// Installs the process-wide JSONL trace sink when `--trace <path>` is

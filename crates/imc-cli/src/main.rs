@@ -10,6 +10,9 @@
 //!   estimate     grade a seed set (--seeds 1,2,3) with the Dagum estimator
 //!   stats        structural statistics of a graph
 //!   dot          render graph (+communities, +seeds) as Graphviz DOT
+//!   cluster      run a sharded solve cluster from a topology file (--topology FILE,
+//!                --out BENCH_service.json, --data-dir DIR, --quiet); verifies the
+//!                distributed solve bitwise against single-node and load-tests it
 //!   serve        run the query daemon (--addr, --workers, --snapshot, --refresh-target,
 //!                --max-solve-threads N per-request parallelism cap,
 //!                --metrics-port N for a Prometheus GET /metrics listener,
@@ -34,7 +37,7 @@ fn main() -> ExitCode {
     let Some(mut command) = argv.next() else {
         eprintln!(
             "usage: imc <generate | communities | solve | estimate | stats | dot | serve | \
-             query | snapshot save|load> [flags]"
+             cluster | query | snapshot save|load> [flags]"
         );
         eprintln!("run with a command and no flags to see its errors spelled out");
         return ExitCode::from(2);

@@ -1,0 +1,65 @@
+//! `cluster-runner` — spawn a sharded imc cluster from a topology file,
+//! verify distributed/single-node seed identity, drive open-loop load,
+//! and write a `BENCH_service.json` artifact.
+//!
+//! ```text
+//! cluster-runner --topology data/topology.toml --out BENCH_service.json
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use imc_cluster::{run, RunnerOptions, Topology};
+
+const USAGE: &str =
+    "usage: cluster-runner --topology <topology.toml> [--out <BENCH_service.json>] [--quiet]";
+
+fn main() -> ExitCode {
+    let mut topology_path: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut verbose = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--topology" => topology_path = args.next().map(PathBuf::from),
+            "--out" => out = args.next().map(PathBuf::from),
+            "--quiet" => verbose = false,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("cluster-runner: unknown argument {other:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(topology_path) = topology_path else {
+        eprintln!("cluster-runner: missing --topology\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let topology = match Topology::load(&topology_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cluster-runner: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut options = RunnerOptions::new(topology, out);
+    options.verbose = verbose;
+    match run(&options) {
+        Ok(report) => {
+            println!("{}", report.to_json());
+            if report.seeds_identical && report.evaluations_identical && report.eval_roundtrip {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("cluster-runner: identity checks FAILED");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("cluster-runner: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,786 @@
+//! The scatter-gather coordinator: runs the five MAXR solvers over a
+//! fleet of shard daemons and serves the result on the same
+//! protocol-v2 wire format a single daemon speaks.
+//!
+//! Every solver recipe here mirrors its single-node twin *exactly* —
+//! same engine loops ([`greedy_c_over`] / [`greedy_nu_over`]), same
+//! tie-breaks, same padding rule, same evaluation accounting — with the
+//! local [`CoverageState`](imc_core::CoverageState) swapped for a
+//! [`ClusterSource`] and whole-set scoring swapped for chained
+//! `shard_eval` fans. Seed sets and evaluation counts are therefore
+//! bitwise/count identical to [`MaxrAlgorithm::solve`] on the union
+//! collection (asserted by `tests/cluster_equivalence.rs` and the CI
+//! cluster smoke job).
+//!
+//! Shard failures surface as [`CoordError::Shard`], rendered on the
+//! wire as a `shard_unavailable` error naming the dead shard's address
+//! — the coordinator keeps serving later requests (a reconnect is
+//! attempted per request).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use imc_core::maxr::engine::{greedy_c_over, greedy_nu_over};
+use imc_core::{
+    GainSource, GreedyRun, ImcError, ImcInstance, MaxrAlgorithm, SolveRequest, SolveStrategy,
+};
+use imc_graph::NodeId;
+use imc_service::client::{ClientConfig, ClusterError, PeerClient};
+use imc_service::json::{self, ObjectBuilder};
+use imc_service::protocol::{self, ErrorCode, Request, SolveMode, SolveTuning};
+use imc_service::server::Shutdown;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::obs;
+use crate::source::{field_f64, field_u64, pad_with_appearance, ClusterSource};
+
+/// A failure of a cluster solve.
+#[derive(Debug)]
+pub enum CoordError {
+    /// A shard RPC failed; the inner error names the shard address.
+    Shard(ClusterError),
+    /// The solver itself rejected the request (bad budget, thresholds
+    /// over the BT bound, …) — same failures a single node reports.
+    Solver(ImcError),
+    /// The request asks for something the distributed path does not
+    /// implement (parallel engine strategy, IMCAF, BT depth > 2).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for CoordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoordError::Shard(e) => write!(f, "{e}"),
+            CoordError::Solver(e) => write!(f, "{e}"),
+            CoordError::Unsupported(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoordError::Shard(e) => Some(e),
+            CoordError::Solver(e) => Some(e),
+            CoordError::Unsupported(_) => None,
+        }
+    }
+}
+
+impl From<ClusterError> for CoordError {
+    fn from(e: ClusterError) -> Self {
+        CoordError::Shard(e)
+    }
+}
+
+impl From<ImcError> for CoordError {
+    fn from(e: ImcError) -> Self {
+        CoordError::Solver(e)
+    }
+}
+
+impl CoordError {
+    /// The wire error code this failure maps to.
+    pub fn error_code(&self) -> ErrorCode {
+        match self {
+            CoordError::Shard(_) => ErrorCode::ShardUnavailable,
+            CoordError::Solver(e) => protocol::error_code_for(e),
+            CoordError::Unsupported(_) => ErrorCode::InvalidParameter,
+        }
+    }
+}
+
+/// Result of a distributed solve, mirroring the fields of the
+/// single-node [`SolveReport`](imc_core::SolveReport) plus the cluster
+/// snapshot coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Chosen seeds in pick order — bitwise identical to the
+    /// single-node solve over the union collection.
+    pub seeds: Vec<NodeId>,
+    /// Union-collection samples influenced by `seeds`.
+    pub influenced_samples: u64,
+    /// The estimator `ĉ_R(seeds)` over the union collection.
+    pub estimate: f64,
+    /// Marginal-gain evaluation count — identical to the single-node
+    /// engine's count.
+    pub evaluations: u64,
+    /// Total samples across all shards.
+    pub samples: u64,
+    /// The shard collection generation the solve ran against.
+    pub generation: u64,
+}
+
+/// Chained totals of one `shard_eval` fan across all shards.
+struct ShardTotals {
+    influenced: u64,
+    nu_acc: f64,
+    samples: u64,
+    generation: u64,
+    pivot_score: u64,
+}
+
+/// Scores a seed set across every shard: integer totals sum; the ν_R
+/// accumulator chains shard-to-shard in partition order (the wire
+/// `carry` field), reproducing the single-node fold bitwise.
+fn shard_eval_totals(
+    peers: &mut [PeerClient],
+    seeds: &[NodeId],
+    pivot: Option<u32>,
+) -> Result<ShardTotals, ClusterError> {
+    let seeds_field: Vec<u64> = seeds.iter().map(|s| u64::from(s.raw())).collect();
+    let mut totals = ShardTotals {
+        influenced: 0,
+        nu_acc: 0.0,
+        samples: 0,
+        generation: 0,
+        pivot_score: 0,
+    };
+    obs::scatter_total().inc();
+    for (i, peer) in peers.iter_mut().enumerate() {
+        let mut req = ObjectBuilder::new()
+            .field("op", "shard_eval")
+            .field("seeds", seeds_field.clone())
+            .field("carry", totals.nu_acc);
+        if let Some(u) = pivot {
+            req = req.field("pivot", u);
+        }
+        let line = json::to_string(&req.build());
+        let start = Instant::now();
+        let result = peer.request_stateless(&line);
+        obs::shard_rpc_seconds().observe(start.elapsed().as_secs_f64());
+        let resp = match result {
+            Ok(v) => v,
+            Err(e) => {
+                obs::shard_errors_total().inc();
+                return Err(e);
+            }
+        };
+        totals.influenced += field_u64(&resp, "influenced", peer)?;
+        totals.nu_acc = field_f64(&resp, "nu_acc", peer)?;
+        totals.samples += field_u64(&resp, "samples", peer)?;
+        if pivot.is_some() {
+            totals.pivot_score += field_u64(&resp, "pivot_score", peer)?;
+        }
+        let generation = field_u64(&resp, "generation", peer)?;
+        if i == 0 {
+            totals.generation = generation;
+        } else if generation != totals.generation {
+            return Err(ClusterError::Protocol {
+                addr: peer.addr(),
+                detail: format!(
+                    "generation {generation} disagrees with shard 0's {}",
+                    totals.generation
+                ),
+            });
+        }
+    }
+    Ok(totals)
+}
+
+/// `ĉ_R(S)` from summed shard counts — same expression (and evaluation
+/// order) as `RicStore::estimate`.
+fn estimate_from(instance: &ImcInstance, influenced: u64, samples: u64) -> f64 {
+    if samples == 0 {
+        return 0.0;
+    }
+    instance.total_benefit() * influenced as f64 / samples as f64
+}
+
+/// `ν_R(S)` from the chained shard accumulator — same expression as
+/// `RicStore::nu_estimate`.
+fn nu_estimate_from(instance: &ImcInstance, nu_acc: f64, samples: u64) -> f64 {
+    if samples == 0 {
+        return 0.0;
+    }
+    instance.total_benefit() * nu_acc / samples as f64
+}
+
+/// Which engine objective a distributed greedy run evaluates.
+enum Objective {
+    C,
+    Nu,
+}
+
+/// One full engine greedy over a fresh cluster session; fails if any
+/// shard dropped mid-run (the engine itself has no error channel).
+fn greedy_over_cluster(
+    peers: &mut [PeerClient],
+    k: usize,
+    strategy: SolveStrategy,
+    objective: Objective,
+) -> Result<GreedyRun, CoordError> {
+    let mut src = ClusterSource::open(peers, None)?;
+    let (run, telemetry) = match objective {
+        Objective::C => greedy_c_over(&mut src, k, strategy),
+        Objective::Nu => greedy_nu_over(&mut src, k, strategy),
+    };
+    let failure = src.take_error();
+    src.close();
+    drop(src);
+    if let Some(e) = failure {
+        return Err(CoordError::Shard(e));
+    }
+    telemetry.publish();
+    Ok(run)
+}
+
+/// Seals a report: scores the final seed set across shards and derives
+/// the estimator exactly as the single-node `finish` step does.
+fn finish(
+    instance: &ImcInstance,
+    peers: &mut [PeerClient],
+    seeds: Vec<NodeId>,
+    evaluations: u64,
+) -> Result<ClusterReport, CoordError> {
+    let totals = shard_eval_totals(peers, &seeds, None)?;
+    Ok(ClusterReport {
+        estimate: estimate_from(instance, totals.influenced, totals.samples),
+        influenced_samples: totals.influenced,
+        samples: totals.samples,
+        generation: totals.generation,
+        seeds,
+        evaluations,
+    })
+}
+
+/// MAF's two candidate sets (Alg. 3), computed from cluster-summed
+/// community frequencies and appearance counts with the identical RNG
+/// stream, walk order and padding as the single-node `maf_with`.
+fn maf_candidates(
+    instance: &ImcInstance,
+    peers: &mut [PeerClient],
+    k: usize,
+    seed: u64,
+) -> Result<(Vec<NodeId>, Vec<NodeId>), CoordError> {
+    let mut src = ClusterSource::open(peers, None)?;
+    let k = k.min(src.node_count());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let freq = src.community_frequencies().to_vec();
+    let mut order: Vec<usize> = (0..freq.len()).collect();
+    order.sort_by(|&a, &b| freq[b].cmp(&freq[a]).then(a.cmp(&b)));
+    let communities = instance.communities();
+    let mut s1: Vec<NodeId> = Vec::with_capacity(k);
+    for ci in order {
+        let community = communities.get(imc_community::CommunityId::new(ci as u32));
+        let h = community.threshold as usize;
+        if h > community.population() || s1.len() + h > k {
+            continue;
+        }
+        let mut members = community.members.clone();
+        members.shuffle(&mut rng);
+        s1.extend(members.into_iter().take(h));
+        if s1.len() == k {
+            break;
+        }
+    }
+    src.pad_seeds(&mut s1, k);
+
+    let counts = src.appearance().to_vec();
+    let mut nodes: Vec<u32> = (0..src.node_count() as u32).collect();
+    nodes.sort_by(|&a, &b| counts[b as usize].cmp(&counts[a as usize]).then(a.cmp(&b)));
+    let s2: Vec<NodeId> = nodes.into_iter().take(k).map(NodeId::new).collect();
+    src.close();
+    Ok((s1, s2))
+}
+
+/// MAF arbitration: the candidate influencing more union samples (ties
+/// to `S1`, as on a single node). Returns the winner and MAF's fixed
+/// evaluation count of 2.
+fn solve_maf(
+    instance: &ImcInstance,
+    peers: &mut [PeerClient],
+    k: usize,
+    seed: u64,
+) -> Result<(Vec<NodeId>, u64), CoordError> {
+    let (s1, s2) = maf_candidates(instance, peers, k, seed)?;
+    let t1 = shard_eval_totals(peers, &s1, None)?;
+    let t2 = shard_eval_totals(peers, &s2, None)?;
+    let chose_s1 = t1.influenced >= t2.influenced;
+    Ok((if chose_s1 { s1 } else { s2 }, 2))
+}
+
+/// Distributed BT (Alg. 4, depth 2): per-pivot inner greedy over the
+/// pivot-reduced cluster session, pivot scores summed across shards,
+/// winner reduced in candidate order with ties to the smaller pivot id.
+fn solve_bt(peers: &mut [PeerClient], k: usize) -> Result<(Vec<NodeId>, u64), CoordError> {
+    // Snapshot the union appearance counts, then close — each pivot
+    // gets its own reduced session and the winner is padded from the
+    // snapshot, so no full-store session stays open across the loop.
+    let appearance = {
+        let mut src = ClusterSource::open(peers, None)?;
+        let snapshot = src.appearance().to_vec();
+        src.close();
+        snapshot
+    };
+    let k = k.min(appearance.len()).max(1);
+
+    let mut by_count: Vec<(u64, u32)> = appearance
+        .iter()
+        .enumerate()
+        .filter_map(|(v, &c)| (c > 0).then_some((c, v as u32)))
+        .collect();
+    by_count.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let candidates: Vec<u32> = by_count.into_iter().map(|(_, v)| v).collect();
+
+    let mut evaluations = candidates.len() as u64;
+    let mut best: Option<(u64, u32, Vec<NodeId>)> = None;
+    for &u in &candidates {
+        let (kset, inner_evals) = if k == 1 {
+            (vec![NodeId::new(u)], 0)
+        } else {
+            let mut src = ClusterSource::open(peers, Some(u))?;
+            let (run, _) = greedy_c_over(&mut src, k - 1, SolveStrategy::Lazy);
+            let failure = src.take_error();
+            src.close();
+            drop(src);
+            if let Some(e) = failure {
+                return Err(CoordError::Shard(e));
+            }
+            let mut kset = vec![NodeId::new(u)];
+            for h in run.seeds {
+                if h != NodeId::new(u) && kset.len() < k {
+                    kset.push(h);
+                }
+            }
+            (kset, run.evaluations)
+        };
+        evaluations += inner_evals;
+        let totals = shard_eval_totals(peers, &kset, Some(u))?;
+        let score = totals.pivot_score;
+        let better = match &best {
+            None => true,
+            Some((bs, bu, _)) => score > *bs || (score == *bs && u < *bu),
+        };
+        if better {
+            best = Some((score, u, kset));
+        }
+    }
+
+    let mut seeds = best.map(|(_, _, kset)| kset).unwrap_or_default();
+    pad_with_appearance(&mut seeds, k, &appearance);
+    Ok((seeds, evaluations))
+}
+
+/// Rejects BT/MB on instances whose thresholds exceed the bound — the
+/// same check (and error) as the single-node dispatch.
+fn require_bounded(instance: &ImcInstance, bound: u32) -> Result<(), CoordError> {
+    let max_threshold = instance.max_threshold();
+    if max_threshold > bound {
+        return Err(CoordError::Solver(ImcError::ThresholdTooLarge {
+            bound,
+            max_threshold,
+        }));
+    }
+    Ok(())
+}
+
+/// Solves MAXR across the shard fleet behind `peers`.
+///
+/// The answer — seeds, estimator and evaluation count — is identical to
+/// [`MaxrAlgorithm::solve`] with the same request over the union of the
+/// shard collections. Restrictions of the distributed path:
+///
+/// * `strategy` must be `Sequential` or `Lazy` (the parallel engine
+///   splits per-shard timing, which the scatter layer already does);
+/// * BT runs at depth 2 only (`req.depth` and `Btd(d)` beyond 2 are
+///   rejected as [`CoordError::Unsupported`]).
+///
+/// # Errors
+///
+/// [`CoordError::Shard`] when a shard dies mid-solve (the error names
+/// it), [`CoordError::Solver`] for the same validation failures a local
+/// solve reports, [`CoordError::Unsupported`] for the restrictions
+/// above.
+pub fn cluster_solve(
+    instance: &ImcInstance,
+    peers: &mut [PeerClient],
+    algo: MaxrAlgorithm,
+    req: &SolveRequest,
+) -> Result<ClusterReport, CoordError> {
+    instance.validate_budget(req.k)?;
+    if let SolveStrategy::Parallel { .. } = req.strategy {
+        return Err(CoordError::Unsupported(
+            "parallel engine strategy is not supported by the cluster coordinator \
+             (shard fan-out already parallelizes; use mode sequential or lazy)"
+                .to_string(),
+        ));
+    }
+    match algo {
+        MaxrAlgorithm::Greedy => {
+            let run = greedy_over_cluster(peers, req.k, req.strategy, Objective::C)?;
+            finish(instance, peers, run.seeds, run.evaluations)
+        }
+        MaxrAlgorithm::Ubg => {
+            let nu_run = greedy_over_cluster(peers, req.k, req.strategy, Objective::Nu)?;
+            let c_run = greedy_over_cluster(peers, req.k, req.strategy, Objective::C)?;
+            let evaluations = nu_run.evaluations + c_run.evaluations;
+            let t_nu = shard_eval_totals(peers, &nu_run.seeds, None)?;
+            let t_c = shard_eval_totals(peers, &c_run.seeds, None)?;
+            let c_of_nu = estimate_from(instance, t_nu.influenced, t_nu.samples);
+            let c_of_c = estimate_from(instance, t_c.influenced, t_c.samples);
+            let chose_nu = c_of_nu >= c_of_c;
+            let (seeds, totals, estimate) = if chose_nu {
+                (nu_run.seeds, t_nu, c_of_nu)
+            } else {
+                (c_run.seeds, t_c, c_of_c)
+            };
+            Ok(ClusterReport {
+                seeds,
+                influenced_samples: totals.influenced,
+                estimate,
+                evaluations,
+                samples: totals.samples,
+                generation: totals.generation,
+            })
+        }
+        MaxrAlgorithm::Maf => {
+            let (seeds, evaluations) = solve_maf(instance, peers, req.k, req.seed)?;
+            finish(instance, peers, seeds, evaluations)
+        }
+        MaxrAlgorithm::Bt | MaxrAlgorithm::Btd(_) => {
+            let depth = match algo {
+                MaxrAlgorithm::Btd(d) => {
+                    if d < 2 {
+                        return Err(CoordError::Solver(ImcError::InvalidParameter {
+                            name: "bt depth",
+                        }));
+                    }
+                    d
+                }
+                _ => req.depth,
+            };
+            if depth != 2 {
+                return Err(CoordError::Unsupported(format!(
+                    "BT depth {depth} is not supported by the cluster coordinator (only depth 2)"
+                )));
+            }
+            require_bounded(instance, depth)?;
+            let (seeds, evaluations) = solve_bt(peers, req.k)?;
+            finish(instance, peers, seeds, evaluations)
+        }
+        MaxrAlgorithm::Mb => {
+            require_bounded(instance, 2)?;
+            let (maf_seeds, maf_evals) = solve_maf(instance, peers, req.k, req.seed)?;
+            let (bt_seeds, bt_evals) = solve_bt(peers, req.k)?;
+            let t_maf = shard_eval_totals(peers, &maf_seeds, None)?;
+            let t_bt = shard_eval_totals(peers, &bt_seeds, None)?;
+            let chose_bt = t_bt.influenced > t_maf.influenced;
+            let evaluations = maf_evals + bt_evals + 2;
+            let (seeds, totals) = if chose_bt {
+                (bt_seeds, t_bt)
+            } else {
+                (maf_seeds, t_maf)
+            };
+            Ok(ClusterReport {
+                estimate: estimate_from(instance, totals.influenced, totals.samples),
+                influenced_samples: totals.influenced,
+                samples: totals.samples,
+                generation: totals.generation,
+                seeds,
+                evaluations,
+            })
+        }
+    }
+}
+
+/// Coordinator frontend configuration.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Bind address for the coordinator's own listener; port 0 picks an
+    /// ephemeral port.
+    pub addr: String,
+    /// Shard daemon addresses, **in partition order** — the ν_R carry
+    /// chain and sample numbering follow this order.
+    pub shards: Vec<SocketAddr>,
+    /// Timeouts for shard connections.
+    pub client: ClientConfig,
+    /// Transport-retry budget for stateless shard requests.
+    pub retries: usize,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: Vec::new(),
+            client: ClientConfig::default(),
+            retries: 1,
+        }
+    }
+}
+
+/// The coordinator TCP frontend — protocol-v2 `solve` / `estimate` /
+/// `health` / `shutdown` over newline-delimited JSON, answered by
+/// scatter-gathering the shard fleet.
+pub struct Coordinator;
+
+/// Handle to a running coordinator; dropping it does **not** stop the
+/// server — call [`CoordinatorHandle::stop_and_join`].
+pub struct CoordinatorHandle {
+    addr: SocketAddr,
+    shutdown: Arc<Shutdown>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl CoordinatorHandle {
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and pokes the listener awake.
+    pub fn stop(&self) {
+        self.shutdown.request();
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Stops the coordinator and joins the acceptor thread.
+    pub fn stop_and_join(mut self) {
+        self.stop();
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Coordinator {
+    /// Binds the listener and spawns the accept loop. Each connection is
+    /// served by its own thread holding one persistent [`PeerClient`]
+    /// per shard (so shard eval sessions stay connection-scoped).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the listener bind failure.
+    pub fn start(
+        instance: Arc<ImcInstance>,
+        config: CoordinatorConfig,
+    ) -> std::io::Result<CoordinatorHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        obs::shards_gauge().set(config.shards.len() as f64);
+        let shutdown = Arc::new(Shutdown::new());
+        let acceptor_shutdown = Arc::clone(&shutdown);
+        let acceptor = thread::spawn(move || {
+            for stream in listener.incoming() {
+                if acceptor_shutdown.is_requested() {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let instance = Arc::clone(&instance);
+                let config = config.clone();
+                thread::spawn(move || serve_connection(stream, &instance, &config));
+            }
+        });
+        Ok(CoordinatorHandle {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+        })
+    }
+}
+
+/// Serves one client connection until EOF or a `shutdown` request.
+fn serve_connection(stream: TcpStream, instance: &ImcInstance, config: &CoordinatorConfig) {
+    // Flush the response tail immediately; Nagle + delayed ACK would
+    // add ~40ms per request on loopback otherwise.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut peers: Vec<PeerClient> = config
+        .shards
+        .iter()
+        .map(|&addr| PeerClient::new(addr, config.client, config.retries))
+        .collect();
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let start = Instant::now();
+        let (response, stop) = handle_request(&line, instance, &mut peers);
+        obs::request_duration_seconds().observe(start.elapsed().as_secs_f64());
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if stop {
+            break;
+        }
+    }
+}
+
+/// Microseconds since `start`, saturating.
+fn elapsed_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Resolves the engine strategy for the distributed path: sequential and
+/// lazy map through; anything parallel is rejected (the shard fan-out is
+/// the parallelism here).
+fn cluster_strategy(tuning: &SolveTuning) -> Result<SolveStrategy, String> {
+    if tuning.threads.is_some_and(|t| t > 1) {
+        return Err("`threads` > 1 is not supported by the cluster coordinator".to_string());
+    }
+    match tuning.mode {
+        Some(SolveMode::Sequential) => Ok(SolveStrategy::Sequential),
+        None | Some(SolveMode::Lazy) => Ok(SolveStrategy::Lazy),
+        Some(SolveMode::Parallel) => {
+            Err("mode `parallel` is not supported by the cluster coordinator".to_string())
+        }
+    }
+}
+
+/// Dispatches one request line; returns the response and whether the
+/// coordinator should shut down afterwards.
+fn handle_request(line: &str, instance: &ImcInstance, peers: &mut [PeerClient]) -> (String, bool) {
+    let start = Instant::now();
+    let request = match protocol::parse_request(line) {
+        Ok(request) => request,
+        Err(message) => {
+            return (
+                protocol::error_response(ErrorCode::BadRequest, &message),
+                false,
+            )
+        }
+    };
+    match request {
+        Request::Solve { imcaf: Some(_), .. } => (
+            protocol::error_response(
+                ErrorCode::InvalidParameter,
+                "the imcaf framework is not supported by the cluster coordinator \
+                 (shards serve fixed snapshots)",
+            ),
+            false,
+        ),
+        Request::Solve {
+            k,
+            algo,
+            seed,
+            imcaf: None,
+            tuning,
+        } => {
+            let strategy = match cluster_strategy(&tuning) {
+                Ok(strategy) => strategy,
+                Err(message) => {
+                    return (
+                        protocol::error_response(ErrorCode::InvalidParameter, &message),
+                        false,
+                    )
+                }
+            };
+            let req = SolveRequest::new(k)
+                .with_seed(seed)
+                .with_depth(tuning.depth.unwrap_or(2))
+                .with_strategy(strategy);
+            match cluster_solve(instance, peers, algo, &req) {
+                Ok(report) => {
+                    let seeds: Vec<u32> = report.seeds.iter().map(|v| v.raw()).collect();
+                    let body = ObjectBuilder::new()
+                        .field("seeds", seeds)
+                        .field("estimate", report.estimate)
+                        .field("influenced_samples", report.influenced_samples)
+                        .field("evaluations", report.evaluations)
+                        .field("mode", strategy.label())
+                        .field("threads", strategy.threads())
+                        .field("samples", report.samples)
+                        .field("generation", report.generation)
+                        .field("shards", peers.len())
+                        .field("elapsed_us", elapsed_us(start));
+                    (protocol::ok_response("solve", body), false)
+                }
+                Err(e) => (
+                    protocol::error_response(e.error_code(), &e.to_string()),
+                    false,
+                ),
+            }
+        }
+        Request::Estimate { seeds } => {
+            let node_count = instance.node_count();
+            if let Some(bad) = seeds.iter().find(|v| v.index() >= node_count) {
+                return (
+                    protocol::error_response(
+                        ErrorCode::OutOfRange,
+                        &format!(
+                            "seed {} out of range (graph has {node_count} nodes)",
+                            bad.raw()
+                        ),
+                    ),
+                    false,
+                );
+            }
+            match shard_eval_totals(peers, &seeds, None) {
+                Ok(totals) => {
+                    let body = ObjectBuilder::new()
+                        .field(
+                            "estimate",
+                            estimate_from(instance, totals.influenced, totals.samples),
+                        )
+                        .field(
+                            "nu_estimate",
+                            nu_estimate_from(instance, totals.nu_acc, totals.samples),
+                        )
+                        .field("influenced_samples", totals.influenced)
+                        .field("samples", totals.samples)
+                        .field("generation", totals.generation)
+                        .field("shards", peers.len())
+                        .field("elapsed_us", elapsed_us(start));
+                    (protocol::ok_response("estimate", body), false)
+                }
+                Err(e) => (
+                    protocol::error_response(ErrorCode::ShardUnavailable, &e.to_string()),
+                    false,
+                ),
+            }
+        }
+        Request::Health => {
+            let mut samples = 0u64;
+            for peer in peers.iter_mut() {
+                match peer
+                    .request_stateless(r#"{"op":"health"}"#)
+                    .and_then(|resp| field_u64(&resp, "samples", peer))
+                {
+                    Ok(s) => samples += s,
+                    Err(e) => {
+                        obs::shard_errors_total().inc();
+                        return (
+                            protocol::error_response(ErrorCode::ShardUnavailable, &e.to_string()),
+                            false,
+                        );
+                    }
+                }
+            }
+            let body = ObjectBuilder::new()
+                .field("status", "ok")
+                .field("samples", samples)
+                .field("shards", peers.len())
+                .field("elapsed_us", elapsed_us(start));
+            (protocol::ok_response("health", body), false)
+        }
+        Request::Shutdown => (
+            protocol::ok_response("shutdown", ObjectBuilder::new()),
+            true,
+        ),
+        _ => (
+            protocol::error_response(
+                ErrorCode::InvalidParameter,
+                "op not supported by the cluster coordinator \
+                 (expected solve | estimate | health | shutdown)",
+            ),
+            false,
+        ),
+    }
+}

@@ -1,0 +1,44 @@
+//! # imc-cluster — sharded distributed MAXR solving
+//!
+//! Splits a RIC sample collection across `N` shard daemons and solves
+//! MAXR with a scatter-gather coordinator whose answers are **bitwise
+//! identical** to a single-node solve over the union collection:
+//!
+//! * each shard is a plain `imc-service` daemon serving a deterministic
+//!   seed-range partition of the sampling plan (partition `i` of the
+//!   [`sampling_shard_plan`](imc_core::sampling_shard_plan) rooted at
+//!   `base_seed` — partitions concatenate, in shard order, to exactly
+//!   the plan a single node would draw);
+//! * the [`coordinator`] runs the *same* greedy engine loops as a local
+//!   solve ([`imc_core::maxr::engine`]) but plugs in a
+//!   [`ClusterSource`]: `ĉ_R` marginal gains are
+//!   integers and sum across shards; `ν_R` marginal gains are `f64`
+//!   left folds in sample order and are **carry-chained** shard to
+//!   shard (partition order) instead of summed, so the non-associative
+//!   float fold reproduces the single-node value bit for bit;
+//! * the [`runner`] spawns the whole topology in one process from a
+//!   TOML file, checks cluster-vs-local seed identity, drives open-loop
+//!   load, and writes a `BENCH_service.json` the `imc-bench perf-gate`
+//!   understands.
+//!
+//! The wire protocol is `imc-service`'s newline-delimited JSON with the
+//! shard-role ops (`eval_begin` / `eval_batch` / `eval_seed` /
+//! `eval_end` / `shard_eval`) added in this crate's companion change —
+//! see [`imc_service::protocol`]. See `DESIGN.md` §8 for the
+//! architecture discussion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod obs;
+pub mod runner;
+pub mod source;
+pub mod topology;
+
+pub use coordinator::{
+    cluster_solve, ClusterReport, CoordError, Coordinator, CoordinatorConfig, CoordinatorHandle,
+};
+pub use runner::{run, RunnerOptions, RunnerReport, SERVICE_SCHEMA};
+pub use source::ClusterSource;
+pub use topology::Topology;

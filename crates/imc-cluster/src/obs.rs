@@ -1,0 +1,83 @@
+//! Cluster-level metrics, registered in the process-global
+//! [`imc_obs`] registry under the `imc_cluster_*` prefix.
+//!
+//! Handles are cached in `OnceLock` statics so hot paths pay a single
+//! atomic load; see `docs/METRICS.md` for the rendered catalogue.
+
+use std::sync::{Arc, OnceLock};
+
+use imc_obs::{Counter, Gauge, Histogram, DEFAULT_DURATION_BUCKETS};
+
+/// Total scatter rounds issued by coordinators (one per batched
+/// `eval_c`/`eval_nu` fan-out across all shards).
+pub fn scatter_total() -> &'static Arc<Counter> {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    M.get_or_init(|| {
+        imc_obs::global().counter(
+            "imc_cluster_scatter_total",
+            "Scatter-gather rounds fanned out to shards by the cluster coordinator",
+        )
+    })
+}
+
+/// Total per-shard RPC failures observed by a coordinator.
+pub fn shard_errors_total() -> &'static Arc<Counter> {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    M.get_or_init(|| {
+        imc_obs::global().counter(
+            "imc_cluster_shard_errors_total",
+            "Shard RPC failures (transport or remote error) seen by the coordinator",
+        )
+    })
+}
+
+/// Latency of a single shard RPC as observed by the coordinator.
+pub fn shard_rpc_seconds() -> &'static Arc<Histogram> {
+    static M: OnceLock<Arc<Histogram>> = OnceLock::new();
+    M.get_or_init(|| {
+        imc_obs::global().histogram(
+            "imc_cluster_shard_rpc_seconds",
+            "Round-trip latency of one shard RPC issued by the coordinator",
+            DEFAULT_DURATION_BUCKETS,
+        )
+    })
+}
+
+/// End-to-end latency of requests served by the coordinator frontend.
+pub fn request_duration_seconds() -> &'static Arc<Histogram> {
+    static M: OnceLock<Arc<Histogram>> = OnceLock::new();
+    M.get_or_init(|| {
+        imc_obs::global().histogram(
+            "imc_cluster_request_duration_seconds",
+            "End-to-end latency of requests answered by the cluster coordinator",
+            DEFAULT_DURATION_BUCKETS,
+        )
+    })
+}
+
+/// Number of shards the coordinator is configured with.
+pub fn shards_gauge() -> &'static Arc<Gauge> {
+    static M: OnceLock<Arc<Gauge>> = OnceLock::new();
+    M.get_or_init(|| {
+        imc_obs::global().gauge(
+            "imc_cluster_shards",
+            "Shard count in the coordinator's current topology",
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_register_once_and_accumulate() {
+        let before = scatter_total().get();
+        scatter_total().inc();
+        scatter_total().inc();
+        assert_eq!(scatter_total().get(), before + 2);
+        shard_rpc_seconds().observe(0.004);
+        assert!(shard_rpc_seconds().count() >= 1);
+        shards_gauge().set(2.0);
+    }
+}

@@ -1,0 +1,514 @@
+//! The cluster load-test runner: spawns a whole topology (N shard
+//! daemons + one coordinator) inside one process, proves the cluster
+//! solve identical to a single-node reference, drives open-loop load,
+//! and emits a `BENCH_service.json` the `imc-bench perf-gate`
+//! understands (`imc-bench/service/v1`).
+//!
+//! Everything is deterministic: the instance comes from the synthetic
+//! dataset analogs, every shard draws partition `i` of the
+//! `sampling_shard_plan` rooted at the topology's `base_seed`, and the
+//! single-node reference draws the same plan un-partitioned — so
+//! `seeds_identical` is a real end-to-end distributed-vs-local check,
+//! not a tautology.
+
+use std::fmt;
+use std::fs;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use imc_community::{BenefitPolicy, CommunitySet, ThresholdPolicy};
+use imc_core::{ImcInstance, MaxrAlgorithm, RicStore, SolveRequest};
+use imc_datasets::DatasetId;
+use imc_graph::WeightModel;
+use imc_service::client::Client;
+use imc_service::json::{self, ObjectBuilder, Value};
+use imc_service::{ServeConfig, Server, ServerHandle, ServiceState};
+
+use crate::coordinator::{Coordinator, CoordinatorConfig, CoordinatorHandle};
+use crate::obs;
+use crate::topology::Topology;
+
+/// Schema tag of the emitted benchmark artifact.
+pub const SERVICE_SCHEMA: &str = "imc-bench/service/v1";
+
+/// A runner failure, with a human-readable message.
+#[derive(Debug)]
+pub struct RunnerError {
+    detail: String,
+}
+
+impl RunnerError {
+    fn new(detail: impl Into<String>) -> Self {
+        Self {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cluster runner: {}", self.detail)
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+impl From<crate::topology::TopologyError> for RunnerError {
+    fn from(e: crate::topology::TopologyError) -> Self {
+        RunnerError::new(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for RunnerError {
+    fn from(e: std::io::Error) -> Self {
+        RunnerError::new(e.to_string())
+    }
+}
+
+/// What to run and where to put the artifact.
+#[derive(Debug, Clone)]
+pub struct RunnerOptions {
+    /// The parsed topology.
+    pub topology: Topology,
+    /// Where to write `BENCH_service.json` (`None` skips the write).
+    pub out: Option<PathBuf>,
+    /// Dataset directory for `imc-datasets` drop-in files (the bench
+    /// harness convention is `data/`).
+    pub data_dir: PathBuf,
+    /// Print progress lines to stderr.
+    pub verbose: bool,
+}
+
+impl RunnerOptions {
+    /// Options for a topology with the artifact written to `out`.
+    pub fn new(topology: Topology, out: Option<PathBuf>) -> Self {
+        RunnerOptions {
+            topology,
+            out,
+            data_dir: PathBuf::from("data"),
+            verbose: true,
+        }
+    }
+}
+
+/// Everything the run measured; serialized by [`RunnerReport::to_json`].
+#[derive(Debug, Clone)]
+pub struct RunnerReport {
+    /// Dataset name from the topology.
+    pub dataset: String,
+    /// Total samples across all shards.
+    pub samples: usize,
+    /// Solve budget.
+    pub k: u32,
+    /// Shard count.
+    pub shards: usize,
+    /// Cluster GREEDY seeds bitwise equal to the single-node reference.
+    pub seeds_identical: bool,
+    /// Cluster evaluation count equal to the single-node engine's.
+    pub evaluations_identical: bool,
+    /// The raw shard eval ops round-tripped on shard 0.
+    pub eval_roundtrip: bool,
+    /// Wall seconds of the distributed solve RPC.
+    pub solve_seconds: f64,
+    /// Evaluations reported by the distributed solve.
+    pub solve_evaluations: u64,
+    /// Open-loop requests completed.
+    pub load_requests: usize,
+    /// Concurrent load connections.
+    pub load_connections: usize,
+    /// Completed requests per wall second during the load phase.
+    pub throughput_rps: f64,
+    /// p50 request latency (µs) from the
+    /// `imc_cluster_request_duration_seconds` histogram.
+    pub p50_us: u64,
+    /// p99 request latency (µs) from the same histogram.
+    pub p99_us: u64,
+}
+
+impl RunnerReport {
+    /// Serializes the report as the `imc-bench/service/v1` artifact.
+    pub fn to_json(&self) -> String {
+        let value = ObjectBuilder::new()
+            .field("schema", SERVICE_SCHEMA)
+            .field("dataset", self.dataset.as_str())
+            .field("samples", self.samples)
+            .field("k", u64::from(self.k))
+            .field("shards", self.shards)
+            .field("seeds_identical", self.seeds_identical)
+            .field("evaluations_identical", self.evaluations_identical)
+            .field("eval_roundtrip", self.eval_roundtrip)
+            .field(
+                "solve",
+                ObjectBuilder::new()
+                    .field("seconds", self.solve_seconds)
+                    .field("evaluations", self.solve_evaluations)
+                    .build(),
+            )
+            .field(
+                "load",
+                ObjectBuilder::new()
+                    .field("requests", self.load_requests)
+                    .field("connections", self.load_connections)
+                    .field("throughput_rps", self.throughput_rps)
+                    .field("p50_us", self.p50_us)
+                    .field("p99_us", self.p99_us)
+                    .build(),
+            )
+            .build();
+        json::to_string(&value)
+    }
+}
+
+/// Maps a topology dataset name to its [`DatasetId`].
+fn parse_dataset(name: &str) -> Result<DatasetId, RunnerError> {
+    imc_datasets::all()
+        .into_iter()
+        .find(|&id| imc_datasets::spec(id).name == name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = imc_datasets::all()
+                .into_iter()
+                .map(|id| imc_datasets::spec(id).name)
+                .collect();
+            RunnerError::new(format!(
+                "unknown dataset `{name}` (expected one of {})",
+                names.join(" | ")
+            ))
+        })
+}
+
+/// Builds the solve instance exactly as the bench harness does: dataset
+/// analog, weighted-cascade weights, Louvain communities split at the
+/// size cap, constant thresholds, population benefits.
+fn build_instance(topo: &Topology, data_dir: &Path) -> Result<ImcInstance, RunnerError> {
+    let id = parse_dataset(&topo.dataset)?;
+    let (graph, _source) =
+        imc_datasets::load_or_generate(id, data_dir, topo.scale, topo.instance_seed)
+            .map_err(|e| RunnerError::new(format!("dataset load failed: {e}")))?;
+    let graph = graph.reweighted(WeightModel::WeightedCascade);
+    let communities = CommunitySet::builder(&graph)
+        .louvain(topo.instance_seed)
+        .split_larger_than(topo.size_cap)
+        .threshold(ThresholdPolicy::Constant(topo.threshold))
+        .benefit(BenefitPolicy::Population)
+        .build()
+        .map_err(|e| RunnerError::new(format!("community build failed: {e}")))?;
+    ImcInstance::new(graph, communities)
+        .map_err(|e| RunnerError::new(format!("instance build failed: {e}")))
+}
+
+/// A running topology: shard daemons plus the coordinator.
+struct Cluster {
+    shard_handles: Vec<ServerHandle>,
+    shard_addrs: Vec<SocketAddr>,
+    coordinator: CoordinatorHandle,
+}
+
+impl Cluster {
+    /// Spawns the shard daemons (each over its sampling-plan partition)
+    /// and the coordinator fronting them, all on ephemeral ports.
+    fn spawn(instance: &Arc<ImcInstance>, topo: &Topology) -> Result<Cluster, RunnerError> {
+        let sampler = instance.sampler();
+        let mut shard_handles = Vec::with_capacity(topo.shards);
+        let mut shard_addrs = Vec::with_capacity(topo.shards);
+        // Connections occupy shard pool workers for their lifetime, so
+        // the pool must cover every concurrent coordinator connection
+        // (load connections + the solve/check connection + slack).
+        let workers = (topo.load_connections + 2).max(topo.workers);
+        for partition in 0..topo.shards {
+            let mut store = RicStore::for_sampler(&sampler);
+            store.extend_partition(
+                &sampler,
+                topo.samples,
+                topo.base_seed,
+                partition,
+                topo.shards,
+                topo.workers,
+            );
+            let state = Arc::new(ServiceState::new((**instance).clone(), store, 0));
+            let config = ServeConfig {
+                workers,
+                refresh: None,
+                ..ServeConfig::default()
+            };
+            let handle = Server::start(state, config)?;
+            shard_addrs.push(handle.addr());
+            shard_handles.push(handle);
+        }
+        let coordinator = Coordinator::start(
+            Arc::clone(instance),
+            CoordinatorConfig {
+                shards: shard_addrs.clone(),
+                ..CoordinatorConfig::default()
+            },
+        )?;
+        Ok(Cluster {
+            shard_handles,
+            shard_addrs,
+            coordinator,
+        })
+    }
+
+    fn stop(self) {
+        self.coordinator.stop_and_join();
+        for handle in self.shard_handles {
+            handle.stop_and_join();
+        }
+    }
+}
+
+/// One request/response against `addr`, with response errors mapped to
+/// [`RunnerError`].
+fn roundtrip(client: &mut Client, line: &str, what: &str) -> Result<Value, RunnerError> {
+    let value = client
+        .request(line)
+        .map_err(|e| RunnerError::new(format!("{what}: {e}")))?;
+    match value.get("ok").and_then(Value::as_bool) {
+        Some(true) => Ok(value),
+        _ => Err(RunnerError::new(format!(
+            "{what} failed: {}",
+            json::to_string(&value)
+        ))),
+    }
+}
+
+/// Checks the raw shard-role ops on shard 0: `eval_begin` →
+/// `eval_batch`(ĉ) → `eval_seed` → `eval_batch`(ν with carry) →
+/// `eval_end` must round-trip coherently.
+fn check_eval_roundtrip(addr: SocketAddr, node_count: usize) -> Result<(), RunnerError> {
+    let mut client = Client::connect(addr, Duration::from_secs(10))
+        .map_err(|e| RunnerError::new(format!("shard connect: {e}")))?;
+    let begin = roundtrip(&mut client, r#"{"op":"eval_begin"}"#, "eval_begin")?;
+    let session = begin
+        .get("session")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| RunnerError::new("eval_begin returned no session id"))?;
+    let probe: Vec<u64> = (0..node_count.min(4) as u64).collect();
+    let nodes = json::to_string(&Value::from(probe.clone()));
+    let c = roundtrip(
+        &mut client,
+        &format!(r#"{{"op":"eval_batch","session":{session},"kind":"c","nodes":{nodes}}}"#),
+        "eval_batch c",
+    )?;
+    let gains = c
+        .get("gains")
+        .and_then(Value::as_array)
+        .ok_or_else(|| RunnerError::new("eval_batch returned no gains"))?;
+    if gains.len() != probe.len() {
+        return Err(RunnerError::new(format!(
+            "eval_batch returned {} gains for {} nodes",
+            gains.len(),
+            probe.len()
+        )));
+    }
+    roundtrip(
+        &mut client,
+        &format!(r#"{{"op":"eval_seed","session":{session},"node":0}}"#),
+        "eval_seed",
+    )?;
+    let nu = roundtrip(
+        &mut client,
+        &format!(r#"{{"op":"eval_batch","session":{session},"kind":"nu","nodes":{nodes}}}"#),
+        "eval_batch nu",
+    )?;
+    if nu.get("accs").and_then(Value::as_array).map(<[Value]>::len) != Some(probe.len()) {
+        return Err(RunnerError::new("eval_batch nu returned a bad accs array"));
+    }
+    roundtrip(
+        &mut client,
+        &format!(r#"{{"op":"eval_end","session":{session}}}"#),
+        "eval_end",
+    )?;
+    Ok(())
+}
+
+/// Drives `requests` estimate calls over `connections` concurrent
+/// clients against the coordinator; returns (completed, wall seconds).
+fn drive_load(
+    addr: SocketAddr,
+    topo: &Topology,
+    node_count: usize,
+) -> Result<(usize, f64), RunnerError> {
+    let connections = topo.load_connections;
+    let total = topo.load_requests;
+    let per_connection = total / connections;
+    let remainder = total % connections;
+    let start = Instant::now();
+    let completed: usize = thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let requests = per_connection + usize::from(c < remainder);
+                let seeds_per_request = topo.load_seeds_per_request;
+                scope.spawn(move || {
+                    let Ok(mut client) = Client::connect(addr, Duration::from_secs(30)) else {
+                        return 0usize;
+                    };
+                    let mut done = 0usize;
+                    for r in 0..requests {
+                        // Deterministic, connection-and-round varied
+                        // seed sets within the node-id space.
+                        let seeds: Vec<u64> = (0..seeds_per_request)
+                            .map(|s| ((c * 7919 + r * 104_729 + s * 31) % node_count) as u64)
+                            .collect();
+                        let line = json::to_string(
+                            &ObjectBuilder::new()
+                                .field("op", "estimate")
+                                .field("seeds", seeds)
+                                .build(),
+                        );
+                        match client.request(&line) {
+                            Ok(v) if v.get("ok").and_then(Value::as_bool) == Some(true) => {
+                                done += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap_or(0)).sum()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    if completed != total {
+        return Err(RunnerError::new(format!(
+            "load drive completed only {completed}/{total} requests"
+        )));
+    }
+    Ok((completed, elapsed))
+}
+
+/// Runs the full harness: spawn, verify, load, report.
+///
+/// # Errors
+///
+/// Any spawn, protocol, identity-check or artifact-write failure.
+pub fn run(options: &RunnerOptions) -> Result<RunnerReport, RunnerError> {
+    let topo = &options.topology;
+    let log = |msg: &str| {
+        if options.verbose {
+            eprintln!("cluster-runner: {msg}");
+        }
+    };
+    log(&format!(
+        "building instance: dataset={} scale={} samples={} shards={}",
+        topo.dataset, topo.scale, topo.samples, topo.shards
+    ));
+    let instance = Arc::new(build_instance(topo, &options.data_dir)?);
+
+    log("spawning shard daemons + coordinator");
+    let cluster = Cluster::spawn(&instance, topo)?;
+    let result = run_against(&cluster, &instance, topo, &log);
+    cluster.stop();
+    let (mut report, cluster_seeds) = result?;
+
+    // The single-node reference solve — same sampling plan, one store.
+    log("running single-node reference solve");
+    let sampler = instance.sampler();
+    let mut full = RicStore::for_sampler(&sampler);
+    full.extend_parallel_with_workers(&sampler, topo.samples, topo.base_seed, topo.workers);
+    let reference = MaxrAlgorithm::Greedy
+        .solve(
+            &instance,
+            &full,
+            &SolveRequest::new(topo.k as usize).with_seed(topo.base_seed),
+        )
+        .map_err(|e| RunnerError::new(format!("reference solve failed: {e}")))?;
+    let reference_seeds: Vec<u64> = reference.seeds.iter().map(|v| u64::from(v.raw())).collect();
+    report.seeds_identical = cluster_seeds == reference_seeds;
+    report.evaluations_identical = report.solve_evaluations == reference.evaluations;
+    log(&format!(
+        "seeds_identical={} evaluations_identical={} ({} vs {} evaluations)",
+        report.seeds_identical,
+        report.evaluations_identical,
+        report.solve_evaluations,
+        reference.evaluations
+    ));
+
+    if let Some(out) = &options.out {
+        fs::write(out, report.to_json() + "\n")?;
+        log(&format!("wrote {}", out.display()));
+    }
+    Ok(report)
+}
+
+/// The cluster-side phases (everything that needs live daemons).
+/// Returns the report (identity flags unfilled) plus the cluster's
+/// seed set for the caller's single-node comparison.
+fn run_against(
+    cluster: &Cluster,
+    instance: &Arc<ImcInstance>,
+    topo: &Topology,
+    log: &dyn Fn(&str),
+) -> Result<(RunnerReport, Vec<u64>), RunnerError> {
+    let node_count = instance.node_count();
+
+    log("checking shard eval round-trip");
+    check_eval_roundtrip(cluster.shard_addrs[0], node_count)?;
+
+    log(&format!("distributed GREEDY solve at k={}", topo.k));
+    let mut client = Client::connect(cluster.coordinator.addr(), Duration::from_secs(600))
+        .map_err(|e| RunnerError::new(format!("coordinator connect: {e}")))?;
+    let solve_line = json::to_string(
+        &ObjectBuilder::new()
+            .field("op", "solve")
+            .field("algo", "greedy")
+            .field("k", u64::from(topo.k))
+            .field("seed", topo.base_seed)
+            .field("mode", "lazy")
+            .build(),
+    );
+    let solve_start = Instant::now();
+    let solve = roundtrip(&mut client, &solve_line, "cluster solve")?;
+    let solve_seconds = solve_start.elapsed().as_secs_f64();
+    let seeds: Vec<u64> = solve
+        .get("seeds")
+        .and_then(Value::as_array)
+        .ok_or_else(|| RunnerError::new("solve returned no seeds"))?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| RunnerError::new("non-integer seed"))
+        })
+        .collect::<Result<_, _>>()?;
+    let solve_evaluations = solve
+        .get("evaluations")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| RunnerError::new("solve returned no evaluation count"))?;
+    drop(client);
+
+    log(&format!(
+        "driving load: {} requests over {} connections",
+        topo.load_requests, topo.load_connections
+    ));
+    let (load_requests, load_seconds) = drive_load(cluster.coordinator.addr(), topo, node_count)?;
+    let histogram = obs::request_duration_seconds();
+    let p50_us = (histogram.quantile(0.5) * 1e6).round() as u64;
+    let p99_us = (histogram.quantile(0.99) * 1e6).round() as u64;
+    let throughput_rps = if load_seconds > 0.0 {
+        load_requests as f64 / load_seconds
+    } else {
+        0.0
+    };
+
+    let report = RunnerReport {
+        dataset: topo.dataset.clone(),
+        samples: topo.samples,
+        k: topo.k,
+        shards: topo.shards,
+        // Filled in by `run` once the single-node reference finishes.
+        seeds_identical: false,
+        evaluations_identical: false,
+        eval_roundtrip: true,
+        solve_seconds,
+        solve_evaluations,
+        load_requests,
+        load_connections: topo.load_connections,
+        throughput_rps,
+        p50_us,
+        p99_us,
+    };
+    Ok((report, seeds))
+}

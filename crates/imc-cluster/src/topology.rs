@@ -1,0 +1,329 @@
+//! Cluster topology files.
+//!
+//! A topology is a tiny, hand-rolled TOML subset — `[section]` headers
+//! and `key = value` pairs where values are integers, floats, booleans
+//! or double-quoted strings. Comments start with `#`. That is all the
+//! cluster runner needs, and it keeps the crate std-only (the container
+//! image has no TOML crate and the repo policy forbids adding one).
+//!
+//! ```toml
+//! [cluster]
+//! shards = 2
+//! samples = 40000
+//!
+//! [instance]
+//! dataset = "wiki-vote"
+//! scale = 0.3
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// A parse or validation failure for a topology file.
+#[derive(Debug)]
+pub struct TopologyError {
+    detail: String,
+}
+
+impl TopologyError {
+    fn new(detail: impl Into<String>) -> Self {
+        Self {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "topology: {}", self.detail)
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// One parsed scalar value.
+#[derive(Debug, Clone, PartialEq)]
+enum Scalar {
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Str(String),
+}
+
+/// Flat `section.key -> value` view of a parsed file.
+#[derive(Debug, Default)]
+struct Table {
+    entries: BTreeMap<String, Scalar>,
+}
+
+impl Table {
+    fn parse(text: &str) -> Result<Self, TopologyError> {
+        let mut entries = BTreeMap::new();
+        let mut section = String::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = match raw.find('#') {
+                // A '#' inside a quoted string would break here; the
+                // runner never writes such values, so reject them.
+                Some(idx) if raw[..idx].matches('"').count() % 2 == 0 => &raw[..idx],
+                Some(_) => {
+                    return Err(TopologyError::new(format!(
+                        "line {}: '#' inside a quoted value is unsupported",
+                        lineno + 1
+                    )))
+                }
+                None => raw,
+            };
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let name = name.trim();
+                if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    return Err(TopologyError::new(format!(
+                        "line {}: invalid section name {name:?}",
+                        lineno + 1
+                    )));
+                }
+                section = name.to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(TopologyError::new(format!(
+                    "line {}: expected `key = value`, got {line:?}",
+                    lineno + 1
+                )));
+            };
+            let key = key.trim();
+            if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(TopologyError::new(format!(
+                    "line {}: invalid key {key:?}",
+                    lineno + 1
+                )));
+            }
+            let scalar = Self::parse_scalar(value.trim()).ok_or_else(|| {
+                TopologyError::new(format!(
+                    "line {}: cannot parse value {:?}",
+                    lineno + 1,
+                    value.trim()
+                ))
+            })?;
+            let full = if section.is_empty() {
+                key.to_string()
+            } else {
+                format!("{section}.{key}")
+            };
+            if entries.insert(full.clone(), scalar).is_some() {
+                return Err(TopologyError::new(format!("duplicate key {full:?}")));
+            }
+        }
+        Ok(Self { entries })
+    }
+
+    fn parse_scalar(text: &str) -> Option<Scalar> {
+        if let Some(body) = text.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
+            if body.contains('"') || body.contains('\\') {
+                return None;
+            }
+            return Some(Scalar::Str(body.to_string()));
+        }
+        match text {
+            "true" => return Some(Scalar::Bool(true)),
+            "false" => return Some(Scalar::Bool(false)),
+            _ => {}
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Some(Scalar::Int(i));
+        }
+        if text.contains(['.', 'e', 'E']) {
+            if let Ok(f) = text.parse::<f64>() {
+                return Some(Scalar::Float(f));
+            }
+        }
+        None
+    }
+
+    fn u64(&self, key: &str, default: u64) -> Result<u64, TopologyError> {
+        match self.entries.get(key) {
+            None => Ok(default),
+            Some(Scalar::Int(i)) if *i >= 0 => Ok(*i as u64),
+            Some(other) => Err(TopologyError::new(format!(
+                "{key} must be a non-negative integer, got {other:?}"
+            ))),
+        }
+    }
+
+    fn f64(&self, key: &str, default: f64) -> Result<f64, TopologyError> {
+        match self.entries.get(key) {
+            None => Ok(default),
+            Some(Scalar::Float(f)) => Ok(*f),
+            Some(Scalar::Int(i)) => Ok(*i as f64),
+            Some(other) => Err(TopologyError::new(format!(
+                "{key} must be a number, got {other:?}"
+            ))),
+        }
+    }
+
+    fn string(&self, key: &str, default: &str) -> Result<String, TopologyError> {
+        match self.entries.get(key) {
+            None => Ok(default.to_string()),
+            Some(Scalar::Str(s)) => Ok(s.clone()),
+            Some(other) => Err(TopologyError::new(format!(
+                "{key} must be a string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A parsed and validated cluster topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    /// Number of shard daemons (each owns one sampling-plan partition).
+    pub shards: usize,
+    /// Sampling worker threads per shard.
+    pub workers: usize,
+    /// Base RNG seed for the sampling plan shared by every shard.
+    pub base_seed: u64,
+    /// Total RIC samples across the whole cluster.
+    pub samples: usize,
+    /// Seed-set budget used by the runner's solve check.
+    pub k: u32,
+    /// Dataset identifier (as accepted by `imc-datasets`).
+    pub dataset: String,
+    /// Dataset scale factor for synthetic analogs.
+    pub scale: f64,
+    /// Louvain community size cap (`split_larger_than`).
+    pub size_cap: usize,
+    /// Constant community threshold.
+    pub threshold: u32,
+    /// Instance-construction seed (Louvain + dataset generation).
+    pub instance_seed: u64,
+    /// Open-loop load: concurrent client connections.
+    pub load_connections: usize,
+    /// Open-loop load: total requests across all connections.
+    pub load_requests: usize,
+    /// Open-loop load: seed-set size per `estimate` request.
+    pub load_seeds_per_request: usize,
+}
+
+impl Topology {
+    /// Parse a topology from TOML text.
+    pub fn parse(text: &str) -> Result<Self, TopologyError> {
+        let table = Table::parse(text)?;
+        let topo = Self {
+            shards: table.u64("cluster.shards", 2)? as usize,
+            workers: table.u64("cluster.workers", 2)? as usize,
+            base_seed: table.u64("cluster.base_seed", 1234)?,
+            samples: table.u64("cluster.samples", 40_000)? as usize,
+            k: table.u64("cluster.k", 25)? as u32,
+            dataset: table.string("instance.dataset", "wiki-vote")?,
+            scale: table.f64("instance.scale", 0.3)?,
+            size_cap: table.u64("instance.size_cap", 8)? as usize,
+            threshold: table.u64("instance.threshold", 2)? as u32,
+            instance_seed: table.u64("instance.seed", 1)?,
+            load_connections: table.u64("load.connections", 4)? as usize,
+            load_requests: table.u64("load.requests", 200)? as usize,
+            load_seeds_per_request: table.u64("load.seeds_per_request", 8)? as usize,
+        };
+        topo.validate()?;
+        Ok(topo)
+    }
+
+    /// Load and parse a topology file from disk.
+    pub fn load(path: &Path) -> Result<Self, TopologyError> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| TopologyError::new(format!("cannot read {}: {e}", path.display())))?;
+        Self::parse(&text)
+    }
+
+    fn validate(&self) -> Result<(), TopologyError> {
+        if self.shards == 0 {
+            return Err(TopologyError::new("cluster.shards must be at least 1"));
+        }
+        if self.workers == 0 {
+            return Err(TopologyError::new("cluster.workers must be at least 1"));
+        }
+        if self.samples == 0 {
+            return Err(TopologyError::new("cluster.samples must be at least 1"));
+        }
+        if self.k == 0 {
+            return Err(TopologyError::new("cluster.k must be at least 1"));
+        }
+        if !(self.scale > 0.0 && self.scale.is_finite()) {
+            return Err(TopologyError::new(
+                "instance.scale must be a positive number",
+            ));
+        }
+        if self.threshold == 0 {
+            return Err(TopologyError::new("instance.threshold must be at least 1"));
+        }
+        if self.load_connections == 0 || self.load_seeds_per_request == 0 {
+            return Err(TopologyError::new(
+                "load.connections and load.seeds_per_request must be at least 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_topology() {
+        let text = r#"
+            # two-shard smoke topology
+            [cluster]
+            shards = 2
+            workers = 3
+            base_seed = 99
+            samples = 1024
+            k = 7
+
+            [instance]
+            dataset = "wiki-vote"  # synthetic analog
+            scale = 0.25
+            size_cap = 8
+            threshold = 2
+            seed = 5
+
+            [load]
+            connections = 2
+            requests = 10
+            seeds_per_request = 4
+        "#;
+        let topo = Topology::parse(text).unwrap();
+        assert_eq!(topo.shards, 2);
+        assert_eq!(topo.workers, 3);
+        assert_eq!(topo.base_seed, 99);
+        assert_eq!(topo.samples, 1024);
+        assert_eq!(topo.k, 7);
+        assert_eq!(topo.dataset, "wiki-vote");
+        assert!((topo.scale - 0.25).abs() < 1e-12);
+        assert_eq!(topo.size_cap, 8);
+        assert_eq!(topo.threshold, 2);
+        assert_eq!(topo.instance_seed, 5);
+        assert_eq!(topo.load_connections, 2);
+        assert_eq!(topo.load_requests, 10);
+        assert_eq!(topo.load_seeds_per_request, 4);
+    }
+
+    #[test]
+    fn defaults_fill_missing_sections() {
+        let topo = Topology::parse("[cluster]\nshards = 4\n").unwrap();
+        assert_eq!(topo.shards, 4);
+        assert_eq!(topo.samples, 40_000);
+        assert_eq!(topo.dataset, "wiki-vote");
+    }
+
+    #[test]
+    fn rejects_zero_shards_and_garbage() {
+        assert!(Topology::parse("[cluster]\nshards = 0\n").is_err());
+        assert!(Topology::parse("not toml at all").is_err());
+        assert!(Topology::parse("[cluster]\nshards = \"two\"\n").is_err());
+        assert!(Topology::parse("[cluster]\nshards = 1\nshards = 2\n").is_err());
+    }
+}

@@ -2,6 +2,75 @@ use crate::{RicSample, RicSampler};
 use imc_graph::NodeId;
 use rand::Rng;
 
+/// Fixed number of deterministic sampling shards used by
+/// [`RicCollection::extend_parallel`] and
+/// [`RicStore::extend_parallel`](crate::RicStore::extend_parallel) when the
+/// caller does not pick one explicitly.
+///
+/// This constant is the **cluster partition key**: a distributed solve
+/// splits the same 16 sampling shards across daemons (shard `j` of `P`
+/// owns sampling shards `[j·16/P, (j+1)·16/P)`), so the concatenation of
+/// the per-daemon stores is bitwise identical to the single-node store.
+/// Changing it invalidates every committed baseline and snapshot seeded
+/// under the old split.
+pub const DEFAULT_SAMPLING_SHARDS: usize = 16;
+
+/// The deterministic sampling-shard plan shared by every parallel
+/// extension path: `(rng_seed, sample_count)` per shard, in shard order.
+///
+/// Shard `i` draws `count/shards` samples (plus one of the `count %
+/// shards` leftovers for the first shards) from
+/// `StdRng::seed_from_u64(base_seed + i)`. Counts below 64 collapse to a
+/// single shard seeded `base_seed`, which makes tiny draws identical to a
+/// sequential `extend_with` run.
+pub fn sampling_shard_plan(count: usize, base_seed: u64, shards: usize) -> Vec<(u64, usize)> {
+    if count == 0 {
+        return Vec::new();
+    }
+    // Fixed shard count (independent of the machine) keeps the output
+    // reproducible across hosts; worker threads just consume shards.
+    let shards = if count < 64 { 1 } else { shards.max(1) };
+    let per = count / shards;
+    let extra = count % shards;
+    (0..shards)
+        .map(|i| {
+            (
+                base_seed.wrapping_add(i as u64),
+                per + usize::from(i < extra),
+            )
+        })
+        .collect()
+}
+
+/// The contiguous slice of sampling shards owned by `partition` of
+/// `partitions` — the cluster partition rule.
+///
+/// Requires `partitions` to divide `shards` evenly so every partition owns
+/// the same number of shards and the concatenation over partitions (in
+/// partition order) reproduces the full shard order exactly.
+///
+/// # Panics
+///
+/// When `partitions == 0`, `partition >= partitions`, or `shards %
+/// partitions != 0`.
+pub fn partition_shard_range(
+    shards: usize,
+    partition: usize,
+    partitions: usize,
+) -> std::ops::Range<usize> {
+    assert!(partitions > 0, "partitions must be positive");
+    assert!(
+        partition < partitions,
+        "partition {partition} out of range for {partitions} partitions"
+    );
+    assert!(
+        shards.is_multiple_of(partitions),
+        "{partitions} partitions must divide the {shards} sampling shards evenly"
+    );
+    let width = shards / partitions;
+    partition * width..(partition + 1) * width
+}
+
 /// Location of one node appearance inside a [`RicCollection`]: which sample
 /// and at which position (so the node's [`CoverSet`](crate::CoverSet) is
 /// `samples[sample].covers[pos]`).
@@ -129,25 +198,30 @@ impl RicCollection {
         base_seed: u64,
         workers: usize,
     ) {
+        self.extend_parallel_sharded(sampler, count, base_seed, DEFAULT_SAMPLING_SHARDS, workers);
+    }
+
+    /// [`extend_parallel_with_workers`](Self::extend_parallel_with_workers)
+    /// with an explicit sampling-shard count — the fully-pinned entry
+    /// point. `shards` defaults to [`DEFAULT_SAMPLING_SHARDS`] elsewhere;
+    /// pass a different value only when every producer and consumer of the
+    /// collection agrees on it, because the shard count *is* the sample
+    /// stream (see [`sampling_shard_plan`]).
+    pub fn extend_parallel_sharded(
+        &mut self,
+        sampler: &RicSampler<'_>,
+        count: usize,
+        base_seed: u64,
+        shards: usize,
+        workers: usize,
+    ) {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
 
         if count == 0 {
             return;
         }
-        // Fixed shard count (independent of the machine) keeps the output
-        // reproducible across hosts; worker threads just consume shards.
-        let shards = if count < 64 { 1 } else { 16 };
-        let per = count / shards;
-        let extra = count % shards;
-        let plan: Vec<(u64, usize)> = (0..shards)
-            .map(|i| {
-                (
-                    base_seed.wrapping_add(i as u64),
-                    per + usize::from(i < extra),
-                )
-            })
-            .collect();
+        let plan = sampling_shard_plan(count, base_seed, shards);
 
         fn sample_shard(sampler: &RicSampler<'_>, seed: u64, n: usize) -> Vec<RicSample> {
             let start = std::time::Instant::now();
@@ -520,6 +594,54 @@ mod tests {
         let mut col = RicCollection::for_sampler(&sampler);
         col.extend_parallel(&sampler, 0, 1);
         assert!(col.is_empty());
+    }
+
+    #[test]
+    fn shard_plan_covers_count_and_collapses_small_draws() {
+        let plan = sampling_shard_plan(300, 77, DEFAULT_SAMPLING_SHARDS);
+        assert_eq!(plan.len(), 16);
+        assert_eq!(plan.iter().map(|&(_, n)| n).sum::<usize>(), 300);
+        for (i, &(seed, n)) in plan.iter().enumerate() {
+            assert_eq!(seed, 77 + i as u64);
+            // 300 = 16·18 + 12: the first 12 shards draw one extra sample.
+            assert_eq!(n, 18 + usize::from(i < 12));
+        }
+        assert_eq!(sampling_shard_plan(10, 5, 16), vec![(5, 10)]);
+        assert!(sampling_shard_plan(0, 5, 16).is_empty());
+    }
+
+    #[test]
+    fn partition_ranges_tile_the_shard_plan() {
+        for partitions in [1usize, 2, 4, 8, 16] {
+            let mut covered = Vec::new();
+            for p in 0..partitions {
+                covered.extend(partition_shard_range(16, p, partitions));
+            }
+            assert_eq!(covered, (0..16).collect::<Vec<_>>(), "P={partitions}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn partition_ranges_reject_uneven_split() {
+        let _ = partition_shard_range(16, 0, 3);
+    }
+
+    #[test]
+    fn extend_parallel_sharded_matches_default_shards() {
+        let mut b = GraphBuilder::new(20);
+        for u in 0..19u32 {
+            b.add_edge(u, u + 1, 0.4).unwrap();
+        }
+        let g = b.build().unwrap();
+        let cs = CommunitySet::from_parts(20, vec![((0..5).map(NodeId::new).collect(), 2, 1.0)])
+            .unwrap();
+        let sampler = RicSampler::new(&g, &cs);
+        let mut reference = RicCollection::for_sampler(&sampler);
+        reference.extend_parallel_with_workers(&sampler, 200, 9, 2);
+        let mut explicit = RicCollection::for_sampler(&sampler);
+        explicit.extend_parallel_sharded(&sampler, 200, 9, DEFAULT_SAMPLING_SHARDS, 4);
+        assert_eq!(explicit.samples(), reference.samples());
     }
 
     #[test]

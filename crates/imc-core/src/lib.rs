@@ -76,15 +76,18 @@ pub mod obs;
 pub mod snapshot;
 
 pub use bitset::CoverSet;
-pub use collection::{CollectionStats, RicCollection, SampleRef};
+pub use collection::{
+    partition_shard_range, sampling_shard_plan, CollectionStats, RicCollection, SampleRef,
+    DEFAULT_SAMPLING_SHARDS,
+};
 pub use error::ImcError;
 pub use generator::{LiveEdgeModel, RicSampler, SampleBuf};
 pub use imcaf::{imcaf, imcaf_with_trace, ImcafConfig, ImcafResult, RoundRecord, StopReason};
 #[allow(deprecated)]
 pub use maxr::MaxrSolution;
 pub use maxr::{
-    BtSolver, GreedyRun, GreedySolver, MafSolver, MaxrAlgorithm, MaxrSolver, MbSolver, SolveReport,
-    SolveRequest, SolveStrategy, SolverExtras, UbgSolver,
+    BtSolver, GainSource, GreedyRun, GreedySolver, LocalSource, MafSolver, MaxrAlgorithm,
+    MaxrSolver, MbSolver, SolveReport, SolveRequest, SolveStrategy, SolverExtras, UbgSolver,
 };
 pub use objective::CoverageState;
 pub use problem::ImcInstance;

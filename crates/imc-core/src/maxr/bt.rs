@@ -145,7 +145,7 @@ pub(crate) fn bt_with<C: RicSamples>(
 }
 
 /// Nodes worth trying as pivots, most-appearing first.
-fn pivot_candidates<C: RicSamples>(collection: &C, limit: Option<usize>) -> Vec<NodeId> {
+pub fn pivot_candidates<C: RicSamples>(collection: &C, limit: Option<usize>) -> Vec<NodeId> {
     let mut nodes: Vec<(usize, u32)> = (0..collection.node_count() as u32)
         .filter_map(|v| {
             let c = collection.appearance_count(NodeId::new(v));
@@ -195,7 +195,7 @@ fn seeds_for_pivot<C: RicSamples>(
 /// `u` reaches, lower thresholds. Samples `u` alone already influences
 /// (residual threshold 0) are dropped — they are won regardless of `T` and
 /// are counted by [`pivot_score`] directly.
-fn reduce_for_pivot<C: RicSamples>(collection: &C, u: NodeId) -> RicStore {
+pub fn reduce_for_pivot<C: RicSamples>(collection: &C, u: NodeId) -> RicStore {
     let mut reduced = RicStore::new(
         collection.node_count(),
         collection.community_count(),
@@ -237,7 +237,7 @@ fn reduce_for_pivot<C: RicSamples>(collection: &C, u: NodeId) -> RicStore {
 }
 
 /// `|D_R(K, u)|`: samples touched by `u` and influenced by `K`.
-fn pivot_score<C: RicSamples>(collection: &C, u: NodeId, kset: &[NodeId]) -> usize {
+pub fn pivot_score<C: RicSamples>(collection: &C, u: NodeId, kset: &[NodeId]) -> usize {
     collection
         .touched_by(u)
         .iter()

@@ -22,7 +22,6 @@
 //!   under a total order on `(gain, node)` — so the outcome is identical
 //!   for *any* thread count, including 1.
 
-use crate::maxr::pad_to_k;
 use crate::maxr::telemetry::{EngineTelemetry, IterationRecord, MapStats};
 use crate::{CoverageState, RicSamples};
 use imc_graph::NodeId;
@@ -205,6 +204,124 @@ fn eval_chunk(threads: usize) -> usize {
     }
 }
 
+/// A marginal-gain oracle the greedy loops run against.
+///
+/// The engine keeps the CELF queues, batching, tie-breaks and evaluation
+/// accounting to itself; a source only answers gain queries against the
+/// seed set committed so far. Two implementations exist:
+///
+/// * [`LocalSource`] — a [`CoverageState`] over an in-process
+///   [`RicSamples`] backend, the classic single-node path;
+/// * the scatter-gather coordinator in `imc-cluster`, which fans each
+///   batch out to shard daemons owning disjoint partitions of the sample
+///   store and reduces the partial answers.
+///
+/// Any source whose answers are bitwise equal to a [`LocalSource`] over
+/// the concatenation of its data produces bitwise-identical seed sets
+/// *and* evaluation counts, because all control flow lives in the engine.
+pub trait GainSource {
+    /// Node count of the underlying graph — the candidate id space.
+    fn node_count(&self) -> usize;
+
+    /// Number of samples node `v` appears in: the initial ĉ potential,
+    /// the candidate filter, and the padding key.
+    fn appearance_count(&self, v: u32) -> usize;
+
+    /// `(gain, potential)` for each node of `nodes` under the current
+    /// seed set — the ĉ_R marginal gain and the number of
+    /// still-uninfluenced samples the node touches (see
+    /// [`CoverageState::marginal_influenced_with_potential`]).
+    fn eval_c_batch(&mut self, nodes: &[u32]) -> (Vec<(usize, usize)>, MapStats);
+
+    /// ν_R marginal gain for each node of `nodes` under the current seed
+    /// set (see [`CoverageState::marginal_fraction`]). Values must be
+    /// bitwise-identical to a local evaluation over the full collection.
+    fn eval_nu_batch(&mut self, nodes: &[u32]) -> (Vec<f64>, MapStats);
+
+    /// Commits `v` as a seed; every later batch sees the updated state.
+    fn add_seed(&mut self, v: u32);
+
+    /// Pads `seeds` to `min(k, node_count)` with unused nodes, highest
+    /// appearance count first, ties to the smallest id — the same rule as
+    /// the single-node `pad_to_k`.
+    fn pad_seeds(&self, seeds: &mut Vec<NodeId>, k: usize) {
+        let k = k.min(self.node_count());
+        if seeds.len() >= k {
+            seeds.truncate(k);
+            return;
+        }
+        let mut used = vec![false; self.node_count()];
+        for s in seeds.iter() {
+            used[s.index()] = true;
+        }
+        let mut rest: Vec<(usize, u32)> = (0..self.node_count() as u32)
+            .filter(|&v| !used[v as usize])
+            .map(|v| (self.appearance_count(v), v))
+            .collect();
+        // Highest appearance first; ties by smallest id for determinism.
+        rest.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for (_, v) in rest {
+            if seeds.len() >= k {
+                break;
+            }
+            seeds.push(NodeId::new(v));
+        }
+    }
+}
+
+/// [`GainSource`] over an in-process [`RicSamples`] backend: a
+/// [`CoverageState`] plus the worker count used to fan each evaluation
+/// batch out through the deterministic shard map.
+#[derive(Debug)]
+pub struct LocalSource<C: RicSamples> {
+    state: CoverageState<C>,
+    threads: usize,
+}
+
+impl<C: RicSamples> LocalSource<C> {
+    /// Wraps `collection` (owned or borrowed — see [`CoverageState`]) for
+    /// evaluation with `threads` workers per batch.
+    pub fn new(collection: C, threads: usize) -> Self {
+        LocalSource {
+            state: CoverageState::new(collection),
+            threads: threads.max(1),
+        }
+    }
+
+    /// The coverage state accumulated so far.
+    pub fn state(&self) -> &CoverageState<C> {
+        &self.state
+    }
+}
+
+impl<C: RicSamples> GainSource for LocalSource<C> {
+    fn node_count(&self) -> usize {
+        self.state.collection().node_count()
+    }
+
+    fn appearance_count(&self, v: u32) -> usize {
+        self.state.collection().appearance_count(NodeId::new(v))
+    }
+
+    fn eval_c_batch(&mut self, nodes: &[u32]) -> (Vec<(usize, usize)>, MapStats) {
+        let state = &self.state;
+        shard_map_stats(nodes.len(), self.threads, |i| {
+            state.marginal_influenced_with_potential(NodeId::new(nodes[i]))
+        })
+    }
+
+    fn eval_nu_batch(&mut self, nodes: &[u32]) -> (Vec<f64>, MapStats) {
+        let state = &self.state;
+        shard_map_stats(nodes.len(), self.threads, |i| {
+            state.marginal_fraction(NodeId::new(nodes[i]))
+        })
+    }
+
+    fn add_seed(&mut self, v: u32) {
+        self.state.add_seed(NodeId::new(v));
+    }
+}
+
 /// Strategy-aware greedy on `ĉ_R` (the number of influenced samples).
 ///
 /// All strategies return the seed set of the paper's plain re-evaluating
@@ -228,14 +345,25 @@ pub fn greedy_c_with_telemetry<C: RicSamples>(
     k: usize,
     strategy: SolveStrategy,
 ) -> (GreedyRun, EngineTelemetry) {
-    let (run, telemetry) = match strategy {
-        SolveStrategy::Sequential => greedy_c_sequential(collection, k),
-        SolveStrategy::Lazy | SolveStrategy::Parallel { .. } => {
-            greedy_c_lazy(collection, k, strategy)
-        }
-    };
+    let mut source = LocalSource::new(collection, strategy.threads());
+    let (run, telemetry) = greedy_c_over(&mut source, k, strategy);
     telemetry.publish();
     (run, telemetry)
+}
+
+/// [`greedy_c_with`] over an arbitrary [`GainSource`] — the engine entry
+/// point the cluster coordinator shares with the local solvers. Returns
+/// the run and its telemetry *without* publishing; the caller decides
+/// where the telemetry goes.
+pub fn greedy_c_over<S: GainSource>(
+    source: &mut S,
+    k: usize,
+    strategy: SolveStrategy,
+) -> (GreedyRun, EngineTelemetry) {
+    match strategy {
+        SolveStrategy::Sequential => greedy_c_sequential(source, k),
+        SolveStrategy::Lazy | SolveStrategy::Parallel { .. } => greedy_c_lazy(source, k, strategy),
+    }
 }
 
 /// Strategy-aware CELF greedy on the submodular upper bound `ν_R`.
@@ -261,40 +389,51 @@ pub fn greedy_nu_with_telemetry<C: RicSamples>(
     k: usize,
     strategy: SolveStrategy,
 ) -> (GreedyRun, EngineTelemetry) {
-    let (run, telemetry) = match strategy {
-        SolveStrategy::Sequential => greedy_nu_sequential(collection, k),
-        SolveStrategy::Lazy | SolveStrategy::Parallel { .. } => {
-            greedy_nu_lazy(collection, k, strategy)
-        }
-    };
+    let mut source = LocalSource::new(collection, strategy.threads());
+    let (run, telemetry) = greedy_nu_over(&mut source, k, strategy);
     telemetry.publish();
     (run, telemetry)
 }
 
-fn greedy_c_sequential<C: RicSamples>(collection: &C, k: usize) -> (GreedyRun, EngineTelemetry) {
+/// [`greedy_nu_with`] over an arbitrary [`GainSource`] — see
+/// [`greedy_c_over`]. Telemetry is returned unpublished.
+pub fn greedy_nu_over<S: GainSource>(
+    source: &mut S,
+    k: usize,
+    strategy: SolveStrategy,
+) -> (GreedyRun, EngineTelemetry) {
+    match strategy {
+        SolveStrategy::Sequential => greedy_nu_sequential(source, k),
+        SolveStrategy::Lazy | SolveStrategy::Parallel { .. } => greedy_nu_lazy(source, k, strategy),
+    }
+}
+
+fn greedy_c_sequential<S: GainSource>(source: &mut S, k: usize) -> (GreedyRun, EngineTelemetry) {
     let wall = Instant::now();
     let mut telemetry = EngineTelemetry::new("c_hat", "sequential", 1);
-    let k = k.min(collection.node_count());
-    let mut state = CoverageState::new(collection);
-    let candidates: Vec<NodeId> = (0..collection.node_count() as u32)
-        .map(NodeId::new)
-        .filter(|&v| collection.appearance_count(v) > 0)
+    let k = k.min(source.node_count());
+    let candidates: Vec<u32> = (0..source.node_count() as u32)
+        .filter(|&v| source.appearance_count(v) > 0)
         .collect();
-    let mut used = vec![false; collection.node_count()];
+    let mut used = vec![false; source.node_count()];
     let mut remaining = candidates.len();
     let mut seeds = Vec::with_capacity(k);
     let mut evaluations = 0u64;
+    let mut alive: Vec<u32> = Vec::with_capacity(candidates.len());
     for round in 0..k {
         let round_start = Instant::now();
         let mut rec = IterationRecord::begin(round as u32, remaining);
-        let mut best: Option<(usize, NodeId)> = None;
-        for &v in &candidates {
-            if used[v.index()] {
-                continue;
-            }
-            let gain = state.marginal_influenced(v);
-            evaluations += 1;
-            rec.evaluations += 1;
+        alive.clear();
+        alive.extend(candidates.iter().copied().filter(|&v| !used[v as usize]));
+        // One batch per round: the state is fixed within a round, so the
+        // batched gains equal a per-candidate ascending scan exactly.
+        let (gains, stats) = source.eval_c_batch(&alive);
+        rec.absorb(&stats);
+        telemetry.absorb(stats);
+        evaluations += alive.len() as u64;
+        rec.evaluations += alive.len() as u64;
+        let mut best: Option<(usize, u32)> = None;
+        for (&v, &(gain, _)) in alive.iter().zip(&gains) {
             let better = match best {
                 None => gain > 0,
                 Some((bg, bv)) => gain > bg || (gain == bg && gain > 0 && v < bv),
@@ -306,10 +445,10 @@ fn greedy_c_sequential<C: RicSamples>(collection: &C, k: usize) -> (GreedyRun, E
         rec.pops = rec.evaluations;
         match best {
             Some((gain, v)) => {
-                state.add_seed(v);
-                used[v.index()] = true;
+                source.add_seed(v);
+                used[v as usize] = true;
                 remaining -= 1;
-                seeds.push(v);
+                seeds.push(NodeId::new(v));
                 rec.finish(gain as f64, true, round_start);
                 telemetry.rounds.push(rec);
             }
@@ -320,7 +459,7 @@ fn greedy_c_sequential<C: RicSamples>(collection: &C, k: usize) -> (GreedyRun, E
             }
         }
     }
-    pad_to_k(collection, &mut seeds, k);
+    source.pad_seeds(&mut seeds, k);
     telemetry.wall_seconds = wall.elapsed().as_secs_f64();
     (GreedyRun { seeds, evaluations }, telemetry)
 }
@@ -348,20 +487,19 @@ impl PartialOrd for UbEntry {
     }
 }
 
-fn greedy_c_lazy<C: RicSamples>(
-    collection: &C,
+fn greedy_c_lazy<S: GainSource>(
+    source: &mut S,
     k: usize,
     strategy: SolveStrategy,
 ) -> (GreedyRun, EngineTelemetry) {
     let threads = strategy.threads();
     let wall = Instant::now();
     let mut telemetry = EngineTelemetry::new("c_hat", strategy.label(), threads);
-    let k = k.min(collection.node_count());
-    let mut state = CoverageState::new(collection);
+    let k = k.min(source.node_count());
     // Initial potential = appearance count (no sample is influenced yet).
-    let mut heap: BinaryHeap<UbEntry> = (0..collection.node_count() as u32)
+    let mut heap: BinaryHeap<UbEntry> = (0..source.node_count() as u32)
         .filter_map(|v| {
-            let ub = collection.appearance_count(NodeId::new(v));
+            let ub = source.appearance_count(v);
             (ub > 0).then_some(UbEntry { ub, node: v })
         })
         .collect();
@@ -402,10 +540,8 @@ fn greedy_c_lazy<C: RicSamples>(
             let mut idx = 0;
             while idx < batch.len() {
                 let hi = (idx + chunk).min(batch.len());
-                let (gains, stats): (Vec<(usize, usize)>, _) =
-                    shard_map_stats(hi - idx, threads, |i| {
-                        state.marginal_influenced_with_potential(NodeId::new(batch[idx + i].node))
-                    });
+                let ids: Vec<u32> = batch[idx..hi].iter().map(|e| e.node).collect();
+                let (gains, stats) = source.eval_c_batch(&ids);
                 rec.absorb(&stats);
                 telemetry.absorb(stats);
                 evaluations += (hi - idx) as u64;
@@ -443,7 +579,7 @@ fn greedy_c_lazy<C: RicSamples>(
         }
         match best {
             Some((gain, v)) => {
-                state.add_seed(NodeId::new(v));
+                source.add_seed(v);
                 seeds.push(NodeId::new(v));
                 // Non-winners return with their freshly measured potential
                 // (still an upper bound after the new seed: potentials only
@@ -464,7 +600,7 @@ fn greedy_c_lazy<C: RicSamples>(
         }
         round_idx += 1;
     }
-    pad_to_k(collection, &mut seeds, k);
+    source.pad_seeds(&mut seeds, k);
     telemetry.wall_seconds = wall.elapsed().as_secs_f64();
     (GreedyRun { seeds, evaluations }, telemetry)
 }
@@ -473,30 +609,30 @@ fn greedy_c_lazy<C: RicSamples>(
 /// CELF cut-off).
 const NU_EPS: f64 = 1e-15;
 
-fn greedy_nu_sequential<C: RicSamples>(collection: &C, k: usize) -> (GreedyRun, EngineTelemetry) {
+fn greedy_nu_sequential<S: GainSource>(source: &mut S, k: usize) -> (GreedyRun, EngineTelemetry) {
     let wall = Instant::now();
     let mut telemetry = EngineTelemetry::new("nu", "sequential", 1);
-    let k = k.min(collection.node_count());
-    let mut state = CoverageState::new(collection);
-    let candidates: Vec<NodeId> = (0..collection.node_count() as u32)
-        .map(NodeId::new)
-        .filter(|&v| collection.appearance_count(v) > 0)
+    let k = k.min(source.node_count());
+    let candidates: Vec<u32> = (0..source.node_count() as u32)
+        .filter(|&v| source.appearance_count(v) > 0)
         .collect();
-    let mut used = vec![false; collection.node_count()];
+    let mut used = vec![false; source.node_count()];
     let mut remaining = candidates.len();
     let mut seeds = Vec::with_capacity(k);
     let mut evaluations = 0u64;
+    let mut alive: Vec<u32> = Vec::with_capacity(candidates.len());
     for round in 0..k {
         let round_start = Instant::now();
         let mut rec = IterationRecord::begin(round as u32, remaining);
-        let mut best: Option<(f64, NodeId)> = None;
-        for &v in &candidates {
-            if used[v.index()] {
-                continue;
-            }
-            let gain = state.marginal_fraction(v);
-            evaluations += 1;
-            rec.evaluations += 1;
+        alive.clear();
+        alive.extend(candidates.iter().copied().filter(|&v| !used[v as usize]));
+        let (gains, stats) = source.eval_nu_batch(&alive);
+        rec.absorb(&stats);
+        telemetry.absorb(stats);
+        evaluations += alive.len() as u64;
+        rec.evaluations += alive.len() as u64;
+        let mut best: Option<(f64, u32)> = None;
+        for (&v, &gain) in alive.iter().zip(&gains) {
             // Ascending scan keeps the smallest id on exact ties.
             let better = match best {
                 None => gain > NU_EPS,
@@ -509,10 +645,10 @@ fn greedy_nu_sequential<C: RicSamples>(collection: &C, k: usize) -> (GreedyRun, 
         rec.pops = rec.evaluations;
         match best {
             Some((gain, v)) => {
-                state.add_seed(v);
-                used[v.index()] = true;
+                source.add_seed(v);
+                used[v as usize] = true;
                 remaining -= 1;
-                seeds.push(v);
+                seeds.push(NodeId::new(v));
                 rec.finish(gain, true, round_start);
                 telemetry.rounds.push(rec);
             }
@@ -523,7 +659,7 @@ fn greedy_nu_sequential<C: RicSamples>(collection: &C, k: usize) -> (GreedyRun, 
             }
         }
     }
-    pad_to_k(collection, &mut seeds, k);
+    source.pad_seeds(&mut seeds, k);
     telemetry.wall_seconds = wall.elapsed().as_secs_f64();
     (GreedyRun { seeds, evaluations }, telemetry)
 }
@@ -552,24 +688,21 @@ impl PartialOrd for NuEntry {
     }
 }
 
-fn greedy_nu_lazy<C: RicSamples>(
-    collection: &C,
+fn greedy_nu_lazy<S: GainSource>(
+    source: &mut S,
     k: usize,
     strategy: SolveStrategy,
 ) -> (GreedyRun, EngineTelemetry) {
     let threads = strategy.threads();
     let wall = Instant::now();
     let mut telemetry = EngineTelemetry::new("nu", strategy.label(), threads);
-    let k = k.min(collection.node_count());
-    let mut state = CoverageState::new(collection);
-    let candidates: Vec<u32> = (0..collection.node_count() as u32)
-        .filter(|&v| collection.appearance_count(NodeId::new(v)) > 0)
+    let k = k.min(source.node_count());
+    let candidates: Vec<u32> = (0..source.node_count() as u32)
+        .filter(|&v| source.appearance_count(v) > 0)
         .collect();
     // The initial full gain scan is the single biggest evaluation wave —
     // fan it out across the workers.
-    let (initial, scan_stats): (Vec<f64>, _) = shard_map_stats(candidates.len(), threads, |i| {
-        state.marginal_fraction(NodeId::new(candidates[i]))
-    });
+    let (initial, scan_stats) = source.eval_nu_batch(&candidates);
     telemetry.absorb(scan_stats);
     telemetry.initial_evaluations = candidates.len() as u64;
     let mut evaluations = candidates.len() as u64;
@@ -647,9 +780,8 @@ fn greedy_nu_lazy<C: RicSamples>(
             let mut idx = 0;
             while idx < stale.len() {
                 let hi = (idx + chunk).min(stale.len());
-                let (gains, stats): (Vec<f64>, _) = shard_map_stats(hi - idx, threads, |i| {
-                    state.marginal_fraction(NodeId::new(stale[idx + i].node))
-                });
+                let ids: Vec<u32> = stale[idx..hi].iter().map(|e| e.node).collect();
+                let (gains, stats) = source.eval_nu_batch(&ids);
                 rec.absorb(&stats);
                 telemetry.absorb(stats);
                 evaluations += (hi - idx) as u64;
@@ -692,7 +824,7 @@ fn greedy_nu_lazy<C: RicSamples>(
         }
         match best {
             Some((gain, v)) => {
-                state.add_seed(NodeId::new(v));
+                source.add_seed(v);
                 seeds.push(NodeId::new(v));
                 // Re-queue the non-winners with their freshly measured
                 // gains, stamped with the round they were measured in; the
@@ -718,7 +850,7 @@ fn greedy_nu_lazy<C: RicSamples>(
             }
         }
     }
-    pad_to_k(collection, &mut seeds, k);
+    source.pad_seeds(&mut seeds, k);
     telemetry.wall_seconds = wall.elapsed().as_secs_f64();
     (GreedyRun { seeds, evaluations }, telemetry)
 }

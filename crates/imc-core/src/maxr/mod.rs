@@ -24,12 +24,12 @@ pub mod solver;
 pub mod telemetry;
 pub mod ubg;
 
-pub use engine::{GreedyRun, SolveStrategy};
+pub use engine::{GainSource, GreedyRun, LocalSource, SolveStrategy};
 pub use solver::{
     BtSolver, GreedySolver, MafSolver, MaxrSolver, MbSolver, SolveReport, SolveRequest,
     SolverExtras, UbgSolver,
 };
-pub use telemetry::{EngineTelemetry, IterationRecord};
+pub use telemetry::{EngineTelemetry, IterationRecord, MapStats};
 
 use crate::{ImcError, ImcInstance, Result, RicSamples};
 use imc_graph::NodeId;

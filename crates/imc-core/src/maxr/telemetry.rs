@@ -92,9 +92,11 @@ impl IterationRecord {
     }
 }
 
-/// Shard and worker timing of one `shard_map_stats` call.
+/// Shard and worker timing of one marginal-gain evaluation batch (one
+/// `shard_map_stats` call locally; one scatter-gather RPC round in a
+/// cluster [`GainSource`](crate::maxr::GainSource)).
 #[derive(Debug, Clone, Default)]
-pub(crate) struct MapStats {
+pub struct MapStats {
     /// Wall-clock seconds per executed shard (a single entry when the
     /// map ran inline).
     pub shard_seconds: Vec<f64>,

@@ -16,9 +16,15 @@ use imc_graph::NodeId;
 /// * `marginal_fraction(v)` — the increase of
 ///   `Σ_g min(|I_g|/h_g, 1)` (the ν_R greedy gain; submodular by Lemma 3,
 ///   so CELF lazy evaluation is sound).
+///
+/// The backend is held *by value*: pass `&collection` for the usual
+/// borrowed use (blanket `RicSamples` impls cover `&T` and `Arc<T>`), or
+/// an owned `Arc<RicStore>` when the state must be self-contained — e.g.
+/// a cluster shard session that outlives the request that pinned the
+/// store.
 #[derive(Debug, Clone)]
-pub struct CoverageState<'a, C: RicSamples = RicCollection> {
-    collection: &'a C,
+pub struct CoverageState<C: RicSamples = RicCollection> {
+    collection: C,
     union_offsets: Vec<usize>,
     union_words: Vec<u64>,
     counts: Vec<u32>,
@@ -28,21 +34,22 @@ pub struct CoverageState<'a, C: RicSamples = RicCollection> {
     seeds: Vec<NodeId>,
 }
 
-impl<'a, C: RicSamples> CoverageState<'a, C> {
+impl<C: RicSamples> CoverageState<C> {
     /// Fresh state with no seeds.
-    pub fn new(collection: &'a C) -> Self {
+    pub fn new(collection: C) -> Self {
         let mut union_offsets = Vec::with_capacity(collection.len() + 1);
         union_offsets.push(0usize);
         for si in 0..collection.len() {
             union_offsets.push(union_offsets[si] + limbs_for_width(collection.sample_width(si)));
         }
         let total_limbs = *union_offsets.last().unwrap_or(&0);
+        let len = collection.len();
         CoverageState {
             collection,
             union_offsets,
             union_words: vec![0u64; total_limbs],
-            counts: vec![0; collection.len()],
-            influenced: vec![false; collection.len()],
+            counts: vec![0; len],
+            influenced: vec![false; len],
             influenced_count: 0,
             fraction_sum: 0.0,
             seeds: Vec::new(),
@@ -50,8 +57,8 @@ impl<'a, C: RicSamples> CoverageState<'a, C> {
     }
 
     /// The collection being evaluated.
-    pub fn collection(&self) -> &'a C {
-        self.collection
+    pub fn collection(&self) -> &C {
+        &self.collection
     }
 
     /// Seeds added so far, in insertion order.
@@ -143,7 +150,21 @@ impl<'a, C: RicSamples> CoverageState<'a, C> {
 
     /// Increase of `Σ_g min(|I_g|/h_g, 1)` if `v` were added.
     pub fn marginal_fraction(&self, v: NodeId) -> f64 {
-        let mut gain = 0.0f64;
+        self.marginal_fraction_from(v, 0.0)
+    }
+
+    /// [`marginal_fraction`](Self::marginal_fraction) continuing a fold
+    /// started at `acc` instead of `0.0`.
+    ///
+    /// The ν_R gain is a left fold of `new − cur` terms in ascending
+    /// sample order, and f64 addition is not associative — so a cluster
+    /// shard holding samples `[lo, hi)` must *continue* the accumulator
+    /// handed over from the shard holding `[0, lo)` rather than add its
+    /// own partial sum afterwards. Chaining `marginal_fraction_from`
+    /// across shards in partition order reproduces the single-node fold
+    /// bit for bit; `carry + marginal_fraction(v)` would not.
+    pub fn marginal_fraction_from(&self, v: NodeId, acc: f64) -> f64 {
+        let mut gain = acc;
         for r in self.collection.touched_by(v) {
             let si = r.sample as usize;
             let h = self.collection.sample_threshold(si) as f64;
@@ -336,6 +357,32 @@ mod tests {
                 st.marginal_fraction(v) <= before[i] + 1e-12,
                 "gain increased for {v}"
             );
+        }
+    }
+
+    #[test]
+    fn fraction_fold_chains_bitwise_across_partitions() {
+        // Splitting the sample list into contiguous partitions and
+        // chaining `marginal_fraction_from` in partition order must
+        // reproduce the whole-collection fold bit for bit — the cluster
+        // coordinator's ν carry-chain depends on this.
+        let col = build_collection();
+        let full = CoverageState::new(&col);
+        // Partition 0 = sample 0, partition 1 = sample 1.
+        let mut lo = RicCollection::new(6, 2, 4.0);
+        let mut hi = RicCollection::new(6, 2, 4.0);
+        for (si, s) in col.samples().iter().enumerate() {
+            if si == 0 {
+                lo.push(s.clone());
+            } else {
+                hi.push(s.clone());
+            }
+        }
+        let st_lo = CoverageState::new(&lo);
+        let st_hi = CoverageState::new(&hi);
+        for v in (0..6).map(NodeId::new) {
+            let chained = st_hi.marginal_fraction_from(v, st_lo.marginal_fraction_from(v, 0.0));
+            assert_eq!(chained.to_bits(), full.marginal_fraction(v).to_bits());
         }
     }
 

@@ -165,6 +165,83 @@ pub trait RicSamples: Sync {
     }
 }
 
+/// Forwards every trait method (required *and* provided) through a smart
+/// pointer, so layout-specific overrides like
+/// [`RicCollection::estimate`](crate::RicCollection) stay on the forwarded
+/// path instead of falling back to the trait defaults.
+macro_rules! forward_ric_samples {
+    () => {
+        fn len(&self) -> usize {
+            (**self).len()
+        }
+        fn node_count(&self) -> usize {
+            (**self).node_count()
+        }
+        fn community_count(&self) -> usize {
+            (**self).community_count()
+        }
+        fn total_benefit(&self) -> f64 {
+            (**self).total_benefit()
+        }
+        fn sample_community(&self, si: usize) -> CommunityId {
+            (**self).sample_community(si)
+        }
+        fn sample_threshold(&self, si: usize) -> u32 {
+            (**self).sample_threshold(si)
+        }
+        fn sample_width(&self, si: usize) -> u32 {
+            (**self).sample_width(si)
+        }
+        fn sample_nodes(&self, si: usize) -> &[NodeId] {
+            (**self).sample_nodes(si)
+        }
+        fn cover_words(&self, si: usize, pos: usize) -> &[u64] {
+            (**self).cover_words(si, pos)
+        }
+        fn touched_by(&self, v: NodeId) -> &[SampleRef] {
+            (**self).touched_by(v)
+        }
+        fn is_empty(&self) -> bool {
+            (**self).is_empty()
+        }
+        fn appearance_count(&self, v: NodeId) -> usize {
+            (**self).appearance_count(v)
+        }
+        fn sample_covered_members(&self, si: usize, seeds: &[NodeId]) -> u32 {
+            (**self).sample_covered_members(si, seeds)
+        }
+        fn sample_influenced(&self, si: usize, seeds: &[NodeId]) -> bool {
+            (**self).sample_influenced(si, seeds)
+        }
+        fn sample_fractional_coverage(&self, si: usize, seeds: &[NodeId]) -> f64 {
+            (**self).sample_fractional_coverage(si, seeds)
+        }
+        fn influenced_count(&self, seeds: &[NodeId]) -> usize {
+            (**self).influenced_count(seeds)
+        }
+        fn estimate(&self, seeds: &[NodeId]) -> f64 {
+            (**self).estimate(seeds)
+        }
+        fn nu_estimate(&self, seeds: &[NodeId]) -> f64 {
+            (**self).nu_estimate(seeds)
+        }
+        fn community_frequencies(&self) -> Vec<usize> {
+            (**self).community_frequencies()
+        }
+        fn node_appearance_counts(&self) -> Vec<usize> {
+            (**self).node_appearance_counts()
+        }
+    };
+}
+
+impl<T: RicSamples + ?Sized> RicSamples for &T {
+    forward_ric_samples!();
+}
+
+impl<T: RicSamples + ?Sized + Send> RicSamples for std::sync::Arc<T> {
+    forward_ric_samples!();
+}
+
 impl RicSamples for crate::RicCollection {
     fn len(&self) -> usize {
         crate::RicCollection::len(self)

@@ -500,25 +500,87 @@ impl RicStore {
         base_seed: u64,
         workers: usize,
     ) {
+        self.extend_parallel_sharded(
+            sampler,
+            count,
+            base_seed,
+            crate::collection::DEFAULT_SAMPLING_SHARDS,
+            workers,
+        );
+    }
+
+    /// [`extend_parallel_with_workers`](Self::extend_parallel_with_workers)
+    /// with an explicit sampling-shard count — see
+    /// [`sampling_shard_plan`](crate::sampling_shard_plan) for what the
+    /// shard count means and why all producers must agree on it.
+    pub fn extend_parallel_sharded(
+        &mut self,
+        sampler: &RicSampler<'_>,
+        count: usize,
+        base_seed: u64,
+        shards: usize,
+        workers: usize,
+    ) {
+        let plan = crate::collection::sampling_shard_plan(count, base_seed, shards);
+        self.extend_from_plan(sampler, &plan, workers);
+    }
+
+    /// Generates and appends only the sampling shards a cluster partition
+    /// owns: shard `partition` of `partitions` draws sampling shards
+    /// `[partition·16/partitions, (partition+1)·16/partitions)` of the
+    /// full [`sampling_shard_plan`](crate::sampling_shard_plan) for
+    /// `count` samples. Concatenating the partition stores in partition
+    /// order is bitwise identical to a single
+    /// [`extend_parallel`](Self::extend_parallel) of `count` samples.
+    ///
+    /// With `partitions == 1` this *is* `extend_parallel_with_workers`.
+    ///
+    /// # Panics
+    ///
+    /// When `partitions` does not divide
+    /// [`DEFAULT_SAMPLING_SHARDS`](crate::DEFAULT_SAMPLING_SHARDS) evenly,
+    /// or when `partitions > 1` and `count < 64` (tiny draws collapse to a
+    /// single shard and cannot be partitioned).
+    pub fn extend_partition(
+        &mut self,
+        sampler: &RicSampler<'_>,
+        count: usize,
+        base_seed: u64,
+        partition: usize,
+        partitions: usize,
+        workers: usize,
+    ) {
+        let shards = crate::collection::DEFAULT_SAMPLING_SHARDS;
+        let plan = crate::collection::sampling_shard_plan(count, base_seed, shards);
+        if plan.is_empty() {
+            assert!(
+                partition < partitions,
+                "partition {partition} out of range for {partitions} partitions"
+            );
+            return;
+        }
+        assert!(
+            partitions == 1 || plan.len() == shards,
+            "count {count} below the shard threshold cannot be split across {partitions} partitions"
+        );
+        let range = crate::collection::partition_shard_range(plan.len(), partition, partitions);
+        self.extend_from_plan(sampler, &plan[range], workers);
+    }
+
+    /// Draws every `(seed, n)` shard of `plan` and appends them in plan
+    /// order — the shared tail of all parallel extension paths.
+    fn extend_from_plan(
+        &mut self,
+        sampler: &RicSampler<'_>,
+        plan: &[(u64, usize)],
+        workers: usize,
+    ) {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
 
-        if count == 0 {
+        if plan.is_empty() {
             return;
         }
-        // Same machine-independent shard plan as RicCollection: shard i
-        // draws from StdRng(base_seed + i); shards are appended in order.
-        let shards = if count < 64 { 1 } else { 16 };
-        let per = count / shards;
-        let extra = count % shards;
-        let plan: Vec<(u64, usize)> = (0..shards)
-            .map(|i| {
-                (
-                    base_seed.wrapping_add(i as u64),
-                    per + usize::from(i < extra),
-                )
-            })
-            .collect();
 
         let shard_store = |seed: u64, n: usize| -> RicStore {
             let start = std::time::Instant::now();
@@ -908,6 +970,48 @@ mod tests {
         assert_eq!(store.community_frequencies(), col.community_frequencies());
         assert_eq!(store.node_appearance_counts(), col.node_appearance_counts());
         assert_eq!(store.stats(), col.stats());
+    }
+
+    #[test]
+    fn partition_stores_concatenate_to_single_node_store() {
+        let (g, cs) = medium_instance();
+        let sampler = RicSampler::new(&g, &cs);
+        let mut full = RicStore::for_sampler(&sampler);
+        full.extend_parallel_with_workers(&sampler, 300, 77, 2);
+        for partitions in [1usize, 2, 4] {
+            let mut merged = RicStore::for_sampler(&sampler);
+            for p in 0..partitions {
+                let mut part = RicStore::for_sampler(&sampler);
+                part.extend_partition(&sampler, 300, 77, p, partitions, 2);
+                merged.append_arena(&part);
+            }
+            merged.rebuild_index();
+            assert_eq!(merged, full, "partitions={partitions}");
+        }
+    }
+
+    #[test]
+    fn partition_sample_counts_sum_to_total() {
+        let (g, cs) = medium_instance();
+        let sampler = RicSampler::new(&g, &cs);
+        let mut lens = Vec::new();
+        for p in 0..4 {
+            let mut part = RicStore::for_sampler(&sampler);
+            part.extend_partition(&sampler, 301, 9, p, 4, 1);
+            lens.push(part.len());
+        }
+        // 301 = 16·18 + 13 extras spread over the first 13 shards.
+        assert_eq!(lens.iter().sum::<usize>(), 301);
+        assert_eq!(lens, vec![76, 76, 76, 73]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be split")]
+    fn partition_rejects_tiny_counts() {
+        let (g, cs) = medium_instance();
+        let sampler = RicSampler::new(&g, &cs);
+        let mut part = RicStore::for_sampler(&sampler);
+        part.extend_partition(&sampler, 10, 9, 0, 2, 1);
     }
 
     #[test]

@@ -1,9 +1,22 @@
-//! Minimal blocking client for the newline-delimited JSON protocol —
-//! used by `imc query` and the end-to-end tests.
+//! Blocking clients for the newline-delimited JSON protocol.
+//!
+//! [`Client`] is the minimal connection used by `imc query` and the
+//! end-to-end tests: one request/response pair at a time over a reused
+//! TCP stream, with a single I/O timeout.
+//!
+//! [`PeerClient`] is the cluster-grade wrapper the `imc-cluster`
+//! coordinator holds per shard: separate connect/read/write timeouts
+//! ([`ClientConfig`]), typed failures ([`ClusterError`]) that name the
+//! peer's address, lazy (re)connection, and bounded reconnect-and-retry
+//! for *stateless* requests only. Session-scoped requests (`eval_*`) are
+//! never retried: their state lives in the peer's connection, so a
+//! transport error invalidates the session and must surface to the
+//! coordinator, which degrades with a structured `shard_unavailable`
+//! error naming the dead shard.
 
 use crate::json::{self, Value};
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// A connected client. One request/response pair at a time; the
@@ -14,20 +27,65 @@ pub struct Client {
     reader: BufReader<TcpStream>,
 }
 
+/// Per-phase socket timeouts for a [`Client`] / [`PeerClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Cap on establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Cap on waiting for a response line.
+    pub read_timeout: Duration,
+    /// Cap on writing a request line.
+    pub write_timeout: Duration,
+}
+
+impl ClientConfig {
+    /// All three phases capped at `timeout` (the historical single-knob
+    /// behaviour of [`Client::connect`]).
+    pub fn uniform(timeout: Duration) -> Self {
+        ClientConfig {
+            connect_timeout: timeout,
+            read_timeout: timeout,
+            write_timeout: timeout,
+        }
+    }
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
 impl Client {
-    /// Connects with the given I/O timeout.
+    /// Connects with one uniform I/O timeout.
     ///
     /// # Errors
     ///
     /// `std::io::Error` when the connection fails.
     pub fn connect<A: ToSocketAddrs>(addr: A, timeout: Duration) -> std::io::Result<Self> {
+        Client::connect_with(addr, &ClientConfig::uniform(timeout))
+    }
+
+    /// Connects with separate connect/read/write timeouts.
+    ///
+    /// # Errors
+    ///
+    /// `std::io::Error` when the connection fails.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, config: &ClientConfig) -> std::io::Result<Self> {
         let addr = addr
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
-        let stream = TcpStream::connect_timeout(&addr, timeout)?;
-        stream.set_read_timeout(Some(timeout))?;
-        stream.set_write_timeout(Some(timeout))?;
+        let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)?;
+        stream.set_read_timeout(Some(config.read_timeout))?;
+        stream.set_write_timeout(Some(config.write_timeout))?;
+        // One request is written as several small syscalls; without
+        // nodelay, Nagle + delayed ACK stalls every RPC by ~40ms.
+        stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
             writer: stream,
@@ -68,5 +126,274 @@ impl Client {
                 format!("bad response: {e}"),
             )
         })
+    }
+}
+
+/// A typed failure talking to one cluster peer. Every variant names the
+/// peer's address so a coordinator error can identify the dead shard.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Establishing the TCP connection failed (refused, unreachable, or
+    /// connect timeout).
+    Connect {
+        /// The peer that could not be reached.
+        addr: SocketAddr,
+        /// The underlying socket error.
+        source: std::io::Error,
+    },
+    /// The connection broke mid-request (reset, read/write timeout, EOF).
+    Io {
+        /// The peer the connection belonged to.
+        addr: SocketAddr,
+        /// The underlying socket error.
+        source: std::io::Error,
+    },
+    /// The peer answered, but not with valid protocol JSON.
+    Protocol {
+        /// The peer that answered.
+        addr: SocketAddr,
+        /// What was wrong with the response.
+        detail: String,
+    },
+    /// The peer answered with a structured `"ok":false` error.
+    Remote {
+        /// The peer that rejected the request.
+        addr: SocketAddr,
+        /// The error's `code` field.
+        code: String,
+        /// The error's `message` field.
+        message: String,
+    },
+}
+
+impl ClusterError {
+    /// The peer this error is about.
+    pub fn addr(&self) -> SocketAddr {
+        match self {
+            ClusterError::Connect { addr, .. }
+            | ClusterError::Io { addr, .. }
+            | ClusterError::Protocol { addr, .. }
+            | ClusterError::Remote { addr, .. } => *addr,
+        }
+    }
+
+    /// Whether the transport (not the request) failed — the peer should
+    /// be treated as unavailable.
+    pub fn is_transport(&self) -> bool {
+        matches!(self, ClusterError::Connect { .. } | ClusterError::Io { .. })
+    }
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Connect { addr, source } => {
+                write!(f, "shard {addr}: connect failed: {source}")
+            }
+            ClusterError::Io { addr, source } => write!(f, "shard {addr}: I/O failed: {source}"),
+            ClusterError::Protocol { addr, detail } => {
+                write!(f, "shard {addr}: bad response: {detail}")
+            }
+            ClusterError::Remote {
+                addr,
+                code,
+                message,
+            } => write!(f, "shard {addr}: remote error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Connect { source, .. } | ClusterError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// A resilient connection to one cluster peer.
+///
+/// Connects lazily on first use and reconnects after transport errors —
+/// but replays a request only when the caller marks it *stateless*
+/// (idempotent against a daemon whose sessions it does not hold). A
+/// failed session-scoped request drops the connection, killing the
+/// peer-side sessions with it, and surfaces immediately.
+#[derive(Debug)]
+pub struct PeerClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    conn: Option<Client>,
+    retries: usize,
+}
+
+impl PeerClient {
+    /// A handle for `addr` with the given timeouts; no connection is made
+    /// until the first request. `retries` bounds reconnect attempts for
+    /// stateless requests (0 = single attempt).
+    pub fn new(addr: SocketAddr, config: ClientConfig, retries: usize) -> Self {
+        PeerClient {
+            addr,
+            config,
+            conn: None,
+            retries,
+        }
+    }
+
+    /// The peer's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a live connection is currently held.
+    pub fn is_connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    /// Drops the connection (and with it any peer-side sessions).
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut Client, ClusterError> {
+        if self.conn.is_none() {
+            let client = Client::connect_with(self.addr, &self.config).map_err(|source| {
+                ClusterError::Connect {
+                    addr: self.addr,
+                    source,
+                }
+            })?;
+            self.conn = Some(client);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    fn request_once(&mut self, line: &str) -> Result<Value, ClusterError> {
+        let addr = self.addr;
+        let client = self.ensure_connected()?;
+        let text = match client.request_line(line) {
+            Ok(t) => t,
+            Err(source) => {
+                // The stream is in an unknown state; never reuse it.
+                self.conn = None;
+                return Err(ClusterError::Io { addr, source });
+            }
+        };
+        let value = json::parse(&text).map_err(|e| ClusterError::Protocol {
+            addr,
+            detail: e.to_string(),
+        })?;
+        match value.get("ok").and_then(Value::as_bool) {
+            Some(true) => Ok(value),
+            Some(false) => {
+                let err = value.get("error");
+                let code = err
+                    .and_then(|e| e.get("code"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown")
+                    .to_string();
+                let message = err
+                    .and_then(|e| e.get("message"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                Err(ClusterError::Remote {
+                    addr,
+                    code,
+                    message,
+                })
+            }
+            None => Err(ClusterError::Protocol {
+                addr,
+                detail: "response missing `ok` field".to_string(),
+            }),
+        }
+    }
+
+    /// Sends a **stateless** request (`solve`, `estimate`, `shard_eval`,
+    /// `health`, …), reconnecting and retrying on transport errors up to
+    /// the configured retry budget.
+    ///
+    /// # Errors
+    ///
+    /// The last [`ClusterError`] after the retry budget is exhausted, or
+    /// immediately on non-transport errors (protocol/remote).
+    pub fn request_stateless(&mut self, line: &str) -> Result<Value, ClusterError> {
+        let mut last = None;
+        for _ in 0..=self.retries {
+            match self.request_once(line) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transport() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// Sends a **session-scoped** request (`eval_begin`, `eval_batch`,
+    /// `eval_seed`, `eval_end`). Never retried: the session state lives
+    /// in the peer's connection, so after a transport error the session
+    /// is gone and replaying the line could silently corrupt a greedy
+    /// run. Connects lazily if no connection is held yet.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClusterError`]; on transport errors the connection has been
+    /// dropped and the caller must restart its session protocol.
+    pub fn request_session(&mut self, line: &str) -> Result<Value, ClusterError> {
+        self.request_once(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_error_names_the_peer_address() {
+        let addr: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let e = ClusterError::Connect {
+            addr,
+            source: std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "refused"),
+        };
+        assert_eq!(e.addr(), addr);
+        assert!(e.is_transport());
+        assert!(e.to_string().contains("127.0.0.1:9"));
+        let e = ClusterError::Remote {
+            addr,
+            code: "invalid_budget".to_string(),
+            message: "k must be positive".to_string(),
+        };
+        assert!(!e.is_transport());
+        let text = e.to_string();
+        assert!(text.contains("invalid_budget") && text.contains("127.0.0.1:9"));
+    }
+
+    #[test]
+    fn peer_client_reports_connect_failure_without_panicking() {
+        // Port 1 on loopback is essentially never listening.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let mut peer = PeerClient::new(addr, ClientConfig::uniform(Duration::from_millis(200)), 1);
+        assert!(!peer.is_connected());
+        let err = peer
+            .request_stateless(r#"{"op":"health"}"#)
+            .expect_err("must fail");
+        assert!(err.is_transport());
+        assert_eq!(err.addr(), addr);
+        // Session requests fail fast with the same typed error.
+        let err = peer
+            .request_session(r#"{"op":"eval_begin"}"#)
+            .expect_err("must fail");
+        assert!(matches!(err, ClusterError::Connect { .. }));
+    }
+
+    #[test]
+    fn uniform_config_sets_all_three_phases() {
+        let c = ClientConfig::uniform(Duration::from_secs(3));
+        assert_eq!(c.connect_timeout, Duration::from_secs(3));
+        assert_eq!(c.read_timeout, Duration::from_secs(3));
+        assert_eq!(c.write_timeout, Duration::from_secs(3));
+        let d = ClientConfig::default();
+        assert!(d.connect_timeout <= d.read_timeout);
     }
 }

@@ -23,6 +23,8 @@ pub struct Metrics {
     pub solve_requests: AtomicU64,
     /// Completed `estimate` requests.
     pub estimate_requests: AtomicU64,
+    /// Completed shard evaluation requests (`eval_*` / `shard_eval`).
+    pub eval_requests: AtomicU64,
     /// Completed `stats`/`health` requests.
     pub info_requests: AtomicU64,
     /// Requests rejected with an error response.
@@ -44,6 +46,7 @@ impl Metrics {
         match kind {
             OpKind::Solve => &self.solve_requests,
             OpKind::Estimate => &self.estimate_requests,
+            OpKind::Eval => &self.eval_requests,
             OpKind::Info => &self.info_requests,
             OpKind::Error => &self.error_requests,
         }
@@ -70,6 +73,7 @@ impl Metrics {
         MetricsSnapshot {
             solve_requests: self.solve_requests.load(Ordering::Relaxed),
             estimate_requests: self.estimate_requests.load(Ordering::Relaxed),
+            eval_requests: self.eval_requests.load(Ordering::Relaxed),
             info_requests: self.info_requests.load(Ordering::Relaxed),
             error_requests: self.error_requests.load(Ordering::Relaxed),
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
@@ -85,7 +89,13 @@ impl Metrics {
 /// children. All children are registered with the same bucket layout, so
 /// element-wise summation yields the all-ops distribution.
 fn latency_quantiles_us() -> (u64, u64) {
-    let kinds = [OpKind::Solve, OpKind::Estimate, OpKind::Info, OpKind::Error];
+    let kinds = [
+        OpKind::Solve,
+        OpKind::Estimate,
+        OpKind::Eval,
+        OpKind::Info,
+        OpKind::Error,
+    ];
     let mut merged = vec![0u64; DEFAULT_DURATION_BUCKETS.len() + 1];
     for kind in kinds {
         let cumulative = obs_handles(kind).duration.cumulative_buckets();
@@ -108,6 +118,8 @@ pub enum OpKind {
     Solve,
     /// `estimate` requests.
     Estimate,
+    /// Shard evaluation requests (`eval_*` and `shard_eval`).
+    Eval,
     /// `stats` and `health` requests.
     Info,
     /// Requests answered with an error.
@@ -120,6 +132,7 @@ impl OpKind {
         match self {
             OpKind::Solve => "solve",
             OpKind::Estimate => "estimate",
+            OpKind::Eval => "eval",
             OpKind::Info => "info",
             OpKind::Error => "error",
         }
@@ -153,11 +166,13 @@ fn make_op_obs(op: &'static str) -> OpObs {
 fn obs_handles(kind: OpKind) -> &'static OpObs {
     static SOLVE: OnceLock<OpObs> = OnceLock::new();
     static ESTIMATE: OnceLock<OpObs> = OnceLock::new();
+    static EVAL: OnceLock<OpObs> = OnceLock::new();
     static INFO: OnceLock<OpObs> = OnceLock::new();
     static ERROR: OnceLock<OpObs> = OnceLock::new();
     match kind {
         OpKind::Solve => SOLVE.get_or_init(|| make_op_obs("solve")),
         OpKind::Estimate => ESTIMATE.get_or_init(|| make_op_obs("estimate")),
+        OpKind::Eval => EVAL.get_or_init(|| make_op_obs("eval")),
         OpKind::Info => INFO.get_or_init(|| make_op_obs("info")),
         OpKind::Error => ERROR.get_or_init(|| make_op_obs("error")),
     }
@@ -189,6 +204,7 @@ fn deadline_misses_total() -> &'static Arc<Counter> {
 pub fn register() {
     let _ = obs_handles(OpKind::Solve);
     let _ = obs_handles(OpKind::Estimate);
+    let _ = obs_handles(OpKind::Eval);
     let _ = obs_handles(OpKind::Info);
     let _ = obs_handles(OpKind::Error);
     let _ = samples_scanned_total();
@@ -202,6 +218,8 @@ pub struct MetricsSnapshot {
     pub solve_requests: u64,
     /// Completed `estimate` requests.
     pub estimate_requests: u64,
+    /// Completed shard evaluation requests.
+    pub eval_requests: u64,
     /// Completed `stats`/`health` requests.
     pub info_requests: u64,
     /// Requests answered with an error.
@@ -229,14 +247,16 @@ mod tests {
         m.record(OpKind::Solve, Duration::from_micros(10), 100);
         m.record(OpKind::Solve, Duration::from_micros(20), 100);
         m.record(OpKind::Estimate, Duration::from_micros(30), 50);
+        m.record(OpKind::Eval, Duration::from_micros(5), 25);
         m.record(OpKind::Info, Duration::from_micros(1), 0);
         m.record(OpKind::Error, Duration::from_micros(1), 0);
         let s = m.snapshot();
         assert_eq!(s.solve_requests, 2);
         assert_eq!(s.estimate_requests, 1);
+        assert_eq!(s.eval_requests, 1);
         assert_eq!(s.info_requests, 1);
         assert_eq!(s.error_requests, 1);
-        assert_eq!(s.samples_served, 250);
+        assert_eq!(s.samples_served, 275);
     }
 
     #[test]

@@ -12,6 +12,15 @@
 //! {"op":"solve","k":5,"framework":"imcaf",
 //!  "epsilon":0.2,"delta":0.1,"max_samples":100000}    — full IMCAF run (samples fresh)
 //! {"op":"estimate","seeds":[3,17,42]}                 — ĉ_R / ν_R of a seed set
+//! {"op":"eval_begin"}                                 — open a shard evaluation session
+//! {"op":"eval_begin","pivot":7}                       — session over the pivot-reduced store
+//! {"op":"eval_batch","session":1,"kind":"c",
+//!  "nodes":[3,17]}                                    — ĉ_R marginal gains + potentials
+//! {"op":"eval_batch","session":1,"kind":"nu",
+//!  "nodes":[3,17],"carry":[0.0,0.0]}                  — ν_R gain folds continued from `carry`
+//! {"op":"eval_seed","session":1,"node":3}             — commit a seed into the session
+//! {"op":"eval_end","session":1}                       — close the session
+//! {"op":"shard_eval","seeds":[3,17],"carry":0.0}      — stateless shard-local scoring
 //! {"op":"stats"}                                      — metrics + collection stats
 //! {"op":"metrics"}                                    — Prometheus 0.0.4 exposition (as JSON string)
 //! {"op":"health"}                                     — liveness probe
@@ -38,6 +47,18 @@
 //! with a structured `"error"` object: `{"code":"...","message":"..."}`
 //! (version 1 carried a bare string; clients that only check `ok` are
 //! unaffected).
+//!
+//! ## Shard role
+//!
+//! The `eval_*` and `shard_eval` ops turn a daemon into a **cluster
+//! shard**: a node that owns one deterministic partition of the RIC
+//! sample store and answers marginal-gain queries against it, letting the
+//! `imc-cluster` coordinator run the shared greedy engine by
+//! scatter-gathering partial answers (integer quantities reduce by
+//! element-wise sums; ν_R folds chain through per-shard `carry`
+//! accumulators in partition order — see `DESIGN.md` §8). Sessions are
+//! connection-scoped: they hold a pinned collection generation and die
+//! with the connection, so a dropped coordinator never leaks state.
 //!
 //! Every response — success or error — additionally echoes a server-
 //! assigned `"trace_id"` (16 hex digits). The same id tags every JSONL
@@ -87,6 +108,47 @@ pub enum Request {
         /// The seed set to score.
         seeds: Vec<NodeId>,
     },
+    /// Open a shard evaluation session over the pinned collection (or its
+    /// pivot-reduced form).
+    EvalBegin {
+        /// When set, the session evaluates over the store reduced for
+        /// this pivot node (the BT inner-greedy sub-problem).
+        pivot: Option<NodeId>,
+    },
+    /// Evaluate marginal gains for a batch of nodes within a session.
+    EvalBatch {
+        /// Session id returned by `eval_begin`.
+        session: u64,
+        /// Which objective's marginal gain to evaluate.
+        kind: EvalKind,
+        /// Candidate node ids to evaluate, in order.
+        nodes: Vec<u32>,
+        /// ν_R only: per-node fold accumulators carried over from the
+        /// previous shard in partition order (defaults to all zeros).
+        carry: Option<Vec<f64>>,
+    },
+    /// Commit a seed into a session's coverage state.
+    EvalSeed {
+        /// Session id returned by `eval_begin`.
+        session: u64,
+        /// The node to add as a seed.
+        node: NodeId,
+    },
+    /// Close a session, freeing its state.
+    EvalEnd {
+        /// Session id returned by `eval_begin`.
+        session: u64,
+    },
+    /// Stateless shard-local scoring of a full seed set: influenced-sample
+    /// count, ν_R fold accumulator, and optionally a BT pivot score.
+    ShardEval {
+        /// The seed set to score.
+        seeds: Vec<NodeId>,
+        /// ν_R fold accumulator carried over from the previous shard.
+        carry: f64,
+        /// When set, also return `pivot_score(store, pivot, seeds)`.
+        pivot: Option<NodeId>,
+    },
     /// Metrics and collection statistics.
     Stats,
     /// Full Prometheus exposition of the process-wide registry.
@@ -95,6 +157,25 @@ pub enum Request {
     Health,
     /// Graceful server stop.
     Shutdown,
+}
+
+/// Which marginal gain an `eval_batch` computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalKind {
+    /// `ĉ_R` marginal gain + potential (integer pair per node).
+    C,
+    /// `ν_R` fold accumulator continued from the request's `carry`.
+    Nu,
+}
+
+impl EvalKind {
+    /// The wire label (`"c" | "nu"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EvalKind::C => "c",
+            EvalKind::Nu => "nu",
+        }
+    }
 }
 
 /// Engine strategy named by a v2 `solve` request's `mode` field.
@@ -148,6 +229,9 @@ pub enum ErrorCode {
     DeadlineExceeded,
     /// The server is draining and no longer accepts work.
     ShuttingDown,
+    /// A cluster shard is unreachable or answered incoherently; the
+    /// message names the dead shard's address.
+    ShardUnavailable,
     /// Any other solver/framework failure.
     Internal,
 }
@@ -163,6 +247,7 @@ impl ErrorCode {
             ErrorCode::OutOfRange => "out_of_range",
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::ShardUnavailable => "shard_unavailable",
             ErrorCode::Internal => "internal",
         }
     }
@@ -289,13 +374,110 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .collect::<Result<Vec<_>, _>>()?;
             Ok(Request::Estimate { seeds })
         }
+        "eval_begin" => Ok(Request::EvalBegin {
+            pivot: field_node(&value, "pivot")?,
+        }),
+        "eval_batch" => {
+            let session = field_u64(&value, "session")?
+                .ok_or("eval_batch requires a non-negative integer `session`")?;
+            let kind = match value.get("kind").map(|k| k.as_str()) {
+                Some(Some("c")) => EvalKind::C,
+                Some(Some("nu")) => EvalKind::Nu,
+                Some(Some(other)) => {
+                    return Err(format!("unknown eval kind `{other}` (expected c | nu)"))
+                }
+                _ => return Err("eval_batch requires a string field `kind`".into()),
+            };
+            let nodes = field_node_array(&value, "nodes")?
+                .ok_or("eval_batch requires an array field `nodes`")?
+                .iter()
+                .map(|n| n.raw())
+                .collect::<Vec<u32>>();
+            let carry = match value.get("carry") {
+                None => None,
+                Some(arr) => {
+                    let arr = arr
+                        .as_array()
+                        .ok_or("`carry` must be an array of numbers")?;
+                    let vals = arr
+                        .iter()
+                        .map(|v| v.as_f64().ok_or("`carry` must be an array of numbers"))
+                        .collect::<Result<Vec<f64>, _>>()?;
+                    if vals.len() != nodes.len() {
+                        return Err(format!(
+                            "`carry` length {} does not match `nodes` length {}",
+                            vals.len(),
+                            nodes.len()
+                        ));
+                    }
+                    Some(vals)
+                }
+            };
+            Ok(Request::EvalBatch {
+                session,
+                kind,
+                nodes,
+                carry,
+            })
+        }
+        "eval_seed" => Ok(Request::EvalSeed {
+            session: field_u64(&value, "session")?
+                .ok_or("eval_seed requires a non-negative integer `session`")?,
+            node: field_node(&value, "node")?.ok_or("eval_seed requires a node id `node`")?,
+        }),
+        "eval_end" => Ok(Request::EvalEnd {
+            session: field_u64(&value, "session")?
+                .ok_or("eval_end requires a non-negative integer `session`")?,
+        }),
+        "shard_eval" => Ok(Request::ShardEval {
+            seeds: field_node_array(&value, "seeds")?
+                .ok_or("shard_eval requires an array field `seeds`")?,
+            carry: field_f64(&value, "carry")?.unwrap_or(0.0),
+            pivot: field_node(&value, "pivot")?,
+        }),
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
         "health" => Ok(Request::Health),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown op `{other}` (expected solve | estimate | stats | metrics | health | shutdown)"
+            "unknown op `{other}` (expected solve | estimate | eval_begin | eval_batch | \
+             eval_seed | eval_end | shard_eval | stats | metrics | health | shutdown)"
         )),
+    }
+}
+
+/// Optional node-id field: a non-negative integer fitting in `u32`.
+fn field_node(value: &Value, name: &str) -> Result<Option<NodeId>, String> {
+    match value.get(name) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .filter(|&n| n <= u64::from(u32::MAX))
+            .map(|n| Some(NodeId::new(n as u32)))
+            .ok_or_else(|| format!("`{name}` must be a node id (u32)")),
+    }
+}
+
+/// Optional array-of-node-ids field.
+fn field_node_array(value: &Value, name: &str) -> Result<Option<Vec<NodeId>>, String> {
+    match value.get(name) {
+        None => Ok(None),
+        Some(v) => {
+            let arr = v
+                .as_array()
+                .ok_or_else(|| format!("`{name}` must be an array of node ids"))?;
+            arr.iter()
+                .map(|s| {
+                    s.as_u64()
+                        .filter(|&n| n <= u64::from(u32::MAX))
+                        .map(|n| NodeId::new(n as u32))
+                        .ok_or_else(|| {
+                            format!("invalid node id in `{name}`: {}", json::to_string(s))
+                        })
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map(Some)
+        }
     }
 }
 
@@ -461,6 +643,95 @@ mod tests {
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown
         );
+    }
+
+    #[test]
+    fn parses_shard_ops() {
+        assert_eq!(
+            parse_request(r#"{"op":"eval_begin"}"#).unwrap(),
+            Request::EvalBegin { pivot: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"eval_begin","pivot":7}"#).unwrap(),
+            Request::EvalBegin {
+                pivot: Some(NodeId::new(7))
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"eval_batch","session":3,"kind":"c","nodes":[1,2]}"#).unwrap(),
+            Request::EvalBatch {
+                session: 3,
+                kind: EvalKind::C,
+                nodes: vec![1, 2],
+                carry: None,
+            }
+        );
+        assert_eq!(
+            parse_request(
+                r#"{"op":"eval_batch","session":3,"kind":"nu","nodes":[1,2],"carry":[0.5,-1.25]}"#
+            )
+            .unwrap(),
+            Request::EvalBatch {
+                session: 3,
+                kind: EvalKind::Nu,
+                nodes: vec![1, 2],
+                carry: Some(vec![0.5, -1.25]),
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"eval_seed","session":3,"node":9}"#).unwrap(),
+            Request::EvalSeed {
+                session: 3,
+                node: NodeId::new(9)
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"eval_end","session":3}"#).unwrap(),
+            Request::EvalEnd { session: 3 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"shard_eval","seeds":[4,5],"carry":0.75,"pivot":2}"#).unwrap(),
+            Request::ShardEval {
+                seeds: vec![NodeId::new(4), NodeId::new(5)],
+                carry: 0.75,
+                pivot: Some(NodeId::new(2)),
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"shard_eval","seeds":[]}"#).unwrap(),
+            Request::ShardEval {
+                seeds: Vec::new(),
+                carry: 0.0,
+                pivot: None,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_shard_ops() {
+        for bad in [
+            r#"{"op":"eval_begin","pivot":-1}"#,
+            r#"{"op":"eval_batch","kind":"c","nodes":[1]}"#,
+            r#"{"op":"eval_batch","session":1,"nodes":[1]}"#,
+            r#"{"op":"eval_batch","session":1,"kind":"x","nodes":[1]}"#,
+            r#"{"op":"eval_batch","session":1,"kind":"c"}"#,
+            r#"{"op":"eval_batch","session":1,"kind":"nu","nodes":[1,2],"carry":[0.0]}"#,
+            r#"{"op":"eval_batch","session":1,"kind":"nu","nodes":[1],"carry":"x"}"#,
+            r#"{"op":"eval_seed","session":1}"#,
+            r#"{"op":"eval_seed","node":1}"#,
+            r#"{"op":"eval_end"}"#,
+            r#"{"op":"shard_eval"}"#,
+            r#"{"op":"shard_eval","seeds":[-2]}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn shard_error_code_and_eval_kind_labels() {
+        assert_eq!(ErrorCode::ShardUnavailable.as_str(), "shard_unavailable");
+        assert_eq!(EvalKind::C.as_str(), "c");
+        assert_eq!(EvalKind::Nu.as_str(), "nu");
     }
 
     #[test]

@@ -13,10 +13,15 @@
 use crate::json::ObjectBuilder;
 use crate::metrics::OpKind;
 use crate::pool::ThreadPool;
-use crate::protocol::{self, ErrorCode, Request, SolveMode, SolveTuning};
+use crate::protocol::{self, ErrorCode, EvalKind, Request, SolveMode, SolveTuning};
 use crate::refresher;
 use crate::ServiceState;
-use imc_core::{imcaf, ImcafConfig, SolveRequest, SolveStrategy};
+use imc_core::maxr::bt;
+use imc_core::{
+    imcaf, CoverageState, ImcafConfig, RicSamples, RicStore, SolveRequest, SolveStrategy,
+};
+use imc_graph::NodeId;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Condvar, Mutex};
@@ -350,6 +355,30 @@ fn spawn_metrics_listener(
 /// How often an idle connection wakes to check the shutdown signal.
 const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
 
+/// Cap on concurrently-open evaluation sessions per connection. A cluster
+/// coordinator needs one session per concurrent greedy run on this shard
+/// (at most two even for MB's nested solves); the cap only exists to stop
+/// a buggy client from accumulating coverage states without bound.
+const MAX_EVAL_SESSIONS: usize = 8;
+
+/// Connection-scoped shard evaluation sessions (`eval_begin` …
+/// `eval_end`). Each session owns a [`CoverageState`] over a pinned
+/// collection `Arc` (or a pivot-reduced store built from it), so a
+/// background refresh never tears a coordinator's in-flight greedy run.
+/// The store dies with the connection — a vanished coordinator leaks
+/// nothing.
+#[derive(Debug, Default)]
+pub(crate) struct SessionStore {
+    next_id: u64,
+    sessions: HashMap<u64, EvalSession>,
+}
+
+#[derive(Debug)]
+struct EvalSession {
+    state: CoverageState<Arc<RicStore>>,
+    generation: u64,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn handle_connection(
     state: &ServiceState,
@@ -364,6 +393,9 @@ fn handle_connection(
     // the request deadline is enforced separately via `idle_since`.
     let _ = stream.set_read_timeout(Some(deadline.min(SHUTDOWN_POLL)));
     let _ = stream.set_write_timeout(Some(deadline));
+    // Responses flush in small pieces; Nagle would hold the tail
+    // until the client ACKs, adding ~40ms to every round trip.
+    let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -385,6 +417,7 @@ fn handle_connection(
     let mut reader = BufReader::new(read_half);
     let mut line = String::new();
     let mut idle_since = Instant::now();
+    let mut sessions = SessionStore::default();
     loop {
         match reader.read_line(&mut line) {
             Ok(0) => break, // EOF
@@ -412,8 +445,13 @@ fn handle_connection(
                         let _ = writer.flush();
                         break;
                     }
-                    let (response, stop) =
-                        dispatch_with(state, trimmed, max_solve_threads, slow_request_log);
+                    let (response, stop) = dispatch_with(
+                        state,
+                        trimmed,
+                        max_solve_threads,
+                        slow_request_log,
+                        &mut sessions,
+                    );
                     if writeln!(writer, "{response}")
                         .and_then(|()| writer.flush())
                         .is_err()
@@ -495,6 +533,11 @@ fn op_name(request: &Request) -> &'static str {
     match request {
         Request::Solve { .. } => "solve",
         Request::Estimate { .. } => "estimate",
+        Request::EvalBegin { .. } => "eval_begin",
+        Request::EvalBatch { .. } => "eval_batch",
+        Request::EvalSeed { .. } => "eval_seed",
+        Request::EvalEnd { .. } => "eval_end",
+        Request::ShardEval { .. } => "shard_eval",
         Request::Stats => "stats",
         Request::Metrics => "metrics",
         Request::Health => "health",
@@ -502,10 +545,17 @@ fn op_name(request: &Request) -> &'static str {
     }
 }
 
-/// [`dispatch_with`] without a slow-request threshold (test shorthand).
+/// [`dispatch_with`] without a slow-request threshold, on a fresh session
+/// store (test shorthand).
 #[cfg(test)]
 fn dispatch(state: &ServiceState, line: &str, max_solve_threads: usize) -> (String, bool) {
-    dispatch_with(state, line, max_solve_threads, None)
+    dispatch_with(
+        state,
+        line,
+        max_solve_threads,
+        None,
+        &mut SessionStore::default(),
+    )
 }
 
 /// Handles one request line; returns the response and whether the server
@@ -527,6 +577,7 @@ fn dispatch_with(
     line: &str,
     max_solve_threads: usize,
     slow_threshold: Option<Duration>,
+    sessions: &mut SessionStore,
 ) -> (String, bool) {
     let start = Instant::now();
     let trace_id = next_trace_id();
@@ -536,7 +587,7 @@ fn dispatch_with(
     let op = parsed.as_ref().map_or("error", op_name);
     let execute_started = Instant::now();
     let (response, stop) = match parsed {
-        Ok(request) => execute(state, request, max_solve_threads, start),
+        Ok(request) => execute(state, request, max_solve_threads, start, sessions),
         Err(message) => {
             state.metrics().record(OpKind::Error, start.elapsed(), 0);
             (
@@ -591,6 +642,7 @@ fn execute(
     request: Request,
     max_solve_threads: usize,
     start: Instant,
+    sessions: &mut SessionStore,
 ) -> (String, bool) {
     match request {
         Request::Solve {
@@ -708,6 +760,226 @@ fn execute(
                 .field("elapsed_us", elapsed_us(start));
             (protocol::ok_response("estimate", body), false)
         }
+        Request::EvalBegin { pivot } => {
+            if sessions.sessions.len() >= MAX_EVAL_SESSIONS {
+                state.metrics().record(OpKind::Error, start.elapsed(), 0);
+                return (
+                    protocol::error_response(
+                        ErrorCode::InvalidParameter,
+                        &format!("too many open eval sessions (max {MAX_EVAL_SESSIONS})"),
+                    ),
+                    false,
+                );
+            }
+            let (collection, generation) = state.pinned();
+            let store: Arc<RicStore> = match pivot {
+                None => collection,
+                Some(u) => {
+                    if u.index() >= state.instance().node_count() {
+                        state.metrics().record(OpKind::Error, start.elapsed(), 0);
+                        return (
+                            protocol::error_response(
+                                ErrorCode::OutOfRange,
+                                &format!(
+                                    "pivot {} out of range (graph has {} nodes)",
+                                    u.raw(),
+                                    state.instance().node_count()
+                                ),
+                            ),
+                            false,
+                        );
+                    }
+                    Arc::new(bt::reduce_for_pivot(&*collection, u))
+                }
+            };
+            let appearance: Vec<u64> = store
+                .node_appearance_counts()
+                .into_iter()
+                .map(|c| c as u64)
+                .collect();
+            let communities: Vec<u64> = store
+                .community_frequencies()
+                .into_iter()
+                .map(|c| c as u64)
+                .collect();
+            let samples = store.len();
+            let id = sessions.next_id;
+            sessions.next_id += 1;
+            sessions.sessions.insert(
+                id,
+                EvalSession {
+                    state: CoverageState::new(store),
+                    generation,
+                },
+            );
+            state.metrics().record(OpKind::Eval, start.elapsed(), 0);
+            let body = ObjectBuilder::new()
+                .field("session", id)
+                .field("samples", samples)
+                .field("generation", generation)
+                .field("appearance", appearance)
+                .field("communities", communities)
+                .field("elapsed_us", elapsed_us(start));
+            (protocol::ok_response("eval_begin", body), false)
+        }
+        Request::EvalBatch {
+            session,
+            kind,
+            nodes,
+            carry,
+        } => {
+            let Some(sess) = sessions.sessions.get(&session) else {
+                state.metrics().record(OpKind::Error, start.elapsed(), 0);
+                return (
+                    protocol::error_response(
+                        ErrorCode::InvalidParameter,
+                        &format!("unknown eval session {session}"),
+                    ),
+                    false,
+                );
+            };
+            let node_count = sess.state.collection().node_count();
+            if let Some(&bad) = nodes.iter().find(|&&v| v as usize >= node_count) {
+                state.metrics().record(OpKind::Error, start.elapsed(), 0);
+                return (
+                    protocol::error_response(
+                        ErrorCode::OutOfRange,
+                        &format!("node {bad} out of range (graph has {node_count} nodes)"),
+                    ),
+                    false,
+                );
+            }
+            let scanned = nodes.len() as u64;
+            let body = match kind {
+                EvalKind::C => {
+                    let mut gains = Vec::with_capacity(nodes.len());
+                    let mut potentials = Vec::with_capacity(nodes.len());
+                    for &v in &nodes {
+                        let (gain, potential) = sess
+                            .state
+                            .marginal_influenced_with_potential(NodeId::new(v));
+                        gains.push(gain as u64);
+                        potentials.push(potential as u64);
+                    }
+                    ObjectBuilder::new()
+                        .field("gains", gains)
+                        .field("potentials", potentials)
+                }
+                EvalKind::Nu => {
+                    let accs: Vec<f64> = nodes
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| {
+                            let acc = carry.as_ref().map_or(0.0, |c| c[i]);
+                            sess.state.marginal_fraction_from(NodeId::new(v), acc)
+                        })
+                        .collect();
+                    ObjectBuilder::new().field("accs", accs)
+                }
+            };
+            state
+                .metrics()
+                .record(OpKind::Eval, start.elapsed(), scanned);
+            (
+                protocol::ok_response("eval_batch", body.field("elapsed_us", elapsed_us(start))),
+                false,
+            )
+        }
+        Request::EvalSeed { session, node } => {
+            let Some(sess) = sessions.sessions.get_mut(&session) else {
+                state.metrics().record(OpKind::Error, start.elapsed(), 0);
+                return (
+                    protocol::error_response(
+                        ErrorCode::InvalidParameter,
+                        &format!("unknown eval session {session}"),
+                    ),
+                    false,
+                );
+            };
+            let node_count = sess.state.collection().node_count();
+            if node.index() >= node_count {
+                state.metrics().record(OpKind::Error, start.elapsed(), 0);
+                return (
+                    protocol::error_response(
+                        ErrorCode::OutOfRange,
+                        &format!(
+                            "node {} out of range (graph has {node_count} nodes)",
+                            node.raw()
+                        ),
+                    ),
+                    false,
+                );
+            }
+            sess.state.add_seed(node);
+            state.metrics().record(OpKind::Eval, start.elapsed(), 0);
+            let body = ObjectBuilder::new()
+                .field("seeds", sess.state.seeds().len())
+                .field("elapsed_us", elapsed_us(start));
+            (protocol::ok_response("eval_seed", body), false)
+        }
+        Request::EvalEnd { session } => match sessions.sessions.remove(&session) {
+            Some(sess) => {
+                state.metrics().record(OpKind::Eval, start.elapsed(), 0);
+                let body = ObjectBuilder::new()
+                    .field("generation", sess.generation)
+                    .field("elapsed_us", elapsed_us(start));
+                (protocol::ok_response("eval_end", body), false)
+            }
+            None => {
+                state.metrics().record(OpKind::Error, start.elapsed(), 0);
+                (
+                    protocol::error_response(
+                        ErrorCode::InvalidParameter,
+                        &format!("unknown eval session {session}"),
+                    ),
+                    false,
+                )
+            }
+        },
+        Request::ShardEval {
+            seeds,
+            carry,
+            pivot,
+        } => {
+            let (collection, generation) = state.pinned();
+            let node_count = collection.node_count();
+            // Mirror RicStore::influenced_count's guard: out-of-range
+            // seeds are skipped, not rejected, so a coordinator padding
+            // from a wider node space still gets coherent partial sums.
+            let mut cov = CoverageState::new(Arc::clone(&collection));
+            for &s in &seeds {
+                if s.index() < node_count {
+                    cov.add_seed(s);
+                }
+            }
+            // ν_R fold continued from `carry` in sample order — bitwise
+            // the same as RicStore::nu_estimate's fold when chained
+            // across contiguous partitions (see DESIGN.md §8).
+            let counts = cov.covered_counts();
+            let mut nu_acc = carry;
+            for (si, &count) in counts.iter().enumerate() {
+                let h = collection.sample_threshold(si) as f64;
+                nu_acc += (count as f64 / h).min(1.0);
+            }
+            let mut body = ObjectBuilder::new()
+                .field("influenced", cov.influenced_count())
+                .field("nu_acc", nu_acc)
+                .field("samples", collection.len())
+                .field("generation", generation);
+            if let Some(u) = pivot {
+                body = body.field(
+                    "pivot_score",
+                    bt::pivot_score(&*collection, u, &seeds) as u64,
+                );
+            }
+            state
+                .metrics()
+                .record(OpKind::Eval, start.elapsed(), collection.len() as u64);
+            (
+                protocol::ok_response("shard_eval", body.field("elapsed_us", elapsed_us(start))),
+                false,
+            )
+        }
         Request::Stats => {
             let (collection, generation) = state.pinned();
             let m = state.metrics().snapshot();
@@ -716,6 +988,7 @@ fn execute(
             let metrics_obj = ObjectBuilder::new()
                 .field("solve_requests", m.solve_requests)
                 .field("estimate_requests", m.estimate_requests)
+                .field("eval_requests", m.eval_requests)
                 .field("info_requests", m.info_requests)
                 .field("error_requests", m.error_requests)
                 .field("deadline_misses", m.deadline_misses)
@@ -901,6 +1174,180 @@ mod tests {
         assert_eq!(
             resolve_strategy(&t(None, Some(SolveMode::Parallel)), 8),
             SolveStrategy::Parallel { threads: 8 }
+        );
+    }
+
+    #[test]
+    fn eval_session_round_trip_matches_local_coverage_state() {
+        let state = tiny_state(150);
+        let mut sessions = SessionStore::default();
+        let mut run = |line: &str| {
+            let (resp, stop) = dispatch_with(&state, line, 4, None, &mut sessions);
+            assert!(!stop);
+            json::parse(&resp).unwrap()
+        };
+        let begin = run(r#"{"op":"eval_begin"}"#);
+        assert_eq!(begin.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(begin.get("samples").unwrap().as_u64(), Some(150));
+        let session = begin.get("session").unwrap().as_u64().unwrap();
+
+        // Local reference over the same pinned store.
+        let store = state.collection();
+        let mut reference = CoverageState::new(Arc::clone(&store));
+        let appearance: Vec<u64> = begin
+            .get("appearance")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .collect();
+        let local_appearance: Vec<u64> = store
+            .node_appearance_counts()
+            .into_iter()
+            .map(|c| c as u64)
+            .collect();
+        assert_eq!(appearance, local_appearance);
+
+        for seed in [1u32, 4] {
+            let c = run(&format!(
+                r#"{{"op":"eval_batch","session":{session},"kind":"c","nodes":[0,1,2,3,4,5]}}"#
+            ));
+            let gains: Vec<u64> = c
+                .get("gains")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_u64().unwrap())
+                .collect();
+            let potentials: Vec<u64> = c
+                .get("potentials")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_u64().unwrap())
+                .collect();
+            let nu = run(&format!(
+                r#"{{"op":"eval_batch","session":{session},"kind":"nu","nodes":[0,1,2,3,4,5],"carry":[0.5,0.5,0.5,0.5,0.5,0.5]}}"#
+            ));
+            let accs: Vec<f64> = nu
+                .get("accs")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_f64().unwrap())
+                .collect();
+            for v in 0..6u32 {
+                let (g, p) = reference.marginal_influenced_with_potential(NodeId::new(v));
+                assert_eq!(gains[v as usize], g as u64, "gain for {v}");
+                assert_eq!(potentials[v as usize], p as u64, "potential for {v}");
+                let want = reference.marginal_fraction_from(NodeId::new(v), 0.5);
+                assert_eq!(
+                    accs[v as usize].to_bits(),
+                    want.to_bits(),
+                    "nu acc for {v} not bitwise equal"
+                );
+            }
+            let s = run(&format!(
+                r#"{{"op":"eval_seed","session":{session},"node":{seed}}}"#
+            ));
+            assert_eq!(s.get("ok").unwrap().as_bool(), Some(true));
+            reference.add_seed(NodeId::new(seed));
+        }
+        let end = run(&format!(r#"{{"op":"eval_end","session":{session}}}"#));
+        assert_eq!(end.get("ok").unwrap().as_bool(), Some(true));
+        // The session is gone now.
+        let gone = run(&format!(
+            r#"{{"op":"eval_batch","session":{session},"kind":"c","nodes":[0]}}"#
+        ));
+        assert_eq!(gone.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            gone.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("invalid_parameter")
+        );
+    }
+
+    #[test]
+    fn shard_eval_matches_store_estimators_and_chains_carry() {
+        let state = tiny_state(120);
+        let store = state.collection();
+        let seeds = [NodeId::new(1), NodeId::new(4)];
+        let (resp, _) = dispatch(&state, r#"{"op":"shard_eval","seeds":[1,4],"pivot":1}"#, 4);
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            v.get("influenced").unwrap().as_u64(),
+            Some(store.influenced_count(&seeds) as u64)
+        );
+        // nu_acc from zero carry equals the store's fold exactly:
+        // nu_estimate = total_benefit * acc / len.
+        let acc = v.get("nu_acc").unwrap().as_f64().unwrap();
+        let want = store.nu_estimate(&seeds) * store.len() as f64 / store.total_benefit();
+        assert!((acc - want).abs() < 1e-9, "acc {acc} vs {want}");
+        let score = v.get("pivot_score").unwrap().as_u64().unwrap();
+        assert_eq!(
+            score,
+            imc_core::maxr::bt::pivot_score(&*store, NodeId::new(1), &seeds) as u64
+        );
+        // Out-of-range seeds are skipped like RicStore::influenced_count.
+        let (resp, _) = dispatch(&state, r#"{"op":"shard_eval","seeds":[1,4,999]}"#, 4);
+        let v2 = json::parse(&resp).unwrap();
+        assert_eq!(v2.get("influenced"), v.get("influenced"));
+    }
+
+    #[test]
+    fn eval_begin_with_pivot_serves_the_reduced_store() {
+        let state = tiny_state(100);
+        let mut sessions = SessionStore::default();
+        let (resp, _) = dispatch_with(
+            &state,
+            r#"{"op":"eval_begin","pivot":1}"#,
+            4,
+            None,
+            &mut sessions,
+        );
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        let reduced = bt::reduce_for_pivot(&*state.collection(), NodeId::new(1));
+        assert_eq!(
+            v.get("samples").unwrap().as_u64(),
+            Some(reduced.len() as u64)
+        );
+        // Pivot out of range is refused.
+        let (resp, _) = dispatch_with(
+            &state,
+            r#"{"op":"eval_begin","pivot":77}"#,
+            4,
+            None,
+            &mut sessions,
+        );
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("out_of_range")
+        );
+    }
+
+    #[test]
+    fn eval_sessions_are_capped_per_connection() {
+        let state = tiny_state(10);
+        let mut sessions = SessionStore::default();
+        for _ in 0..MAX_EVAL_SESSIONS {
+            let (resp, _) = dispatch_with(&state, r#"{"op":"eval_begin"}"#, 4, None, &mut sessions);
+            assert_eq!(
+                json::parse(&resp).unwrap().get("ok").unwrap().as_bool(),
+                Some(true)
+            );
+        }
+        let (resp, _) = dispatch_with(&state, r#"{"op":"eval_begin"}"#, 4, None, &mut sessions);
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            v.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("invalid_parameter")
         );
     }
 
