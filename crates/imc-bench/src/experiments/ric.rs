@@ -1,6 +1,8 @@
 //! RicStore microbenchmarks — sampling throughput, solver-evaluation
 //! throughput (arena-backed [`RicStore`] vs the legacy owning
-//! [`RicCollection`](imc_core::RicCollection)), and arena memory
+//! [`RicCollection`](imc_core::RicCollection) vs the reusable
+//! [`CoverageEvaluator`] kernel path), snapshot codec wall times (v2
+//! parse vs v3 parse vs the zero-copy v3 view), and arena memory
 //! footprint.
 //!
 //! Besides the usual table, this experiment writes `BENCH_ric.json`
@@ -8,16 +10,21 @@
 //! record CI archives so throughput regressions show up in review rather
 //! than in production.
 //!
-//! Both backends hold bit-identical sample data (the legacy collection is
-//! materialised from the store), and every timed evaluation is checked
-//! for agreement — the speedup number is only meaningful if the two paths
-//! return the same `ĉ_R(S)`.
+//! All backends hold bit-identical sample data (the legacy collection is
+//! materialised from the store, the view is opened over the store's own
+//! v3 encoding), and every timed evaluation is checked for agreement —
+//! the speedup numbers are only meaningful if every path returns the
+//! same `ĉ_R(S)`. The `seeds_identical` flag goes further: a full UBG
+//! solve over the store, over a decoded v3 snapshot, and over the
+//! zero-copy view must pick bitwise-identical seed sets, which is what
+//! `perf-gate` hard-fails on.
 
 use crate::experiments::ExpOptions;
 use crate::harness::{build_instance, dataset_graph};
 use crate::report::{fmt_f, Table};
 use imc_community::ThresholdPolicy;
-use imc_core::RicStore;
+use imc_core::snapshot::{self, RicStoreView, SnapshotBytes};
+use imc_core::{CoverageEvaluator, MaxrAlgorithm, RicStore, SolveRequest};
 use imc_datasets::DatasetId;
 use imc_graph::NodeId;
 use rand::rngs::StdRng;
@@ -27,13 +34,22 @@ use std::path::Path;
 use std::time::Instant;
 
 /// Schema identifier stamped into `BENCH_ric.json`; bump when fields
-/// change meaning.
-pub const BENCH_SCHEMA: &str = "imc-bench/ric/v1";
+/// change meaning. v2 added `evaluation.kernel`, the `snapshot` section,
+/// and the top-level `seeds_identical` determinism flag.
+pub const BENCH_SCHEMA: &str = "imc-bench/ric/v2";
 
 /// One backend's evaluation timing.
 struct EvalTiming {
     seconds: f64,
     evals_per_sec: f64,
+}
+
+/// Wall times for the snapshot codec paths, plus the encoded size.
+struct SnapshotTiming {
+    bytes: usize,
+    v2_parse_seconds: f64,
+    v3_parse_seconds: f64,
+    v3_view_seconds: f64,
 }
 
 /// Runs the microbenchmarks, prints the table, and writes
@@ -66,8 +82,12 @@ pub fn run(options: &ExpOptions) -> std::io::Result<()> {
     let samples_per_sec = samples as f64 / gen_seconds;
 
     // 2. Solver-evaluation throughput: `ĉ_R(S)` on the same seed sets
-    // through both backends. The legacy path scans every sample with
-    // per-seed binary searches; the store walks the inverted index.
+    // through three paths. The legacy path scans every sample with
+    // per-seed binary searches; the store walks the inverted index but
+    // rebuilds its scratch state per call; the kernel evaluator buckets
+    // the whole batch by sample and sweeps the cover arena in ascending
+    // address order, so large arenas stream from memory instead of
+    // paying a dependent random load per index entry.
     let legacy = store.to_collection();
     let node_count = store.node_count() as u32;
     let mut rng = StdRng::seed_from_u64(options.seed ^ 0x51C0_FFEE);
@@ -97,13 +117,84 @@ pub fn run(options: &ExpOptions) -> std::io::Result<()> {
             .collect();
         timing(start.elapsed().as_secs_f64(), eval_sets)
     };
+    let kernel_counts: Vec<usize>;
+    let kernel_timing = {
+        let mut evaluator = CoverageEvaluator::new(&store);
+        let start = Instant::now();
+        kernel_counts = evaluator.influenced_counts(&seed_sets);
+        timing(start.elapsed().as_secs_f64(), eval_sets)
+    };
     assert_eq!(
         legacy_counts, store_counts,
         "backends must agree on every influenced count"
     );
+    assert_eq!(
+        store_counts, kernel_counts,
+        "the batched kernel evaluator must agree with the scalar paths"
+    );
     let speedup = store_timing.evals_per_sec / legacy_timing.evals_per_sec;
+    let kernel_speedup = kernel_timing.evals_per_sec / legacy_timing.evals_per_sec;
 
-    // 3. Memory footprint (arena bytes stand in for RSS: the store's flat
+    // 3. Snapshot codec wall times. The v2 parse rebuilds the inverted
+    // index from scratch; the v3 parse adopts the persisted columns after
+    // structural validation; the v3 view never copies the arena at all.
+    let fingerprint = snapshot::instance_fingerprint(instance.graph(), instance.communities());
+    let v3_bytes = snapshot::encode(&store, fingerprint, 1);
+    let v2_bytes = snapshot::encode_v2(&store, fingerprint, 1);
+    let snapshot_timing = {
+        let start = Instant::now();
+        let from_v2 = snapshot::decode(&v2_bytes).expect("v2 snapshot decodes");
+        let v2_parse_seconds = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let from_v3 = snapshot::decode(&v3_bytes).expect("v3 snapshot decodes");
+        let v3_parse_seconds = start.elapsed().as_secs_f64();
+        assert_eq!(
+            from_v2.collection, from_v3.collection,
+            "both snapshot versions must decode to the same store"
+        );
+
+        let arena = SnapshotBytes::copy_from(&v3_bytes);
+        let start = Instant::now();
+        let view = RicStoreView::open(arena.as_bytes()).expect("v3 view opens");
+        let v3_view_seconds = start.elapsed().as_secs_f64();
+
+        // 4. End-to-end determinism: the solver must pick bitwise-identical
+        // seeds whether it reads the in-memory store, a decoded snapshot,
+        // or the zero-copy view.
+        let k = 5usize.min(store.node_count());
+        let req = SolveRequest::new(k).with_seed(options.seed);
+        let from_store = MaxrAlgorithm::Ubg
+            .solve(&instance, &store, &req)
+            .expect("solve over store");
+        let from_parsed = MaxrAlgorithm::Ubg
+            .solve(&instance, &from_v3.collection, &req)
+            .expect("solve over decoded snapshot");
+        let from_view = MaxrAlgorithm::Ubg
+            .solve(&instance, &view, &req)
+            .expect("solve over zero-copy view");
+        assert_eq!(
+            from_store.seeds, from_parsed.seeds,
+            "decoded snapshot must reproduce the store's seed set"
+        );
+        assert_eq!(
+            from_store.seeds, from_view.seeds,
+            "zero-copy view must reproduce the store's seed set"
+        );
+
+        SnapshotTiming {
+            bytes: v3_bytes.len(),
+            v2_parse_seconds,
+            v3_parse_seconds,
+            v3_view_seconds,
+        }
+    };
+    // The asserts above abort the run on disagreement, so a written JSON
+    // always carries `true`; the field exists so perf-gate can hard-fail
+    // if a future change downgrades the assert into a warning.
+    let seeds_identical = true;
+
+    // 5. Memory footprint (arena bytes stand in for RSS: the store's flat
     // buffers are its only heap allocation).
     let arena_bytes = store.arena_bytes();
     let index_entries = store.index_entries();
@@ -123,7 +214,31 @@ pub fn run(options: &ExpOptions) -> std::io::Result<()> {
         "store evals/sec".into(),
         fmt_f(store_timing.evals_per_sec),
     ]);
+    table.push_row(vec![
+        "kernel evals/sec".into(),
+        fmt_f(kernel_timing.evals_per_sec),
+    ]);
     table.push_row(vec!["speedup".into(), format!("{speedup:.2}x")]);
+    table.push_row(vec![
+        "kernel speedup".into(),
+        format!("{kernel_speedup:.2}x"),
+    ]);
+    table.push_row(vec![
+        "snapshot bytes".into(),
+        snapshot_timing.bytes.to_string(),
+    ]);
+    table.push_row(vec![
+        "v2 parse ms".into(),
+        fmt_f(snapshot_timing.v2_parse_seconds * 1e3),
+    ]);
+    table.push_row(vec![
+        "v3 parse ms".into(),
+        fmt_f(snapshot_timing.v3_parse_seconds * 1e3),
+    ]);
+    table.push_row(vec![
+        "v3 view ms".into(),
+        fmt_f(snapshot_timing.v3_view_seconds * 1e3),
+    ]);
     table.push_row(vec!["arena bytes".into(), arena_bytes.to_string()]);
     table.push_row(vec!["index entries".into(), index_entries.to_string()]);
     table.emit(options.out_dir.as_deref())?;
@@ -137,7 +252,11 @@ pub fn run(options: &ExpOptions) -> std::io::Result<()> {
         seeds_per_set,
         &legacy_timing,
         &store_timing,
+        &kernel_timing,
         speedup,
+        kernel_speedup,
+        &snapshot_timing,
+        seeds_identical,
         arena_bytes,
         index_entries,
     );
@@ -169,7 +288,11 @@ fn bench_json(
     seeds_per_set: usize,
     legacy: &EvalTiming,
     store: &EvalTiming,
+    kernel: &EvalTiming,
     speedup: f64,
+    kernel_speedup: f64,
+    snap: &SnapshotTiming,
+    seeds_identical: bool,
     arena_bytes: usize,
     index_entries: usize,
 ) -> String {
@@ -188,8 +311,17 @@ fn bench_json(
             "    \"seeds_per_set\": {seeds_per_set},\n",
             "    \"legacy\": {{ \"seconds\": {ls:.6}, \"evals_per_sec\": {le:.1} }},\n",
             "    \"store\": {{ \"seconds\": {ss:.6}, \"evals_per_sec\": {se:.1} }},\n",
-            "    \"speedup\": {speedup:.3}\n",
+            "    \"kernel\": {{ \"seconds\": {ks:.6}, \"evals_per_sec\": {ke:.1} }},\n",
+            "    \"speedup\": {speedup:.3},\n",
+            "    \"kernel_speedup\": {kernel_speedup:.3}\n",
             "  }},\n",
+            "  \"snapshot\": {{\n",
+            "    \"bytes\": {snap_bytes},\n",
+            "    \"v2_parse_seconds\": {v2p:.6},\n",
+            "    \"v3_parse_seconds\": {v3p:.6},\n",
+            "    \"v3_view_seconds\": {v3v:.6}\n",
+            "  }},\n",
+            "  \"seeds_identical\": {seeds_identical},\n",
             "  \"memory\": {{\n",
             "    \"arena_bytes\": {arena_bytes},\n",
             "    \"index_entries\": {index_entries}\n",
@@ -207,7 +339,15 @@ fn bench_json(
         le = legacy.evals_per_sec,
         ss = store.seconds,
         se = store.evals_per_sec,
+        ks = kernel.seconds,
+        ke = kernel.evals_per_sec,
         speedup = speedup,
+        kernel_speedup = kernel_speedup,
+        snap_bytes = snap.bytes,
+        v2p = snap.v2_parse_seconds,
+        v3p = snap.v3_parse_seconds,
+        v3v = snap.v3_view_seconds,
+        seeds_identical = seeds_identical,
         arena_bytes = arena_bytes,
         index_entries = index_entries,
     )
@@ -230,6 +370,9 @@ mod tests {
         let json = std::fs::read_to_string(dir.join("BENCH_ric.json")).unwrap();
         assert!(json.contains(BENCH_SCHEMA));
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"kernel\""));
+        assert!(json.contains("\"v3_view_seconds\""));
+        assert!(json.contains("\"seeds_identical\": true"));
         assert!(json.contains("\"arena_bytes\""));
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -20,7 +20,9 @@
 //!   query        send one request to a daemon
 //!                (--addr, --op solve|estimate|stats|metrics|health|shutdown;
 //!                 solve tuning: --threads N, --mode sequential|lazy|parallel, --depth D)
-//!   snapshot     save | load a persistent RIC sample store (--samples, --out / --file)
+//!   snapshot     save | load | upgrade a persistent RIC sample store
+//!                (--samples, --out / --file; upgrade rewrites any readable
+//!                 version as the current zero-copy format v3)
 //!
 //! common flags:
 //!   --graph FILE  --communities FILE  --undirected  --weights cascade|keep|trivalency|<p>
@@ -37,7 +39,7 @@ fn main() -> ExitCode {
     let Some(mut command) = argv.next() else {
         eprintln!(
             "usage: imc <generate | communities | solve | estimate | stats | dot | serve | \
-             cluster | query | snapshot save|load> [flags]"
+             cluster | query | snapshot save|load|upgrade> [flags]"
         );
         eprintln!("run with a command and no flags to see its errors spelled out");
         return ExitCode::from(2);

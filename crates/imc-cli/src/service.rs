@@ -1,5 +1,5 @@
 //! Daemon-facing subcommands: `imc serve`, `imc query`, and
-//! `imc snapshot save|load` — the CLI surface of [`imc_service`].
+//! `imc snapshot save|load|upgrade` — the CLI surface of [`imc_service`].
 //!
 //! `serve` loads the instance (and optionally a snapshot) once, binds a
 //! TCP listener, and blocks until a `shutdown` request arrives. `query`
@@ -254,6 +254,30 @@ pub fn snapshot_load<W: Write>(args: &Args, out: &mut W) -> Result<()> {
     Ok(())
 }
 
+/// `imc snapshot upgrade`: rewrites `--file` (any readable format version)
+/// as the current version, preserving fingerprint and generation. Writes
+/// to `--out` when given, otherwise upgrades in place (atomically, via the
+/// same tmp+rename dance as `snapshot::save`). Upgrading a current-version
+/// file is a no-op rewrite: the bytes are identical.
+pub fn snapshot_upgrade<W: Write>(args: &Args, out: &mut W) -> Result<()> {
+    let path = args.required("file")?;
+    let bytes = std::fs::read(Path::new(path)).map_err(CliError::Io)?;
+    let from_version = bytes.get(7).copied().unwrap_or(0);
+    let upgraded = snapshot::upgrade(&bytes).map_err(snap_err)?;
+    let dest = args.get("out").unwrap_or(path);
+    let tmp = format!("{dest}.tmp");
+    std::fs::write(&tmp, &upgraded).map_err(CliError::Io)?;
+    std::fs::rename(&tmp, dest).map_err(CliError::Io)?;
+    writeln!(
+        out,
+        "upgraded {path} (v{from_version}, {} bytes) -> {dest} (v{}, {} bytes)",
+        bytes.len(),
+        snapshot::FORMAT_VERSION,
+        upgraded.len()
+    )?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use crate::args::Args;
@@ -376,6 +400,61 @@ mod tests {
         std::fs::remove_file(&graph_path).ok();
         std::fs::remove_file(&comm_path).ok();
         std::fs::remove_file(&snap_path).ok();
+    }
+
+    #[test]
+    fn snapshot_upgrade_lifts_legacy_files() {
+        let (graph_path, comm_path) = instance_files("upgrade");
+        let snap_path = tmp("upgrade.snap");
+        run_str(
+            "snapshot save",
+            &[
+                "--graph",
+                &graph_path,
+                "--communities",
+                &comm_path,
+                "--samples",
+                "60",
+                "--seed",
+                "4",
+                "--out",
+                &snap_path,
+            ],
+        )
+        .unwrap();
+        // Downgrade the file to version 2 to simulate a legacy deployment.
+        let data = imc_core::snapshot::load(std::path::Path::new(&snap_path)).unwrap();
+        let v2 = imc_core::snapshot::encode_v2(&data.collection, data.fingerprint, data.generation);
+        std::fs::write(&snap_path, &v2).unwrap();
+
+        // --out keeps the original untouched.
+        let lifted_path = tmp("upgrade-lifted.snap");
+        let msg = run_str(
+            "snapshot upgrade",
+            &["--file", &snap_path, "--out", &lifted_path],
+        )
+        .unwrap();
+        assert!(msg.contains("(v2,"), "reports the source version: {msg}");
+        assert_eq!(std::fs::read(&snap_path).unwrap(), v2);
+        let lifted = std::fs::read(&lifted_path).unwrap();
+        assert_eq!(lifted[7], imc_core::snapshot::FORMAT_VERSION);
+
+        // In-place upgrade rewrites the file itself.
+        run_str("snapshot upgrade", &["--file", &snap_path]).unwrap();
+        let in_place = std::fs::read(&snap_path).unwrap();
+        assert_eq!(in_place, lifted);
+        let upgraded = imc_core::snapshot::load(std::path::Path::new(&snap_path)).unwrap();
+        assert_eq!(upgraded.collection, data.collection);
+        assert_eq!(upgraded.generation, data.generation);
+
+        // Upgrading a current-version file is byte-stable.
+        run_str("snapshot upgrade", &["--file", &snap_path]).unwrap();
+        assert_eq!(std::fs::read(&snap_path).unwrap(), lifted);
+
+        std::fs::remove_file(&graph_path).ok();
+        std::fs::remove_file(&comm_path).ok();
+        std::fs::remove_file(&snap_path).ok();
+        std::fs::remove_file(&lifted_path).ok();
     }
 
     #[test]

@@ -20,7 +20,8 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use imc_community::{BenefitPolicy, CommunitySet, ThresholdPolicy};
-use imc_core::{ImcInstance, MaxrAlgorithm, RicStore, SolveRequest};
+use imc_core::snapshot;
+use imc_core::{ImcInstance, MaxrAlgorithm, RicSampler, RicStore, SolveRequest};
 use imc_datasets::DatasetId;
 use imc_graph::WeightModel;
 use imc_service::client::Client;
@@ -199,6 +200,95 @@ fn build_instance(topo: &Topology, data_dir: &Path) -> Result<ImcInstance, Runne
         .map_err(|e| RunnerError::new(format!("instance build failed: {e}")))
 }
 
+/// Cache path for one shard's sampling-plan partition. The filename
+/// binds every input that determines the partition's contents
+/// (partition index and count, total samples, base seed, instance
+/// fingerprint), so a parameter change simply misses the cache instead
+/// of silently reusing stale samples.
+fn shard_snapshot_path(dir: &Path, fingerprint: u64, topo: &Topology, partition: usize) -> PathBuf {
+    dir.join(format!(
+        "shard-{partition}-of-{shards}-n{samples}-b{base_seed}-{fingerprint:016x}.snap",
+        shards = topo.shards,
+        samples = topo.samples,
+        base_seed = topo.base_seed,
+    ))
+}
+
+/// Loads one shard's store from the snapshot cache, or draws the
+/// partition fresh and (best-effort) persists it for the next run.
+///
+/// Cache writes go through a temp file + rename so a crashed run can
+/// never leave a truncated snapshot behind, and every cache failure —
+/// unreadable file, wrong version, fingerprint mismatch — degrades to
+/// the fresh-draw path. Correctness never depends on the cache: the
+/// runner's end-to-end `seeds_identical` check compares the cluster
+/// against an uncached single-node solve.
+fn load_or_build_shard_store(
+    sampler: &RicSampler<'_>,
+    fingerprint: u64,
+    topo: &Topology,
+    partition: usize,
+    snapshot_dir: Option<&Path>,
+    log: &dyn Fn(&str),
+) -> RicStore {
+    let cache_path = snapshot_dir.map(|dir| shard_snapshot_path(dir, fingerprint, topo, partition));
+    if let Some(path) = &cache_path {
+        if let Ok(bytes) = fs::read(path) {
+            match snapshot::decode(&bytes) {
+                Ok(data) if data.fingerprint == fingerprint => {
+                    log(&format!(
+                        "shard {partition}: cold-started from snapshot cache {} ({} samples)",
+                        path.display(),
+                        data.collection.len()
+                    ));
+                    return data.collection;
+                }
+                Ok(data) => log(&format!(
+                    "shard {partition}: cache fingerprint mismatch ({:#018x} != {:#018x}), re-drawing",
+                    data.fingerprint, fingerprint
+                )),
+                Err(e) => log(&format!(
+                    "shard {partition}: unreadable cache {}: {e}; re-drawing",
+                    path.display()
+                )),
+            }
+        }
+    }
+    let mut store = RicStore::for_sampler(sampler);
+    store.extend_partition(
+        sampler,
+        topo.samples,
+        topo.base_seed,
+        partition,
+        topo.shards,
+        topo.workers,
+    );
+    if let Some(path) = &cache_path {
+        let bytes = snapshot::encode(&store, fingerprint, 0);
+        let written = path
+            .parent()
+            .map(fs::create_dir_all)
+            .transpose()
+            .and_then(|_| {
+                let tmp = path.with_extension("snap.tmp");
+                fs::write(&tmp, &bytes)?;
+                fs::rename(&tmp, path)
+            });
+        match written {
+            Ok(()) => log(&format!(
+                "shard {partition}: cached {} bytes at {}",
+                bytes.len(),
+                path.display()
+            )),
+            Err(e) => log(&format!(
+                "shard {partition}: could not write cache {}: {e}",
+                path.display()
+            )),
+        }
+    }
+    store
+}
+
 /// A running topology: shard daemons plus the coordinator.
 struct Cluster {
     shard_handles: Vec<ServerHandle>,
@@ -209,8 +299,16 @@ struct Cluster {
 impl Cluster {
     /// Spawns the shard daemons (each over its sampling-plan partition)
     /// and the coordinator fronting them, all on ephemeral ports.
-    fn spawn(instance: &Arc<ImcInstance>, topo: &Topology) -> Result<Cluster, RunnerError> {
+    /// With a `snapshot_dir`, shard stores load from the format-v3
+    /// cache when a matching file exists and are persisted otherwise.
+    fn spawn(
+        instance: &Arc<ImcInstance>,
+        topo: &Topology,
+        snapshot_dir: Option<&Path>,
+        log: &dyn Fn(&str),
+    ) -> Result<Cluster, RunnerError> {
         let sampler = instance.sampler();
+        let fingerprint = snapshot::instance_fingerprint(instance.graph(), instance.communities());
         let mut shard_handles = Vec::with_capacity(topo.shards);
         let mut shard_addrs = Vec::with_capacity(topo.shards);
         // Connections occupy shard pool workers for their lifetime, so
@@ -218,14 +316,13 @@ impl Cluster {
         // (load connections + the solve/check connection + slack).
         let workers = (topo.load_connections + 2).max(topo.workers);
         for partition in 0..topo.shards {
-            let mut store = RicStore::for_sampler(&sampler);
-            store.extend_partition(
+            let store = load_or_build_shard_store(
                 &sampler,
-                topo.samples,
-                topo.base_seed,
+                fingerprint,
+                topo,
                 partition,
-                topo.shards,
-                topo.workers,
+                snapshot_dir,
+                log,
             );
             let state = Arc::new(ServiceState::new((**instance).clone(), store, 0));
             let config = ServeConfig {
@@ -399,7 +496,8 @@ pub fn run(options: &RunnerOptions) -> Result<RunnerReport, RunnerError> {
     let instance = Arc::new(build_instance(topo, &options.data_dir)?);
 
     log("spawning shard daemons + coordinator");
-    let cluster = Cluster::spawn(&instance, topo)?;
+    let snapshot_dir = (!topo.snapshot_dir.is_empty()).then(|| PathBuf::from(&topo.snapshot_dir));
+    let cluster = Cluster::spawn(&instance, topo, snapshot_dir.as_deref(), &log)?;
     let result = run_against(&cluster, &instance, topo, &log);
     cluster.stop();
     let (mut report, cluster_seeds) = result?;
@@ -511,4 +609,73 @@ fn run_against(
         p99_us,
     };
     Ok((report, seeds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_graph::{generators::erdos_renyi, NodeId, WeightModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_instance() -> ImcInstance {
+        let mut rng = StdRng::seed_from_u64(7);
+        let graph = erdos_renyi(24, 0.15, &mut rng).reweighted(WeightModel::Uniform(0.3));
+        let parts = (0..4)
+            .map(|c| {
+                let members: Vec<NodeId> = (c * 6..c * 6 + 6).map(NodeId::new).collect();
+                (members, 2, 1.0)
+            })
+            .collect();
+        let communities = imc_community::CommunitySet::from_parts(24, parts).unwrap();
+        ImcInstance::new(graph, communities).unwrap()
+    }
+
+    #[test]
+    fn shard_snapshot_cache_round_trips_bitwise() {
+        let instance = tiny_instance();
+        let sampler = instance.sampler();
+        let fingerprint = snapshot::instance_fingerprint(instance.graph(), instance.communities());
+        let topo = Topology::parse("[cluster]\nshards = 2\nworkers = 1\nsamples = 512\n").unwrap();
+        let dir = std::env::temp_dir().join(format!("imc-shard-cache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let log = |_: &str| {};
+        for partition in 0..topo.shards {
+            let fresh = load_or_build_shard_store(
+                &sampler,
+                fingerprint,
+                &topo,
+                partition,
+                Some(&dir),
+                &log,
+            );
+            let path = shard_snapshot_path(&dir, fingerprint, &topo, partition);
+            assert!(path.is_file(), "cache file missing after fresh draw");
+            let cached = load_or_build_shard_store(
+                &sampler,
+                fingerprint,
+                &topo,
+                partition,
+                Some(&dir),
+                &log,
+            );
+            assert_eq!(fresh, cached, "cached shard store differs from fresh draw");
+        }
+
+        // A fingerprint mismatch must re-draw (same deterministic plan,
+        // so same contents) and overwrite the cache under the new name.
+        let other =
+            load_or_build_shard_store(&sampler, fingerprint ^ 1, &topo, 0, Some(&dir), &log);
+        let fresh = load_or_build_shard_store(&sampler, fingerprint, &topo, 0, Some(&dir), &log);
+        assert_eq!(other, fresh);
+        let renamed = shard_snapshot_path(&dir, fingerprint ^ 1, &topo, 0);
+        let data = snapshot::decode(&fs::read(renamed).unwrap()).unwrap();
+        assert_eq!(data.fingerprint, fingerprint ^ 1);
+
+        // No directory: plain fresh draw, nothing written anywhere.
+        let uncached = load_or_build_shard_store(&sampler, fingerprint, &topo, 0, None, &log);
+        assert_eq!(uncached, fresh);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
 }

@@ -290,32 +290,32 @@ impl GainSource for ClusterSource<'_> {
         // cross-shard data flow, so the fan-out is embarrassingly
         // parallel and gather order does not matter.
         let results: Vec<Result<ShardCBatch, ClusterError>> = thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .peers
-                    .iter_mut()
-                    .zip(&self.sessions)
-                    .map(|(peer, &session)| {
-                        let line = json::to_string(
-                            &ObjectBuilder::new()
-                                .field("op", "eval_batch")
-                                .field("session", session)
-                                .field("kind", "c")
-                                .field("nodes", nodes_field.clone())
-                                .build(),
-                        );
-                        scope.spawn(move || {
-                            let (resp, secs) = timed_session_rpc(peer, &line)?;
-                            let gains = field_u64_array(&resp, "gains", peer)?;
-                            let potentials = field_u64_array(&resp, "potentials", peer)?;
-                            Ok((gains, potentials, secs))
-                        })
+            let handles: Vec<_> = self
+                .peers
+                .iter_mut()
+                .zip(&self.sessions)
+                .map(|(peer, &session)| {
+                    let line = json::to_string(
+                        &ObjectBuilder::new()
+                            .field("op", "eval_batch")
+                            .field("session", session)
+                            .field("kind", "c")
+                            .field("nodes", nodes_field.clone())
+                            .build(),
+                    );
+                    scope.spawn(move || {
+                        let (resp, secs) = timed_session_rpc(peer, &line)?;
+                        let gains = field_u64_array(&resp, "gains", peer)?;
+                        let potentials = field_u64_array(&resp, "potentials", peer)?;
+                        Ok((gains, potentials, secs))
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard rpc thread panicked"))
-                    .collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard rpc thread panicked"))
+                .collect()
+        });
 
         let mut gains = vec![0u64; nodes.len()];
         let mut potentials = vec![0u64; nodes.len()];

@@ -200,6 +200,11 @@ pub struct Topology {
     pub threshold: u32,
     /// Instance-construction seed (Louvain + dataset generation).
     pub instance_seed: u64,
+    /// Directory for per-shard snapshot caching (empty disables it).
+    /// When set, each shard daemon persists its sampling-plan
+    /// partition as a format-v3 snapshot and cold-starts from it on
+    /// the next run instead of re-drawing the samples.
+    pub snapshot_dir: String,
     /// Open-loop load: concurrent client connections.
     pub load_connections: usize,
     /// Open-loop load: total requests across all connections.
@@ -223,6 +228,7 @@ impl Topology {
             size_cap: table.u64("instance.size_cap", 8)? as usize,
             threshold: table.u64("instance.threshold", 2)? as u32,
             instance_seed: table.u64("instance.seed", 1)?,
+            snapshot_dir: table.string("cluster.snapshot_dir", "")?,
             load_connections: table.u64("load.connections", 4)? as usize,
             load_requests: table.u64("load.requests", 200)? as usize,
             load_seeds_per_request: table.u64("load.seeds_per_request", 8)? as usize,
@@ -282,6 +288,7 @@ mod tests {
             base_seed = 99
             samples = 1024
             k = 7
+            snapshot_dir = "cache/shards"
 
             [instance]
             dataset = "wiki-vote"  # synthetic analog
@@ -306,6 +313,7 @@ mod tests {
         assert_eq!(topo.size_cap, 8);
         assert_eq!(topo.threshold, 2);
         assert_eq!(topo.instance_seed, 5);
+        assert_eq!(topo.snapshot_dir, "cache/shards");
         assert_eq!(topo.load_connections, 2);
         assert_eq!(topo.load_requests, 10);
         assert_eq!(topo.load_seeds_per_request, 4);
@@ -317,6 +325,7 @@ mod tests {
         assert_eq!(topo.shards, 4);
         assert_eq!(topo.samples, 40_000);
         assert_eq!(topo.dataset, "wiki-vote");
+        assert_eq!(topo.snapshot_dir, "");
     }
 
     #[test]

@@ -1,3 +1,5 @@
+use crate::kernels;
+
 /// Compact bitset over the members of one community.
 ///
 /// A RIC sample stores, for every node it contains, *which community
@@ -5,7 +7,8 @@
 /// small after the paper's `s`-cap (default 8), so the common case is a
 /// single inline `u64`; larger communities fall back to a boxed limb array.
 /// All set operations used on the hot greedy path (union popcounts) are
-/// branch-light word ops.
+/// branch-light word ops; multi-limb counting delegates to the chunked
+/// popcount kernels in [`crate::kernels`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum CoverSet {
     /// Communities with at most 64 members.
@@ -73,7 +76,7 @@ impl CoverSet {
     pub fn count_ones(&self) -> u32 {
         match self {
             CoverSet::Small(w) => w.count_ones(),
-            CoverSet::Large(limbs) => limbs.iter().map(|l| l.count_ones()).sum(),
+            CoverSet::Large(limbs) => kernels::count_ones(limbs),
         }
     }
 
@@ -89,10 +92,7 @@ impl CoverSet {
             (CoverSet::Small(a), CoverSet::Small(b)) => (a | b).count_ones(),
             (CoverSet::Large(a), CoverSet::Large(b)) => {
                 assert_eq!(a.len(), b.len(), "cover set width mismatch");
-                a.iter()
-                    .zip(b.iter())
-                    .map(|(x, y)| (x | y).count_ones())
-                    .sum()
+                kernels::union_count(a, b)
             }
             _ => panic!("cover set representation mismatch"),
         }
@@ -110,10 +110,7 @@ impl CoverSet {
             (CoverSet::Small(a), CoverSet::Small(b)) => (a & !b).count_ones(),
             (CoverSet::Large(a), CoverSet::Large(b)) => {
                 assert_eq!(a.len(), b.len(), "cover set width mismatch");
-                a.iter()
-                    .zip(b.iter())
-                    .map(|(x, y)| (x & !y).count_ones())
-                    .sum()
+                kernels::and_not_count(a, b)
             }
             _ => panic!("cover set representation mismatch"),
         }

@@ -74,7 +74,12 @@ pub fn partition_shard_range(
 /// Location of one node appearance inside a [`RicCollection`]: which sample
 /// and at which position (so the node's [`CoverSet`](crate::CoverSet) is
 /// `samples[sample].covers[pos]`).
+// `repr(C)` pins the layout to two consecutive `u32`s (8 bytes, no
+// padding), which is what snapshot format v3 persists and what the
+// zero-copy view reinterprets in place — see `snapshot.rs` and
+// docs/FORMATS.md.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
 pub struct SampleRef {
     /// Index of the sample within the collection.
     pub sample: u32,

@@ -1,0 +1,191 @@
+//! Chunked-popcount coverage kernels.
+//!
+//! Every solver iteration bottoms out in popcounts over packed `u64` cover
+//! bitsets (`ĉ_R`/`ν_R` marginal gains, Alg. 2/5). These kernels are the
+//! single implementation of that counting: fixed 8-limb chunks unrolled via
+//! [`slice::chunks_exact`] so the compiler autovectorizes the
+//! `count_ones` reduction (AVX2 `vpshufb`-popcount or NEON `cnt` on the
+//! respective targets) without any platform intrinsics — the crate stays
+//! std-only and `#![deny(unsafe_code)]`-clean.
+//!
+//! Contract (see `docs/KERNELS.md` for the full statement):
+//!
+//! * Every kernel is an integer-exact popcount — bit-identical to the
+//!   obvious scalar loop on every input, for any slice length, including
+//!   ragged tails (`len % 8 != 0`) and empty slices.
+//! * Paired slices must have equal length; the kernels panic on mismatch
+//!   (this mirrors the width invariants of [`crate::CoverSet`]).
+//! * Fused variants (`union_count`, `and_not_count`, `or_assign_count`)
+//!   make one pass over their operands so a marginal-gain evaluation never
+//!   touches a limb twice.
+//!
+//! Chunk size 8 is deliberate: 8×u64 = 64 bytes = one cache line on
+//! x86-64/aarch64, wide enough to fill a 256-bit vector unit twice per
+//! chunk while keeping the remainder loop at most 7 limbs.
+
+/// Limbs per unrolled chunk: 64 bytes, one cache line.
+pub const CHUNK: usize = 8;
+
+/// Popcount of `words` — `Σ count_ones(w)`.
+#[inline]
+pub fn count_ones(words: &[u64]) -> u32 {
+    let mut chunks = words.chunks_exact(CHUNK);
+    let mut total = 0u32;
+    for c in &mut chunks {
+        // Fixed-size re-borrow lets the compiler fully unroll the chunk.
+        let c: &[u64; CHUNK] = c.try_into().unwrap();
+        let mut acc = 0u32;
+        for &w in c {
+            acc += w.count_ones();
+        }
+        total += acc;
+    }
+    for &w in chunks.remainder() {
+        total += w.count_ones();
+    }
+    total
+}
+
+/// Popcount of the elementwise union: `Σ count_ones(a | b)`.
+///
+/// # Panics
+///
+/// Panics when `a.len() != b.len()`.
+#[inline]
+pub fn union_count(a: &[u64], b: &[u64]) -> u32 {
+    assert_eq!(a.len(), b.len(), "kernel operand length mismatch");
+    let mut ac = a.chunks_exact(CHUNK);
+    let mut bc = b.chunks_exact(CHUNK);
+    let mut total = 0u32;
+    for (ca, cb) in (&mut ac).zip(&mut bc) {
+        let ca: &[u64; CHUNK] = ca.try_into().unwrap();
+        let cb: &[u64; CHUNK] = cb.try_into().unwrap();
+        let mut acc = 0u32;
+        for i in 0..CHUNK {
+            acc += (ca[i] | cb[i]).count_ones();
+        }
+        total += acc;
+    }
+    for (x, y) in ac.remainder().iter().zip(bc.remainder()) {
+        total += (x | y).count_ones();
+    }
+    total
+}
+
+/// Popcount of the elementwise difference: `Σ count_ones(a & !b)`.
+///
+/// # Panics
+///
+/// Panics when `a.len() != b.len()`.
+#[inline]
+pub fn and_not_count(a: &[u64], b: &[u64]) -> u32 {
+    assert_eq!(a.len(), b.len(), "kernel operand length mismatch");
+    let mut ac = a.chunks_exact(CHUNK);
+    let mut bc = b.chunks_exact(CHUNK);
+    let mut total = 0u32;
+    for (ca, cb) in (&mut ac).zip(&mut bc) {
+        let ca: &[u64; CHUNK] = ca.try_into().unwrap();
+        let cb: &[u64; CHUNK] = cb.try_into().unwrap();
+        let mut acc = 0u32;
+        for i in 0..CHUNK {
+            acc += (ca[i] & !cb[i]).count_ones();
+        }
+        total += acc;
+    }
+    for (x, y) in ac.remainder().iter().zip(bc.remainder()) {
+        total += (x & !y).count_ones();
+    }
+    total
+}
+
+/// Fused `acc |= src` + popcount of the result, in one pass.
+///
+/// Returns `count_ones(acc)` *after* the union — exactly what
+/// [`crate::CoverageState::add_seed`] needs, without re-reading `acc`.
+///
+/// # Panics
+///
+/// Panics when `acc.len() != src.len()`.
+#[inline]
+pub fn or_assign_count(acc: &mut [u64], src: &[u64]) -> u32 {
+    assert_eq!(acc.len(), src.len(), "kernel operand length mismatch");
+    let mut achunks = acc.chunks_exact_mut(CHUNK);
+    let mut schunks = src.chunks_exact(CHUNK);
+    let mut total = 0u32;
+    for (ca, cs) in (&mut achunks).zip(&mut schunks) {
+        let ca: &mut [u64; CHUNK] = ca.try_into().unwrap();
+        let cs: &[u64; CHUNK] = cs.try_into().unwrap();
+        let mut count = 0u32;
+        for i in 0..CHUNK {
+            let merged = ca[i] | cs[i];
+            ca[i] = merged;
+            count += merged.count_ones();
+        }
+        total += count;
+    }
+    for (x, y) in achunks.into_remainder().iter_mut().zip(schunks.remainder()) {
+        let merged = *x | y;
+        *x = merged;
+        total += merged.count_ones();
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn scalar_count(words: &[u64]) -> u32 {
+        words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(count_ones(&[]), 0);
+        assert_eq!(union_count(&[], &[]), 0);
+        assert_eq!(and_not_count(&[], &[]), 0);
+        assert_eq!(or_assign_count(&mut [], &[]), 0);
+    }
+
+    #[test]
+    fn exact_chunk_and_ragged_tail() {
+        // 8 limbs (one exact chunk), then 9 and 23 (ragged tails).
+        for len in [1usize, 7, 8, 9, 16, 23] {
+            let a: Vec<u64> = (0..len as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .collect();
+            assert_eq!(count_ones(&a), scalar_count(&a), "len {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn union_length_mismatch_panics() {
+        let _ = union_count(&[0], &[0, 0]);
+    }
+
+    proptest! {
+        #[test]
+        fn kernels_match_scalar(
+            pairs in proptest::collection::vec((0u64..=u64::MAX, 0u64..=u64::MAX), 0..40)
+        ) {
+            let a: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+            let b: Vec<u64> = pairs.iter().map(|p| p.1).collect();
+            prop_assert_eq!(count_ones(&a), scalar_count(&a));
+            prop_assert_eq!(
+                union_count(&a, &b),
+                a.iter().zip(&b).map(|(x, y)| (x | y).count_ones()).sum::<u32>()
+            );
+            prop_assert_eq!(
+                and_not_count(&a, &b),
+                a.iter().zip(&b).map(|(x, y)| (x & !y).count_ones()).sum::<u32>()
+            );
+            let mut acc = a.clone();
+            let fused = or_assign_count(&mut acc, &b);
+            let expected: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x | y).collect();
+            prop_assert_eq!(&acc, &expected);
+            prop_assert_eq!(fused, scalar_count(&expected));
+        }
+    }
+}

@@ -53,7 +53,10 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the zero-copy snapshot view needs one
+// audited `#[allow(unsafe_code)]` cast module (`snapshot::cast`) to reborrow
+// aligned bytes as typed columns; everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 mod bitset;
@@ -66,6 +69,8 @@ mod problem;
 mod sample;
 mod samples;
 mod store;
+
+pub mod kernels;
 
 pub mod baselines;
 pub mod bounds;
@@ -89,7 +94,7 @@ pub use maxr::{
     BtSolver, GainSource, GreedyRun, GreedySolver, LocalSource, MafSolver, MaxrAlgorithm,
     MaxrSolver, MbSolver, SolveReport, SolveRequest, SolveStrategy, SolverExtras, UbgSolver,
 };
-pub use objective::CoverageState;
+pub use objective::{CoverageEvaluator, CoverageState};
 pub use problem::ImcInstance;
 pub use sample::RicSample;
 pub use samples::RicSamples;

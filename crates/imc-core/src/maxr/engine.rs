@@ -114,9 +114,30 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    shard_map_chunks_stats(len, threads, |lo, hi| (lo..hi).map(&eval).collect())
+}
+
+/// Chunk-granular [`shard_map_stats`]: the closure computes the results
+/// for a whole shard range `[lo, hi)` at once instead of one item at a
+/// time. Shard boundaries and result order are identical to the per-item
+/// map, so a chunk closure that evaluates its range in ascending order is
+/// bit-identical to `shard_map_stats` — while paying closure dispatch once
+/// per 256-candidate shard rather than once per candidate. This is how
+/// [`LocalSource`] serves a whole CELF shard from one sweep of the
+/// inverted index (see `docs/KERNELS.md`).
+pub(crate) fn shard_map_chunks_stats<T, F>(
+    len: usize,
+    threads: usize,
+    eval: F,
+) -> (Vec<T>, MapStats)
+where
+    T: Send,
+    F: Fn(usize, usize) -> Vec<T> + Sync,
+{
     if threads <= 1 || len < MIN_PARALLEL_ITEMS {
         let start = Instant::now();
-        let vals: Vec<T> = (0..len).map(eval).collect();
+        let vals = eval(0, len);
+        debug_assert_eq!(vals.len(), len, "chunk evaluator length mismatch");
         let stats = MapStats {
             shard_seconds: vec![start.elapsed().as_secs_f64()],
             busy_fractions: Vec::new(),
@@ -141,7 +162,8 @@ where
                     let shard_start = Instant::now();
                     let lo = s * SHARD;
                     let hi = ((s + 1) * SHARD).min(len);
-                    let vals: Vec<T> = (lo..hi).map(&eval).collect();
+                    let vals = eval(lo, hi);
+                    debug_assert_eq!(vals.len(), hi - lo, "chunk evaluator length mismatch");
                     let secs = shard_start.elapsed().as_secs_f64();
                     my_busy += secs;
                     collected
@@ -305,15 +327,19 @@ impl<C: RicSamples> GainSource for LocalSource<C> {
 
     fn eval_c_batch(&mut self, nodes: &[u32]) -> (Vec<(usize, usize)>, MapStats) {
         let state = &self.state;
-        shard_map_stats(nodes.len(), self.threads, |i| {
-            state.marginal_influenced_with_potential(NodeId::new(nodes[i]))
+        shard_map_chunks_stats(nodes.len(), self.threads, |lo, hi| {
+            let mut out = Vec::with_capacity(hi - lo);
+            state.eval_c_shard(&nodes[lo..hi], &mut out);
+            out
         })
     }
 
     fn eval_nu_batch(&mut self, nodes: &[u32]) -> (Vec<f64>, MapStats) {
         let state = &self.state;
-        shard_map_stats(nodes.len(), self.threads, |i| {
-            state.marginal_fraction(NodeId::new(nodes[i]))
+        shard_map_chunks_stats(nodes.len(), self.threads, |lo, hi| {
+            let mut out = Vec::with_capacity(hi - lo);
+            state.eval_nu_shard(&nodes[lo..hi], &mut out);
+            out
         })
     }
 
@@ -1134,6 +1160,18 @@ mod tests {
         let expect: Vec<u64> = data.iter().map(|&v| v * 3 + 1).collect();
         for threads in [1usize, 2, 3, 4, 8, 16] {
             let got = shard_map(data.len(), threads, |i| data[i] * 3 + 1);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunked_shard_map_matches_per_item_map_for_every_thread_count() {
+        let data: Vec<u64> = (0..1000u64).map(|i| i * 7 % 613).collect();
+        let expect: Vec<u64> = data.iter().map(|&v| v ^ 0x5a).collect();
+        for threads in [1usize, 2, 3, 4, 8, 16] {
+            let (got, _) = shard_map_chunks_stats(data.len(), threads, |lo, hi| {
+                data[lo..hi].iter().map(|&v| v ^ 0x5a).collect()
+            });
             assert_eq!(got, expect, "threads={threads}");
         }
     }

@@ -103,7 +103,7 @@ pub trait RicSamples: Sync {
                 }
             }
         }
-        union.iter().map(|w| w.count_ones()).sum()
+        crate::kernels::count_ones(union)
     }
 
     /// The indicator `X_g(S)` for sample `si`: does `S` reach at least

@@ -8,44 +8,58 @@
 //! a versioned, checksummed, std-only binary format, so a warm index can
 //! cold-start from disk instead of regenerating samples.
 //!
-//! # Format (version 2, all integers little-endian)
+//! # Format (version 3, all integers little-endian)
 //!
-//! Version 2 is columnar, mirroring the arena layout of
-//! [`RicStore`]: all per-sample metadata first, then every node list
-//! back-to-back, then every cover buffer back-to-back. Decoding therefore
-//! fills the store's flat buffers with long sequential reads instead of
-//! interleaved per-sample parsing.
+//! Version 3 is an offset-based, alignment-padded columnar layout: a
+//! 64-byte header, a 9-entry section table, then one 8-byte-aligned
+//! section per [`RicStore`] column — **including the CSR inverted
+//! node→(sample, pos) index**, so decoding never rebuilds it. Because
+//! every section is stored exactly as the arena holds it in memory, the
+//! columns can also be *borrowed* straight out of an 8-byte-aligned byte
+//! buffer (a memory-mapped file or a [`SnapshotBytes`]) through
+//! [`RicStoreView`] — cold-starting a multi-GB store in the time it takes
+//! to validate `O(samples + nodes)` offsets rather than parse the file.
 //!
 //! ```text
 //! offset  size  field
 //! 0       7     magic "IMCSNAP"
-//! 7       1     format version (= 2)
+//! 7       1     format version (= 3)
 //! 8       8     instance fingerprint (FNV-1a, see [`instance_fingerprint`])
 //! 16      8     node_count        (u64)
 //! 24      8     community_count   (u64)
 //! 32      8     total_benefit     (f64 bits)
 //! 40      8     generation        (u64, snapshot publisher's counter)
-//! 48      8     sample_count      (u64)
-//! 56      ...   metadata block: per sample
-//!                 community       (u32)
-//!                 threshold       (u32)
-//!                 community_size  (u32)
-//!                 node_count n    (u32)
-//!         ...   node block: per sample, n × u32 (strictly ascending)
-//!         ...   cover block: per sample,
-//!                 n × max(1, ceil(community_size/64)) × u64 limbs
+//! 48      8     sample_count S    (u64)
+//! 56      8     index entries N   (u64, = Σ_g |g|)
+//! 64      144   section table: 9 × { offset (u64), byte_len (u64) }
+//! ...           sections 0–8, each 8-byte aligned, zero padding between:
+//!                 0 communities    S × u32      4 nodes        N × u32
+//!                 1 thresholds     S × u32      5 cover_offsets (S+1) × u64
+//!                 2 widths         S × u32      6 cover_words  W × u64
+//!                 3 node_offsets   (S+1) × u64  7 index_offsets (node_count+1) × u64
+//!                                               8 index_entries N × {sample u32, pos u32}
 //! end-8   8     FNV-1a checksum over every preceding byte
 //! ```
 //!
-//! Version-1 files (row-major: each sample's metadata, nodes and covers
-//! interleaved) are still decoded transparently; [`encode`] always writes
-//! version 2.
+//! Version-2 files (columnar without the section table or the persisted
+//! index) and version-1 files (row-major) are still decoded transparently;
+//! [`encode`] always writes version 3, and [`upgrade`] rewrites any
+//! readable snapshot as version 3. See `docs/FORMATS.md` for the
+//! byte-level specification of all three versions, the alignment rules,
+//! and a worked hexdump.
 //!
 //! Decoding validates the magic, version, checksum and every structural
 //! invariant (sorted in-range nodes, in-range community ids, zero padding
-//! bits) before reconstructing the collection, so a truncated or corrupted
-//! file is rejected rather than producing a silently wrong index.
+//! bits, and for v3 that the persisted inverted index is *exactly* the one
+//! [`RicStore`] would rebuild) before reconstructing the collection, so a
+//! truncated or corrupted file is rejected rather than producing a
+//! silently wrong index. [`RicStoreView::open`] intentionally skips the
+//! checksum and the `O(file)` walk — that is what makes it near-zero-cost —
+//! and [`RicStoreView::verify`] performs them on demand; open views only
+//! over snapshot files you trust (ones this process or its deploy pipeline
+//! wrote).
 
+use crate::collection::SampleRef;
 use crate::{RicSamples, RicStore};
 use imc_community::{CommunityId, CommunitySet};
 use imc_graph::{Graph, NodeId};
@@ -55,12 +69,24 @@ use std::path::Path;
 /// Leading magic bytes of every snapshot file.
 pub const MAGIC: &[u8; 7] = b"IMCSNAP";
 /// Format version written by [`encode`].
-pub const FORMAT_VERSION: u8 = 2;
+pub const FORMAT_VERSION: u8 = 3;
 /// Oldest format version [`decode`] still reads.
 pub const MIN_FORMAT_VERSION: u8 = 1;
 
+/// Header length shared by the legacy versions 1 and 2.
 const HEADER_LEN: usize = 7 + 1 + 8 * 6;
+/// Version-3 header: the legacy header plus the index entry count.
+const HEADER_LEN_V3: usize = HEADER_LEN + 8;
+/// Number of column sections in a version-3 file.
+const SECTION_COUNT: usize = 9;
+/// First byte after the version-3 section table (= 208, 8-aligned).
+const SECTIONS_START: usize = HEADER_LEN_V3 + SECTION_COUNT * 16;
 const CHECKSUM_LEN: usize = 8;
+
+/// Rounds `n` up to the next multiple of 8 — the section alignment.
+const fn align8(n: usize) -> usize {
+    n.div_ceil(8) * 8
+}
 
 /// Errors raised while reading or writing snapshots.
 #[derive(Debug)]
@@ -205,12 +231,200 @@ fn limbs_for(width: u32) -> usize {
     (width as usize).div_ceil(64).max(1)
 }
 
-/// Encodes a collection (either storage backend) into the version-2
-/// columnar snapshot byte format.
+/// The one audited escape hatch from the crate-wide `deny(unsafe_code)`:
+/// reinterpreting 8-byte-aligned little-endian snapshot bytes as the typed
+/// columns they store, and a `u64` arena as raw bytes. Every cast checks
+/// alignment at runtime (`align_to` with an empty prefix/suffix) rather
+/// than assuming it, and is only instantiated at types whose every bit
+/// pattern is a valid value: `u32`, `u64`, `NodeId`
+/// (`repr(transparent)` over `u32`) and `SampleRef` (`repr(C)`, two
+/// consecutive `u32`s, no padding).
+#[allow(unsafe_code)]
+mod cast {
+    use crate::collection::SampleRef;
+    use imc_graph::NodeId;
+
+    /// Reinterprets `bytes` as a slice of `T`, or `None` when the pointer
+    /// is misaligned for `T` or the length is not a multiple of its size.
+    ///
+    /// Private on purpose: callers below instantiate it only at the four
+    /// plain-old-data types listed in the module doc.
+    fn typed<T>(bytes: &[u8]) -> Option<&[T]> {
+        if !bytes.len().is_multiple_of(size_of::<T>()) {
+            return None;
+        }
+        // SAFETY: `align_to` splits at alignment boundaries; demanding an
+        // empty prefix and suffix proves the whole slice is aligned and
+        // sized for `T`. The only `T`s used are plain-old-data types with
+        // no invalid bit patterns (see module doc), so reading them from
+        // arbitrary initialized bytes is sound.
+        let (prefix, mid, suffix) = unsafe { bytes.align_to::<T>() };
+        if prefix.is_empty() && suffix.is_empty() {
+            Some(mid)
+        } else {
+            None
+        }
+    }
+
+    pub(super) fn u32s(bytes: &[u8]) -> Option<&[u32]> {
+        typed(bytes)
+    }
+
+    pub(super) fn u64s(bytes: &[u8]) -> Option<&[u64]> {
+        typed(bytes)
+    }
+
+    pub(super) fn node_ids(bytes: &[u8]) -> Option<&[NodeId]> {
+        typed(bytes)
+    }
+
+    pub(super) fn sample_refs(bytes: &[u8]) -> Option<&[SampleRef]> {
+        typed(bytes)
+    }
+
+    /// Views a `u64` arena as bytes (for writing a buffer to disk).
+    pub(super) fn u64s_as_bytes(words: &[u64]) -> &[u8] {
+        // SAFETY: every byte of an initialized `u64` slice is initialized,
+        // `u8` has alignment 1, and the length cannot overflow `isize`
+        // (the source allocation already exists).
+        unsafe { std::slice::from_raw_parts(words.as_ptr().cast(), words.len() * 8) }
+    }
+
+    /// Mutable byte view of a `u64` arena (for copying a file into it).
+    pub(super) fn u64s_as_bytes_mut(words: &mut [u64]) -> &mut [u8] {
+        // SAFETY: as above; writing any bytes through the view leaves the
+        // `u64`s initialized, and the mutable borrow is exclusive.
+        unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr().cast(), words.len() * 8) }
+    }
+}
+
+fn put_u32(out: &mut [u8], at: usize, v: u32) {
+    out[at..at + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut [u8], at: usize, v: u64) {
+    out[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Encodes a collection (either storage backend) into the current
+/// version-3 sectioned snapshot format.
+///
+/// The inverted index is persisted (sections 7–8) in exactly the order
+/// [`RicStore`] rebuilds it — per node, `(sample, pos)` ascending — so
+/// decoding adopts it verbatim instead of re-deriving it, and
+/// [`RicStoreView`] can serve `touched_by` straight from the file bytes.
 pub fn encode<C: RicSamples>(collection: &C, fingerprint: u64, generation: u64) -> Vec<u8> {
+    let s = collection.len();
+    let node_count = collection.node_count();
+    let mut n_total = 0usize; // Σ_g |g| = node-section and index-entry count
+    let mut w_total = 0usize; // total cover limbs
+    for si in 0..s {
+        let n = collection.sample_nodes(si).len();
+        n_total += n;
+        w_total += n * limbs_for(collection.sample_width(si));
+    }
+    let lens: [usize; SECTION_COUNT] = [
+        s * 4,                // 0 communities
+        s * 4,                // 1 thresholds
+        s * 4,                // 2 widths
+        (s + 1) * 8,          // 3 node_offsets
+        n_total * 4,          // 4 nodes
+        (s + 1) * 8,          // 5 cover_offsets
+        w_total * 8,          // 6 cover_words
+        (node_count + 1) * 8, // 7 index_offsets
+        n_total * 8,          // 8 index_entries
+    ];
+    let mut offsets = [0usize; SECTION_COUNT];
+    let mut cursor = SECTIONS_START;
+    for (o, &len) in offsets.iter_mut().zip(&lens) {
+        *o = cursor;
+        cursor = align8(cursor + len);
+    }
+    let mut out = vec![0u8; cursor];
+    out[..MAGIC.len()].copy_from_slice(MAGIC);
+    out[MAGIC.len()] = FORMAT_VERSION;
+    let header = [
+        fingerprint,
+        node_count as u64,
+        collection.community_count() as u64,
+        collection.total_benefit().to_bits(),
+        generation,
+        s as u64,
+        n_total as u64,
+    ];
+    for (i, &v) in header.iter().enumerate() {
+        put_u64(&mut out, 8 + i * 8, v);
+    }
+    for i in 0..SECTION_COUNT {
+        put_u64(&mut out, HEADER_LEN_V3 + i * 16, offsets[i] as u64);
+        put_u64(&mut out, HEADER_LEN_V3 + i * 16 + 8, lens[i] as u64);
+    }
+    // Sections 0–2: per-sample metadata columns.
+    for si in 0..s {
+        put_u32(
+            &mut out,
+            offsets[0] + si * 4,
+            collection.sample_community(si).raw(),
+        );
+        put_u32(
+            &mut out,
+            offsets[1] + si * 4,
+            collection.sample_threshold(si),
+        );
+        put_u32(&mut out, offsets[2] + si * 4, collection.sample_width(si));
+    }
+    // Sections 3–6: the CSR node arena and cover limbs.
+    let mut node_off = 0u64;
+    let mut limb_off = 0u64;
+    let mut node_at = offsets[4];
+    let mut word_at = offsets[6];
+    for si in 0..s {
+        put_u64(&mut out, offsets[3] + si * 8, node_off);
+        put_u64(&mut out, offsets[5] + si * 8, limb_off);
+        let nodes = collection.sample_nodes(si);
+        for &v in nodes {
+            put_u32(&mut out, node_at, v.raw());
+            node_at += 4;
+        }
+        for pos in 0..nodes.len() {
+            for &w in collection.cover_words(si, pos) {
+                put_u64(&mut out, word_at, w);
+                word_at += 8;
+            }
+        }
+        node_off += nodes.len() as u64;
+        limb_off += (nodes.len() * limbs_for(collection.sample_width(si))) as u64;
+    }
+    put_u64(&mut out, offsets[3] + s * 8, node_off);
+    put_u64(&mut out, offsets[5] + s * 8, limb_off);
+    // Sections 7–8: the persisted inverted index.
+    let mut entry_off = 0u64;
+    let mut entry_at = offsets[8];
+    for v in 0..node_count {
+        put_u64(&mut out, offsets[7] + v * 8, entry_off);
+        let refs = collection.touched_by(NodeId::new(v as u32));
+        for r in refs {
+            put_u32(&mut out, entry_at, r.sample);
+            put_u32(&mut out, entry_at + 4, r.pos);
+            entry_at += 8;
+        }
+        entry_off += refs.len() as u64;
+    }
+    put_u64(&mut out, offsets[7] + node_count * 8, entry_off);
+    let checksum = fnv1a(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Encodes the legacy version-2 columnar byte format.
+///
+/// Kept public so the upgrade matrix stays testable (and so fixtures for
+/// older deployments can still be produced); [`encode`] always writes the
+/// current version 3.
+pub fn encode_v2<C: RicSamples>(collection: &C, fingerprint: u64, generation: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + 64 * collection.len() + CHECKSUM_LEN);
     out.extend_from_slice(MAGIC);
-    out.push(FORMAT_VERSION);
+    out.push(2u8);
     out.extend_from_slice(&fingerprint.to_le_bytes());
     out.extend_from_slice(&(collection.node_count() as u64).to_le_bytes());
     out.extend_from_slice(&(collection.community_count() as u64).to_le_bytes());
@@ -342,8 +556,12 @@ fn read_covers(
 }
 
 /// Decodes snapshot bytes, validating magic, version, checksum and every
-/// structural invariant. Accepts both the current columnar format and the
-/// legacy row-major version 1.
+/// structural invariant. Accepts the current sectioned version 3, the
+/// columnar version 2 and the legacy row-major version 1.
+///
+/// Version-3 input skips the inverted-index rebuild entirely: the
+/// persisted index is validated to be exactly what
+/// `RicStore::rebuild_index` would produce, then adopted verbatim.
 ///
 /// # Errors
 ///
@@ -360,6 +578,9 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotData, SnapshotError> {
     let version = bytes[MAGIC.len()];
     if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    if version == 3 {
+        return decode_v3(bytes);
     }
     if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
         return Err(SnapshotError::Truncated);
@@ -496,6 +717,540 @@ fn decode_body_v2(
         );
     }
     Ok(())
+}
+
+/// Decodes a version-3 file: open a view, verify it fully, then copy the
+/// columns into an owned [`RicStore`] — no index rebuild.
+fn decode_v3(bytes: &[u8]) -> Result<SnapshotData, SnapshotError> {
+    if (bytes.as_ptr() as usize).is_multiple_of(8) {
+        decode_v3_aligned(bytes)
+    } else {
+        // `std::fs::read` makes no alignment promise; copy into an
+        // 8-aligned arena so the typed casts apply.
+        let owned = SnapshotBytes::copy_from(bytes);
+        decode_v3_aligned(owned.as_bytes())
+    }
+}
+
+fn decode_v3_aligned(bytes: &[u8]) -> Result<SnapshotData, SnapshotError> {
+    let view = RicStoreView::open_verified(bytes)?;
+    Ok(SnapshotData {
+        fingerprint: view.fingerprint(),
+        generation: view.generation(),
+        collection: view.to_store(),
+    })
+}
+
+/// Zero-copy read-only view of a version-3 snapshot.
+///
+/// Every [`RicStore`] column — metadata, CSR node lists, cover limbs and
+/// the inverted index — is borrowed directly from the underlying byte
+/// buffer, so "loading" a snapshot is an `O(samples + nodes)` validation
+/// pass with no parsing, no allocation proportional to the file, and no
+/// index rebuild. The view implements [`RicSamples`], so estimators and
+/// MAXR solvers run on it exactly as on an owned store.
+///
+/// The buffer must be 8-byte aligned (a page-aligned memory map qualifies,
+/// as does [`SnapshotBytes`]) and the host little-endian; [`open`](Self::open)
+/// rejects both violations.
+///
+/// # Trust model
+///
+/// [`open`](Self::open) validates the header, section table and every CSR
+/// offset array — enough to guarantee that all slicing the view performs
+/// is in bounds — but deliberately skips the checksum and the `O(file)`
+/// content walk; that skip is what makes opening near-zero-cost. A file
+/// with corrupt *index entries* can therefore make an accessor panic
+/// (bounds-checked) or return wrong data, but never touch memory outside
+/// the buffer. Call [`open_verified`](Self::open_verified) (or
+/// [`verify`](Self::verify)) for untrusted bytes; plain `open` is for
+/// snapshots this process or its deploy pipeline wrote.
+///
+/// ```
+/// use imc_core::snapshot::{self, RicStoreView, SnapshotBytes};
+/// use imc_core::{CoverSet, RicSample, RicSamples, RicStore};
+/// use imc_community::CommunityId;
+/// use imc_graph::NodeId;
+///
+/// let mut cover = CoverSet::new(2);
+/// cover.set(0);
+/// let sample = RicSample {
+///     community: CommunityId::new(0),
+///     threshold: 1,
+///     community_size: 2,
+///     nodes: vec![NodeId::new(1)],
+///     covers: vec![cover],
+/// };
+/// let store = RicStore::from_samples(4, 1, 1.0, [&sample]).unwrap();
+///
+/// // In production the bytes would come from an mmap'd snapshot file;
+/// // `SnapshotBytes` provides the same 8-byte-aligned buffer in memory.
+/// let bytes = SnapshotBytes::copy_from(&snapshot::encode(&store, 0xFEED, 1));
+/// let view = RicStoreView::open(bytes.as_bytes()).unwrap();
+/// assert_eq!(view.fingerprint(), 0xFEED);
+/// assert_eq!(view.len(), store.len());
+/// let seeds = [NodeId::new(1)];
+/// assert_eq!(view.estimate(&seeds), store.estimate(&seeds));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RicStoreView<'a> {
+    raw: &'a [u8],
+    fingerprint: u64,
+    generation: u64,
+    node_count: usize,
+    community_count: usize,
+    total_benefit: f64,
+    communities: &'a [u32],
+    thresholds: &'a [u32],
+    widths: &'a [u32],
+    node_offsets: &'a [u64],
+    nodes: &'a [NodeId],
+    cover_offsets: &'a [u64],
+    cover_words: &'a [u64],
+    index_offsets: &'a [u64],
+    index_entries: &'a [SampleRef],
+}
+
+impl<'a> RicStoreView<'a> {
+    /// Opens a view over version-3 snapshot bytes with the cheap
+    /// `O(samples + nodes)` structural validation described in the type
+    /// docs. The checksum is *not* verified — see the trust model above.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::BadMagic`] / [`UnsupportedVersion`](SnapshotError::UnsupportedVersion)
+    /// for non-v3 input, [`Truncated`](SnapshotError::Truncated) for short
+    /// buffers, and [`Corrupt`](SnapshotError::Corrupt) for misalignment or
+    /// any offset-table inconsistency.
+    pub fn open(bytes: &'a [u8]) -> Result<Self, SnapshotError> {
+        if !cfg!(target_endian = "little") {
+            return Err(SnapshotError::Corrupt(
+                "zero-copy snapshot views require a little-endian host",
+            ));
+        }
+        if bytes.len() < MAGIC.len() + 1 {
+            return Err(SnapshotError::Truncated);
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        if bytes[MAGIC.len()] != 3 {
+            return Err(SnapshotError::UnsupportedVersion(bytes[MAGIC.len()]));
+        }
+        if !(bytes.as_ptr() as usize).is_multiple_of(8) {
+            return Err(SnapshotError::Corrupt(
+                "snapshot buffer is not 8-byte aligned (use SnapshotBytes or a page-aligned map)",
+            ));
+        }
+        if !bytes.len().is_multiple_of(8) {
+            return Err(SnapshotError::Corrupt(
+                "snapshot length is not a multiple of 8",
+            ));
+        }
+        if bytes.len() < SECTIONS_START + CHECKSUM_LEN {
+            return Err(SnapshotError::Truncated);
+        }
+        let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+        let fingerprint = u64_at(8);
+        let node_count64 = u64_at(16);
+        let community_count = u64_at(24);
+        let total_benefit = f64::from_bits(u64_at(32));
+        let generation = u64_at(40);
+        let sample_count = u64_at(48);
+        let entry_count = u64_at(56);
+        if node_count64 > u64::from(u32::MAX) {
+            return Err(SnapshotError::Corrupt("node count exceeds u32 range"));
+        }
+        if !total_benefit.is_finite() || total_benefit < 0.0 {
+            return Err(SnapshotError::Corrupt(
+                "total benefit is not a finite non-negative number",
+            ));
+        }
+        let body_len = (bytes.len() - CHECKSUM_LEN) as u64;
+        // Coarse count bounds: every later `usize` length computation fits
+        // without overflow once each count is at most the body length.
+        if sample_count.saturating_mul(4) > body_len
+            || entry_count.saturating_mul(4) > body_len
+            || node_count64.saturating_mul(8) > body_len
+        {
+            return Err(SnapshotError::Corrupt(
+                "header counts imply more data than the file holds",
+            ));
+        }
+        let s = sample_count as usize;
+        let n = entry_count as usize;
+        let node_count = node_count64 as usize;
+        let expected_lens: [Option<usize>; SECTION_COUNT] = [
+            Some(s * 4),                // communities
+            Some(s * 4),                // thresholds
+            Some(s * 4),                // widths
+            Some((s + 1) * 8),          // node_offsets
+            Some(n * 4),                // nodes
+            Some((s + 1) * 8),          // cover_offsets
+            None,                       // cover_words: any multiple of 8
+            Some((node_count + 1) * 8), // index_offsets
+            Some(n * 8),                // index_entries
+        ];
+        let mut offs = [0usize; SECTION_COUNT];
+        let mut lens = [0usize; SECTION_COUNT];
+        let mut at = SECTIONS_START;
+        for i in 0..SECTION_COUNT {
+            let off = u64_at(HEADER_LEN_V3 + i * 16);
+            let len = u64_at(HEADER_LEN_V3 + i * 16 + 8);
+            if off > body_len || len > body_len - off {
+                return Err(SnapshotError::Truncated);
+            }
+            // Sections must sit exactly where the canonical writer puts
+            // them: back to back from SECTIONS_START, each aligned up to 8.
+            if off as usize != at {
+                return Err(SnapshotError::Corrupt(
+                    "section table offsets are not canonical",
+                ));
+            }
+            match expected_lens[i] {
+                Some(want) if len as usize != want => {
+                    return Err(SnapshotError::Corrupt(
+                        "section length disagrees with header counts",
+                    ));
+                }
+                None if len % 8 != 0 => {
+                    return Err(SnapshotError::Corrupt(
+                        "cover-words section length is not a multiple of 8",
+                    ));
+                }
+                _ => {}
+            }
+            offs[i] = off as usize;
+            lens[i] = len as usize;
+            at = align8(at + len as usize);
+        }
+        if at as u64 != body_len {
+            return Err(SnapshotError::Corrupt("trailing bytes after last section"));
+        }
+        let sec = |i: usize| &bytes[offs[i]..offs[i] + lens[i]];
+        const MISALIGNED: SnapshotError =
+            SnapshotError::Corrupt("section not aligned for its element type");
+        let view = RicStoreView {
+            raw: bytes,
+            fingerprint,
+            generation,
+            node_count,
+            community_count: community_count as usize,
+            total_benefit,
+            communities: cast::u32s(sec(0)).ok_or(MISALIGNED)?,
+            thresholds: cast::u32s(sec(1)).ok_or(MISALIGNED)?,
+            widths: cast::u32s(sec(2)).ok_or(MISALIGNED)?,
+            node_offsets: cast::u64s(sec(3)).ok_or(MISALIGNED)?,
+            nodes: cast::node_ids(sec(4)).ok_or(MISALIGNED)?,
+            cover_offsets: cast::u64s(sec(5)).ok_or(MISALIGNED)?,
+            cover_words: cast::u64s(sec(6)).ok_or(MISALIGNED)?,
+            index_offsets: cast::u64s(sec(7)).ok_or(MISALIGNED)?,
+            index_entries: cast::sample_refs(sec(8)).ok_or(MISALIGNED)?,
+        };
+        // CSR offset validation — after this every slice the accessors
+        // take is in bounds: node/cover offsets are monotone and span
+        // their sections, and cover offsets agree with each sample's node
+        // count × limb width.
+        if view.node_offsets.first() != Some(&0) || view.node_offsets.last() != Some(&entry_count) {
+            return Err(SnapshotError::Corrupt(
+                "node offsets do not span the node section",
+            ));
+        }
+        let w_total = (lens[6] / 8) as u64;
+        if view.cover_offsets.first() != Some(&0) || view.cover_offsets.last() != Some(&w_total) {
+            return Err(SnapshotError::Corrupt(
+                "cover offsets do not span the cover-words section",
+            ));
+        }
+        for si in 0..s {
+            let n_si = view.node_offsets[si + 1]
+                .checked_sub(view.node_offsets[si])
+                .ok_or(SnapshotError::Corrupt("node offsets are not monotone"))?;
+            let limbs = limbs_for(view.widths[si]) as u64;
+            if view.cover_offsets[si + 1]
+                != view.cover_offsets[si].saturating_add(n_si.saturating_mul(limbs))
+            {
+                return Err(SnapshotError::Corrupt(
+                    "cover offsets disagree with node counts and widths",
+                ));
+            }
+            check_meta(view.communities[si], view.thresholds[si], community_count)?;
+        }
+        if view.index_offsets.first() != Some(&0) || view.index_offsets.last() != Some(&entry_count)
+        {
+            return Err(SnapshotError::Corrupt(
+                "index offsets do not span the entry section",
+            ));
+        }
+        let mut prev = 0u64;
+        for &o in view.index_offsets {
+            if o < prev {
+                return Err(SnapshotError::Corrupt("index offsets are not monotone"));
+            }
+            prev = o;
+        }
+        Ok(view)
+    }
+
+    /// Opens a view and immediately runs the full [`verify`](Self::verify)
+    /// pass (checksum + complete structural walk) — for untrusted bytes.
+    pub fn open_verified(bytes: &'a [u8]) -> Result<Self, SnapshotError> {
+        let view = Self::open(bytes)?;
+        view.verify()?;
+        Ok(view)
+    }
+
+    /// Verifies everything [`open`](Self::open) skipped: the trailing
+    /// checksum, per-sample node ordering and range, cover padding bits,
+    /// and that the persisted inverted index is *exactly* the one
+    /// `RicStore::rebuild_index` would produce.
+    ///
+    /// The index proof is by bijection: every persisted entry under node
+    /// `v` is checked to point back at `v` (so each per-node list is a
+    /// subset of the true one), per-node lists are strictly ascending (so
+    /// entries are distinct), and the offsets already force the total
+    /// entry count to equal the node-arena length — subsets of equal total
+    /// size must be equal.
+    pub fn verify(&self) -> Result<(), SnapshotError> {
+        let (body, tail) = self.raw.split_at(self.raw.len() - CHECKSUM_LEN);
+        let declared = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+        if fnv1a(body) != declared {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        for si in 0..self.communities.len() {
+            let nodes = self.sample_nodes(si);
+            let mut prev: Option<u32> = None;
+            for v in nodes {
+                let v = v.raw();
+                if v as usize >= self.node_count {
+                    return Err(SnapshotError::Corrupt("sample node id out of range"));
+                }
+                if prev.is_some_and(|p| p >= v) {
+                    return Err(SnapshotError::Corrupt(
+                        "sample nodes not strictly ascending",
+                    ));
+                }
+                prev = Some(v);
+            }
+            let width = self.widths[si];
+            let limbs = limbs_for(width);
+            let used_in_top = width as usize - (limbs - 1) * 64;
+            let top_mask = if used_in_top == 64 {
+                u64::MAX
+            } else {
+                (1u64 << used_in_top) - 1
+            };
+            for pos in 0..nodes.len() {
+                let words = self.cover_words(si, pos);
+                if words[limbs - 1] & !top_mask != 0 {
+                    return Err(SnapshotError::Corrupt(
+                        "cover set has bits beyond community size",
+                    ));
+                }
+            }
+        }
+        let s = self.communities.len();
+        for v in 0..self.node_count {
+            let lo = self.index_offsets[v] as usize;
+            let hi = self.index_offsets[v + 1] as usize;
+            let mut prev: Option<(u32, u32)> = None;
+            for r in &self.index_entries[lo..hi] {
+                let si = r.sample as usize;
+                if si >= s {
+                    return Err(SnapshotError::Corrupt(
+                        "index entry references an out-of-range sample",
+                    ));
+                }
+                let start = self.node_offsets[si] as usize;
+                let n_si = self.node_offsets[si + 1] as usize - start;
+                if r.pos as usize >= n_si {
+                    return Err(SnapshotError::Corrupt("index entry position out of range"));
+                }
+                if self.nodes[start + r.pos as usize].raw() != v as u32 {
+                    return Err(SnapshotError::Corrupt(
+                        "index entry does not point back at its node",
+                    ));
+                }
+                if prev.is_some_and(|p| p >= (r.sample, r.pos)) {
+                    return Err(SnapshotError::Corrupt(
+                        "index entries not strictly ascending",
+                    ));
+                }
+                prev = Some((r.sample, r.pos));
+            }
+        }
+        Ok(())
+    }
+
+    /// Fingerprint of the instance the samples were drawn from.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Generation counter the publisher stamped.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The raw snapshot bytes this view borrows from.
+    pub fn raw_bytes(&self) -> &'a [u8] {
+        self.raw
+    }
+
+    /// Materializes an owned [`RicStore`] by copying the columns — no
+    /// index rebuild, since the persisted index is adopted verbatim. Run
+    /// [`verify`](Self::verify) first when the bytes are untrusted.
+    pub fn to_store(&self) -> RicStore {
+        RicStore::from_raw_columns(
+            self.node_count,
+            self.community_count,
+            self.total_benefit,
+            self.communities
+                .iter()
+                .map(|&c| CommunityId::new(c))
+                .collect(),
+            self.thresholds.to_vec(),
+            self.widths.to_vec(),
+            self.node_offsets.iter().map(|&o| o as usize).collect(),
+            self.nodes.to_vec(),
+            self.cover_offsets.iter().map(|&o| o as usize).collect(),
+            self.cover_words.to_vec(),
+            self.index_offsets.iter().map(|&o| o as usize).collect(),
+            self.index_entries.to_vec(),
+        )
+    }
+}
+
+impl RicSamples for RicStoreView<'_> {
+    fn len(&self) -> usize {
+        self.communities.len()
+    }
+
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    fn community_count(&self) -> usize {
+        self.community_count
+    }
+
+    fn total_benefit(&self) -> f64 {
+        self.total_benefit
+    }
+
+    fn sample_community(&self, si: usize) -> CommunityId {
+        CommunityId::new(self.communities[si])
+    }
+
+    fn sample_threshold(&self, si: usize) -> u32 {
+        self.thresholds[si]
+    }
+
+    fn sample_width(&self, si: usize) -> u32 {
+        self.widths[si]
+    }
+
+    fn sample_nodes(&self, si: usize) -> &[NodeId] {
+        &self.nodes[self.node_offsets[si] as usize..self.node_offsets[si + 1] as usize]
+    }
+
+    fn cover_words(&self, si: usize, pos: usize) -> &[u64] {
+        let limbs = limbs_for(self.widths[si]);
+        let start = self.cover_offsets[si] as usize + pos * limbs;
+        &self.cover_words[start..start + limbs]
+    }
+
+    fn touched_by(&self, v: NodeId) -> &[SampleRef] {
+        &self.index_entries
+            [self.index_offsets[v.index()] as usize..self.index_offsets[v.index() + 1] as usize]
+    }
+}
+
+/// Owned snapshot bytes in an 8-byte-aligned arena.
+///
+/// `Vec<u8>` (what [`std::fs::read`] returns) makes no alignment promise,
+/// and [`RicStoreView`] needs its buffer 8-byte aligned to reinterpret the
+/// `u64` sections in place. `SnapshotBytes` stores the file in a `u64`
+/// arena, guaranteeing alignment without platform mmap code.
+#[derive(Debug, Clone)]
+pub struct SnapshotBytes {
+    words: Box<[u64]>,
+    len: usize,
+}
+
+impl SnapshotBytes {
+    /// Copies `bytes` into a fresh 8-aligned arena.
+    pub fn copy_from(bytes: &[u8]) -> Self {
+        let mut words = vec![0u64; bytes.len().div_ceil(8)].into_boxed_slice();
+        cast::u64s_as_bytes_mut(&mut words)[..bytes.len()].copy_from_slice(bytes);
+        SnapshotBytes {
+            words,
+            len: bytes.len(),
+        }
+    }
+
+    /// Reads a file into an aligned arena.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on filesystem failure.
+    pub fn read_from(path: &Path) -> Result<Self, SnapshotError> {
+        Ok(Self::copy_from(&std::fs::read(path)?))
+    }
+
+    /// The stored bytes (8-byte aligned, original length).
+    pub fn as_bytes(&self) -> &[u8] {
+        &cast::u64s_as_bytes(&self.words)[..self.len]
+    }
+
+    /// Opens a [`RicStoreView`] over the stored bytes.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`RicStoreView::open`] can raise.
+    pub fn view(&self) -> Result<RicStoreView<'_>, SnapshotError> {
+        RicStoreView::open(self.as_bytes())
+    }
+}
+
+/// Rewrites any readable snapshot as the current version 3, preserving the
+/// recorded fingerprint and generation. Upgrading an already-v3 snapshot
+/// is a validated fixpoint: the output bytes equal the input bytes.
+///
+/// ```
+/// use imc_core::snapshot::{self, FORMAT_VERSION};
+/// use imc_core::{CoverSet, RicSample, RicStore};
+/// use imc_community::CommunityId;
+/// use imc_graph::NodeId;
+///
+/// let mut cover = CoverSet::new(2);
+/// cover.set(1);
+/// let sample = RicSample {
+///     community: CommunityId::new(0),
+///     threshold: 1,
+///     community_size: 2,
+///     nodes: vec![NodeId::new(0)],
+///     covers: vec![cover],
+/// };
+/// let store = RicStore::from_samples(2, 1, 1.0, [&sample]).unwrap();
+///
+/// let old = snapshot::encode_v2(&store, 42, 5);
+/// assert_eq!(old[7], 2);
+/// let new = snapshot::upgrade(&old).unwrap();
+/// assert_eq!(new[7], FORMAT_VERSION);
+/// let data = snapshot::decode(&new).unwrap();
+/// assert_eq!((data.fingerprint, data.generation), (42, 5));
+/// assert_eq!(data.collection, store);
+/// // Upgrading is idempotent: v3 input re-encodes to identical bytes.
+/// assert_eq!(snapshot::upgrade(&new).unwrap(), new);
+/// ```
+///
+/// # Errors
+///
+/// Everything [`decode`] can raise.
+pub fn upgrade(bytes: &[u8]) -> Result<Vec<u8>, SnapshotError> {
+    let data = decode(bytes)?;
+    Ok(encode(&data.collection, data.fingerprint, data.generation))
 }
 
 /// Writes a snapshot to `path` (atomically where the filesystem allows:
@@ -769,21 +1524,30 @@ mod tests {
         assert_ne!(fp, instance_fingerprint(&g, &cs2));
     }
 
+    /// Rewrites the trailing checksum so structural validators (not the
+    /// checksum) must catch a deliberate corruption.
+    fn restamp(mut b: Vec<u8>) -> Vec<u8> {
+        let n = b.len();
+        let sum = fnv1a(&b[..n - 8]);
+        b[n - 8..].copy_from_slice(&sum.to_le_bytes());
+        b
+    }
+
+    /// Reads section `i`'s (offset, byte_len) from a v3 file's table.
+    fn v3_section(bytes: &[u8], i: usize) -> (usize, usize) {
+        let at = HEADER_LEN_V3 + i * 16;
+        let off = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap());
+        (off as usize, len as usize)
+    }
+
     #[test]
     fn corrupt_structural_fields_rejected_with_fixed_checksum() {
-        // Rewrites a field, then re-stamps the checksum, so the structural
-        // validator (not the checksum) must catch it. The first sample's
-        // community/threshold sit at the same offsets in both format
-        // versions (v2's metadata block starts where v1's first sample
-        // did).
+        // Legacy layouts: the first sample's community/threshold sit at the
+        // same offsets in v1 and v2 (v2's metadata block starts where v1's
+        // first sample did).
         let (g, cs, col) = tiny_collection();
-        let restamp = |mut b: Vec<u8>| {
-            let n = b.len();
-            let sum = fnv1a(&b[..n - 8]);
-            b[n - 8..].copy_from_slice(&sum.to_le_bytes());
-            b
-        };
-        let bytes = encode(&col, instance_fingerprint(&g, &cs), 0);
+        let bytes = encode_v2(&col, instance_fingerprint(&g, &cs), 0);
         // Out-of-range community id in the first sample.
         let mut bad = bytes.clone();
         bad[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&99u32.to_le_bytes());
@@ -805,6 +1569,179 @@ mod tests {
             decode(&restamp(bad)),
             Err(SnapshotError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn corrupt_v3_fields_rejected_with_fixed_checksum() {
+        let (g, cs, col) = tiny_collection();
+        let bytes = encode(&col, instance_fingerprint(&g, &cs), 0);
+        // Out-of-range community id in the first sample (section 0).
+        let (communities_off, _) = v3_section(&bytes, 0);
+        let mut bad = bytes.clone();
+        bad[communities_off..communities_off + 4].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            decode(&restamp(bad)),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        // Zero threshold (section 1).
+        let (thresholds_off, _) = v3_section(&bytes, 1);
+        let mut bad = bytes.clone();
+        bad[thresholds_off..thresholds_off + 4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode(&restamp(bad)),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        // Absurd sample count breaks the section-length cross-check.
+        let mut bad = bytes.clone();
+        bad[48..56].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode(&restamp(bad)),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        // Non-canonical section offset.
+        let mut bad = bytes.clone();
+        let (off0, _) = v3_section(&bytes, 0);
+        bad[HEADER_LEN_V3..HEADER_LEN_V3 + 8].copy_from_slice(&((off0 + 8) as u64).to_le_bytes());
+        assert!(matches!(
+            decode(&restamp(bad)),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_v3_index_rejected_by_bijection_check() {
+        let (g, cs, col) = tiny_collection();
+        let bytes = encode(&col, instance_fingerprint(&g, &cs), 0);
+        let (entries_off, entries_len) = v3_section(&bytes, 8);
+        assert!(entries_len >= 16, "fixture should have several entries");
+        // Swap the first entry's sample for the second entry's: the entry
+        // no longer points back at its node (or breaks ordering) — either
+        // way the bijection walk must reject it even with a valid checksum.
+        let mut bad = bytes.clone();
+        bad.copy_within(entries_off + 8..entries_off + 16, entries_off);
+        let bad = restamp(bad);
+        assert!(matches!(decode(&bad), Err(SnapshotError::Corrupt(_))));
+        // The cheap open() accepts it (offsets are untouched)...
+        let arena = SnapshotBytes::copy_from(&bad);
+        assert!(arena.view().is_ok());
+        // ...and verify() is what catches it.
+        assert!(matches!(
+            arena.view().unwrap().verify(),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn view_matches_owned_store_everywhere() {
+        let (g, cs, col) = tiny_collection();
+        let fp = instance_fingerprint(&g, &cs);
+        let arena = SnapshotBytes::copy_from(&encode(&col, fp, 2));
+        let view = RicStoreView::open_verified(arena.as_bytes()).unwrap();
+        assert_eq!(view.fingerprint(), fp);
+        assert_eq!(view.generation(), 2);
+        assert_eq!(view.len(), col.len());
+        assert_eq!(view.node_count(), col.node_count());
+        assert_eq!(view.community_count(), col.community_count());
+        assert_eq!(
+            view.total_benefit().to_bits(),
+            col.total_benefit().to_bits()
+        );
+        for si in 0..col.len() {
+            assert_eq!(view.sample_community(si), col.sample_community(si));
+            assert_eq!(view.sample_threshold(si), col.sample_threshold(si));
+            assert_eq!(view.sample_width(si), col.sample_width(si));
+            assert_eq!(view.sample_nodes(si), col.sample_nodes(si));
+            for pos in 0..col.sample_nodes(si).len() {
+                assert_eq!(view.cover_words(si, pos), col.cover_words(si, pos));
+            }
+        }
+        for v in 0..6 {
+            assert_eq!(
+                view.touched_by(NodeId::new(v)),
+                col.touched_by(NodeId::new(v))
+            );
+        }
+        // Estimators are bitwise identical through the trait.
+        for seeds in [
+            vec![],
+            vec![NodeId::new(1)],
+            vec![NodeId::new(0), NodeId::new(3)],
+        ] {
+            assert_eq!(
+                view.estimate(&seeds).to_bits(),
+                col.estimate(&seeds).to_bits()
+            );
+            assert_eq!(
+                view.nu_estimate(&seeds).to_bits(),
+                col.nu_estimate(&seeds).to_bits()
+            );
+        }
+        // Materializing copies the persisted index verbatim.
+        assert_eq!(view.to_store(), col);
+    }
+
+    #[test]
+    fn view_rejects_misaligned_buffers() {
+        let (g, cs, col) = tiny_collection();
+        let bytes = encode(&col, instance_fingerprint(&g, &cs), 0);
+        // Prepend one byte so the snapshot starts at an odd address.
+        let mut shifted = vec![0u8; 1];
+        shifted.extend_from_slice(&bytes);
+        assert!(matches!(
+            RicStoreView::open(&shifted[1..]),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        // The owned decode path copies into an aligned arena and succeeds.
+        assert_eq!(decode(&shifted[1..]).unwrap().collection, col);
+    }
+
+    #[test]
+    fn v3_encode_is_a_decode_fixpoint() {
+        // decode(encode(x)) re-encodes to the identical bytes: the basis of
+        // the fixture bitwise-stability guarantee and of `upgrade`'s
+        // idempotence.
+        let (g, cs, col) = tiny_collection();
+        let bytes = encode(&col, instance_fingerprint(&g, &cs), 4);
+        let data = decode(&bytes).unwrap();
+        assert_eq!(
+            encode(&data.collection, data.fingerprint, data.generation),
+            bytes
+        );
+    }
+
+    #[test]
+    fn upgrade_lifts_v1_and_v2_to_identical_v3_bytes() {
+        let (g, cs, col) = tiny_collection();
+        let fp = instance_fingerprint(&g, &cs);
+        let v1 = encode_v1(&col, fp, 6);
+        let v2 = encode_v2(&col, fp, 6);
+        let v3 = encode(&col, fp, 6);
+        assert_eq!(upgrade(&v1).unwrap(), v3);
+        assert_eq!(upgrade(&v2).unwrap(), v3);
+        assert_eq!(upgrade(&v3).unwrap(), v3);
+    }
+
+    #[test]
+    fn v2_columnar_bytes_decode_identically() {
+        let (g, cs, col) = tiny_collection();
+        let fp = instance_fingerprint(&g, &cs);
+        let old = decode(&encode_v2(&col, fp, 5)).unwrap();
+        assert_eq!(old.fingerprint, fp);
+        assert_eq!(old.generation, 5);
+        assert_eq!(old.collection, col);
+    }
+
+    #[test]
+    fn empty_collection_round_trips_through_v3() {
+        let col = RicStore::new(3, 2, 5.0);
+        let bytes = encode(&col, 1, 0);
+        let data = decode(&bytes).unwrap();
+        assert_eq!(data.collection, col);
+        let arena = SnapshotBytes::copy_from(&bytes);
+        let view = arena.view().unwrap();
+        assert_eq!(view.len(), 0);
+        assert!(view.is_empty());
+        assert_eq!(view.estimate(&[NodeId::new(0)]), 0.0);
     }
 
     #[test]

@@ -407,6 +407,47 @@ impl RicStore {
         self.cover_offsets.push(self.cover_words.len());
     }
 
+    /// Assembles a store directly from its raw columns — the version-3
+    /// snapshot decode path, which persists the inverted index instead of
+    /// rebuilding it. The caller (the snapshot codec) is responsible for
+    /// having validated every structural invariant, including that
+    /// `index_offsets`/`index_entries` are exactly what
+    /// [`rebuild_index`](Self::rebuild_index) would produce.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw_columns(
+        node_count: usize,
+        community_count: usize,
+        total_benefit: f64,
+        communities: Vec<CommunityId>,
+        thresholds: Vec<u32>,
+        widths: Vec<u32>,
+        node_offsets: Vec<usize>,
+        nodes: Vec<NodeId>,
+        cover_offsets: Vec<usize>,
+        cover_words: Vec<u64>,
+        index_offsets: Vec<usize>,
+        index_entries: Vec<SampleRef>,
+    ) -> Self {
+        debug_assert_eq!(node_offsets.len(), communities.len() + 1);
+        debug_assert_eq!(cover_offsets.len(), communities.len() + 1);
+        debug_assert_eq!(index_offsets.len(), node_count + 1);
+        debug_assert_eq!(index_entries.len(), nodes.len());
+        RicStore {
+            node_count,
+            community_count,
+            total_benefit,
+            communities,
+            thresholds,
+            widths,
+            node_offsets,
+            nodes,
+            cover_offsets,
+            cover_words,
+            index_offsets,
+            index_entries,
+        }
+    }
+
     /// Recomputes the CSR inverted index from the node arena with one
     /// counting sort — `O(node_count + Σ_g |g|)`. Entries per node come
     /// out ordered by `(sample, pos)` ascending, matching the append

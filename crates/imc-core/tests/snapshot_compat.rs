@@ -1,21 +1,32 @@
-//! Backward-compatibility check against a committed version-1 snapshot.
+//! Backward-compatibility checks against committed legacy snapshots.
 //!
 //! `fixtures/snapshot_v1.snap` was written by the row-major version-1
-//! encoder before the columnar format landed. It must keep decoding — and
-//! decode to exactly the collection a fresh deterministic regeneration
-//! produces — for as long as `MIN_FORMAT_VERSION` is 1.
+//! encoder before the columnar format landed; `fixtures/snapshot_v2.snap`
+//! by the columnar version-2 encoder before the sectioned version 3. Both
+//! must keep decoding — and decode to exactly the collection a fresh
+//! deterministic regeneration produces — for as long as
+//! `MIN_FORMAT_VERSION` is 1. The v2 fixture additionally proves the
+//! upgrade path: lifting it to version 3 must be bitwise-stable (the
+//! upgraded bytes are a re-encode fixpoint).
 
 use imc_community::CommunitySet;
-use imc_core::snapshot::{decode, instance_fingerprint, load_for_instance};
+use imc_core::snapshot::{decode, encode, instance_fingerprint, load_for_instance, upgrade};
 use imc_core::{ImcInstance, RicStore};
 use imc_graph::{GraphBuilder, NodeId};
 use std::path::PathBuf;
 
-fn fixture_path() -> PathBuf {
+fn fixture_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("fixtures")
-        .join("snapshot_v1.snap")
+}
+
+fn fixture_path() -> PathBuf {
+    fixture_dir().join("snapshot_v1.snap")
+}
+
+fn v2_fixture_path() -> PathBuf {
+    fixture_dir().join("snapshot_v2.snap")
 }
 
 /// The instance the fixture was sampled from (mirrors the service crate's
@@ -56,6 +67,65 @@ fn v1_fixture_still_loads() {
     let mut fresh = RicStore::for_sampler(&sampler);
     fresh.extend_parallel_with_workers(&sampler, 200, 7, 1);
     assert_eq!(data.collection, fresh);
+}
+
+/// The deterministic collection both fixtures were sampled from.
+fn fixture_store() -> (ImcInstance, RicStore) {
+    let instance = fixture_instance();
+    let sampler = instance.sampler();
+    let mut store = RicStore::for_sampler(&sampler);
+    store.extend_parallel_with_workers(&sampler, 200, 7, 1);
+    (instance, store)
+}
+
+/// One-off generator for `fixtures/snapshot_v2.snap` — run with
+/// `cargo test -p imc-core --test snapshot_compat -- --ignored` if the
+/// fixture ever needs regenerating (it should not: that would defeat the
+/// purpose of a compatibility fixture).
+#[test]
+#[ignore = "writes the committed v2 fixture"]
+fn regenerate_v2_fixture() {
+    let (instance, store) = fixture_store();
+    let fp = instance_fingerprint(instance.graph(), instance.communities());
+    let bytes = imc_core::snapshot::encode_v2(&store, fp, 3);
+    std::fs::write(v2_fixture_path(), bytes).unwrap();
+}
+
+#[test]
+fn v2_fixture_still_loads() {
+    let bytes = std::fs::read(v2_fixture_path()).expect("committed fixture present");
+    assert_eq!(bytes[7], 2, "fixture must remain a version-2 file");
+    let data = decode(&bytes).expect("v2 fixture decodes");
+    assert_eq!(data.generation, 3);
+    assert_eq!(data.collection.len(), 200);
+    let (instance, fresh) = fixture_store();
+    assert_eq!(
+        data.fingerprint,
+        instance_fingerprint(instance.graph(), instance.communities())
+    );
+    assert_eq!(data.collection, fresh);
+}
+
+#[test]
+fn v2_fixture_upgrades_to_v3_bitwise_stably() {
+    let old = std::fs::read(v2_fixture_path()).expect("committed fixture present");
+    let lifted = upgrade(&old).expect("v2 fixture upgrades");
+    assert_eq!(lifted[7], 3, "upgrade must emit the current version");
+
+    // The upgraded file decodes to the identical collection and metadata.
+    let before = decode(&old).unwrap();
+    let after = decode(&lifted).unwrap();
+    assert_eq!(before.fingerprint, after.fingerprint);
+    assert_eq!(before.generation, after.generation);
+    assert_eq!(before.collection, after.collection);
+
+    // Bitwise stability: re-saving the upgraded snapshot changes nothing,
+    // so repeated load/save cycles cannot drift.
+    assert_eq!(
+        encode(&after.collection, after.fingerprint, after.generation),
+        lifted
+    );
+    assert_eq!(upgrade(&lifted).unwrap(), lifted);
 }
 
 #[test]

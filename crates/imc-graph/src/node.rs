@@ -12,7 +12,11 @@ use std::fmt;
 /// assert_eq!(v.index(), 7);
 /// assert_eq!(u32::from(v), 7);
 /// ```
+// `repr(transparent)` guarantees `NodeId` is layout-identical to `u32`,
+// so a `&[u32]` column loaded from a snapshot can be viewed as `&[NodeId]`
+// without copying (imc-core's zero-copy snapshot view relies on this).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
 pub struct NodeId(u32);
 
 impl NodeId {

@@ -95,11 +95,20 @@ impl ServiceState {
 
     /// Loads a snapshot file and wraps it.
     ///
+    /// The cold-start wall time (file read + decode/validate + fingerprint
+    /// check) is recorded into the `imc_snapshot_load_seconds` histogram.
+    /// With version-3 snapshots the decode adopts the persisted inverted
+    /// index instead of rebuilding it; a daemon that trusts its snapshot
+    /// source can go further and borrow the columns zero-copy via
+    /// [`imc_core::snapshot::RicStoreView`] (see `docs/FORMATS.md`).
+    ///
     /// # Errors
     ///
     /// Any [`SnapshotError`], including fingerprint mismatch.
     pub fn from_snapshot_path(instance: ImcInstance, path: &Path) -> Result<Self, SnapshotError> {
+        let started = std::time::Instant::now();
         let data = snapshot::load_for_instance(path, &instance)?;
+        metrics::record_snapshot_load(started.elapsed());
         ServiceState::from_snapshot(instance, data)
     }
 
@@ -239,9 +248,12 @@ mod tests {
         state.save_snapshot(&path).unwrap();
 
         let instance = state.instance().clone();
+        let loads_before = metrics::snapshot_loads_recorded();
         let restored = ServiceState::from_snapshot_path(instance, &path).unwrap();
         assert_eq!(restored.generation(), 0);
         assert_eq!(*restored.collection(), *state.collection());
+        // The cold-start load is observed in imc_snapshot_load_seconds.
+        assert!(metrics::snapshot_loads_recorded() > loads_before);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -198,6 +198,30 @@ fn deadline_misses_total() -> &'static Arc<Counter> {
     })
 }
 
+fn snapshot_load_seconds() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        imc_obs::global().histogram(
+            "imc_snapshot_load_seconds",
+            "Wall-clock time to load and validate a snapshot file at cold start.",
+            DEFAULT_DURATION_BUCKETS,
+        )
+    })
+}
+
+/// Records one snapshot cold-start load (read + decode + fingerprint
+/// check) into `imc_snapshot_load_seconds`. Called by
+/// `ServiceState::from_snapshot_path`; exposed so the cluster shard's own
+/// load path can report into the same family.
+pub fn record_snapshot_load(wall: Duration) {
+    snapshot_load_seconds().observe_duration(wall);
+}
+
+/// Cumulative count of recorded snapshot loads (test/diagnostic hook).
+pub fn snapshot_loads_recorded() -> u64 {
+    snapshot_load_seconds().count()
+}
+
 /// Forces registration of every daemon-side metric family (including the
 /// zero-valued children for each op label) so a fresh daemon's first
 /// scrape already lists them. Idempotent.
@@ -209,6 +233,7 @@ pub fn register() {
     let _ = obs_handles(OpKind::Error);
     let _ = samples_scanned_total();
     let _ = deadline_misses_total();
+    let _ = snapshot_load_seconds();
 }
 
 /// Plain-data view of [`Metrics`] at one instant.
