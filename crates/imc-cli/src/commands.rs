@@ -46,10 +46,15 @@ pub fn run<W: Write>(command: &str, args: &Args, out: &mut W) -> Result<()> {
     }
 }
 
-/// `imc cluster --topology FILE [--out FILE] [--data-dir DIR] [--quiet]`
-/// — spawn a sharded solve cluster from a topology file, verify the
-/// distributed solve is bitwise identical to single-node, drive
-/// open-loop load and print the `imc-bench/service/v1` report.
+/// `imc cluster --topology FILE [--out FILE] [--data-dir DIR]
+/// [--chaos SPEC] [--trace FILE] [--quiet]` — spawn a sharded solve
+/// cluster from a topology file, verify the distributed solve is
+/// bitwise identical to single-node, drive open-loop load and print
+/// the `imc-bench/service/v1` report. With `--chaos
+/// kind:shard@after[:millis]` (kill | drop | hang | slow) one shard is
+/// put behind a fault-injecting proxy and the run verifies degraded
+/// completion instead of driving load; `--trace` appends each
+/// request's JSONL trace events to the named file.
 fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<()> {
     let topology = imc_cluster::Topology::load(Path::new(args.required("topology")?))
         .map_err(|e| CliError::Usage(e.to_string()))?;
@@ -57,6 +62,12 @@ fn cluster<W: Write>(args: &Args, out: &mut W) -> Result<()> {
         imc_cluster::RunnerOptions::new(topology, args.get("out").map(std::path::PathBuf::from));
     if let Some(dir) = args.get("data-dir") {
         options.data_dir = std::path::PathBuf::from(dir);
+    }
+    if let Some(spec) = args.get("chaos") {
+        options.chaos = Some(imc_cluster::ChaosSpec::parse(spec).map_err(CliError::Usage)?);
+    }
+    if let Some(trace) = args.get("trace") {
+        options.trace = Some(std::path::PathBuf::from(trace));
     }
     options.verbose = !args.switch("quiet");
     let report = imc_cluster::run(&options)

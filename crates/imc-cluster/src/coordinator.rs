@@ -12,30 +12,38 @@
 //! collection (asserted by `tests/cluster_equivalence.rs` and the CI
 //! cluster smoke job).
 //!
-//! Shard failures surface as [`CoordError::Shard`], rendered on the
-//! wire as a `shard_unavailable` error naming the dead shard's address
-//! — the coordinator keeps serving later requests (a reconnect is
-//! attempted per request).
+//! Shard failures are survived, not fatal. Transient transport errors
+//! are retried under the configured [`RetryPolicy`] (backoff jitter
+//! derived from the request seed, so the schedule is reproducible).
+//! When a shard stays down past the retry budget *and* fails a
+//! confirmation `ping` probe, the coordinator marks it dead on the
+//! shared [`HealthBoard`], reruns the request over the surviving shards
+//! in partition order, and flags the answer `approximate: true` with
+//! `effective_samples` / `lost_shards` fields. A recovered shard
+//! rejoins at the next request, never mid-solve. Only when no shard
+//! survives (or degraded mode is disabled) does the client see a
+//! `shard_unavailable` error naming the dead shard.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use imc_core::maxr::engine::{greedy_c_over, greedy_nu_over};
 use imc_core::{
     GainSource, GreedyRun, ImcError, ImcInstance, MaxrAlgorithm, SolveRequest, SolveStrategy,
 };
 use imc_graph::NodeId;
-use imc_service::client::{ClientConfig, ClusterError, PeerClient};
-use imc_service::json::{self, ObjectBuilder};
+use imc_service::client::{ClientConfig, ClusterError, PeerClient, RetryPolicy};
+use imc_service::json::{self, ObjectBuilder, Value};
 use imc_service::protocol::{self, ErrorCode, Request, SolveMode, SolveTuning};
 use imc_service::server::Shutdown;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::health::{self, HealthBoard, HealthMonitor, ShardState};
 use crate::obs;
 use crate::source::{field_f64, field_u64, pad_with_appearance, ClusterSource};
 
@@ -501,8 +509,19 @@ pub struct CoordinatorConfig {
     pub shards: Vec<SocketAddr>,
     /// Timeouts for shard connections.
     pub client: ClientConfig,
-    /// Transport-retry budget for stateless shard requests.
-    pub retries: usize,
+    /// Retry schedule for stateless shard requests and for the
+    /// probe-before-declaring-dead ladder after a session failure.
+    pub retry: RetryPolicy,
+    /// Cap on one health-probe (`ping`) round-trip.
+    pub probe_timeout: Duration,
+    /// Period of the background health prober; `None` disables it
+    /// (shards are still probed on demand when requests fail).
+    pub probe_interval: Option<Duration>,
+    /// When `true` (the default), a solve survives a dead shard by
+    /// rerunning over the survivors and flagging the answer
+    /// `approximate`. When `false`, a dead shard fails the request with
+    /// `shard_unavailable`, as before.
+    pub degrade: bool,
 }
 
 impl Default for CoordinatorConfig {
@@ -511,7 +530,153 @@ impl Default for CoordinatorConfig {
             addr: "127.0.0.1:0".to_string(),
             shards: Vec::new(),
             client: ClientConfig::default(),
-            retries: 1,
+            retry: RetryPolicy::default(),
+            probe_timeout: Duration::from_millis(500),
+            probe_interval: None,
+            degrade: true,
+        }
+    }
+}
+
+/// Consecutive probe/RPC failures that move a shard Suspect → Dead on
+/// the background prober's account. On-demand (mid-solve) declarations
+/// go through [`HealthBoard::mark_dead`] directly once the retry budget
+/// and a confirmation probe are both exhausted.
+const DEAD_THRESHOLD: u32 = 2;
+
+/// A successful request outcome plus its degradation coordinates.
+struct Outcome<T> {
+    value: T,
+    /// Shards declared dead during this request, in topology order.
+    lost: Vec<SocketAddr>,
+    /// Shards that participated in the successful run.
+    participating: usize,
+}
+
+/// Runs `op` over the currently-usable shard subset, retrying and
+/// degrading per the config. The orchestration invariant: `op` always
+/// sees a fresh, contiguous (in partition order) peer slice, and a
+/// failed run is rerun **from scratch** — never patched mid-flight — so
+/// the surviving-set answer equals a fresh solve configured with
+/// exactly those shards.
+fn run_resilient<T>(
+    config: &CoordinatorConfig,
+    board: &HealthBoard,
+    seed: u64,
+    mut op: impl FnMut(&mut [PeerClient]) -> Result<T, CoordError>,
+) -> Result<Outcome<T>, CoordError> {
+    // Rejoin phase: fold Recovered shards back in, and give Dead shards
+    // one probe's chance to rejoin — always between requests, never
+    // mid-solve.
+    let mut alive: Vec<SocketAddr> = Vec::with_capacity(board.shards().len());
+    let mut lost: Vec<SocketAddr> = Vec::new();
+    for &addr in board.shards() {
+        match board.state(addr) {
+            ShardState::Recovered => {
+                board.record_rejoin(addr);
+                alive.push(addr);
+            }
+            ShardState::Dead => {
+                if health::probe(addr, config.probe_timeout) {
+                    board.record_ok(addr);
+                    board.record_rejoin(addr);
+                    alive.push(addr);
+                } else {
+                    lost.push(addr);
+                }
+            }
+            ShardState::Healthy | ShardState::Suspect => alive.push(addr),
+        }
+    }
+
+    // A flapping shard (probe answers, requests fail) gets at most the
+    // retry budget's worth of full reruns before it is declared dead
+    // anyway; each other failure permanently shrinks `alive`, so the
+    // loop terminates.
+    let mut revives_left = config.retry.attempts;
+    loop {
+        if alive.is_empty() {
+            return Err(CoordError::Shard(ClusterError::Connect {
+                addr: lost
+                    .last()
+                    .copied()
+                    .unwrap_or_else(|| "0.0.0.0:0".parse().expect("static addr")),
+                source: std::io::Error::new(
+                    std::io::ErrorKind::NotConnected,
+                    "no shard in the topology is reachable",
+                ),
+            }));
+        }
+        let mut peers: Vec<PeerClient> = alive
+            .iter()
+            .map(|&addr| {
+                let mut peer = PeerClient::new(addr, config.client, config.retry);
+                peer.set_retry_seed(seed);
+                peer
+            })
+            .collect();
+        match op(&mut peers) {
+            Ok(value) => {
+                for &addr in &alive {
+                    board.record_ok(addr);
+                }
+                if !lost.is_empty() {
+                    obs::degraded_solves_total().inc();
+                }
+                return Ok(Outcome {
+                    value,
+                    lost,
+                    participating: alive.len(),
+                });
+            }
+            Err(CoordError::Shard(e)) if e.is_transport() => {
+                let addr = e.addr();
+                obs::shard_errors_total().inc();
+                board.record_failure(addr);
+                // The stateless retry budget inside PeerClient is spent;
+                // walk the same backoff ladder once more, probing for a
+                // recovery (this is what saves session-scoped eval_*
+                // failures, which PeerClient never replays).
+                let mut recovered = health::probe(addr, config.probe_timeout);
+                let mut attempt = 0u32;
+                while !recovered {
+                    attempt += 1;
+                    match config.retry.delay_before(attempt, seed) {
+                        Some(delay) => thread::sleep(delay),
+                        None => break,
+                    }
+                    recovered = health::probe(addr, config.probe_timeout);
+                }
+                if recovered && revives_left > 0 {
+                    revives_left -= 1;
+                    obs::retries_total().inc();
+                    board.record_ok(addr);
+                    continue; // rerun over the same shard set
+                }
+                board.mark_dead(addr);
+                if !config.degrade {
+                    return Err(CoordError::Shard(e));
+                }
+                alive.retain(|&a| a != addr);
+                let position = board
+                    .shards()
+                    .iter()
+                    .position(|&a| a == addr)
+                    .unwrap_or(usize::MAX);
+                let insert_at = lost
+                    .iter()
+                    .filter(|&&l| {
+                        board
+                            .shards()
+                            .iter()
+                            .position(|&a| a == l)
+                            .unwrap_or(usize::MAX)
+                            < position
+                    })
+                    .count();
+                lost.insert(insert_at, addr);
+            }
+            Err(other) => return Err(other),
         }
     }
 }
@@ -527,6 +692,8 @@ pub struct CoordinatorHandle {
     addr: SocketAddr,
     shutdown: Arc<Shutdown>,
     acceptor: Option<JoinHandle<()>>,
+    monitor: Option<HealthMonitor>,
+    board: Arc<HealthBoard>,
 }
 
 impl CoordinatorHandle {
@@ -535,15 +702,24 @@ impl CoordinatorHandle {
         self.addr
     }
 
+    /// The shared shard health scoreboard (for tests and diagnostics).
+    pub fn health_board(&self) -> &Arc<HealthBoard> {
+        &self.board
+    }
+
     /// Requests shutdown and pokes the listener awake.
     pub fn stop(&self) {
         self.shutdown.request();
         let _ = TcpStream::connect(self.addr);
     }
 
-    /// Stops the coordinator and joins the acceptor thread.
+    /// Stops the coordinator and joins the acceptor and health-probe
+    /// threads.
     pub fn stop_and_join(mut self) {
         self.stop();
+        if let Some(monitor) = self.monitor.take() {
+            monitor.stop_and_join();
+        }
         if let Some(handle) = self.acceptor.take() {
             let _ = handle.join();
         }
@@ -552,8 +728,9 @@ impl CoordinatorHandle {
 
 impl Coordinator {
     /// Binds the listener and spawns the accept loop. Each connection is
-    /// served by its own thread holding one persistent [`PeerClient`]
-    /// per shard (so shard eval sessions stay connection-scoped).
+    /// served by its own thread; all connections share one
+    /// [`HealthBoard`], fed by request outcomes and (when
+    /// `probe_interval` is set) a background [`HealthMonitor`].
     ///
     /// # Errors
     ///
@@ -565,8 +742,13 @@ impl Coordinator {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         obs::shards_gauge().set(config.shards.len() as f64);
+        let board = Arc::new(HealthBoard::new(&config.shards, DEAD_THRESHOLD));
+        let monitor = config.probe_interval.map(|interval| {
+            HealthMonitor::start(Arc::clone(&board), interval, config.probe_timeout)
+        });
         let shutdown = Arc::new(Shutdown::new());
         let acceptor_shutdown = Arc::clone(&shutdown);
+        let acceptor_board = Arc::clone(&board);
         let acceptor = thread::spawn(move || {
             for stream in listener.incoming() {
                 if acceptor_shutdown.is_requested() {
@@ -575,19 +757,27 @@ impl Coordinator {
                 let Ok(stream) = stream else { continue };
                 let instance = Arc::clone(&instance);
                 let config = config.clone();
-                thread::spawn(move || serve_connection(stream, &instance, &config));
+                let board = Arc::clone(&acceptor_board);
+                thread::spawn(move || serve_connection(stream, &instance, &config, &board));
             }
         });
         Ok(CoordinatorHandle {
             addr,
             shutdown,
             acceptor: Some(acceptor),
+            monitor,
+            board,
         })
     }
 }
 
 /// Serves one client connection until EOF or a `shutdown` request.
-fn serve_connection(stream: TcpStream, instance: &ImcInstance, config: &CoordinatorConfig) {
+fn serve_connection(
+    stream: TcpStream,
+    instance: &ImcInstance,
+    config: &CoordinatorConfig,
+    board: &HealthBoard,
+) {
     // Flush the response tail immediately; Nagle + delayed ACK would
     // add ~40ms per request on loopback otherwise.
     let _ = stream.set_nodelay(true);
@@ -596,18 +786,13 @@ fn serve_connection(stream: TcpStream, instance: &ImcInstance, config: &Coordina
     };
     let reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    let mut peers: Vec<PeerClient> = config
-        .shards
-        .iter()
-        .map(|&addr| PeerClient::new(addr, config.client, config.retries))
-        .collect();
     for line in reader.lines() {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
             continue;
         }
         let start = Instant::now();
-        let (response, stop) = handle_request(&line, instance, &mut peers);
+        let (response, stop) = handle_request(&line, instance, config, board);
         obs::request_duration_seconds().observe(start.elapsed().as_secs_f64());
         if writer
             .write_all(response.as_bytes())
@@ -644,9 +829,29 @@ fn cluster_strategy(tuning: &SolveTuning) -> Result<SolveStrategy, String> {
     }
 }
 
+/// Renders the health board as a JSON array of `{addr, state}` objects
+/// in topology order.
+fn shard_states_field(board: &HealthBoard) -> Vec<Value> {
+    board
+        .snapshot()
+        .into_iter()
+        .map(|(addr, state)| {
+            ObjectBuilder::new()
+                .field("addr", addr.to_string())
+                .field("state", state.name())
+                .build()
+        })
+        .collect()
+}
+
 /// Dispatches one request line; returns the response and whether the
 /// coordinator should shut down afterwards.
-fn handle_request(line: &str, instance: &ImcInstance, peers: &mut [PeerClient]) -> (String, bool) {
+fn handle_request(
+    line: &str,
+    instance: &ImcInstance,
+    config: &CoordinatorConfig,
+    board: &HealthBoard,
+) -> (String, bool) {
     let start = Instant::now();
     let request = match protocol::parse_request(line) {
         Ok(request) => request,
@@ -686,9 +891,17 @@ fn handle_request(line: &str, instance: &ImcInstance, peers: &mut [PeerClient]) 
                 .with_seed(seed)
                 .with_depth(tuning.depth.unwrap_or(2))
                 .with_strategy(strategy);
-            match cluster_solve(instance, peers, algo, &req) {
-                Ok(report) => {
+            let outcome = run_resilient(config, board, seed, |peers| {
+                cluster_solve(instance, peers, algo, &req)
+            });
+            match outcome {
+                Ok(Outcome {
+                    value: report,
+                    lost,
+                    participating,
+                }) => {
                     let seeds: Vec<u32> = report.seeds.iter().map(|v| v.raw()).collect();
+                    let lost_shards: Vec<String> = lost.iter().map(SocketAddr::to_string).collect();
                     let body = ObjectBuilder::new()
                         .field("seeds", seeds)
                         .field("estimate", report.estimate)
@@ -698,7 +911,10 @@ fn handle_request(line: &str, instance: &ImcInstance, peers: &mut [PeerClient]) 
                         .field("threads", strategy.threads())
                         .field("samples", report.samples)
                         .field("generation", report.generation)
-                        .field("shards", peers.len())
+                        .field("shards", participating)
+                        .field("approximate", !lost.is_empty())
+                        .field("effective_samples", report.samples)
+                        .field("lost_shards", lost_shards)
                         .field("elapsed_us", elapsed_us(start));
                     (protocol::ok_response("solve", body), false)
                 }
@@ -722,8 +938,16 @@ fn handle_request(line: &str, instance: &ImcInstance, peers: &mut [PeerClient]) 
                     false,
                 );
             }
-            match shard_eval_totals(peers, &seeds, None) {
-                Ok(totals) => {
+            let outcome = run_resilient(config, board, 0, |peers| {
+                shard_eval_totals(peers, &seeds, None).map_err(CoordError::from)
+            });
+            match outcome {
+                Ok(Outcome {
+                    value: totals,
+                    lost,
+                    participating,
+                }) => {
+                    let lost_shards: Vec<String> = lost.iter().map(SocketAddr::to_string).collect();
                     let body = ObjectBuilder::new()
                         .field(
                             "estimate",
@@ -736,39 +960,62 @@ fn handle_request(line: &str, instance: &ImcInstance, peers: &mut [PeerClient]) 
                         .field("influenced_samples", totals.influenced)
                         .field("samples", totals.samples)
                         .field("generation", totals.generation)
-                        .field("shards", peers.len())
+                        .field("shards", participating)
+                        .field("approximate", !lost.is_empty())
+                        .field("effective_samples", totals.samples)
+                        .field("lost_shards", lost_shards)
                         .field("elapsed_us", elapsed_us(start));
                     (protocol::ok_response("estimate", body), false)
                 }
                 Err(e) => (
-                    protocol::error_response(ErrorCode::ShardUnavailable, &e.to_string()),
+                    protocol::error_response(e.error_code(), &e.to_string()),
                     false,
                 ),
             }
         }
         Request::Health => {
+            // Health never fails wholesale: every shard is probed (its
+            // real health op, so sample counts come back), outcomes feed
+            // the board, and the response reports per-shard states.
             let mut samples = 0u64;
-            for peer in peers.iter_mut() {
+            let mut answering = 0usize;
+            for &addr in board.shards() {
+                let mut peer = PeerClient::new(addr, config.client, RetryPolicy::none());
                 match peer
                     .request_stateless(r#"{"op":"health"}"#)
-                    .and_then(|resp| field_u64(&resp, "samples", peer))
+                    .and_then(|resp| field_u64(&resp, "samples", &peer))
                 {
-                    Ok(s) => samples += s,
+                    Ok(s) => {
+                        samples += s;
+                        answering += 1;
+                        board.record_ok(addr);
+                    }
                     Err(e) => {
                         obs::shard_errors_total().inc();
-                        return (
-                            protocol::error_response(ErrorCode::ShardUnavailable, &e.to_string()),
-                            false,
-                        );
+                        if e.is_transport() {
+                            board.record_failure(addr);
+                        }
                     }
                 }
             }
+            let status = if answering == board.shards().len() {
+                "ok"
+            } else {
+                "degraded"
+            };
             let body = ObjectBuilder::new()
-                .field("status", "ok")
+                .field("status", status)
                 .field("samples", samples)
-                .field("shards", peers.len())
+                .field("shards", answering)
+                .field("shard_states", shard_states_field(board))
                 .field("elapsed_us", elapsed_us(start));
             (protocol::ok_response("health", body), false)
+        }
+        Request::Ping => {
+            let body = ObjectBuilder::new()
+                .field("status", "ok")
+                .field("elapsed_us", elapsed_us(start));
+            (protocol::ok_response("ping", body), false)
         }
         Request::Shutdown => (
             protocol::ok_response("shutdown", ObjectBuilder::new()),
@@ -778,7 +1025,7 @@ fn handle_request(line: &str, instance: &ImcInstance, peers: &mut [PeerClient]) 
             protocol::error_response(
                 ErrorCode::InvalidParameter,
                 "op not supported by the cluster coordinator \
-                 (expected solve | estimate | health | shutdown)",
+                 (expected solve | estimate | health | ping | shutdown)",
             ),
             false,
         ),

@@ -30,15 +30,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod coordinator;
+pub mod health;
 pub mod obs;
 pub mod runner;
 pub mod source;
 pub mod topology;
 
+pub use chaos::{ChaosFault, ChaosProxy, ChaosSpec};
 pub use coordinator::{
     cluster_solve, ClusterReport, CoordError, Coordinator, CoordinatorConfig, CoordinatorHandle,
 };
+pub use health::{HealthBoard, HealthMonitor, ShardState};
 pub use runner::{run, RunnerOptions, RunnerReport, SERVICE_SCHEMA};
 pub use source::ClusterSource;
 pub use topology::Topology;

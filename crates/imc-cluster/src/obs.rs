@@ -66,6 +66,62 @@ pub fn shards_gauge() -> &'static Arc<Gauge> {
     })
 }
 
+/// Per-shard health state gauge, labeled by the shard's address.
+/// Values encode [`crate::health::ShardState`]: 0 = dead, 1 = suspect,
+/// 2 = recovered, 3 = healthy.
+pub fn shard_state_gauge(addr: &str) -> Arc<Gauge> {
+    imc_obs::global().gauge_with(
+        "imc_cluster_shard_state",
+        "Health state of one shard as seen by the coordinator (0=dead 1=suspect 2=recovered 3=healthy)",
+        &[("shard", addr)],
+    )
+}
+
+/// Total stateless shard RPC retries performed after transport errors.
+pub fn retries_total() -> &'static Arc<Counter> {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    M.get_or_init(|| {
+        imc_obs::global().counter(
+            "imc_cluster_retries_total",
+            "Shard RPCs retried after a transport error (reconnect-and-replay)",
+        )
+    })
+}
+
+/// Total solves that completed in degraded mode (one or more shards
+/// excluded, answer flagged `approximate`).
+pub fn degraded_solves_total() -> &'static Arc<Counter> {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    M.get_or_init(|| {
+        imc_obs::global().counter(
+            "imc_cluster_degraded_solves_total",
+            "Cluster solves completed over a strict subset of shards (approximate answers)",
+        )
+    })
+}
+
+/// Total health probes (`ping` round-trips) issued by the coordinator.
+pub fn probes_total() -> &'static Arc<Counter> {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    M.get_or_init(|| {
+        imc_obs::global().counter(
+            "imc_cluster_probes_total",
+            "Health probes (ping round-trips) issued to shards by the coordinator",
+        )
+    })
+}
+
+/// Total health probes that failed (no ok ping response in time).
+pub fn probe_failures_total() -> &'static Arc<Counter> {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    M.get_or_init(|| {
+        imc_obs::global().counter(
+            "imc_cluster_probe_failures_total",
+            "Health probes that timed out or returned an error",
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +135,16 @@ mod tests {
         shard_rpc_seconds().observe(0.004);
         assert!(shard_rpc_seconds().count() >= 1);
         shards_gauge().set(2.0);
+    }
+
+    #[test]
+    fn shard_state_gauge_is_keyed_by_address() {
+        let a = shard_state_gauge("127.0.0.1:7101");
+        let b = shard_state_gauge("127.0.0.1:7102");
+        a.set(3.0);
+        b.set(0.0);
+        // Same label → same underlying handle; different label → distinct.
+        assert_eq!(shard_state_gauge("127.0.0.1:7101").get(), 3.0);
+        assert_eq!(shard_state_gauge("127.0.0.1:7102").get(), 0.0);
     }
 }

@@ -24,10 +24,11 @@ use imc_core::snapshot;
 use imc_core::{ImcInstance, MaxrAlgorithm, RicSampler, RicStore, SolveRequest};
 use imc_datasets::DatasetId;
 use imc_graph::WeightModel;
-use imc_service::client::Client;
+use imc_service::client::{Client, RetryPolicy};
 use imc_service::json::{self, ObjectBuilder, Value};
 use imc_service::{ServeConfig, Server, ServerHandle, ServiceState};
 
+use crate::chaos::{ChaosFault, ChaosProxy, ChaosSpec};
 use crate::coordinator::{Coordinator, CoordinatorConfig, CoordinatorHandle};
 use crate::obs;
 use crate::topology::Topology;
@@ -81,6 +82,13 @@ pub struct RunnerOptions {
     pub data_dir: PathBuf,
     /// Print progress lines to stderr.
     pub verbose: bool,
+    /// Fault to inject (`--chaos`): puts one shard behind a
+    /// [`ChaosProxy`] and verifies the coordinator's recovery story
+    /// instead of driving load.
+    pub chaos: Option<ChaosSpec>,
+    /// JSONL trace sink (`--trace`): every request's trace events are
+    /// appended here for the run's duration.
+    pub trace: Option<PathBuf>,
 }
 
 impl RunnerOptions {
@@ -91,6 +99,8 @@ impl RunnerOptions {
             out,
             data_dir: PathBuf::from("data"),
             verbose: true,
+            chaos: None,
+            trace: None,
         }
     }
 }
@@ -127,6 +137,26 @@ pub struct RunnerReport {
     pub p50_us: u64,
     /// p99 request latency (µs) from the same histogram.
     pub p99_us: u64,
+    /// Chaos-mode outcome (`None` for normal runs).
+    pub chaos: Option<ChaosReport>,
+}
+
+/// What a chaos run observed, serialized under the artifact's `chaos`
+/// key.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The injected spec, in `--chaos` syntax.
+    pub spec: String,
+    /// Whether the solve came back flagged `approximate`.
+    pub approximate: bool,
+    /// `lost_shards` from the solve response.
+    pub lost_shards: Vec<String>,
+    /// `effective_samples` from the solve response.
+    pub effective_samples: u64,
+    /// For a permanent fault: whether the degraded seeds matched a
+    /// fresh solve over the surviving shard set. For a transient
+    /// fault this mirrors `seeds_identical` (vs single-node).
+    pub degraded_match: bool,
 }
 
 impl RunnerReport {
@@ -157,9 +187,21 @@ impl RunnerReport {
                     .field("p50_us", self.p50_us)
                     .field("p99_us", self.p99_us)
                     .build(),
-            )
-            .build();
-        json::to_string(&value)
+            );
+        let value = match &self.chaos {
+            Some(chaos) => value.field(
+                "chaos",
+                ObjectBuilder::new()
+                    .field("spec", chaos.spec.as_str())
+                    .field("approximate", chaos.approximate)
+                    .field("lost_shards", chaos.lost_shards.clone())
+                    .field("effective_samples", chaos.effective_samples)
+                    .field("degraded_match", chaos.degraded_match)
+                    .build(),
+            ),
+            None => value,
+        };
+        json::to_string(&value.build())
     }
 }
 
@@ -289,10 +331,37 @@ fn load_or_build_shard_store(
     store
 }
 
-/// A running topology: shard daemons plus the coordinator.
+/// Builds the coordinator config the topology's `[fault]` section asks
+/// for, fronting `shards`.
+fn coordinator_config(topo: &Topology, shards: Vec<SocketAddr>) -> CoordinatorConfig {
+    CoordinatorConfig {
+        shards,
+        retry: RetryPolicy {
+            attempts: topo.retry_attempts,
+            base_delay: Duration::from_millis(topo.retry_base_ms),
+            max_delay: Duration::from_millis(topo.retry_cap_ms),
+            jitter: topo.retry_jitter,
+        },
+        probe_timeout: Duration::from_millis(topo.probe_timeout_ms),
+        probe_interval: (topo.probe_interval_ms > 0)
+            .then(|| Duration::from_millis(topo.probe_interval_ms)),
+        degrade: topo.degrade,
+        ..CoordinatorConfig::default()
+    }
+}
+
+/// A running topology: shard daemons plus the coordinator, with an
+/// optional chaos proxy spliced in front of one shard.
 struct Cluster {
     shard_handles: Vec<ServerHandle>,
-    shard_addrs: Vec<SocketAddr>,
+    /// What the coordinator dials — the proxy address for the chaos
+    /// shard, daemon addresses for the rest.
+    front_addrs: Vec<SocketAddr>,
+    /// The daemons' real addresses, bypassing any proxy. Direct checks
+    /// (eval round-trip, fresh-survivor solves) use these so they never
+    /// consume the proxy's request-count trigger.
+    daemon_addrs: Vec<SocketAddr>,
+    proxy: Option<ChaosProxy>,
     coordinator: CoordinatorHandle,
 }
 
@@ -301,16 +370,27 @@ impl Cluster {
     /// and the coordinator fronting them, all on ephemeral ports.
     /// With a `snapshot_dir`, shard stores load from the format-v3
     /// cache when a matching file exists and are persisted otherwise.
+    /// With a `chaos` spec, the named shard sits behind a
+    /// [`ChaosProxy`] armed with the spec's fault.
     fn spawn(
         instance: &Arc<ImcInstance>,
         topo: &Topology,
         snapshot_dir: Option<&Path>,
+        chaos: Option<&ChaosSpec>,
         log: &dyn Fn(&str),
     ) -> Result<Cluster, RunnerError> {
+        if let Some(spec) = chaos {
+            if spec.shard >= topo.shards {
+                return Err(RunnerError::new(format!(
+                    "chaos spec names shard {} but the topology has only {}",
+                    spec.shard, topo.shards
+                )));
+            }
+        }
         let sampler = instance.sampler();
         let fingerprint = snapshot::instance_fingerprint(instance.graph(), instance.communities());
         let mut shard_handles = Vec::with_capacity(topo.shards);
-        let mut shard_addrs = Vec::with_capacity(topo.shards);
+        let mut daemon_addrs = Vec::with_capacity(topo.shards);
         // Connections occupy shard pool workers for their lifetime, so
         // the pool must cover every concurrent coordinator connection
         // (load connections + the solve/check connection + slack).
@@ -331,25 +411,42 @@ impl Cluster {
                 ..ServeConfig::default()
             };
             let handle = Server::start(state, config)?;
-            shard_addrs.push(handle.addr());
+            daemon_addrs.push(handle.addr());
             shard_handles.push(handle);
         }
+        let mut front_addrs = daemon_addrs.clone();
+        let proxy = match chaos {
+            Some(spec) => {
+                let proxy = ChaosProxy::start(daemon_addrs[spec.shard], spec.fault, spec.after)?;
+                log(&format!(
+                    "chaos: shard {} ({}) behind proxy {} armed with {spec}",
+                    spec.shard,
+                    daemon_addrs[spec.shard],
+                    proxy.addr()
+                ));
+                front_addrs[spec.shard] = proxy.addr();
+                Some(proxy)
+            }
+            None => None,
+        };
         let coordinator = Coordinator::start(
             Arc::clone(instance),
-            CoordinatorConfig {
-                shards: shard_addrs.clone(),
-                ..CoordinatorConfig::default()
-            },
+            coordinator_config(topo, front_addrs.clone()),
         )?;
         Ok(Cluster {
             shard_handles,
-            shard_addrs,
+            front_addrs,
+            daemon_addrs,
+            proxy,
             coordinator,
         })
     }
 
     fn stop(self) {
         self.coordinator.stop_and_join();
+        if let Some(proxy) = self.proxy {
+            proxy.stop_and_join();
+        }
         for handle in self.shard_handles {
             handle.stop_and_join();
         }
@@ -489,6 +586,11 @@ pub fn run(options: &RunnerOptions) -> Result<RunnerReport, RunnerError> {
             eprintln!("cluster-runner: {msg}");
         }
     };
+    if let Some(trace) = &options.trace {
+        imc_obs::trace::set_sink_path(trace)
+            .map_err(|e| RunnerError::new(format!("cannot open trace sink: {e}")))?;
+        log(&format!("tracing to {}", trace.display()));
+    }
     log(&format!(
         "building instance: dataset={} scale={} samples={} shards={}",
         topo.dataset, topo.scale, topo.samples, topo.shards
@@ -497,39 +599,231 @@ pub fn run(options: &RunnerOptions) -> Result<RunnerReport, RunnerError> {
 
     log("spawning shard daemons + coordinator");
     let snapshot_dir = (!topo.snapshot_dir.is_empty()).then(|| PathBuf::from(&topo.snapshot_dir));
-    let cluster = Cluster::spawn(&instance, topo, snapshot_dir.as_deref(), &log)?;
-    let result = run_against(&cluster, &instance, topo, &log);
+    let cluster = Cluster::spawn(
+        &instance,
+        topo,
+        snapshot_dir.as_deref(),
+        options.chaos.as_ref(),
+        &log,
+    )?;
+    let result = match &options.chaos {
+        Some(spec) => run_chaos(&cluster, &instance, topo, spec, &log),
+        None => run_against(&cluster, &instance, topo, &log),
+    };
     cluster.stop();
     let (mut report, cluster_seeds) = result?;
 
-    // The single-node reference solve — same sampling plan, one store.
-    log("running single-node reference solve");
-    let sampler = instance.sampler();
-    let mut full = RicStore::for_sampler(&sampler);
-    full.extend_parallel_with_workers(&sampler, topo.samples, topo.base_seed, topo.workers);
-    let reference = MaxrAlgorithm::Greedy
-        .solve(
-            &instance,
-            &full,
-            &SolveRequest::new(topo.k as usize).with_seed(topo.base_seed),
-        )
-        .map_err(|e| RunnerError::new(format!("reference solve failed: {e}")))?;
-    let reference_seeds: Vec<u64> = reference.seeds.iter().map(|v| u64::from(v.raw())).collect();
-    report.seeds_identical = cluster_seeds == reference_seeds;
-    report.evaluations_identical = report.solve_evaluations == reference.evaluations;
-    log(&format!(
-        "seeds_identical={} evaluations_identical={} ({} vs {} evaluations)",
-        report.seeds_identical,
-        report.evaluations_identical,
-        report.solve_evaluations,
-        reference.evaluations
-    ));
+    // For a permanent fault the answer is *supposed* to differ from the
+    // full-R single-node solve (its R shrank); identity was already
+    // checked against a fresh solve over the surviving shard set inside
+    // `run_chaos`. Every other run compares against single-node.
+    let expects_full_r = !matches!(
+        options.chaos,
+        Some(ChaosSpec {
+            fault: ChaosFault::Kill,
+            ..
+        })
+    );
+    if expects_full_r {
+        // The single-node reference solve — same sampling plan, one store.
+        log("running single-node reference solve");
+        let sampler = instance.sampler();
+        let mut full = RicStore::for_sampler(&sampler);
+        full.extend_parallel_with_workers(&sampler, topo.samples, topo.base_seed, topo.workers);
+        let reference = MaxrAlgorithm::Greedy
+            .solve(
+                &instance,
+                &full,
+                &SolveRequest::new(topo.k as usize).with_seed(topo.base_seed),
+            )
+            .map_err(|e| RunnerError::new(format!("reference solve failed: {e}")))?;
+        let reference_seeds: Vec<u64> =
+            reference.seeds.iter().map(|v| u64::from(v.raw())).collect();
+        report.seeds_identical = cluster_seeds == reference_seeds;
+        report.evaluations_identical = report.solve_evaluations == reference.evaluations;
+        if let Some(chaos) = &mut report.chaos {
+            chaos.degraded_match = report.seeds_identical;
+        }
+        log(&format!(
+            "seeds_identical={} evaluations_identical={} ({} vs {} evaluations)",
+            report.seeds_identical,
+            report.evaluations_identical,
+            report.solve_evaluations,
+            reference.evaluations
+        ));
+    }
 
     if let Some(out) = &options.out {
         fs::write(out, report.to_json() + "\n")?;
         log(&format!("wrote {}", out.display()));
     }
+    if options.trace.is_some() {
+        imc_obs::trace::clear_sink();
+    }
     Ok(report)
+}
+
+/// The chaos-mode phases: solve through the fault, assert the recovery
+/// contract, and (for a permanent fault) prove the degraded answer
+/// equals a fresh solve over the surviving shard set. Skips the load
+/// phase — the artifact's `load` block is zeroed.
+fn run_chaos(
+    cluster: &Cluster,
+    instance: &Arc<ImcInstance>,
+    topo: &Topology,
+    spec: &ChaosSpec,
+    log: &dyn Fn(&str),
+) -> Result<(RunnerReport, Vec<u64>), RunnerError> {
+    let node_count = instance.node_count();
+
+    // Direct daemon check, bypassing the proxy so the trigger count is
+    // untouched.
+    log("checking shard eval round-trip (direct)");
+    check_eval_roundtrip(cluster.daemon_addrs[0], node_count)?;
+
+    log(&format!(
+        "distributed GREEDY solve at k={} with {spec} armed",
+        topo.k
+    ));
+    let mut client = Client::connect(cluster.coordinator.addr(), Duration::from_secs(600))
+        .map_err(|e| RunnerError::new(format!("coordinator connect: {e}")))?;
+    let solve_line = json::to_string(
+        &ObjectBuilder::new()
+            .field("op", "solve")
+            .field("algo", "greedy")
+            .field("k", u64::from(topo.k))
+            .field("seed", topo.base_seed)
+            .field("mode", "lazy")
+            .build(),
+    );
+    let solve_start = Instant::now();
+    let solve = roundtrip(&mut client, &solve_line, "chaos solve")?;
+    let solve_seconds = solve_start.elapsed().as_secs_f64();
+    drop(client);
+    let seeds = seeds_field(&solve, "chaos solve")?;
+    let solve_evaluations = solve
+        .get("evaluations")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| RunnerError::new("chaos solve returned no evaluation count"))?;
+    let approximate = solve
+        .get("approximate")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    let lost_shards: Vec<String> = solve
+        .get("lost_shards")
+        .and_then(Value::as_array)
+        .map(|a| {
+            a.iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    let effective_samples = solve
+        .get("effective_samples")
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    log(&format!(
+        "chaos solve completed: approximate={approximate} lost_shards={lost_shards:?} \
+         effective_samples={effective_samples} (proxy tripped={})",
+        cluster.proxy.as_ref().is_some_and(ChaosProxy::tripped)
+    ));
+
+    let mut degraded_match = false;
+    match spec.fault {
+        ChaosFault::Kill => {
+            if !approximate {
+                return Err(RunnerError::new(
+                    "kill fault: solve was not flagged approximate",
+                ));
+            }
+            let proxy_addr = cluster.front_addrs[spec.shard].to_string();
+            if lost_shards != vec![proxy_addr.clone()] {
+                return Err(RunnerError::new(format!(
+                    "kill fault: lost_shards {lost_shards:?} should name exactly the \
+                     killed shard {proxy_addr}"
+                )));
+            }
+            // The acceptance identity: a fresh coordinator configured
+            // with only the surviving daemons must reproduce the
+            // degraded seeds bitwise.
+            log("verifying degraded seeds against a fresh solve over the survivors");
+            let survivors: Vec<SocketAddr> = cluster
+                .daemon_addrs
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != spec.shard)
+                .map(|(_, &addr)| addr)
+                .collect();
+            let fresh =
+                Coordinator::start(Arc::clone(instance), coordinator_config(topo, survivors))?;
+            let mut client = Client::connect(fresh.addr(), Duration::from_secs(600))
+                .map_err(|e| RunnerError::new(format!("fresh coordinator connect: {e}")))?;
+            let verify = roundtrip(&mut client, &solve_line, "fresh survivor solve");
+            drop(client);
+            fresh.stop_and_join();
+            let verify = verify?;
+            let fresh_seeds = seeds_field(&verify, "fresh survivor solve")?;
+            degraded_match = seeds == fresh_seeds;
+            if !degraded_match {
+                return Err(RunnerError::new(format!(
+                    "degraded seeds {seeds:?} differ from the fresh survivor solve's \
+                     {fresh_seeds:?}"
+                )));
+            }
+            log("degraded seeds match the fresh survivor solve bitwise");
+        }
+        ChaosFault::DropOnce | ChaosFault::Hang(_) | ChaosFault::Slow(_) => {
+            if approximate || !lost_shards.is_empty() {
+                return Err(RunnerError::new(format!(
+                    "transient fault: solve degraded unexpectedly \
+                     (approximate={approximate}, lost_shards={lost_shards:?})"
+                )));
+            }
+            // `run` fills seeds_identical (and mirrors it into
+            // chaos.degraded_match) from the single-node reference.
+        }
+    }
+
+    let report = RunnerReport {
+        dataset: topo.dataset.clone(),
+        samples: topo.samples,
+        k: topo.k,
+        shards: topo.shards,
+        // Kill faults settle identity here; transient faults leave it
+        // to `run`'s single-node comparison.
+        seeds_identical: degraded_match,
+        evaluations_identical: degraded_match,
+        eval_roundtrip: true,
+        solve_seconds,
+        solve_evaluations,
+        load_requests: 0,
+        load_connections: 0,
+        throughput_rps: 0.0,
+        p50_us: 0,
+        p99_us: 0,
+        chaos: Some(ChaosReport {
+            spec: spec.to_string(),
+            approximate,
+            lost_shards,
+            effective_samples,
+            degraded_match,
+        }),
+    };
+    Ok((report, seeds))
+}
+
+/// Extracts the `seeds` array from a solve response.
+fn seeds_field(solve: &Value, what: &str) -> Result<Vec<u64>, RunnerError> {
+    solve
+        .get("seeds")
+        .and_then(Value::as_array)
+        .ok_or_else(|| RunnerError::new(format!("{what} returned no seeds")))?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| RunnerError::new(format!("{what}: non-integer seed")))
+        })
+        .collect()
 }
 
 /// The cluster-side phases (everything that needs live daemons).
@@ -544,7 +838,7 @@ fn run_against(
     let node_count = instance.node_count();
 
     log("checking shard eval round-trip");
-    check_eval_roundtrip(cluster.shard_addrs[0], node_count)?;
+    check_eval_roundtrip(cluster.daemon_addrs[0], node_count)?;
 
     log(&format!("distributed GREEDY solve at k={}", topo.k));
     let mut client = Client::connect(cluster.coordinator.addr(), Duration::from_secs(600))
@@ -607,6 +901,7 @@ fn run_against(
         throughput_rps,
         p50_us,
         p99_us,
+        chaos: None,
     };
     Ok((report, seeds))
 }

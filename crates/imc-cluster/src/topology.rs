@@ -175,6 +175,16 @@ impl Table {
             ))),
         }
     }
+
+    fn bool(&self, key: &str, default: bool) -> Result<bool, TopologyError> {
+        match self.entries.get(key) {
+            None => Ok(default),
+            Some(Scalar::Bool(b)) => Ok(*b),
+            Some(other) => Err(TopologyError::new(format!(
+                "{key} must be true or false, got {other:?}"
+            ))),
+        }
+    }
 }
 
 /// A parsed and validated cluster topology.
@@ -211,6 +221,22 @@ pub struct Topology {
     pub load_requests: usize,
     /// Open-loop load: seed-set size per `estimate` request.
     pub load_seeds_per_request: usize,
+    /// Retry attempts per stateless shard RPC (minimum 1 = no retry).
+    pub retry_attempts: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub retry_base_ms: u64,
+    /// Cap on any single backoff delay, in milliseconds.
+    pub retry_cap_ms: u64,
+    /// Jitter fraction in `[0, 1]` applied to each backoff delay.
+    pub retry_jitter: f64,
+    /// Cap on one health-probe (`ping`) round-trip, in milliseconds.
+    pub probe_timeout_ms: u64,
+    /// Background health-probe period in milliseconds; 0 disables the
+    /// periodic prober (shards are still probed on demand).
+    pub probe_interval_ms: u64,
+    /// Whether the coordinator degrades (answers `approximate` over the
+    /// surviving shards) instead of failing when a shard dies.
+    pub degrade: bool,
 }
 
 impl Topology {
@@ -232,6 +258,13 @@ impl Topology {
             load_connections: table.u64("load.connections", 4)? as usize,
             load_requests: table.u64("load.requests", 200)? as usize,
             load_seeds_per_request: table.u64("load.seeds_per_request", 8)? as usize,
+            retry_attempts: table.u64("fault.retry_attempts", 3)? as u32,
+            retry_base_ms: table.u64("fault.retry_base_ms", 50)?,
+            retry_cap_ms: table.u64("fault.retry_cap_ms", 2_000)?,
+            retry_jitter: table.f64("fault.retry_jitter", 0.2)?,
+            probe_timeout_ms: table.u64("fault.probe_timeout_ms", 500)?,
+            probe_interval_ms: table.u64("fault.probe_interval_ms", 0)?,
+            degrade: table.bool("fault.degrade", true)?,
         };
         topo.validate()?;
         Ok(topo)
@@ -270,6 +303,19 @@ impl Topology {
                 "load.connections and load.seeds_per_request must be at least 1",
             ));
         }
+        if self.retry_attempts == 0 {
+            return Err(TopologyError::new(
+                "fault.retry_attempts must be at least 1 (1 = no retry)",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.retry_jitter) {
+            return Err(TopologyError::new("fault.retry_jitter must be in [0, 1]"));
+        }
+        if self.probe_timeout_ms == 0 {
+            return Err(TopologyError::new(
+                "fault.probe_timeout_ms must be at least 1",
+            ));
+        }
         Ok(())
     }
 }
@@ -301,6 +347,15 @@ mod tests {
             connections = 2
             requests = 10
             seeds_per_request = 4
+
+            [fault]
+            retry_attempts = 4
+            retry_base_ms = 10
+            retry_cap_ms = 100
+            retry_jitter = 0.1
+            probe_timeout_ms = 250
+            probe_interval_ms = 1000
+            degrade = false
         "#;
         let topo = Topology::parse(text).unwrap();
         assert_eq!(topo.shards, 2);
@@ -317,6 +372,13 @@ mod tests {
         assert_eq!(topo.load_connections, 2);
         assert_eq!(topo.load_requests, 10);
         assert_eq!(topo.load_seeds_per_request, 4);
+        assert_eq!(topo.retry_attempts, 4);
+        assert_eq!(topo.retry_base_ms, 10);
+        assert_eq!(topo.retry_cap_ms, 100);
+        assert!((topo.retry_jitter - 0.1).abs() < 1e-12);
+        assert_eq!(topo.probe_timeout_ms, 250);
+        assert_eq!(topo.probe_interval_ms, 1000);
+        assert!(!topo.degrade);
     }
 
     #[test]
@@ -326,6 +388,12 @@ mod tests {
         assert_eq!(topo.samples, 40_000);
         assert_eq!(topo.dataset, "wiki-vote");
         assert_eq!(topo.snapshot_dir, "");
+        assert_eq!(topo.retry_attempts, 3);
+        assert_eq!(topo.retry_base_ms, 50);
+        assert_eq!(topo.retry_cap_ms, 2_000);
+        assert_eq!(topo.probe_timeout_ms, 500);
+        assert_eq!(topo.probe_interval_ms, 0, "periodic prober off by default");
+        assert!(topo.degrade, "degraded answers on by default");
     }
 
     #[test]
@@ -334,5 +402,8 @@ mod tests {
         assert!(Topology::parse("not toml at all").is_err());
         assert!(Topology::parse("[cluster]\nshards = \"two\"\n").is_err());
         assert!(Topology::parse("[cluster]\nshards = 1\nshards = 2\n").is_err());
+        assert!(Topology::parse("[fault]\nretry_attempts = 0\n").is_err());
+        assert!(Topology::parse("[fault]\nretry_jitter = 1.5\n").is_err());
+        assert!(Topology::parse("[fault]\ndegrade = 1\n").is_err());
     }
 }

@@ -17,6 +17,7 @@ use imc_core::{ImcInstance, MaxrAlgorithm, RicStore, SolveRequest};
 use imc_datasets::DatasetId;
 use imc_graph::{generators::erdos_renyi, NodeId, WeightModel};
 use imc_service::client::Client;
+use imc_service::client::RetryPolicy;
 use imc_service::json::Value;
 use imc_service::{ServeConfig, Server, ServerHandle, ServiceState};
 use proptest::prelude::*;
@@ -155,10 +156,117 @@ fn all_solvers_bitwise_identical_over_shard_counts() {
     }
 }
 
+/// A fast-failing retry policy so dead-shard tests don't sit in
+/// backoff sleeps.
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 2,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(5),
+        jitter: 0.0,
+    }
+}
+
 #[test]
-fn dead_shard_is_named_in_the_error() {
+fn dead_shard_degrades_the_solve_and_names_it() {
     let instance = small_instance(7);
     let (mut handles, coordinator) = spawn_cluster(&instance, 2, 128, 9);
+    let dead = handles.pop().unwrap();
+    let dead_addr = dead.addr();
+    dead.stop_and_join();
+
+    // Degrade is the default: the solve completes over the surviving
+    // shard, flagged approximate, naming the lost one.
+    let mut client = Client::connect(coordinator.addr(), Duration::from_secs(30)).unwrap();
+    let resp = client
+        .request(r#"{"op":"solve","k":3,"algo":"greedy","seed":1}"#)
+        .unwrap();
+    assert_eq!(
+        resp.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "degraded solve should complete: {resp:?}"
+    );
+    assert_eq!(resp.get("approximate").and_then(Value::as_bool), Some(true));
+    assert_eq!(resp.get("shards").and_then(Value::as_u64), Some(1));
+    let lost: Vec<&str> = resp
+        .get("lost_shards")
+        .and_then(Value::as_array)
+        .expect("lost_shards array")
+        .iter()
+        .filter_map(Value::as_str)
+        .collect();
+    assert_eq!(lost, vec![dead_addr.to_string().as_str()]);
+    let effective = resp
+        .get("effective_samples")
+        .and_then(Value::as_u64)
+        .expect("effective_samples");
+    assert!(
+        effective > 0 && effective < 128,
+        "effective_samples {effective} should cover only the survivor's partition"
+    );
+    let degraded_seeds: Vec<u64> = resp
+        .get("seeds")
+        .and_then(Value::as_array)
+        .expect("seeds")
+        .iter()
+        .filter_map(Value::as_u64)
+        .collect();
+
+    // The degraded answer equals a fresh solve over the surviving
+    // shard set (same daemon, same partition store).
+    let survivor = handles[0].addr();
+    let fresh = Coordinator::start(
+        Arc::new(instance.clone()),
+        CoordinatorConfig {
+            shards: vec![survivor],
+            ..CoordinatorConfig::default()
+        },
+    )
+    .unwrap();
+    let (fresh_seeds, _) = cluster_solve(fresh.addr(), "greedy", 3, 1);
+    fresh.stop_and_join();
+    let fresh_raw: Vec<u64> = fresh_seeds.iter().map(|v| u64::from(v.raw())).collect();
+    assert_eq!(
+        degraded_seeds, fresh_raw,
+        "degraded seeds must match a fresh solve over the survivors"
+    );
+    drop(client);
+    stop_cluster(handles, coordinator);
+}
+
+#[test]
+fn degrade_disabled_keeps_the_shard_unavailable_error() {
+    let instance = small_instance(7);
+    let sampler = instance.sampler();
+    let mut handles = Vec::new();
+    let mut addrs: Vec<SocketAddr> = Vec::new();
+    for partition in 0..2 {
+        let mut store = RicStore::for_sampler(&sampler);
+        store.extend_partition(&sampler, 128, 9, partition, 2, 2);
+        let state = Arc::new(ServiceState::new(instance.clone(), store, 0));
+        let handle = Server::start(
+            state,
+            ServeConfig {
+                workers: 2,
+                refresh: None,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        addrs.push(handle.addr());
+        handles.push(handle);
+    }
+    let coordinator = Coordinator::start(
+        Arc::new(instance.clone()),
+        CoordinatorConfig {
+            shards: addrs,
+            retry: fast_retry(),
+            probe_timeout: Duration::from_millis(100),
+            degrade: false,
+            ..CoordinatorConfig::default()
+        },
+    )
+    .unwrap();
     let dead = handles.pop().unwrap();
     let dead_addr = dead.addr();
     dead.stop_and_join();

@@ -7,12 +7,14 @@
 //! [`PeerClient`] is the cluster-grade wrapper the `imc-cluster`
 //! coordinator holds per shard: separate connect/read/write timeouts
 //! ([`ClientConfig`]), typed failures ([`ClusterError`]) that name the
-//! peer's address, lazy (re)connection, and bounded reconnect-and-retry
-//! for *stateless* requests only. Session-scoped requests (`eval_*`) are
-//! never retried: their state lives in the peer's connection, so a
-//! transport error invalidates the session and must surface to the
-//! coordinator, which degrades with a structured `shard_unavailable`
-//! error naming the dead shard.
+//! peer's address, lazy (re)connection, and a [`RetryPolicy`]-governed
+//! reconnect-and-retry loop for *stateless* requests only — exponential
+//! backoff with jitter derived deterministically from the request seed,
+//! so two runs of the same solve sleep the same schedule. Session-scoped
+//! requests (`eval_*`) are never retried: their state lives in the
+//! peer's connection, so a transport error invalidates the session and
+//! must surface to the coordinator, which degrades with a structured
+//! `shard_unavailable` error naming the dead shard.
 
 use crate::json::{self, Value};
 use std::io::{BufRead, BufReader, Write};
@@ -129,6 +131,87 @@ impl Client {
     }
 }
 
+/// Retry schedule for stateless shard RPCs: a bounded number of
+/// attempts separated by exponential backoff with deterministic jitter.
+///
+/// Jitter is derived by hashing `(seed, attempt)` with a splitmix64
+/// finalizer rather than sampling a clock or thread-local RNG, so two
+/// runs of the same request (same seed) sleep exactly the same
+/// schedule — retries stay reproducible end to end, matching the
+/// determinism contract of the solves they protect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1; 1 disables
+    /// retrying entirely).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles on each later retry.
+    pub base_delay: Duration,
+    /// Cap applied to every backoff delay after doubling.
+    pub max_delay: Duration,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a factor in
+    /// `[1 - jitter/2, 1 + jitter/2]` chosen by the deterministic draw.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 50 ms base, 2 s cap, ±10% jitter.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            jitter: 0.2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: one attempt, fail fast.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter: 0.0,
+        }
+    }
+
+    /// The delay to sleep before retry number `attempt` (1-based: 1 is
+    /// the pause between the first and second attempts). `None` means
+    /// the budget is exhausted — give up and surface the error.
+    pub fn delay_before(&self, attempt: u32, seed: u64) -> Option<Duration> {
+        if attempt >= self.attempts {
+            return None;
+        }
+        let doublings = attempt.saturating_sub(1).min(32);
+        let raw = self
+            .base_delay
+            .saturating_mul(1u32 << doublings.min(31))
+            .min(self.max_delay);
+        // Deterministic uniform draw in [0,1) from (seed, attempt).
+        let bits = splitmix64(seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let unit = (bits >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 1.0 + self.jitter * (unit - 0.5);
+        Some(raw.mul_f64(factor.max(0.0)))
+    }
+
+    /// The full backoff schedule for `seed`, one entry per retry. Empty
+    /// when the policy never retries.
+    pub fn schedule(&self, seed: u64) -> Vec<Duration> {
+        (1..self.attempts)
+            .map(|a| self.delay_before(a, seed).expect("within budget"))
+            .collect()
+    }
+}
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A typed failure talking to one cluster peer. Every variant names the
 /// peer's address so a coordinator error can identify the dead shard.
 #[derive(Debug)]
@@ -224,20 +307,34 @@ pub struct PeerClient {
     addr: SocketAddr,
     config: ClientConfig,
     conn: Option<Client>,
-    retries: usize,
+    retry: RetryPolicy,
+    retry_seed: u64,
 }
 
 impl PeerClient {
     /// A handle for `addr` with the given timeouts; no connection is made
-    /// until the first request. `retries` bounds reconnect attempts for
-    /// stateless requests (0 = single attempt).
-    pub fn new(addr: SocketAddr, config: ClientConfig, retries: usize) -> Self {
+    /// until the first request. `retry` governs reconnect-and-retry for
+    /// stateless requests ([`RetryPolicy::none()`] = single attempt).
+    pub fn new(addr: SocketAddr, config: ClientConfig, retry: RetryPolicy) -> Self {
         PeerClient {
             addr,
             config,
             conn: None,
-            retries,
+            retry,
+            retry_seed: 0,
         }
+    }
+
+    /// Sets the seed that derives backoff jitter, normally the request
+    /// seed of the solve in flight, so the retry schedule is a pure
+    /// function of the request.
+    pub fn set_retry_seed(&mut self, seed: u64) {
+        self.retry_seed = seed;
+    }
+
+    /// The retry policy governing stateless requests.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The peer's address.
@@ -319,15 +416,20 @@ impl PeerClient {
     /// The last [`ClusterError`] after the retry budget is exhausted, or
     /// immediately on non-transport errors (protocol/remote).
     pub fn request_stateless(&mut self, line: &str) -> Result<Value, ClusterError> {
-        let mut last = None;
-        for _ in 0..=self.retries {
+        let mut attempt = 0u32;
+        loop {
             match self.request_once(line) {
                 Ok(v) => return Ok(v),
-                Err(e) if e.is_transport() => last = Some(e),
+                Err(e) if e.is_transport() => {
+                    attempt += 1;
+                    match self.retry.delay_before(attempt, self.retry_seed) {
+                        Some(delay) => std::thread::sleep(delay),
+                        None => return Err(e),
+                    }
+                }
                 Err(e) => return Err(e),
             }
         }
-        Err(last.expect("at least one attempt"))
     }
 
     /// Sends a **session-scoped** request (`eval_begin`, `eval_batch`,
@@ -373,7 +475,17 @@ mod tests {
     fn peer_client_reports_connect_failure_without_panicking() {
         // Port 1 on loopback is essentially never listening.
         let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
-        let mut peer = PeerClient::new(addr, ClientConfig::uniform(Duration::from_millis(200)), 1);
+        let fast_retry = RetryPolicy {
+            attempts: 2,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            jitter: 0.0,
+        };
+        let mut peer = PeerClient::new(
+            addr,
+            ClientConfig::uniform(Duration::from_millis(200)),
+            fast_retry,
+        );
         assert!(!peer.is_connected());
         let err = peer
             .request_stateless(r#"{"op":"health"}"#)
@@ -385,6 +497,59 @@ mod tests {
             .request_session(r#"{"op":"eval_begin"}"#)
             .expect_err("must fail");
         assert!(matches!(err, ClusterError::Connect { .. }));
+    }
+
+    #[test]
+    fn retry_schedule_is_deterministic_in_the_seed() {
+        let policy = RetryPolicy::default();
+        let a = policy.schedule(42);
+        let b = policy.schedule(42);
+        assert_eq!(a, b, "same seed must give the same schedule");
+        assert_eq!(a.len(), 2, "3 attempts = 2 retries");
+        let c = policy.schedule(43);
+        assert_ne!(a, c, "different seeds must jitter differently");
+        // Jitter stays within ±jitter/2 of the nominal delay.
+        let nominal = [Duration::from_millis(50), Duration::from_millis(100)];
+        for (got, want) in a.iter().zip(nominal) {
+            let lo = want.mul_f64(1.0 - policy.jitter / 2.0);
+            let hi = want.mul_f64(1.0 + policy.jitter / 2.0);
+            assert!(lo <= *got && *got <= hi, "{got:?} outside [{lo:?}, {hi:?}]");
+        }
+    }
+
+    #[test]
+    fn retry_delays_double_and_respect_the_cap() {
+        let policy = RetryPolicy {
+            attempts: 6,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_millis(350),
+            jitter: 0.0,
+        };
+        let schedule = policy.schedule(7);
+        assert_eq!(
+            schedule,
+            vec![
+                Duration::from_millis(100),
+                Duration::from_millis(200),
+                Duration::from_millis(350),
+                Duration::from_millis(350),
+                Duration::from_millis(350),
+            ]
+        );
+    }
+
+    #[test]
+    fn retry_policy_gives_up_past_the_attempt_budget() {
+        let policy = RetryPolicy::default();
+        assert!(policy.delay_before(1, 0).is_some());
+        assert!(policy.delay_before(2, 0).is_some());
+        assert!(
+            policy.delay_before(3, 0).is_none(),
+            "attempt 3 of 3 is last"
+        );
+        let none = RetryPolicy::none();
+        assert!(none.delay_before(1, 0).is_none());
+        assert!(none.schedule(0).is_empty());
     }
 
     #[test]

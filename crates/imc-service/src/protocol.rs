@@ -24,6 +24,7 @@
 //! {"op":"stats"}                                      — metrics + collection stats
 //! {"op":"metrics"}                                    — Prometheus 0.0.4 exposition (as JSON string)
 //! {"op":"health"}                                     — liveness probe
+//! {"op":"ping"}                                       — minimal liveness echo (no collection pin)
 //! {"op":"shutdown"}                                   — graceful stop
 //! ```
 //!
@@ -155,6 +156,10 @@ pub enum Request {
     Metrics,
     /// Liveness probe.
     Health,
+    /// Minimal liveness echo: answers with the collection generation
+    /// without pinning the collection or touching sessions. The cheapest
+    /// op a cluster health prober can issue.
+    Ping,
     /// Graceful server stop.
     Shutdown,
 }
@@ -438,10 +443,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
         "health" => Ok(Request::Health),
+        "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
             "unknown op `{other}` (expected solve | estimate | eval_begin | eval_batch | \
-             eval_seed | eval_end | shard_eval | stats | metrics | health | shutdown)"
+             eval_seed | eval_end | shard_eval | stats | metrics | health | ping | shutdown)"
         )),
     }
 }
@@ -639,6 +645,7 @@ mod tests {
             parse_request(r#"{"op":"health"}"#).unwrap(),
             Request::Health
         );
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
         assert_eq!(
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown

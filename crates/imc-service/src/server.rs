@@ -541,6 +541,7 @@ fn op_name(request: &Request) -> &'static str {
         Request::Stats => "stats",
         Request::Metrics => "metrics",
         Request::Health => "health",
+        Request::Ping => "ping",
         Request::Shutdown => "shutdown",
     }
 }
@@ -1028,6 +1029,17 @@ fn execute(
                 .field("samples", collection.len())
                 .field("generation", generation);
             (protocol::ok_response("health", body), false)
+        }
+        Request::Ping => {
+            // The health-probe fast path: no collection pin, no session
+            // access — just proof the worker loop is alive, plus the
+            // generation so a prober can watch refreshes land.
+            state.metrics().record(OpKind::Info, start.elapsed(), 0);
+            let body = ObjectBuilder::new()
+                .field("status", "ok")
+                .field("generation", state.generation())
+                .field("elapsed_us", elapsed_us(start));
+            (protocol::ok_response("ping", body), false)
         }
         Request::Shutdown => {
             state.metrics().record(OpKind::Info, start.elapsed(), 0);
