@@ -32,6 +32,7 @@ pub fn run<W: Write>(command: &str, args: &Args, out: &mut W) -> Result<()> {
         "dot" => dot(args, out),
         "serve" => crate::service::serve(args, out),
         "cluster" => cluster(args, out),
+        "trace" => trace(args, out),
         "query" => crate::service::query(args, out),
         "snapshot save" => crate::service::snapshot_save(args, out),
         "snapshot load" => crate::service::snapshot_load(args, out),
@@ -41,9 +42,49 @@ pub fn run<W: Write>(command: &str, args: &Args, out: &mut W) -> Result<()> {
         )),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}` (expected generate | communities | solve | estimate | \
-             stats | dot | serve | cluster | query | snapshot)"
+             stats | dot | serve | cluster | trace | query | snapshot)"
         ))),
     }
+}
+
+/// `imc trace --input FILE[,FILE...] [--trace-id ID] [--folded FILE]
+/// [--out FILE]` — stitch one or more JSONL trace files (the
+/// coordinator's plus any shard daemons') into a solve timeline:
+/// per-round straggler attribution, fault-recovery events, the
+/// critical path, and flamegraph-compatible folded stacks. Without
+/// `--trace-id` the largest trace containing a solve span is picked.
+fn trace<W: Write>(args: &Args, out: &mut W) -> Result<()> {
+    let raw = args.required("input")?;
+    let mut inputs: Vec<(String, String)> = Vec::new();
+    for path in raw.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let contents = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Io(std::io::Error::new(e.kind(), format!("{path}: {e}"))))?;
+        inputs.push((path.to_string(), contents));
+    }
+    if inputs.is_empty() {
+        return Err(CliError::Usage(
+            "--input expects one or more comma-separated trace files".into(),
+        ));
+    }
+    let set = imc_obs::timeline::TraceSet::parse(&inputs);
+    let timeline = match args.get("trace-id") {
+        Some(id) => set
+            .timeline(id)
+            .ok_or_else(|| CliError::Usage(format!("trace id `{id}` not found in the inputs")))?,
+        None => set.solve_timeline().ok_or_else(|| {
+            CliError::Usage("no spans found in the inputs (was tracing enabled?)".into())
+        })?,
+    };
+    let report = timeline.report();
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, &report)?;
+    }
+    write!(out, "{report}")?;
+    if let Some(path) = args.get("folded") {
+        std::fs::write(path, timeline.folded_stacks())?;
+        writeln!(out, "folded stacks written to {path}")?;
+    }
+    Ok(())
 }
 
 /// `imc cluster --topology FILE [--out FILE] [--data-dir DIR]
@@ -391,6 +432,42 @@ mod tests {
             .join(format!("imc-cli-{}-{name}", std::process::id()))
             .to_string_lossy()
             .into_owned()
+    }
+
+    #[test]
+    fn trace_subcommand_stitches_and_folds() {
+        let input = tmp("trace-input.jsonl");
+        std::fs::write(
+            &input,
+            concat!(
+                "{\"ts_us\":2000000,\"kind\":\"span\",\"trace_id\":\"t1\",\"span_id\":\"c1\",",
+                "\"span\":\"cluster_solve\",\"start_us\":1000000,\"seconds\":1.0,\"detail\":\"GREEDY\"}\n",
+                "{\"ts_us\":1500000,\"kind\":\"span\",\"trace_id\":\"t1\",\"parent_span_id\":\"c1\",",
+                "\"span_id\":\"p1\",\"span\":\"rpc_client\",\"start_us\":1100000,\"seconds\":0.4,",
+                "\"detail\":\"eval_batch 127.0.0.1:9001\"}\n",
+                "{\"ts_us\":1500100,\"kind\":\"round_attribution\",\"trace_id\":\"t1\",",
+                "\"objective\":\"c\",\"batch\":8,\"shards\":1,\"scatter_s\":0.4,\"reduce_s\":0.01,",
+                "\"straggler\":\"127.0.0.1:9001\",\"straggler_s\":0.4,\"fastest_s\":0.4}\n",
+            ),
+        )
+        .unwrap();
+        let folded = tmp("trace-folded.txt");
+        let out = run_str("trace", &["--input", &input, "--folded", &folded]).unwrap();
+        assert!(out.contains("trace t1"), "out: {out}");
+        assert!(out.contains("straggler=127.0.0.1:9001"), "out: {out}");
+        assert!(out.contains("critical path:"), "out: {out}");
+        let stacks = std::fs::read_to_string(&folded).unwrap();
+        assert!(
+            stacks.contains("cluster_solve:GREEDY;rpc_client:"),
+            "stacks: {stacks}"
+        );
+        // A bogus trace id is a usage error, not a panic.
+        assert!(matches!(
+            run_str("trace", &["--input", &input, "--trace-id", "nope"]),
+            Err(CliError::Usage(_))
+        ));
+        let _ = std::fs::remove_file(&input);
+        let _ = std::fs::remove_file(&folded);
     }
 
     #[test]

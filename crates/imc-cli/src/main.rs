@@ -13,6 +13,11 @@
 //!   cluster      run a sharded solve cluster from a topology file (--topology FILE,
 //!                --out BENCH_service.json, --data-dir DIR, --quiet); verifies the
 //!                distributed solve bitwise against single-node and load-tests it
+//!   trace        stitch JSONL trace files into a solve timeline
+//!                (--input FILE[,FILE...], --trace-id ID, --folded FILE for
+//!                flamegraph folded stacks, --out FILE for the report):
+//!                per-round straggler attribution, fault-recovery events,
+//!                the critical path
 //!   serve        run the query daemon (--addr, --workers, --snapshot, --refresh-target,
 //!                --max-solve-threads N per-request parallelism cap,
 //!                --metrics-port N for a Prometheus GET /metrics listener,
@@ -39,7 +44,7 @@ fn main() -> ExitCode {
     let Some(mut command) = argv.next() else {
         eprintln!(
             "usage: imc <generate | communities | solve | estimate | stats | dot | serve | \
-             cluster | query | snapshot save|load|upgrade> [flags]"
+             cluster | trace | query | snapshot save|load|upgrade> [flags]"
         );
         eprintln!("run with a command and no flags to see its errors spelled out");
         return ExitCode::from(2);

@@ -159,9 +159,13 @@ fn shard_eval_totals(
             req = req.field("pivot", u);
         }
         let line = json::to_string(&req.build());
+        let addr = peer.addr();
+        let _rpc = imc_obs::Span::enter_with("rpc_client", format!("shard_eval {addr}"));
         let start = Instant::now();
         let result = peer.request_stateless(&line);
-        obs::shard_rpc_seconds().observe(start.elapsed().as_secs_f64());
+        let secs = start.elapsed().as_secs_f64();
+        obs::shard_rpc_seconds().observe(secs);
+        obs::rpc_duration_seconds("shard_eval", &addr.to_string()).observe(secs);
         let resp = match result {
             Ok(v) => v,
             Err(e) => {
@@ -639,6 +643,12 @@ fn run_resilient<T>(
                 // failures, which PeerClient never replays).
                 let mut recovered = health::probe(addr, config.probe_timeout);
                 let mut attempt = 0u32;
+                imc_obs::trace::emit(
+                    imc_obs::trace::TraceEvent::new("retry_probe")
+                        .field("shard", addr.to_string())
+                        .field("attempt", u64::from(attempt))
+                        .field("recovered", recovered),
+                );
                 while !recovered {
                     attempt += 1;
                     match config.retry.delay_before(attempt, seed) {
@@ -646,18 +656,40 @@ fn run_resilient<T>(
                         None => break,
                     }
                     recovered = health::probe(addr, config.probe_timeout);
+                    imc_obs::trace::emit(
+                        imc_obs::trace::TraceEvent::new("retry_probe")
+                            .field("shard", addr.to_string())
+                            .field("attempt", u64::from(attempt))
+                            .field("recovered", recovered),
+                    );
                 }
                 if recovered && revives_left > 0 {
                     revives_left -= 1;
                     obs::retries_total().inc();
                     board.record_ok(addr);
+                    imc_obs::trace::emit(
+                        imc_obs::trace::TraceEvent::new("shard_revived")
+                            .field("shard", addr.to_string())
+                            .field("attempts", u64::from(attempt)),
+                    );
                     continue; // rerun over the same shard set
                 }
                 board.mark_dead(addr);
+                imc_obs::trace::emit(
+                    imc_obs::trace::TraceEvent::new("shard_dead")
+                        .field("shard", addr.to_string())
+                        .field("attempts", u64::from(attempt))
+                        .field("degrade", config.degrade),
+                );
                 if !config.degrade {
                     return Err(CoordError::Shard(e));
                 }
                 alive.retain(|&a| a != addr);
+                imc_obs::trace::emit(
+                    imc_obs::trace::TraceEvent::new("degraded_rescatter")
+                        .field("lost", addr.to_string())
+                        .field("survivors", alive.len() as u64),
+                );
                 let position = board
                     .shards()
                     .iter()
@@ -853,6 +885,38 @@ fn handle_request(
     board: &HealthBoard,
 ) -> (String, bool) {
     let start = Instant::now();
+    // Adopt the caller's span context (a cluster client tracing its own
+    // request) or mint a fresh trace — every shard RPC issued below
+    // rides this id, so one solve stitches into one tree even across
+    // coordinator and shard processes.
+    let remote = if line.contains("\"trace_id\"") {
+        protocol::parse_span_context(line)
+    } else {
+        protocol::SpanContext::default()
+    };
+    let trace_id = remote
+        .trace_id
+        .clone()
+        .unwrap_or_else(imc_obs::trace::fresh_id);
+    let _ctx = imc_obs::trace::TraceCtx::enter_remote(&trace_id, remote.parent_span_id.as_deref());
+    let (response, stop) = dispatch_request(line, instance, config, board, start);
+    // Echo the trace id so callers (and the smoke job) can find this
+    // request's tree without parsing the coordinator's trace file.
+    (
+        protocol::inject_span_context(&response, &trace_id, None),
+        stop,
+    )
+}
+
+/// The op dispatch behind [`handle_request`], running inside the
+/// request's trace context.
+fn dispatch_request(
+    line: &str,
+    instance: &ImcInstance,
+    config: &CoordinatorConfig,
+    board: &HealthBoard,
+    start: Instant,
+) -> (String, bool) {
     let request = match protocol::parse_request(line) {
         Ok(request) => request,
         Err(message) => {
@@ -891,6 +955,7 @@ fn handle_request(
                 .with_seed(seed)
                 .with_depth(tuning.depth.unwrap_or(2))
                 .with_strategy(strategy);
+            let _solve_span = imc_obs::Span::enter_with("cluster_solve", algo.name());
             let outcome = run_resilient(config, board, seed, |peers| {
                 cluster_solve(instance, peers, algo, &req)
             });
@@ -938,6 +1003,7 @@ fn handle_request(
                     false,
                 );
             }
+            let _estimate_span = imc_obs::Span::enter_with("cluster_estimate", "");
             let outcome = run_resilient(config, board, 0, |peers| {
                 shard_eval_totals(peers, &seeds, None).map_err(CoordError::from)
             });

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod clock;
 pub mod coordinator;
 pub mod health;
 pub mod obs;
@@ -39,6 +40,7 @@ pub mod source;
 pub mod topology;
 
 pub use chaos::{ChaosFault, ChaosProxy, ChaosSpec};
+pub use clock::ClockOffset;
 pub use coordinator::{
     cluster_solve, ClusterReport, CoordError, Coordinator, CoordinatorConfig, CoordinatorHandle,
 };

@@ -43,6 +43,20 @@ pub fn shard_rpc_seconds() -> &'static Arc<Histogram> {
     })
 }
 
+/// Latency of one shard RPC, broken out by operation and shard address.
+/// The unlabeled [`shard_rpc_seconds`] aggregate stays for dashboards
+/// that predate the breakout; this family is what straggler hunting
+/// reads (`op` ∈ eval_begin | eval_batch | eval_seed | eval_end |
+/// shard_eval).
+pub fn rpc_duration_seconds(op: &str, shard: &str) -> Arc<Histogram> {
+    imc_obs::global().histogram_with(
+        "imc_cluster_rpc_duration_seconds",
+        "Round-trip latency of one shard RPC, by operation and shard address",
+        DEFAULT_DURATION_BUCKETS,
+        &[("op", op), ("shard", shard)],
+    )
+}
+
 /// End-to-end latency of requests served by the coordinator frontend.
 pub fn request_duration_seconds() -> &'static Arc<Histogram> {
     static M: OnceLock<Arc<Histogram>> = OnceLock::new();
@@ -135,6 +149,20 @@ mod tests {
         shard_rpc_seconds().observe(0.004);
         assert!(shard_rpc_seconds().count() >= 1);
         shards_gauge().set(2.0);
+    }
+
+    #[test]
+    fn rpc_duration_is_keyed_by_op_and_shard() {
+        let a = rpc_duration_seconds("eval_batch", "127.0.0.1:7201");
+        let b = rpc_duration_seconds("shard_eval", "127.0.0.1:7201");
+        let before = a.count();
+        a.observe(0.002);
+        assert_eq!(
+            rpc_duration_seconds("eval_batch", "127.0.0.1:7201").count(),
+            before + 1
+        );
+        // Different op label → distinct child histogram.
+        assert!(b.count() == rpc_duration_seconds("shard_eval", "127.0.0.1:7201").count());
     }
 
     #[test]

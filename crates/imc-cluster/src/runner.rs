@@ -606,6 +606,19 @@ pub fn run(options: &RunnerOptions) -> Result<RunnerReport, RunnerError> {
         options.chaos.as_ref(),
         &log,
     )?;
+    if options.trace.is_some() {
+        // Per-shard clock offsets, emitted as `clock_offset` trace
+        // events so the stitcher can translate shard timestamps onto
+        // this process's clock. Probes go to the daemons directly
+        // (never through a chaos proxy, whose trigger they would
+        // consume).
+        for est in crate::clock::align(&cluster.daemon_addrs, 4, Duration::from_secs(2)) {
+            log(&format!(
+                "clock: shard {} offset {}us (min rtt {}us over {} probes)",
+                est.addr, est.offset_us, est.rtt_us, est.probes
+            ));
+        }
+    }
     let result = match &options.chaos {
         Some(spec) => run_chaos(&cluster, &instance, topo, spec, &log),
         None => run_against(&cluster, &instance, topo, &log),

@@ -82,16 +82,66 @@ fn field_f64_array(value: &Value, key: &str, peer: &PeerClient) -> Result<Vec<f6
         .collect()
 }
 
-/// Times one session-scoped shard RPC and feeds the latency histogram.
-fn timed_session_rpc(peer: &mut PeerClient, line: &str) -> Result<(Value, f64), ClusterError> {
+/// Times one session-scoped shard RPC, feeds the latency histograms
+/// (both the legacy aggregate and the `{op,shard}` breakout) and opens
+/// an `rpc_client` span whose `detail` carries "`op` `addr`" — the
+/// trace stitcher parses the address out of that detail to map each
+/// shard-side trace file onto its shard.
+fn timed_session_rpc(
+    peer: &mut PeerClient,
+    line: &str,
+    op: &'static str,
+) -> Result<(Value, f64), ClusterError> {
+    let addr = peer.addr();
+    let _rpc = imc_obs::Span::enter_with("rpc_client", format!("{op} {addr}"));
     let start = Instant::now();
     let result = peer.request_session(line);
     let secs = start.elapsed().as_secs_f64();
     obs::shard_rpc_seconds().observe(secs);
+    obs::rpc_duration_seconds(op, &addr.to_string()).observe(secs);
     if result.is_err() {
         obs::shard_errors_total().inc();
     }
     result.map(|v| (v, secs))
+}
+
+/// Emits one flat `round_attribution` trace event for a finished
+/// scatter round: where the round's wall time went (parallel fan-out
+/// vs. reduce), and which shard was the straggler. No-op when tracing
+/// is off (the event is dropped at the sink).
+#[allow(clippy::too_many_arguments)]
+fn emit_round_attribution(
+    objective: &str,
+    batch: usize,
+    addrs: &[String],
+    shard_seconds: &[f64],
+    scatter_s: f64,
+    reduce_s: f64,
+) {
+    let mut straggler = "";
+    let mut straggler_s = 0.0f64;
+    let mut fastest_s = f64::INFINITY;
+    for (addr, &secs) in addrs.iter().zip(shard_seconds) {
+        if secs > straggler_s {
+            straggler_s = secs;
+            straggler = addr;
+        }
+        fastest_s = fastest_s.min(secs);
+    }
+    if !fastest_s.is_finite() {
+        fastest_s = 0.0;
+    }
+    imc_obs::trace::emit(
+        imc_obs::trace::TraceEvent::new("round_attribution")
+            .field("objective", objective)
+            .field("batch", batch as u64)
+            .field("shards", shard_seconds.len() as u64)
+            .field("scatter_s", scatter_s)
+            .field("reduce_s", reduce_s)
+            .field("straggler", straggler)
+            .field("straggler_s", straggler_s)
+            .field("fastest_s", fastest_s),
+    );
 }
 
 /// One shard's answer to a ĉ batch: per-node gains, per-node
@@ -140,7 +190,7 @@ impl<'a> ClusterSource<'a> {
         let mut generation = 0u64;
         let mut failure: Option<ClusterError> = None;
         for (i, peer) in peers.iter_mut().enumerate() {
-            let resp = match timed_session_rpc(peer, &line).and_then(|(resp, _)| {
+            let resp = match timed_session_rpc(peer, &line, "eval_begin").and_then(|(resp, _)| {
                 let session = field_u64(&resp, "session", peer)?;
                 let shard_gen = field_u64(&resp, "generation", peer)?;
                 let app = field_u64_array(&resp, "appearance", peer)?;
@@ -285,7 +335,16 @@ impl GainSource for ClusterSource<'_> {
             return neutral;
         }
         obs::scatter_total().inc();
+        let _round = imc_obs::Span::enter_with("scatter_round", "c");
         let nodes_field: Vec<u64> = nodes.iter().map(|&v| u64::from(v)).collect();
+        let addrs: Vec<String> = self.peers.iter().map(|p| p.addr().to_string()).collect();
+        // Spawned scope threads do NOT inherit the thread-local trace
+        // context — capture it here and re-install it inside each
+        // worker, or the per-shard rpc_client spans (and the span
+        // context injected into the wire lines) would silently vanish.
+        let trace_id = imc_obs::trace::current_trace_id();
+        let parent_span = imc_obs::trace::current_span_id();
+        let scatter_start = Instant::now();
         // One thread per shard: ĉ gains are per-shard integers with no
         // cross-shard data flow, so the fan-out is embarrassingly
         // parallel and gather order does not matter.
@@ -303,8 +362,13 @@ impl GainSource for ClusterSource<'_> {
                             .field("nodes", nodes_field.clone())
                             .build(),
                     );
+                    let trace_id = trace_id.clone();
+                    let parent_span = parent_span.clone();
                     scope.spawn(move || {
-                        let (resp, secs) = timed_session_rpc(peer, &line)?;
+                        let _ctx = trace_id.as_deref().map(|tid| {
+                            imc_obs::trace::TraceCtx::enter_remote(tid, parent_span.as_deref())
+                        });
+                        let (resp, secs) = timed_session_rpc(peer, &line, "eval_batch")?;
                         let gains = field_u64_array(&resp, "gains", peer)?;
                         let potentials = field_u64_array(&resp, "potentials", peer)?;
                         Ok((gains, potentials, secs))
@@ -316,7 +380,9 @@ impl GainSource for ClusterSource<'_> {
                 .map(|h| h.join().expect("shard rpc thread panicked"))
                 .collect()
         });
+        let scatter_s = scatter_start.elapsed().as_secs_f64();
 
+        let reduce_start = Instant::now();
         let mut gains = vec![0u64; nodes.len()];
         let mut potentials = vec![0u64; nodes.len()];
         let mut shard_seconds = Vec::with_capacity(self.peers.len());
@@ -347,6 +413,15 @@ impl GainSource for ClusterSource<'_> {
                 }
             }
         }
+        let reduce_s = reduce_start.elapsed().as_secs_f64();
+        emit_round_attribution(
+            "c",
+            nodes.len(),
+            &addrs,
+            &shard_seconds,
+            scatter_s,
+            reduce_s,
+        );
         (
             gains
                 .into_iter()
@@ -372,7 +447,10 @@ impl GainSource for ClusterSource<'_> {
             return neutral;
         }
         obs::scatter_total().inc();
+        let _round = imc_obs::Span::enter_with("scatter_round", "nu");
         let nodes_field: Vec<u64> = nodes.iter().map(|&v| u64::from(v)).collect();
+        let addrs: Vec<String> = self.peers.iter().map(|p| p.addr().to_string()).collect();
+        let round_start = Instant::now();
         // Sequential by necessity: shard i's fold starts from shard
         // i−1's accumulators (the non-associative ν_R carry chain).
         // Fields are destructured so the stashed error can be written
@@ -395,7 +473,7 @@ impl GainSource for ClusterSource<'_> {
                 req = req.field("carry", c.clone());
             }
             let line = json::to_string(&req.build());
-            let accs = match timed_session_rpc(peer, &line)
+            let accs = match timed_session_rpc(peer, &line, "eval_batch")
                 .and_then(|(resp, secs)| Ok((field_f64_array(&resp, "accs", peer)?, secs)))
             {
                 Ok((accs, secs)) if accs.len() == nodes.len() => {
@@ -421,6 +499,17 @@ impl GainSource for ClusterSource<'_> {
             };
             carry = Some(accs);
         }
+        // The ν carry chain *is* both scatter and reduce: shards run
+        // sequentially, so the whole chain is scatter-wait and there is
+        // no separate reduce step to attribute.
+        emit_round_attribution(
+            "nu",
+            nodes.len(),
+            &addrs,
+            &shard_seconds,
+            round_start.elapsed().as_secs_f64(),
+            0.0,
+        );
         (
             carry.unwrap_or_else(|| vec![0.0; nodes.len()]),
             MapStats {
@@ -448,7 +537,7 @@ impl GainSource for ClusterSource<'_> {
                     .field("node", v)
                     .build(),
             );
-            if let Err(e) = timed_session_rpc(peer, &line) {
+            if let Err(e) = timed_session_rpc(peer, &line, "eval_seed") {
                 error.get_or_insert(e);
                 return;
             }

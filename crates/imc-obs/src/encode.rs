@@ -39,6 +39,20 @@ pub fn to_prometheus(registry: &Registry) -> String {
                     let _ = writeln!(out, "{}_bucket{} {}", family.name, inf, total);
                     let _ = writeln!(out, "{}_sum{} {}", family.name, labels, fmt_value(h.sum()));
                     let _ = writeln!(out, "{}_count{} {}", family.name, labels, h.count());
+                    // Top-bucket exemplar, rendered as a comment line:
+                    // format-0.0.4 parsers skip it, humans and tooling can
+                    // still jump from a slow bucket to the offending trace.
+                    if let Some(ex) = h.exemplar() {
+                        let _ = writeln!(
+                            out,
+                            "# EXEMPLAR {}{} trace_id=\"{}\" value={} ts_us={}",
+                            family.name,
+                            labels,
+                            escape_label(&ex.trace_id),
+                            fmt_value(ex.value),
+                            ex.ts_us
+                        );
+                    }
                 }
             }
         }
@@ -121,6 +135,35 @@ mod tests {
         assert!(text.contains("h_seconds_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("h_seconds_sum 11.25"));
         assert!(text.contains("h_seconds_count 3"));
+    }
+
+    #[test]
+    fn histogram_exemplar_renders_as_a_comment_line() {
+        let r = Registry::new();
+        let h = r.histogram_with("ex_seconds", "E.", &[0.5, 2.0], &[("op", "solve")]);
+        h.observe(0.1);
+        let text = to_prometheus(&r);
+        assert!(
+            !text.contains("# EXEMPLAR"),
+            "no exemplar before one is set"
+        );
+        h.observe_with_exemplar(10.0, "feedbeeffeedbeef");
+        let text = to_prometheus(&r);
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("# EXEMPLAR"))
+            .expect("exemplar comment present");
+        assert!(line.contains("ex_seconds{op=\"solve\"}"), "line: {line}");
+        assert!(
+            line.contains("trace_id=\"feedbeeffeedbeef\""),
+            "line: {line}"
+        );
+        assert!(line.contains("value=10"), "line: {line}");
+        // Every sample line still parses as format 0.0.4: comments aside,
+        // nothing rides on a sample line.
+        for l in text.lines().filter(|l| l.starts_with("ex_seconds")) {
+            assert!(l.rsplit(' ').next().unwrap().parse::<f64>().is_ok());
+        }
     }
 
     #[test]

@@ -48,10 +48,11 @@ pub mod encode;
 mod metrics;
 mod registry;
 pub mod span;
+pub mod timeline;
 pub mod trace;
 
 pub use metrics::{
-    exponential_buckets, quantile_from_cumulative, Counter, Gauge, Histogram,
+    exponential_buckets, quantile_from_cumulative, Counter, Exemplar, Gauge, Histogram,
     DEFAULT_DURATION_BUCKETS,
 };
 pub use registry::{MetricKind, Registry};

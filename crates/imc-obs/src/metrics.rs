@@ -6,6 +6,7 @@
 //! concurrent totals are exact.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// A monotonically-increasing `u64` counter.
 ///
@@ -92,6 +93,19 @@ pub struct Histogram {
     buckets: Vec<AtomicU64>, // bounds.len() + 1 (the +Inf bucket)
     count: AtomicU64,
     sum_bits: AtomicU64,
+    exemplar: Mutex<Option<Exemplar>>,
+}
+
+/// The trace id of a notable observation, attached to a histogram so a
+/// dashboard's top-bucket count links back to an offending request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    /// Trace id of the request that produced the observation.
+    pub trace_id: String,
+    /// The observed value (seconds for `*_duration_seconds` families).
+    pub value: f64,
+    /// Wall-clock UNIX microseconds when the observation was recorded.
+    pub ts_us: u64,
 }
 
 /// Duration buckets (seconds) covering 10 µs … ~2.6 s exponentially —
@@ -122,7 +136,39 @@ impl Histogram {
             buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0f64.to_bits()),
+            exemplar: Mutex::new(None),
         }
+    }
+
+    /// Records one observation and, when it lands in the top finite
+    /// bucket or the `+Inf` overflow, stores `trace_id` as the
+    /// histogram's [`Exemplar`] (latest offender wins). Observations in
+    /// lower buckets never touch the exemplar slot, so the hot path
+    /// stays lock-free.
+    pub fn observe_with_exemplar(&self, v: f64, trace_id: &str) {
+        self.observe(v);
+        let top_start = self.bounds.len().saturating_sub(1);
+        let in_top = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len())
+            >= top_start;
+        if in_top {
+            if let Ok(mut slot) = self.exemplar.lock() {
+                *slot = Some(Exemplar {
+                    trace_id: trace_id.to_string(),
+                    value: v,
+                    ts_us: crate::trace::now_us(),
+                });
+            }
+        }
+    }
+
+    /// The most recent top-bucket exemplar, if any observation has set
+    /// one via [`observe_with_exemplar`](Self::observe_with_exemplar).
+    pub fn exemplar(&self) -> Option<Exemplar> {
+        self.exemplar.lock().ok().and_then(|slot| slot.clone())
     }
 
     /// Records one observation.
@@ -232,7 +278,12 @@ pub fn quantile_from_cumulative(bounds: &[f64], cumulative: &[u64], q: f64) -> f
     let below = if idx == 0 { 0 } else { cumulative[idx - 1] };
     let in_bucket = cumulative[idx] - below;
     if in_bucket == 0 {
-        return upper;
+        // The rank landed exactly on the cumulative boundary of an
+        // *empty* bucket (only reachable at rank 0 when the histogram's
+        // mass all sits in later buckets — the exact-fill edge). No
+        // observation lives in this bucket, so its upper bound would
+        // overstate: the distribution up to this rank ends at `lower`.
+        return lower;
     }
     lower + (upper - lower) * ((rank - below as f64) / in_bucket as f64).clamp(0.0, 1.0)
 }
@@ -311,6 +362,51 @@ mod tests {
     fn quantile_of_empty_histogram_is_zero() {
         let h = Histogram::new(&[1.0]);
         assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn exact_fill_single_bucket_interpolates_not_upper_bound() {
+        // Every observation lands in one interior bucket (2, 4]: the
+        // daemon-stats layout after a burst of identical-latency requests.
+        // p50/p99 must interpolate across the bucket, not collapse to the
+        // bucket's upper bound.
+        let h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+        for _ in 0..100 {
+            h.observe(3.0);
+        }
+        assert!(
+            (h.quantile(0.5) - 3.0).abs() < 1e-12,
+            "p50 = bucket midpoint"
+        );
+        let p99 = h.quantile(0.99);
+        assert!((p99 - (2.0 + 2.0 * 0.99)).abs() < 1e-12, "got {p99}");
+        assert!(p99 < 4.0, "p99 must stay below the bucket upper bound");
+        // Rank 0 lands on the exactly-filled boundary of the empty first
+        // bucket; the estimate must not report that empty bucket's upper
+        // bound (1.0) — nothing was observed at or below it.
+        assert_eq!(h.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn exemplar_tracks_latest_top_bucket_observation_only() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        // Fast observations never set an exemplar.
+        h.observe_with_exemplar(0.5, "aaaa111122223333");
+        assert_eq!(h.exemplar(), None);
+        // A top-finite-bucket observation does; the overflow bucket too;
+        // latest offender wins.
+        h.observe_with_exemplar(3.0, "bbbb111122223333");
+        assert_eq!(
+            h.exemplar().map(|e| e.trace_id),
+            Some("bbbb111122223333".to_string())
+        );
+        h.observe_with_exemplar(9.0, "cccc111122223333");
+        let ex = h.exemplar().expect("exemplar set");
+        assert_eq!(ex.trace_id, "cccc111122223333");
+        assert_eq!(ex.value, 9.0);
+        assert!(ex.ts_us > 0);
+        // The counts include every observation, exemplar-worthy or not.
+        assert_eq!(h.count(), 3);
     }
 
     #[test]

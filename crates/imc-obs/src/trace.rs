@@ -45,9 +45,27 @@ pub fn enabled() -> bool {
 
 /// Installs a JSONL sink writing (appending is up to the caller: this
 /// truncates) to `path`. Replaces any previous sink.
+///
+/// The file is written *unbuffered*: [`emit`] hands the kernel one
+/// complete line per write syscall, so even when several processes
+/// append to the same file (coordinator + shards sharing a trace path)
+/// no line is ever torn across another's.
 pub fn set_sink_path(path: &Path) -> std::io::Result<()> {
     let file = std::fs::File::create(path)?;
-    set_sink_writer(Box::new(std::io::BufWriter::new(file)));
+    set_sink_writer(Box::new(file));
+    Ok(())
+}
+
+/// Installs a JSONL sink *appending* to `path` (creating it if absent).
+/// Replaces any previous sink. Use this when several processes share one
+/// trace file: combined with the single-write-per-line discipline of
+/// [`emit`], `O_APPEND` keeps their lines whole.
+pub fn set_sink_path_append(path: &Path) -> std::io::Result<()> {
+    let file = std::fs::File::options()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    set_sink_writer(Box::new(file));
     Ok(())
 }
 
@@ -70,8 +88,42 @@ pub fn clear_sink() {
     ENABLED.store(false, Ordering::Relaxed);
 }
 
+/// The per-thread span context: which trace this thread is serving and
+/// which span is currently open (the parent of anything emitted now).
+#[derive(Debug, Clone, Default)]
+struct Ctx {
+    trace_id: Option<String>,
+    span_id: Option<String>,
+}
+
 thread_local! {
-    static CURRENT_TRACE_ID: RefCell<Option<String>> = const { RefCell::new(None) };
+    static CURRENT: RefCell<Ctx> = RefCell::new(Ctx::default());
+}
+
+/// The current wall clock as UNIX microseconds — the timestamp base every
+/// trace event uses, exposed so spans can stamp their start consistently.
+pub fn now_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+/// Mints a fresh 16-hex-digit id for a trace or span. Ids are unique per
+/// process run (counter + wall clock + pid hashed together); they carry
+/// no ordering information.
+pub fn fresh_id() -> String {
+    use std::hash::{Hash, Hasher};
+    static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    COUNTER.fetch_add(1, Ordering::Relaxed).hash(&mut hasher);
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+        .hash(&mut hasher);
+    std::process::id().hash(&mut hasher);
+    format!("{:016x}", hasher.finish())
 }
 
 /// RAII guard scoping a request `trace_id` to the current thread.
@@ -97,30 +149,55 @@ thread_local! {
 #[must_use = "dropping the guard immediately ends the trace scope"]
 #[derive(Debug)]
 pub struct TraceCtx {
-    previous: Option<String>,
+    previous: Ctx,
 }
 
 impl TraceCtx {
     /// Makes `trace_id` the current thread's trace id until the returned
-    /// guard is dropped.
+    /// guard is dropped. The span stack starts empty: the next
+    /// [`Span`](crate::Span) opened inside the scope becomes a root span
+    /// of the trace.
     pub fn enter(trace_id: &str) -> TraceCtx {
-        let previous =
-            CURRENT_TRACE_ID.with(|slot| slot.borrow_mut().replace(trace_id.to_string()));
+        TraceCtx::enter_remote(trace_id, None)
+    }
+
+    /// Adopts a span context received over the wire: `trace_id` plus the
+    /// caller's span id, so spans opened inside the scope nest under the
+    /// *remote* parent when the timeline is stitched across processes.
+    pub fn enter_remote(trace_id: &str, parent_span_id: Option<&str>) -> TraceCtx {
+        let next = Ctx {
+            trace_id: Some(trace_id.to_string()),
+            span_id: parent_span_id.map(str::to_string),
+        };
+        let previous = CURRENT.with(|slot| std::mem::replace(&mut *slot.borrow_mut(), next));
         TraceCtx { previous }
     }
 }
 
 impl Drop for TraceCtx {
     fn drop(&mut self) {
-        CURRENT_TRACE_ID.with(|slot| {
-            *slot.borrow_mut() = self.previous.take();
+        CURRENT.with(|slot| {
+            *slot.borrow_mut() = std::mem::take(&mut self.previous);
         });
     }
 }
 
 /// The trace id installed on this thread by a live [`TraceCtx`], if any.
 pub fn current_trace_id() -> Option<String> {
-    CURRENT_TRACE_ID.with(|slot| slot.borrow().clone())
+    CURRENT.with(|slot| slot.borrow().trace_id.clone())
+}
+
+/// The id of the innermost open span on this thread, if any — what a new
+/// event or child span should use as `parent_span_id`.
+pub fn current_span_id() -> Option<String> {
+    CURRENT.with(|slot| slot.borrow().span_id.clone())
+}
+
+/// Makes `span_id` the current span on this thread, returning the
+/// previous one for restoration. Used by [`Span`](crate::Span) to
+/// maintain the nesting stack; `None` pops to "no open span".
+pub(crate) fn swap_current_span(span_id: Option<String>) -> Option<String> {
+    CURRENT.with(|slot| std::mem::replace(&mut slot.borrow_mut().span_id, span_id))
 }
 
 /// Writes one event as a single JSON line. No-op when no sink is
@@ -137,9 +214,13 @@ pub fn emit(event: TraceEvent) {
             None => return,
         }
     };
-    let line = event.to_json();
+    // One complete line per write call: the newline is part of the same
+    // buffer, so concurrent emitters (and other processes appending to
+    // the same file) can never tear a record in half.
+    let mut line = event.to_json();
+    line.push('\n');
     if let Ok(mut w) = sink.lock() {
-        let _ = writeln!(w, "{line}");
+        let _ = w.write_all(line.as_bytes());
         let _ = w.flush();
     };
 }
@@ -212,15 +293,17 @@ impl TraceEvent {
     /// A new event of the given kind, timestamped now (UNIX microseconds).
     ///
     /// When a [`TraceCtx`] is live on this thread, the event starts with
-    /// a `trace_id` field so it joins that request's span tree.
+    /// a `trace_id` field so it joins that request's span tree; when a
+    /// [`Span`](crate::Span) is open, a `parent_span_id` field nests the
+    /// event under it.
     pub fn new(kind: &str) -> Self {
-        let ts_us = SystemTime::now()
-            .duration_since(UNIX_EPOCH)
-            .map(|d| d.as_micros() as u64)
-            .unwrap_or(0);
+        let ts_us = now_us();
         let mut fields = Vec::new();
         if let Some(id) = current_trace_id() {
             fields.push(("trace_id".to_string(), FieldValue::Str(id)));
+        }
+        if let Some(id) = current_span_id() {
+            fields.push(("parent_span_id".to_string(), FieldValue::Str(id)));
         }
         TraceEvent {
             ts_us,
@@ -292,6 +375,16 @@ fn escape_into(out: &mut String, s: &str) {
     }
 }
 
+/// Serializes tests (across this crate's modules) that install or clear
+/// the process-global sink, so parallel tests don't clobber each other's
+/// writers.
+#[cfg(test)]
+pub(crate) fn sink_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,12 +451,80 @@ mod tests {
 
     #[test]
     fn emit_swallows_write_errors_from_a_failing_sink() {
+        let _serial = sink_test_lock();
         set_sink_writer(Box::new(FailingWriter));
         // Every write and flush errors; emit must degrade gracefully.
         emit(TraceEvent::new("lost_event").field("n", 1u64));
         emit(TraceEvent::new("lost_event").field("n", 2u64));
         // clear_sink flushes the failing writer — also must not panic.
         clear_sink();
+    }
+
+    /// A writer that asserts the single-write-per-line discipline: every
+    /// `write` call it sees must be exactly one complete JSONL record
+    /// (newline included). This is what keeps multi-process appends and
+    /// racing in-process emitters from tearing records.
+    #[derive(Clone)]
+    struct WholeLineBuf(Arc<Mutex<Vec<String>>>);
+
+    impl Write for WholeLineBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let text = std::str::from_utf8(buf).expect("trace writes are utf8");
+            assert!(
+                text.ends_with('\n') && text.matches('\n').count() == 1,
+                "emit must hand the sink one whole line per write, got {text:?}"
+            );
+            self.0
+                .lock()
+                .expect("buffer lock")
+                .push(text.trim_end().to_string());
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn racing_emitters_never_tear_lines() {
+        let _serial = sink_test_lock();
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        set_sink_writer(Box::new(WholeLineBuf(Arc::clone(&lines))));
+        let threads = 8usize;
+        let per_thread = 200usize;
+        // Long payloads so a torn write would be easy to produce if emit
+        // ever issued more than one write call per record.
+        let payload = "x".repeat(512);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let payload = payload.as_str();
+                scope.spawn(move || {
+                    for n in 0..per_thread {
+                        emit(
+                            TraceEvent::new("race")
+                                .field("writer", t)
+                                .field("n", n)
+                                .field("payload", payload)
+                                .field("tail", "END"),
+                        );
+                    }
+                });
+            }
+        });
+        clear_sink();
+        let lines = lines.lock().expect("buffer lock");
+        // Other tests may emit through the global sink while it is ours
+        // (they never install their own: sink_test_lock is held), so
+        // filter to this test's kind before counting.
+        let ours: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains("\"kind\":\"race\""))
+            .collect();
+        assert_eq!(ours.len(), threads * per_thread);
+        for line in ours {
+            assert!(line.starts_with("{\"ts_us\":") && line.ends_with("\"tail\":\"END\"}"));
+            assert!(line.contains(&payload));
+        }
     }
 
     #[test]

@@ -204,6 +204,23 @@ impl RetryPolicy {
     }
 }
 
+/// When a trace context is live on the calling thread, splices it into
+/// the outgoing request line (`trace_id` plus the innermost open span as
+/// `parent_span_id` — additive v2 envelope fields a v1 server ignores),
+/// so the callee's telemetry nests under the caller's span when the
+/// timeline is stitched. Without a live context the line passes through
+/// untouched.
+fn with_span_context(line: &str) -> std::borrow::Cow<'_, str> {
+    match imc_obs::trace::current_trace_id() {
+        Some(trace_id) => std::borrow::Cow::Owned(crate::protocol::inject_span_context(
+            line,
+            &trace_id,
+            imc_obs::trace::current_span_id().as_deref(),
+        )),
+        None => std::borrow::Cow::Borrowed(line),
+    }
+}
+
 /// splitmix64 finalizer: a cheap, well-mixed 64-bit hash.
 fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -367,8 +384,9 @@ impl PeerClient {
 
     fn request_once(&mut self, line: &str) -> Result<Value, ClusterError> {
         let addr = self.addr;
+        let line = with_span_context(line);
         let client = self.ensure_connected()?;
-        let text = match client.request_line(line) {
+        let text = match client.request_line(&line) {
             Ok(t) => t,
             Err(source) => {
                 // The stream is in an unknown state; never reuse it.
@@ -550,6 +568,25 @@ mod tests {
         let none = RetryPolicy::none();
         assert!(none.delay_before(1, 0).is_none());
         assert!(none.schedule(0).is_empty());
+    }
+
+    #[test]
+    fn outgoing_lines_carry_the_live_span_context() {
+        // No context: the line passes through borrowed and unmodified.
+        let line = r#"{"op":"ping"}"#;
+        assert!(matches!(
+            with_span_context(line),
+            std::borrow::Cow::Borrowed(_)
+        ));
+        // Live context: trace_id and the current span are spliced in.
+        let _ctx =
+            imc_obs::trace::TraceCtx::enter_remote("12345678deadbeef", Some("abcdef0123456789"));
+        let injected = with_span_context(line);
+        let ctx = crate::protocol::parse_span_context(&injected);
+        assert_eq!(ctx.trace_id.as_deref(), Some("12345678deadbeef"));
+        assert_eq!(ctx.parent_span_id.as_deref(), Some("abcdef0123456789"));
+        // The request itself still parses.
+        assert!(crate::protocol::parse_request(&injected).is_ok());
     }
 
     #[test]

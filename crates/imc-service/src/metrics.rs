@@ -55,7 +55,15 @@ impl Metrics {
             .fetch_add(samples_scanned, Ordering::Relaxed);
         let obs = obs_handles(kind);
         obs.requests.inc();
-        obs.duration.observe_duration(latency);
+        // Slow (top-bucket) observations pin the live request's trace id
+        // as the histogram's exemplar, so a dashboard's tail bucket links
+        // straight to an offending trace in the JSONL sink.
+        match imc_obs::trace::current_trace_id() {
+            Some(trace_id) => obs
+                .duration
+                .observe_with_exemplar(latency.as_secs_f64(), &trace_id),
+            None => obs.duration.observe_duration(latency),
+        }
         samples_scanned_total().inc_by(samples_scanned);
     }
 
@@ -298,6 +306,38 @@ mod tests {
         // The histogram's finite bounds end at ~2.62 s; the interpolated
         // quantile can never exceed the last finite bound.
         assert!(s.p99_latency_us <= 3_000_000);
+    }
+
+    #[test]
+    fn stats_quantiles_interpolate_when_one_bucket_holds_everything() {
+        // The exact-fill edge: a burst of identical-latency requests puts
+        // every observation into one bucket of the daemon layout. The
+        // merged-bucket quantile path (what `stats` p50/p99 uses) must
+        // interpolate inside that bucket instead of reporting its upper
+        // bound for both percentiles. Pinned against the free function so
+        // the process-global histogram shared with other tests can't
+        // perturb it.
+        let filled = 5; // bucket (2.56e-3, 1.024e-2]
+        let mut merged = vec![0u64; DEFAULT_DURATION_BUCKETS.len() + 1];
+        for slot in merged.iter_mut().skip(filled) {
+            *slot = 100;
+        }
+        let lower = DEFAULT_DURATION_BUCKETS[filled - 1];
+        let upper = DEFAULT_DURATION_BUCKETS[filled];
+        let p50 = imc_obs::quantile_from_cumulative(DEFAULT_DURATION_BUCKETS, &merged, 0.5);
+        let p99 = imc_obs::quantile_from_cumulative(DEFAULT_DURATION_BUCKETS, &merged, 0.99);
+        assert!(
+            (p50 - (lower + (upper - lower) * 0.5)).abs() < 1e-12,
+            "p50 must be the bucket midpoint, got {p50}"
+        );
+        assert!(
+            (p99 - (lower + (upper - lower) * 0.99)).abs() < 1e-12,
+            "p99 must interpolate at 99%, got {p99}"
+        );
+        assert!(
+            p50 < p99 && p99 < upper,
+            "neither percentile is the bucket bound"
+        );
     }
 
     #[test]

@@ -452,6 +452,70 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
 }
 
+/// The distributed-tracing span context a request envelope may carry.
+///
+/// Both fields are additive and optional (v1 and v2 requests without them
+/// parse unchanged): `trace_id` names the cluster-wide trace the request
+/// belongs to, `parent_span_id` the caller's open span, so every trace
+/// event the server emits while serving the request nests under the
+/// remote caller in a stitched timeline (see `imc_obs::timeline`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpanContext {
+    /// Cluster-wide trace id (16 hex digits), if the caller sent one.
+    pub trace_id: Option<String>,
+    /// The caller's open span id, if the caller sent one.
+    pub parent_span_id: Option<String>,
+}
+
+impl SpanContext {
+    /// Whether the envelope carried any context at all.
+    pub fn is_empty(&self) -> bool {
+        self.trace_id.is_none() && self.parent_span_id.is_none()
+    }
+}
+
+/// Extracts the span context from a request line, tolerantly: malformed
+/// JSON or missing/mistyped fields yield an empty context (the request
+/// parse reports its own errors; tracing must never fail a request).
+pub fn parse_span_context(line: &str) -> SpanContext {
+    let Ok(value) = json::parse(line) else {
+        return SpanContext::default();
+    };
+    SpanContext {
+        trace_id: value
+            .get("trace_id")
+            .and_then(Value::as_str)
+            .map(str::to_string),
+        parent_span_id: value
+            .get("parent_span_id")
+            .and_then(Value::as_str)
+            .map(str::to_string),
+    }
+}
+
+/// Splices span-context fields into a serialized request line (one JSON
+/// object). Additive: servers that don't know the fields ignore them.
+/// Returns the line unchanged when it doesn't end in `}`.
+pub fn inject_span_context(line: &str, trace_id: &str, parent_span_id: Option<&str>) -> String {
+    let trimmed = line.trim_end();
+    let Some(head) = trimmed.strip_suffix('}') else {
+        return line.to_string();
+    };
+    let mut out = String::with_capacity(trimmed.len() + 64);
+    out.push_str(head);
+    if head.trim_end() != "{" {
+        out.push(',');
+    }
+    out.push_str("\"trace_id\":");
+    out.push_str(&json::to_string(&Value::Str(trace_id.to_string())));
+    if let Some(parent) = parent_span_id {
+        out.push_str(",\"parent_span_id\":");
+        out.push_str(&json::to_string(&Value::Str(parent.to_string())));
+    }
+    out.push('}');
+    out
+}
+
 /// Optional node-id field: a non-negative integer fitting in `u32`.
 fn field_node(value: &Value, name: &str) -> Result<Option<NodeId>, String> {
     match value.get(name) {
@@ -784,6 +848,34 @@ mod tests {
             error_code_for(&ImcError::NoCommunities),
             ErrorCode::Internal
         );
+    }
+
+    #[test]
+    fn span_context_roundtrips_through_the_envelope() {
+        // Inject into a typical request line, then read it back.
+        let line = r#"{"op":"ping"}"#;
+        let tagged = inject_span_context(line, "00ff00ff00ff00ff", Some("1234abcd1234abcd"));
+        let ctx = parse_span_context(&tagged);
+        assert_eq!(ctx.trace_id.as_deref(), Some("00ff00ff00ff00ff"));
+        assert_eq!(ctx.parent_span_id.as_deref(), Some("1234abcd1234abcd"));
+        // The request itself still parses (fields are additive).
+        assert_eq!(parse_request(&tagged).unwrap(), Request::Ping);
+        // Without a parent span only trace_id is spliced.
+        let tagged = inject_span_context(line, "00ff00ff00ff00ff", None);
+        assert!(!tagged.contains("parent_span_id"));
+        assert_eq!(
+            parse_span_context(&tagged).trace_id.as_deref(),
+            Some("00ff00ff00ff00ff")
+        );
+        // Empty object, not-JSON, and missing fields are all tolerated.
+        assert_eq!(
+            inject_span_context("{}", "aa", None),
+            r#"{"trace_id":"aa"}"#
+        );
+        assert_eq!(inject_span_context("not json", "aa", None), "not json");
+        assert!(parse_span_context("not json").is_empty());
+        assert!(parse_span_context(r#"{"op":"ping","trace_id":7}"#).is_empty());
+        assert!(parse_span_context(line).is_empty());
     }
 
     #[test]

@@ -563,11 +563,17 @@ fn dispatch(state: &ServiceState, line: &str, max_solve_threads: usize) -> (Stri
 /// should shut down afterwards. `max_solve_threads` is the server-side cap
 /// on the per-request `threads` knob.
 ///
-/// Every request gets a fresh `trace_id`, echoed in the response (an
-/// additive protocol-v2 field) and installed as the thread's
-/// [`TraceCtx`](imc_obs::trace::TraceCtx) so every trace event the solve
-/// emits — engine per-iteration records, IMCAF round records, spans —
-/// carries the same id and reassembles into one span tree per request.
+/// Every request gets a `trace_id` — adopted from the caller's span
+/// context when the envelope carries one (see
+/// [`protocol::parse_span_context`]), freshly minted otherwise — echoed in
+/// the response (an additive protocol-v2 field) and installed as the
+/// thread's [`TraceCtx`](imc_obs::trace::TraceCtx) so every trace event
+/// the solve emits — engine per-iteration records, IMCAF round records,
+/// spans — carries the same id and reassembles into one span tree per
+/// request. When the caller also sent a `parent_span_id`, this request's
+/// spans nest under the caller's span in the stitched cross-process
+/// timeline, and an `rpc_server` span brackets the whole request so the
+/// shard's side of every RPC is visible to the stitcher.
 ///
 /// When `slow_threshold` is set and the request takes at least that long
 /// end to end, one structured `slow_request` line goes to stderr (and a
@@ -581,20 +587,29 @@ fn dispatch_with(
     sessions: &mut SessionStore,
 ) -> (String, bool) {
     let start = Instant::now();
-    let trace_id = next_trace_id();
-    let _ctx = imc_obs::trace::TraceCtx::enter(&trace_id);
+    // Substring pre-check keeps the no-tracing hot path at one JSON parse.
+    let remote = if line.contains("\"trace_id\"") {
+        protocol::parse_span_context(line)
+    } else {
+        protocol::SpanContext::default()
+    };
+    let trace_id = remote.trace_id.unwrap_or_else(next_trace_id);
+    let _ctx = imc_obs::trace::TraceCtx::enter_remote(&trace_id, remote.parent_span_id.as_deref());
     let parsed = protocol::parse_request(line);
     let parse_us = elapsed_us(start);
     let op = parsed.as_ref().map_or("error", op_name);
     let execute_started = Instant::now();
-    let (response, stop) = match parsed {
-        Ok(request) => execute(state, request, max_solve_threads, start, sessions),
-        Err(message) => {
-            state.metrics().record(OpKind::Error, start.elapsed(), 0);
-            (
-                protocol::error_response(ErrorCode::BadRequest, &message),
-                false,
-            )
+    let (response, stop) = {
+        let _rpc_span = imc_obs::Span::enter_with("rpc_server", op);
+        match parsed {
+            Ok(request) => execute(state, request, max_solve_threads, start, sessions),
+            Err(message) => {
+                state.metrics().record(OpKind::Error, start.elapsed(), 0);
+                (
+                    protocol::error_response(ErrorCode::BadRequest, &message),
+                    false,
+                )
+            }
         }
     };
     let execute_us = elapsed_us(execute_started);
@@ -1034,10 +1049,20 @@ fn execute(
             // The health-probe fast path: no collection pin, no session
             // access — just proof the worker loop is alive, plus the
             // generation so a prober can watch refreshes land.
+            //
+            // `srv_recv_us`/`srv_send_us` are this server's wall clock at
+            // request receipt and response construction: the t1/t2 of an
+            // NTP-style exchange, letting a coordinator estimate this
+            // shard's clock offset as ((t1-t0)+(t2-t3))/2 from its own
+            // send/receive times (see imc-cluster's clock alignment).
             state.metrics().record(OpKind::Info, start.elapsed(), 0);
+            let srv_send_us = imc_obs::trace::now_us();
+            let srv_recv_us = srv_send_us.saturating_sub(elapsed_us(start));
             let body = ObjectBuilder::new()
                 .field("status", "ok")
                 .field("generation", state.generation())
+                .field("srv_recv_us", srv_recv_us)
+                .field("srv_send_us", srv_send_us)
                 .field("elapsed_us", elapsed_us(start));
             (protocol::ok_response("ping", body), false)
         }
